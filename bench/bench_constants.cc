@@ -1,0 +1,124 @@
+// E10 — Section 6.4: Shapley values of constants.
+//
+// (a) The q* author-expertise scenario on DBLP-style synthetic data:
+//     constant-level values rank authors; fact-level values split credit
+//     across papers (shown side by side, matching the paper's motivation).
+// (b) Proposition 6.3: SVCconst ≡ FGMCconst — both directions verified and
+//     timed as the number of endogenous constants grows.
+
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "shapley/engines/constants.h"
+#include "shapley/engines/svc.h"
+#include "shapley/gen/generators.h"
+#include "shapley/query/query_parser.h"
+#include "shapley/reductions/lemmas.h"
+
+int main() {
+  using namespace shapley;
+  using namespace shapley::bench;
+
+  Banner("E10a / q* — author expertise: constants vs facts as players");
+  {
+    auto schema = Schema::Create();
+    Database db = DblpDatabase(schema, 5, 8, 0.4, 99);
+    CqPtr q = ParseCq(schema, "Publication(x,y), Keyword(y,$Shapley)");
+
+    ConstantPartition partition;
+    for (Constant c : db.Constants()) {
+      if (c.name().rfind("author", 0) == 0) {
+        partition.endogenous.insert(c);
+      } else {
+        partition.exogenous.insert(c);
+      }
+    }
+    auto const_values = AllSvcConstBruteForce(*q, db, partition);
+
+    // Fact-level values for comparison: the same game over facts.
+    PartitionedDatabase fact_db = PartitionedDatabase::AllEndogenous(db);
+    BruteForceSvc svc;
+    auto fact_values = svc.AllValues(*q, fact_db);
+
+    Table table({"author", "Sh(constant)", "sum Sh(author's facts)"},
+                {12, 18, 24});
+    table.PrintHeader();
+    for (const auto& [author, value] : const_values) {
+      BigRational fact_sum(0);
+      for (const auto& [fact, fvalue] : fact_values) {
+        if (fact.Mentions(author)) fact_sum += fvalue;
+      }
+      table.PrintRow(author.name(), value.ToString() + " (~" +
+                                        std::to_string(value.ToDouble()) + ")",
+                     fact_sum.ToString());
+    }
+    std::cout << "\nNote the paper's point: an author's expertise is split "
+                 "across facts; the\nconstant-level value aggregates it "
+                 "coherently.\n";
+  }
+
+  Banner("E10b / Proposition 6.3 — SVCconst ≡ FGMCconst, both directions");
+  {
+    auto schema = Schema::Create();
+    CqPtr q = ParseCq(schema, "Publication(x,y), Keyword(y,$Shapley)");
+    Table table({"|Cn|", "direction", "oracle calls", "verified", "ms"},
+                {7, 30, 14, 12, 12});
+    table.PrintHeader();
+
+    for (size_t authors : {3, 4, 5, 6}) {
+      Database db = DblpDatabase(schema, authors, authors + 3, 0.5,
+                                 100 + authors);
+      ConstantPartition partition;
+      for (Constant c : db.Constants()) {
+        if (c.name().rfind("author", 0) == 0) {
+          partition.endogenous.insert(c);
+        } else {
+          partition.exogenous.insert(c);
+        }
+      }
+
+      // Forward: SVCconst from the counting problem.
+      {
+        FgmcConstOracle oracle = [&q](const Database& d,
+                                      const ConstantPartition& p) {
+          return FgmcConstBySize(*q, d, p);
+        };
+        Timer timer;
+        bool ok = true;
+        size_t calls = 0;
+        for (Constant c : partition.endogenous) {
+          BigRational via =
+              SvcConstViaFgmcConst(*q, db, partition, c, oracle);
+          calls += 2;
+          ok = ok && via == SvcConstBruteForce(*q, db, partition, c);
+        }
+        table.PrintRow(partition.endogenous.size(),
+                       "SVCconst <= FGMCconst (fwd)", calls, PassFail(ok),
+                       timer.ElapsedMs());
+      }
+      // Backward (Proposition 6.3): FGMCconst from the SVCconst oracle.
+      {
+        SvcConstOracle oracle = [&q](const Database& d,
+                                     const ConstantPartition& p, Constant c) {
+          return SvcConstBruteForce(*q, d, p, c);
+        };
+        PascalStats stats;
+        Timer timer;
+        Polynomial via =
+            FgmcConstViaSvcConstProp63(*q, db, partition, oracle, &stats);
+        bool ok = via == FgmcConstBySize(*q, db, partition);
+        table.PrintRow(partition.endogenous.size(),
+                       "FGMCconst <= SVCconst (Prop 6.3)", stats.oracle_calls,
+                       PassFail(ok), timer.ElapsedMs());
+      }
+    }
+  }
+
+  std::cout << "\nShape check vs the paper: the equivalence of Proposition "
+               "6.3 is exact in both\ndirections; the backward direction "
+               "uses |Cn|+1 oracle calls via the collapsed\nsingle-constant "
+               "support (no exogenous constants added).\n";
+  return 0;
+}

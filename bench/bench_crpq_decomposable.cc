@@ -1,0 +1,97 @@
+// E7 — Corollary 4.6: cc-disjoint CRPQs, routed through Lemma 4.1 or 4.4.
+//
+// Connected CRPQs go through the pseudo-connectedness witness (Lemma 4.1);
+// disconnected ones with component-disjoint vocabularies go through the
+// decomposition (Lemma 4.4). Both paths recover exact FGMC counts from an
+// SVC oracle; the table shows the routing, verification, and cost.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "shapley/analysis/classifier.h"
+#include "shapley/analysis/witnesses.h"
+#include "shapley/engines/fgmc.h"
+#include "shapley/engines/svc.h"
+#include "shapley/gen/generators.h"
+#include "shapley/query/path_query.h"
+#include "shapley/reductions/lemmas.h"
+
+int main() {
+  using namespace shapley;
+  using namespace shapley::bench;
+
+  Banner("E7 / Corollary 4.6 — cc-disjoint CRPQs: Lemma 4.1 vs Lemma 4.4 routing");
+  Table table({"query", "route", "verdict", "verified", "ms"},
+              {34, 22, 12, 12, 12});
+  table.PrintHeader();
+
+  BruteForceFgmc direct;
+  BruteForceSvc oracle;
+
+  // Connected CRPQ: single atom [A B](x,y).
+  {
+    auto schema = Schema::Create();
+    std::vector<PathAtom> atoms;
+    atoms.push_back({Regex::Parse("A B"), Term(Variable::Named("x")),
+                     Term(Variable::Named("y"))});
+    auto q = ConjunctiveRegularPathQuery::Create(schema, std::move(atoms));
+    auto witness = CertifyPseudoConnected(*q);
+    Database graph = RandomGraph(schema, {"A", "B"}, 3, 0.35, 11);
+    PartitionedDatabase db = PartitionedDatabase::AllEndogenous(graph);
+    Timer timer;
+    bool ok = witness.has_value() &&
+              FgmcViaSvcLemma41(*q, *witness, db, oracle) ==
+                  direct.CountBySize(*q, db);
+    table.PrintRow("[A B](x,y)", "Lemma 4.1 (connected)",
+                   ToString(ClassifySvcComplexity(*q).tractability),
+                   PassFail(ok), timer.ElapsedMs());
+  }
+
+  // Decomposable CRPQ: [A B](x,y) ∧ [C](u,w).
+  {
+    auto schema = Schema::Create();
+    std::vector<PathAtom> atoms;
+    atoms.push_back({Regex::Parse("A B"), Term(Variable::Named("x")),
+                     Term(Variable::Named("y"))});
+    atoms.push_back({Regex::Parse("C"), Term(Variable::Named("u")),
+                     Term(Variable::Named("w"))});
+    auto q = ConjunctiveRegularPathQuery::Create(schema, std::move(atoms));
+    auto decomposition = FindDecomposition(*q);
+    Database graph = RandomGraph(schema, {"A", "B", "C"}, 3, 0.22, 13);
+    PartitionedDatabase db = PartitionedDatabase::AllEndogenous(graph);
+    Timer timer;
+    bool ok = decomposition.has_value() &&
+              FgmcViaSvcLemma44(*q, *decomposition, db, oracle) ==
+                  direct.CountBySize(*q, db);
+    table.PrintRow("[A B](x,y) ^ [C](u,w)", "Lemma 4.4 (decomp.)",
+                   ToString(ClassifySvcComplexity(*q).tractability),
+                   PassFail(ok), timer.ElapsedMs());
+  }
+
+  // sjf-CRPQ with three pairwise-disjoint components.
+  {
+    auto schema = Schema::Create();
+    std::vector<PathAtom> atoms;
+    atoms.push_back({Regex::Parse("A"), Term(Variable::Named("x")),
+                     Term(Variable::Named("y"))});
+    atoms.push_back({Regex::Parse("B"), Term(Variable::Named("u")),
+                     Term(Variable::Named("u"))});
+    auto q = ConjunctiveRegularPathQuery::Create(schema, std::move(atoms));
+    auto decomposition = FindDecomposition(*q);
+    Database graph = RandomGraph(schema, {"A", "B"}, 3, 0.3, 17);
+    PartitionedDatabase db = PartitionedDatabase::AllEndogenous(graph);
+    Timer timer;
+    bool ok = decomposition.has_value() &&
+              FgmcViaSvcLemma44(*q, *decomposition, db, oracle) ==
+                  direct.CountBySize(*q, db);
+    table.PrintRow("[A](x,y) ^ [B](u,u)  [sjf]", "Lemma 4.4 (decomp.)",
+                   ToString(ClassifySvcComplexity(*q).tractability),
+                   PassFail(ok), timer.ElapsedMs());
+  }
+
+  std::cout << "\nShape check vs the paper: connected components route "
+               "through Lemma 4.1,\ndisconnected cc-disjoint ones through "
+               "Lemma 4.4; both are exact, giving\nthe effective dichotomy "
+               "of Corollary 4.6.\n";
+  return 0;
+}

@@ -1,0 +1,128 @@
+// E2 — Figure 1b: the dichotomy map, as a classification table.
+//
+// One row per catalog query, spanning every leaf class of the figure:
+// sjf-CQ (with/without constants), constant-free CQs with self-joins,
+// connected UCQs, dss queries, RPQs, sjf-CRPQs, cc-disjoint CRPQs,
+// connected UCRPQs and sjf-CQ¬. The "FGMC≡SVC" column marks the queries for
+// which this library's reductions establish the polynomial-time equivalence
+// (the paper's headline result); "verdict" is the FP / #P-hard side.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "shapley/analysis/classifier.h"
+#include "shapley/query/path_query.h"
+#include "shapley/query/query_parser.h"
+
+namespace {
+
+using namespace shapley;
+using shapley::bench::Banner;
+using shapley::bench::Table;
+
+void Classify(const Table& table, const std::string& label,
+              const BooleanQuery& query) {
+  DichotomyVerdict v = ClassifySvcComplexity(query);
+  table.PrintRow(label, v.query_class, ToString(v.tractability),
+                 v.fgmc_svc_equivalent ? "yes" : "-", v.justification);
+}
+
+}  // namespace
+
+int main() {
+  Banner("E2 / Figure 1b — the SVC dichotomy map over the paper's classes");
+  Table table({"query", "class", "verdict", "FGMC≡SVC", "justification"},
+              {42, 26, 10, 10, 60});
+  table.PrintHeader();
+
+  // --- sjf-CQ (dichotomy: [Livshits et al. 2021], recaptured). ---
+  Classify(table, "R(x), S(x,y)", *ParseCq(Schema::Create(), "R(x), S(x,y)"));
+  Classify(table, "R(x), S(x,y), T(y)   [q_RST]",
+           *ParseCq(Schema::Create(), "R(x), S(x,y), T(y)"));
+  Classify(table, "R(x), S(x,y), T(x,y)",
+           *ParseCq(Schema::Create(), "R(x), S(x,y), T(x,y)"));
+  Classify(table, "R(a,x), S(x)  [with constant]",
+           *ParseCq(Schema::Create(), "R(a,x), S(x)"));
+
+  // --- constant-free CQ with self-joins (Corollary 4.5 / open). ---
+  Classify(table, "R(x,u), S(x,y), R(y,w)",
+           *ParseCq(Schema::Create(), "R(x,u), S(x,y), R(y,w)"));
+  Classify(table, "R(x,y), R(y,z)  [hierarchical self-join]",
+           *ParseCq(Schema::Create(), "R(x,y), R(y,z)"));
+
+  // --- connected constant-free UCQs (Corollary 4.2(1), new in the paper).
+  Classify(table, "R(x,y) | S(x,y), T(y,x)",
+           *ParseUcq(Schema::Create(), "R(x,y) | S(x,y), T(y,x)"));
+  Classify(table, "A(x), S(x,y), B(y) | C(x,y)",
+           *ParseUcq(Schema::Create(), "A(x), S(x,y), B(y) | C(x,y)"));
+
+  // --- dss: duplicable singleton support (Corollary 4.4). ---
+  Classify(table, "A(x) | R(x,c), S(c,x)   [dss]",
+           *ParseUcq(Schema::Create(), "A(x) | R(x,c), S(c,x)"));
+
+  // --- RPQs (Corollary 4.3, recaptures [Khalil & Kimelfeld 2023]). ---
+  auto rpq = [](const char* regex) {
+    return RegularPathQuery::Create(Schema::Create(), Regex::Parse(regex),
+                                    Constant::Named("s"),
+                                    Constant::Named("t"));
+  };
+  Classify(table, "[A](s,t)", *rpq("A"));
+  Classify(table, "[A B | C](s,t)", *rpq("A B | C"));
+  Classify(table, "[A B C](s,t)", *rpq("A B C"));
+  Classify(table, "[A* B](s,t)", *rpq("A* B"));
+
+  // --- CRPQs (Corollary 4.6). ---
+  auto schema_crpq = Schema::Create();
+  {
+    std::vector<PathAtom> atoms;
+    atoms.push_back({Regex::Parse("A B*A"), Term(Variable::Named("x")),
+                     Term(Variable::Named("y"))});
+    Classify(table, "[A B*A](x,y)   [unbounded CRPQ]",
+             *ConjunctiveRegularPathQuery::Create(schema_crpq, atoms));
+  }
+  {
+    std::vector<PathAtom> atoms;
+    atoms.push_back({Regex::Parse("A | B"), Term(Variable::Named("x")),
+                     Term(Variable::Named("y"))});
+    Classify(table, "[A|B](x,y)   [bounded CRPQ]",
+             *ConjunctiveRegularPathQuery::Create(Schema::Create(), atoms));
+  }
+  {
+    std::vector<PathAtom> atoms;
+    atoms.push_back({Regex::Parse("A B"), Term(Variable::Named("x")),
+                     Term(Variable::Named("y"))});
+    atoms.push_back({Regex::Parse("C"), Term(Variable::Named("u")),
+                     Term(Variable::Named("w"))});
+    Classify(table, "[A B](x,y) ^ [C](u,w)   [cc-disjoint]",
+             *ConjunctiveRegularPathQuery::Create(Schema::Create(), atoms));
+  }
+
+  // --- connected UCRPQ without constants (Corollary 4.2(2)). ---
+  {
+    auto schema = Schema::Create();
+    std::vector<PathAtom> a1, a2;
+    a1.push_back({Regex::Parse("A A"), Term(Variable::Named("x")),
+                  Term(Variable::Named("y"))});
+    a2.push_back({Regex::Parse("B"), Term(Variable::Named("x")),
+                  Term(Variable::Named("y"))});
+    auto q = UnionCrpq::Create(
+        {ConjunctiveRegularPathQuery::Create(schema, std::move(a1)),
+         ConjunctiveRegularPathQuery::Create(schema, std::move(a2))});
+    Classify(table, "[A A](x,y) | [B](x,y)   [conn. UCRPQ]", *q);
+  }
+
+  // --- sjf-CQ¬ ([Reshef et al. 2020], partially recaptured by Prop 6.1).
+  Classify(table, "A(x), !S(x,y), B(y)",
+           *ParseCq(Schema::Create(), "A(x), !S(x,y), B(y)"));
+  Classify(table, "A(x), S(x,y), !T(x,y)",
+           *ParseCq(Schema::Create(), "A(x), S(x,y), !T(x,y)"));
+  Classify(table, "A(x), S(x,y), B(y), !N(x,y)",
+           *ParseCq(Schema::Create(), "A(x), S(x,y), B(y), !N(x,y)"));
+
+  std::cout
+      << "\nShape check vs the paper: hierarchical/safe/short-word queries "
+         "are FP;\nnon-hierarchical, unsafe, long-word and unbounded ones "
+         "are #P-hard;\nthe FGMC≡SVC column covers exactly the classes of "
+         "Figure 1b.\n";
+  return 0;
+}

@@ -1,0 +1,153 @@
+// E11 — Section 6.2: queries with negation.
+//
+// (a) Proposition 6.1 on sjf-CQ¬: FGMC of the variable-connected core
+//     (with its covered negated atoms) recovered from an SVC oracle for the
+//     full query — including ground negated atoms as blockers.
+// (b) Beyond sjf-CQ¬ (Examples D.1/D.2): the two 1RA⁻ queries of the paper,
+//     expressed as unions of CQ¬; the Lemma D.2 construction is run through
+//     the generic Pascal machinery on the hand-built support split.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "shapley/engines/fgmc.h"
+#include "shapley/engines/svc.h"
+#include "shapley/gen/generators.h"
+#include "shapley/query/query_parser.h"
+#include "shapley/query/union_query.h"
+#include "shapley/reductions/lemmas.h"
+#include "shapley/reductions/pascal.h"
+
+int main() {
+  using namespace shapley;
+  using namespace shapley::bench;
+
+  Banner("E11a / Proposition 6.1 — sjf-CQ¬: FGMC of the vc-core via SVC_q");
+  {
+    Table table({"query", "counted q~", "verified", "ms"}, {36, 34, 12, 12});
+    table.PrintHeader();
+    BruteForceFgmc direct;
+    BruteForceSvc oracle;
+
+    struct Case {
+      const char* text;
+    };
+    for (const Case& c :
+         {Case{"A(x), S(x,y), B(y), !N(x,y)"},
+          Case{"A(x), S(x,y), B(y), !N(x,y), !G(c0)"},
+          Case{"A(x), S(x,y), B(y), !N(x,y), P(u,w)"}}) {
+      auto schema = Schema::Create();
+      CqPtr q = ParseCq(schema, c.text);
+      RandomDatabaseOptions options;
+      options.num_facts = 6;
+      options.domain_size = 2;
+      options.exogenous_fraction = 0.2;
+      options.seed = 31;
+      PartitionedDatabase db = RandomPartitionedDatabase(schema, options);
+      CqPtr counted;
+      Timer timer;
+      Polynomial via =
+          FgmcViaSvcNegationD2(*q, 0, db, oracle, nullptr, &counted);
+      bool ok = via == direct.CountBySize(*counted, db);
+      table.PrintRow(c.text, counted->ToString(), PassFail(ok),
+                     timer.ElapsedMs());
+    }
+  }
+
+  Banner("E11b / Examples D.1, D.2 — 1RA⁻ queries beyond sjf-CQ¬");
+  {
+    Table table({"query", "as union of CQ¬", "verified", "ms"},
+                {26, 44, 12, 12});
+    table.PrintHeader();
+    BruteForceFgmc direct;
+    BruteForceSvc oracle;
+
+    // Example D.1: q1 ≡ ∃x,y D(x) ∧ S(x,y) ∧ A(y) ∧ ¬(B(y) ∧ ¬C(y))
+    //            ≡ (D,S,A,¬B) ∨ (D,S,A,C).
+    {
+      auto schema = Schema::Create();
+      UcqPtr q1 = ParseUcq(
+          schema, "D(x), S(x,y), A(y), !B(y) | D(x), S(x,y), A(y), C(y)");
+      // The counted query q̃ equals q1 itself (the positive core D,S,A is
+      // the whole variable-connected part; the DNF negation stays).
+      RandomDatabaseOptions options;
+      options.num_facts = 6;
+      options.domain_size = 2;
+      options.exogenous_fraction = 0.0;
+      options.seed = 37;
+      PartitionedDatabase db = RandomPartitionedDatabase(schema, options);
+
+      // Hand-built Lemma D.2 construction: S freezes the positive core.
+      CqPtr positive_core = ParseCq(schema, "D(x), S(x,y), A(y)");
+      Database support = positive_core->Freeze();
+      Constant a;
+      for (Constant c : support.Constants()) {
+        a = c;
+        break;
+      }
+      Database s0(schema), s_minus(schema);
+      for (const Fact& f : support.facts()) {
+        (f.Mentions(a) ? s0 : s_minus).Insert(f);
+      }
+      PascalSpec spec;
+      spec.oracle_query = q1.get();
+      spec.base = db;
+      spec.exogenous_extra = Database(schema);
+      spec.s0 = s0;
+      spec.s_minus = s_minus;
+      spec.mu = s0.facts().front();
+      spec.duplicated = a;
+      spec.blockers = Database(schema);
+      spec.count_supports_directly = false;
+
+      Timer timer;
+      Polynomial via = RunPascalReduction(spec, oracle);
+      bool ok = via == direct.CountBySize(*q1, db);
+      table.PrintRow("Ex. D.1 (P6.1 pattern)",
+                     "D,S,A,!B | D,S,A,C", PassFail(ok), timer.ElapsedMs());
+    }
+
+    // Example D.2: q2 ≡ ∃x,y S(x,y) ∧ ¬(A(x) ∧ B(y))
+    //            ≡ (S,¬A) ∨ (S,¬B).
+    {
+      auto schema = Schema::Create();
+      UcqPtr q2 = ParseUcq(schema, "S(x,y), !A(x) | S(x,y), !B(y)");
+      RandomDatabaseOptions options;
+      options.num_facts = 6;
+      options.domain_size = 2;
+      options.exogenous_fraction = 0.0;
+      options.seed = 41;
+      PartitionedDatabase db = RandomPartitionedDatabase(schema, options);
+
+      CqPtr positive_core = ParseCq(schema, "S(x,y)");
+      Database support = positive_core->Freeze();
+      Constant a;
+      for (Constant c : support.Constants()) {
+        a = c;
+        break;
+      }
+      PascalSpec spec;
+      spec.oracle_query = q2.get();
+      spec.base = db;
+      spec.exogenous_extra = Database(schema);
+      spec.s0 = support;  // Single fact S(f1,f2): S0 = S, S− = ∅.
+      spec.s_minus = Database(schema);
+      spec.mu = support.facts().front();
+      spec.duplicated = a;
+      spec.blockers = Database(schema);
+      spec.count_supports_directly = false;
+
+      Timer timer;
+      Polynomial via = RunPascalReduction(spec, oracle);
+      bool ok = via == direct.CountBySize(*q2, db);
+      table.PrintRow("Ex. D.2 (P4.3 pattern)", "S,!A | S,!B", PassFail(ok),
+                     timer.ElapsedMs());
+    }
+  }
+
+  std::cout << "\nShape check vs the paper: the negation-aware construction "
+               "recovers exact\ncounts for sjf-CQ¬ cores with covered and "
+               "ground negations (Prop 6.1), and\nthe same machinery handles "
+               "the richer 1RA⁻ negations of Examples D.1/D.2.\n";
+  return 0;
+}

@@ -1,0 +1,82 @@
+// E4 — Proposition 3.3 / Claims A.1–A.3: the forward bridges, measured.
+//
+// (a) SVC ≤ FGMC (Claim A.1): two counting-oracle calls per fact;
+// (b) FGMC ≤ SPPQE (Claim A.2): |Dn|+1 probability-oracle calls plus a
+//     Vandermonde solve — all on the same partitioned database;
+// (c) FMC ≡ SPQE (Claim A.3): the same machinery on purely endogenous
+//     inputs.
+// Reports oracle-call counts and wall time as |Dn| grows, with exactness
+// checks against brute force throughout.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "shapley/engines/fgmc.h"
+#include "shapley/engines/pqe.h"
+#include "shapley/engines/svc.h"
+#include "shapley/gen/generators.h"
+#include "shapley/query/query_parser.h"
+#include "shapley/reductions/interpolation.h"
+
+int main() {
+  using namespace shapley;
+  using namespace shapley::bench;
+
+  Banner("E4 / Prop 3.3 — SVC<=FGMC and FGMC<=SPPQE bridges");
+
+  auto schema = Schema::Create();
+  UcqPtr q = ParseUcq(schema, "R(x), S(x,y) | T(y)");
+  std::cout << "query: " << q->ToString() << "\n\n";
+
+  Table table({"|Dn|", "bridge", "oracle calls", "verified", "ms"},
+              {7, 30, 14, 12, 12});
+  table.PrintHeader();
+
+  BruteForceFgmc brute_fgmc;
+  BruteForceSvc brute_svc;
+
+  for (size_t n : {4, 6, 8, 10}) {
+    RandomDatabaseOptions options;
+    options.num_facts = n + 2;
+    options.domain_size = 3;
+    options.exogenous_fraction = 0.25;
+    options.seed = 7 * n;
+    PartitionedDatabase db = RandomPartitionedDatabase(schema, options);
+
+    // (a) SVC via FGMC.
+    {
+      SvcViaFgmc via(std::make_shared<BruteForceFgmc>());
+      Timer timer;
+      bool ok = true;
+      for (const Fact& f : db.endogenous().facts()) {
+        ok = ok && via.Value(*q, db, f) == brute_svc.Value(*q, db, f);
+      }
+      table.PrintRow(db.NumEndogenous(), "SVC <= FGMC (A.1)",
+                     via.oracle_calls(), PassFail(ok), timer.ElapsedMs());
+    }
+    // (b) FGMC via SPPQE.
+    {
+      InterpolationFgmc via(std::make_shared<BruteForcePqe>());
+      Timer timer;
+      bool ok = via.CountBySize(*q, db) == brute_fgmc.CountBySize(*q, db);
+      table.PrintRow(db.NumEndogenous(), "FGMC <= SPPQE (A.2)",
+                     via.oracle_calls(), PassFail(ok), timer.ElapsedMs());
+    }
+    // (c) FMC ≡ SPQE on the endogenous part only.
+    {
+      PartitionedDatabase endo =
+          PartitionedDatabase::AllEndogenous(db.endogenous());
+      InterpolationFgmc via(std::make_shared<BruteForcePqe>());
+      Timer timer;
+      bool ok = via.CountBySize(*q, endo) == brute_fgmc.CountBySize(*q, endo);
+      table.PrintRow(endo.NumEndogenous(), "FMC ≡ SPQE (A.3)",
+                     via.oracle_calls(), PassFail(ok), timer.ElapsedMs());
+    }
+  }
+
+  std::cout << "\nShape check vs the paper: bridge (a) uses 2 counting calls "
+               "per fact;\nbridge (b) uses |Dn|+1 probability calls on the "
+               "same partitioned database\n(as Proposition 3.3 requires); "
+               "all outputs are exact.\n";
+  return 0;
+}

@@ -1,0 +1,97 @@
+// E6 — the RPQ dichotomy (Corollary 4.3), classification plus scaling.
+//
+// Table 1: classification of RPQ families by maximum word length — FP iff
+// no word of length >= 3 (and the FGMC≡SVC equivalence kicks in at length
+// >= 2 via Lemma B.1 + Lemma 4.1).
+// Table 2: runtime shape — bounded (word <= 2) RPQs are counted through
+// their UCQ expansion + knowledge compilation in polynomial time; the hard
+// family is exponential under brute force.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "shapley/analysis/classifier.h"
+#include "shapley/engines/fgmc.h"
+#include "shapley/engines/svc.h"
+#include "shapley/gen/generators.h"
+#include "shapley/query/path_query.h"
+
+int main() {
+  using namespace shapley;
+  using namespace shapley::bench;
+
+  Banner("E6 / Corollary 4.3 — RPQ dichotomy by word length");
+
+  {
+    Table table({"language", "max word", "verdict", "FGMC≡SVC"},
+                {22, 12, 12, 10});
+    table.PrintHeader();
+    struct Row {
+      const char* regex;
+      const char* max_word;
+    };
+    for (const Row& row : {Row{"A", "1"}, Row{"A | B C", "2"},
+                           Row{"A B C", "3"}, Row{"A* B", "unbounded"},
+                           Row{"(A|B)(A|B)", "2"}, Row{"A A A A", "4"}}) {
+      auto q = RegularPathQuery::Create(Schema::Create(),
+                                        Regex::Parse(row.regex),
+                                        Constant::Named("s"),
+                                        Constant::Named("t"));
+      DichotomyVerdict v = ClassifySvcComplexity(*q);
+      table.PrintRow(row.regex, row.max_word, ToString(v.tractability),
+                     v.fgmc_svc_equivalent ? "yes" : "-");
+    }
+  }
+
+  Banner("E6b — runtime shape: tractable vs hard RPQ on growing graphs");
+  {
+    Table table({"family", "edges", "engine", "GMC", "ms"},
+                {22, 8, 18, 22, 12});
+    table.PrintHeader();
+
+    // Tractable family: L = A|B (max word 1) on growing random graphs,
+    // counted through knowledge compilation of the tiny lineage.
+    for (size_t nodes : {4, 6, 8, 10}) {
+      auto schema = Schema::Create();
+      Database graph = RandomGraph(schema, {"A", "B"}, nodes, 0.5, nodes);
+      auto q = RegularPathQuery::Create(schema, Regex::Parse("A | B"),
+                                        Constant::Named("v0"),
+                                        Constant::Named("v1"));
+      PartitionedDatabase db = PartitionedDatabase::AllEndogenous(graph);
+      LineageFgmc engine;
+      Timer timer;
+      BigInt gmc = engine.Gmc(*q, db);
+      table.PrintRow("L = A|B (FP)", db.NumEndogenous(), "lineage-ddnnf",
+                     gmc.ToString(), timer.ElapsedMs());
+    }
+
+    // Hard family: L = AAA on a layered gadget, brute force (2^n).
+    for (size_t width : {2, 3, 4}) {
+      auto schema = Schema::Create();
+      RelationId a = schema->AddRelation("A", 2);
+      Database graph(schema);
+      Constant s = Constant::Named("s"), t = Constant::Named("t");
+      for (size_t i = 0; i < width; ++i) {
+        Constant u = Constant::Named("u" + std::to_string(i));
+        Constant w = Constant::Named("w" + std::to_string(i));
+        graph.Insert(Fact(a, {s, u}));
+        for (size_t j = 0; j < width; ++j) {
+          graph.Insert(Fact(a, {u, Constant::Named("w" + std::to_string(j))}));
+        }
+        graph.Insert(Fact(a, {w, t}));
+      }
+      auto q = RegularPathQuery::Create(schema, Regex::Parse("A A A"), s, t);
+      PartitionedDatabase db = PartitionedDatabase::AllEndogenous(graph);
+      BruteForceFgmc engine;
+      Timer timer;
+      BigInt gmc = engine.Gmc(*q, db);
+      table.PrintRow("L = AAA (#P-hard)", db.NumEndogenous(), "brute-force",
+                     gmc.ToString(), timer.ElapsedMs());
+    }
+  }
+
+  std::cout << "\nShape check vs the paper: the FP/#P-hard frontier sits "
+               "exactly at word length 3\n(Corollary 4.3); the tractable "
+               "side scales, the hard side doubles per edge.\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+#ifndef SHAPLEY_BENCH_BENCH_UTIL_H_
+#define SHAPLEY_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace shapley::bench {
+
+/// Wall-clock stopwatch (milliseconds, double).
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double ElapsedMs() const {
+    auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(now - start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Fixed-width text table, paper style.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers,
+                 std::vector<int> widths = {})
+      : headers_(std::move(headers)), widths_(std::move(widths)) {
+    if (widths_.empty()) {
+      for (const std::string& h : headers_) {
+        widths_.push_back(static_cast<int>(h.size()) + 4);
+      }
+    }
+  }
+
+  void PrintHeader() const {
+    for (size_t i = 0; i < headers_.size(); ++i) {
+      std::cout << std::left << std::setw(widths_[i]) << headers_[i];
+    }
+    std::cout << "\n";
+    int total = 0;
+    for (int w : widths_) total += w;
+    std::cout << std::string(total, '-') << "\n";
+  }
+
+  template <typename... Cells>
+  void PrintRow(const Cells&... cells) const {
+    size_t i = 0;
+    (PrintCell(cells, i++), ...);
+    std::cout << "\n";
+  }
+
+ private:
+  template <typename T>
+  void PrintCell(const T& value, size_t i) const {
+    std::ostringstream os;
+    os << std::setprecision(4) << value;
+    std::cout << std::left << std::setw(widths_[i < widths_.size() ? i : 0])
+              << os.str();
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<int> widths_;
+};
+
+inline void Banner(const std::string& title) {
+  std::cout << "\n" << std::string(76, '=') << "\n"
+            << title << "\n" << std::string(76, '=') << "\n";
+}
+
+inline std::string PassFail(bool ok) { return ok ? "ok" : "** FAIL **"; }
+
+}  // namespace shapley::bench
+
+#endif  // SHAPLEY_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,67 @@
+// The Section 6.4 example: Shapley values of *constants* rather than facts.
+//
+// Schema: Publication(authorID, paperID), Keyword(paperID, keywordStr).
+// Query q* = ∃x,y Publication(x,y) ∧ Keyword(y,'Shapley') — "is there a
+// Shapley-related paper?". Treating author constants as the players ranks
+// authors by their expertise on the topic; fact-level Shapley values would
+// split an author's contribution across their papers.
+
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "shapley/engines/constants.h"
+#include "shapley/gen/generators.h"
+#include "shapley/query/query_parser.h"
+#include "shapley/reductions/lemmas.h"
+
+int main() {
+  using namespace shapley;
+
+  auto schema = Schema::Create();
+  Database db = DblpDatabase(schema, /*authors=*/6, /*papers=*/10,
+                             /*shapley_fraction=*/0.4, /*seed=*/2024);
+  CqPtr q_star = ParseCq(schema, "Publication(x, y), Keyword(y, $Shapley)");
+
+  std::cout << "q* = " << q_star->ToString() << "\n";
+  std::cout << "Database (" << db.size() << " facts): " << db.ToString()
+            << "\n\n";
+
+  // Players: author constants. Everything else exogenous.
+  ConstantPartition partition;
+  for (Constant c : db.Constants()) {
+    if (c.name().rfind("author", 0) == 0) {
+      partition.endogenous.insert(c);
+    } else {
+      partition.exogenous.insert(c);
+    }
+  }
+
+  auto values = AllSvcConstBruteForce(*q_star, db, partition);
+  std::vector<std::pair<Constant, BigRational>> ranked(values.begin(),
+                                                       values.end());
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+
+  std::cout << "Author expertise on 'Shapley' (constant Shapley values):\n";
+  for (const auto& [author, value] : ranked) {
+    std::cout << "  " << author.name() << " = " << value.ToString() << "  (~"
+              << value.ToDouble() << ")\n";
+  }
+
+  // Proposition 6.3 in action: the same values recovered through the
+  // counting problem FGMCconst and back through an SVCconst oracle.
+  SvcConstOracle oracle = [&q_star](const Database& d,
+                                    const ConstantPartition& p, Constant c) {
+    return SvcConstBruteForce(*q_star, d, p, c);
+  };
+  Polynomial counts = FgmcConstViaSvcConstProp63(*q_star, db, partition, oracle);
+  std::cout << "\nFGMCconst counts recovered via the SVCconst oracle "
+            << "(Proposition 6.3): " << counts.ToString() << "\n";
+  Polynomial direct = FgmcConstBySize(*q_star, db, partition);
+  std::cout << "Direct FGMCconst counts:                              "
+            << direct.ToString() << "\n";
+  std::cout << (counts == direct ? "MATCH — the reduction is exact.\n"
+                                 : "** MISMATCH **\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// The paper's headline result, end to end: for connected (hom-closed)
+// queries, Shapley value computation and fixed-size generalized model
+// counting are the *same problem* (FGMC_q ≡poly SVC_q, Corollary 4.1).
+//
+// This program runs both directions of the equivalence on one instance:
+//   forward  (Claim A.1):  SVC from an FGMC oracle;
+//   backward (Lemma 4.1):  FGMC from an SVC oracle, through the Figure 2
+//                          construction and the Pascal linear system.
+
+#include <iostream>
+
+#include "shapley/analysis/witnesses.h"
+#include "shapley/data/parser.h"
+#include "shapley/engines/fgmc.h"
+#include "shapley/engines/svc.h"
+#include "shapley/query/query_parser.h"
+#include "shapley/reductions/lemmas.h"
+
+int main() {
+  using namespace shapley;
+
+  auto schema = Schema::Create();
+  CqPtr query = ParseCq(schema, "Follows(x,y), Endorses(y,z)");
+  PartitionedDatabase db = ParsePartitionedDatabase(schema,
+      "Follows(ann,bob) Follows(cat,bob) Endorses(bob,dan) "
+      "| Endorses(bob,eve)");
+
+  std::cout << "Query:    " << query->ToString() << "\n";
+  std::cout << "Database: " << db.ToString() << "\n\n";
+
+  // ---- Forward: SVC through counting (Claim A.1). ----
+  SvcViaFgmc svc_via_counting(std::make_shared<BruteForceFgmc>());
+  Fact probe = ParseFact(schema, "Follows(ann,bob)");
+  std::cout << "Sh(Follows(ann,bob)) via the FGMC oracle: "
+            << svc_via_counting.Value(*query, db, probe).ToString() << "\n";
+  BruteForceSvc direct_svc;
+  std::cout << "Sh(Follows(ann,bob)) directly:            "
+            << direct_svc.Value(*query, db, probe).ToString() << "\n\n";
+
+  // ---- Backward: FGMC through Shapley values (Lemma 4.1). ----
+  auto witness = CertifyPseudoConnected(*query);
+  if (!witness.has_value()) {
+    std::cerr << "query unexpectedly not certified pseudo-connected\n";
+    return 1;
+  }
+  std::cout << "Pseudo-connectedness certificate: " << witness->certificate
+            << "\n  island support: " << witness->island_support.ToString()
+            << "\n";
+
+  PascalStats stats;
+  Polynomial via_svc =
+      FgmcViaSvcLemma41(*query, *witness, db, direct_svc, &stats);
+  BruteForceFgmc direct_fgmc;
+  Polynomial direct = direct_fgmc.CountBySize(*query, db);
+
+  std::cout << "\nFGMC recovered from " << stats.oracle_calls
+            << " SVC oracle calls (largest constructed instance: "
+            << stats.largest_instance_total << " facts):\n";
+  std::cout << "  via SVC: " << via_svc.ToString() << "\n";
+  std::cout << "  direct:  " << direct.ToString() << "\n";
+  std::cout << (via_svc == direct
+                    ? "\nMATCH — Shapley value computation is a matter of "
+                      "counting.\n"
+                    : "\n** MISMATCH **\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Regular path queries on a graph database: which road segments matter for
+// reachability? Classifies the query by the RPQ dichotomy (Corollary 4.3)
+// and computes the Shapley value of every edge.
+
+#include <iostream>
+
+#include "shapley/analysis/classifier.h"
+#include "shapley/data/parser.h"
+#include "shapley/engines/svc.h"
+#include "shapley/query/path_query.h"
+
+int main() {
+  using namespace shapley;
+
+  auto schema = Schema::Create();
+  // A small road network: 'road' edges, plus a 'ferry' shortcut.
+  Database network = ParseDatabase(schema,
+      "road(depot, a1) road(a1, a2) road(a2, port) "
+      "road(depot, b1) road(b1, port) "
+      "ferry(depot, port)");
+
+  // Reachability from depot to port by roads only, or roads then a ferry:
+  // L = road road* | ferry.
+  RpqPtr query = RegularPathQuery::Create(
+      schema, Regex::Parse("road road* | ferry"),
+      Constant::Named("depot"), Constant::Named("port"));
+
+  std::cout << "Query: " << query->ToString() << "\n";
+  std::cout << "Network: " << network.ToString() << "\n";
+  std::cout << "Dichotomy: " << ToString(ClassifySvcComplexity(*query))
+            << "\n\n";
+  std::cout << "Reachable today? "
+            << (query->Evaluate(network) ? "yes" : "no") << "\n\n";
+
+  PartitionedDatabase db = PartitionedDatabase::AllEndogenous(network);
+  BruteForceSvc svc;
+  std::cout << "Shapley value of each segment (responsibility for "
+               "reachability):\n";
+  for (const auto& [fact, value] : svc.AllValues(*query, db)) {
+    std::cout << "  " << fact.ToString(*schema) << " = " << value.ToString()
+              << "  (~" << value.ToDouble() << ")\n";
+  }
+
+  std::cout << "\nNote: the ferry (a one-hop alternative) and the two-hop "
+               "b-route carry\nmore value per edge than the three-hop "
+               "a-route, matching intuition.\n";
+  return 0;
+}

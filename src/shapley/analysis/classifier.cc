@@ -1,0 +1,271 @@
+#include "shapley/analysis/classifier.h"
+
+#include <sstream>
+
+#include "shapley/analysis/safety.h"
+#include "shapley/analysis/structure.h"
+#include "shapley/analysis/witnesses.h"
+#include "shapley/query/conjunctive_query.h"
+#include "shapley/query/path_query.h"
+#include "shapley/query/union_query.h"
+
+namespace shapley {
+
+namespace {
+
+DichotomyVerdict ClassifyRpq(const RegularPathQuery& rpq) {
+  DichotomyVerdict v;
+  v.query_class = "RPQ";
+  if (!rpq.dfa().HasWordOfLengthAtLeast(2)) {
+    // Disjunction of ground atoms: trivially tractable; no equivalence
+    // machinery needed.
+    v.tractability = Tractability::kFP;
+    v.justification = "Corollary 4.3 (no word of length >= 2: ground query)";
+    return v;
+  }
+  v.fgmc_svc_equivalent = true;  // Lemma B.1 + Lemma 4.1.
+  if (rpq.dfa().HasWordOfLengthAtLeast(3)) {
+    v.tractability = Tractability::kSharpPHard;
+    v.justification = "Corollary 4.3 (word of length >= 3)";
+  } else {
+    v.tractability = Tractability::kFP;
+    v.justification = "Corollary 4.3 (all words of length <= 2)";
+  }
+  return v;
+}
+
+DichotomyVerdict ClassifyCq(const ConjunctiveQuery& cq) {
+  DichotomyVerdict v;
+  const bool constant_free = cq.QueryConstants().empty();
+
+  if (cq.HasNegation()) {
+    v.query_class = "sjf-CQ¬";
+    if (!IsSelfJoinFree(cq)) {
+      v.query_class = "CQ¬";
+      v.justification = "negation with self-joins: no known dichotomy";
+      return v;
+    }
+    if (IsHierarchical(cq)) {
+      v.tractability = Tractability::kFP;
+      v.justification = "[Reshef et al. 2020] (hierarchical sjf-CQ¬)";
+    } else {
+      v.tractability = Tractability::kSharpPHard;
+      v.justification =
+          "[Reshef et al. 2020]; partially recaptured by Proposition 6.1";
+    }
+    return v;
+  }
+
+  if (IsSelfJoinFree(cq)) {
+    v.query_class = "sjf-CQ";
+    if (IsHierarchical(cq)) {
+      v.tractability = Tractability::kFP;
+      v.justification =
+          "[Livshits et al. 2021] (hierarchical sjf-CQ; lifted FGMC engine)";
+    } else {
+      v.tractability = Tractability::kSharpPHard;
+      v.justification = "Corollary 4.5 (non-hierarchical sjf-CQ, via "
+                        "Lemma 4.3 + GMC hardness [Kenig & Suciu 2021])";
+    }
+    // Query-preserving FGMC ≡ SVC holds for connected constant-free sjf-CQs
+    // (Lemma 4.1) and decomposable ones (Lemma 4.4) — footnote 6.
+    if (constant_free) v.fgmc_svc_equivalent = true;
+    return v;
+  }
+
+  v.query_class = constant_free ? "CQ (constant-free)" : "CQ (with constants)";
+  if (constant_free && !IsHierarchical(cq)) {
+    v.tractability = Tractability::kSharpPHard;
+    v.justification = "Corollary 4.5 (non-hierarchical constant-free CQ)";
+    return v;
+  }
+  if (constant_free && IsConnectedQuery(cq)) {
+    v.fgmc_svc_equivalent = true;
+    SafetyVerdict s = DetermineSafety(cq);
+    if (s.safety == Safety::kSafe) {
+      v.tractability = Tractability::kFP;
+      v.justification = "Corollary 4.2(1): safe (" + s.reason + ")";
+    } else if (s.safety == Safety::kUnsafe) {
+      v.tractability = Tractability::kSharpPHard;
+      v.justification = "Corollary 4.2(1): unsafe (" + s.reason + ")";
+    } else {
+      v.justification =
+          "Corollary 4.2(1) applies (FGMC ≡ SVC) but safety undecided: " +
+          s.reason;
+    }
+    return v;
+  }
+  v.justification = constant_free
+                        ? "hierarchical CQ with self-joins: open in the paper"
+                        : "CQ with constants: outside the proven dichotomies";
+  return v;
+}
+
+DichotomyVerdict ClassifyUcq(const UnionQuery& ucq) {
+  if (ucq.disjuncts().size() == 1) return ClassifyCq(*ucq.disjuncts()[0]);
+
+  DichotomyVerdict v;
+  v.query_class = "UCQ";
+  if (!ucq.IsPositive()) {
+    v.justification = "union with negation: no known dichotomy";
+    return v;
+  }
+  if (ucq.IsConstantFree() && IsConnectedQuery(ucq)) {
+    v.query_class = "conn. UCQ (constant-free)";
+    v.fgmc_svc_equivalent = true;  // Corollary 4.1.
+    SafetyVerdict s = DetermineSafety(ucq);
+    if (s.safety == Safety::kSafe) {
+      v.tractability = Tractability::kFP;
+      v.justification = "Corollary 4.2(1): safe (" + s.reason + ")";
+    } else if (s.safety == Safety::kUnsafe) {
+      v.tractability = Tractability::kSharpPHard;
+      v.justification = "Corollary 4.2(1): unsafe (" + s.reason + ")";
+    } else {
+      v.justification =
+          "Corollary 4.2(1) applies (FGMC ≡ SVC) but safety undecided: " +
+          s.reason;
+    }
+    return v;
+  }
+  if (FindDuplicableSingletonSupport(ucq).has_value()) {
+    v.query_class = "UCQ (dss)";
+    v.fgmc_svc_equivalent = true;  // Corollary 4.4.
+    SafetyVerdict s = DetermineSafety(ucq);
+    if (s.safety == Safety::kSafe) {
+      v.tractability = Tractability::kFP;
+      v.justification = "Corollary 4.4 + safe (" + s.reason + ")";
+    } else if (s.safety == Safety::kUnsafe) {
+      v.tractability = Tractability::kSharpPHard;
+      v.justification = "Corollary 4.4 + unsafe (" + s.reason + ")";
+    } else {
+      v.justification = "Corollary 4.4 applies but safety undecided";
+    }
+    return v;
+  }
+  v.justification = "disconnected UCQ without dss: outside proven results";
+  return v;
+}
+
+DichotomyVerdict ClassifyCrpq(const ConjunctiveRegularPathQuery& crpq) {
+  DichotomyVerdict v;
+  v.query_class = crpq.IsSelfJoinFree() ? "sjf-CRPQ" : "CRPQ";
+  if (!crpq.QueryConstants().empty()) {
+    // Single-atom ∃x L(a,x) queries with a length-1 word are dss.
+    if (FindDuplicableSingletonSupport(crpq).has_value()) {
+      v.query_class += " (dss)";
+      v.fgmc_svc_equivalent = true;
+      v.justification = "Corollary 4.4 (duplicable singleton support); "
+                        "tractability of FGMC not decided here";
+      return v;
+    }
+    v.justification = "CRPQ with constants: outside the constant-free "
+                      "dichotomies of Figure 1b";
+    return v;
+  }
+
+  // Constant-free: Corollary 4.6 needs cc-disjointness (or connectivity).
+  const bool connected = IsConnectedQuery(crpq);
+  const bool decomposable = FindDecomposition(crpq).has_value();
+  if (!connected && !decomposable) {
+    v.justification = "disconnected CRPQ with shared vocabularies: "
+                      "outside Corollary 4.6";
+    return v;
+  }
+  v.fgmc_svc_equivalent = true;  // Lemma 4.1 or Lemma 4.4.
+
+  // Boundedness: all languages finite → expand to a UCQ and use its verdict.
+  bool all_finite = true;
+  for (const Dfa& dfa : crpq.dfas()) {
+    if (!dfa.IsFinite()) {
+      all_finite = false;
+      break;
+    }
+  }
+  if (all_finite) {
+    size_t max_len = 0;
+    for (const Dfa& dfa : crpq.dfas()) {
+      max_len = std::max(max_len, dfa.MaxWordLength().value_or(0));
+    }
+    try {
+      UcqPtr expanded = crpq.ExpandToUcq(max_len);
+      SafetyVerdict s = DetermineSafety(*expanded);
+      if (s.safety == Safety::kSafe) {
+        v.tractability = Tractability::kFP;
+        v.justification = "Corollary 4.6: bounded and safe (" + s.reason + ")";
+      } else if (s.safety == Safety::kUnsafe) {
+        v.tractability = Tractability::kSharpPHard;
+        v.justification = "Corollary 4.6: bounded but unsafe (" + s.reason + ")";
+      } else {
+        v.justification =
+            "Corollary 4.6 applies; safety of the UCQ expansion undecided";
+      }
+    } catch (const std::invalid_argument&) {
+      v.justification = "Corollary 4.6 applies; expansion too large to decide";
+    }
+    return v;
+  }
+  // Infinite language — treated as unbounded (heuristic; exact CRPQ
+  // boundedness is [Barceló et al. 2019] and out of scope).
+  v.tractability = Tractability::kSharpPHard;
+  v.justification = "Corollary 4.6: unbounded (infinite atom language; "
+                    "hardness via [Amarilli 2023])";
+  return v;
+}
+
+}  // namespace
+
+DichotomyVerdict ClassifySvcComplexity(const BooleanQuery& query) {
+  if (const auto* rpq = dynamic_cast<const RegularPathQuery*>(&query)) {
+    return ClassifyRpq(*rpq);
+  }
+  if (const auto* cq = dynamic_cast<const ConjunctiveQuery*>(&query)) {
+    return ClassifyCq(*cq);
+  }
+  if (const auto* ucq = dynamic_cast<const UnionQuery*>(&query)) {
+    return ClassifyUcq(*ucq);
+  }
+  if (const auto* crpq =
+          dynamic_cast<const ConjunctiveRegularPathQuery*>(&query)) {
+    return ClassifyCrpq(*crpq);
+  }
+  if (const auto* ucrpq = dynamic_cast<const UnionCrpq*>(&query)) {
+    DichotomyVerdict v;
+    v.query_class = "UCRPQ";
+    if (ucrpq->QueryConstants().empty() && IsConnectedQuery(*ucrpq)) {
+      v.query_class = "conn. UCRPQ (constant-free)";
+      v.fgmc_svc_equivalent = true;
+      v.justification =
+          "Corollary 4.2(2) applies (FGMC ≡ SVC); safety of the graph query "
+          "not decided here";
+    } else {
+      v.justification = "UCRPQ outside the connected constant-free case";
+    }
+    return v;
+  }
+  DichotomyVerdict v;
+  v.query_class = "unknown";
+  v.justification = "query type not covered by the classifier";
+  return v;
+}
+
+std::string ToString(Tractability t) {
+  switch (t) {
+    case Tractability::kFP:
+      return "FP";
+    case Tractability::kSharpPHard:
+      return "#P-hard";
+    case Tractability::kUnknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+std::string ToString(const DichotomyVerdict& v) {
+  std::ostringstream os;
+  os << "[" << v.query_class << "] " << ToString(v.tractability);
+  if (v.fgmc_svc_equivalent) os << " (FGMC ≡ SVC)";
+  os << " — " << v.justification;
+  return os.str();
+}
+
+}  // namespace shapley

@@ -1,0 +1,47 @@
+#ifndef SHAPLEY_ANALYSIS_CLASSIFIER_H_
+#define SHAPLEY_ANALYSIS_CLASSIFIER_H_
+
+#include <string>
+
+#include "shapley/query/boolean_query.h"
+
+namespace shapley {
+
+/// Data-complexity verdict for SVC_q, per the dichotomies of Figure 1b.
+enum class Tractability { kFP, kSharpPHard, kUnknown };
+
+struct DichotomyVerdict {
+  Tractability tractability = Tractability::kUnknown;
+  /// Human-readable class label, e.g. "sjf-CQ", "RPQ", "conn. UCQ".
+  std::string query_class;
+  /// Which result yields the verdict, e.g. "Corollary 4.3" or
+  /// "[Livshits et al. 2021] via Corollary 4.5".
+  std::string justification;
+  /// True when this library's reductions establish FGMC_q ≡poly SVC_q
+  /// (Corollary 4.1 / 4.4 or Lemma 4.4), the paper's headline equivalence.
+  bool fgmc_svc_equivalent = false;
+};
+
+/// Classifies the data complexity of SVC_q by routing the query through the
+/// paper's dichotomies:
+///  * RPQ             — Corollary 4.3 (word-length criterion; always decides);
+///  * sjf-CQ          — Corollary 4.5 + [Livshits et al. 2021] (always decides);
+///  * sjf-CQ¬         — [Reshef et al. 2020] (always decides);
+///  * CQ (self-joins) — Corollary 4.5 for the non-hierarchical constant-free
+///                      case; connected + safety catalog otherwise;
+///  * UCQ             — Corollary 4.2(1) for connected constant-free unions,
+///                      modulo the safety oracle;
+///  * CRPQ / UCRPQ    — Corollary 4.6 / 4.2(2): finite languages are
+///                      expanded to UCQs; an infinite language in any atom is
+///                      treated as unboundedness (heuristic — exact CRPQ
+///                      boundedness [Barceló et al. 2019] is out of scope).
+/// Honest kUnknown wherever no implemented result applies.
+DichotomyVerdict ClassifySvcComplexity(const BooleanQuery& query);
+
+/// Printable forms.
+std::string ToString(Tractability t);
+std::string ToString(const DichotomyVerdict& v);
+
+}  // namespace shapley
+
+#endif  // SHAPLEY_ANALYSIS_CLASSIFIER_H_

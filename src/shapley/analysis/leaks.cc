@@ -1,0 +1,78 @@
+#include "shapley/analysis/leaks.h"
+
+#include <map>
+#include <stdexcept>
+
+#include "shapley/query/conjunctive_query.h"
+#include "shapley/query/supports.h"
+#include "shapley/query/union_query.h"
+
+namespace shapley {
+
+bool SingleFactLeakWitness(const Fact& from, const Fact& to,
+                           const std::set<Constant>& c_set) {
+  if (from.relation() != to.relation() || from.arity() != to.arity()) {
+    return false;
+  }
+  // Build the candidate mapping position by position; it must be a function
+  // fixing C, and must send at least one non-C constant into C.
+  std::map<Constant, Constant> mapping;
+  for (size_t i = 0; i < from.arity(); ++i) {
+    Constant src = from.args()[i];
+    Constant dst = to.args()[i];
+    if (c_set.count(src) > 0) {
+      if (!(src == dst)) return false;  // C-homs fix C pointwise.
+      continue;
+    }
+    auto [it, inserted] = mapping.emplace(src, dst);
+    if (!inserted && !(it->second == dst)) return false;  // Not a function.
+  }
+  for (const auto& [src, dst] : mapping) {
+    if (c_set.count(dst) > 0) return true;  // Outside-C constant lands in C.
+  }
+  return false;
+}
+
+namespace {
+
+// The facts of all canonical minimal supports (frozen disjunct cores).
+std::vector<Fact> CanonicalSupportFacts(const BooleanQuery& query) {
+  std::vector<Fact> facts;
+  for (const Database& support : CanonicalMinimalSupports(query)) {
+    facts.insert(facts.end(), support.facts().begin(), support.facts().end());
+  }
+  return facts;
+}
+
+void RequireLeakSupported(const BooleanQuery& query) {
+  if (dynamic_cast<const ConjunctiveQuery*>(&query) == nullptr &&
+      dynamic_cast<const UnionQuery*>(&query) == nullptr) {
+    throw std::invalid_argument(
+        "IsQLeak: exact leak detection implemented for CQs and UCQs only");
+  }
+}
+
+}  // namespace
+
+bool IsQLeak(const Fact& fact, const BooleanQuery& query) {
+  RequireLeakSupported(query);
+  const std::set<Constant> c_set = query.QueryConstants();
+  for (const Fact& support_fact : CanonicalSupportFacts(query)) {
+    if (SingleFactLeakWitness(support_fact, fact, c_set)) return true;
+  }
+  return false;
+}
+
+bool HasQLeak(const Database& db, const BooleanQuery& query) {
+  RequireLeakSupported(query);
+  const std::set<Constant> c_set = query.QueryConstants();
+  std::vector<Fact> support_facts = CanonicalSupportFacts(query);
+  for (const Fact& fact : db.facts()) {
+    for (const Fact& support_fact : support_facts) {
+      if (SingleFactLeakWitness(support_fact, fact, c_set)) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace shapley

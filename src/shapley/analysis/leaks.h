@@ -1,0 +1,31 @@
+#ifndef SHAPLEY_ANALYSIS_LEAKS_H_
+#define SHAPLEY_ANALYSIS_LEAKS_H_
+
+#include "shapley/data/database.h"
+#include "shapley/query/boolean_query.h"
+
+namespace shapley {
+
+/// q-leak detection (Section 4.1): a fact α is a q-leak if some fact α' of
+/// some minimal support of q admits a C-homomorphism h : {α'} → {α} with
+/// h(c) ∈ C for some c ∈ const(α') \ C, where C = const(q).
+///
+/// Exact for ConjunctiveQuery and UnionQuery: every minimal support of a CQ
+/// is a C-hom image of the frozen core, and leak witnesses compose through
+/// C-homomorphisms, so checking the frozen-core facts is complete. Throws
+/// std::invalid_argument for other query types (the paper's leak-based
+/// reduction, Lemma 4.3, is only instantiated on (U)CQs).
+bool IsQLeak(const Fact& fact, const BooleanQuery& query);
+
+/// True iff some fact of `db` is a q-leak.
+bool HasQLeak(const Database& db, const BooleanQuery& query);
+
+/// True iff there is a C-homomorphism from the one-fact set {from} to {to}
+/// mapping some constant outside `c_set` into `c_set` (the single-fact leak
+/// witness test; exposed for tests).
+bool SingleFactLeakWitness(const Fact& from, const Fact& to,
+                           const std::set<Constant>& c_set);
+
+}  // namespace shapley
+
+#endif  // SHAPLEY_ANALYSIS_LEAKS_H_

@@ -1,0 +1,90 @@
+#include "shapley/analysis/safety.h"
+
+#include <set>
+
+#include "shapley/analysis/structure.h"
+#include "shapley/query/conjunctive_query.h"
+#include "shapley/query/union_query.h"
+
+namespace shapley {
+
+namespace {
+
+SafetyVerdict ClassifyCq(const ConjunctiveQuery& cq) {
+  if (cq.HasNegation()) {
+    // sjf-CQ¬: hierarchical iff safe for PQE^{1/2;1} per [Fink & Olteanu
+    // 2016]; we reuse the hierarchical test (negated atoms included).
+    if (IsSelfJoinFree(cq)) {
+      if (IsHierarchical(cq)) {
+        return {Safety::kSafe, "hierarchical sjf-CQ¬ [Fink & Olteanu 2016]"};
+      }
+      return {Safety::kUnsafe,
+              "non-hierarchical sjf-CQ¬ [Fink & Olteanu 2016]"};
+    }
+    return {Safety::kUnknown, "CQ¬ with self-joins: no decision procedure"};
+  }
+  if (cq.Variables().empty()) {
+    return {Safety::kSafe, "ground CQ (no variables)"};
+  }
+  if (IsSelfJoinFree(cq)) {
+    if (IsHierarchical(cq)) {
+      return {Safety::kSafe, "hierarchical sjf-CQ [Dalvi & Suciu 2004]"};
+    }
+    return {Safety::kUnsafe, "non-hierarchical sjf-CQ [Dalvi & Suciu 2004]"};
+  }
+  return {Safety::kUnknown,
+          "CQ with self-joins: beyond the sjf dichotomy implemented here"};
+}
+
+}  // namespace
+
+SafetyVerdict DetermineSafety(const BooleanQuery& query) {
+  if (const auto* cq = dynamic_cast<const ConjunctiveQuery*>(&query)) {
+    return ClassifyCq(*cq);
+  }
+  if (const auto* ucq = dynamic_cast<const UnionQuery*>(&query)) {
+    if (ucq->disjuncts().size() == 1) return ClassifyCq(*ucq->disjuncts()[0]);
+
+    // Disjoint-relation disjuncts: independent events.
+    std::set<RelationId> seen;
+    bool disjoint = true;
+    for (const CqPtr& disjunct : ucq->disjuncts()) {
+      std::set<RelationId> mine;
+      for (const Atom& atom : disjunct->atoms()) mine.insert(atom.relation());
+      for (const Atom& atom : disjunct->negated_atoms()) {
+        mine.insert(atom.relation());
+      }
+      for (RelationId r : mine) {
+        if (!seen.insert(r).second) {
+          disjoint = false;
+          break;
+        }
+      }
+      if (!disjoint) break;
+    }
+    if (disjoint) {
+      bool any_unknown = false;
+      for (const CqPtr& disjunct : ucq->disjuncts()) {
+        SafetyVerdict v = ClassifyCq(*disjunct);
+        if (v.safety == Safety::kUnsafe) {
+          return {Safety::kUnsafe,
+                  "relation-disjoint UCQ with an unsafe disjunct (" +
+                      v.reason + ")"};
+        }
+        if (v.safety == Safety::kUnknown) any_unknown = true;
+      }
+      if (!any_unknown) {
+        return {Safety::kSafe,
+                "relation-disjoint UCQ with all-safe disjuncts "
+                "(independent union)"};
+      }
+      return {Safety::kUnknown, "relation-disjoint UCQ, disjunct undecided"};
+    }
+    return {Safety::kUnknown,
+            "UCQ with shared relations: full Dalvi–Suciu procedure not "
+            "implemented (see DESIGN.md)"};
+  }
+  return {Safety::kUnknown, "safety oracle handles CQs and UCQs"};
+}
+
+}  // namespace shapley

@@ -1,0 +1,33 @@
+#ifndef SHAPLEY_ANALYSIS_SAFETY_H_
+#define SHAPLEY_ANALYSIS_SAFETY_H_
+
+#include <string>
+
+#include "shapley/query/boolean_query.h"
+
+namespace shapley {
+
+/// Safety status of a query for probabilistic query evaluation / generalized
+/// model counting (the Dalvi–Suciu / Kenig–Suciu dichotomy of
+/// Proposition 3.1: safe ⇒ PQE, GMC in FP; unsafe ⇒ both #P-hard).
+enum class Safety { kSafe, kUnsafe, kUnknown };
+
+struct SafetyVerdict {
+  Safety safety = Safety::kUnknown;
+  std::string reason;
+};
+
+/// Decides safety where this library can do so soundly:
+///  * self-join-free CQs: safe iff hierarchical (Dalvi–Suciu 2004);
+///  * ground or single-atom CQs: safe;
+///  * UCQs whose disjuncts use pairwise-disjoint relations: safe iff every
+///    disjunct is safe (the disjuncts are independent events; an unsafe
+///    disjunct reduces to the union by zeroing the other relations);
+///  * a small catalog of literature queries (e.g. R(x),S(x,y),T(y) unsafe).
+/// Everything else is kUnknown — the full UCQ safety procedure of
+/// [Dalvi & Suciu 2012] is out of scope (see DESIGN.md, substitutions).
+SafetyVerdict DetermineSafety(const BooleanQuery& query);
+
+}  // namespace shapley
+
+#endif  // SHAPLEY_ANALYSIS_SAFETY_H_

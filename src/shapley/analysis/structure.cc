@@ -1,0 +1,176 @@
+#include "shapley/analysis/structure.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+
+#include "shapley/common/macros.h"
+#include "shapley/query/supports.h"
+
+namespace shapley {
+
+namespace {
+
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), size_t{0});
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+
+  std::vector<std::vector<size_t>> Components(size_t n) {
+    std::map<size_t, std::vector<size_t>> groups;
+    for (size_t i = 0; i < n; ++i) groups[Find(i)].push_back(i);
+    std::vector<std::vector<size_t>> out;
+    out.reserve(groups.size());
+    for (auto& [root, members] : groups) out.push_back(std::move(members));
+    return out;
+  }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+std::vector<std::vector<size_t>> ComponentsBy(
+    const std::vector<Atom>& atoms, bool constants_connect) {
+  UnionFind uf(atoms.size());
+  std::map<Term, size_t> first_seen;
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    for (Term t : atoms[i].terms()) {
+      if (!constants_connect && t.IsConstant()) continue;
+      auto [it, inserted] = first_seen.emplace(t, i);
+      if (!inserted) uf.Union(i, it->second);
+    }
+  }
+  return uf.Components(atoms.size());
+}
+
+}  // namespace
+
+bool IsSelfJoinFree(const ConjunctiveQuery& cq) {
+  std::set<RelationId> seen;
+  for (const Atom& atom : cq.atoms()) {
+    if (!seen.insert(atom.relation()).second) return false;
+  }
+  return true;
+}
+
+bool IsHierarchical(const ConjunctiveQuery& cq) {
+  // at(v) over positive AND negated atoms, per the sjf-CQ¬ setting.
+  std::vector<Atom> all_atoms = cq.atoms();
+  all_atoms.insert(all_atoms.end(), cq.negated_atoms().begin(),
+                   cq.negated_atoms().end());
+
+  std::map<Variable, std::set<size_t>> at;
+  for (size_t i = 0; i < all_atoms.size(); ++i) {
+    for (Variable v : all_atoms[i].Variables()) at[v].insert(i);
+  }
+  for (auto i = at.begin(); i != at.end(); ++i) {
+    for (auto j = std::next(i); j != at.end(); ++j) {
+      const std::set<size_t>&a = i->second, &b = j->second;
+      bool a_in_b = std::includes(b.begin(), b.end(), a.begin(), a.end());
+      bool b_in_a = std::includes(a.begin(), a.end(), b.begin(), b.end());
+      if (a_in_b || b_in_a) continue;
+      bool disjoint = true;
+      for (size_t x : a) {
+        if (b.count(x) > 0) {
+          disjoint = false;
+          break;
+        }
+      }
+      if (!disjoint) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::vector<size_t>> VariableConnectedComponents(
+    const std::vector<Atom>& atoms) {
+  return ComponentsBy(atoms, /*constants_connect=*/false);
+}
+
+std::vector<std::vector<size_t>> TermConnectedComponents(
+    const std::vector<Atom>& atoms) {
+  return ComponentsBy(atoms, /*constants_connect=*/true);
+}
+
+bool IsVariableConnected(const std::vector<Atom>& atoms) {
+  return VariableConnectedComponents(atoms).size() <= 1;
+}
+
+bool IsConnectedQuery(const BooleanQuery& query) {
+  for (const Database& support : CanonicalMinimalSupports(query)) {
+    if (!support.IsConnected()) return false;
+  }
+  return true;
+}
+
+std::vector<CqPtr> MaximalVariableConnectedSubqueries(
+    const ConjunctiveQuery& cq) {
+  auto components = VariableConnectedComponents(cq.atoms());
+  std::vector<CqPtr> result;
+  std::vector<bool> negated_used(cq.negated_atoms().size(), false);
+
+  for (const auto& component : components) {
+    std::vector<Atom> positive;
+    std::set<Variable> vars;
+    for (size_t idx : component) {
+      positive.push_back(cq.atoms()[idx]);
+      auto vs = cq.atoms()[idx].Variables();
+      vars.insert(vs.begin(), vs.end());
+    }
+    // Attach negated atoms fully covered by this component's variables
+    // (ground negated atoms are attached later).
+    std::vector<Atom> negated;
+    for (size_t n = 0; n < cq.negated_atoms().size(); ++n) {
+      const Atom& neg = cq.negated_atoms()[n];
+      auto nv = neg.Variables();
+      if (nv.empty()) continue;
+      bool covered = true;
+      for (Variable v : nv) {
+        if (vars.count(v) == 0) {
+          covered = false;
+          break;
+        }
+      }
+      if (covered && !negated_used[n]) {
+        negated.push_back(neg);
+        negated_used[n] = true;
+      }
+    }
+    result.push_back(negated.empty()
+                         ? ConjunctiveQuery::Create(cq.schema(), std::move(positive))
+                         : ConjunctiveQuery::CreateWithNegation(
+                               cq.schema(), std::move(positive),
+                               std::move(negated)));
+  }
+
+  // Ground negated atoms form their own trailing component (with no
+  // positive part they'd be unsafe as a standalone CQ; attach them to the
+  // first component instead, which is always sound for the uses here).
+  std::vector<Atom> ground_negs;
+  for (size_t n = 0; n < cq.negated_atoms().size(); ++n) {
+    if (!negated_used[n] && cq.negated_atoms()[n].Variables().empty()) {
+      ground_negs.push_back(cq.negated_atoms()[n]);
+    }
+  }
+  if (!ground_negs.empty()) {
+    SHAPLEY_CHECK(!result.empty());
+    const ConjunctiveQuery& first = *result.front();
+    std::vector<Atom> neg = first.negated_atoms();
+    neg.insert(neg.end(), ground_negs.begin(), ground_negs.end());
+    result.front() = ConjunctiveQuery::CreateWithNegation(
+        first.schema(), first.atoms(), std::move(neg));
+  }
+  return result;
+}
+
+}  // namespace shapley

@@ -1,0 +1,53 @@
+#ifndef SHAPLEY_ANALYSIS_STRUCTURE_H_
+#define SHAPLEY_ANALYSIS_STRUCTURE_H_
+
+#include <vector>
+
+#include "shapley/query/conjunctive_query.h"
+#include "shapley/query/union_query.h"
+
+namespace shapley {
+
+/// Structural properties of conjunctive queries used throughout Section 4.
+
+/// True iff no two positive atoms share a relation name (the sjf-CQ class).
+bool IsSelfJoinFree(const ConjunctiveQuery& cq);
+
+/// True iff the query is hierarchical: for every two variables x, y, the
+/// atom sets at(x), at(y) are comparable or disjoint (footnote 5 of the
+/// paper). Negated atoms participate, matching the sjf-CQ¬ dichotomy of
+/// [Reshef, Kimelfeld & Livshits 2020].
+bool IsHierarchical(const ConjunctiveQuery& cq);
+
+/// Partition of atom indices into connectivity components where two atoms
+/// are adjacent iff they share a *variable* (constants do not connect).
+/// Ground atoms land in singleton components.
+std::vector<std::vector<size_t>> VariableConnectedComponents(
+    const std::vector<Atom>& atoms);
+
+/// Partition by shared terms (variables or constants) — the incidence-graph
+/// connectivity of Section 2.
+std::vector<std::vector<size_t>> TermConnectedComponents(
+    const std::vector<Atom>& atoms);
+
+/// True iff the atom set stays connected after removing constant nodes
+/// (the "variable-connected" notion of Section 4.1). Singleton and empty
+/// sets count as connected.
+bool IsVariableConnected(const std::vector<Atom>& atoms);
+
+/// True iff every canonical minimal support of the (monotone) query is
+/// connected. For the classes of this library (whose minimal supports are
+/// C-hom images of the canonical ones, and hom images of connected sets are
+/// connected), this decides the paper's "connected query" notion.
+bool IsConnectedQuery(const BooleanQuery& query);
+
+/// The maximal variable-connected subqueries of a CQ: one CQ per variable
+/// component, in component order. Negated atoms are attached to the
+/// component containing all their variables (they have no variables of their
+/// own by safety; ground negated atoms go to a trailing ground component).
+std::vector<CqPtr> MaximalVariableConnectedSubqueries(
+    const ConjunctiveQuery& cq);
+
+}  // namespace shapley
+
+#endif  // SHAPLEY_ANALYSIS_STRUCTURE_H_

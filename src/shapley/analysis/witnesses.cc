@@ -1,0 +1,207 @@
+#include "shapley/analysis/witnesses.h"
+
+#include <set>
+
+#include "shapley/analysis/structure.h"
+#include "shapley/common/macros.h"
+#include "shapley/query/conjunctive_query.h"
+#include "shapley/query/path_query.h"
+#include "shapley/query/supports.h"
+#include "shapley/query/union_query.h"
+
+namespace shapley {
+
+namespace {
+
+// True iff the support has some constant outside `c_set`.
+bool HasConstantOutside(const Database& support,
+                        const std::set<Constant>& c_set) {
+  for (Constant c : support.Constants()) {
+    if (c_set.count(c) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<Database> FindDuplicableSingletonSupport(
+    const BooleanQuery& query) {
+  const std::set<Constant> c_set = query.QueryConstants();
+  for (const Database& support : CanonicalMinimalSupports(query)) {
+    if (support.size() == 1 && HasConstantOutside(support, c_set)) {
+      return support;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<PseudoConnectednessWitness> CertifyPseudoConnected(
+    const BooleanQuery& query) {
+  const std::set<Constant> c_set = query.QueryConstants();
+
+  // Corollary 4.4: a duplicable singleton support is an island support.
+  if (auto singleton = FindDuplicableSingletonSupport(query)) {
+    return PseudoConnectednessWitness{
+        *singleton, c_set, "Corollary 4.4 (duplicable singleton support)"};
+  }
+
+  // Lemma B.1: an RPQ whose language has a word of length >= 2 is
+  // pseudo-connected, with a fresh simple path as island support.
+  if (const auto* rpq = dynamic_cast<const RegularPathQuery*>(&query)) {
+    if (rpq->dfa().HasWordOfLengthAtLeast(2)) {
+      auto support = CanonicalRpqSupport(*rpq, 2);
+      if (support.has_value() && HasConstantOutside(*support, c_set)) {
+        return PseudoConnectednessWitness{*support, c_set,
+                                          "Lemma B.1 (RPQ, word length >= 2)"};
+      }
+    }
+    return std::nullopt;
+  }
+
+  // Lemma 4.2: connected constant-free (hence hom-closed) queries are
+  // pseudo-connected, with any canonical minimal support as island.
+  if (c_set.empty() && query.IsMonotone() && IsConnectedQuery(query)) {
+    auto supports = CanonicalMinimalSupports(query);
+    for (const Database& support : supports) {
+      if (!support.empty()) {
+        return PseudoConnectednessWitness{
+            support, c_set, "Lemma 4.2 (connected hom-closed)"};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+// Splits CQ core atoms into first-variable-component vs rest, requiring
+// disjoint relation vocabularies between the groups.
+std::optional<Decomposition> DecomposeCq(const ConjunctiveQuery& cq) {
+  if (cq.HasNegation()) return std::nullopt;
+  CqPtr core = CoreOfCq(cq);
+  auto components = VariableConnectedComponents(core->atoms());
+  if (components.size() < 2) return std::nullopt;
+
+  // Greedy: q1 = first component; q2 = the rest. Check vocabularies.
+  std::set<RelationId> vocab1, vocab2;
+  std::vector<Atom> atoms1, atoms2;
+  for (size_t ci = 0; ci < components.size(); ++ci) {
+    for (size_t idx : components[ci]) {
+      const Atom& atom = core->atoms()[idx];
+      if (ci == 0) {
+        vocab1.insert(atom.relation());
+        atoms1.push_back(atom);
+      } else {
+        vocab2.insert(atom.relation());
+        atoms2.push_back(atom);
+      }
+    }
+  }
+  for (RelationId r : vocab1) {
+    if (vocab2.count(r) > 0) return std::nullopt;
+  }
+  // Decomposability condition (1): each part needs a minimal support with a
+  // constant outside C, i.e. at least one variable (frozen fresh).
+  auto has_variable = [](const std::vector<Atom>& atoms) {
+    for (const Atom& a : atoms) {
+      if (!a.Variables().empty()) return true;
+    }
+    return false;
+  };
+  if (!has_variable(atoms1) || !has_variable(atoms2)) return std::nullopt;
+
+  return Decomposition{ConjunctiveQuery::Create(cq.schema(), std::move(atoms1)),
+                       ConjunctiveQuery::Create(cq.schema(), std::move(atoms2)),
+                       "Lemma 4.5 (CQ components over disjoint vocabularies)"};
+}
+
+std::optional<Decomposition> DecomposeCrpq(
+    const ConjunctiveRegularPathQuery& crpq) {
+  // Components of path atoms linked by shared variables.
+  const auto& atoms = crpq.path_atoms();
+  std::vector<size_t> component(atoms.size());
+  for (size_t i = 0; i < atoms.size(); ++i) component[i] = i;
+  bool changed = true;
+  auto shares_var = [&](size_t i, size_t j) {
+    auto vars_of = [](const PathAtom& a) {
+      std::set<Variable> vs;
+      if (a.source.IsVariable()) vs.insert(a.source.variable());
+      if (a.target.IsVariable()) vs.insert(a.target.variable());
+      return vs;
+    };
+    auto vi = vars_of(atoms[i]);
+    for (Variable v : vars_of(atoms[j])) {
+      if (vi.count(v) > 0) return true;
+    }
+    return false;
+  };
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < atoms.size(); ++i) {
+      for (size_t j = i + 1; j < atoms.size(); ++j) {
+        if (component[i] != component[j] && shares_var(i, j)) {
+          size_t from = component[j], to = component[i];
+          for (size_t k = 0; k < atoms.size(); ++k) {
+            if (component[k] == from) component[k] = to;
+          }
+          changed = true;
+        }
+      }
+    }
+  }
+  std::set<size_t> roots(component.begin(), component.end());
+  if (roots.size() < 2) return std::nullopt;
+
+  // First component vs rest; vocabularies must be disjoint.
+  size_t first_root = component[0];
+  std::vector<PathAtom> part1, part2;
+  std::set<std::string> vocab1, vocab2;
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    auto names = atoms[i].regex.SymbolNames();
+    if (component[i] == first_root) {
+      part1.push_back(atoms[i]);
+      vocab1.insert(names.begin(), names.end());
+    } else {
+      part2.push_back(atoms[i]);
+      vocab2.insert(names.begin(), names.end());
+    }
+  }
+  for (const std::string& name : vocab1) {
+    if (vocab2.count(name) > 0) return std::nullopt;
+  }
+
+  QueryPtr q1 = ConjunctiveRegularPathQuery::Create(crpq.schema(), std::move(part1));
+  QueryPtr q2 = ConjunctiveRegularPathQuery::Create(crpq.schema(), std::move(part2));
+
+  // Condition (1): both parts need a support with a constant outside C —
+  // guaranteed when the part's canonical support has a fresh constant.
+  const std::set<Constant> c_set = crpq.QueryConstants();
+  for (const QueryPtr& part : {q1, q2}) {
+    auto supports = CanonicalMinimalSupports(*part);
+    bool ok = false;
+    for (const Database& s : supports) {
+      if (HasConstantOutside(s, c_set)) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) return std::nullopt;
+  }
+  return Decomposition{std::move(q1), std::move(q2),
+                       "Lemma 4.5 (cc-disjoint CRPQ components)"};
+}
+
+}  // namespace
+
+std::optional<Decomposition> FindDecomposition(const BooleanQuery& query) {
+  if (const auto* cq = dynamic_cast<const ConjunctiveQuery*>(&query)) {
+    return DecomposeCq(*cq);
+  }
+  if (const auto* crpq =
+          dynamic_cast<const ConjunctiveRegularPathQuery*>(&query)) {
+    return DecomposeCrpq(*crpq);
+  }
+  return std::nullopt;
+}
+
+}  // namespace shapley

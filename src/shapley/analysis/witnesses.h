@@ -1,0 +1,55 @@
+#ifndef SHAPLEY_ANALYSIS_WITNESSES_H_
+#define SHAPLEY_ANALYSIS_WITNESSES_H_
+
+#include <optional>
+#include <string>
+
+#include "shapley/data/database.h"
+#include "shapley/query/boolean_query.h"
+
+namespace shapley {
+
+/// Evidence that a query is pseudo-connected (Section 4.1): an island
+/// minimal support S with const(S) ⊈ C, plus the constant set C and a note
+/// recording which lemma certified the island property.
+struct PseudoConnectednessWitness {
+  Database island_support;
+  std::set<Constant> c_set;
+  std::string certificate;  // e.g. "Lemma 4.2 (connected hom-closed)".
+};
+
+/// Best-effort pseudo-connectedness certification, covering the classes the
+/// paper proves pseudo-connected:
+///  * connected constant-free queries (Lemma 4.2) — CQ / UCQ / CRPQ / UCRPQ;
+///  * RPQs whose language has a word of length >= 2 (Lemma B.1);
+///  * queries with a duplicable singleton support (Corollary 4.4).
+/// Returns nullopt when no rule applies (which does NOT mean the query is
+/// not pseudo-connected — only that this library cannot certify it).
+std::optional<PseudoConnectednessWitness> CertifyPseudoConnected(
+    const BooleanQuery& query);
+
+/// Looks for a duplicable singleton support: a minimal support of size one
+/// containing a constant outside C (Corollary 4.4). Searches the canonical
+/// minimal supports.
+std::optional<Database> FindDuplicableSingletonSupport(
+    const BooleanQuery& query);
+
+/// Evidence that a query is decomposable into q1 ∧ q2 (Section 4.2).
+struct Decomposition {
+  QueryPtr q1;
+  QueryPtr q2;
+  std::string certificate;
+};
+
+/// Best-effort decomposition via Lemma 4.5 (disjoint relation names):
+///  * a CQ whose core splits into variable components over disjoint
+///    vocabularies;
+///  * a CRPQ whose connected components use disjoint alphabets
+///    (the cc-disjoint-CRPQ class of Corollary 4.6).
+/// The returned parts additionally satisfy the minimal-support conditions of
+/// the decomposability definition (fresh constants outside C).
+std::optional<Decomposition> FindDecomposition(const BooleanQuery& query);
+
+}  // namespace shapley
+
+#endif  // SHAPLEY_ANALYSIS_WITNESSES_H_

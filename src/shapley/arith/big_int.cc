@@ -1,0 +1,394 @@
+#include "shapley/arith/big_int.h"
+
+#include <algorithm>
+#include <cctype>
+#include <ostream>
+#include <stdexcept>
+
+#include "shapley/common/macros.h"
+
+namespace shapley {
+
+namespace {
+
+constexpr uint64_t kBase = uint64_t{1} << 32;
+
+// Divides the magnitude `limbs` (little-endian) in place by a single 32-bit
+// divisor and returns the remainder.
+uint32_t DivModSmall(std::vector<uint32_t>* limbs, uint32_t divisor) {
+  uint64_t rem = 0;
+  for (size_t i = limbs->size(); i-- > 0;) {
+    uint64_t cur = (rem << 32) | (*limbs)[i];
+    (*limbs)[i] = static_cast<uint32_t>(cur / divisor);
+    rem = cur % divisor;
+  }
+  while (!limbs->empty() && limbs->back() == 0) limbs->pop_back();
+  return static_cast<uint32_t>(rem);
+}
+
+// Multiplies the magnitude in place by a small factor and adds a small term.
+void MulAddSmall(std::vector<uint32_t>* limbs, uint32_t factor, uint32_t add) {
+  uint64_t carry = add;
+  for (uint32_t& limb : *limbs) {
+    uint64_t cur = uint64_t{limb} * factor + carry;
+    limb = static_cast<uint32_t>(cur);
+    carry = cur >> 32;
+  }
+  while (carry != 0) {
+    limbs->push_back(static_cast<uint32_t>(carry));
+    carry >>= 32;
+  }
+}
+
+}  // namespace
+
+BigInt::BigInt(int64_t value) {
+  if (value == 0) return;
+  sign_ = value > 0 ? 1 : -1;
+  // Careful with INT64_MIN: negate in unsigned space.
+  uint64_t mag = value > 0 ? static_cast<uint64_t>(value)
+                           : ~static_cast<uint64_t>(value) + 1;
+  limbs_.push_back(static_cast<uint32_t>(mag));
+  if (mag >> 32) limbs_.push_back(static_cast<uint32_t>(mag >> 32));
+}
+
+BigInt BigInt::FromString(std::string_view text) {
+  if (text.empty()) throw std::invalid_argument("BigInt: empty string");
+  bool negative = false;
+  size_t i = 0;
+  if (text[0] == '-' || text[0] == '+') {
+    negative = text[0] == '-';
+    i = 1;
+  }
+  if (i == text.size()) throw std::invalid_argument("BigInt: no digits");
+  BigInt result;
+  // Consume digits in chunks of 9 (largest power of ten below 2^32).
+  while (i < text.size()) {
+    uint32_t chunk = 0;
+    uint32_t chunk_base = 1;
+    for (int d = 0; d < 9 && i < text.size(); ++d, ++i) {
+      if (!std::isdigit(static_cast<unsigned char>(text[i]))) {
+        throw std::invalid_argument("BigInt: invalid digit in '" +
+                                    std::string(text) + "'");
+      }
+      chunk = chunk * 10 + static_cast<uint32_t>(text[i] - '0');
+      chunk_base *= 10;
+    }
+    MulAddSmall(&result.limbs_, chunk_base, chunk);
+  }
+  result.sign_ = result.limbs_.empty() ? 0 : (negative ? -1 : 1);
+  return result;
+}
+
+std::string BigInt::ToString() const {
+  if (IsZero()) return "0";
+  std::vector<uint32_t> mag = limbs_;
+  std::string digits;
+  while (!mag.empty()) {
+    uint32_t rem = DivModSmall(&mag, 1000000000u);
+    if (mag.empty()) {
+      // Most significant chunk: no zero padding.
+      digits.insert(0, std::to_string(rem));
+    } else {
+      std::string chunk = std::to_string(rem);
+      digits.insert(0, std::string(9 - chunk.size(), '0') + chunk);
+    }
+  }
+  return (sign_ < 0 ? "-" : "") + digits;
+}
+
+std::optional<int64_t> BigInt::ToInt64() const {
+  if (limbs_.size() > 2) return std::nullopt;
+  uint64_t mag = 0;
+  if (!limbs_.empty()) mag = limbs_[0];
+  if (limbs_.size() == 2) mag |= uint64_t{limbs_[1]} << 32;
+  if (sign_ >= 0) {
+    if (mag > static_cast<uint64_t>(INT64_MAX)) return std::nullopt;
+    return static_cast<int64_t>(mag);
+  }
+  if (mag > static_cast<uint64_t>(INT64_MAX) + 1) return std::nullopt;
+  return -static_cast<int64_t>(mag - 1) - 1;
+}
+
+size_t BigInt::BitLength() const {
+  if (limbs_.empty()) return 0;
+  size_t bits = (limbs_.size() - 1) * 32;
+  uint32_t top = limbs_.back();
+  while (top != 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+BigInt BigInt::operator-() const {
+  BigInt result = *this;
+  result.sign_ = -result.sign_;
+  return result;
+}
+
+BigInt BigInt::Abs() const {
+  BigInt result = *this;
+  if (result.sign_ < 0) result.sign_ = 1;
+  return result;
+}
+
+void BigInt::Trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+  if (limbs_.empty()) sign_ = 0;
+}
+
+int BigInt::CompareMagnitude(const BigInt& a, const BigInt& b) {
+  if (a.limbs_.size() != b.limbs_.size()) {
+    return a.limbs_.size() < b.limbs_.size() ? -1 : 1;
+  }
+  for (size_t i = a.limbs_.size(); i-- > 0;) {
+    if (a.limbs_[i] != b.limbs_[i]) return a.limbs_[i] < b.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+void BigInt::AddMagnitude(const BigInt& rhs) {
+  if (limbs_.size() < rhs.limbs_.size()) limbs_.resize(rhs.limbs_.size(), 0);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    uint64_t cur = carry + limbs_[i];
+    if (i < rhs.limbs_.size()) cur += rhs.limbs_[i];
+    limbs_[i] = static_cast<uint32_t>(cur);
+    carry = cur >> 32;
+  }
+  if (carry != 0) limbs_.push_back(static_cast<uint32_t>(carry));
+}
+
+void BigInt::SubMagnitudeSmaller(const BigInt& rhs) {
+  int64_t borrow = 0;
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    int64_t cur = static_cast<int64_t>(limbs_[i]) - borrow -
+                  (i < rhs.limbs_.size() ? rhs.limbs_[i] : 0);
+    if (cur < 0) {
+      cur += static_cast<int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    limbs_[i] = static_cast<uint32_t>(cur);
+  }
+  SHAPLEY_CHECK(borrow == 0);
+  Trim();
+}
+
+BigInt& BigInt::operator+=(const BigInt& rhs) {
+  if (rhs.IsZero()) return *this;
+  if (IsZero()) return *this = rhs;
+  if (sign_ == rhs.sign_) {
+    AddMagnitude(rhs);
+    return *this;
+  }
+  int cmp = CompareMagnitude(*this, rhs);
+  if (cmp == 0) return *this = BigInt();
+  if (cmp > 0) {
+    SubMagnitudeSmaller(rhs);
+  } else {
+    BigInt tmp = rhs;
+    tmp.SubMagnitudeSmaller(*this);
+    *this = std::move(tmp);
+  }
+  return *this;
+}
+
+BigInt& BigInt::operator-=(const BigInt& rhs) {
+  if (rhs.IsZero()) return *this;
+  BigInt negated = rhs;
+  negated.sign_ = -negated.sign_;
+  return *this += negated;
+}
+
+BigInt& BigInt::operator*=(const BigInt& rhs) {
+  if (IsZero() || rhs.IsZero()) return *this = BigInt();
+  std::vector<uint32_t> result(limbs_.size() + rhs.limbs_.size(), 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    uint64_t carry = 0;
+    uint64_t a = limbs_[i];
+    for (size_t j = 0; j < rhs.limbs_.size(); ++j) {
+      uint64_t cur = result[i + j] + a * rhs.limbs_[j] + carry;
+      result[i + j] = static_cast<uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    size_t k = i + rhs.limbs_.size();
+    while (carry != 0) {
+      uint64_t cur = result[k] + carry;
+      result[k] = static_cast<uint32_t>(cur);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  sign_ *= rhs.sign_;
+  limbs_ = std::move(result);
+  Trim();
+  return *this;
+}
+
+void BigInt::DivMod(const BigInt& dividend, const BigInt& divisor,
+                    BigInt* quotient, BigInt* remainder) {
+  if (divisor.IsZero()) throw std::invalid_argument("BigInt: division by zero");
+  int cmp = CompareMagnitude(dividend, divisor);
+  if (cmp < 0) {
+    if (quotient != nullptr) *quotient = BigInt();
+    if (remainder != nullptr) *remainder = dividend;
+    return;
+  }
+
+  BigInt q, r;
+  if (divisor.limbs_.size() == 1) {
+    q.limbs_ = dividend.limbs_;
+    uint32_t rem = DivModSmall(&q.limbs_, divisor.limbs_[0]);
+    if (rem != 0) r.limbs_.push_back(rem);
+  } else {
+    // Knuth TAOCP vol. 2, Algorithm D. Normalize so the divisor's top limb
+    // has its high bit set, then estimate each quotient limb from the top
+    // three dividend limbs and correct (at most twice).
+    int shift = 0;
+    uint32_t top = divisor.limbs_.back();
+    while ((top & 0x80000000u) == 0) {
+      top <<= 1;
+      ++shift;
+    }
+    auto shifted = [shift](const std::vector<uint32_t>& v) {
+      std::vector<uint32_t> out(v.size() + 1, 0);
+      for (size_t i = 0; i < v.size(); ++i) {
+        out[i] |= static_cast<uint32_t>(uint64_t{v[i]} << shift);
+        out[i + 1] = shift == 0 ? 0 : static_cast<uint32_t>(v[i] >> (32 - shift));
+      }
+      while (!out.empty() && out.back() == 0) out.pop_back();
+      return out;
+    };
+    std::vector<uint32_t> u = shifted(dividend.limbs_);
+    std::vector<uint32_t> v = shifted(divisor.limbs_);
+    size_t n = v.size();
+    size_t m = u.size() - n;
+    u.push_back(0);  // u has m + n + 1 limbs.
+    q.limbs_.assign(m + 1, 0);
+
+    for (size_t j = m + 1; j-- > 0;) {
+      uint64_t numerator = (uint64_t{u[j + n]} << 32) | u[j + n - 1];
+      uint64_t qhat = numerator / v[n - 1];
+      uint64_t rhat = numerator % v[n - 1];
+      while (qhat >= kBase ||
+             (n >= 2 &&
+              qhat * v[n - 2] > ((rhat << 32) | u[j + n - 2]))) {
+        --qhat;
+        rhat += v[n - 1];
+        if (rhat >= kBase) break;
+      }
+      // Multiply-and-subtract qhat * v from u[j .. j+n].
+      int64_t borrow = 0;
+      uint64_t carry = 0;
+      for (size_t i = 0; i < n; ++i) {
+        uint64_t product = qhat * v[i] + carry;
+        carry = product >> 32;
+        int64_t diff = static_cast<int64_t>(u[i + j]) -
+                       static_cast<int64_t>(product & 0xffffffffu) - borrow;
+        if (diff < 0) {
+          diff += static_cast<int64_t>(kBase);
+          borrow = 1;
+        } else {
+          borrow = 0;
+        }
+        u[i + j] = static_cast<uint32_t>(diff);
+      }
+      int64_t diff = static_cast<int64_t>(u[j + n]) -
+                     static_cast<int64_t>(carry) - borrow;
+      if (diff < 0) {
+        // qhat was one too large: add v back once.
+        diff += static_cast<int64_t>(kBase);
+        --qhat;
+        uint64_t add_carry = 0;
+        for (size_t i = 0; i < n; ++i) {
+          uint64_t cur = uint64_t{u[i + j]} + v[i] + add_carry;
+          u[i + j] = static_cast<uint32_t>(cur);
+          add_carry = cur >> 32;
+        }
+        diff += static_cast<int64_t>(add_carry);
+        diff &= static_cast<int64_t>(kBase - 1);
+      }
+      u[j + n] = static_cast<uint32_t>(diff);
+      q.limbs_[j] = static_cast<uint32_t>(qhat);
+    }
+    // Remainder: u[0 .. n-1] shifted back right.
+    u.resize(n);
+    if (shift != 0) {
+      for (size_t i = 0; i + 1 < n; ++i) {
+        u[i] = static_cast<uint32_t>((u[i] >> shift) |
+                                     (uint64_t{u[i + 1]} << (32 - shift)));
+      }
+      u[n - 1] >>= shift;
+    }
+    r.limbs_ = std::move(u);
+  }
+
+  q.sign_ = 1;
+  q.Trim();
+  q.sign_ = q.limbs_.empty() ? 0 : dividend.sign_ * divisor.sign_;
+  r.sign_ = 1;
+  r.Trim();
+  r.sign_ = r.limbs_.empty() ? 0 : dividend.sign_;
+  if (quotient != nullptr) *quotient = std::move(q);
+  if (remainder != nullptr) *remainder = std::move(r);
+}
+
+BigInt& BigInt::operator/=(const BigInt& rhs) {
+  BigInt q;
+  DivMod(*this, rhs, &q, nullptr);
+  return *this = std::move(q);
+}
+
+BigInt& BigInt::operator%=(const BigInt& rhs) {
+  BigInt r;
+  DivMod(*this, rhs, nullptr, &r);
+  return *this = std::move(r);
+}
+
+BigInt BigInt::Gcd(BigInt a, BigInt b) {
+  a = a.Abs();
+  b = b.Abs();
+  while (!b.IsZero()) {
+    BigInt r = a % b;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+BigInt BigInt::Pow(const BigInt& base, uint64_t exponent) {
+  BigInt result = 1;
+  BigInt acc = base;
+  while (exponent != 0) {
+    if (exponent & 1) result *= acc;
+    exponent >>= 1;
+    if (exponent != 0) acc *= acc;
+  }
+  return result;
+}
+
+std::strong_ordering operator<=>(const BigInt& lhs, const BigInt& rhs) {
+  if (lhs.sign_ != rhs.sign_) return lhs.sign_ <=> rhs.sign_;
+  int cmp = BigInt::CompareMagnitude(lhs, rhs) * (lhs.sign_ < 0 ? -1 : 1);
+  return cmp <=> 0;
+}
+
+std::ostream& operator<<(std::ostream& os, const BigInt& v) {
+  return os << v.ToString();
+}
+
+size_t BigInt::Hash() const {
+  size_t h = 1469598103934665603ull;
+  auto mix = [&h](uint64_t x) {
+    h ^= x;
+    h *= 1099511628211ull;
+  };
+  mix(static_cast<uint64_t>(sign_ + 1));
+  for (uint32_t limb : limbs_) mix(limb);
+  return h;
+}
+
+}  // namespace shapley

@@ -1,0 +1,113 @@
+#ifndef SHAPLEY_ARITH_BIG_INT_H_
+#define SHAPLEY_ARITH_BIG_INT_H_
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace shapley {
+
+/// Arbitrary-precision signed integer.
+///
+/// Shapley values are rational numbers whose denominators are factorials of
+/// the database size, and the reductions of the paper solve exact linear
+/// systems whose coefficients are ratios of factorials. Floating point is
+/// useless here; every engine in this library computes over BigInt /
+/// BigRational so that "the reduction recovers exactly the model counts" is a
+/// checkable statement.
+///
+/// Representation: sign (-1, 0, +1) plus a little-endian vector of 32-bit
+/// limbs with no leading zero limb. Multiplication is schoolbook (the numbers
+/// involved are at most a few thousand digits; Karatsuba would be noise),
+/// division is Knuth's Algorithm D.
+class BigInt {
+ public:
+  /// Zero.
+  BigInt() = default;
+
+  /// Conversion from a machine integer (implicit on purpose: arithmetic code
+  /// reads much better with mixed BigInt/int expressions).
+  BigInt(int64_t value);  // NOLINT(google-explicit-constructor)
+
+  /// Parses a base-10 integer with optional leading '-'.
+  /// Throws std::invalid_argument on malformed input.
+  static BigInt FromString(std::string_view text);
+
+  /// Base-10 rendering, e.g. "-1234".
+  std::string ToString() const;
+
+  /// -1, 0 or +1.
+  int sign() const { return sign_; }
+  bool IsZero() const { return sign_ == 0; }
+  bool IsNegative() const { return sign_ < 0; }
+  bool IsOne() const { return sign_ == 1 && limbs_.size() == 1 && limbs_[0] == 1; }
+
+  /// Value as int64_t if it fits, std::nullopt otherwise.
+  std::optional<int64_t> ToInt64() const;
+
+  /// Number of bits in the magnitude (0 for zero).
+  size_t BitLength() const;
+
+  BigInt operator-() const;
+  BigInt Abs() const;
+
+  BigInt& operator+=(const BigInt& rhs);
+  BigInt& operator-=(const BigInt& rhs);
+  BigInt& operator*=(const BigInt& rhs);
+  /// Truncated division (C++ semantics: quotient rounds toward zero).
+  BigInt& operator/=(const BigInt& rhs);
+  /// Remainder with the sign of the dividend (C++ semantics).
+  BigInt& operator%=(const BigInt& rhs);
+
+  friend BigInt operator+(BigInt lhs, const BigInt& rhs) { return lhs += rhs; }
+  friend BigInt operator-(BigInt lhs, const BigInt& rhs) { return lhs -= rhs; }
+  friend BigInt operator*(BigInt lhs, const BigInt& rhs) { return lhs *= rhs; }
+  friend BigInt operator/(BigInt lhs, const BigInt& rhs) { return lhs /= rhs; }
+  friend BigInt operator%(BigInt lhs, const BigInt& rhs) { return lhs %= rhs; }
+
+  /// Computes quotient and remainder in one pass (truncated semantics).
+  /// Throws std::invalid_argument on division by zero.
+  static void DivMod(const BigInt& dividend, const BigInt& divisor,
+                     BigInt* quotient, BigInt* remainder);
+
+  /// Greatest common divisor of |a| and |b|; Gcd(0, 0) == 0.
+  static BigInt Gcd(BigInt a, BigInt b);
+
+  /// base raised to a non-negative machine exponent.
+  static BigInt Pow(const BigInt& base, uint64_t exponent);
+
+  friend bool operator==(const BigInt& lhs, const BigInt& rhs) {
+    return lhs.sign_ == rhs.sign_ && lhs.limbs_ == rhs.limbs_;
+  }
+  friend std::strong_ordering operator<=>(const BigInt& lhs,
+                                          const BigInt& rhs);
+
+  friend std::ostream& operator<<(std::ostream& os, const BigInt& v);
+
+  /// FNV-1a style hash, suitable for std::unordered_map keys.
+  size_t Hash() const;
+
+ private:
+  // Invariant: sign_ == 0 iff limbs_ is empty; limbs_.back() != 0 otherwise.
+  int sign_ = 0;
+  std::vector<uint32_t> limbs_;
+
+  void Trim();
+  static int CompareMagnitude(const BigInt& a, const BigInt& b);
+  void AddMagnitude(const BigInt& rhs);
+  // Requires |*this| >= |rhs|.
+  void SubMagnitudeSmaller(const BigInt& rhs);
+};
+
+}  // namespace shapley
+
+template <>
+struct std::hash<shapley::BigInt> {
+  size_t operator()(const shapley::BigInt& v) const { return v.Hash(); }
+};
+
+#endif  // SHAPLEY_ARITH_BIG_INT_H_

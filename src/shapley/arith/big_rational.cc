@@ -1,0 +1,108 @@
+#include "shapley/arith/big_rational.h"
+
+#include <ostream>
+#include <stdexcept>
+
+#include "shapley/common/macros.h"
+
+namespace shapley {
+
+BigRational::BigRational(BigInt numerator, BigInt denominator)
+    : num_(std::move(numerator)), den_(std::move(denominator)) {
+  if (den_.IsZero()) {
+    throw std::invalid_argument("BigRational: zero denominator");
+  }
+  Normalize();
+}
+
+void BigRational::Normalize() {
+  if (den_.IsNegative()) {
+    num_ = -num_;
+    den_ = -den_;
+  }
+  if (num_.IsZero()) {
+    den_ = 1;
+    return;
+  }
+  BigInt g = BigInt::Gcd(num_, den_);
+  if (!g.IsOne()) {
+    num_ /= g;
+    den_ /= g;
+  }
+}
+
+std::string BigRational::ToString() const {
+  if (IsInteger()) return num_.ToString();
+  return num_.ToString() + "/" + den_.ToString();
+}
+
+double BigRational::ToDouble() const {
+  // Scale to ~18 significant decimal digits, convert, divide back.
+  constexpr int64_t kScale = 1000000000000000000;  // 1e18
+  BigInt scaled = num_ * BigInt(kScale) / den_;
+  auto small = scaled.ToInt64();
+  if (small.has_value()) return static_cast<double>(*small) / 1e18;
+  // Fall back for huge values: string-based exponent estimate.
+  std::string s = scaled.ToString();
+  bool neg = !s.empty() && s[0] == '-';
+  size_t digits = s.size() - (neg ? 1 : 0);
+  double mantissa = std::stod(s.substr(0, (neg ? 1 : 0) + 15));
+  double result = mantissa;
+  for (size_t i = 15; i < digits; ++i) result *= 10.0;
+  return result / 1e18;
+}
+
+BigRational BigRational::operator-() const {
+  BigRational result = *this;
+  result.num_ = -result.num_;
+  return result;
+}
+
+BigRational BigRational::Inverse() const {
+  if (IsZero()) throw std::invalid_argument("BigRational: inverse of zero");
+  return BigRational(den_, num_);
+}
+
+BigRational& BigRational::operator+=(const BigRational& rhs) {
+  num_ = num_ * rhs.den_ + rhs.num_ * den_;
+  den_ *= rhs.den_;
+  Normalize();
+  return *this;
+}
+
+BigRational& BigRational::operator-=(const BigRational& rhs) {
+  num_ = num_ * rhs.den_ - rhs.num_ * den_;
+  den_ *= rhs.den_;
+  Normalize();
+  return *this;
+}
+
+BigRational& BigRational::operator*=(const BigRational& rhs) {
+  num_ *= rhs.num_;
+  den_ *= rhs.den_;
+  Normalize();
+  return *this;
+}
+
+BigRational& BigRational::operator/=(const BigRational& rhs) {
+  if (rhs.IsZero()) throw std::invalid_argument("BigRational: division by zero");
+  num_ *= rhs.den_;
+  den_ *= rhs.num_;
+  Normalize();
+  return *this;
+}
+
+std::strong_ordering operator<=>(const BigRational& a, const BigRational& b) {
+  // Cross-multiply: denominators are positive by invariant.
+  return a.num_ * b.den_ <=> b.num_ * a.den_;
+}
+
+std::ostream& operator<<(std::ostream& os, const BigRational& v) {
+  return os << v.ToString();
+}
+
+size_t BigRational::Hash() const {
+  return num_.Hash() * 1000003u ^ den_.Hash();
+}
+
+}  // namespace shapley

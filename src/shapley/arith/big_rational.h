@@ -1,0 +1,77 @@
+#ifndef SHAPLEY_ARITH_BIG_RATIONAL_H_
+#define SHAPLEY_ARITH_BIG_RATIONAL_H_
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "shapley/arith/big_int.h"
+
+namespace shapley {
+
+/// Exact rational number: numerator / denominator in lowest terms with a
+/// strictly positive denominator. Used for Shapley values, probabilities,
+/// and the coefficients of the linear systems in the Section 5 reductions.
+class BigRational {
+ public:
+  /// Zero.
+  BigRational() : num_(0), den_(1) {}
+
+  /// Integer value (implicit: mixed expressions are pervasive).
+  BigRational(int64_t value) : num_(value), den_(1) {}  // NOLINT
+  BigRational(BigInt value) : num_(std::move(value)), den_(1) {}  // NOLINT
+
+  /// numerator / denominator. Throws std::invalid_argument if denominator==0.
+  BigRational(BigInt numerator, BigInt denominator);
+
+  const BigInt& numerator() const { return num_; }
+  const BigInt& denominator() const { return den_; }
+
+  bool IsZero() const { return num_.IsZero(); }
+  bool IsInteger() const { return den_.IsOne(); }
+  int sign() const { return num_.sign(); }
+
+  /// Renders "p" if integral, "p/q" otherwise.
+  std::string ToString() const;
+  /// Closest double (for display only; never used in computations).
+  double ToDouble() const;
+
+  BigRational operator-() const;
+  BigRational Inverse() const;
+
+  BigRational& operator+=(const BigRational& rhs);
+  BigRational& operator-=(const BigRational& rhs);
+  BigRational& operator*=(const BigRational& rhs);
+  BigRational& operator/=(const BigRational& rhs);
+
+  friend BigRational operator+(BigRational a, const BigRational& b) { return a += b; }
+  friend BigRational operator-(BigRational a, const BigRational& b) { return a -= b; }
+  friend BigRational operator*(BigRational a, const BigRational& b) { return a *= b; }
+  friend BigRational operator/(BigRational a, const BigRational& b) { return a /= b; }
+
+  friend bool operator==(const BigRational& a, const BigRational& b) {
+    return a.num_ == b.num_ && a.den_ == b.den_;
+  }
+  friend std::strong_ordering operator<=>(const BigRational& a,
+                                          const BigRational& b);
+
+  friend std::ostream& operator<<(std::ostream& os, const BigRational& v);
+
+  size_t Hash() const;
+
+ private:
+  void Normalize();
+
+  BigInt num_;
+  BigInt den_;  // Invariant: den_ > 0, gcd(|num_|, den_) == 1.
+};
+
+}  // namespace shapley
+
+template <>
+struct std::hash<shapley::BigRational> {
+  size_t operator()(const shapley::BigRational& v) const { return v.Hash(); }
+};
+
+#endif  // SHAPLEY_ARITH_BIG_RATIONAL_H_

@@ -1,0 +1,39 @@
+#include "shapley/arith/factorial.h"
+
+#include "shapley/common/macros.h"
+
+namespace shapley {
+
+FactorialTable::FactorialTable() { cache_.push_back(BigInt(1)); }
+
+const BigInt& FactorialTable::Factorial(size_t n) {
+  while (cache_.size() <= n) {
+    cache_.push_back(cache_.back() * BigInt(static_cast<int64_t>(cache_.size())));
+  }
+  return cache_[n];
+}
+
+BigInt FactorialTable::Binomial(size_t n, size_t k) {
+  if (k > n) return BigInt(0);
+  return Factorial(n) / (Factorial(k) * Factorial(n - k));
+}
+
+BigRational FactorialTable::ShapleyWeight(size_t n, size_t b) {
+  SHAPLEY_CHECK_MSG(b < n, "coalition size " << b << " not below n=" << n);
+  return BigRational(Factorial(b) * Factorial(n - b - 1), Factorial(n));
+}
+
+namespace {
+FactorialTable& SharedTable() {
+  thread_local FactorialTable table;
+  return table;
+}
+}  // namespace
+
+const BigInt& Factorial(size_t n) { return SharedTable().Factorial(n); }
+BigInt Binomial(size_t n, size_t k) { return SharedTable().Binomial(n, k); }
+BigRational ShapleyWeight(size_t n, size_t b) {
+  return SharedTable().ShapleyWeight(n, b);
+}
+
+}  // namespace shapley

@@ -1,0 +1,43 @@
+#ifndef SHAPLEY_ARITH_FACTORIAL_H_
+#define SHAPLEY_ARITH_FACTORIAL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "shapley/arith/big_int.h"
+#include "shapley/arith/big_rational.h"
+
+namespace shapley {
+
+/// Memoized factorial / binomial tables.
+///
+/// The Shapley weight of a coalition of size b among n players is
+/// b! (n-b-1)! / n!, and the Section 5 reductions build matrices whose
+/// entries are ratios of factorials, so these are called in tight loops.
+/// The cache grows on demand and is cheap to copy-construct empty.
+class FactorialTable {
+ public:
+  FactorialTable();
+
+  /// n! (n up to a few thousand in practice).
+  const BigInt& Factorial(size_t n);
+
+  /// Binomial coefficient C(n, k); 0 when k > n.
+  BigInt Binomial(size_t n, size_t k);
+
+  /// The Shapley coalition weight |B|! (n - |B| - 1)! / n! for a game with
+  /// n players and a coalition of size b (requires b < n).
+  BigRational ShapleyWeight(size_t n, size_t b);
+
+ private:
+  std::vector<BigInt> cache_;  // cache_[i] == i!
+};
+
+/// Convenience free functions backed by a thread-local table.
+const BigInt& Factorial(size_t n);
+BigInt Binomial(size_t n, size_t k);
+BigRational ShapleyWeight(size_t n, size_t b);
+
+}  // namespace shapley
+
+#endif  // SHAPLEY_ARITH_FACTORIAL_H_

@@ -1,0 +1,102 @@
+#include "shapley/arith/linear_system.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "shapley/common/macros.h"
+
+namespace shapley {
+
+std::vector<BigRational> SolveLinearSystem(RationalMatrix a,
+                                           std::vector<BigRational> b) {
+  const size_t n = a.size();
+  if (b.size() != n) {
+    throw std::invalid_argument("SolveLinearSystem: dimension mismatch");
+  }
+  for (const auto& row : a) {
+    if (row.size() != n) {
+      throw std::invalid_argument("SolveLinearSystem: matrix not square");
+    }
+  }
+
+  // Forward elimination with first-nonzero pivoting (exact arithmetic needs
+  // no numerical pivot selection, only a nonzero one).
+  for (size_t col = 0; col < n; ++col) {
+    size_t pivot = col;
+    while (pivot < n && a[pivot][col].IsZero()) ++pivot;
+    if (pivot == n) {
+      throw std::invalid_argument("SolveLinearSystem: singular matrix");
+    }
+    if (pivot != col) {
+      std::swap(a[pivot], a[col]);
+      std::swap(b[pivot], b[col]);
+    }
+    const BigRational inv = a[col][col].Inverse();
+    for (size_t j = col; j < n; ++j) a[col][j] *= inv;
+    b[col] *= inv;
+    for (size_t row = col + 1; row < n; ++row) {
+      if (a[row][col].IsZero()) continue;
+      const BigRational factor = a[row][col];
+      for (size_t j = col; j < n; ++j) {
+        a[row][j] -= factor * a[col][j];
+      }
+      b[row] -= factor * b[col];
+    }
+  }
+
+  // Back substitution.
+  std::vector<BigRational> x(n);
+  for (size_t row = n; row-- > 0;) {
+    BigRational sum = b[row];
+    for (size_t j = row + 1; j < n; ++j) sum -= a[row][j] * x[j];
+    x[row] = sum;  // Diagonal is 1 after normalization.
+  }
+  return x;
+}
+
+std::vector<BigRational> SolveVandermonde(
+    const std::vector<BigRational>& points,
+    const std::vector<BigRational>& values) {
+  const size_t n = points.size();
+  if (values.size() != n) {
+    throw std::invalid_argument("SolveVandermonde: dimension mismatch");
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (points[i] == points[j]) {
+        throw std::invalid_argument("SolveVandermonde: repeated sample point");
+      }
+    }
+  }
+
+  // Newton divided differences: d[i] starts as f[x_i] and is refined in
+  // place to the order-i coefficient.
+  std::vector<BigRational> d = values;
+  for (size_t order = 1; order < n; ++order) {
+    for (size_t i = n; i-- > order;) {
+      d[i] = (d[i] - d[i - 1]) / (points[i] - points[i - order]);
+    }
+  }
+
+  // Expand the Newton form prod_{k<i}(z - x_k) into monomial coefficients.
+  std::vector<BigRational> coeffs(n, BigRational(0));
+  std::vector<BigRational> basis(n, BigRational(0));  // Current Newton basis.
+  basis[0] = 1;
+  size_t basis_degree = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t k = 0; k <= basis_degree; ++k) {
+      coeffs[k] += d[i] * basis[k];
+    }
+    if (i + 1 < n) {
+      // basis *= (z - points[i]).
+      ++basis_degree;
+      for (size_t k = basis_degree + 1; k-- > 0;) {
+        BigRational next = k > 0 ? basis[k - 1] : BigRational(0);
+        basis[k] = next - points[i] * basis[k];
+      }
+    }
+  }
+  return coeffs;
+}
+
+}  // namespace shapley

@@ -1,0 +1,31 @@
+#ifndef SHAPLEY_ARITH_LINEAR_SYSTEM_H_
+#define SHAPLEY_ARITH_LINEAR_SYSTEM_H_
+
+#include <vector>
+
+#include "shapley/arith/big_rational.h"
+
+namespace shapley {
+
+/// Dense matrix of exact rationals (row-major).
+using RationalMatrix = std::vector<std::vector<BigRational>>;
+
+/// Solves A x = b exactly by Gaussian elimination with nonzero pivoting.
+/// Requires A square and nonsingular; throws std::invalid_argument otherwise.
+///
+/// The Section 5 reductions recover the FGMC counts from |Dn|+1 Shapley
+/// oracle answers by inverting the Pascal-like matrix of general term
+/// (j+s)!(n+i-j)!/(n+i+s+1)! — invertible by Bacher (2002) — and the
+/// Claim A.2 equivalence inverts a Vandermonde system. Both go through here.
+std::vector<BigRational> SolveLinearSystem(RationalMatrix a,
+                                           std::vector<BigRational> b);
+
+/// Solves the Vandermonde system sum_j c_j x_i^j = v_i for the coefficients
+/// c_j, given pairwise-distinct sample points x_i. Uses Newton's divided
+/// differences (O(n^2), much cheaper than generic elimination).
+std::vector<BigRational> SolveVandermonde(const std::vector<BigRational>& points,
+                                          const std::vector<BigRational>& values);
+
+}  // namespace shapley
+
+#endif  // SHAPLEY_ARITH_LINEAR_SYSTEM_H_

@@ -1,0 +1,151 @@
+#include "shapley/arith/polynomial.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "shapley/arith/factorial.h"
+#include "shapley/common/macros.h"
+
+namespace shapley {
+
+namespace {
+const BigInt& ZeroBigInt() {
+  static const BigInt kZero(0);
+  return kZero;
+}
+}  // namespace
+
+Polynomial::Polynomial(std::vector<BigInt> coefficients)
+    : coefficients_(std::move(coefficients)) {
+  Trim();
+}
+
+Polynomial Polynomial::Constant(BigInt c) {
+  std::vector<BigInt> coeffs;
+  coeffs.push_back(std::move(c));
+  return Polynomial(std::move(coeffs));
+}
+
+Polynomial Polynomial::Monomial(BigInt c, size_t k) {
+  if (c.IsZero()) return Polynomial();
+  std::vector<BigInt> coeffs(k + 1, BigInt(0));
+  coeffs[k] = std::move(c);
+  return Polynomial(std::move(coeffs));
+}
+
+Polynomial Polynomial::OnePlusZPower(size_t n) {
+  std::vector<BigInt> coeffs;
+  coeffs.reserve(n + 1);
+  for (size_t k = 0; k <= n; ++k) coeffs.push_back(Binomial(n, k));
+  return Polynomial(std::move(coeffs));
+}
+
+void Polynomial::Trim() {
+  while (!coefficients_.empty() && coefficients_.back().IsZero()) {
+    coefficients_.pop_back();
+  }
+}
+
+const BigInt& Polynomial::Coefficient(size_t k) const {
+  if (k >= coefficients_.size()) return ZeroBigInt();
+  return coefficients_[k];
+}
+
+BigInt Polynomial::SumOfCoefficients() const {
+  BigInt sum = 0;
+  for (const BigInt& c : coefficients_) sum += c;
+  return sum;
+}
+
+Polynomial& Polynomial::operator+=(const Polynomial& rhs) {
+  if (coefficients_.size() < rhs.coefficients_.size()) {
+    coefficients_.resize(rhs.coefficients_.size(), BigInt(0));
+  }
+  for (size_t i = 0; i < rhs.coefficients_.size(); ++i) {
+    coefficients_[i] += rhs.coefficients_[i];
+  }
+  Trim();
+  return *this;
+}
+
+Polynomial& Polynomial::operator-=(const Polynomial& rhs) {
+  if (coefficients_.size() < rhs.coefficients_.size()) {
+    coefficients_.resize(rhs.coefficients_.size(), BigInt(0));
+  }
+  for (size_t i = 0; i < rhs.coefficients_.size(); ++i) {
+    coefficients_[i] -= rhs.coefficients_[i];
+  }
+  Trim();
+  return *this;
+}
+
+Polynomial& Polynomial::operator*=(const Polynomial& rhs) {
+  if (IsZero() || rhs.IsZero()) {
+    coefficients_.clear();
+    return *this;
+  }
+  std::vector<BigInt> result(coefficients_.size() + rhs.coefficients_.size() - 1,
+                             BigInt(0));
+  for (size_t i = 0; i < coefficients_.size(); ++i) {
+    if (coefficients_[i].IsZero()) continue;
+    for (size_t j = 0; j < rhs.coefficients_.size(); ++j) {
+      result[i + j] += coefficients_[i] * rhs.coefficients_[j];
+    }
+  }
+  coefficients_ = std::move(result);
+  Trim();
+  return *this;
+}
+
+Polynomial Polynomial::ShiftUp(size_t k) const {
+  if (IsZero() || k == 0) {
+    Polynomial copy = *this;
+    return copy;
+  }
+  std::vector<BigInt> coeffs(coefficients_.size() + k, BigInt(0));
+  for (size_t i = 0; i < coefficients_.size(); ++i) {
+    coeffs[i + k] = coefficients_[i];
+  }
+  return Polynomial(std::move(coeffs));
+}
+
+BigRational Polynomial::Evaluate(const BigRational& z) const {
+  BigRational result = 0;
+  for (size_t i = coefficients_.size(); i-- > 0;) {
+    result = result * z + BigRational(coefficients_[i]);
+  }
+  return result;
+}
+
+BigInt Polynomial::EvaluateInt(const BigInt& z) const {
+  BigInt result = 0;
+  for (size_t i = coefficients_.size(); i-- > 0;) {
+    result = result * z + coefficients_[i];
+  }
+  return result;
+}
+
+std::string Polynomial::ToString() const {
+  if (IsZero()) return "0";
+  std::ostringstream os;
+  bool first = true;
+  for (size_t k = 0; k < coefficients_.size(); ++k) {
+    if (coefficients_[k].IsZero()) continue;
+    if (!first) os << " + ";
+    first = false;
+    if (k == 0) {
+      os << coefficients_[k];
+    } else {
+      if (!coefficients_[k].IsOne()) os << coefficients_[k];
+      os << "z";
+      if (k > 1) os << "^" << k;
+    }
+  }
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Polynomial& p) {
+  return os << p.ToString();
+}
+
+}  // namespace shapley

@@ -1,0 +1,78 @@
+#ifndef SHAPLEY_ARITH_POLYNOMIAL_H_
+#define SHAPLEY_ARITH_POLYNOMIAL_H_
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "shapley/arith/big_int.h"
+#include "shapley/arith/big_rational.h"
+
+namespace shapley {
+
+/// Dense univariate polynomial with BigInt coefficients.
+///
+/// The central datatype of size-stratified counting: a database region with
+/// n endogenous facts is summarized by the generating polynomial
+/// F(z) = sum_j (#size-j generalized supports) z^j, and the lifted FGMC
+/// engine combines regions by polynomial arithmetic (product = independent
+/// join, the (1+z)^n unit = "any subset").
+class Polynomial {
+ public:
+  /// The zero polynomial.
+  Polynomial() = default;
+
+  /// From low-to-high coefficients; trailing zeros are trimmed.
+  explicit Polynomial(std::vector<BigInt> coefficients);
+
+  /// The constant polynomial c.
+  static Polynomial Constant(BigInt c);
+  /// The monomial c * z^k.
+  static Polynomial Monomial(BigInt c, size_t k);
+  /// (1 + z)^n — the subset-generating polynomial of an n-element set.
+  static Polynomial OnePlusZPower(size_t n);
+
+  bool IsZero() const { return coefficients_.empty(); }
+  /// Degree; -1 for the zero polynomial.
+  int Degree() const { return static_cast<int>(coefficients_.size()) - 1; }
+
+  /// Coefficient of z^k (zero beyond the degree).
+  const BigInt& Coefficient(size_t k) const;
+  const std::vector<BigInt>& coefficients() const { return coefficients_; }
+
+  /// Sum of all coefficients, i.e. evaluation at z = 1.
+  BigInt SumOfCoefficients() const;
+
+  Polynomial& operator+=(const Polynomial& rhs);
+  Polynomial& operator-=(const Polynomial& rhs);
+  Polynomial& operator*=(const Polynomial& rhs);
+
+  friend Polynomial operator+(Polynomial a, const Polynomial& b) { return a += b; }
+  friend Polynomial operator-(Polynomial a, const Polynomial& b) { return a -= b; }
+  friend Polynomial operator*(Polynomial a, const Polynomial& b) { return a *= b; }
+
+  /// Multiplies by z^k (shifts coefficients up).
+  Polynomial ShiftUp(size_t k) const;
+
+  /// Exact evaluation at a rational point.
+  BigRational Evaluate(const BigRational& z) const;
+  /// Exact evaluation at an integer point.
+  BigInt EvaluateInt(const BigInt& z) const;
+
+  friend bool operator==(const Polynomial& a, const Polynomial& b) {
+    return a.coefficients_ == b.coefficients_;
+  }
+
+  /// Human-readable rendering, e.g. "1 + 3z + 2z^2".
+  std::string ToString() const;
+  friend std::ostream& operator<<(std::ostream& os, const Polynomial& p);
+
+ private:
+  void Trim();
+  std::vector<BigInt> coefficients_;  // coefficients_[k] is the z^k term.
+};
+
+}  // namespace shapley
+
+#endif  // SHAPLEY_ARITH_POLYNOMIAL_H_

@@ -1,0 +1,378 @@
+#include "shapley/automata/automaton.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <stdexcept>
+
+#include "shapley/common/macros.h"
+
+namespace shapley {
+
+namespace {
+
+// Recursive Thompson construction; returns (start, accept) of the fragment.
+struct Fragment {
+  uint32_t start;
+  uint32_t accept;
+};
+
+class ThompsonBuilder {
+ public:
+  explicit ThompsonBuilder(Nfa* nfa) : nfa_(nfa) {}
+
+  uint32_t NewState() {
+    nfa_->states.emplace_back();
+    return static_cast<uint32_t>(nfa_->states.size() - 1);
+  }
+
+  SymbolId SymbolIdFor(const std::string& name) {
+    for (size_t i = 0; i < nfa_->symbol_names.size(); ++i) {
+      if (nfa_->symbol_names[i] == name) return static_cast<SymbolId>(i);
+    }
+    nfa_->symbol_names.push_back(name);
+    return static_cast<SymbolId>(nfa_->symbol_names.size() - 1);
+  }
+
+  Fragment Build(const Regex& node) {
+    switch (node.kind()) {
+      case Regex::Kind::kSymbol: {
+        uint32_t s = NewState(), t = NewState();
+        nfa_->states[s].transitions.emplace(SymbolIdFor(node.symbol()), t);
+        return {s, t};
+      }
+      case Regex::Kind::kEpsilon: {
+        uint32_t s = NewState(), t = NewState();
+        nfa_->states[s].epsilon.insert(t);
+        return {s, t};
+      }
+      case Regex::Kind::kConcat: {
+        Fragment a = Build(node.children()[0]);
+        Fragment b = Build(node.children()[1]);
+        nfa_->states[a.accept].epsilon.insert(b.start);
+        return {a.start, b.accept};
+      }
+      case Regex::Kind::kUnion: {
+        Fragment a = Build(node.children()[0]);
+        Fragment b = Build(node.children()[1]);
+        uint32_t s = NewState(), t = NewState();
+        nfa_->states[s].epsilon.insert(a.start);
+        nfa_->states[s].epsilon.insert(b.start);
+        nfa_->states[a.accept].epsilon.insert(t);
+        nfa_->states[b.accept].epsilon.insert(t);
+        return {s, t};
+      }
+      case Regex::Kind::kStar: {
+        Fragment a = Build(node.children()[0]);
+        uint32_t s = NewState(), t = NewState();
+        nfa_->states[s].epsilon.insert(a.start);
+        nfa_->states[s].epsilon.insert(t);
+        nfa_->states[a.accept].epsilon.insert(a.start);
+        nfa_->states[a.accept].epsilon.insert(t);
+        return {s, t};
+      }
+      case Regex::Kind::kPlus: {
+        Fragment a = Build(node.children()[0]);
+        uint32_t t = NewState();
+        nfa_->states[a.accept].epsilon.insert(a.start);
+        nfa_->states[a.accept].epsilon.insert(t);
+        return {a.start, t};
+      }
+      case Regex::Kind::kOptional: {
+        Fragment a = Build(node.children()[0]);
+        uint32_t s = NewState(), t = NewState();
+        nfa_->states[s].epsilon.insert(a.start);
+        nfa_->states[s].epsilon.insert(t);
+        nfa_->states[a.accept].epsilon.insert(t);
+        return {s, t};
+      }
+    }
+    SHAPLEY_CHECK_MSG(false, "unreachable regex kind");
+    return {0, 0};
+  }
+
+ private:
+  Nfa* nfa_;
+};
+
+}  // namespace
+
+Nfa Nfa::FromRegex(const Regex& regex) {
+  Nfa nfa;
+  ThompsonBuilder builder(&nfa);
+  Fragment f = builder.Build(regex);
+  nfa.start = f.start;
+  nfa.accept = f.accept;
+  return nfa;
+}
+
+std::set<uint32_t> Nfa::EpsilonClosure(std::set<uint32_t> states_in) const {
+  std::deque<uint32_t> work(states_in.begin(), states_in.end());
+  while (!work.empty()) {
+    uint32_t s = work.front();
+    work.pop_front();
+    for (uint32_t t : states[s].epsilon) {
+      if (states_in.insert(t).second) work.push_back(t);
+    }
+  }
+  return states_in;
+}
+
+Dfa Dfa::FromNfa(const Nfa& nfa) {
+  Dfa dfa;
+  dfa.symbol_names_ = nfa.symbol_names;
+  const size_t alphabet = nfa.symbol_names.size();
+
+  std::map<std::set<uint32_t>, uint32_t> state_index;
+  std::vector<std::set<uint32_t>> subsets;
+  std::deque<uint32_t> work;
+
+  auto intern = [&](std::set<uint32_t> subset) {
+    auto [it, inserted] =
+        state_index.emplace(subset, static_cast<uint32_t>(subsets.size()));
+    if (inserted) {
+      subsets.push_back(std::move(subset));
+      dfa.transitions_.emplace_back(alphabet, kNoState);
+      dfa.accepting_.push_back(false);
+      work.push_back(it->second);
+    }
+    return it->second;
+  };
+
+  dfa.start_ = intern(nfa.EpsilonClosure({nfa.start}));
+  while (!work.empty()) {
+    uint32_t id = work.front();
+    work.pop_front();
+    const std::set<uint32_t> subset = subsets[id];  // Copy: vector may grow.
+    dfa.accepting_[id] = subset.count(nfa.accept) > 0;
+    for (SymbolId a = 0; a < alphabet; ++a) {
+      std::set<uint32_t> next;
+      for (uint32_t s : subset) {
+        auto [lo, hi] = nfa.states[s].transitions.equal_range(a);
+        for (auto it = lo; it != hi; ++it) next.insert(it->second);
+      }
+      if (next.empty()) continue;
+      dfa.transitions_[id][a] = intern(nfa.EpsilonClosure(std::move(next)));
+    }
+  }
+
+  // Trim to co-accessible states (everything is accessible by construction).
+  const size_t n = dfa.transitions_.size();
+  std::vector<std::vector<uint32_t>> reverse(n);
+  for (uint32_t s = 0; s < n; ++s) {
+    for (SymbolId a = 0; a < alphabet; ++a) {
+      if (dfa.transitions_[s][a] != kNoState) {
+        reverse[dfa.transitions_[s][a]].push_back(s);
+      }
+    }
+  }
+  std::vector<bool> useful(n, false);
+  std::deque<uint32_t> queue;
+  for (uint32_t s = 0; s < n; ++s) {
+    if (dfa.accepting_[s]) {
+      useful[s] = true;
+      queue.push_back(s);
+    }
+  }
+  while (!queue.empty()) {
+    uint32_t s = queue.front();
+    queue.pop_front();
+    for (uint32_t p : reverse[s]) {
+      if (!useful[p]) {
+        useful[p] = true;
+        queue.push_back(p);
+      }
+    }
+  }
+
+  if (dfa.start_ == kNoState || !useful[dfa.start_]) {
+    // Empty language.
+    dfa.transitions_.clear();
+    dfa.accepting_.clear();
+    dfa.start_ = kNoState;
+    return dfa;
+  }
+
+  std::vector<uint32_t> remap(n, kNoState);
+  uint32_t next_id = 0;
+  for (uint32_t s = 0; s < n; ++s) {
+    if (useful[s]) remap[s] = next_id++;
+  }
+  Dfa trimmed;
+  trimmed.symbol_names_ = dfa.symbol_names_;
+  trimmed.transitions_.resize(next_id, std::vector<uint32_t>(alphabet, kNoState));
+  trimmed.accepting_.resize(next_id, false);
+  trimmed.start_ = remap[dfa.start_];
+  for (uint32_t s = 0; s < n; ++s) {
+    if (!useful[s]) continue;
+    trimmed.accepting_[remap[s]] = dfa.accepting_[s];
+    for (SymbolId a = 0; a < alphabet; ++a) {
+      uint32_t t = dfa.transitions_[s][a];
+      if (t != kNoState && useful[t]) {
+        trimmed.transitions_[remap[s]][a] = remap[t];
+      }
+    }
+  }
+  return trimmed;
+}
+
+bool Dfa::Accepts(const std::vector<SymbolId>& word) const {
+  if (AcceptsEmptyLanguage()) return false;
+  uint32_t s = start_;
+  for (SymbolId a : word) {
+    if (a >= symbol_names_.size()) return false;
+    s = transitions_[s][a];
+    if (s == kNoState) return false;
+  }
+  return accepting_[s];
+}
+
+bool Dfa::AcceptsEpsilon() const {
+  return !AcceptsEmptyLanguage() && accepting_[start_];
+}
+
+bool Dfa::IsFinite() const {
+  // The trimmed DFA has only useful states, so any cycle pumps some word.
+  const size_t n = transitions_.size();
+  // Colors: 0 = unvisited, 1 = on stack, 2 = done.
+  std::vector<int> color(n, 0);
+  std::vector<std::pair<uint32_t, size_t>> stack;
+  for (uint32_t root = 0; root < n; ++root) {
+    if (color[root] != 0) continue;
+    stack.push_back({root, 0});
+    color[root] = 1;
+    while (!stack.empty()) {
+      auto& [s, edge] = stack.back();
+      bool advanced = false;
+      while (edge < symbol_names_.size()) {
+        uint32_t t = transitions_[s][edge];
+        ++edge;
+        if (t == kNoState) continue;
+        if (color[t] == 1) return false;  // Back edge: cycle.
+        if (color[t] == 0) {
+          color[t] = 1;
+          stack.push_back({t, 0});
+          advanced = true;
+          break;
+        }
+      }
+      if (!advanced && stack.back().second >= symbol_names_.size()) {
+        color[stack.back().first] = 2;
+        stack.pop_back();
+      }
+    }
+  }
+  return true;
+}
+
+std::optional<size_t> Dfa::MaxWordLength() const {
+  if (AcceptsEmptyLanguage()) return std::nullopt;
+  if (!IsFinite()) return std::nullopt;
+  // Longest path in a DAG via memoized DFS; states are all useful, so the
+  // longest path from start to an accepting state is the max word length.
+  const size_t n = transitions_.size();
+  std::vector<int64_t> memo(n, -2);  // -2 = unvisited.
+  // best[s]: longest distance from s to any accepting state (>= 0 since all
+  // states are co-accessible).
+  auto dfs = [&](auto&& self, uint32_t s) -> int64_t {
+    if (memo[s] != -2) return memo[s];
+    int64_t best = accepting_[s] ? 0 : -1;
+    for (SymbolId a = 0; a < symbol_names_.size(); ++a) {
+      uint32_t t = transitions_[s][a];
+      if (t == kNoState) continue;
+      int64_t sub = self(self, t);
+      if (sub >= 0) best = std::max(best, sub + 1);
+    }
+    memo[s] = best;
+    return best;
+  };
+  int64_t result = dfs(dfs, start_);
+  SHAPLEY_CHECK(result >= 0);
+  return static_cast<size_t>(result);
+}
+
+bool Dfa::HasWordOfLengthAtLeast(size_t k) const {
+  if (AcceptsEmptyLanguage()) return false;
+  if (!IsFinite()) return true;
+  return *MaxWordLength() >= k;
+}
+
+std::optional<std::vector<SymbolId>> Dfa::ShortestWord() const {
+  return ShortestWordOfLengthAtLeast(0);
+}
+
+std::optional<std::vector<SymbolId>> Dfa::ShortestWordOfLengthAtLeast(
+    size_t k) const {
+  if (AcceptsEmptyLanguage()) return std::nullopt;
+  // BFS over (state, min(length, k)): accepting configurations are those
+  // with an accepting state and saturated length counter.
+  struct Node {
+    uint32_t state;
+    size_t progress;
+  };
+  const size_t n = transitions_.size();
+  std::vector<std::vector<bool>> seen(n, std::vector<bool>(k + 1, false));
+  std::vector<std::vector<std::pair<int64_t, SymbolId>>> parent(
+      n, std::vector<std::pair<int64_t, SymbolId>>(k + 1, {-1, 0}));
+  auto encode = [&](Node nd) { return static_cast<int64_t>(nd.state) * (k + 1) + nd.progress; };
+
+  std::deque<Node> queue;
+  queue.push_back({start_, 0});
+  seen[start_][0] = true;
+  while (!queue.empty()) {
+    Node nd = queue.front();
+    queue.pop_front();
+    if (accepting_[nd.state] && nd.progress >= k) {
+      // Reconstruct the word.
+      std::vector<SymbolId> word;
+      Node cur = nd;
+      while (!(cur.state == start_ && cur.progress == 0)) {
+        auto [enc, sym] = parent[cur.state][cur.progress];
+        SHAPLEY_CHECK(enc >= 0);
+        word.push_back(sym);
+        cur.state = static_cast<uint32_t>(enc / (k + 1));
+        cur.progress = static_cast<size_t>(enc % (k + 1));
+      }
+      std::reverse(word.begin(), word.end());
+      return word;
+    }
+    for (SymbolId a = 0; a < symbol_names_.size(); ++a) {
+      uint32_t t = transitions_[nd.state][a];
+      if (t == kNoState) continue;
+      Node next{t, std::min(nd.progress + 1, k)};
+      if (!seen[next.state][next.progress]) {
+        seen[next.state][next.progress] = true;
+        parent[next.state][next.progress] = {encode(nd), a};
+        queue.push_back(next);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<std::vector<SymbolId>> Dfa::WordsUpToLength(size_t max_length,
+                                                        size_t limit) const {
+  std::vector<std::vector<SymbolId>> result;
+  if (AcceptsEmptyLanguage()) return result;
+  std::vector<SymbolId> current;
+  auto dfs = [&](auto&& self, uint32_t s) -> void {
+    if (accepting_[s]) {
+      result.push_back(current);
+      if (result.size() > limit) {
+        throw std::invalid_argument("Dfa::WordsUpToLength: too many words");
+      }
+    }
+    if (current.size() == max_length) return;
+    for (SymbolId a = 0; a < symbol_names_.size(); ++a) {
+      uint32_t t = transitions_[s][a];
+      if (t == kNoState) continue;
+      current.push_back(a);
+      self(self, t);
+      current.pop_back();
+    }
+  };
+  dfs(dfs, start_);
+  return result;
+}
+
+}  // namespace shapley

@@ -1,0 +1,101 @@
+#ifndef SHAPLEY_AUTOMATA_AUTOMATON_H_
+#define SHAPLEY_AUTOMATA_AUTOMATON_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "shapley/automata/regex.h"
+
+namespace shapley {
+
+/// Alphabet symbols are dense indices into a name table (the RPQ machinery
+/// later aligns them with relation ids of a Schema).
+using SymbolId = uint32_t;
+
+/// Nondeterministic finite automaton with epsilon moves (Thompson form:
+/// single start, single accept).
+struct Nfa {
+  struct State {
+    std::multimap<SymbolId, uint32_t> transitions;
+    std::set<uint32_t> epsilon;
+  };
+
+  std::vector<State> states;
+  uint32_t start = 0;
+  uint32_t accept = 0;
+  std::vector<std::string> symbol_names;  // SymbolId -> name.
+
+  /// Thompson construction from a regex AST.
+  static Nfa FromRegex(const Regex& regex);
+
+  /// Epsilon closure of a state set.
+  std::set<uint32_t> EpsilonClosure(std::set<uint32_t> states_in) const;
+};
+
+/// Deterministic finite automaton produced by subset construction and
+/// trimmed to accessible & co-accessible states. Exposes the language
+/// analyses the paper's RPQ results need:
+///  * Corollary 4.3 branches on "L contains a word of length >= 3 / >= 2";
+///  * Lemma B.1 builds a minimal support from any word of length >= 2;
+///  * bounded RPQs are expanded into UCQs by enumerating the language.
+class Dfa {
+ public:
+  /// Builds from an NFA (subset construction + trim). The result may have no
+  /// states at all if the language is empty.
+  static Dfa FromNfa(const Nfa& nfa);
+  static Dfa FromRegex(const Regex& regex) { return FromNfa(Nfa::FromRegex(regex)); }
+
+  size_t NumStates() const { return transitions_.size(); }
+  const std::vector<std::string>& symbol_names() const { return symbol_names_; }
+
+  bool AcceptsEmptyLanguage() const { return transitions_.empty(); }
+  bool Accepts(const std::vector<SymbolId>& word) const;
+  bool AcceptsEpsilon() const;
+
+  /// True iff the language is finite (the trimmed DFA is acyclic).
+  bool IsFinite() const;
+
+  /// Length of the longest word if the language is finite.
+  std::optional<size_t> MaxWordLength() const;
+
+  /// True iff some word has length >= k (always true for infinite languages).
+  bool HasWordOfLengthAtLeast(size_t k) const;
+
+  /// A shortest word, or nullopt if the language is empty.
+  std::optional<std::vector<SymbolId>> ShortestWord() const;
+
+  /// A shortest word of length >= k, or nullopt if none exists.
+  std::optional<std::vector<SymbolId>> ShortestWordOfLengthAtLeast(size_t k) const;
+
+  /// All words of length <= max_length (lexicographic by symbol id). Throws
+  /// std::invalid_argument if their number would exceed `limit`.
+  std::vector<std::vector<SymbolId>> WordsUpToLength(size_t max_length,
+                                                     size_t limit = 100000) const;
+
+  /// Stepping interface for product constructions (RPQ evaluation walks the
+  /// database graph and this automaton in lockstep). Step returns
+  /// kNoTransition when the transition is undefined. Only valid when the
+  /// language is nonempty.
+  static constexpr uint32_t kNoTransition = UINT32_MAX;
+  uint32_t StartState() const { return start_; }
+  bool IsAccepting(uint32_t state) const { return accepting_[state]; }
+  uint32_t Step(uint32_t state, SymbolId symbol) const {
+    if (symbol >= symbol_names_.size()) return kNoTransition;
+    return transitions_[state][symbol];
+  }
+
+ private:
+  // transitions_[s][a] = next state or kNoState.
+  static constexpr uint32_t kNoState = UINT32_MAX;
+  std::vector<std::vector<uint32_t>> transitions_;
+  std::vector<bool> accepting_;
+  uint32_t start_ = kNoState;
+  std::vector<std::string> symbol_names_;
+};
+
+}  // namespace shapley
+
+#endif  // SHAPLEY_AUTOMATA_AUTOMATON_H_

@@ -1,0 +1,215 @@
+#include "shapley/automata/regex.h"
+
+#include <cctype>
+#include <stdexcept>
+
+#include "shapley/common/macros.h"
+
+namespace shapley {
+
+namespace {
+
+class RegexParser {
+ public:
+  explicit RegexParser(std::string_view text) : text_(text) {}
+
+  Regex Parse() {
+    Regex result = ParseUnion();
+    SkipSpace();
+    if (pos_ < text_.size()) {
+      throw std::invalid_argument("Regex: trailing input at position " +
+                                  std::to_string(pos_) + " in '" +
+                                  std::string(text_) + "'");
+    }
+    return result;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char Peek() {
+    SkipSpace();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  Regex ParseUnion() {
+    Regex left = ParseConcat();
+    while (Peek() == '|') {
+      ++pos_;
+      left = Regex::Union(std::move(left), ParseConcat());
+    }
+    return left;
+  }
+
+  bool AtPrimaryStart() {
+    char c = Peek();
+    return c == '(' || std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+  }
+
+  Regex ParseConcat() {
+    if (Peek() == '.') {
+      throw std::invalid_argument("Regex: leading '.' at position " +
+                                  std::to_string(pos_));
+    }
+    Regex left = ParsePostfix();
+    while (true) {
+      if (Peek() == '.') {
+        ++pos_;
+        left = Regex::Concat(std::move(left), ParsePostfix());
+      } else if (AtPrimaryStart()) {
+        left = Regex::Concat(std::move(left), ParsePostfix());
+      } else {
+        return left;
+      }
+    }
+  }
+
+  Regex ParsePostfix() {
+    Regex node = ParsePrimary();
+    while (true) {
+      char c = Peek();
+      if (c == '*') {
+        ++pos_;
+        node = Regex::Star(std::move(node));
+      } else if (c == '+') {
+        ++pos_;
+        node = Regex::Plus(std::move(node));
+      } else if (c == '?') {
+        ++pos_;
+        node = Regex::Optional(std::move(node));
+      } else {
+        return node;
+      }
+    }
+  }
+
+  Regex ParsePrimary() {
+    char c = Peek();
+    if (c == '(') {
+      ++pos_;
+      Regex inner = ParseUnion();
+      if (Peek() != ')') {
+        throw std::invalid_argument("Regex: missing ')' at position " +
+                                    std::to_string(pos_));
+      }
+      ++pos_;
+      return inner;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_')) {
+        ++pos_;
+      }
+      std::string name(text_.substr(start, pos_ - start));
+      if (name == "eps") return Regex::Epsilon();
+      return Regex::Symbol(std::move(name));
+    }
+    throw std::invalid_argument("Regex: unexpected character at position " +
+                                std::to_string(pos_) + " in '" +
+                                std::string(text_) + "'");
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+void CollectSymbols(const Regex& node, std::vector<std::string>* out) {
+  if (node.kind() == Regex::Kind::kSymbol) {
+    for (const std::string& s : *out) {
+      if (s == node.symbol()) return;
+    }
+    out->push_back(node.symbol());
+    return;
+  }
+  for (const Regex& child : node.children()) CollectSymbols(child, out);
+}
+
+}  // namespace
+
+Regex Regex::Parse(std::string_view text) { return RegexParser(text).Parse(); }
+
+Regex Regex::Symbol(std::string name) {
+  SHAPLEY_CHECK(!name.empty());
+  Regex r;
+  r.kind_ = Kind::kSymbol;
+  r.symbol_ = std::move(name);
+  return r;
+}
+
+Regex Regex::Epsilon() {
+  Regex r;
+  r.kind_ = Kind::kEpsilon;
+  return r;
+}
+
+Regex Regex::Concat(Regex a, Regex b) {
+  Regex r;
+  r.kind_ = Kind::kConcat;
+  r.children_.push_back(std::move(a));
+  r.children_.push_back(std::move(b));
+  return r;
+}
+
+Regex Regex::Union(Regex a, Regex b) {
+  Regex r;
+  r.kind_ = Kind::kUnion;
+  r.children_.push_back(std::move(a));
+  r.children_.push_back(std::move(b));
+  return r;
+}
+
+Regex Regex::Star(Regex a) {
+  Regex r;
+  r.kind_ = Kind::kStar;
+  r.children_.push_back(std::move(a));
+  return r;
+}
+
+Regex Regex::Plus(Regex a) {
+  Regex r;
+  r.kind_ = Kind::kPlus;
+  r.children_.push_back(std::move(a));
+  return r;
+}
+
+Regex Regex::Optional(Regex a) {
+  Regex r;
+  r.kind_ = Kind::kOptional;
+  r.children_.push_back(std::move(a));
+  return r;
+}
+
+std::vector<std::string> Regex::SymbolNames() const {
+  std::vector<std::string> out;
+  CollectSymbols(*this, &out);
+  return out;
+}
+
+std::string Regex::ToString() const {
+  switch (kind_) {
+    case Kind::kSymbol:
+      return symbol_;
+    case Kind::kEpsilon:
+      return "eps";
+    case Kind::kConcat:
+      return "(" + children_[0].ToString() + " " + children_[1].ToString() + ")";
+    case Kind::kUnion:
+      return "(" + children_[0].ToString() + "|" + children_[1].ToString() + ")";
+    case Kind::kStar:
+      return children_[0].ToString() + "*";
+    case Kind::kPlus:
+      return children_[0].ToString() + "+";
+    case Kind::kOptional:
+      return children_[0].ToString() + "?";
+  }
+  return "?";
+}
+
+}  // namespace shapley

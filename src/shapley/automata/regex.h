@@ -1,0 +1,56 @@
+#ifndef SHAPLEY_AUTOMATA_REGEX_H_
+#define SHAPLEY_AUTOMATA_REGEX_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace shapley {
+
+/// AST for regular expressions over a relational alphabet, the languages of
+/// RPQ path atoms (Section 2).
+///
+/// Grammar (precedence low to high):
+///   union   := concat ('|' concat)*
+///   concat  := postfix+                  (juxtaposition or '.')
+///   postfix := primary ('*' | '+' | '?')*
+///   primary := SYMBOL | 'eps' | '(' union ')'
+/// Symbols are identifiers ([A-Za-z_][A-Za-z0-9_]*); 'eps' denotes the empty
+/// word. Whitespace separates adjacent symbols.
+class Regex {
+ public:
+  enum class Kind { kSymbol, kEpsilon, kConcat, kUnion, kStar, kPlus, kOptional };
+
+  /// Parses the textual syntax above; throws std::invalid_argument on error.
+  static Regex Parse(std::string_view text);
+
+  /// Constructors for programmatic building.
+  static Regex Symbol(std::string name);
+  static Regex Epsilon();
+  static Regex Concat(Regex a, Regex b);
+  static Regex Union(Regex a, Regex b);
+  static Regex Star(Regex a);
+  static Regex Plus(Regex a);
+  static Regex Optional(Regex a);
+
+  Kind kind() const { return kind_; }
+  const std::string& symbol() const { return symbol_; }
+  const std::vector<Regex>& children() const { return children_; }
+
+  /// All distinct symbol names used, in first-appearance order.
+  std::vector<std::string> SymbolNames() const;
+
+  std::string ToString() const;
+
+ private:
+  Regex() = default;
+
+  Kind kind_ = Kind::kEpsilon;
+  std::string symbol_;           // Only for kSymbol.
+  std::vector<Regex> children_;  // 2 for Concat/Union, 1 for Star/Plus/Optional.
+};
+
+}  // namespace shapley
+
+#endif  // SHAPLEY_AUTOMATA_REGEX_H_

@@ -1,0 +1,53 @@
+#ifndef SHAPLEY_COMMON_MACROS_H_
+#define SHAPLEY_COMMON_MACROS_H_
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace shapley {
+
+/// Exception thrown when an internal invariant is violated. Distinct from
+/// std::invalid_argument (which signals a caller error, e.g. a malformed query
+/// string) so that tests can tell the two apart.
+class InternalError : public std::logic_error {
+ public:
+  explicit InternalError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr,
+                                     const std::string& message) {
+  std::ostringstream os;
+  os << "SHAPLEY_CHECK failed at " << file << ":" << line << ": " << expr;
+  if (!message.empty()) os << " — " << message;
+  throw InternalError(os.str());
+}
+
+}  // namespace internal
+}  // namespace shapley
+
+/// Always-on assertion for internal invariants. Throws InternalError on
+/// failure; never compiled out (the library's correctness claims are the
+/// point of the reproduction, so we keep the guard rails in release builds).
+#define SHAPLEY_CHECK(expr)                                              \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::shapley::internal::CheckFailed(__FILE__, __LINE__, #expr, "");   \
+    }                                                                    \
+  } while (false)
+
+/// Assertion with a streamed message: SHAPLEY_CHECK_MSG(x > 0, "x=" << x).
+#define SHAPLEY_CHECK_MSG(expr, stream_expr)                             \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      std::ostringstream shapley_check_os_;                              \
+      shapley_check_os_ << stream_expr;                                  \
+      ::shapley::internal::CheckFailed(__FILE__, __LINE__, #expr,        \
+                                       shapley_check_os_.str());         \
+    }                                                                    \
+  } while (false)
+
+#endif  // SHAPLEY_COMMON_MACROS_H_

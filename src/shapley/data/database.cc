@@ -1,0 +1,172 @@
+#include "shapley/data/database.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <sstream>
+
+#include "shapley/common/macros.h"
+
+namespace shapley {
+
+Database::Database(std::shared_ptr<Schema> schema)
+    : schema_(std::move(schema)) {}
+
+Database::Database(std::shared_ptr<Schema> schema, std::vector<Fact> facts)
+    : schema_(std::move(schema)), facts_(std::move(facts)) {
+  std::sort(facts_.begin(), facts_.end());
+  facts_.erase(std::unique(facts_.begin(), facts_.end()), facts_.end());
+}
+
+bool Database::Contains(const Fact& fact) const {
+  return std::binary_search(facts_.begin(), facts_.end(), fact);
+}
+
+bool Database::Insert(Fact fact) {
+  auto it = std::lower_bound(facts_.begin(), facts_.end(), fact);
+  if (it != facts_.end() && *it == fact) return false;
+  facts_.insert(it, std::move(fact));
+  return true;
+}
+
+bool Database::Remove(const Fact& fact) {
+  auto it = std::lower_bound(facts_.begin(), facts_.end(), fact);
+  if (it == facts_.end() || !(*it == fact)) return false;
+  facts_.erase(it);
+  return true;
+}
+
+void Database::InsertAll(const Database& other) {
+  for (const Fact& f : other.facts_) Insert(f);
+}
+
+Database Database::Union(const Database& other) const {
+  Database result = *this;
+  if (result.schema_ == nullptr) result.schema_ = other.schema_;
+  result.InsertAll(other);
+  return result;
+}
+
+Database Database::Intersection(const Database& other) const {
+  Database result(schema_ != nullptr ? schema_ : other.schema_);
+  std::set_intersection(facts_.begin(), facts_.end(), other.facts_.begin(),
+                        other.facts_.end(), std::back_inserter(result.facts_));
+  return result;
+}
+
+Database Database::Difference(const Database& other) const {
+  Database result(schema_ != nullptr ? schema_ : other.schema_);
+  std::set_difference(facts_.begin(), facts_.end(), other.facts_.begin(),
+                      other.facts_.end(), std::back_inserter(result.facts_));
+  return result;
+}
+
+bool Database::IsSubsetOf(const Database& other) const {
+  return std::includes(other.facts_.begin(), other.facts_.end(),
+                       facts_.begin(), facts_.end());
+}
+
+bool Database::IntersectsWith(const Database& other) const {
+  auto i = facts_.begin();
+  auto j = other.facts_.begin();
+  while (i != facts_.end() && j != other.facts_.end()) {
+    if (*i == *j) return true;
+    if (*i < *j) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
+std::vector<Fact> Database::FactsOf(RelationId relation) const {
+  std::vector<Fact> result;
+  for (const Fact& f : facts_) {
+    if (f.relation() == relation) result.push_back(f);
+  }
+  return result;
+}
+
+std::set<Constant> Database::Constants() const {
+  std::set<Constant> result;
+  for (const Fact& f : facts_) {
+    result.insert(f.args().begin(), f.args().end());
+  }
+  return result;
+}
+
+Database Database::InducedByConstants(const std::set<Constant>& allowed) const {
+  Database result(schema_);
+  for (const Fact& f : facts_) {
+    bool all_allowed = true;
+    for (Constant c : f.args()) {
+      if (allowed.count(c) == 0) {
+        all_allowed = false;
+        break;
+      }
+    }
+    if (all_allowed) result.facts_.push_back(f);
+  }
+  return result;
+}
+
+namespace {
+
+// Union-find over fact indices; facts sharing a constant are unioned.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), size_t{0});
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+}  // namespace
+
+std::vector<std::vector<size_t>> Database::ConnectedComponents() const {
+  UnionFind uf(facts_.size());
+  std::map<Constant, size_t> first_seen;
+  for (size_t i = 0; i < facts_.size(); ++i) {
+    for (Constant c : facts_[i].args()) {
+      auto [it, inserted] = first_seen.emplace(c, i);
+      if (!inserted) uf.Union(i, it->second);
+    }
+  }
+  std::map<size_t, std::vector<size_t>> groups;
+  for (size_t i = 0; i < facts_.size(); ++i) {
+    groups[uf.Find(i)].push_back(i);
+  }
+  std::vector<std::vector<size_t>> result;
+  result.reserve(groups.size());
+  for (auto& [root, members] : groups) result.push_back(std::move(members));
+  return result;
+}
+
+bool Database::IsConnected() const {
+  return ConnectedComponents().size() <= 1;
+}
+
+std::string Database::ToString() const {
+  std::ostringstream os;
+  os << "{";
+  for (size_t i = 0; i < facts_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << (schema_ != nullptr ? facts_[i].ToString(*schema_)
+                              : "fact@" + std::to_string(i));
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace shapley

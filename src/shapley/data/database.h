@@ -1,0 +1,77 @@
+#ifndef SHAPLEY_DATA_DATABASE_H_
+#define SHAPLEY_DATA_DATABASE_H_
+
+#include <iosfwd>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "shapley/data/fact.h"
+#include "shapley/data/schema.h"
+#include "shapley/data/symbol.h"
+
+namespace shapley {
+
+/// A database: a finite set of facts over a schema.
+///
+/// Stored as a sorted, deduplicated vector (databases in this library are
+/// small — the problems are #P-hard — and set semantics with cheap iteration
+/// matter more than point-lookup throughput).
+class Database {
+ public:
+  Database() = default;
+  explicit Database(std::shared_ptr<Schema> schema);
+  Database(std::shared_ptr<Schema> schema, std::vector<Fact> facts);
+
+  const std::shared_ptr<Schema>& schema() const { return schema_; }
+  const std::vector<Fact>& facts() const { return facts_; }
+  size_t size() const { return facts_.size(); }
+  bool empty() const { return facts_.empty(); }
+
+  bool Contains(const Fact& fact) const;
+  /// Inserts; returns false if already present.
+  bool Insert(Fact fact);
+  /// Removes; returns false if absent.
+  bool Remove(const Fact& fact);
+  void InsertAll(const Database& other);
+
+  /// Set operations (schemas must match).
+  Database Union(const Database& other) const;
+  Database Intersection(const Database& other) const;
+  Database Difference(const Database& other) const;
+  bool IsSubsetOf(const Database& other) const;
+  bool IntersectsWith(const Database& other) const;
+
+  /// All facts of one relation.
+  std::vector<Fact> FactsOf(RelationId relation) const;
+
+  /// The set const(D) of constants appearing in the database.
+  std::set<Constant> Constants() const;
+
+  /// The induced sub-database D|C = { f in D : const(f) ⊆ C } (Section 6.4).
+  Database InducedByConstants(const std::set<Constant>& allowed) const;
+
+  /// True iff the incidence graph of the fact set is connected (facts are
+  /// linked through shared constants). The empty database is connected;
+  /// so is a singleton.
+  bool IsConnected() const;
+
+  /// Partition of fact indices into connected components.
+  std::vector<std::vector<size_t>> ConnectedComponents() const;
+
+  /// "{R(a,b), S(b)}" rendering for debugging and error messages.
+  std::string ToString() const;
+
+  friend bool operator==(const Database& a, const Database& b) {
+    return a.facts_ == b.facts_;
+  }
+
+ private:
+  std::shared_ptr<Schema> schema_;
+  std::vector<Fact> facts_;  // Sorted, unique.
+};
+
+}  // namespace shapley
+
+#endif  // SHAPLEY_DATA_DATABASE_H_

@@ -1,0 +1,142 @@
+#include "shapley/data/parser.h"
+
+#include <cctype>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "shapley/common/macros.h"
+
+namespace shapley {
+
+namespace {
+
+// Minimal recursive-descent tokenizer shared by the fact parsers.
+class FactScanner {
+ public:
+  FactScanner(const std::shared_ptr<Schema>& schema, std::string_view text)
+      : schema_(schema), text_(text) {}
+
+  void SkipSeparators() {
+    while (pos_ < text_.size() &&
+           (std::isspace(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == ',' || text_[pos_] == ';')) {
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() {
+    SkipSeparators();
+    return pos_ >= text_.size();
+  }
+
+  bool AtBar() {
+    SkipSeparators();
+    return pos_ < text_.size() && text_[pos_] == '|';
+  }
+
+  void ConsumeBar() {
+    SHAPLEY_CHECK(AtBar());
+    ++pos_;
+  }
+
+  Fact ParseOneFact() {
+    SkipSeparators();
+    std::string relation = ParseIdentifier("relation name");
+    Expect('(');
+    std::vector<Constant> args;
+    while (true) {
+      SkipSeparators();
+      args.push_back(Constant::Named(ParseIdentifier("constant")));
+      SkipSeparators();
+      if (pos_ < text_.size() && text_[pos_] == ')') {
+        ++pos_;
+        break;
+      }
+      // SkipSeparators already consumed the comma; just continue unless at a
+      // malformed position.
+      if (pos_ >= text_.size()) {
+        throw std::invalid_argument("ParseDatabase: unterminated fact near '" +
+                                    relation + "'");
+      }
+    }
+    RelationId id = schema_->AddRelation(relation,
+                                         static_cast<uint32_t>(args.size()));
+    return Fact(id, std::move(args));
+  }
+
+ private:
+  std::string ParseIdentifier(const char* what) {
+    SkipSeparators();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_' || text_[pos_] == '#' || text_[pos_] == '\'')) {
+      ++pos_;
+    }
+    if (start == pos_) {
+      throw std::invalid_argument(std::string("ParseDatabase: expected ") +
+                                  what + " at position " +
+                                  std::to_string(pos_) + " in '" +
+                                  std::string(text_) + "'");
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  void Expect(char c) {
+    SkipSeparators();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      throw std::invalid_argument(std::string("ParseDatabase: expected '") +
+                                  c + "' at position " + std::to_string(pos_));
+    }
+    ++pos_;
+  }
+
+  std::shared_ptr<Schema> schema_;
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Database ParseDatabase(const std::shared_ptr<Schema>& schema,
+                       std::string_view text) {
+  Database db(schema);
+  FactScanner scanner(schema, text);
+  while (!scanner.AtEnd()) {
+    db.Insert(scanner.ParseOneFact());
+  }
+  return db;
+}
+
+PartitionedDatabase ParsePartitionedDatabase(
+    const std::shared_ptr<Schema>& schema, std::string_view text) {
+  Database endo(schema), exo(schema);
+  FactScanner scanner(schema, text);
+  bool in_exogenous = false;
+  while (!scanner.AtEnd()) {
+    if (scanner.AtBar()) {
+      if (in_exogenous) {
+        throw std::invalid_argument("ParsePartitionedDatabase: two '|' bars");
+      }
+      scanner.ConsumeBar();
+      in_exogenous = true;
+      continue;
+    }
+    Fact f = scanner.ParseOneFact();
+    (in_exogenous ? exo : endo).Insert(std::move(f));
+  }
+  return PartitionedDatabase(std::move(endo), std::move(exo));
+}
+
+Fact ParseFact(const std::shared_ptr<Schema>& schema, std::string_view text) {
+  FactScanner scanner(schema, text);
+  Fact f = scanner.ParseOneFact();
+  if (!scanner.AtEnd()) {
+    throw std::invalid_argument("ParseFact: trailing input in '" +
+                                std::string(text) + "'");
+  }
+  return f;
+}
+
+}  // namespace shapley

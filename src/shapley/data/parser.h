@@ -1,0 +1,29 @@
+#ifndef SHAPLEY_DATA_PARSER_H_
+#define SHAPLEY_DATA_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "shapley/data/database.h"
+#include "shapley/data/partitioned_database.h"
+
+namespace shapley {
+
+/// Parses a fact list like "R(a,b), S(b,c) R(c,c)" (commas, semicolons and
+/// whitespace all separate facts). Unknown relation names are added to
+/// `schema` with the observed arity; a known relation used with a different
+/// arity throws std::invalid_argument.
+Database ParseDatabase(const std::shared_ptr<Schema>& schema,
+                       std::string_view text);
+
+/// Parses "R(a,b) | S(b,c)": facts before '|' are endogenous, after it
+/// exogenous. The bar may be omitted (then everything is endogenous).
+PartitionedDatabase ParsePartitionedDatabase(
+    const std::shared_ptr<Schema>& schema, std::string_view text);
+
+/// Parses a single fact like "R(a,b)".
+Fact ParseFact(const std::shared_ptr<Schema>& schema, std::string_view text);
+
+}  // namespace shapley
+
+#endif  // SHAPLEY_DATA_PARSER_H_

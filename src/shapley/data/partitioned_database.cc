@@ -1,0 +1,65 @@
+#include "shapley/data/partitioned_database.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "shapley/common/macros.h"
+
+namespace shapley {
+
+PartitionedDatabase::PartitionedDatabase(Database endogenous,
+                                         Database exogenous)
+    : endogenous_(std::move(endogenous)), exogenous_(std::move(exogenous)) {
+  if (endogenous_.IntersectsWith(exogenous_)) {
+    throw std::invalid_argument(
+        "PartitionedDatabase: endogenous and exogenous parts overlap");
+  }
+}
+
+PartitionedDatabase PartitionedDatabase::AllEndogenous(Database db) {
+  PartitionedDatabase result;
+  result.endogenous_ = std::move(db);
+  result.exogenous_ = Database(result.endogenous_.schema());
+  return result;
+}
+
+void PartitionedDatabase::AddEndogenous(Fact fact) {
+  if (exogenous_.Contains(fact)) {
+    throw std::invalid_argument(
+        "PartitionedDatabase: fact is already exogenous");
+  }
+  endogenous_.Insert(std::move(fact));
+}
+
+void PartitionedDatabase::AddExogenous(Fact fact) {
+  if (endogenous_.Contains(fact)) {
+    throw std::invalid_argument(
+        "PartitionedDatabase: fact is already endogenous");
+  }
+  exogenous_.Insert(std::move(fact));
+}
+
+PartitionedDatabase PartitionedDatabase::WithFactMadeExogenous(
+    const Fact& fact) const {
+  SHAPLEY_CHECK_MSG(endogenous_.Contains(fact), "fact must be endogenous");
+  PartitionedDatabase result = *this;
+  result.endogenous_.Remove(fact);
+  result.exogenous_.Insert(fact);
+  return result;
+}
+
+PartitionedDatabase PartitionedDatabase::WithEndogenousFactRemoved(
+    const Fact& fact) const {
+  SHAPLEY_CHECK_MSG(endogenous_.Contains(fact), "fact must be endogenous");
+  PartitionedDatabase result = *this;
+  result.endogenous_.Remove(fact);
+  return result;
+}
+
+std::string PartitionedDatabase::ToString() const {
+  std::ostringstream os;
+  os << "Dn=" << endogenous_.ToString() << " Dx=" << exogenous_.ToString();
+  return os.str();
+}
+
+}  // namespace shapley

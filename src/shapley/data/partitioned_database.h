@@ -1,0 +1,58 @@
+#ifndef SHAPLEY_DATA_PARTITIONED_DATABASE_H_
+#define SHAPLEY_DATA_PARTITIONED_DATABASE_H_
+
+#include <string>
+
+#include "shapley/data/database.h"
+
+namespace shapley {
+
+/// A partitioned database D = (Dn, Dx): endogenous facts Dn (the players of
+/// the Shapley game, the countable subsets of GMC) and exogenous facts Dx
+/// (assumed present in every sub-database). See Section 3 of the paper.
+class PartitionedDatabase {
+ public:
+  PartitionedDatabase() = default;
+  explicit PartitionedDatabase(std::shared_ptr<Schema> schema)
+      : endogenous_(schema), exogenous_(std::move(schema)) {}
+
+  /// Builds from the two parts; throws std::invalid_argument if they overlap.
+  PartitionedDatabase(Database endogenous, Database exogenous);
+
+  /// A fully endogenous database (Dx = ∅), the input shape of SVCn/FMC/MC.
+  static PartitionedDatabase AllEndogenous(Database db);
+
+  const Database& endogenous() const { return endogenous_; }
+  const Database& exogenous() const { return exogenous_; }
+  const std::shared_ptr<Schema>& schema() const {
+    return endogenous_.schema() != nullptr ? endogenous_.schema()
+                                           : exogenous_.schema();
+  }
+
+  /// Dn ∪ Dx.
+  Database AllFacts() const { return endogenous_.Union(exogenous_); }
+
+  size_t NumEndogenous() const { return endogenous_.size(); }
+  bool IsPurelyEndogenous() const { return exogenous_.empty(); }
+
+  /// Adds a fact to the chosen side; throws if present on the other side.
+  void AddEndogenous(Fact fact);
+  void AddExogenous(Fact fact);
+
+  /// Returns a copy where `fact` (currently endogenous) became exogenous.
+  /// Used by the SVC ≤ FGMC reduction of Claim A.1.
+  PartitionedDatabase WithFactMadeExogenous(const Fact& fact) const;
+
+  /// Returns a copy where `fact` (currently endogenous) was removed.
+  PartitionedDatabase WithEndogenousFactRemoved(const Fact& fact) const;
+
+  std::string ToString() const;
+
+ private:
+  Database endogenous_;
+  Database exogenous_;
+};
+
+}  // namespace shapley
+
+#endif  // SHAPLEY_DATA_PARTITIONED_DATABASE_H_

@@ -1,0 +1,70 @@
+#include "shapley/data/probabilistic_database.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "shapley/common/macros.h"
+
+namespace shapley {
+
+void ProbabilisticDatabase::AddFact(Fact fact, BigRational probability) {
+  if (probability.sign() <= 0 || probability > BigRational(1)) {
+    throw std::invalid_argument(
+        "ProbabilisticDatabase: probability must lie in (0, 1]");
+  }
+  if (std::find(facts_.begin(), facts_.end(), fact) != facts_.end()) {
+    throw std::invalid_argument("ProbabilisticDatabase: duplicate fact");
+  }
+  facts_.push_back(std::move(fact));
+  probabilities_.push_back(std::move(probability));
+}
+
+ProbabilisticDatabase ProbabilisticDatabase::FromPartitioned(
+    const PartitionedDatabase& db, const BigRational& p) {
+  if (p.sign() <= 0 || p >= BigRational(1)) {
+    throw std::invalid_argument(
+        "ProbabilisticDatabase: endogenous probability must lie in (0, 1)");
+  }
+  ProbabilisticDatabase result(db.schema());
+  for (const Fact& f : db.endogenous().facts()) result.AddFact(f, p);
+  for (const Fact& f : db.exogenous().facts()) result.AddFact(f, BigRational(1));
+  return result;
+}
+
+PartitionedDatabase ProbabilisticDatabase::AssociatedPartitioned() const {
+  Database endo(schema_), exo(schema_);
+  for (size_t i = 0; i < facts_.size(); ++i) {
+    if (probabilities_[i] == BigRational(1)) {
+      exo.Insert(facts_[i]);
+    } else {
+      endo.Insert(facts_[i]);
+    }
+  }
+  return PartitionedDatabase(std::move(endo), std::move(exo));
+}
+
+bool ProbabilisticDatabase::IsSingleProperProbability() const {
+  const BigRational one(1);
+  const BigRational* p = nullptr;
+  for (const BigRational& prob : probabilities_) {
+    if (prob == one) continue;
+    if (p == nullptr) {
+      p = &prob;
+    } else if (!(prob == *p)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ProbabilisticDatabase::IsSingleProbability() const {
+  if (probabilities_.empty()) return true;
+  const BigRational& p = probabilities_.front();
+  if (p == BigRational(1)) return false;
+  for (const BigRational& prob : probabilities_) {
+    if (!(prob == p)) return false;
+  }
+  return true;
+}
+
+}  // namespace shapley

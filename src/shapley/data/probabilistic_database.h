@@ -1,0 +1,51 @@
+#ifndef SHAPLEY_DATA_PROBABILISTIC_DATABASE_H_
+#define SHAPLEY_DATA_PROBABILISTIC_DATABASE_H_
+
+#include <vector>
+
+#include "shapley/arith/big_rational.h"
+#include "shapley/data/database.h"
+#include "shapley/data/partitioned_database.h"
+
+namespace shapley {
+
+/// A tuple-independent probabilistic database: facts with independent
+/// existence probabilities in (0, 1]. Facts with probability 1 form the
+/// associated exogenous part (Section 3.3).
+class ProbabilisticDatabase {
+ public:
+  ProbabilisticDatabase() = default;
+  explicit ProbabilisticDatabase(std::shared_ptr<Schema> schema)
+      : schema_(std::move(schema)) {}
+
+  /// Adds a fact with the given probability; throws std::invalid_argument if
+  /// the probability is outside (0, 1] or the fact repeats.
+  void AddFact(Fact fact, BigRational probability);
+
+  /// The SPPQE input shape: endogenous facts get probability p, exogenous
+  /// facts probability 1. Requires p in (0, 1).
+  static ProbabilisticDatabase FromPartitioned(const PartitionedDatabase& db,
+                                               const BigRational& p);
+
+  const std::shared_ptr<Schema>& schema() const { return schema_; }
+  size_t size() const { return facts_.size(); }
+  const std::vector<Fact>& facts() const { return facts_; }
+  const std::vector<BigRational>& probabilities() const { return probabilities_; }
+
+  /// The partitioned database whose Dx is the probability-1 facts.
+  PartitionedDatabase AssociatedPartitioned() const;
+
+  /// True iff all probabilities lie in {p, 1} for a single p (SPPQE shape).
+  bool IsSingleProperProbability() const;
+  /// True iff all probabilities equal a single p < 1 (SPQE shape).
+  bool IsSingleProbability() const;
+
+ private:
+  std::shared_ptr<Schema> schema_;
+  std::vector<Fact> facts_;
+  std::vector<BigRational> probabilities_;
+};
+
+}  // namespace shapley
+
+#endif  // SHAPLEY_DATA_PROBABILISTIC_DATABASE_H_

@@ -1,0 +1,44 @@
+#include "shapley/data/renaming.h"
+
+namespace shapley {
+
+void ConstantRenaming::Map(Constant from, Constant to) {
+  mapping_[from] = to;
+}
+
+Constant ConstantRenaming::Apply(Constant c) const {
+  auto it = mapping_.find(c);
+  return it == mapping_.end() ? c : it->second;
+}
+
+Fact ConstantRenaming::Apply(const Fact& fact) const {
+  std::vector<Constant> args;
+  args.reserve(fact.args().size());
+  for (Constant c : fact.args()) args.push_back(Apply(c));
+  return Fact(fact.relation(), std::move(args));
+}
+
+Database ConstantRenaming::Apply(const Database& db) const {
+  Database result(db.schema());
+  for (const Fact& f : db.facts()) result.Insert(Apply(f));
+  return result;
+}
+
+ConstantRenaming ConstantRenaming::FreshExcept(
+    const Database& db, const std::set<Constant>& keep) {
+  ConstantRenaming renaming;
+  for (Constant c : db.Constants()) {
+    if (keep.count(c) == 0) {
+      renaming.Map(c, Constant::Fresh(c.name()));
+    }
+  }
+  return renaming;
+}
+
+ConstantRenaming ConstantRenaming::SingleFresh(Constant from) {
+  ConstantRenaming renaming;
+  renaming.Map(from, Constant::Fresh(from.name()));
+  return renaming;
+}
+
+}  // namespace shapley

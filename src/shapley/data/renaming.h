@@ -1,0 +1,47 @@
+#ifndef SHAPLEY_DATA_RENAMING_H_
+#define SHAPLEY_DATA_RENAMING_H_
+
+#include <map>
+#include <set>
+
+#include "shapley/data/database.h"
+
+namespace shapley {
+
+/// A constant renaming (injective when built by the helpers below, i.e. a
+/// C-isomorphism fixing the constants it does not mention).
+///
+/// The Section 5 constructions repeatedly "C-isomorphically rename" supports
+/// and databases so that different parts of the construction share no
+/// constant outside C, and mint the copy family (S_k) by renaming a single
+/// constant `a` to fresh constants a_k.
+class ConstantRenaming {
+ public:
+  ConstantRenaming() = default;
+
+  /// Maps `from` to `to`; later mappings override earlier ones.
+  void Map(Constant from, Constant to);
+
+  /// Identity outside the explicit mappings.
+  Constant Apply(Constant c) const;
+  Fact Apply(const Fact& fact) const;
+  Database Apply(const Database& db) const;
+
+  /// A renaming sending every constant of `db` outside `keep` to a brand-new
+  /// fresh constant (the "C-isomorphic renaming onto fresh constants" step).
+  static ConstantRenaming FreshExcept(const Database& db,
+                                      const std::set<Constant>& keep);
+
+  /// A renaming sending exactly `from` to a fresh constant (the S_k copy
+  /// construction: a ↦ a_k).
+  static ConstantRenaming SingleFresh(Constant from);
+
+  bool empty() const { return mapping_.empty(); }
+
+ private:
+  std::map<Constant, Constant> mapping_;
+};
+
+}  // namespace shapley
+
+#endif  // SHAPLEY_DATA_RENAMING_H_

@@ -1,0 +1,57 @@
+#include "shapley/data/schema.h"
+
+#include <stdexcept>
+
+#include "shapley/common/macros.h"
+
+namespace shapley {
+
+RelationId Schema::AddRelation(std::string_view name, uint32_t arity) {
+  if (arity == 0) {
+    throw std::invalid_argument("Schema: relations must have positive arity");
+  }
+  auto it = by_name_.find(std::string(name));
+  if (it != by_name_.end()) {
+    if (arities_[it->second] != arity) {
+      throw std::invalid_argument("Schema: relation '" + std::string(name) +
+                                  "' re-declared with different arity");
+    }
+    return it->second;
+  }
+  RelationId id = static_cast<RelationId>(names_.size());
+  names_.emplace_back(name);
+  arities_.push_back(arity);
+  by_name_.emplace(names_.back(), id);
+  return id;
+}
+
+std::optional<RelationId> Schema::FindRelation(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+uint32_t Schema::arity(RelationId id) const {
+  SHAPLEY_CHECK_MSG(id < arities_.size(), "bad relation id " << id);
+  return arities_[id];
+}
+
+const std::string& Schema::name(RelationId id) const {
+  SHAPLEY_CHECK_MSG(id < names_.size(), "bad relation id " << id);
+  return names_[id];
+}
+
+bool Schema::IsGraphSchema() const {
+  for (uint32_t a : arities_) {
+    if (a != 2) return false;
+  }
+  return !arities_.empty();
+}
+
+std::vector<RelationId> Schema::relations() const {
+  std::vector<RelationId> ids(names_.size());
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<RelationId>(i);
+  return ids;
+}
+
+}  // namespace shapley

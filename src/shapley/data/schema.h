@@ -1,0 +1,55 @@
+#ifndef SHAPLEY_DATA_SCHEMA_H_
+#define SHAPLEY_DATA_SCHEMA_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace shapley {
+
+/// Identifier of a relation symbol inside one Schema.
+using RelationId = uint32_t;
+
+/// A relational schema: a finite set of relation symbols with arities.
+///
+/// Databases and queries that are meant to interoperate must share one Schema
+/// instance (relation ids are schema-local); the conventional way to hold one
+/// is a std::shared_ptr<Schema> created by Schema::Create().
+class Schema {
+ public:
+  static std::shared_ptr<Schema> Create() { return std::make_shared<Schema>(); }
+
+  /// Adds a relation; returns its id. Re-adding the same name with the same
+  /// arity returns the existing id; a different arity throws
+  /// std::invalid_argument.
+  RelationId AddRelation(std::string_view name, uint32_t arity);
+
+  /// Finds a relation id by name.
+  std::optional<RelationId> FindRelation(std::string_view name) const;
+
+  uint32_t arity(RelationId id) const;
+  const std::string& name(RelationId id) const;
+
+  /// Number of relations.
+  size_t size() const { return arities_.size(); }
+
+  /// True iff every relation is binary — i.e. this is a graph schema, the
+  /// setting of RPQs / CRPQs and of [Amarilli 2023]'s hardness result.
+  bool IsGraphSchema() const;
+
+  /// All relation ids, in insertion order.
+  std::vector<RelationId> relations() const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<uint32_t> arities_;
+  std::unordered_map<std::string, RelationId> by_name_;
+};
+
+}  // namespace shapley
+
+#endif  // SHAPLEY_DATA_SCHEMA_H_

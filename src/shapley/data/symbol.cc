@@ -1,0 +1,96 @@
+#include "shapley/data/symbol.h"
+
+#include <mutex>
+#include <ostream>
+#include <unordered_map>
+#include <vector>
+
+#include "shapley/common/macros.h"
+
+namespace shapley {
+
+namespace {
+
+// Process-wide interner. Id 0 is reserved for the invalid sentinel.
+class Interner {
+ public:
+  uint32_t Intern(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = by_name_.find(std::string(name));
+    if (it != by_name_.end()) return it->second;
+    names_.emplace_back(name);
+    uint32_t id = static_cast<uint32_t>(names_.size());
+    by_name_.emplace(names_.back(), id);
+    return id;
+  }
+
+  uint32_t Fresh(std::string_view prefix) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string name;
+    do {
+      name = std::string(prefix) + "#" + std::to_string(++fresh_counter_);
+    } while (by_name_.count(name) != 0);
+    names_.push_back(name);
+    uint32_t id = static_cast<uint32_t>(names_.size());
+    by_name_.emplace(names_.back(), id);
+    return id;
+  }
+
+  const std::string& Name(uint32_t id) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    SHAPLEY_CHECK_MSG(id >= 1 && id <= names_.size(), "bad symbol id " << id);
+    return names_[id - 1];
+  }
+
+ private:
+  std::mutex mutex_;
+  std::vector<std::string> names_;  // Stable storage (ids index into this).
+  std::unordered_map<std::string, uint32_t> by_name_;
+  uint64_t fresh_counter_ = 0;
+};
+
+Interner& ConstantInterner() {
+  static Interner* interner = new Interner();
+  return *interner;
+}
+
+Interner& VariableInterner() {
+  static Interner* interner = new Interner();
+  return *interner;
+}
+
+}  // namespace
+
+Constant Constant::Named(std::string_view name) {
+  return Constant(ConstantInterner().Intern(name));
+}
+
+Constant Constant::Fresh(std::string_view prefix) {
+  return Constant(ConstantInterner().Fresh(prefix));
+}
+
+const std::string& Constant::name() const {
+  return ConstantInterner().Name(id_);
+}
+
+std::ostream& operator<<(std::ostream& os, Constant c) {
+  return os << (c.IsValid() ? c.name() : "<invalid>");
+}
+
+Variable Variable::Named(std::string_view name) {
+  return Variable(VariableInterner().Intern(name));
+}
+
+Variable Variable::Fresh(std::string_view prefix) {
+  return Variable(VariableInterner().Fresh(prefix));
+}
+
+const std::string& Variable::name() const {
+  return VariableInterner().Name(id_);
+}
+
+std::ostream& operator<<(std::ostream& os, Variable v) {
+  return os << (v.IsValid() ? v.name() : "<invalid>");
+}
+
+}  // namespace shapley

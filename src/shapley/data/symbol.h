@@ -1,0 +1,82 @@
+#ifndef SHAPLEY_DATA_SYMBOL_H_
+#define SHAPLEY_DATA_SYMBOL_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace shapley {
+
+/// A database constant (an element of the infinite set Const of the paper).
+///
+/// Constants are interned process-wide: equal names yield equal ids, and
+/// `Fresh` mints constants guaranteed distinct from every constant created so
+/// far — the reductions of Section 5 lean heavily on "take fresh constants"
+/// steps (C-isomorphic copies S_k, frozen variables, renamed supports).
+class Constant {
+ public:
+  /// Invalid sentinel; usable as a map key placeholder.
+  Constant() : id_(0) {}
+
+  /// Interns `name` (idempotent).
+  static Constant Named(std::string_view name);
+
+  /// Mints a brand-new constant whose name starts with `prefix`.
+  static Constant Fresh(std::string_view prefix = "c");
+
+  /// Rebuilds a constant from a raw interner id (internal use: Term storage).
+  static Constant FromId(uint32_t id) { return Constant(id); }
+
+  /// The constant's print name.
+  const std::string& name() const;
+
+  uint32_t id() const { return id_; }
+  bool IsValid() const { return id_ != 0; }
+
+  friend bool operator==(Constant a, Constant b) { return a.id_ == b.id_; }
+  friend auto operator<=>(Constant a, Constant b) { return a.id_ <=> b.id_; }
+  friend std::ostream& operator<<(std::ostream& os, Constant c);
+
+ private:
+  explicit Constant(uint32_t id) : id_(id) {}
+  uint32_t id_;
+};
+
+/// A query variable. Interned in a separate namespace from constants, so the
+/// variable "x" and the constant "x" never collide.
+class Variable {
+ public:
+  Variable() : id_(0) {}
+
+  static Variable Named(std::string_view name);
+  static Variable Fresh(std::string_view prefix = "v");
+
+  /// Rebuilds a variable from a raw interner id (internal use: Term storage).
+  static Variable FromId(uint32_t id) { return Variable(id); }
+
+  const std::string& name() const;
+  uint32_t id() const { return id_; }
+  bool IsValid() const { return id_ != 0; }
+
+  friend bool operator==(Variable a, Variable b) { return a.id_ == b.id_; }
+  friend auto operator<=>(Variable a, Variable b) { return a.id_ <=> b.id_; }
+  friend std::ostream& operator<<(std::ostream& os, Variable v);
+
+ private:
+  explicit Variable(uint32_t id) : id_(id) {}
+  uint32_t id_;
+};
+
+}  // namespace shapley
+
+template <>
+struct std::hash<shapley::Constant> {
+  size_t operator()(shapley::Constant c) const { return c.id(); }
+};
+template <>
+struct std::hash<shapley::Variable> {
+  size_t operator()(shapley::Variable v) const { return v.id(); }
+};
+
+#endif  // SHAPLEY_DATA_SYMBOL_H_

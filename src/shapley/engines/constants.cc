@@ -1,0 +1,151 @@
+#include "shapley/engines/constants.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "shapley/arith/factorial.h"
+#include "shapley/common/macros.h"
+#include "shapley/engines/game.h"
+
+namespace shapley {
+
+void ValidateConstantPartition(const Database& db,
+                               const ConstantPartition& p) {
+  for (Constant c : p.endogenous) {
+    if (p.exogenous.count(c) > 0) {
+      throw std::invalid_argument(
+          "ConstantPartition: constant on both sides: " + c.name());
+    }
+  }
+  for (Constant c : db.Constants()) {
+    if (p.endogenous.count(c) == 0 && p.exogenous.count(c) == 0) {
+      throw std::invalid_argument(
+          "ConstantPartition: database constant unassigned: " + c.name());
+    }
+  }
+}
+
+namespace {
+
+// Satisfaction of D|_{C ∪ Cx} for every coalition mask over Cn.
+std::vector<char> ConstantSatisfactionTable(const BooleanQuery& query,
+                                            const Database& db,
+                                            const ConstantPartition& p,
+                                            std::vector<Constant>* players) {
+  if (!query.IsMonotone()) {
+    throw std::invalid_argument(
+        "constant-Shapley engines require a monotone query");
+  }
+  ValidateConstantPartition(db, p);
+  players->assign(p.endogenous.begin(), p.endogenous.end());
+  const size_t n = players->size();
+  if (n > 25) {
+    throw std::invalid_argument("SvcConst: more than 25 endogenous constants");
+  }
+  std::vector<char> table(size_t{1} << n);
+  for (uint64_t mask = 0; mask < table.size(); ++mask) {
+    std::set<Constant> allowed = p.exogenous;
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (uint64_t{1} << i)) allowed.insert((*players)[i]);
+    }
+    table[mask] = query.Evaluate(db.InducedByConstants(allowed)) ? 1 : 0;
+  }
+  return table;
+}
+
+}  // namespace
+
+Polynomial FgmcConstBySize(const BooleanQuery& query, const Database& db,
+                           const ConstantPartition& partition) {
+  std::vector<Constant> players;
+  std::vector<char> table =
+      ConstantSatisfactionTable(query, db, partition, &players);
+  std::vector<BigInt> coefficients(players.size() + 1, BigInt(0));
+  for (uint64_t mask = 0; mask < table.size(); ++mask) {
+    if (table[mask]) {
+      coefficients[static_cast<size_t>(__builtin_popcountll(mask))] += 1;
+    }
+  }
+  return Polynomial(std::move(coefficients));
+}
+
+BigRational SvcConstBruteForce(const BooleanQuery& query, const Database& db,
+                               const ConstantPartition& partition,
+                               Constant player) {
+  std::vector<Constant> players;
+  std::vector<char> table =
+      ConstantSatisfactionTable(query, db, partition, &players);
+  // Wealth is 0 everywhere when D|_{Cx} already satisfies the query.
+  if (table[0]) return BigRational(0);
+  size_t index = players.size();
+  for (size_t i = 0; i < players.size(); ++i) {
+    if (players[i] == player) index = i;
+  }
+  if (index == players.size()) {
+    throw std::invalid_argument("SvcConst: player is not endogenous");
+  }
+  return ShapleyValueBySubsets(
+      players.size(), [&table](uint64_t mask) { return table[mask] != 0; },
+      index);
+}
+
+std::map<Constant, BigRational> AllSvcConstBruteForce(
+    const BooleanQuery& query, const Database& db,
+    const ConstantPartition& partition) {
+  std::vector<Constant> players;
+  std::vector<char> table =
+      ConstantSatisfactionTable(query, db, partition, &players);
+  std::map<Constant, BigRational> values;
+  for (size_t i = 0; i < players.size(); ++i) {
+    if (table[0]) {
+      values.emplace(players[i], BigRational(0));
+    } else {
+      values.emplace(players[i],
+                     ShapleyValueBySubsets(
+                         players.size(),
+                         [&table](uint64_t mask) { return table[mask] != 0; },
+                         i));
+    }
+  }
+  return values;
+}
+
+BigRational SvcConstViaFgmcConst(const BooleanQuery& query, const Database& db,
+                                 const ConstantPartition& partition,
+                                 Constant player,
+                                 const FgmcConstOracle& oracle) {
+  ValidateConstantPartition(db, partition);
+  if (partition.endogenous.count(player) == 0) {
+    throw std::invalid_argument("SvcConst: player is not endogenous");
+  }
+  // Zero game when D|_{Cx} already satisfies the query.
+  if (query.Evaluate(db.InducedByConstants(partition.exogenous))) {
+    return BigRational(0);
+  }
+  const size_t n = partition.endogenous.size();
+
+  ConstantPartition with_player = partition;
+  with_player.endogenous.erase(player);
+  with_player.exogenous.insert(player);
+  ConstantPartition without_player = partition;
+  without_player.endogenous.erase(player);
+  // "Removing" a constant from the game: its facts must not be usable, so
+  // drop every fact mentioning it.
+  Database reduced(db.schema());
+  for (const Fact& f : db.facts()) {
+    if (!f.Mentions(player)) reduced.Insert(f);
+  }
+
+  Polynomial counts_with = oracle(db, with_player);
+  Polynomial counts_without = oracle(reduced, without_player);
+
+  BigRational value(0);
+  for (size_t j = 0; j + 1 <= n; ++j) {
+    BigInt delta = counts_with.Coefficient(j) - counts_without.Coefficient(j);
+    if (delta.IsZero()) continue;
+    value += ShapleyWeight(n, j) * BigRational(delta);
+  }
+  return value;
+}
+
+}  // namespace shapley

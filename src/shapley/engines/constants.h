@@ -1,0 +1,59 @@
+#ifndef SHAPLEY_ENGINES_CONSTANTS_H_
+#define SHAPLEY_ENGINES_CONSTANTS_H_
+
+#include <functional>
+#include <map>
+#include <set>
+
+#include "shapley/arith/big_rational.h"
+#include "shapley/arith/polynomial.h"
+#include "shapley/data/database.h"
+#include "shapley/query/boolean_query.h"
+
+namespace shapley {
+
+/// Section 6.4 — Shapley value of constants. The players are a set Cn of
+/// endogenous constants; a coalition C is worth 1 iff the induced
+/// sub-database D|_{C ∪ Cx} satisfies the (monotone) query while D|_{Cx}
+/// does not.
+
+/// A partition const(D) = Cn ⊎ Cx. Constants of D outside both sets are
+/// rejected by the engines below.
+struct ConstantPartition {
+  std::set<Constant> endogenous;  // Cn — the players.
+  std::set<Constant> exogenous;   // Cx — always available.
+};
+
+/// Validates that the partition covers const(D) disjointly; throws
+/// std::invalid_argument otherwise.
+void ValidateConstantPartition(const Database& db, const ConstantPartition& p);
+
+/// FGMCconst: the generating polynomial sum_k #{C ⊆ Cn : |C| = k,
+/// D|_{C ∪ Cx} |= q} z^k, by exhaustive enumeration (|Cn| <= 25).
+Polynomial FgmcConstBySize(const BooleanQuery& query, const Database& db,
+                           const ConstantPartition& partition);
+
+/// SVCconst by the subset formula over constant coalitions (|Cn| <= 25).
+BigRational SvcConstBruteForce(const BooleanQuery& query, const Database& db,
+                               const ConstantPartition& partition,
+                               Constant player);
+
+/// All endogenous constants' Shapley values (shared satisfaction table).
+std::map<Constant, BigRational> AllSvcConstBruteForce(
+    const BooleanQuery& query, const Database& db,
+    const ConstantPartition& partition);
+
+/// An FGMCconst oracle: maps (db, Cn, Cx) to the counting polynomial.
+using FgmcConstOracle = std::function<Polynomial(
+    const Database& db, const ConstantPartition& partition)>;
+
+/// SVCconst ≤poly FGMCconst (the Claim A.1 analog inside Proposition 6.3):
+/// two oracle calls moving the player into Cx / removing it.
+BigRational SvcConstViaFgmcConst(const BooleanQuery& query, const Database& db,
+                                 const ConstantPartition& partition,
+                                 Constant player,
+                                 const FgmcConstOracle& oracle);
+
+}  // namespace shapley
+
+#endif  // SHAPLEY_ENGINES_CONSTANTS_H_

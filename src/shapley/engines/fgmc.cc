@@ -1,0 +1,49 @@
+#include "shapley/engines/fgmc.h"
+
+#include <stdexcept>
+
+#include "shapley/common/macros.h"
+#include "shapley/engines/lifted.h"
+#include "shapley/lineage/ddnnf.h"
+#include "shapley/lineage/lineage.h"
+
+namespace shapley {
+
+Polynomial BruteForceFgmc::CountBySize(const BooleanQuery& query,
+                                       const PartitionedDatabase& db) {
+  const auto& endo = db.endogenous().facts();
+  const size_t n = endo.size();
+  if (n > 25) {
+    throw std::invalid_argument("BruteForceFgmc: more than 25 endogenous facts");
+  }
+  std::vector<BigInt> coefficients(n + 1, BigInt(0));
+  for (uint64_t mask = 0; mask < (uint64_t{1} << n); ++mask) {
+    Database world = db.exogenous();
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (uint64_t{1} << i)) world.Insert(endo[i]);
+    }
+    if (query.Evaluate(world)) {
+      coefficients[static_cast<size_t>(__builtin_popcountll(mask))] += 1;
+    }
+  }
+  return Polynomial(std::move(coefficients));
+}
+
+Polynomial LineageFgmc::CountBySize(const BooleanQuery& query,
+                                    const PartitionedDatabase& db) {
+  Lineage lineage = BuildLineage(query, db, support_cap_);
+  DdnnfCircuit circuit = CompileDnf(lineage, node_cap_);
+  return circuit.CountBySize();
+}
+
+Polynomial LiftedFgmc::CountBySize(const BooleanQuery& query,
+                                   const PartitionedDatabase& db) {
+  const auto* cq = dynamic_cast<const ConjunctiveQuery*>(&query);
+  if (cq == nullptr) {
+    throw std::invalid_argument(
+        "LiftedFgmc: the lifted engine handles conjunctive queries only");
+  }
+  return LiftedCountBySize(*cq, db);
+}
+
+}  // namespace shapley

@@ -1,0 +1,68 @@
+#include "shapley/engines/game.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "shapley/arith/factorial.h"
+#include "shapley/common/macros.h"
+
+namespace shapley {
+
+BigRational ShapleyValueBySubsets(size_t n, const BinaryWealth& wealth,
+                                  size_t player) {
+  if (n > 25) {
+    throw std::invalid_argument("ShapleyValueBySubsets: n too large (max 25)");
+  }
+  SHAPLEY_CHECK(player < n);
+  const uint64_t player_bit = uint64_t{1} << player;
+  const uint64_t full = (uint64_t{1} << n) - 1;
+  const uint64_t others = full & ~player_bit;
+
+  BigRational total(0);
+  // Iterate exactly over the subsets of `others` (standard subset trick),
+  // including the empty set.
+  uint64_t mask = 0;
+  while (true) {
+    bool with = wealth(mask | player_bit);
+    bool without = wealth(mask);
+    if (with && !without) {
+      total += ShapleyWeight(n, static_cast<size_t>(__builtin_popcountll(mask)));
+    } else if (!with && without) {
+      total -= ShapleyWeight(n, static_cast<size_t>(__builtin_popcountll(mask)));
+    }
+    if (mask == others) break;
+    mask = (mask - others) & others;  // Next subset of `others`.
+  }
+  return total;
+}
+
+BigRational ShapleyValueByPermutations(size_t n, const BinaryWealth& wealth,
+                                       size_t player) {
+  if (n > 9) {
+    throw std::invalid_argument(
+        "ShapleyValueByPermutations: n too large (max 9)");
+  }
+  SHAPLEY_CHECK(player < n);
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+
+  int64_t favorable = 0;
+  int64_t total_permutations = 0;
+  do {
+    ++total_permutations;
+    uint64_t before = 0;
+    for (size_t pos = 0; pos < n; ++pos) {
+      if (order[pos] == player) break;
+      before |= uint64_t{1} << order[pos];
+    }
+    int delta = static_cast<int>(wealth(before | (uint64_t{1} << player))) -
+                static_cast<int>(wealth(before));
+    favorable += delta;
+  } while (std::next_permutation(order.begin(), order.end()));
+
+  return BigRational(BigInt(favorable), BigInt(total_permutations));
+}
+
+}  // namespace shapley

@@ -1,0 +1,31 @@
+#ifndef SHAPLEY_ENGINES_GAME_H_
+#define SHAPLEY_ENGINES_GAME_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "shapley/arith/big_rational.h"
+
+namespace shapley {
+
+/// A binary cooperative game on players {0, ..., n-1}: the wealth function
+/// maps a coalition (bitmask) to 0 or 1. The games arising from Boolean
+/// queries (Section 3.1) are all of this form, and they are additionally
+/// monotone when the query is.
+using BinaryWealth = std::function<bool(uint64_t coalition_mask)>;
+
+/// Shapley value of `player` by the subset formula (Equation 2):
+///   Sh = sum_{B ⊆ P\{p}} |B|!(n-|B|-1)!/n! (v(B ∪ {p}) − v(B)).
+/// Exponential (2^n wealth calls); requires n <= 25.
+BigRational ShapleyValueBySubsets(size_t n, const BinaryWealth& wealth,
+                                  size_t player);
+
+/// Shapley value of `player` by direct permutation enumeration
+/// (Equation 1). Factorial (n! orderings); requires n <= 9. Used to
+/// cross-validate the subset formula.
+BigRational ShapleyValueByPermutations(size_t n, const BinaryWealth& wealth,
+                                       size_t player);
+
+}  // namespace shapley
+
+#endif  // SHAPLEY_ENGINES_GAME_H_

@@ -1,0 +1,245 @@
+#include "shapley/engines/lifted.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "shapley/analysis/structure.h"
+#include "shapley/common/macros.h"
+
+namespace shapley {
+
+namespace {
+
+struct FactEntry {
+  Fact fact;
+  bool endogenous;                 // Counting mode.
+  BigRational probability{1};     // Probability mode.
+};
+
+using Universe = std::vector<FactEntry>;
+
+// Returns the set of relations mentioned by the atoms.
+std::set<RelationId> RelationsOf(const std::vector<Atom>& atoms) {
+  std::set<RelationId> rels;
+  for (const Atom& atom : atoms) rels.insert(atom.relation());
+  return rels;
+}
+
+size_t CountEndogenous(const Universe& universe) {
+  size_t count = 0;
+  for (const FactEntry& e : universe) {
+    if (e.endogenous) ++count;
+  }
+  return count;
+}
+
+// Picks a root variable: one that occurs in every atom. Exists in every
+// variable-connected component of a hierarchical query.
+std::optional<Variable> FindRootVariable(const std::vector<Atom>& atoms) {
+  SHAPLEY_CHECK(!atoms.empty());
+  std::set<Variable> candidates = atoms.front().Variables();
+  for (const Atom& atom : atoms) {
+    std::set<Variable> mine = atom.Variables();
+    std::set<Variable> kept;
+    std::set_intersection(candidates.begin(), candidates.end(), mine.begin(),
+                          mine.end(), std::inserter(kept, kept.begin()));
+    candidates = std::move(kept);
+    if (candidates.empty()) return std::nullopt;
+  }
+  return *candidates.begin();
+}
+
+// Shared recursion skeleton, specialized by two result algebras below.
+//
+// CountAlgebra results are generating polynomials over the endogenous facts
+// in scope; ProbabilityAlgebra results are plain probabilities.
+struct CountAlgebra {
+  using Result = Polynomial;
+  static Result True(const Universe& free) {
+    return Polynomial::OnePlusZPower(CountEndogenous(free));
+  }
+  static Result False() { return Polynomial(); }
+  // Fact required present.
+  static Result RequireFact(const FactEntry& entry, Result rest) {
+    if (!entry.endogenous) return rest;
+    return rest.ShiftUp(1);
+  }
+  static Result Join(Result a, const Result& b) { return a * b; }
+  // Complement-product over buckets; `bucket_totals` are the endogenous
+  // counts per bucket, `free` the junk facts that match no bucket.
+  static Result Project(const std::vector<Result>& bucket_results,
+                        const std::vector<size_t>& bucket_endo,
+                        const Universe& free) {
+    Polynomial all_unsat = Polynomial::Constant(1);
+    size_t total_endo = 0;
+    for (size_t i = 0; i < bucket_results.size(); ++i) {
+      all_unsat *=
+          Polynomial::OnePlusZPower(bucket_endo[i]) - bucket_results[i];
+      total_endo += bucket_endo[i];
+    }
+    Polynomial result =
+        Polynomial::OnePlusZPower(total_endo) - all_unsat;
+    return result * Polynomial::OnePlusZPower(CountEndogenous(free));
+  }
+};
+
+struct ProbabilityAlgebra {
+  using Result = BigRational;
+  static Result True(const Universe&) { return BigRational(1); }
+  static Result False() { return BigRational(0); }
+  static Result RequireFact(const FactEntry& entry, Result rest) {
+    return entry.probability * rest;
+  }
+  static Result Join(Result a, const Result& b) { return a * b; }
+  static Result Project(const std::vector<Result>& bucket_results,
+                        const std::vector<size_t>&, const Universe&) {
+    BigRational all_unsat(1);
+    for (const Result& r : bucket_results) {
+      all_unsat *= BigRational(1) - r;
+    }
+    return BigRational(1) - all_unsat;
+  }
+};
+
+template <typename Algebra>
+class LiftedEvaluator {
+ public:
+  using Result = typename Algebra::Result;
+
+  Result Evaluate(std::vector<Atom> atoms, Universe universe) {
+    // Filter the universe to the relations of the current query; facts of
+    // other relations are unconstrained ("free").
+    std::set<RelationId> rels = RelationsOf(atoms);
+    Universe scoped, free;
+    for (FactEntry& e : universe) {
+      (rels.count(e.fact.relation()) > 0 ? scoped : free)
+          .push_back(std::move(e));
+    }
+    Result core = EvaluateScoped(std::move(atoms), std::move(scoped));
+    // Free facts multiply in as an unconstrained block.
+    return Algebra::Join(std::move(core), Algebra::True(free));
+  }
+
+ private:
+  Result EvaluateScoped(std::vector<Atom> atoms, Universe universe) {
+    if (atoms.empty()) return Algebra::True(universe);
+
+    // Ground atom: its fact must be present.
+    for (size_t i = 0; i < atoms.size(); ++i) {
+      if (!atoms[i].IsGround()) continue;
+      Fact required = atoms[i].Instantiate({});
+      auto it = std::find_if(universe.begin(), universe.end(),
+                             [&](const FactEntry& e) {
+                               return e.fact == required;
+                             });
+      if (it == universe.end()) return Algebra::False();
+      FactEntry entry = *it;
+      universe.erase(it);
+      std::vector<Atom> rest = atoms;
+      rest.erase(rest.begin() + static_cast<int64_t>(i));
+      // The consumed relation may still be shared... sjf guarantees not;
+      // remaining facts of that relation become free in the recursion.
+      Result sub = Evaluate(std::move(rest), std::move(universe));
+      return Algebra::RequireFact(entry, std::move(sub));
+    }
+
+    // Independent join across variable-connected components.
+    auto components = VariableConnectedComponents(atoms);
+    if (components.size() > 1) {
+      Result product = Algebra::True({});
+      for (const auto& component : components) {
+        std::vector<Atom> part;
+        for (size_t idx : component) part.push_back(atoms[idx]);
+        std::set<RelationId> rels = RelationsOf(part);
+        Universe part_universe;
+        for (const FactEntry& e : universe) {
+          if (rels.count(e.fact.relation()) > 0) part_universe.push_back(e);
+        }
+        product = Algebra::Join(std::move(product),
+                                Evaluate(std::move(part), std::move(part_universe)));
+      }
+      return product;
+    }
+
+    // Independent project on a root variable.
+    auto root = FindRootVariable(atoms);
+    if (!root.has_value()) {
+      throw std::invalid_argument(
+          "lifted engine: no root variable — query is not hierarchical");
+    }
+    // Bucket facts by the constant they would bind the root variable to.
+    std::map<Constant, Universe> buckets;
+    Universe junk;
+    std::map<RelationId, const Atom*> atom_of;
+    for (const Atom& atom : atoms) {
+      SHAPLEY_CHECK_MSG(atom_of.emplace(atom.relation(), &atom).second,
+                        "lifted engine requires a self-join-free query");
+    }
+    for (FactEntry& e : universe) {
+      const Atom* atom = atom_of.at(e.fact.relation());
+      Assignment assignment;
+      if (!atom->UnifyWith(e.fact, &assignment)) {
+        junk.push_back(std::move(e));
+        continue;
+      }
+      buckets[assignment.at(*root)].push_back(std::move(e));
+    }
+
+    std::vector<Result> bucket_results;
+    std::vector<size_t> bucket_endo;
+    for (auto& [constant, bucket] : buckets) {
+      std::vector<Atom> substituted;
+      substituted.reserve(atoms.size());
+      for (const Atom& atom : atoms) {
+        substituted.push_back(atom.Substitute(*root, constant));
+      }
+      bucket_endo.push_back(CountEndogenous(bucket));
+      bucket_results.push_back(
+          Evaluate(std::move(substituted), std::move(bucket)));
+    }
+    return Algebra::Project(bucket_results, bucket_endo, junk);
+  }
+};
+
+}  // namespace
+
+void RequireLiftedCompatible(const ConjunctiveQuery& cq) {
+  if (cq.HasNegation()) {
+    throw std::invalid_argument("lifted engine: negation not supported");
+  }
+  if (!IsSelfJoinFree(cq)) {
+    throw std::invalid_argument("lifted engine: query must be self-join-free");
+  }
+  if (!IsHierarchical(cq)) {
+    throw std::invalid_argument("lifted engine: query must be hierarchical");
+  }
+}
+
+Polynomial LiftedCountBySize(const ConjunctiveQuery& cq,
+                             const PartitionedDatabase& db) {
+  RequireLiftedCompatible(cq);
+  Universe universe;
+  for (const Fact& f : db.endogenous().facts()) {
+    universe.push_back({f, true, BigRational(1)});
+  }
+  for (const Fact& f : db.exogenous().facts()) {
+    universe.push_back({f, false, BigRational(1)});
+  }
+  LiftedEvaluator<CountAlgebra> evaluator;
+  return evaluator.Evaluate(cq.atoms(), std::move(universe));
+}
+
+BigRational LiftedProbability(
+    const ConjunctiveQuery& cq,
+    const std::map<Fact, BigRational>& probabilities) {
+  RequireLiftedCompatible(cq);
+  Universe universe;
+  for (const auto& [fact, p] : probabilities) {
+    universe.push_back({fact, false, p});
+  }
+  LiftedEvaluator<ProbabilityAlgebra> evaluator;
+  return evaluator.Evaluate(cq.atoms(), std::move(universe));
+}
+
+}  // namespace shapley

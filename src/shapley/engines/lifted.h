@@ -1,0 +1,42 @@
+#ifndef SHAPLEY_ENGINES_LIFTED_H_
+#define SHAPLEY_ENGINES_LIFTED_H_
+
+#include <map>
+
+#include "shapley/arith/big_rational.h"
+#include "shapley/arith/polynomial.h"
+#include "shapley/data/partitioned_database.h"
+#include "shapley/query/conjunctive_query.h"
+
+namespace shapley {
+
+/// Safe-plan evaluation for hierarchical self-join-free CQs.
+///
+/// The recursion (shared by counting and probability computation):
+///   * ground atom   — the matching fact must be present (factor z / p);
+///   * independent join — variable-connected components touch disjoint
+///     relations (sjf), so results multiply;
+///   * independent project — a root variable occurring in every atom of a
+///     component partitions the facts by the constant it binds; buckets are
+///     independent, so combine via the complement product.
+/// Hierarchicalness guarantees a root variable always exists; both
+/// functions throw std::invalid_argument otherwise (or on self-joins or
+/// negation).
+
+/// Validates the preconditions (positive, sjf, hierarchical).
+void RequireLiftedCompatible(const ConjunctiveQuery& cq);
+
+/// Stratified counting: sum_j #{S ⊆ Dn : |S| = j, S ∪ Dx |= cq} z^j,
+/// in time polynomial in |D|.
+Polynomial LiftedCountBySize(const ConjunctiveQuery& cq,
+                             const PartitionedDatabase& db);
+
+/// Exact probability Pr(D |= cq) for a tuple-independent database given as
+/// fact → probability (facts absent from the map are absent from the
+/// database). Time polynomial in the number of facts.
+BigRational LiftedProbability(const ConjunctiveQuery& cq,
+                              const std::map<Fact, BigRational>& probabilities);
+
+}  // namespace shapley
+
+#endif  // SHAPLEY_ENGINES_LIFTED_H_

@@ -1,0 +1,85 @@
+#include "shapley/engines/pqe.h"
+
+#include <stdexcept>
+
+#include "shapley/common/macros.h"
+#include "shapley/engines/lifted.h"
+#include "shapley/lineage/ddnnf.h"
+#include "shapley/lineage/lineage.h"
+
+namespace shapley {
+
+BigRational BruteForcePqe::Probability(const BooleanQuery& query,
+                                       const ProbabilisticDatabase& db) {
+  // Split facts into certain (p == 1) and uncertain ones.
+  std::vector<Fact> uncertain;
+  std::vector<BigRational> probs;
+  Database certain(db.schema());
+  for (size_t i = 0; i < db.size(); ++i) {
+    if (db.probabilities()[i] == BigRational(1)) {
+      certain.Insert(db.facts()[i]);
+    } else {
+      uncertain.push_back(db.facts()[i]);
+      probs.push_back(db.probabilities()[i]);
+    }
+  }
+  const size_t n = uncertain.size();
+  if (n > 25) {
+    throw std::invalid_argument("BruteForcePqe: more than 25 uncertain facts");
+  }
+
+  BigRational total(0);
+  for (uint64_t mask = 0; mask < (uint64_t{1} << n); ++mask) {
+    Database world = certain;
+    BigRational weight(1);
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (uint64_t{1} << i)) {
+        world.Insert(uncertain[i]);
+        weight *= probs[i];
+      } else {
+        weight *= BigRational(1) - probs[i];
+      }
+    }
+    if (query.Evaluate(world)) total += weight;
+  }
+  return total;
+}
+
+BigRational LineagePqe::Probability(const BooleanQuery& query,
+                                    const ProbabilisticDatabase& db) {
+  PartitionedDatabase partitioned = db.AssociatedPartitioned();
+  Lineage lineage = BuildLineage(query, partitioned, support_cap_);
+  DdnnfCircuit circuit = CompileDnf(lineage, node_cap_);
+
+  // Probabilities in lineage-variable order.
+  std::vector<BigRational> probabilities;
+  probabilities.reserve(lineage.num_variables());
+  for (const Fact& f : lineage.variables) {
+    bool found = false;
+    for (size_t i = 0; i < db.size(); ++i) {
+      if (db.facts()[i] == f) {
+        probabilities.push_back(db.probabilities()[i]);
+        found = true;
+        break;
+      }
+    }
+    SHAPLEY_CHECK_MSG(found, "lineage variable not in the database");
+  }
+  return circuit.WeightedModelCount(probabilities);
+}
+
+BigRational LiftedPqe::Probability(const BooleanQuery& query,
+                                   const ProbabilisticDatabase& db) {
+  const auto* cq = dynamic_cast<const ConjunctiveQuery*>(&query);
+  if (cq == nullptr) {
+    throw std::invalid_argument(
+        "LiftedPqe: the lifted engine handles conjunctive queries only");
+  }
+  std::map<Fact, BigRational> probabilities;
+  for (size_t i = 0; i < db.size(); ++i) {
+    probabilities.emplace(db.facts()[i], db.probabilities()[i]);
+  }
+  return LiftedProbability(*cq, probabilities);
+}
+
+}  // namespace shapley

@@ -1,0 +1,63 @@
+#ifndef SHAPLEY_ENGINES_PQE_H_
+#define SHAPLEY_ENGINES_PQE_H_
+
+#include <memory>
+#include <string>
+
+#include "shapley/arith/big_rational.h"
+#include "shapley/data/probabilistic_database.h"
+#include "shapley/query/boolean_query.h"
+
+namespace shapley {
+
+/// Engine interface for probabilistic query evaluation PQE_q (Section 3.3):
+/// the probability that a tuple-independent database satisfies the query.
+/// The restricted problems are the same computation on restricted inputs:
+/// SPQE (single probability), SPPQE (single proper probability plus 1s),
+/// PQE^{1/2} and PQE^{1/2;1}.
+class PqeEngine {
+ public:
+  virtual ~PqeEngine() = default;
+
+  virtual std::string name() const = 0;
+
+  virtual BigRational Probability(const BooleanQuery& query,
+                                  const ProbabilisticDatabase& db) = 0;
+};
+
+/// Exhaustive world enumeration (2^n possible worlds over the uncertain
+/// facts). Works for every query type. Requires <= 25 uncertain facts.
+class BruteForcePqe : public PqeEngine {
+ public:
+  std::string name() const override { return "brute-force"; }
+  BigRational Probability(const BooleanQuery& query,
+                          const ProbabilisticDatabase& db) override;
+};
+
+/// Lineage + knowledge compilation: weighted model count of the compiled
+/// decision-DNNF. Monotone queries only.
+class LineagePqe : public PqeEngine {
+ public:
+  explicit LineagePqe(size_t support_cap = 200000, size_t node_cap = 2000000)
+      : support_cap_(support_cap), node_cap_(node_cap) {}
+
+  std::string name() const override { return "lineage-ddnnf"; }
+  BigRational Probability(const BooleanQuery& query,
+                          const ProbabilisticDatabase& db) override;
+
+ private:
+  size_t support_cap_;
+  size_t node_cap_;
+};
+
+/// Safe-plan lifted inference for hierarchical sjf-CQs (polynomial time).
+class LiftedPqe : public PqeEngine {
+ public:
+  std::string name() const override { return "lifted-safe-plan"; }
+  BigRational Probability(const BooleanQuery& query,
+                          const ProbabilisticDatabase& db) override;
+};
+
+}  // namespace shapley
+
+#endif  // SHAPLEY_ENGINES_PQE_H_

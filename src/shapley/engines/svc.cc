@@ -1,0 +1,122 @@
+#include "shapley/engines/svc.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "shapley/arith/factorial.h"
+#include "shapley/common/macros.h"
+#include "shapley/engines/game.h"
+
+namespace shapley {
+
+std::map<Fact, BigRational> SvcEngine::AllValues(const BooleanQuery& query,
+                                                 const PartitionedDatabase& db) {
+  std::map<Fact, BigRational> values;
+  for (const Fact& f : db.endogenous().facts()) {
+    values.emplace(f, Value(query, db, f));
+  }
+  return values;
+}
+
+std::pair<Fact, BigRational> SvcEngine::MaxValue(const BooleanQuery& query,
+                                                 const PartitionedDatabase& db) {
+  if (db.endogenous().empty()) {
+    throw std::invalid_argument("MaxValue: no endogenous facts");
+  }
+  std::map<Fact, BigRational> values = AllValues(query, db);
+  auto best = values.begin();
+  for (auto it = values.begin(); it != values.end(); ++it) {
+    if (it->second > best->second) best = it;
+  }
+  return {best->first, best->second};
+}
+
+namespace {
+
+// Precomputes the satisfaction of every world mask over Dn (with Dx always
+// present). Shared across all facts for AllValues.
+std::vector<char> SatisfactionTable(const BooleanQuery& query,
+                                    const PartitionedDatabase& db) {
+  const auto& endo = db.endogenous().facts();
+  const size_t n = endo.size();
+  if (n > 25) {
+    throw std::invalid_argument("BruteForceSvc: more than 25 endogenous facts");
+  }
+  std::vector<char> table(size_t{1} << n);
+  for (uint64_t mask = 0; mask < table.size(); ++mask) {
+    Database world = db.exogenous();
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (uint64_t{1} << i)) world.Insert(endo[i]);
+    }
+    table[mask] = query.Evaluate(world) ? 1 : 0;
+  }
+  return table;
+}
+
+size_t IndexOfFact(const PartitionedDatabase& db, const Fact& fact) {
+  const auto& endo = db.endogenous().facts();
+  for (size_t i = 0; i < endo.size(); ++i) {
+    if (endo[i] == fact) return i;
+  }
+  throw std::invalid_argument("SVC: fact is not endogenous in the database");
+}
+
+}  // namespace
+
+BigRational BruteForceSvc::Value(const BooleanQuery& query,
+                                 const PartitionedDatabase& db,
+                                 const Fact& fact) {
+  size_t player = IndexOfFact(db, fact);
+  std::vector<char> table = SatisfactionTable(query, db);
+  return ShapleyValueBySubsets(
+      db.NumEndogenous(),
+      [&table](uint64_t mask) { return table[mask] != 0; }, player);
+}
+
+std::map<Fact, BigRational> BruteForceSvc::AllValues(
+    const BooleanQuery& query, const PartitionedDatabase& db) {
+  std::vector<char> table = SatisfactionTable(query, db);
+  BinaryWealth wealth = [&table](uint64_t mask) { return table[mask] != 0; };
+  std::map<Fact, BigRational> values;
+  const auto& endo = db.endogenous().facts();
+  for (size_t i = 0; i < endo.size(); ++i) {
+    values.emplace(endo[i], ShapleyValueBySubsets(endo.size(), wealth, i));
+  }
+  return values;
+}
+
+BigRational PermutationSvc::Value(const BooleanQuery& query,
+                                  const PartitionedDatabase& db,
+                                  const Fact& fact) {
+  size_t player = IndexOfFact(db, fact);
+  std::vector<char> table = SatisfactionTable(query, db);
+  return ShapleyValueByPermutations(
+      db.NumEndogenous(),
+      [&table](uint64_t mask) { return table[mask] != 0; }, player);
+}
+
+BigRational SvcViaFgmc::Value(const BooleanQuery& query,
+                              const PartitionedDatabase& db,
+                              const Fact& fact) {
+  IndexOfFact(db, fact);  // Validates endogeneity.
+  const size_t n = db.NumEndogenous();
+  SHAPLEY_CHECK(n >= 1);
+
+  // Claim A.1: move μ out of the players; compare counts with μ assumed
+  // present vs μ removed.
+  PartitionedDatabase with_mu = db.WithFactMadeExogenous(fact);
+  PartitionedDatabase without_mu = db.WithEndogenousFactRemoved(fact);
+  Polynomial counts_with = oracle_->CountBySize(query, with_mu);
+  Polynomial counts_without = oracle_->CountBySize(query, without_mu);
+  oracle_calls_ += 2;
+
+  BigRational value(0);
+  for (size_t j = 0; j + 1 <= n; ++j) {
+    BigInt delta = counts_with.Coefficient(j) - counts_without.Coefficient(j);
+    if (delta.IsZero()) continue;
+    value += ShapleyWeight(n, j) * BigRational(delta);
+  }
+  return value;
+}
+
+}  // namespace shapley

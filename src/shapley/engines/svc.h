@@ -1,0 +1,88 @@
+#ifndef SHAPLEY_ENGINES_SVC_H_
+#define SHAPLEY_ENGINES_SVC_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "shapley/arith/big_rational.h"
+#include "shapley/data/partitioned_database.h"
+#include "shapley/engines/fgmc.h"
+#include "shapley/query/boolean_query.h"
+
+namespace shapley {
+
+/// Engine interface for Shapley value computation SVC_q (Section 3.1):
+/// the Shapley value of an endogenous fact in the game whose players are Dn
+/// and whose wealth function is v_q(S) = [S ∪ Dx |= q] − [Dx |= q].
+class SvcEngine {
+ public:
+  virtual ~SvcEngine() = default;
+
+  virtual std::string name() const = 0;
+
+  virtual BigRational Value(const BooleanQuery& query,
+                            const PartitionedDatabase& db,
+                            const Fact& fact) = 0;
+
+  /// All endogenous facts' values (default: one Value call per fact;
+  /// engines may override with something smarter).
+  virtual std::map<Fact, BigRational> AllValues(const BooleanQuery& query,
+                                                const PartitionedDatabase& db);
+
+  /// The max-SVC problem of Section 6.3: any fact of maximum Shapley value,
+  /// together with that value. Requires a nonempty Dn.
+  virtual std::pair<Fact, BigRational> MaxValue(const BooleanQuery& query,
+                                                const PartitionedDatabase& db);
+};
+
+/// Exhaustive subset-formula evaluation (Equation 2), 2^|Dn| query
+/// evaluations shared across all facts. Works for every query type
+/// (including CQ¬). Requires |Dn| <= 25.
+class BruteForceSvc : public SvcEngine {
+ public:
+  std::string name() const override { return "brute-force"; }
+  BigRational Value(const BooleanQuery& query, const PartitionedDatabase& db,
+                    const Fact& fact) override;
+  std::map<Fact, BigRational> AllValues(const BooleanQuery& query,
+                                        const PartitionedDatabase& db) override;
+};
+
+/// Permutation-formula evaluation (Equation 1), |Dn|! orderings; a
+/// cross-validation oracle for tiny instances (|Dn| <= 9).
+class PermutationSvc : public SvcEngine {
+ public:
+  std::string name() const override { return "permutations"; }
+  BigRational Value(const BooleanQuery& query, const PartitionedDatabase& db,
+                    const Fact& fact) override;
+};
+
+/// The SVC ≤poly FGMC reduction of Claim A.1:
+///   Sh(Dn, v_q, μ) = sum_j C_j [FGMC_j(Dn\{μ}, Dx ∪ {μ}) −
+///                                FGMC_j(Dn\{μ}, Dx)],
+/// with C_j = j!(|Dn|−j−1)!/|Dn|!. Two FGMC oracle calls per fact; with the
+/// lifted FGMC engine this is the polynomial-time algorithm for
+/// hierarchical sjf-CQs (the tractable side of [Livshits et al. 2021]).
+class SvcViaFgmc : public SvcEngine {
+ public:
+  explicit SvcViaFgmc(std::shared_ptr<FgmcEngine> oracle)
+      : oracle_(std::move(oracle)) {}
+
+  std::string name() const override {
+    return "via-fgmc(" + oracle_->name() + ")";
+  }
+  BigRational Value(const BooleanQuery& query, const PartitionedDatabase& db,
+                    const Fact& fact) override;
+
+  /// Number of FGMC oracle calls made so far (reduction bookkeeping).
+  size_t oracle_calls() const { return oracle_calls_; }
+
+ private:
+  std::shared_ptr<FgmcEngine> oracle_;
+  size_t oracle_calls_ = 0;
+};
+
+}  // namespace shapley
+
+#endif  // SHAPLEY_ENGINES_SVC_H_

@@ -1,0 +1,184 @@
+#include "shapley/gen/generators.h"
+
+#include <random>
+#include <set>
+#include <string>
+
+#include "shapley/common/macros.h"
+
+namespace shapley {
+
+PartitionedDatabase RandomPartitionedDatabase(
+    const std::shared_ptr<Schema>& schema,
+    const RandomDatabaseOptions& options) {
+  std::mt19937_64 rng(options.seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+
+  std::vector<Constant> domain;
+  domain.reserve(options.domain_size);
+  for (size_t i = 0; i < options.domain_size; ++i) {
+    domain.push_back(Constant::Named("c" + std::to_string(i)));
+  }
+  std::vector<RelationId> relations = schema->relations();
+  SHAPLEY_CHECK_MSG(!relations.empty(), "schema has no relations");
+
+  Database endo(schema), exo(schema);
+  for (size_t i = 0; i < options.num_facts; ++i) {
+    RelationId rel = relations[rng() % relations.size()];
+    std::vector<Constant> args;
+    for (uint32_t a = 0; a < schema->arity(rel); ++a) {
+      args.push_back(domain[rng() % domain.size()]);
+    }
+    Fact fact(rel, std::move(args));
+    if (endo.Contains(fact) || exo.Contains(fact)) continue;
+    if (coin(rng) < options.exogenous_fraction) {
+      exo.Insert(std::move(fact));
+    } else {
+      endo.Insert(std::move(fact));
+    }
+  }
+  return PartitionedDatabase(std::move(endo), std::move(exo));
+}
+
+PartitionedDatabase RstGadget(const std::shared_ptr<Schema>& schema,
+                              size_t left, size_t right,
+                              double edge_probability, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  RelationId r = schema->AddRelation("R", 1);
+  RelationId s = schema->AddRelation("S", 2);
+  RelationId t = schema->AddRelation("T", 1);
+
+  Database endo(schema);
+  std::vector<Constant> lefts, rights;
+  for (size_t i = 0; i < left; ++i) {
+    lefts.push_back(Constant::Named("l" + std::to_string(i)));
+    endo.Insert(Fact(r, {lefts.back()}));
+  }
+  for (size_t j = 0; j < right; ++j) {
+    rights.push_back(Constant::Named("r" + std::to_string(j)));
+    endo.Insert(Fact(t, {rights.back()}));
+  }
+  for (size_t i = 0; i < left; ++i) {
+    for (size_t j = 0; j < right; ++j) {
+      if (coin(rng) < edge_probability) {
+        endo.Insert(Fact(s, {lefts[i], rights[j]}));
+      }
+    }
+  }
+  return PartitionedDatabase::AllEndogenous(std::move(endo));
+}
+
+Database PathGraph(const std::shared_ptr<Schema>& schema,
+                   const std::string& relation, size_t hops,
+                   double chord_probability, uint64_t seed) {
+  SHAPLEY_CHECK(hops >= 1);
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  RelationId rel = schema->AddRelation(relation, 2);
+
+  std::vector<Constant> nodes;
+  nodes.push_back(Constant::Named("s"));
+  for (size_t i = 1; i < hops; ++i) {
+    nodes.push_back(Constant::Named("n" + std::to_string(i)));
+  }
+  nodes.push_back(Constant::Named("t"));
+
+  Database db(schema);
+  for (size_t i = 0; i + 1 < nodes.size(); ++i) {
+    db.Insert(Fact(rel, {nodes[i], nodes[i + 1]}));
+  }
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    for (size_t j = 0; j < nodes.size(); ++j) {
+      if (i != j && coin(rng) < chord_probability) {
+        db.Insert(Fact(rel, {nodes[i], nodes[j]}));
+      }
+    }
+  }
+  return db;
+}
+
+Database RandomGraph(const std::shared_ptr<Schema>& schema,
+                     const std::vector<std::string>& relations, size_t nodes,
+                     double p, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  std::vector<RelationId> rels;
+  for (const std::string& name : relations) {
+    rels.push_back(schema->AddRelation(name, 2));
+  }
+  std::vector<Constant> vertices;
+  for (size_t i = 0; i < nodes; ++i) {
+    vertices.push_back(Constant::Named("v" + std::to_string(i)));
+  }
+  Database db(schema);
+  for (RelationId rel : rels) {
+    for (size_t i = 0; i < nodes; ++i) {
+      for (size_t j = 0; j < nodes; ++j) {
+        if (coin(rng) < p) db.Insert(Fact(rel, {vertices[i], vertices[j]}));
+      }
+    }
+  }
+  return db;
+}
+
+Database DblpDatabase(const std::shared_ptr<Schema>& schema, size_t authors,
+                      size_t papers, double shapley_fraction, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  RelationId publication = schema->AddRelation("Publication", 2);
+  RelationId keyword = schema->AddRelation("Keyword", 2);
+  Constant shapley = Constant::Named("Shapley");
+  Constant databases = Constant::Named("Databases");
+
+  std::vector<Constant> author_ids, paper_ids;
+  for (size_t a = 0; a < authors; ++a) {
+    author_ids.push_back(Constant::Named("author" + std::to_string(a)));
+  }
+  Database db(schema);
+  for (size_t p = 0; p < papers; ++p) {
+    Constant paper = Constant::Named("paper" + std::to_string(p));
+    paper_ids.push_back(paper);
+    size_t coauthors = 1 + rng() % 3;
+    for (size_t k = 0; k < coauthors; ++k) {
+      db.Insert(Fact(publication, {author_ids[rng() % authors], paper}));
+    }
+    db.Insert(Fact(keyword,
+                   {paper, coin(rng) < shapley_fraction ? shapley : databases}));
+  }
+  return db;
+}
+
+CqPtr RandomCq(const std::shared_ptr<Schema>& schema,
+               const RandomCqOptions& options) {
+  SHAPLEY_CHECK(options.num_atoms >= 1 && options.num_variables >= 1);
+  SHAPLEY_CHECK(options.max_arity >= 1);
+  std::mt19937_64 rng(options.seed);
+
+  std::vector<Variable> variables;
+  for (size_t i = 0; i < options.num_variables; ++i) {
+    variables.push_back(Variable::Named("x" + std::to_string(i)));
+  }
+
+  std::vector<Atom> atoms;
+  std::set<RelationId> used;
+  for (size_t a = 0; a < options.num_atoms; ++a) {
+    uint32_t arity = 1 + static_cast<uint32_t>(rng() % options.max_arity);
+    RelationId rel = 0;
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      size_t index = rng() % options.num_relations;
+      rel = schema->AddRelation(
+          "Qr" + std::to_string(index) + "_" + std::to_string(arity), arity);
+      if (!options.self_join_free || used.count(rel) == 0) break;
+    }
+    used.insert(rel);
+    std::vector<Term> terms;
+    for (uint32_t t = 0; t < arity; ++t) {
+      terms.push_back(Term(variables[rng() % variables.size()]));
+    }
+    atoms.push_back(Atom(rel, std::move(terms)));
+  }
+  return ConjunctiveQuery::Create(schema, std::move(atoms));
+}
+
+}  // namespace shapley

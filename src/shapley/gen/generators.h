@@ -1,0 +1,80 @@
+#ifndef SHAPLEY_GEN_GENERATORS_H_
+#define SHAPLEY_GEN_GENERATORS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "shapley/data/partitioned_database.h"
+#include "shapley/query/conjunctive_query.h"
+
+namespace shapley {
+
+/// Workload generators for tests and benchmarks. All are deterministic
+/// given the seed. The instance families mirror the ones the paper's proofs
+/// reason about: random databases for cross-engine validation, bipartite
+/// gadgets for the hard queries, graph families for RPQs, and a DBLP-style
+/// Publication/Keyword database for the Section 6.4 example.
+struct RandomDatabaseOptions {
+  size_t num_facts = 8;
+  size_t domain_size = 4;          // Constants c0..c{domain_size-1}.
+  double exogenous_fraction = 0.2; // Per-fact probability of being exogenous.
+  uint64_t seed = 1;
+};
+
+/// Random facts over every relation of `schema`, arguments drawn uniformly
+/// from the domain. Duplicates are merged (the result may have fewer than
+/// num_facts facts).
+PartitionedDatabase RandomPartitionedDatabase(
+    const std::shared_ptr<Schema>& schema, const RandomDatabaseOptions& options);
+
+/// The bipartite gadget family of the classic hard query
+/// R(x), S(x,y), T(y): `left` R-constants, `right` T-constants, and an
+/// S-edge between (i, j) kept with probability `edge_probability`. All facts
+/// endogenous. Relations R/S/T are added to the schema if missing.
+PartitionedDatabase RstGadget(const std::shared_ptr<Schema>& schema,
+                              size_t left, size_t right,
+                              double edge_probability, uint64_t seed);
+
+/// A directed path s -> m1 -> ... -> t with `hops` edges all labeled
+/// `relation`; extra random chords with probability `chord_probability`.
+Database PathGraph(const std::shared_ptr<Schema>& schema,
+                   const std::string& relation, size_t hops,
+                   double chord_probability, uint64_t seed);
+
+/// An Erdős–Rényi directed graph over `nodes` constants where each ordered
+/// pair carries an edge of each given relation with probability p.
+Database RandomGraph(const std::shared_ptr<Schema>& schema,
+                     const std::vector<std::string>& relations, size_t nodes,
+                     double p, uint64_t seed);
+
+/// A DBLP-style database for the Section 6.4 example query
+///   q* = ∃x,y Publication(x,y) ∧ Keyword(y,'Shapley'):
+/// `authors` authors, `papers` papers, random authorship (each paper gets
+/// 1-3 authors) and each paper tagged 'Shapley' with probability
+/// `shapley_fraction` (others get 'Databases').
+Database DblpDatabase(const std::shared_ptr<Schema>& schema, size_t authors,
+                      size_t papers, double shapley_fraction, uint64_t seed);
+
+/// Options for random conjunctive queries (used by the structural-property
+/// sweeps: hierarchicalness characterizations, connectivity, parser
+/// round-trips).
+struct RandomCqOptions {
+  size_t num_atoms = 3;
+  size_t num_variables = 3;
+  size_t num_relations = 3;    // Drawn from Q0..Q{num_relations-1}.
+  uint32_t max_arity = 2;      // Arity 1..max_arity per relation.
+  bool self_join_free = false; // Force distinct relations per atom.
+  uint64_t seed = 1;
+};
+
+/// A random positive Boolean CQ. Relation names "Qr{i}_{arity}" are added
+/// to the schema on demand (arity encoded in the name so that different
+/// seeds can share one schema).
+CqPtr RandomCq(const std::shared_ptr<Schema>& schema,
+               const RandomCqOptions& options);
+
+}  // namespace shapley
+
+#endif  // SHAPLEY_GEN_GENERATORS_H_

@@ -1,0 +1,333 @@
+#include "shapley/lineage/ddnnf.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <numeric>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "shapley/common/macros.h"
+
+namespace shapley {
+
+namespace {
+
+using Clause = std::vector<uint32_t>;
+using ClauseSet = std::vector<Clause>;
+
+// Canonical cache key for a clause set (clauses are sorted internally and
+// the set is sorted lexicographically by the compiler before keying).
+std::string KeyOf(const ClauseSet& clauses) {
+  std::ostringstream os;
+  for (const Clause& c : clauses) {
+    for (uint32_t v : c) os << v << ',';
+    os << ';';
+  }
+  return os.str();
+}
+
+// Sorts the clause set and removes duplicates and absorbed clauses.
+void Normalize(ClauseSet* clauses) {
+  std::sort(clauses->begin(), clauses->end(),
+            [](const Clause& a, const Clause& b) {
+              if (a.size() != b.size()) return a.size() < b.size();
+              return a < b;
+            });
+  clauses->erase(std::unique(clauses->begin(), clauses->end()),
+                 clauses->end());
+  ClauseSet kept;
+  for (const Clause& clause : *clauses) {
+    bool absorbed = false;
+    for (const Clause& small : kept) {
+      if (std::includes(clause.begin(), clause.end(), small.begin(),
+                        small.end())) {
+        absorbed = true;
+        break;
+      }
+    }
+    if (!absorbed) kept.push_back(clause);
+  }
+  *clauses = std::move(kept);
+}
+
+class Compiler {
+ public:
+  explicit Compiler(const DnfCompileOptions& options) : options_(options) {
+    // Node 0 = FALSE, node 1 = TRUE (shared constants).
+    nodes_.push_back({DdnnfCircuit::NodeKind::kFalse, 0, 0, 0, {}, 0});
+    nodes_.push_back({DdnnfCircuit::NodeKind::kTrue, 0, 0, 0, {}, 0});
+  }
+
+  std::vector<DdnnfCircuit::Node> TakeNodes() { return std::move(nodes_); }
+
+  uint32_t Compile(ClauseSet clauses) {
+    Normalize(&clauses);
+    if (clauses.empty()) return 0;          // FALSE.
+    if (clauses.front().empty()) return 1;  // TRUE (absorption left only {}).
+
+    if (!options_.use_cache) return CompileUncached(clauses);
+    std::string key = KeyOf(clauses);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+
+    uint32_t result = CompileUncached(clauses);
+    cache_.emplace(std::move(key), result);
+    return result;
+  }
+
+ private:
+  uint32_t NewNode(DdnnfCircuit::Node node) {
+    if (nodes_.size() >= options_.node_cap) {
+      throw std::invalid_argument("CompileDnf: node cap exceeded");
+    }
+    nodes_.push_back(std::move(node));
+    return static_cast<uint32_t>(nodes_.size() - 1);
+  }
+
+  uint32_t CompileUncached(const ClauseSet& clauses) {
+    // Connected components by shared variables. A DNF whose clause groups
+    // share no variable is the OR of independent sub-DNFs.
+    auto components = options_.use_component_decomposition
+                          ? SplitComponents(clauses)
+                          : std::vector<ClauseSet>{clauses};
+    if (components.size() > 1) {
+      std::vector<uint32_t> children;
+      uint32_t var_count = 0;
+      for (ClauseSet& component : components) {
+        uint32_t child = Compile(std::move(component));
+        if (child == 1) return 1;  // TRUE annihilates the OR.
+        if (child == 0) continue;  // FALSE is the OR unit.
+        var_count += nodes_[child].var_count;
+        children.push_back(child);
+      }
+      if (children.empty()) return 0;
+      if (children.size() == 1) return children.front();
+      DdnnfCircuit::Node node;
+      node.kind = DdnnfCircuit::NodeKind::kIndependentOr;
+      node.children = std::move(children);
+      node.var_count = var_count;
+      return NewNode(std::move(node));
+    }
+
+    // Shannon-expand on the most frequent variable.
+    uint32_t branch = MostFrequentVariable(clauses);
+    ClauseSet hi, lo;
+    for (const Clause& clause : clauses) {
+      if (std::binary_search(clause.begin(), clause.end(), branch)) {
+        Clause without;
+        for (uint32_t v : clause) {
+          if (v != branch) without.push_back(v);
+        }
+        hi.push_back(std::move(without));
+        // Clause is falsified in the lo branch: dropped.
+      } else {
+        hi.push_back(clause);
+        lo.push_back(clause);
+      }
+    }
+    uint32_t vars_here = CountVariables(clauses);
+    uint32_t hi_node = Compile(std::move(hi));
+    uint32_t lo_node = Compile(std::move(lo));
+
+    DdnnfCircuit::Node node;
+    node.kind = DdnnfCircuit::NodeKind::kDecision;
+    node.variable = branch;
+    node.hi = hi_node;
+    node.lo = lo_node;
+    node.var_count = vars_here;
+    return NewNode(std::move(node));
+  }
+
+  static uint32_t CountVariables(const ClauseSet& clauses) {
+    std::set<uint32_t> vars;
+    for (const Clause& c : clauses) vars.insert(c.begin(), c.end());
+    return static_cast<uint32_t>(vars.size());
+  }
+
+  static uint32_t MostFrequentVariable(const ClauseSet& clauses) {
+    std::map<uint32_t, size_t> freq;
+    for (const Clause& c : clauses) {
+      for (uint32_t v : c) ++freq[v];
+    }
+    SHAPLEY_CHECK(!freq.empty());
+    uint32_t best = freq.begin()->first;
+    size_t best_count = 0;
+    for (const auto& [v, count] : freq) {
+      if (count > best_count) {
+        best = v;
+        best_count = count;
+      }
+    }
+    return best;
+  }
+
+  static std::vector<ClauseSet> SplitComponents(const ClauseSet& clauses) {
+    std::vector<size_t> parent(clauses.size());
+    std::iota(parent.begin(), parent.end(), size_t{0});
+    std::function<size_t(size_t)> find = [&](size_t x) {
+      while (parent[x] != x) {
+        parent[x] = parent[parent[x]];
+        x = parent[x];
+      }
+      return x;
+    };
+    std::map<uint32_t, size_t> first_clause;
+    for (size_t i = 0; i < clauses.size(); ++i) {
+      for (uint32_t v : clauses[i]) {
+        auto [it, inserted] = first_clause.emplace(v, i);
+        if (!inserted) parent[find(i)] = find(it->second);
+      }
+    }
+    std::map<size_t, ClauseSet> groups;
+    for (size_t i = 0; i < clauses.size(); ++i) {
+      groups[find(i)].push_back(clauses[i]);
+    }
+    std::vector<ClauseSet> out;
+    out.reserve(groups.size());
+    for (auto& [root, group] : groups) out.push_back(std::move(group));
+    return out;
+  }
+
+  std::vector<DdnnfCircuit::Node> nodes_;
+  DnfCompileOptions options_;
+  std::unordered_map<std::string, uint32_t> cache_;
+};
+
+}  // namespace
+
+DdnnfCircuit CompileDnf(const Lineage& lineage, size_t node_cap) {
+  DnfCompileOptions options;
+  options.node_cap = node_cap;
+  return CompileDnf(lineage, options);
+}
+
+DdnnfCircuit CompileDnf(const Lineage& lineage,
+                        const DnfCompileOptions& options) {
+  DdnnfCircuit circuit;
+  circuit.total_variables_ = lineage.num_variables();
+  Compiler compiler(options);
+  if (lineage.certainly_true) {
+    circuit.root_ = 1;
+  } else {
+    ClauseSet clauses = lineage.clauses;
+    circuit.root_ = compiler.Compile(std::move(clauses));
+  }
+  circuit.nodes_ = compiler.TakeNodes();
+  return circuit;
+}
+
+Polynomial DdnnfCircuit::CountBySize() const {
+  // Memoized bottom-up: polynomial over vars(node) variables; parents smooth
+  // gap variables with (1+z)^gap.
+  std::vector<Polynomial> memo(nodes_.size());
+  std::vector<bool> done(nodes_.size(), false);
+
+  auto eval = [&](auto&& self, uint32_t id) -> const Polynomial& {
+    if (done[id]) return memo[id];
+    const Node& node = nodes_[id];
+    switch (node.kind) {
+      case NodeKind::kFalse:
+        memo[id] = Polynomial();
+        break;
+      case NodeKind::kTrue:
+        memo[id] = Polynomial::Constant(1);
+        break;
+      case NodeKind::kDecision: {
+        const Polynomial& hi = self(self, node.hi);
+        const Polynomial& lo = self(self, node.lo);
+        uint32_t inner = node.var_count - 1;
+        uint32_t gap_hi = inner - nodes_[node.hi].var_count;
+        uint32_t gap_lo = inner - nodes_[node.lo].var_count;
+        Polynomial hi_part = hi * Polynomial::OnePlusZPower(gap_hi);
+        hi_part = hi_part.ShiftUp(1);  // The branch variable is true.
+        Polynomial lo_part = lo * Polynomial::OnePlusZPower(gap_lo);
+        memo[id] = hi_part + lo_part;
+        break;
+      }
+      case NodeKind::kAnd: {
+        Polynomial product = Polynomial::Constant(1);
+        uint32_t child_vars = 0;
+        for (uint32_t child : node.children) {
+          product *= self(self, child);
+          child_vars += nodes_[child].var_count;
+        }
+        SHAPLEY_CHECK(child_vars <= node.var_count);
+        memo[id] = product * Polynomial::OnePlusZPower(node.var_count - child_vars);
+        break;
+      }
+      case NodeKind::kIndependentOr: {
+        // Complement product: models(∨ φi) = total − Π (total_i − models(φi)).
+        Polynomial complement = Polynomial::Constant(1);
+        uint32_t child_vars = 0;
+        for (uint32_t child : node.children) {
+          const Polynomial& c = self(self, child);
+          complement *=
+              Polynomial::OnePlusZPower(nodes_[child].var_count) - c;
+          child_vars += nodes_[child].var_count;
+        }
+        SHAPLEY_CHECK(child_vars == node.var_count);
+        memo[id] = Polynomial::OnePlusZPower(node.var_count) - complement;
+        break;
+      }
+    }
+    done[id] = true;
+    return memo[id];
+  };
+
+  const Polynomial& root_poly = eval(eval, root_);
+  uint32_t gap =
+      static_cast<uint32_t>(total_variables_) - nodes_[root_].var_count;
+  return root_poly * Polynomial::OnePlusZPower(gap);
+}
+
+BigRational DdnnfCircuit::WeightedModelCount(
+    const std::vector<BigRational>& probabilities) const {
+  SHAPLEY_CHECK_MSG(probabilities.size() == total_variables_,
+                    "probability vector size mismatch");
+  std::vector<BigRational> memo(nodes_.size());
+  std::vector<bool> done(nodes_.size(), false);
+  auto eval = [&](auto&& self, uint32_t id) -> const BigRational& {
+    if (done[id]) return memo[id];
+    const Node& node = nodes_[id];
+    switch (node.kind) {
+      case NodeKind::kFalse:
+        memo[id] = BigRational(0);
+        break;
+      case NodeKind::kTrue:
+        memo[id] = BigRational(1);
+        break;
+      case NodeKind::kDecision: {
+        const BigRational& p = probabilities[node.variable];
+        memo[id] = p * self(self, node.hi) +
+                   (BigRational(1) - p) * self(self, node.lo);
+        break;
+      }
+      case NodeKind::kAnd: {
+        BigRational product(1);
+        for (uint32_t child : node.children) product *= self(self, child);
+        memo[id] = std::move(product);
+        break;
+      }
+      case NodeKind::kIndependentOr: {
+        BigRational complement(1);
+        for (uint32_t child : node.children) {
+          complement *= BigRational(1) - self(self, child);
+        }
+        memo[id] = BigRational(1) - complement;
+        break;
+      }
+    }
+    done[id] = true;
+    return memo[id];
+  };
+  return eval(eval, root_);
+}
+
+BigInt DdnnfCircuit::ModelCount() const {
+  return CountBySize().SumOfCoefficients();
+}
+
+}  // namespace shapley

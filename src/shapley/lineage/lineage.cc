@@ -1,0 +1,89 @@
+#include "shapley/lineage/lineage.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "shapley/common/macros.h"
+#include "shapley/query/supports.h"
+
+namespace shapley {
+
+std::string Lineage::ToString() const {
+  if (certainly_true) return "TRUE";
+  if (clauses.empty()) return "FALSE";
+  std::ostringstream os;
+  for (size_t i = 0; i < clauses.size(); ++i) {
+    if (i > 0) os << " ∨ ";
+    os << "(";
+    for (size_t j = 0; j < clauses[i].size(); ++j) {
+      if (j > 0) os << "∧";
+      os << "x" << clauses[i][j];
+    }
+    os << ")";
+  }
+  return os.str();
+}
+
+Lineage BuildLineage(const BooleanQuery& query, const PartitionedDatabase& db,
+                     size_t cap) {
+  Lineage lineage;
+  lineage.variables = db.endogenous().facts();
+  std::map<Fact, uint32_t> index;
+  for (uint32_t i = 0; i < lineage.variables.size(); ++i) {
+    index.emplace(lineage.variables[i], i);
+  }
+
+  Database all = db.AllFacts();
+  std::vector<Database> supports = EnumerateMinimalSupports(query, all, cap);
+
+  for (const Database& support : supports) {
+    std::vector<uint32_t> clause;
+    bool valid = true;
+    for (const Fact& f : support.facts()) {
+      auto it = index.find(f);
+      if (it != index.end()) {
+        clause.push_back(it->second);
+      } else {
+        // Must be exogenous (support ⊆ Dn ∪ Dx).
+        SHAPLEY_CHECK_MSG(db.exogenous().Contains(f),
+                          "support fact outside the database");
+      }
+      (void)valid;
+    }
+    std::sort(clause.begin(), clause.end());
+    clause.erase(std::unique(clause.begin(), clause.end()), clause.end());
+    if (clause.empty()) {
+      lineage.certainly_true = true;
+      lineage.clauses.clear();
+      return lineage;
+    }
+    lineage.clauses.push_back(std::move(clause));
+  }
+
+  // Dedupe + absorption: drop clauses that contain another clause.
+  std::sort(lineage.clauses.begin(), lineage.clauses.end(),
+            [](const auto& a, const auto& b) {
+              if (a.size() != b.size()) return a.size() < b.size();
+              return a < b;
+            });
+  lineage.clauses.erase(
+      std::unique(lineage.clauses.begin(), lineage.clauses.end()),
+      lineage.clauses.end());
+  std::vector<std::vector<uint32_t>> kept;
+  for (const auto& clause : lineage.clauses) {
+    bool absorbed = false;
+    for (const auto& small : kept) {
+      if (std::includes(clause.begin(), clause.end(), small.begin(),
+                        small.end())) {
+        absorbed = true;
+        break;
+      }
+    }
+    if (!absorbed) kept.push_back(clause);
+  }
+  lineage.clauses = std::move(kept);
+  return lineage;
+}
+
+}  // namespace shapley

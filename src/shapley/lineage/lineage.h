@@ -1,0 +1,45 @@
+#ifndef SHAPLEY_LINEAGE_LINEAGE_H_
+#define SHAPLEY_LINEAGE_LINEAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "shapley/data/partitioned_database.h"
+#include "shapley/query/boolean_query.h"
+
+namespace shapley {
+
+/// Boolean provenance of a monotone query over a partitioned database:
+/// a positive DNF over one variable per endogenous fact. Clause = the
+/// endogenous part of a minimal support (exogenous facts are always present
+/// and drop out). A sub-database S ⊆ Dn satisfies S ∪ Dx |= q iff some
+/// clause's variables are all in S.
+struct Lineage {
+  /// Variable i represents endogenous fact variables[i].
+  std::vector<Fact> variables;
+
+  /// Clauses as sorted variable-index sets; absorbed (no clause contains
+  /// another) and deduplicated. Empty vector means the query is certainly
+  /// false on every sub-database.
+  std::vector<std::vector<uint32_t>> clauses;
+
+  /// True iff Dx alone satisfies the query (an empty clause existed); the
+  /// clause list is then empty by convention and every sub-database counts.
+  bool certainly_true = false;
+
+  size_t num_variables() const { return variables.size(); }
+
+  std::string ToString() const;
+};
+
+/// Builds the lineage by enumerating minimal supports of `query` in
+/// Dn ∪ Dx (see EnumerateMinimalSupports for the supported query classes).
+/// Throws std::invalid_argument for non-monotone queries or when the
+/// support enumeration exceeds `cap`.
+Lineage BuildLineage(const BooleanQuery& query, const PartitionedDatabase& db,
+                     size_t cap = 200000);
+
+}  // namespace shapley
+
+#endif  // SHAPLEY_LINEAGE_LINEAGE_H_

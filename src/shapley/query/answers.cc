@@ -1,0 +1,67 @@
+#include "shapley/query/answers.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "shapley/common/macros.h"
+#include "shapley/query/hom_search.h"
+
+namespace shapley {
+
+namespace {
+
+void ValidateFreeVariables(const ConjunctiveQuery& query,
+                           const std::vector<Variable>& free_vars) {
+  std::set<Variable> vars = query.Variables();
+  for (Variable v : free_vars) {
+    if (vars.count(v) == 0) {
+      throw std::invalid_argument("free variable '" + v.name() +
+                                  "' does not occur in the query");
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<AnswerTuple> EnumerateAnswers(
+    const ConjunctiveQuery& query, const std::vector<Variable>& free_vars,
+    const Database& db) {
+  ValidateFreeVariables(query, free_vars);
+  std::set<AnswerTuple> answers;
+  ForEachHomomorphism(query.atoms(), db, [&](const Assignment& assignment) {
+    // Negated atoms block this assignment if instantiated in the database.
+    for (const Atom& neg : query.negated_atoms()) {
+      if (db.Contains(neg.Instantiate(assignment))) return true;
+    }
+    AnswerTuple tuple;
+    tuple.reserve(free_vars.size());
+    for (Variable v : free_vars) tuple.push_back(assignment.at(v));
+    answers.insert(std::move(tuple));
+    return true;
+  });
+  return std::vector<AnswerTuple>(answers.begin(), answers.end());
+}
+
+CqPtr BooleanizeForAnswer(const ConjunctiveQuery& query,
+                          const std::vector<Variable>& free_vars,
+                          const AnswerTuple& answer) {
+  ValidateFreeVariables(query, free_vars);
+  if (free_vars.size() != answer.size()) {
+    throw std::invalid_argument(
+        "answer tuple arity does not match the free-variable list");
+  }
+  if (free_vars.empty()) {
+    return query.negated_atoms().empty()
+               ? ConjunctiveQuery::Create(query.schema(), query.atoms())
+               : ConjunctiveQuery::CreateWithNegation(
+                     query.schema(), query.atoms(), query.negated_atoms());
+  }
+  CqPtr result = query.Substitute(free_vars[0], answer[0]);
+  for (size_t i = 1; i < free_vars.size(); ++i) {
+    result = result->Substitute(free_vars[i], answer[i]);
+  }
+  return result;
+}
+
+}  // namespace shapley

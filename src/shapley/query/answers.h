@@ -1,0 +1,35 @@
+#ifndef SHAPLEY_QUERY_ANSWERS_H_
+#define SHAPLEY_QUERY_ANSWERS_H_
+
+#include <vector>
+
+#include "shapley/data/database.h"
+#include "shapley/query/conjunctive_query.h"
+
+namespace shapley {
+
+/// Non-Boolean queries (Remark 3.1 of the paper): a CQ with designated free
+/// variables. The Shapley value of a fact *for a given answer tuple* is the
+/// value for the Boolean query obtained by substituting the answer's
+/// constants for the free variables — which is why results for queries
+/// *with constants* matter even if one starts constant-free.
+
+/// An answer: constants in the order of the free-variable list.
+using AnswerTuple = std::vector<Constant>;
+
+/// All answers of `query` with free variables `free_vars` over `db`
+/// (distinct tuples, sorted). Throws std::invalid_argument if some free
+/// variable does not occur in the query.
+std::vector<AnswerTuple> EnumerateAnswers(const ConjunctiveQuery& query,
+                                          const std::vector<Variable>& free_vars,
+                                          const Database& db);
+
+/// The Boolean query q[free_vars ↦ answer] (Remark 3.1's reduction).
+/// Throws std::invalid_argument on arity mismatch.
+CqPtr BooleanizeForAnswer(const ConjunctiveQuery& query,
+                          const std::vector<Variable>& free_vars,
+                          const AnswerTuple& answer);
+
+}  // namespace shapley
+
+#endif  // SHAPLEY_QUERY_ANSWERS_H_

@@ -1,0 +1,94 @@
+#include "shapley/query/atom.h"
+
+#include <sstream>
+
+#include "shapley/common/macros.h"
+
+namespace shapley {
+
+Atom::Atom(RelationId relation, std::vector<Term> terms)
+    : relation_(relation), terms_(std::move(terms)) {}
+
+Atom::Atom(RelationId relation, std::initializer_list<Term> terms)
+    : relation_(relation), terms_(terms) {}
+
+std::set<Variable> Atom::Variables() const {
+  std::set<Variable> result;
+  for (Term t : terms_) {
+    if (t.IsVariable()) result.insert(t.variable());
+  }
+  return result;
+}
+
+std::set<Constant> Atom::Constants() const {
+  std::set<Constant> result;
+  for (Term t : terms_) {
+    if (t.IsConstant()) result.insert(t.constant());
+  }
+  return result;
+}
+
+bool Atom::IsGround() const {
+  for (Term t : terms_) {
+    if (t.IsVariable()) return false;
+  }
+  return true;
+}
+
+Fact Atom::Instantiate(const Assignment& assignment) const {
+  std::vector<Constant> args;
+  args.reserve(terms_.size());
+  for (Term t : terms_) {
+    if (t.IsConstant()) {
+      args.push_back(t.constant());
+    } else {
+      auto it = assignment.find(t.variable());
+      SHAPLEY_CHECK_MSG(it != assignment.end(),
+                        "unassigned variable " << t.variable().name());
+      args.push_back(it->second);
+    }
+  }
+  return Fact(relation_, std::move(args));
+}
+
+Atom Atom::Substitute(Variable var, Constant value) const {
+  std::vector<Term> terms;
+  terms.reserve(terms_.size());
+  for (Term t : terms_) {
+    if (t.IsVariable() && t.variable() == var) {
+      terms.push_back(Term(value));
+    } else {
+      terms.push_back(t);
+    }
+  }
+  return Atom(relation_, std::move(terms));
+}
+
+bool Atom::UnifyWith(const Fact& fact, Assignment* assignment) const {
+  if (fact.relation() != relation_ || fact.arity() != terms_.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < terms_.size(); ++i) {
+    Term t = terms_[i];
+    if (t.IsConstant()) {
+      if (!(t.constant() == fact.args()[i])) return false;
+    } else {
+      auto [it, inserted] = assignment->emplace(t.variable(), fact.args()[i]);
+      if (!inserted && !(it->second == fact.args()[i])) return false;
+    }
+  }
+  return true;
+}
+
+std::string Atom::ToString(const Schema& schema) const {
+  std::ostringstream os;
+  os << schema.name(relation_) << "(";
+  for (size_t i = 0; i < terms_.size(); ++i) {
+    if (i > 0) os << ",";
+    os << terms_[i];
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace shapley

@@ -1,0 +1,66 @@
+#ifndef SHAPLEY_QUERY_ATOM_H_
+#define SHAPLEY_QUERY_ATOM_H_
+
+#include <compare>
+#include <initializer_list>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "shapley/data/fact.h"
+#include "shapley/data/schema.h"
+#include "shapley/query/term.h"
+
+namespace shapley {
+
+/// A variable → constant assignment (the homomorphisms of Section 2,
+/// restricted to the variables; constants are always fixed).
+using Assignment = std::map<Variable, Constant>;
+
+/// A relational atom R(t1, ..., tk) over variables and constants.
+class Atom {
+ public:
+  Atom() = default;
+  Atom(RelationId relation, std::vector<Term> terms);
+  Atom(RelationId relation, std::initializer_list<Term> terms);
+
+  RelationId relation() const { return relation_; }
+  const std::vector<Term>& terms() const { return terms_; }
+  size_t arity() const { return terms_.size(); }
+
+  std::set<Variable> Variables() const;
+  std::set<Constant> Constants() const;
+  bool IsGround() const;
+
+  /// The fact obtained by applying `assignment`; throws InternalError if
+  /// some variable is unassigned.
+  Fact Instantiate(const Assignment& assignment) const;
+
+  /// Replaces a variable by a constant (used by the lifted engine's
+  /// independent-project step and the shattering of query constants).
+  Atom Substitute(Variable var, Constant value) const;
+
+  /// Tries to extend `assignment` so this atom maps onto `fact`; returns
+  /// false (leaving the assignment in a valid but partially-extended state —
+  /// callers must restore from a copy) if unification fails.
+  bool UnifyWith(const Fact& fact, Assignment* assignment) const;
+
+  std::string ToString(const Schema& schema) const;
+
+  friend bool operator==(const Atom& a, const Atom& b) {
+    return a.relation_ == b.relation_ && a.terms_ == b.terms_;
+  }
+  friend std::strong_ordering operator<=>(const Atom& a, const Atom& b) {
+    if (auto c = a.relation_ <=> b.relation_; c != 0) return c;
+    return a.terms_ <=> b.terms_;
+  }
+
+ private:
+  RelationId relation_ = 0;
+  std::vector<Term> terms_;
+};
+
+}  // namespace shapley
+
+#endif  // SHAPLEY_QUERY_ATOM_H_

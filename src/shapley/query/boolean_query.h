@@ -1,0 +1,43 @@
+#ifndef SHAPLEY_QUERY_BOOLEAN_QUERY_H_
+#define SHAPLEY_QUERY_BOOLEAN_QUERY_H_
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "shapley/data/database.h"
+#include "shapley/data/symbol.h"
+
+namespace shapley {
+
+/// Abstract Boolean query: a true/false property of databases (Section 2).
+///
+/// All problem engines (SVC, FGMC, PQE, ...) operate against this interface;
+/// concrete classes are ConjunctiveQuery, UnionQuery, RegularPathQuery,
+/// ConjunctiveRegularPathQuery, UnionCrpq and ConjunctionQuery.
+class BooleanQuery {
+ public:
+  virtual ~BooleanQuery() = default;
+
+  /// D |= q.
+  virtual bool Evaluate(const Database& db) const = 0;
+
+  /// The constants mentioned by the query — the set C relative to which the
+  /// query is C-hom-closed (for the monotone classes of this library).
+  virtual std::set<Constant> QueryConstants() const = 0;
+
+  /// Monotone queries are closed under adding facts; every class here is
+  /// monotone except conjunctive queries with negated atoms.
+  virtual bool IsMonotone() const { return true; }
+
+  virtual std::string ToString() const = 0;
+
+  virtual const std::shared_ptr<Schema>& schema() const = 0;
+};
+
+/// Queries are immutable and shared freely across engines and reductions.
+using QueryPtr = std::shared_ptr<const BooleanQuery>;
+
+}  // namespace shapley
+
+#endif  // SHAPLEY_QUERY_BOOLEAN_QUERY_H_

@@ -1,0 +1,27 @@
+#include "shapley/query/conjunction_query.h"
+
+#include <stdexcept>
+
+namespace shapley {
+
+std::shared_ptr<const ConjunctionQuery> ConjunctionQuery::Create(
+    QueryPtr left, QueryPtr right) {
+  if (left == nullptr || right == nullptr) {
+    throw std::invalid_argument("ConjunctionQuery: null operand");
+  }
+  return std::shared_ptr<const ConjunctionQuery>(
+      new ConjunctionQuery(std::move(left), std::move(right)));
+}
+
+std::set<Constant> ConjunctionQuery::QueryConstants() const {
+  std::set<Constant> result = left_->QueryConstants();
+  auto rs = right_->QueryConstants();
+  result.insert(rs.begin(), rs.end());
+  return result;
+}
+
+std::string ConjunctionQuery::ToString() const {
+  return "(" + left_->ToString() + ") ∧ (" + right_->ToString() + ")";
+}
+
+}  // namespace shapley

@@ -1,0 +1,46 @@
+#ifndef SHAPLEY_QUERY_CONJUNCTION_QUERY_H_
+#define SHAPLEY_QUERY_CONJUNCTION_QUERY_H_
+
+#include <memory>
+#include <vector>
+
+#include "shapley/query/boolean_query.h"
+
+namespace shapley {
+
+/// The conjunction q1 ∧ q2 of two arbitrary Boolean queries.
+///
+/// Lemma 4.3 reduces FGMC_q to SVC_{q ∧ q'} and Lemma 4.4 decomposes a query
+/// into q1 ∧ q2; this class is the oracle-side query object for both.
+class ConjunctionQuery : public BooleanQuery {
+ public:
+  static std::shared_ptr<const ConjunctionQuery> Create(QueryPtr left,
+                                                        QueryPtr right);
+
+  const QueryPtr& left() const { return left_; }
+  const QueryPtr& right() const { return right_; }
+
+  // BooleanQuery:
+  bool Evaluate(const Database& db) const override {
+    return left_->Evaluate(db) && right_->Evaluate(db);
+  }
+  std::set<Constant> QueryConstants() const override;
+  bool IsMonotone() const override {
+    return left_->IsMonotone() && right_->IsMonotone();
+  }
+  std::string ToString() const override;
+  const std::shared_ptr<Schema>& schema() const override {
+    return left_->schema();
+  }
+
+ private:
+  ConjunctionQuery(QueryPtr left, QueryPtr right)
+      : left_(std::move(left)), right_(std::move(right)) {}
+
+  QueryPtr left_;
+  QueryPtr right_;
+};
+
+}  // namespace shapley
+
+#endif  // SHAPLEY_QUERY_CONJUNCTION_QUERY_H_

@@ -1,0 +1,124 @@
+#include "shapley/query/conjunctive_query.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "shapley/common/macros.h"
+#include "shapley/query/hom_search.h"
+
+namespace shapley {
+
+ConjunctiveQuery::ConjunctiveQuery(std::shared_ptr<Schema> schema,
+                                   std::vector<Atom> positive,
+                                   std::vector<Atom> negated)
+    : schema_(std::move(schema)),
+      positive_(std::move(positive)),
+      negated_(std::move(negated)) {}
+
+std::shared_ptr<const ConjunctiveQuery> ConjunctiveQuery::Create(
+    std::shared_ptr<Schema> schema, std::vector<Atom> atoms) {
+  return std::shared_ptr<const ConjunctiveQuery>(
+      new ConjunctiveQuery(std::move(schema), std::move(atoms), {}));
+}
+
+std::shared_ptr<const ConjunctiveQuery> ConjunctiveQuery::CreateWithNegation(
+    std::shared_ptr<Schema> schema, std::vector<Atom> positive,
+    std::vector<Atom> negated) {
+  std::set<Variable> positive_vars;
+  for (const Atom& atom : positive) {
+    auto vars = atom.Variables();
+    positive_vars.insert(vars.begin(), vars.end());
+  }
+  for (const Atom& atom : negated) {
+    for (Variable v : atom.Variables()) {
+      if (positive_vars.count(v) == 0) {
+        throw std::invalid_argument(
+            "ConjunctiveQuery: unsafe negation — variable '" + v.name() +
+            "' occurs only in a negated atom");
+      }
+    }
+  }
+  return std::shared_ptr<const ConjunctiveQuery>(new ConjunctiveQuery(
+      std::move(schema), std::move(positive), std::move(negated)));
+}
+
+std::set<Variable> ConjunctiveQuery::Variables() const {
+  std::set<Variable> result;
+  for (const Atom& atom : positive_) {
+    auto vars = atom.Variables();
+    result.insert(vars.begin(), vars.end());
+  }
+  for (const Atom& atom : negated_) {
+    auto vars = atom.Variables();
+    result.insert(vars.begin(), vars.end());
+  }
+  return result;
+}
+
+std::shared_ptr<const ConjunctiveQuery> ConjunctiveQuery::Substitute(
+    Variable var, Constant value) const {
+  std::vector<Atom> positive, negated;
+  positive.reserve(positive_.size());
+  negated.reserve(negated_.size());
+  for (const Atom& atom : positive_) positive.push_back(atom.Substitute(var, value));
+  for (const Atom& atom : negated_) negated.push_back(atom.Substitute(var, value));
+  return std::shared_ptr<const ConjunctiveQuery>(new ConjunctiveQuery(
+      schema_, std::move(positive), std::move(negated)));
+}
+
+Database ConjunctiveQuery::Freeze(Assignment* frozen_assignment) const {
+  Assignment assignment;
+  for (Variable v : Variables()) {
+    assignment.emplace(v, Constant::Fresh(v.name()));
+  }
+  Database db(schema_);
+  for (const Atom& atom : positive_) db.Insert(atom.Instantiate(assignment));
+  if (frozen_assignment != nullptr) *frozen_assignment = std::move(assignment);
+  return db;
+}
+
+bool ConjunctiveQuery::Evaluate(const Database& db) const {
+  bool satisfied = false;
+  ForEachHomomorphism(positive_, db, [&](const Assignment& assignment) {
+    for (const Atom& neg : negated_) {
+      if (db.Contains(neg.Instantiate(assignment))) {
+        return true;  // This match is blocked; keep searching.
+      }
+    }
+    satisfied = true;
+    return false;  // Stop: found a witnessing assignment.
+  });
+  return satisfied;
+}
+
+std::set<Constant> ConjunctiveQuery::QueryConstants() const {
+  std::set<Constant> result;
+  for (const Atom& atom : positive_) {
+    auto cs = atom.Constants();
+    result.insert(cs.begin(), cs.end());
+  }
+  for (const Atom& atom : negated_) {
+    auto cs = atom.Constants();
+    result.insert(cs.begin(), cs.end());
+  }
+  return result;
+}
+
+std::string ConjunctiveQuery::ToString() const {
+  std::ostringstream os;
+  bool first = true;
+  for (const Atom& atom : positive_) {
+    if (!first) os << " ∧ ";
+    first = false;
+    os << atom.ToString(*schema_);
+  }
+  for (const Atom& atom : negated_) {
+    if (!first) os << " ∧ ";
+    first = false;
+    os << "¬" << atom.ToString(*schema_);
+  }
+  if (first) os << "⊤";
+  return os.str();
+}
+
+}  // namespace shapley

@@ -1,0 +1,70 @@
+#ifndef SHAPLEY_QUERY_CONJUNCTIVE_QUERY_H_
+#define SHAPLEY_QUERY_CONJUNCTIVE_QUERY_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "shapley/query/atom.h"
+#include "shapley/query/boolean_query.h"
+
+namespace shapley {
+
+/// A Boolean conjunctive query — optionally with safely-negated atoms
+/// (the sjf-CQ¬ class of Section 6.2): all variables are existentially
+/// quantified, and D |= q iff some assignment maps every positive atom onto
+/// a fact of D while no instantiated negative atom is in D.
+///
+/// Safe negation requires every variable of a negated atom to occur in some
+/// positive atom; the constructor enforces this.
+class ConjunctiveQuery : public BooleanQuery,
+                         public std::enable_shared_from_this<ConjunctiveQuery> {
+ public:
+  /// Positive-only CQ.
+  static std::shared_ptr<const ConjunctiveQuery> Create(
+      std::shared_ptr<Schema> schema, std::vector<Atom> atoms);
+
+  /// CQ with safely negated atoms; throws std::invalid_argument if a negated
+  /// atom has a variable not covered by the positive part.
+  static std::shared_ptr<const ConjunctiveQuery> CreateWithNegation(
+      std::shared_ptr<Schema> schema, std::vector<Atom> positive,
+      std::vector<Atom> negated);
+
+  const std::vector<Atom>& atoms() const { return positive_; }
+  const std::vector<Atom>& negated_atoms() const { return negated_; }
+  bool HasNegation() const { return !negated_.empty(); }
+
+  /// All variables of the query (positive and negative parts).
+  std::set<Variable> Variables() const;
+
+  /// The query with `var` replaced by `value` everywhere.
+  std::shared_ptr<const ConjunctiveQuery> Substitute(Variable var,
+                                                     Constant value) const;
+
+  /// The canonical database (freeze each variable to a fresh constant),
+  /// together with the assignment used. For a core (minimal) CQ this is a
+  /// minimal support.
+  Database Freeze(Assignment* frozen_assignment = nullptr) const;
+
+  // BooleanQuery:
+  bool Evaluate(const Database& db) const override;
+  std::set<Constant> QueryConstants() const override;
+  bool IsMonotone() const override { return negated_.empty(); }
+  std::string ToString() const override;
+  const std::shared_ptr<Schema>& schema() const override { return schema_; }
+
+ private:
+  ConjunctiveQuery(std::shared_ptr<Schema> schema, std::vector<Atom> positive,
+                   std::vector<Atom> negated);
+
+  std::shared_ptr<Schema> schema_;
+  std::vector<Atom> positive_;
+  std::vector<Atom> negated_;
+};
+
+using CqPtr = std::shared_ptr<const ConjunctiveQuery>;
+
+}  // namespace shapley
+
+#endif  // SHAPLEY_QUERY_CONJUNCTIVE_QUERY_H_

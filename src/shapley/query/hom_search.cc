@@ -1,0 +1,121 @@
+#include "shapley/query/hom_search.h"
+
+#include <algorithm>
+#include <map>
+
+#include "shapley/common/macros.h"
+
+namespace shapley {
+
+namespace {
+
+// Chooses the next atom to match: prefers atoms with the most already-bound
+// terms (fail-fast), breaking ties by fewer candidate facts.
+size_t PickNextAtom(const std::vector<Atom>& atoms,
+                    const std::vector<bool>& done,
+                    const Assignment& assignment,
+                    const std::map<RelationId, std::vector<Fact>>& by_relation) {
+  size_t best = atoms.size();
+  int64_t best_score = -1;
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    if (done[i]) continue;
+    int64_t bound = 0;
+    for (Term t : atoms[i].terms()) {
+      if (t.IsConstant() ||
+          (t.IsVariable() && assignment.count(t.variable()) > 0)) {
+        ++bound;
+      }
+    }
+    auto it = by_relation.find(atoms[i].relation());
+    int64_t candidates =
+        it == by_relation.end() ? 0 : static_cast<int64_t>(it->second.size());
+    // Lexicographic preference: more bound terms first, then fewer
+    // candidates. Scale keeps the comparison single-valued.
+    int64_t score = bound * 1000000 - candidates;
+    if (best == atoms.size() || score > best_score) {
+      best = i;
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+bool Search(const std::vector<Atom>& atoms,
+            const std::map<RelationId, std::vector<Fact>>& by_relation,
+            std::vector<bool>* done, size_t remaining, Assignment* assignment,
+            const std::function<bool(const Assignment&)>& on_match,
+            bool* found) {
+  if (remaining == 0) {
+    *found = true;
+    return on_match(*assignment);
+  }
+  size_t idx = PickNextAtom(atoms, *done, *assignment, by_relation);
+  SHAPLEY_CHECK(idx < atoms.size());
+  (*done)[idx] = true;
+  auto it = by_relation.find(atoms[idx].relation());
+  if (it != by_relation.end()) {
+    for (const Fact& fact : it->second) {
+      Assignment extended = *assignment;
+      if (!atoms[idx].UnifyWith(fact, &extended)) continue;
+      Assignment saved = std::move(*assignment);
+      *assignment = std::move(extended);
+      bool keep_going = Search(atoms, by_relation, done, remaining - 1,
+                               assignment, on_match, found);
+      *assignment = std::move(saved);
+      if (!keep_going) {
+        (*done)[idx] = false;
+        return false;
+      }
+    }
+  }
+  (*done)[idx] = false;
+  return true;
+}
+
+}  // namespace
+
+bool ForEachHomomorphism(const std::vector<Atom>& atoms, const Database& db,
+                         const std::function<bool(const Assignment&)>& on_match,
+                         Assignment initial) {
+  std::map<RelationId, std::vector<Fact>> by_relation;
+  for (const Fact& f : db.facts()) by_relation[f.relation()].push_back(f);
+
+  std::vector<bool> done(atoms.size(), false);
+  bool found = false;
+  Assignment assignment = std::move(initial);
+  Search(atoms, by_relation, &done, atoms.size(), &assignment, on_match,
+         &found);
+  return found;
+}
+
+bool HomomorphismExists(const std::vector<Atom>& atoms, const Database& db,
+                        const Assignment& initial) {
+  return ForEachHomomorphism(
+      atoms, db, [](const Assignment&) { return false; }, initial);
+}
+
+bool AtomSetHomomorphismExists(const std::vector<Atom>& from,
+                               const std::vector<Atom>& to,
+                               const std::shared_ptr<Schema>& schema) {
+  // Freeze the variables of `to` into fresh constants and reuse the
+  // database-homomorphism machinery. Fixed constants stay fixed because the
+  // frozen facts keep them verbatim.
+  std::map<Variable, Constant> frozen;
+  Database frozen_db(schema);
+  for (const Atom& atom : to) {
+    std::vector<Constant> args;
+    for (Term t : atom.terms()) {
+      if (t.IsConstant()) {
+        args.push_back(t.constant());
+      } else {
+        auto [it, inserted] = frozen.emplace(t.variable(), Constant());
+        if (inserted) it->second = Constant::Fresh("frz_" + t.variable().name());
+        args.push_back(it->second);
+      }
+    }
+    frozen_db.Insert(Fact(atom.relation(), std::move(args)));
+  }
+  return HomomorphismExists(from, frozen_db);
+}
+
+}  // namespace shapley

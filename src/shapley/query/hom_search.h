@@ -1,0 +1,36 @@
+#ifndef SHAPLEY_QUERY_HOM_SEARCH_H_
+#define SHAPLEY_QUERY_HOM_SEARCH_H_
+
+#include <functional>
+#include <vector>
+
+#include "shapley/data/database.h"
+#include "shapley/query/atom.h"
+
+namespace shapley {
+
+/// Backtracking homomorphism search from an atom set into a database,
+/// fixing constants (i.e. C-homomorphisms with C = all constants of the
+/// atoms). The workhorse of CQ evaluation, minimal-support enumeration and
+/// CQ core computation.
+///
+/// `on_match` receives each complete assignment; returning false stops the
+/// enumeration early. Returns true iff at least one homomorphism was found.
+bool ForEachHomomorphism(const std::vector<Atom>& atoms, const Database& db,
+                         const std::function<bool(const Assignment&)>& on_match,
+                         Assignment initial = {});
+
+/// True iff some homomorphism exists (early-exit wrapper).
+bool HomomorphismExists(const std::vector<Atom>& atoms, const Database& db,
+                        const Assignment& initial = {});
+
+/// True iff there is a homomorphism from `from` to `to` as *atom sets*
+/// (variables of `to` are treated as distinct frozen constants, constants
+/// are fixed). This is the hom-order test used by CQ core computation.
+bool AtomSetHomomorphismExists(const std::vector<Atom>& from,
+                               const std::vector<Atom>& to,
+                               const std::shared_ptr<Schema>& schema);
+
+}  // namespace shapley
+
+#endif  // SHAPLEY_QUERY_HOM_SEARCH_H_

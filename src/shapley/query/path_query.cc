@@ -1,0 +1,340 @@
+#include "shapley/query/path_query.h"
+
+#include <deque>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "shapley/common/macros.h"
+
+namespace shapley {
+
+namespace {
+
+// Maps each DFA symbol to the schema relation of the same name (or nullopt).
+std::vector<std::optional<RelationId>> SymbolRelations(const Dfa& dfa,
+                                                       const Schema& schema) {
+  std::vector<std::optional<RelationId>> result;
+  result.reserve(dfa.symbol_names().size());
+  for (const std::string& name : dfa.symbol_names()) {
+    result.push_back(schema.FindRelation(name));
+  }
+  return result;
+}
+
+// Registers every symbol of `regex` as a binary relation in `schema`.
+void RegisterSymbols(const Regex& regex, Schema* schema) {
+  for (const std::string& name : regex.SymbolNames()) {
+    schema->AddRelation(name, 2);
+  }
+}
+
+// Builds the path CQ atoms for one word: src -w-> dst with fresh middles.
+void AppendWordAtoms(const std::vector<SymbolId>& word, const Dfa& dfa,
+                     const Schema& schema, Term src, Term dst,
+                     std::vector<Atom>* atoms) {
+  Term prev = src;
+  for (size_t i = 0; i < word.size(); ++i) {
+    Term next = (i + 1 == word.size())
+                    ? dst
+                    : Term(Variable::Fresh("p"));
+    auto rel = schema.FindRelation(dfa.symbol_names()[word[i]]);
+    SHAPLEY_CHECK(rel.has_value());
+    atoms->push_back(Atom(*rel, {prev, next}));
+    prev = next;
+  }
+}
+
+}  // namespace
+
+bool PathReachable(const Database& db, const Dfa& dfa, Constant src,
+                   Constant dst) {
+  if (dfa.AcceptsEmptyLanguage()) return false;
+  if (src == dst && dfa.AcceptsEpsilon()) return true;
+  SHAPLEY_CHECK(db.schema() != nullptr);
+  auto symbol_rel = SymbolRelations(dfa, *db.schema());
+
+  // Adjacency: constant -> list of (symbol, successor constant).
+  std::map<Constant, std::vector<std::pair<SymbolId, Constant>>> adjacency;
+  for (const Fact& f : db.facts()) {
+    if (f.arity() != 2) continue;
+    for (SymbolId a = 0; a < symbol_rel.size(); ++a) {
+      if (symbol_rel[a].has_value() && *symbol_rel[a] == f.relation()) {
+        adjacency[f.args()[0]].push_back({a, f.args()[1]});
+      }
+    }
+  }
+
+  // BFS over the product (constant, dfa state).
+  std::deque<std::pair<Constant, uint32_t>> queue;
+  std::set<std::pair<Constant, uint32_t>> seen;
+  queue.push_back({src, dfa.StartState()});
+  seen.insert({src, dfa.StartState()});
+  while (!queue.empty()) {
+    auto [c, s] = queue.front();
+    queue.pop_front();
+    if (c == dst && dfa.IsAccepting(s)) return true;
+    auto it = adjacency.find(c);
+    if (it == adjacency.end()) continue;
+    for (auto [symbol, next_const] : it->second) {
+      uint32_t next_state = dfa.Step(s, symbol);
+      if (next_state == Dfa::kNoTransition) continue;
+      if (seen.insert({next_const, next_state}).second) {
+        queue.push_back({next_const, next_state});
+      }
+    }
+  }
+  return false;
+}
+
+RegularPathQuery::RegularPathQuery(std::shared_ptr<Schema> schema, Regex regex,
+                                   Constant source, Constant target)
+    : schema_(std::move(schema)),
+      regex_(std::move(regex)),
+      dfa_(Dfa::FromRegex(regex_)),
+      source_(source),
+      target_(target) {}
+
+std::shared_ptr<const RegularPathQuery> RegularPathQuery::Create(
+    std::shared_ptr<Schema> schema, Regex regex, Constant source,
+    Constant target) {
+  RegisterSymbols(regex, schema.get());
+  return std::shared_ptr<const RegularPathQuery>(new RegularPathQuery(
+      std::move(schema), std::move(regex), source, target));
+}
+
+UcqPtr RegularPathQuery::ExpandToUcq(size_t max_length, size_t limit) const {
+  std::vector<CqPtr> disjuncts;
+  for (const auto& word : dfa_.WordsUpToLength(max_length, limit)) {
+    if (word.empty()) {
+      if (source_ == target_) {
+        disjuncts.push_back(ConjunctiveQuery::Create(schema_, {}));
+      }
+      continue;
+    }
+    std::vector<Atom> atoms;
+    AppendWordAtoms(word, dfa_, *schema_, Term(source_), Term(target_), &atoms);
+    disjuncts.push_back(ConjunctiveQuery::Create(schema_, std::move(atoms)));
+  }
+  if (disjuncts.empty()) {
+    throw std::invalid_argument(
+        "RegularPathQuery::ExpandToUcq: no word yields a satisfiable "
+        "disjunct within the bound");
+  }
+  return UnionQuery::Create(std::move(disjuncts));
+}
+
+bool RegularPathQuery::Evaluate(const Database& db) const {
+  return PathReachable(db, dfa_, source_, target_);
+}
+
+std::set<Constant> RegularPathQuery::QueryConstants() const {
+  return {source_, target_};
+}
+
+std::string RegularPathQuery::ToString() const {
+  std::ostringstream os;
+  os << "[" << regex_.ToString() << "](" << source_ << "," << target_ << ")";
+  return os.str();
+}
+
+ConjunctiveRegularPathQuery::ConjunctiveRegularPathQuery(
+    std::shared_ptr<Schema> schema, std::vector<PathAtom> atoms)
+    : schema_(std::move(schema)), atoms_(std::move(atoms)) {
+  dfas_.reserve(atoms_.size());
+  for (const PathAtom& atom : atoms_) {
+    dfas_.push_back(Dfa::FromRegex(atom.regex));
+  }
+}
+
+std::shared_ptr<const ConjunctiveRegularPathQuery>
+ConjunctiveRegularPathQuery::Create(std::shared_ptr<Schema> schema,
+                                    std::vector<PathAtom> atoms) {
+  if (atoms.empty()) {
+    throw std::invalid_argument("CRPQ: at least one path atom required");
+  }
+  for (const PathAtom& atom : atoms) {
+    RegisterSymbols(atom.regex, schema.get());
+  }
+  return std::shared_ptr<const ConjunctiveRegularPathQuery>(
+      new ConjunctiveRegularPathQuery(std::move(schema), std::move(atoms)));
+}
+
+std::set<Variable> ConjunctiveRegularPathQuery::Variables() const {
+  std::set<Variable> result;
+  for (const PathAtom& atom : atoms_) {
+    if (atom.source.IsVariable()) result.insert(atom.source.variable());
+    if (atom.target.IsVariable()) result.insert(atom.target.variable());
+  }
+  return result;
+}
+
+bool ConjunctiveRegularPathQuery::IsSelfJoinFree() const {
+  std::set<std::string> seen;
+  for (const PathAtom& atom : atoms_) {
+    for (const std::string& name : atom.regex.SymbolNames()) {
+      if (!seen.insert(name).second) return false;
+    }
+  }
+  return true;
+}
+
+UcqPtr ConjunctiveRegularPathQuery::ExpandToUcq(size_t max_length,
+                                                size_t limit) const {
+  // Words per atom, then a cross product of choices.
+  std::vector<std::vector<std::vector<SymbolId>>> words_per_atom;
+  size_t total = 1;
+  for (const Dfa& dfa : dfas_) {
+    words_per_atom.push_back(dfa.WordsUpToLength(max_length, limit));
+    total *= std::max<size_t>(words_per_atom.back().size(), 1);
+    if (total > limit) {
+      throw std::invalid_argument("CRPQ::ExpandToUcq: too many disjuncts");
+    }
+  }
+
+  std::vector<CqPtr> disjuncts;
+  std::vector<size_t> choice(atoms_.size(), 0);
+  while (true) {
+    std::vector<Atom> atoms;
+    bool feasible = true;
+    for (size_t i = 0; i < atoms_.size() && feasible; ++i) {
+      if (words_per_atom[i].empty()) {
+        feasible = false;
+        break;
+      }
+      const auto& word = words_per_atom[i][choice[i]];
+      if (word.empty()) {
+        // Empty word: endpoints must coincide. Equality of two terms is
+        // expressed by unifying them; we handle the simple cases and skip
+        // infeasible ones (distinct constants).
+        const PathAtom& pa = atoms_[i];
+        if (pa.source.IsConstant() && pa.target.IsConstant()) {
+          if (!(pa.source == pa.target)) feasible = false;
+          continue;
+        }
+        // Variable endpoint(s): substituting one for the other would need
+        // term rewriting across atoms; keep it sound by refusing expansion.
+        throw std::invalid_argument(
+            "CRPQ::ExpandToUcq: epsilon word with variable endpoint "
+            "not supported");
+      }
+      AppendWordAtoms(word, dfas_[i], *schema_, atoms_[i].source,
+                      atoms_[i].target, &atoms);
+    }
+    if (feasible) {
+      disjuncts.push_back(ConjunctiveQuery::Create(schema_, std::move(atoms)));
+    }
+    // Advance the odometer.
+    size_t pos = 0;
+    while (pos < choice.size()) {
+      if (words_per_atom[pos].empty()) {
+        ++pos;
+        continue;
+      }
+      if (++choice[pos] < words_per_atom[pos].size()) break;
+      choice[pos] = 0;
+      ++pos;
+    }
+    if (pos == choice.size()) break;
+  }
+  if (disjuncts.empty()) {
+    throw std::invalid_argument("CRPQ::ExpandToUcq: no satisfiable disjunct");
+  }
+  return UnionQuery::Create(std::move(disjuncts));
+}
+
+bool ConjunctiveRegularPathQuery::Evaluate(const Database& db) const {
+  // Candidate domain: constants of the database and of the query.
+  std::set<Constant> domain_set = db.Constants();
+  for (Constant c : QueryConstants()) domain_set.insert(c);
+  std::vector<Constant> domain(domain_set.begin(), domain_set.end());
+
+  std::vector<Variable> vars;
+  for (Variable v : Variables()) vars.push_back(v);
+
+  Assignment assignment;
+  // Backtrack over variable assignments; check all fully-instantiated path
+  // atoms as soon as both endpoints are bound.
+  auto resolve = [&](Term t) -> std::optional<Constant> {
+    if (t.IsConstant()) return t.constant();
+    auto it = assignment.find(t.variable());
+    if (it == assignment.end()) return std::nullopt;
+    return it->second;
+  };
+  auto consistent = [&]() {
+    for (size_t i = 0; i < atoms_.size(); ++i) {
+      auto s = resolve(atoms_[i].source);
+      auto t = resolve(atoms_[i].target);
+      if (s.has_value() && t.has_value() &&
+          !PathReachable(db, dfas_[i], *s, *t)) {
+        return false;
+      }
+    }
+    return true;
+  };
+  auto search = [&](auto&& self, size_t var_index) -> bool {
+    if (!consistent()) return false;
+    if (var_index == vars.size()) return true;
+    for (Constant c : domain) {
+      assignment[vars[var_index]] = c;
+      if (self(self, var_index + 1)) return true;
+    }
+    assignment.erase(vars[var_index]);
+    return false;
+  };
+  return search(search, 0);
+}
+
+std::set<Constant> ConjunctiveRegularPathQuery::QueryConstants() const {
+  std::set<Constant> result;
+  for (const PathAtom& atom : atoms_) {
+    if (atom.source.IsConstant()) result.insert(atom.source.constant());
+    if (atom.target.IsConstant()) result.insert(atom.target.constant());
+  }
+  return result;
+}
+
+std::string ConjunctiveRegularPathQuery::ToString() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < atoms_.size(); ++i) {
+    if (i > 0) os << " ∧ ";
+    os << "[" << atoms_[i].regex.ToString() << "](" << atoms_[i].source << ","
+       << atoms_[i].target << ")";
+  }
+  return os.str();
+}
+
+std::shared_ptr<const UnionCrpq> UnionCrpq::Create(
+    std::vector<CrpqPtr> disjuncts) {
+  if (disjuncts.empty()) {
+    throw std::invalid_argument("UnionCrpq: at least one disjunct required");
+  }
+  return std::shared_ptr<const UnionCrpq>(new UnionCrpq(std::move(disjuncts)));
+}
+
+bool UnionCrpq::Evaluate(const Database& db) const {
+  for (const CrpqPtr& crpq : disjuncts_) {
+    if (crpq->Evaluate(db)) return true;
+  }
+  return false;
+}
+
+std::set<Constant> UnionCrpq::QueryConstants() const {
+  std::set<Constant> result;
+  for (const CrpqPtr& crpq : disjuncts_) {
+    auto cs = crpq->QueryConstants();
+    result.insert(cs.begin(), cs.end());
+  }
+  return result;
+}
+
+std::string UnionCrpq::ToString() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < disjuncts_.size(); ++i) {
+    if (i > 0) os << " ∨ ";
+    os << "(" << disjuncts_[i]->ToString() << ")";
+  }
+  return os.str();
+}
+
+}  // namespace shapley

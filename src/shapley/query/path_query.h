@@ -1,0 +1,134 @@
+#ifndef SHAPLEY_QUERY_PATH_QUERY_H_
+#define SHAPLEY_QUERY_PATH_QUERY_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "shapley/automata/automaton.h"
+#include "shapley/query/boolean_query.h"
+#include "shapley/query/term.h"
+#include "shapley/query/union_query.h"
+
+namespace shapley {
+
+/// A path atom L(t, t') over a binary schema: a regular-language constraint
+/// between two terms (Section 2).
+struct PathAtom {
+  Regex regex;
+  Term source;
+  Term target;
+};
+
+/// Product-automaton reachability: true iff the database contains a path
+/// from `src` to `dst` labeled by a word of dfa's language. Symbols of the
+/// DFA are matched to relations of `db`'s schema by name; unknown names
+/// simply have no edges. Accepts with zero edges when src == dst and the
+/// language contains the empty word.
+bool PathReachable(const Database& db, const Dfa& dfa, Constant src,
+                   Constant dst);
+
+/// A Boolean regular path query L(a, b) with constant endpoints. {a,b}-hom-
+/// closed; the central query class of Corollary 4.3 and [Khalil & Kimelfeld].
+class RegularPathQuery : public BooleanQuery {
+ public:
+  static std::shared_ptr<const RegularPathQuery> Create(
+      std::shared_ptr<Schema> schema, Regex regex, Constant source,
+      Constant target);
+
+  const Regex& regex() const { return regex_; }
+  const Dfa& dfa() const { return dfa_; }
+  Constant source() const { return source_; }
+  Constant target() const { return target_; }
+
+  /// If the language is finite (or truncated at `max_length`), the UCQ whose
+  /// disjuncts are the label paths of each word. Exact when the language is
+  /// finite and max_length >= MaxWordLength(). Throws std::invalid_argument
+  /// if more than `limit` words would be produced.
+  UcqPtr ExpandToUcq(size_t max_length, size_t limit = 4096) const;
+
+  // BooleanQuery:
+  bool Evaluate(const Database& db) const override;
+  std::set<Constant> QueryConstants() const override;
+  std::string ToString() const override;
+  const std::shared_ptr<Schema>& schema() const override { return schema_; }
+
+ private:
+  RegularPathQuery(std::shared_ptr<Schema> schema, Regex regex,
+                   Constant source, Constant target);
+
+  std::shared_ptr<Schema> schema_;
+  Regex regex_;
+  Dfa dfa_;
+  Constant source_;
+  Constant target_;
+};
+
+using RpqPtr = std::shared_ptr<const RegularPathQuery>;
+
+/// A Boolean conjunctive regular path query: an existentially quantified
+/// conjunction of path atoms over a binary schema (Section 2).
+class ConjunctiveRegularPathQuery : public BooleanQuery {
+ public:
+  static std::shared_ptr<const ConjunctiveRegularPathQuery> Create(
+      std::shared_ptr<Schema> schema, std::vector<PathAtom> atoms);
+
+  const std::vector<PathAtom>& path_atoms() const { return atoms_; }
+  const std::vector<Dfa>& dfas() const { return dfas_; }
+
+  std::set<Variable> Variables() const;
+
+  /// True iff no two path atoms share an alphabet symbol (the sjf-CRPQ
+  /// class of Corollary 4.6).
+  bool IsSelfJoinFree() const;
+
+  /// Expansion into a UCQ by enumerating each atom's words up to
+  /// `max_length` and taking the cross product of choices. Exact when every
+  /// language is finite and max_length bounds all of them.
+  UcqPtr ExpandToUcq(size_t max_length, size_t limit = 4096) const;
+
+  // BooleanQuery:
+  bool Evaluate(const Database& db) const override;
+  std::set<Constant> QueryConstants() const override;
+  std::string ToString() const override;
+  const std::shared_ptr<Schema>& schema() const override { return schema_; }
+
+ private:
+  ConjunctiveRegularPathQuery(std::shared_ptr<Schema> schema,
+                              std::vector<PathAtom> atoms);
+
+  std::shared_ptr<Schema> schema_;
+  std::vector<PathAtom> atoms_;
+  std::vector<Dfa> dfas_;  // Compiled per atom.
+};
+
+using CrpqPtr = std::shared_ptr<const ConjunctiveRegularPathQuery>;
+
+/// A union of CRPQs.
+class UnionCrpq : public BooleanQuery {
+ public:
+  static std::shared_ptr<const UnionCrpq> Create(std::vector<CrpqPtr> disjuncts);
+
+  const std::vector<CrpqPtr>& disjuncts() const { return disjuncts_; }
+
+  // BooleanQuery:
+  bool Evaluate(const Database& db) const override;
+  std::set<Constant> QueryConstants() const override;
+  std::string ToString() const override;
+  const std::shared_ptr<Schema>& schema() const override {
+    return disjuncts_.front()->schema();
+  }
+
+ private:
+  explicit UnionCrpq(std::vector<CrpqPtr> disjuncts)
+      : disjuncts_(std::move(disjuncts)) {}
+
+  std::vector<CrpqPtr> disjuncts_;
+};
+
+using UcrpqPtr = std::shared_ptr<const UnionCrpq>;
+
+}  // namespace shapley
+
+#endif  // SHAPLEY_QUERY_PATH_QUERY_H_

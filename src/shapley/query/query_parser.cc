@@ -1,0 +1,182 @@
+#include "shapley/query/query_parser.h"
+
+#include <cctype>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "shapley/common/macros.h"
+
+namespace shapley {
+
+namespace {
+
+bool IsVariableName(std::string_view name) {
+  if (name.empty()) return false;
+  char c = name[0];
+  return c == 'u' || c == 'v' || c == 'w' || c == 'x' || c == 'y' || c == 'z';
+}
+
+class QueryScanner {
+ public:
+  QueryScanner(const std::shared_ptr<Schema>& schema, std::string_view text)
+      : schema_(schema), text_(text) {}
+
+  void SkipSeparators() {
+    while (pos_ < text_.size() &&
+           (std::isspace(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == ',')) {
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() {
+    SkipSeparators();
+    return pos_ >= text_.size();
+  }
+
+  bool AtDisjunctionBar() {
+    SkipSeparators();
+    return pos_ < text_.size() && text_[pos_] == '|';
+  }
+
+  void ConsumeBar() {
+    SHAPLEY_CHECK(AtDisjunctionBar());
+    ++pos_;
+  }
+
+  // Parses one atom; sets *negated if prefixed with '!'.
+  Atom ParseOneAtom(bool* negated) {
+    SkipSeparators();
+    *negated = false;
+    if (pos_ < text_.size() && text_[pos_] == '!') {
+      *negated = true;
+      ++pos_;
+    }
+    std::string relation = ParseIdentifier("relation name");
+    Expect('(');
+    std::vector<Term> terms;
+    while (true) {
+      SkipSeparators();
+      terms.push_back(ParseTerm());
+      SkipSeparators();
+      if (pos_ < text_.size() && text_[pos_] == ')') {
+        ++pos_;
+        break;
+      }
+      if (pos_ >= text_.size()) {
+        throw std::invalid_argument("ParseCq: unterminated atom '" + relation +
+                                    "(...' in '" + std::string(text_) + "'");
+      }
+    }
+    RelationId id =
+        schema_->AddRelation(relation, static_cast<uint32_t>(terms.size()));
+    return Atom(id, std::move(terms));
+  }
+
+ private:
+  Term ParseTerm() {
+    SkipSeparators();
+    bool force_variable = false, force_constant = false;
+    if (pos_ < text_.size() && text_[pos_] == '?') {
+      force_variable = true;
+      ++pos_;
+    } else if (pos_ < text_.size() && text_[pos_] == '$') {
+      force_constant = true;
+      ++pos_;
+    }
+    std::string name = ParseIdentifier("term");
+    if (force_variable || (!force_constant && IsVariableName(name))) {
+      return Term(Variable::Named(name));
+    }
+    return Term(Constant::Named(name));
+  }
+
+  std::string ParseIdentifier(const char* what) {
+    SkipSeparators();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_' || text_[pos_] == '#' || text_[pos_] == '\'')) {
+      ++pos_;
+    }
+    if (start == pos_) {
+      throw std::invalid_argument(std::string("ParseCq: expected ") + what +
+                                  " at position " + std::to_string(pos_) +
+                                  " in '" + std::string(text_) + "'");
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  void Expect(char c) {
+    SkipSeparators();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      throw std::invalid_argument(std::string("ParseCq: expected '") + c +
+                                  "' at position " + std::to_string(pos_) +
+                                  " in '" + std::string(text_) + "'");
+    }
+    ++pos_;
+  }
+
+  std::shared_ptr<Schema> schema_;
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+CqPtr ParseOneCq(const std::shared_ptr<Schema>& schema, QueryScanner* scanner) {
+  std::vector<Atom> positive, negated;
+  while (!scanner->AtEnd() && !scanner->AtDisjunctionBar()) {
+    bool neg = false;
+    Atom atom = scanner->ParseOneAtom(&neg);
+    (neg ? negated : positive).push_back(std::move(atom));
+  }
+  if (positive.empty() && negated.empty()) {
+    throw std::invalid_argument("ParseCq: empty conjunct");
+  }
+  if (negated.empty()) return ConjunctiveQuery::Create(schema, std::move(positive));
+  return ConjunctiveQuery::CreateWithNegation(schema, std::move(positive),
+                                              std::move(negated));
+}
+
+}  // namespace
+
+CqPtr ParseCq(const std::shared_ptr<Schema>& schema, std::string_view text) {
+  QueryScanner scanner(schema, text);
+  CqPtr cq = ParseOneCq(schema, &scanner);
+  if (!scanner.AtEnd()) {
+    throw std::invalid_argument("ParseCq: trailing input (use ParseUcq for "
+                                "disjunctions) in '" +
+                                std::string(text) + "'");
+  }
+  return cq;
+}
+
+UcqPtr ParseUcq(const std::shared_ptr<Schema>& schema, std::string_view text) {
+  QueryScanner scanner(schema, text);
+  std::vector<CqPtr> disjuncts;
+  disjuncts.push_back(ParseOneCq(schema, &scanner));
+  while (scanner.AtDisjunctionBar()) {
+    scanner.ConsumeBar();
+    disjuncts.push_back(ParseOneCq(schema, &scanner));
+  }
+  if (!scanner.AtEnd()) {
+    throw std::invalid_argument("ParseUcq: trailing input in '" +
+                                std::string(text) + "'");
+  }
+  return UnionQuery::Create(std::move(disjuncts));
+}
+
+Atom ParseAtom(const std::shared_ptr<Schema>& schema, std::string_view text) {
+  QueryScanner scanner(schema, text);
+  bool negated = false;
+  Atom atom = scanner.ParseOneAtom(&negated);
+  if (negated) {
+    throw std::invalid_argument("ParseAtom: unexpected negation");
+  }
+  if (!scanner.AtEnd()) {
+    throw std::invalid_argument("ParseAtom: trailing input");
+  }
+  return atom;
+}
+
+}  // namespace shapley

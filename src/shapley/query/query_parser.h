@@ -1,0 +1,35 @@
+#ifndef SHAPLEY_QUERY_QUERY_PARSER_H_
+#define SHAPLEY_QUERY_QUERY_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "shapley/query/conjunctive_query.h"
+#include "shapley/query/union_query.h"
+
+namespace shapley {
+
+/// Parses conjunctive queries and unions thereof from a compact textual
+/// syntax mirroring the paper's notation:
+///
+///   "R(x,y), S(y,a)"                  — a CQ (atoms joined by , or whitespace)
+///   "R(x,y) | S(x)"                   — a UCQ (disjuncts joined by '|')
+///   "A(x), !S(x,y), B(y)"             — '!' negates an atom (safe negation)
+///
+/// Term convention (paper style): identifiers beginning with u, v, w, x, y
+/// or z are variables; everything else is a constant. A '?' prefix forces a
+/// variable ("?a"), and a '$' prefix forces a constant ("$x").
+///
+/// Unknown relation names are added to `schema` with the observed arity.
+/// Throws std::invalid_argument on malformed input.
+CqPtr ParseCq(const std::shared_ptr<Schema>& schema, std::string_view text);
+
+/// Parses a UCQ; a single disjunct yields a one-disjunct union.
+UcqPtr ParseUcq(const std::shared_ptr<Schema>& schema, std::string_view text);
+
+/// Parses a single (possibly negated — the flag is returned separately) atom.
+Atom ParseAtom(const std::shared_ptr<Schema>& schema, std::string_view text);
+
+}  // namespace shapley
+
+#endif  // SHAPLEY_QUERY_QUERY_PARSER_H_

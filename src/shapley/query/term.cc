@@ -1,0 +1,28 @@
+#include "shapley/query/term.h"
+
+#include <ostream>
+
+#include "shapley/common/macros.h"
+
+namespace shapley {
+
+Variable Term::variable() const {
+  SHAPLEY_CHECK(is_variable_);
+  return Variable::FromId(id_);
+}
+
+Constant Term::constant() const {
+  SHAPLEY_CHECK(!is_variable_);
+  return Constant::FromId(id_);
+}
+
+std::string Term::ToString() const {
+  return is_variable_ ? Variable::FromId(id_).name()
+                      : Constant::FromId(id_).name();
+}
+
+std::ostream& operator<<(std::ostream& os, Term t) {
+  return os << t.ToString();
+}
+
+}  // namespace shapley

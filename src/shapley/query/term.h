@@ -1,0 +1,51 @@
+#ifndef SHAPLEY_QUERY_TERM_H_
+#define SHAPLEY_QUERY_TERM_H_
+
+#include <compare>
+#include <iosfwd>
+#include <string>
+
+#include "shapley/data/symbol.h"
+
+namespace shapley {
+
+/// A term: either a variable or a constant (Section 2's Var ∪ Const).
+class Term {
+ public:
+  Term() : is_variable_(false), id_(0) {}
+  Term(Variable v) : is_variable_(true), id_(v.id()) {}    // NOLINT
+  Term(Constant c) : is_variable_(false), id_(c.id()) {}   // NOLINT
+
+  bool IsVariable() const { return is_variable_; }
+  bool IsConstant() const { return !is_variable_; }
+
+  /// Requires IsVariable() / IsConstant() respectively.
+  Variable variable() const;
+  Constant constant() const;
+
+  std::string ToString() const;
+
+  friend bool operator==(Term a, Term b) {
+    return a.is_variable_ == b.is_variable_ && a.id_ == b.id_;
+  }
+  friend auto operator<=>(Term a, Term b) {
+    if (auto c = a.is_variable_ <=> b.is_variable_; c != 0) return c;
+    return a.id_ <=> b.id_;
+  }
+  friend std::ostream& operator<<(std::ostream& os, Term t);
+
+  size_t Hash() const { return (size_t{id_} << 1) | (is_variable_ ? 1 : 0); }
+
+ private:
+  bool is_variable_;
+  uint32_t id_;
+};
+
+}  // namespace shapley
+
+template <>
+struct std::hash<shapley::Term> {
+  size_t operator()(shapley::Term t) const { return t.Hash(); }
+};
+
+#endif  // SHAPLEY_QUERY_TERM_H_

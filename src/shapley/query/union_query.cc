@@ -1,0 +1,55 @@
+#include "shapley/query/union_query.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace shapley {
+
+std::shared_ptr<const UnionQuery> UnionQuery::Create(
+    std::vector<CqPtr> disjuncts) {
+  if (disjuncts.empty()) {
+    throw std::invalid_argument("UnionQuery: at least one disjunct required");
+  }
+  return std::shared_ptr<const UnionQuery>(new UnionQuery(std::move(disjuncts)));
+}
+
+bool UnionQuery::IsConstantFree() const {
+  for (const CqPtr& cq : disjuncts_) {
+    if (!cq->QueryConstants().empty()) return false;
+  }
+  return true;
+}
+
+bool UnionQuery::IsPositive() const {
+  for (const CqPtr& cq : disjuncts_) {
+    if (cq->HasNegation()) return false;
+  }
+  return true;
+}
+
+bool UnionQuery::Evaluate(const Database& db) const {
+  for (const CqPtr& cq : disjuncts_) {
+    if (cq->Evaluate(db)) return true;
+  }
+  return false;
+}
+
+std::set<Constant> UnionQuery::QueryConstants() const {
+  std::set<Constant> result;
+  for (const CqPtr& cq : disjuncts_) {
+    auto cs = cq->QueryConstants();
+    result.insert(cs.begin(), cs.end());
+  }
+  return result;
+}
+
+std::string UnionQuery::ToString() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < disjuncts_.size(); ++i) {
+    if (i > 0) os << " ∨ ";
+    os << "(" << disjuncts_[i]->ToString() << ")";
+  }
+  return os.str();
+}
+
+}  // namespace shapley

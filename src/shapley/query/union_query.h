@@ -1,0 +1,45 @@
+#ifndef SHAPLEY_QUERY_UNION_QUERY_H_
+#define SHAPLEY_QUERY_UNION_QUERY_H_
+
+#include <memory>
+#include <vector>
+
+#include "shapley/query/conjunctive_query.h"
+
+namespace shapley {
+
+/// A union of conjunctive queries q1 ∨ ... ∨ qk (Section 2). Disjuncts may
+/// carry safe negation (giving unions of CQ¬, used in Section 6.2's DNF
+/// machinery); the standard UCQ class has positive disjuncts only.
+class UnionQuery : public BooleanQuery {
+ public:
+  /// Throws std::invalid_argument when `disjuncts` is empty (the empty
+  /// union would be the unsatisfiable query, which no result here needs).
+  static std::shared_ptr<const UnionQuery> Create(std::vector<CqPtr> disjuncts);
+
+  const std::vector<CqPtr>& disjuncts() const { return disjuncts_; }
+
+  bool IsConstantFree() const;
+  bool IsPositive() const;
+
+  // BooleanQuery:
+  bool Evaluate(const Database& db) const override;
+  std::set<Constant> QueryConstants() const override;
+  bool IsMonotone() const override { return IsPositive(); }
+  std::string ToString() const override;
+  const std::shared_ptr<Schema>& schema() const override {
+    return disjuncts_.front()->schema();
+  }
+
+ private:
+  explicit UnionQuery(std::vector<CqPtr> disjuncts)
+      : disjuncts_(std::move(disjuncts)) {}
+
+  std::vector<CqPtr> disjuncts_;
+};
+
+using UcqPtr = std::shared_ptr<const UnionQuery>;
+
+}  // namespace shapley
+
+#endif  // SHAPLEY_QUERY_UNION_QUERY_H_

@@ -1,0 +1,89 @@
+#include "shapley/reductions/interpolation.h"
+
+#include <stdexcept>
+
+#include "shapley/arith/linear_system.h"
+#include "shapley/common/macros.h"
+
+namespace shapley {
+
+Polynomial InterpolationFgmc::CountBySize(const BooleanQuery& query,
+                                          const PartitionedDatabase& db) {
+  const size_t n = db.NumEndogenous();
+
+  // Sample points z_t = t + 1 (so p = z/(1+z) ∈ (0,1), pairwise distinct).
+  std::vector<BigRational> points, values;
+  points.reserve(n + 1);
+  values.reserve(n + 1);
+  for (size_t t = 0; t <= n; ++t) {
+    BigRational z(static_cast<int64_t>(t + 1));
+    BigRational p = z / (BigRational(1) + z);
+    ProbabilisticDatabase pdb = ProbabilisticDatabase::FromPartitioned(db, p);
+    BigRational probability = oracle_->Probability(query, pdb);
+    ++oracle_calls_;
+    // (1+z)^n * Pr = sum_j z^j FGMC_j.
+    BigRational one_plus_z = BigRational(1) + z;
+    BigRational scale(1);
+    for (size_t k = 0; k < n; ++k) scale *= one_plus_z;
+    points.push_back(z);
+    values.push_back(scale * probability);
+  }
+
+  std::vector<BigRational> coefficients = SolveVandermonde(points, values);
+  std::vector<BigInt> counts;
+  counts.reserve(coefficients.size());
+  for (const BigRational& c : coefficients) {
+    SHAPLEY_CHECK_MSG(c.IsInteger() && !c.numerator().IsNegative(),
+                      "interpolated count is not a nonnegative integer: "
+                          << c.ToString());
+    counts.push_back(c.numerator());
+  }
+  return Polynomial(std::move(counts));
+}
+
+BigInt McViaUniformPqe(const BooleanQuery& query, const Database& db,
+                       PqeEngine& oracle) {
+  const BigRational half(BigInt(1), BigInt(2));
+  ProbabilisticDatabase uniform(db.schema());
+  for (const Fact& f : db.facts()) uniform.AddFact(f, half);
+  BigRational probability = oracle.Probability(query, uniform);
+  BigRational count =
+      probability * BigRational(BigInt::Pow(2, db.size()));
+  SHAPLEY_CHECK_MSG(count.IsInteger(), "2^n * Pr must be integral");
+  return count.numerator();
+}
+
+BigRational FgmcBackedSppqe::Probability(const BooleanQuery& query,
+                                         const ProbabilisticDatabase& db) {
+  if (!db.IsSingleProperProbability()) {
+    throw std::invalid_argument(
+        "FgmcBackedSppqe: input is not SPPQE-shaped (probabilities must lie "
+        "in {p, 1})");
+  }
+  PartitionedDatabase partitioned = db.AssociatedPartitioned();
+  const size_t n = partitioned.NumEndogenous();
+  if (n == 0) {
+    // Everything is certain.
+    return query.Evaluate(partitioned.exogenous()) ? BigRational(1)
+                                                   : BigRational(0);
+  }
+  // Identify p (some probability != 1 exists since n > 0).
+  BigRational p(1);
+  for (const BigRational& prob : db.probabilities()) {
+    if (!(prob == BigRational(1))) {
+      p = prob;
+      break;
+    }
+  }
+  BigRational z = p / (BigRational(1) - p);
+
+  Polynomial counts = oracle_->CountBySize(query, partitioned);
+  // Pr = sum_j z^j FGMC_j / (1+z)^n.
+  BigRational numerator = counts.Evaluate(z);
+  BigRational one_plus_z = BigRational(1) + z;
+  BigRational denominator(1);
+  for (size_t k = 0; k < n; ++k) denominator *= one_plus_z;
+  return numerator / denominator;
+}
+
+}  // namespace shapley

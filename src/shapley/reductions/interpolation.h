@@ -1,0 +1,69 @@
+#ifndef SHAPLEY_REDUCTIONS_INTERPOLATION_H_
+#define SHAPLEY_REDUCTIONS_INTERPOLATION_H_
+
+#include <memory>
+
+#include "shapley/engines/fgmc.h"
+#include "shapley/engines/pqe.h"
+
+namespace shapley {
+
+/// The counting ↔ probability bridges of Proposition 3.3 / Claims A.2, A.3:
+///
+///   (1+z)^n · Pr(D_z |= q) = sum_j z^j FGMC_j(Dn, Dx)
+///
+/// where D_z gives every endogenous fact probability z/(1+z). Evaluating a
+/// PQE oracle at n+1 distinct rational points and solving the Vandermonde
+/// system recovers the counts (FGMC ≤ SPPQE); the same identity read the
+/// other way computes SPPQE from an FGMC oracle. Both directions use the
+/// oracle only on the same underlying partitioned database, exactly as the
+/// paper emphasizes.
+
+/// FGMC engine backed by a PQE oracle via interpolation. The oracle is
+/// consulted on |Dn| + 1 single-proper-probability databases.
+class InterpolationFgmc : public FgmcEngine {
+ public:
+  explicit InterpolationFgmc(std::shared_ptr<PqeEngine> oracle)
+      : oracle_(std::move(oracle)) {}
+
+  std::string name() const override {
+    return "interpolation(" + oracle_->name() + ")";
+  }
+  Polynomial CountBySize(const BooleanQuery& query,
+                         const PartitionedDatabase& db) override;
+
+  size_t oracle_calls() const { return oracle_calls_; }
+
+ private:
+  std::shared_ptr<PqeEngine> oracle_;
+  size_t oracle_calls_ = 0;
+};
+
+/// The uniform-reliability bridge connecting the MC and PQE^{1/2} boxes of
+/// Figure 1a: MC_q(D) = 2^{|D|} · Pr(D_{1/2} |= q), where D_{1/2} gives
+/// every fact probability 1/2. This is the quantity [Amarilli 2023]'s
+/// hardness result (Proposition 3.2) is stated for.
+BigInt McViaUniformPqe(const BooleanQuery& query, const Database& db,
+                       PqeEngine& oracle);
+
+/// PQE engine for SPPQE-shaped inputs (all probabilities in {p, 1}) backed
+/// by an FGMC oracle — one oracle call. Throws std::invalid_argument on
+/// inputs that are not single-proper-probability.
+class FgmcBackedSppqe : public PqeEngine {
+ public:
+  explicit FgmcBackedSppqe(std::shared_ptr<FgmcEngine> oracle)
+      : oracle_(std::move(oracle)) {}
+
+  std::string name() const override {
+    return "sppqe-via-fgmc(" + oracle_->name() + ")";
+  }
+  BigRational Probability(const BooleanQuery& query,
+                          const ProbabilisticDatabase& db) override;
+
+ private:
+  std::shared_ptr<FgmcEngine> oracle_;
+};
+
+}  // namespace shapley
+
+#endif  // SHAPLEY_REDUCTIONS_INTERPOLATION_H_

@@ -1,0 +1,615 @@
+#include "shapley/reductions/lemmas.h"
+
+#include <stdexcept>
+
+#include "shapley/analysis/leaks.h"
+#include "shapley/analysis/structure.h"
+#include "shapley/arith/factorial.h"
+#include "shapley/arith/linear_system.h"
+#include "shapley/common/macros.h"
+#include "shapley/data/renaming.h"
+#include "shapley/query/conjunction_query.h"
+#include "shapley/query/path_query.h"
+#include "shapley/query/supports.h"
+#include "shapley/query/union_query.h"
+
+namespace shapley {
+
+namespace {
+
+// (1+z)^n — the trivial answer when Dx already satisfies the query.
+Polynomial AllSubsetsCount(size_t n) { return Polynomial::OnePlusZPower(n); }
+
+// Splits a renamed-fresh support S into S0 (facts containing `a`) and S−.
+struct SupportSplit {
+  Database s0;
+  Database s_minus;
+  Fact mu;
+  Constant a;
+};
+
+SupportSplit SplitSupport(const Database& support, Constant a) {
+  SupportSplit split;
+  split.a = a;
+  split.s0 = Database(support.schema());
+  split.s_minus = Database(support.schema());
+  for (const Fact& f : support.facts()) {
+    if (f.Mentions(a)) {
+      split.s0.Insert(f);
+    } else {
+      split.s_minus.Insert(f);
+    }
+  }
+  SHAPLEY_CHECK_MSG(!split.s0.empty(), "duplicated constant not in support");
+  split.mu = split.s0.facts().front();
+  return split;
+}
+
+// Picks a duplicable constant outside `c_set`; when `prefer_single_fact` is
+// set, tries to find one occurring in exactly one fact (Lemma 6.2's
+// "unshared constant") and returns an invalid Constant if none exists.
+Constant PickDuplicableConstant(const Database& support,
+                                const std::set<Constant>& c_set,
+                                bool prefer_single_fact) {
+  Constant fallback;
+  for (Constant c : support.Constants()) {
+    if (c_set.count(c) > 0) continue;
+    if (!prefer_single_fact) return c;
+    size_t occurrences = 0;
+    for (const Fact& f : support.facts()) {
+      if (f.Mentions(c)) ++occurrences;
+    }
+    if (occurrences == 1) return c;
+    fallback = Constant();
+  }
+  return prefer_single_fact ? Constant() : fallback;
+}
+
+// The relation names a (monotone) query can touch, used by Lemma 4.4's
+// relevance partition.
+std::set<RelationId> QueryVocabulary(const BooleanQuery& query) {
+  std::set<RelationId> vocab;
+  if (const auto* cq = dynamic_cast<const ConjunctiveQuery*>(&query)) {
+    for (const Atom& atom : cq->atoms()) vocab.insert(atom.relation());
+    for (const Atom& atom : cq->negated_atoms()) vocab.insert(atom.relation());
+    return vocab;
+  }
+  if (const auto* ucq = dynamic_cast<const UnionQuery*>(&query)) {
+    for (const CqPtr& d : ucq->disjuncts()) {
+      auto sub = QueryVocabulary(*d);
+      vocab.insert(sub.begin(), sub.end());
+    }
+    return vocab;
+  }
+  if (const auto* rpq = dynamic_cast<const RegularPathQuery*>(&query)) {
+    for (const std::string& name : rpq->regex().SymbolNames()) {
+      auto rel = rpq->schema()->FindRelation(name);
+      if (rel.has_value()) vocab.insert(*rel);
+    }
+    return vocab;
+  }
+  if (const auto* crpq =
+          dynamic_cast<const ConjunctiveRegularPathQuery*>(&query)) {
+    for (const PathAtom& atom : crpq->path_atoms()) {
+      for (const std::string& name : atom.regex.SymbolNames()) {
+        auto rel = crpq->schema()->FindRelation(name);
+        if (rel.has_value()) vocab.insert(*rel);
+      }
+    }
+    return vocab;
+  }
+  if (const auto* conj = dynamic_cast<const ConjunctionQuery*>(&query)) {
+    vocab = QueryVocabulary(*conj->left());
+    auto sub = QueryVocabulary(*conj->right());
+    vocab.insert(sub.begin(), sub.end());
+    return vocab;
+  }
+  throw std::invalid_argument("QueryVocabulary: unsupported query type");
+}
+
+}  // namespace
+
+Polynomial FgmcViaSvcLemma41(const BooleanQuery& query,
+                             const PseudoConnectednessWitness& witness,
+                             const PartitionedDatabase& db, SvcEngine& oracle,
+                             PascalStats* stats) {
+  const size_t n = db.NumEndogenous();
+  if (query.Evaluate(db.exogenous())) return AllSubsetsCount(n);
+
+  // Rename the island support away from the database (C fixed).
+  ConstantRenaming renaming =
+      ConstantRenaming::FreshExcept(witness.island_support, witness.c_set);
+  Database support = renaming.Apply(witness.island_support);
+
+  Constant a = PickDuplicableConstant(support, witness.c_set,
+                                      /*prefer_single_fact=*/false);
+  SHAPLEY_CHECK_MSG(a.IsValid(),
+                    "island support has no constant outside C");
+  SupportSplit split = SplitSupport(support, a);
+
+  PascalSpec spec;
+  spec.oracle_query = &query;
+  spec.base = db;
+  spec.exogenous_extra = Database(db.schema());
+  spec.s0 = split.s0;
+  spec.s_minus = split.s_minus;
+  spec.mu = split.mu;
+  spec.duplicated = a;
+  spec.blockers = Database(db.schema());
+  spec.count_supports_directly = false;
+  return RunPascalReduction(spec, oracle, stats);
+}
+
+Polynomial FmcViaSvcnLemma62(const BooleanQuery& query,
+                             const PseudoConnectednessWitness& witness,
+                             const Database& endogenous_db, SvcEngine& oracle,
+                             PascalStats* stats) {
+  PartitionedDatabase db = PartitionedDatabase::AllEndogenous(endogenous_db);
+  const size_t n = db.NumEndogenous();
+  if (query.Evaluate(db.exogenous())) return AllSubsetsCount(n);
+
+  ConstantRenaming renaming =
+      ConstantRenaming::FreshExcept(witness.island_support, witness.c_set);
+  Database support = renaming.Apply(witness.island_support);
+
+  Constant a = PickDuplicableConstant(support, witness.c_set,
+                                      /*prefer_single_fact=*/true);
+  if (!a.IsValid()) {
+    throw std::invalid_argument(
+        "Lemma 6.2: island support has no unshared constant outside C");
+  }
+  SupportSplit split = SplitSupport(support, a);
+  SHAPLEY_CHECK_MSG(split.s0.size() == 1,
+                    "unshared constant must isolate a single fact");
+
+  PascalSpec spec;
+  spec.oracle_query = &query;
+  spec.base = db;
+  spec.exogenous_extra = Database(db.schema());
+  spec.s0 = split.s0;
+  spec.s_minus = split.s_minus;
+  spec.mu = split.mu;
+  spec.duplicated = a;
+  spec.blockers = Database(db.schema());
+  spec.count_supports_directly = false;
+
+  // A purely-endogenous-preserving oracle adapter: assert no instance ever
+  // carries exogenous facts.
+  class CheckingOracle : public SvcEngine {
+   public:
+    explicit CheckingOracle(SvcEngine* inner) : inner_(inner) {}
+    std::string name() const override { return inner_->name(); }
+    BigRational Value(const BooleanQuery& q, const PartitionedDatabase& d,
+                      const Fact& f) override {
+      SHAPLEY_CHECK_MSG(d.IsPurelyEndogenous(),
+                        "Lemma 6.2 must stay purely endogenous");
+      return inner_->Value(q, d, f);
+    }
+    SvcEngine* inner_;
+  } checking(&oracle);
+
+  return RunPascalReduction(spec, checking, stats);
+}
+
+Polynomial FgmcViaSvcLemma43(const ConjunctiveQuery& q_full,
+                             size_t component_index,
+                             const PartitionedDatabase& db, SvcEngine& oracle,
+                             PascalStats* stats, CqPtr* counted_query) {
+  if (q_full.HasNegation()) {
+    throw std::invalid_argument(
+        "Lemma 4.3 wrapper: use FgmcViaSvcNegationD2 for CQ¬");
+  }
+  const bool sjf = IsSelfJoinFree(q_full);
+  const bool constant_free = q_full.QueryConstants().empty();
+  if (!sjf && !constant_free) {
+    throw std::invalid_argument(
+        "Lemma 4.3 wrapper (Corollary 4.5): query must be self-join-free or "
+        "constant-free (leak-freeness cannot be certified otherwise)");
+  }
+
+  std::vector<CqPtr> components = MaximalVariableConnectedSubqueries(q_full);
+  if (component_index >= components.size()) {
+    throw std::invalid_argument("Lemma 4.3: component index out of range");
+  }
+  CqPtr q_vc = components[component_index];
+  if (counted_query != nullptr) *counted_query = q_vc;
+
+  const size_t n = db.NumEndogenous();
+  if (q_vc->Evaluate(db.exogenous())) return AllSubsetsCount(n);
+
+  // S: frozen core of the counted component (leak-free per Corollary 4.5).
+  CqPtr core = CoreOfCq(*q_vc);
+  if (!IsVariableConnected(core->atoms())) {
+    throw std::invalid_argument(
+        "Lemma 4.3: the chosen component's core is not variable-connected");
+  }
+  Database support = core->Freeze();
+  SHAPLEY_CHECK(!HasQLeak(support, *q_vc));
+
+  // S′: the frozen remaining components, all exogenous (Claim 5.2).
+  Database s_prime(q_full.schema());
+  std::vector<Atom> rest_atoms;
+  for (size_t c = 0; c < components.size(); ++c) {
+    if (c == component_index) continue;
+    rest_atoms.insert(rest_atoms.end(), components[c]->atoms().begin(),
+                      components[c]->atoms().end());
+  }
+  if (!rest_atoms.empty()) {
+    CqPtr q_rest = ConjunctiveQuery::Create(q_full.schema(), rest_atoms);
+    s_prime = q_rest->Freeze();
+    if (q_vc->Evaluate(s_prime)) {
+      throw std::invalid_argument(
+          "Lemma 4.3: S' satisfies the counted component (hypothesis 2a); "
+          "the component is redundant — use Lemma 4.1 instead");
+    }
+    SHAPLEY_CHECK(!HasQLeak(s_prime, *q_vc));
+  }
+
+  const std::set<Constant> c_set = q_vc->QueryConstants();
+  Constant a = PickDuplicableConstant(support, c_set, false);
+  SHAPLEY_CHECK_MSG(a.IsValid(), "frozen support has no constant outside C");
+  SupportSplit split = SplitSupport(support, a);
+
+  PascalSpec spec;
+  spec.oracle_query = &q_full;
+  spec.base = db;
+  spec.exogenous_extra = s_prime;
+  spec.s0 = split.s0;
+  spec.s_minus = split.s_minus;
+  spec.mu = split.mu;
+  spec.duplicated = a;
+  spec.blockers = Database(db.schema());
+  spec.count_supports_directly = false;
+  return RunPascalReduction(spec, oracle, stats);
+}
+
+Polynomial FgmcViaSvcLemma44(const BooleanQuery& query,
+                             const Decomposition& decomposition,
+                             const PartitionedDatabase& db, SvcEngine& oracle,
+                             PascalStats* stats) {
+  std::set<RelationId> vocab1 = QueryVocabulary(*decomposition.q1);
+  std::set<RelationId> vocab2 = QueryVocabulary(*decomposition.q2);
+  for (RelationId r : vocab1) {
+    if (vocab2.count(r) > 0) {
+      throw std::invalid_argument(
+          "Lemma 4.4: decomposition parts must use disjoint vocabularies");
+    }
+  }
+
+  // Relevance partition of D: q2-vocabulary facts go to D2, everything else
+  // (q1 vocabulary and bystander relations) to D1.
+  auto split_db = [&](const Database& source, Database* d1, Database* d2) {
+    for (const Fact& f : source.facts()) {
+      (vocab2.count(f.relation()) > 0 ? d2 : d1)->Insert(f);
+    }
+  };
+  Database d1n(db.schema()), d1x(db.schema()), d2n(db.schema()),
+      d2x(db.schema());
+  split_db(db.endogenous(), &d1n, &d2n);
+  split_db(db.exogenous(), &d1x, &d2x);
+  PartitionedDatabase part1(d1n, d1x), part2(d2n, d2x);
+
+  // FGMC of one part via the construction seeded with the other part's
+  // canonical support.
+  auto count_part = [&](const BooleanQuery& counted,
+                        const BooleanQuery& other,
+                        const PartitionedDatabase& part) -> Polynomial {
+    const size_t n_part = part.NumEndogenous();
+    if (counted.Evaluate(part.exogenous())) return AllSubsetsCount(n_part);
+
+    std::vector<Database> supports = CanonicalMinimalSupports(other);
+    const std::set<Constant> c_set = query.QueryConstants();
+    for (const Database& candidate : supports) {
+      Constant a = PickDuplicableConstant(candidate, c_set, false);
+      if (!a.IsValid()) continue;
+      SupportSplit split = SplitSupport(candidate, a);
+      PascalSpec spec;
+      spec.oracle_query = &query;
+      spec.base = part;
+      spec.exogenous_extra = Database(db.schema());
+      spec.s0 = split.s0;
+      spec.s_minus = split.s_minus;
+      spec.mu = split.mu;
+      spec.duplicated = a;
+      spec.blockers = Database(db.schema());
+      spec.count_supports_directly = true;
+      return RunPascalReduction(spec, oracle, stats);
+    }
+    throw std::invalid_argument(
+        "Lemma 4.4: no canonical support of the companion part has a "
+        "constant outside C");
+  };
+
+  Polynomial counts1 = count_part(*decomposition.q1, *decomposition.q2, part1);
+  Polynomial counts2 = count_part(*decomposition.q2, *decomposition.q1, part2);
+  return counts1 * counts2;  // Convolution over split sizes.
+}
+
+Polynomial FgmcViaFmcLemma61(const BooleanQuery& query,
+                             const PartitionedDatabase& db,
+                             FgmcEngine& fmc_oracle, size_t* oracle_calls) {
+  if (db.IsPurelyEndogenous()) {
+    if (oracle_calls != nullptr) ++*oracle_calls;
+    return fmc_oracle.CountBySize(query, db);
+  }
+  // Peel one exogenous fact α:
+  //   FGMC_j(Dn, Dx) = FGMC_{j+1}(Dn ∪ {α}, Dx\{α}) − FGMC_{j+1}(Dn, Dx\{α}).
+  Fact alpha = db.exogenous().facts().front();
+  PartitionedDatabase promoted(db.endogenous().Union(Database(
+                                   db.schema(), {alpha})),
+                               db.exogenous().Difference(
+                                   Database(db.schema(), {alpha})));
+  PartitionedDatabase dropped(db.endogenous(),
+                              db.exogenous().Difference(
+                                  Database(db.schema(), {alpha})));
+  Polynomial with_alpha =
+      FgmcViaFmcLemma61(query, promoted, fmc_oracle, oracle_calls);
+  Polynomial without_alpha =
+      FgmcViaFmcLemma61(query, dropped, fmc_oracle, oracle_calls);
+
+  // Shift down by one: coefficient j of the result is coefficient j+1 of
+  // the difference.
+  Polynomial difference = with_alpha - without_alpha;
+  std::vector<BigInt> coeffs(db.NumEndogenous() + 1, BigInt(0));
+  for (size_t j = 0; j <= db.NumEndogenous(); ++j) {
+    coeffs[j] = difference.Coefficient(j + 1);
+  }
+  return Polynomial(std::move(coeffs));
+}
+
+Polynomial FgmcViaMaxSvcProp62(const BooleanQuery& query,
+                               const PseudoConnectednessWitness& witness,
+                               const PartitionedDatabase& db,
+                               const MaxSvcOracle& oracle,
+                               PascalStats* stats) {
+  const size_t n = db.NumEndogenous();
+  if (query.Evaluate(db.exogenous())) return AllSubsetsCount(n);
+
+  ConstantRenaming renaming =
+      ConstantRenaming::FreshExcept(witness.island_support, witness.c_set);
+  Database support = renaming.Apply(witness.island_support);
+  Constant a = PickDuplicableConstant(support, witness.c_set, false);
+  SHAPLEY_CHECK_MSG(a.IsValid(), "island support has no constant outside C");
+
+  // Proposition 6.2: take S0 := S (the whole support duplicates; copies
+  // rename only `a`, so facts avoiding `a` are shared between them) and
+  // S− := ∅, which makes μ a singleton generalized support in every A_i.
+  PascalSpec spec;
+  spec.oracle_query = &query;
+  spec.base = db;
+  spec.exogenous_extra = Database(db.schema());
+  spec.s_minus = Database(db.schema());
+  spec.blockers = Database(db.schema());
+  spec.count_supports_directly = false;
+  spec.duplicated = a;
+  spec.s0 = support;
+  // μ must mention the duplicated constant so that the copies μ_k differ.
+  for (const Fact& f : support.facts()) {
+    if (f.Mentions(a)) {
+      spec.mu = f;
+      break;
+    }
+  }
+  return RunPascalReductionWithMaxOracle(spec, oracle, stats);
+}
+
+Polynomial FgmcConstViaSvcConstProp63(const BooleanQuery& query,
+                                      const Database& db,
+                                      const ConstantPartition& partition,
+                                      const SvcConstOracle& oracle,
+                                      PascalStats* stats) {
+  ValidateConstantPartition(db, partition);
+  if (!query.IsMonotone()) {
+    throw std::invalid_argument("Proposition 6.3: query must be monotone");
+  }
+  // Query constants must be exogenous (the proviso of Proposition 6.3).
+  ConstantPartition extended = partition;
+  for (Constant c : query.QueryConstants()) {
+    if (extended.endogenous.count(c) > 0) {
+      throw std::invalid_argument(
+          "Proposition 6.3: query constants must be exogenous");
+    }
+    extended.exogenous.insert(c);
+  }
+  const size_t n = extended.endogenous.size();
+
+  // Trivial cases: Cx alone decides the query for every coalition.
+  if (query.Evaluate(db.InducedByConstants(extended.exogenous))) {
+    return AllSubsetsCount(n);
+  }
+
+  // A support collapsed onto one fresh constant a_mu.
+  Database collapsed(db.schema());
+  Constant a_mu = Constant::Fresh("amu");
+  {
+    bool found = false;
+    for (const Database& support : CanonicalMinimalSupports(query)) {
+      // Collapse all non-query constants to a_mu; hom-closure keeps it a
+      // support. Then shrink to a minimal one.
+      ConstantRenaming renaming;
+      const std::set<Constant> c_set = query.QueryConstants();
+      bool has_outside = false;
+      for (Constant c : support.Constants()) {
+        if (c_set.count(c) == 0) {
+          renaming.Map(c, a_mu);
+          has_outside = true;
+        }
+      }
+      if (!has_outside) continue;
+      Database candidate = renaming.Apply(support);
+      if (!query.Evaluate(candidate)) continue;
+      candidate = ShrinkToMinimalSupport(query, candidate);
+      bool all_mention = true;
+      for (const Fact& f : candidate.facts()) {
+        if (!f.Mentions(a_mu)) {
+          all_mention = false;
+          break;
+        }
+      }
+      if (!all_mention) continue;
+      collapsed = candidate;
+      found = true;
+      break;
+    }
+    if (!found) {
+      throw std::invalid_argument(
+          "Proposition 6.3: no support collapses onto a single fresh "
+          "constant with every fact mentioning it");
+    }
+  }
+
+  // Build D_i = D ∪ S'' ∪ S''_1..S''_i and solve the s=0, K=0 system.
+  std::vector<BigRational> values;
+  Database current = db.Union(collapsed);
+  std::set<Constant> players = extended.endogenous;
+  players.insert(a_mu);
+  for (size_t i = 0; i <= n; ++i) {
+    ConstantPartition instance_partition;
+    instance_partition.endogenous = players;
+    instance_partition.exogenous = extended.exogenous;
+    values.push_back(oracle(current, instance_partition, a_mu));
+    if (stats != nullptr) {
+      ++stats->oracle_calls;
+      stats->largest_instance_endogenous =
+          std::max(stats->largest_instance_endogenous, players.size());
+      stats->largest_instance_total =
+          std::max(stats->largest_instance_total, current.size());
+    }
+    // Next copy.
+    ConstantRenaming renaming = ConstantRenaming::SingleFresh(a_mu);
+    Database copy = renaming.Apply(collapsed);
+    players.insert(renaming.Apply(a_mu));
+    current = current.Union(copy);
+  }
+
+  RationalMatrix m(n + 1, std::vector<BigRational>(n + 1));
+  for (size_t i = 0; i <= n; ++i) {
+    for (size_t j = 0; j <= n; ++j) {
+      m[i][j] = BigRational(Factorial(j) * Factorial(n + i - j),
+                            Factorial(n + i + 1));
+    }
+  }
+  std::vector<BigRational> x = SolveLinearSystem(std::move(m), values);
+  std::vector<BigInt> counts(n + 1);
+  for (size_t j = 0; j <= n; ++j) {
+    SHAPLEY_CHECK_MSG(x[j].IsInteger(), "non-integral recovered count");
+    counts[j] = Binomial(n, j) - x[j].numerator();
+    SHAPLEY_CHECK(!counts[j].IsNegative());
+  }
+  return Polynomial(std::move(counts));
+}
+
+Polynomial FgmcViaSvcNegationD2(const ConjunctiveQuery& q,
+                                size_t component_index,
+                                const PartitionedDatabase& db,
+                                SvcEngine& oracle, PascalStats* stats,
+                                CqPtr* counted_query) {
+  // Self-join-freeness across positive AND negated atoms.
+  {
+    std::set<RelationId> seen;
+    for (const Atom& atom : q.atoms()) {
+      if (!seen.insert(atom.relation()).second) {
+        throw std::invalid_argument("Lemma D.2: query must be self-join-free");
+      }
+    }
+    for (const Atom& atom : q.negated_atoms()) {
+      if (!seen.insert(atom.relation()).second) {
+        throw std::invalid_argument(
+            "Lemma D.2: negated atoms must not share relations with the "
+            "positive part");
+      }
+    }
+  }
+
+  // Positive components; pick q◦.
+  CqPtr positive = ConjunctiveQuery::Create(q.schema(), q.atoms());
+  std::vector<CqPtr> components = MaximalVariableConnectedSubqueries(*positive);
+  if (component_index >= components.size()) {
+    throw std::invalid_argument("Lemma D.2: component index out of range");
+  }
+  CqPtr q_core_pos = components[component_index];
+  std::set<Variable> core_vars;
+  for (const Atom& atom : q_core_pos->atoms()) {
+    auto vs = atom.Variables();
+    core_vars.insert(vs.begin(), vs.end());
+  }
+
+  // q̃− : negated atoms with all variables inside q◦; ground negated atoms
+  // become blockers; others are dropped (their variables bind to fresh
+  // constants of S′, where the negation trivially holds).
+  std::vector<Atom> covered_negated;
+  std::vector<Fact> blocker_facts;
+  for (const Atom& neg : q.negated_atoms()) {
+    auto vars = neg.Variables();
+    if (vars.empty()) {
+      blocker_facts.push_back(neg.Instantiate({}));
+      continue;
+    }
+    bool covered = true;
+    for (Variable v : vars) {
+      if (core_vars.count(v) == 0) {
+        covered = false;
+        break;
+      }
+    }
+    if (covered) covered_negated.push_back(neg);
+  }
+  CqPtr counted =
+      covered_negated.empty()
+          ? q_core_pos
+          : ConjunctiveQuery::CreateWithNegation(
+                q.schema(), q_core_pos->atoms(), covered_negated);
+  if (counted_query != nullptr) *counted_query = counted;
+
+  // Preprocess blockers against the database.
+  PartitionedDatabase base = db;
+  Database blockers(db.schema());
+  for (const Fact& alpha : blocker_facts) {
+    if (base.exogenous().Contains(alpha)) {
+      // ¬α can never hold: nothing counts.
+      return Polynomial();
+    }
+    if (base.endogenous().Contains(alpha)) {
+      // Subsets containing α never satisfy; counting over Dn\{α} is
+      // equivalent (sizes unchanged for the subsets that matter).
+      base = base.WithEndogenousFactRemoved(alpha);
+    }
+    blockers.Insert(alpha);
+  }
+
+  const size_t n = base.NumEndogenous();
+  if (counted->Evaluate(base.exogenous())) return AllSubsetsCount(n);
+
+  // S ≅ frozen positive core component; S′ ≅ frozen remaining positives.
+  Database support = q_core_pos->Freeze();
+  Database s_prime(q.schema());
+  std::vector<Atom> rest_atoms;
+  for (size_t c = 0; c < components.size(); ++c) {
+    if (c == component_index) continue;
+    rest_atoms.insert(rest_atoms.end(), components[c]->atoms().begin(),
+                      components[c]->atoms().end());
+  }
+  if (!rest_atoms.empty()) {
+    s_prime =
+        ConjunctiveQuery::Create(q.schema(), std::move(rest_atoms))->Freeze();
+  }
+
+  const std::set<Constant> c_set = q.QueryConstants();
+  Constant a = PickDuplicableConstant(support, c_set, false);
+  SHAPLEY_CHECK_MSG(a.IsValid(), "frozen support has no constant outside C");
+  SupportSplit split = SplitSupport(support, a);
+
+  PascalSpec spec;
+  spec.oracle_query = &q;
+  spec.base = base;
+  spec.exogenous_extra = s_prime;
+  spec.s0 = split.s0;
+  spec.s_minus = split.s_minus;
+  spec.mu = split.mu;
+  spec.duplicated = a;
+  spec.blockers = blockers;
+  spec.count_supports_directly = false;
+  return RunPascalReduction(spec, oracle, stats);
+}
+
+}  // namespace shapley

@@ -1,0 +1,98 @@
+#ifndef SHAPLEY_REDUCTIONS_LEMMAS_H_
+#define SHAPLEY_REDUCTIONS_LEMMAS_H_
+
+#include <memory>
+
+#include "shapley/analysis/witnesses.h"
+#include "shapley/engines/constants.h"
+#include "shapley/engines/svc.h"
+#include "shapley/query/conjunctive_query.h"
+#include "shapley/reductions/pascal.h"
+
+namespace shapley {
+
+/// The paper's reductions from counting to Shapley values, as runnable
+/// code. Each function computes FGMC (the full generating polynomial) of a
+/// query over a database **using only an SVC oracle**, i.e. the direction
+/// that had been missing from the literature before this paper.
+
+/// Lemma 4.1: FGMC_q ≤poly SVC_q for pseudo-connected C-hom-closed q.
+/// The witness supplies the island minimal support; obtain one from
+/// CertifyPseudoConnected. Makes |Dn|+1 oracle calls.
+Polynomial FgmcViaSvcLemma41(const BooleanQuery& query,
+                             const PseudoConnectednessWitness& witness,
+                             const PartitionedDatabase& db, SvcEngine& oracle,
+                             PascalStats* stats = nullptr);
+
+/// Lemma 6.2 (purely endogenous adaptation of Lemma 4.1):
+/// FMC_q ≤poly SVCn_q when the island support has a constant occurring in
+/// exactly one fact. The oracle is only ever called on purely endogenous
+/// databases (checked). Throws if the witness has no such constant.
+Polynomial FmcViaSvcnLemma62(const BooleanQuery& query,
+                             const PseudoConnectednessWitness& witness,
+                             const Database& endogenous_db, SvcEngine& oracle,
+                             PascalStats* stats = nullptr);
+
+/// Lemma 4.3 instantiated per Corollary 4.5: for a positive CQ q_full that
+/// is self-join-free or constant-free, computes FGMC of its
+/// `component_index`-th maximal variable-connected subquery q_vc over `db`,
+/// using only an SVC_{q_full} oracle. Returns the counted subquery through
+/// `counted_query` when non-null.
+Polynomial FgmcViaSvcLemma43(const ConjunctiveQuery& q_full,
+                             size_t component_index,
+                             const PartitionedDatabase& db, SvcEngine& oracle,
+                             PascalStats* stats = nullptr,
+                             CqPtr* counted_query = nullptr);
+
+/// Lemma 4.4: FGMC_q ≤poly SVC_q for q decomposable into q1 ∧ q2 (e.g. from
+/// FindDecomposition). Splits D by the parts' disjoint vocabularies, runs
+/// the construction once per part with the *other* part's support, and
+/// convolves the two count polynomials.
+Polynomial FgmcViaSvcLemma44(const BooleanQuery& query,
+                             const Decomposition& decomposition,
+                             const PartitionedDatabase& db, SvcEngine& oracle,
+                             PascalStats* stats = nullptr);
+
+/// Lemma 6.1: FGMC on a database with k exogenous facts via 2^k calls to an
+/// FMC oracle (the engine is invoked on purely endogenous databases only).
+Polynomial FgmcViaFmcLemma61(const BooleanQuery& query,
+                             const PartitionedDatabase& db,
+                             FgmcEngine& fmc_oracle,
+                             size_t* oracle_calls = nullptr);
+
+/// Proposition 6.2: FGMC_q ≤poly max-SVC_q — the same construction with
+/// S0 = S and S− = ∅, consuming only the *value* returned by a max-SVC
+/// oracle (any fact of maximum Shapley value).
+Polynomial FgmcViaMaxSvcProp62(const BooleanQuery& query,
+                               const PseudoConnectednessWitness& witness,
+                               const PartitionedDatabase& db,
+                               const MaxSvcOracle& oracle,
+                               PascalStats* stats = nullptr);
+
+/// Proposition 6.3: FGMCconst_q ≤poly SVCconst_q for hom-closed monotone q,
+/// provided the query constants are exogenous. The support is collapsed
+/// onto a single fresh constant a_μ (a "duplicable singleton" in constant
+/// space) and duplicated; |Cn|+1 oracle calls.
+using SvcConstOracle = std::function<BigRational(
+    const Database& db, const ConstantPartition& partition, Constant player)>;
+Polynomial FgmcConstViaSvcConstProp63(const BooleanQuery& query,
+                                      const Database& db,
+                                      const ConstantPartition& partition,
+                                      const SvcConstOracle& oracle,
+                                      PascalStats* stats = nullptr);
+
+/// Lemma D.2 / Proposition 6.1: for a self-join-free CQ with safe negation
+/// q, computes FGMC of q̃ = q◦ ∧ q̃− (the chosen maximal variable-connected
+/// positive component q◦ together with the negated atoms it covers, and
+/// ground negated atoms as blockers) using only an SVC_q oracle. The
+/// counted query is returned through `counted_query` when non-null.
+Polynomial FgmcViaSvcNegationD2(const ConjunctiveQuery& q,
+                                size_t component_index,
+                                const PartitionedDatabase& db,
+                                SvcEngine& oracle,
+                                PascalStats* stats = nullptr,
+                                CqPtr* counted_query = nullptr);
+
+}  // namespace shapley
+
+#endif  // SHAPLEY_REDUCTIONS_LEMMAS_H_

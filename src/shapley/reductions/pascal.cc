@@ -1,0 +1,142 @@
+#include "shapley/reductions/pascal.h"
+
+#include "shapley/arith/factorial.h"
+#include "shapley/arith/linear_system.h"
+#include "shapley/common/macros.h"
+#include "shapley/data/renaming.h"
+
+namespace shapley {
+
+namespace {
+
+struct BuiltInstances {
+  std::vector<PartitionedDatabase> instances;  // A_0 .. A_n.
+  Fact mu;
+};
+
+// Validates the spec and materializes A_0..A_n.
+BuiltInstances BuildInstances(const PascalSpec& spec) {
+  SHAPLEY_CHECK(spec.oracle_query != nullptr);
+  SHAPLEY_CHECK_MSG(spec.s0.Contains(spec.mu), "mu must belong to S0");
+  SHAPLEY_CHECK_MSG(spec.mu.Mentions(spec.duplicated),
+                    "mu must contain the duplicated constant");
+  // Facts of S0 not mentioning the duplicated constant are shared verbatim
+  // across copies (they only arise in the Proposition 6.2 variant, where
+  // S0 = S); μ itself must be renamed so the copies μ_k stay distinct.
+  for (const Fact& f : spec.s_minus.facts()) {
+    SHAPLEY_CHECK_MSG(!f.Mentions(spec.duplicated),
+                      "S- facts must not contain the duplicated constant");
+  }
+  SHAPLEY_CHECK_MSG(!spec.base.AllFacts().IntersectsWith(spec.s0) &&
+                        !spec.base.AllFacts().IntersectsWith(spec.s_minus),
+                    "support must be disjoint from the base database "
+                    "(rename it fresh first)");
+
+  const size_t n = spec.base.NumEndogenous();
+  BuiltInstances built;
+  built.mu = spec.mu;
+
+  // Shared endogenous core: Dn ∪ {μ} ∪ S− ∪ blockers.
+  Database endo = spec.base.endogenous();
+  endo.Insert(spec.mu);
+  endo.InsertAll(spec.s_minus);
+  for (const Fact& f : spec.blockers.facts()) {
+    SHAPLEY_CHECK_MSG(!spec.base.AllFacts().Contains(f),
+                      "blockers must be removed from the base database first");
+    endo.Insert(f);
+  }
+  // Shared exogenous core: Dx ∪ E ∪ (S0 \ {μ}).
+  Database exo = spec.base.exogenous();
+  exo.InsertAll(spec.exogenous_extra);
+  for (const Fact& f : spec.s0.facts()) {
+    if (!(f == spec.mu)) exo.Insert(f);
+  }
+
+  for (size_t i = 0; i <= n; ++i) {
+    built.instances.emplace_back(endo, exo);
+    // Prepare the next copy S_{i+1}: rename a ↦ fresh a_{i+1}.
+    ConstantRenaming renaming = ConstantRenaming::SingleFresh(spec.duplicated);
+    Database copy = renaming.Apply(spec.s0);
+    Fact mu_copy = renaming.Apply(spec.mu);
+    for (const Fact& f : copy.facts()) {
+      if (f == mu_copy) {
+        endo.Insert(f);
+      } else {
+        exo.Insert(f);
+      }
+    }
+  }
+  return built;
+}
+
+Polynomial SolveSystem(const PascalSpec& spec,
+                       const std::vector<BigRational>& oracle_values) {
+  const size_t n = spec.base.NumEndogenous();
+  const size_t s = spec.s_minus.size();
+  const size_t k = spec.blockers.size();
+  SHAPLEY_CHECK(oracle_values.size() == n + 1);
+
+  RationalMatrix m(n + 1, std::vector<BigRational>(n + 1));
+  for (size_t i = 0; i <= n; ++i) {
+    for (size_t j = 0; j <= n; ++j) {
+      m[i][j] = BigRational(Factorial(j + s) * Factorial(n + i + k - j),
+                            Factorial(n + i + s + k + 1));
+    }
+  }
+  std::vector<BigRational> x = SolveLinearSystem(std::move(m), oracle_values);
+
+  std::vector<BigInt> counts(n + 1);
+  for (size_t j = 0; j <= n; ++j) {
+    SHAPLEY_CHECK_MSG(x[j].IsInteger(),
+                      "recovered count is not integral: " << x[j].ToString());
+    counts[j] = spec.count_supports_directly ? x[j].numerator()
+                                             : Binomial(n, j) - x[j].numerator();
+    SHAPLEY_CHECK_MSG(!counts[j].IsNegative() && counts[j] <= Binomial(n, j),
+                      "recovered count out of range at size " << j);
+  }
+  return Polynomial(std::move(counts));
+}
+
+void RecordStats(const BuiltInstances& built, PascalStats* stats) {
+  if (stats == nullptr) return;
+  stats->oracle_calls += built.instances.size();
+  for (const PartitionedDatabase& instance : built.instances) {
+    stats->largest_instance_endogenous =
+        std::max(stats->largest_instance_endogenous, instance.NumEndogenous());
+    stats->largest_instance_total = std::max(
+        stats->largest_instance_total, instance.AllFacts().size());
+  }
+}
+
+}  // namespace
+
+Polynomial RunPascalReduction(const PascalSpec& spec, SvcEngine& oracle,
+                              PascalStats* stats) {
+  BuiltInstances built = BuildInstances(spec);
+  RecordStats(built, stats);
+  std::vector<BigRational> values;
+  values.reserve(built.instances.size());
+  for (const PartitionedDatabase& instance : built.instances) {
+    values.push_back(oracle.Value(*spec.oracle_query, instance, built.mu));
+  }
+  return SolveSystem(spec, values);
+}
+
+Polynomial RunPascalReductionWithMaxOracle(const PascalSpec& spec,
+                                           const MaxSvcOracle& oracle,
+                                           PascalStats* stats) {
+  SHAPLEY_CHECK_MSG(spec.s_minus.empty(),
+                    "max-SVC reduction requires S- = ∅ (Proposition 6.2)");
+  BuiltInstances built = BuildInstances(spec);
+  RecordStats(built, stats);
+  std::vector<BigRational> values;
+  values.reserve(built.instances.size());
+  for (const PartitionedDatabase& instance : built.instances) {
+    // μ is a singleton generalized support in every A_i, so its value is
+    // maximal (Lemma 6.3) and the max-oracle's value equals Sh(μ).
+    values.push_back(oracle(*spec.oracle_query, instance));
+  }
+  return SolveSystem(spec, values);
+}
+
+}  // namespace shapley

@@ -1,0 +1,70 @@
+#ifndef SHAPLEY_REDUCTIONS_PASCAL_H_
+#define SHAPLEY_REDUCTIONS_PASCAL_H_
+
+#include <functional>
+
+#include "shapley/arith/polynomial.h"
+#include "shapley/data/partitioned_database.h"
+#include "shapley/engines/svc.h"
+#include "shapley/query/boolean_query.h"
+
+namespace shapley {
+
+/// The shared Section 5 construction (Figure 2), used by Lemmas 4.1, 4.3,
+/// 4.4, 6.2, D.2 and Propositions 6.2: given a base database D and a minimal
+/// support split S = S0 ⊎ S− with a distinguished fact μ ∈ S0 and a
+/// duplicable constant a, build for i = 0..|Dn| the instance
+///
+///   A_i = D ∪ E ∪ S0 ∪ S1 ∪ ... ∪ S_i ∪ S− ∪ blockers
+///
+/// (S_k = S0 with a renamed to a fresh a_k; endogenous facts: Dn, μ and its
+/// copies, S−, blockers; everything else exogenous), ask the SVC oracle for
+/// the value of μ, and invert the Pascal-type linear system
+///
+///   Sh_i = sum_j X_j (j+s)!(n+i+K-j)! / (n+i+s+K+1)!
+///
+/// (s = |S−|, K = #blockers; invertible by the Hankel/Bacher argument) to
+/// recover X_j = #{G ⊆ Dn : |G| = j, the enabling condition holds}, where
+/// the enabling condition is "G ∪ Dx satisfies the counted query" when
+/// `count_supports_directly` (Lemma 4.4) and its complement otherwise
+/// (Lemmas 4.1/4.3: μ's arrival only matters when the query was not already
+/// satisfied from D).
+struct PascalSpec {
+  const BooleanQuery* oracle_query = nullptr;  // Query the SVC oracle runs.
+  PartitionedDatabase base;                    // D.
+  Database exogenous_extra;                    // E (e.g. S′ of Lemma 4.3).
+  Database s0;                                 // Facts of S containing `a`.
+  Database s_minus;                            // S \ S0.
+  Fact mu;                                     // Distinguished fact in S0.
+  Constant duplicated;                         // The constant a.
+  Database blockers;                           // Endogenous poison facts (Lemma D.2).
+  bool count_supports_directly = false;
+};
+
+/// Reduction bookkeeping surfaced by the benchmarks: the paper's reductions
+/// make exactly |Dn|+1 oracle calls on instances of bounded extra size.
+struct PascalStats {
+  size_t oracle_calls = 0;
+  size_t largest_instance_endogenous = 0;
+  size_t largest_instance_total = 0;
+};
+
+/// Runs the construction and returns the FGMC generating polynomial
+/// sum_j FGMC_j z^j of the counted query over `spec.base`.
+Polynomial RunPascalReduction(const PascalSpec& spec, SvcEngine& oracle,
+                              PascalStats* stats = nullptr);
+
+/// Same construction driven through a max-SVC oracle (Proposition 6.2):
+/// with S0 = S and S− = ∅ the distinguished fact μ is a singleton
+/// generalized support, so by Lemma 6.3 its Shapley value is the maximum and
+/// the max-oracle's value can be used verbatim. The callback receives the
+/// instance and must return max_{f ∈ Dn} Sh(f).
+using MaxSvcOracle = std::function<BigRational(const BooleanQuery& query,
+                                               const PartitionedDatabase& db)>;
+Polynomial RunPascalReductionWithMaxOracle(const PascalSpec& spec,
+                                           const MaxSvcOracle& oracle,
+                                           PascalStats* stats = nullptr);
+
+}  // namespace shapley
+
+#endif  // SHAPLEY_REDUCTIONS_PASCAL_H_

@@ -1,0 +1,43 @@
+#include "shapley/reductions/svc_backed_fgmc.h"
+
+#include <stdexcept>
+
+#include "shapley/common/macros.h"
+#include "shapley/reductions/lemmas.h"
+
+namespace shapley {
+
+SvcBackedFgmc::SvcBackedFgmc(QueryPtr query, std::shared_ptr<SvcEngine> oracle)
+    : query_(std::move(query)), oracle_(std::move(oracle)) {
+  SHAPLEY_CHECK(query_ != nullptr && oracle_ != nullptr);
+  witness_ = CertifyPseudoConnected(*query_);
+  if (!witness_.has_value()) {
+    decomposition_ = FindDecomposition(*query_);
+    if (!decomposition_.has_value()) {
+      throw std::invalid_argument(
+          "SvcBackedFgmc: query is neither certified pseudo-connected "
+          "(Lemma 4.1) nor decomposable (Lemma 4.4): " +
+          query_->ToString());
+    }
+  }
+}
+
+std::string SvcBackedFgmc::name() const {
+  return std::string("fgmc-via-svc(") +
+         (witness_.has_value() ? "lemma 4.1" : "lemma 4.4") + ", " +
+         oracle_->name() + ")";
+}
+
+Polynomial SvcBackedFgmc::CountBySize(const BooleanQuery& query,
+                                      const PartitionedDatabase& db) {
+  if (&query != query_.get() && query.ToString() != query_->ToString()) {
+    throw std::invalid_argument(
+        "SvcBackedFgmc: engine was constructed for a different query");
+  }
+  if (witness_.has_value()) {
+    return FgmcViaSvcLemma41(*query_, *witness_, db, *oracle_, &stats_);
+  }
+  return FgmcViaSvcLemma44(*query_, *decomposition_, db, *oracle_, &stats_);
+}
+
+}  // namespace shapley

@@ -1,0 +1,50 @@
+#ifndef SHAPLEY_REDUCTIONS_SVC_BACKED_FGMC_H_
+#define SHAPLEY_REDUCTIONS_SVC_BACKED_FGMC_H_
+
+#include <memory>
+
+#include "shapley/analysis/witnesses.h"
+#include "shapley/engines/fgmc.h"
+#include "shapley/engines/svc.h"
+#include "shapley/reductions/pascal.h"
+
+namespace shapley {
+
+/// The paper's headline equivalence packaged as an engine: an FGMC engine
+/// whose only computational primitive is a Shapley-value oracle.
+///
+/// Construction routing (resolved once, at engine construction):
+///  * pseudo-connected queries (certified by CertifyPseudoConnected) go
+///    through Lemma 4.1;
+///  * decomposable queries (FindDecomposition) go through Lemma 4.4;
+///  * otherwise construction fails with std::invalid_argument.
+///
+/// Composing SvcBackedFgmc with SvcViaFgmc (Claim A.1) closes the circle
+/// FGMC ≡poly SVC of Corollary 4.1 in code.
+class SvcBackedFgmc : public FgmcEngine {
+ public:
+  /// Routes `query` and keeps the oracle. Throws std::invalid_argument if
+  /// neither Lemma 4.1 nor Lemma 4.4 applies.
+  SvcBackedFgmc(QueryPtr query, std::shared_ptr<SvcEngine> oracle);
+
+  std::string name() const override;
+
+  /// `query` must be the query given at construction (the reductions are
+  /// query-specific); throws otherwise.
+  Polynomial CountBySize(const BooleanQuery& query,
+                         const PartitionedDatabase& db) override;
+
+  /// Cumulative reduction bookkeeping across calls.
+  const PascalStats& stats() const { return stats_; }
+
+ private:
+  QueryPtr query_;
+  std::shared_ptr<SvcEngine> oracle_;
+  std::optional<PseudoConnectednessWitness> witness_;
+  std::optional<Decomposition> decomposition_;
+  PascalStats stats_;
+};
+
+}  // namespace shapley
+
+#endif  // SHAPLEY_REDUCTIONS_SVC_BACKED_FGMC_H_

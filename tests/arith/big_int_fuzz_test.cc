@@ -1,0 +1,113 @@
+// Randomized cross-validation of BigInt against native __int128 arithmetic
+// (the widest machine integer available): every operation on values that
+// fit in 64 bits must agree with the 128-bit native result.
+
+#include <random>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "shapley/arith/big_int.h"
+#include "shapley/arith/big_rational.h"
+
+namespace shapley {
+namespace {
+
+std::string Int128ToString(__int128 v) {
+  if (v == 0) return "0";
+  bool negative = v < 0;
+  unsigned __int128 mag =
+      negative ? -static_cast<unsigned __int128>(v) : static_cast<unsigned __int128>(v);
+  std::string digits;
+  while (mag != 0) {
+    digits.insert(digits.begin(), static_cast<char>('0' + mag % 10));
+    mag /= 10;
+  }
+  return (negative ? "-" : "") + digits;
+}
+
+TEST(BigIntFuzzTest, MulDivModAgreeWithInt128) {
+  std::mt19937_64 rng(2024);
+  std::uniform_int_distribution<int64_t> dist(INT64_MIN / 2, INT64_MAX / 2);
+  for (int trial = 0; trial < 3000; ++trial) {
+    int64_t a = dist(rng);
+    int64_t b = dist(rng);
+    __int128 product = static_cast<__int128>(a) * b;
+    EXPECT_EQ((BigInt(a) * BigInt(b)).ToString(), Int128ToString(product))
+        << a << " * " << b;
+    if (b != 0) {
+      __int128 quotient = static_cast<__int128>(a) / b;
+      __int128 remainder = static_cast<__int128>(a) % b;
+      EXPECT_EQ((BigInt(a) / BigInt(b)).ToString(), Int128ToString(quotient));
+      EXPECT_EQ((BigInt(a) % BigInt(b)).ToString(), Int128ToString(remainder));
+    }
+  }
+}
+
+TEST(BigIntFuzzTest, MixedExpressionChainsAgreeWithInt128) {
+  std::mt19937_64 rng(99);
+  std::uniform_int_distribution<int64_t> dist(-1000000, 1000000);
+  for (int trial = 0; trial < 1000; ++trial) {
+    int64_t a = dist(rng), b = dist(rng), c = dist(rng), d = dist(rng);
+    __int128 expected =
+        (static_cast<__int128>(a) * b - static_cast<__int128>(c) * d) *
+        (static_cast<__int128>(a) + c);
+    BigInt actual = (BigInt(a) * BigInt(b) - BigInt(c) * BigInt(d)) *
+                    (BigInt(a) + BigInt(c));
+    EXPECT_EQ(actual.ToString(), Int128ToString(expected)) << "trial " << trial;
+  }
+}
+
+TEST(BigIntFuzzTest, StringRoundTripOnWideValues) {
+  std::mt19937_64 rng(123);
+  for (int trial = 0; trial < 300; ++trial) {
+    // Compose a random decimal string of up to 60 digits.
+    size_t digits = 1 + rng() % 60;
+    std::string s = rng() % 2 ? "-" : "";
+    s += static_cast<char>('1' + rng() % 9);
+    for (size_t i = 1; i < digits; ++i) {
+      s += static_cast<char>('0' + rng() % 10);
+    }
+    EXPECT_EQ(BigInt::FromString(s).ToString(), s);
+  }
+}
+
+TEST(BigIntFuzzTest, GcdAgreesWithEuclidOnInt64) {
+  std::mt19937_64 rng(7);
+  auto reference_gcd = [](int64_t a, int64_t b) {
+    a = a < 0 ? -a : a;
+    b = b < 0 ? -b : b;
+    while (b != 0) {
+      int64_t r = a % b;
+      a = b;
+      b = r;
+    }
+    return a;
+  };
+  std::uniform_int_distribution<int64_t> dist(-1000000000, 1000000000);
+  for (int trial = 0; trial < 2000; ++trial) {
+    int64_t a = dist(rng), b = dist(rng);
+    EXPECT_EQ(BigInt::Gcd(a, b), BigInt(reference_gcd(a, b)));
+  }
+}
+
+TEST(BigRationalFuzzTest, OrderingAgreesWithDouble) {
+  // Exact comparison must agree with floating point whenever the latter is
+  // unambiguous (values far apart).
+  std::mt19937_64 rng(17);
+  std::uniform_int_distribution<int64_t> dist(-10000, 10000);
+  for (int trial = 0; trial < 2000; ++trial) {
+    int64_t an = dist(rng), bn = dist(rng);
+    int64_t ad = 1 + (rng() % 1000), bd = 1 + (rng() % 1000);
+    BigRational a{BigInt(an), BigInt(ad)};
+    BigRational b{BigInt(bn), BigInt(bd)};
+    double da = static_cast<double>(an) / static_cast<double>(ad);
+    double db = static_cast<double>(bn) / static_cast<double>(bd);
+    if (std::abs(da - db) > 1e-6) {
+      EXPECT_EQ(a < b, da < db) << an << "/" << ad << " vs " << bn << "/" << bd;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace shapley

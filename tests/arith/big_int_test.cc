@@ -1,0 +1,154 @@
+#include "shapley/arith/big_int.h"
+
+#include <cstdint>
+#include <random>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace shapley {
+namespace {
+
+TEST(BigIntTest, DefaultIsZero) {
+  BigInt z;
+  EXPECT_TRUE(z.IsZero());
+  EXPECT_EQ(z.sign(), 0);
+  EXPECT_EQ(z.ToString(), "0");
+  EXPECT_EQ(z.ToInt64(), 0);
+}
+
+TEST(BigIntTest, Int64RoundTrip) {
+  for (int64_t v : {int64_t{0}, int64_t{1}, int64_t{-1}, int64_t{42},
+                    int64_t{-123456789}, INT64_MAX, INT64_MIN}) {
+    BigInt b(v);
+    ASSERT_TRUE(b.ToInt64().has_value()) << v;
+    EXPECT_EQ(*b.ToInt64(), v);
+    EXPECT_EQ(b.ToString(), std::to_string(v));
+  }
+}
+
+TEST(BigIntTest, FromStringRoundTrip) {
+  for (const char* s :
+       {"0", "1", "-1", "999999999999999999999999999999",
+        "-31415926535897932384626433832795028841971693993751"}) {
+    EXPECT_EQ(BigInt::FromString(s).ToString(), s);
+  }
+}
+
+TEST(BigIntTest, FromStringRejectsGarbage) {
+  EXPECT_THROW(BigInt::FromString(""), std::invalid_argument);
+  EXPECT_THROW(BigInt::FromString("-"), std::invalid_argument);
+  EXPECT_THROW(BigInt::FromString("12a3"), std::invalid_argument);
+  EXPECT_THROW(BigInt::FromString("1.5"), std::invalid_argument);
+}
+
+TEST(BigIntTest, AdditionMatchesInt64) {
+  std::mt19937_64 rng(7);
+  std::uniform_int_distribution<int64_t> dist(-1000000000, 1000000000);
+  for (int i = 0; i < 2000; ++i) {
+    int64_t a = dist(rng), b = dist(rng);
+    EXPECT_EQ((BigInt(a) + BigInt(b)).ToInt64(), a + b);
+    EXPECT_EQ((BigInt(a) - BigInt(b)).ToInt64(), a - b);
+    EXPECT_EQ((BigInt(a) * BigInt(b)).ToInt64(), a * b);
+  }
+}
+
+TEST(BigIntTest, DivisionMatchesInt64TruncatedSemantics) {
+  std::mt19937_64 rng(11);
+  std::uniform_int_distribution<int64_t> dist(-1000000000000, 1000000000000);
+  for (int i = 0; i < 2000; ++i) {
+    int64_t a = dist(rng), b = dist(rng);
+    if (b == 0) continue;
+    EXPECT_EQ((BigInt(a) / BigInt(b)).ToInt64(), a / b) << a << "/" << b;
+    EXPECT_EQ((BigInt(a) % BigInt(b)).ToInt64(), a % b) << a << "%" << b;
+  }
+}
+
+TEST(BigIntTest, DivModIdentityOnHugeNumbers) {
+  std::mt19937_64 rng(13);
+  auto random_big = [&rng](int limbs) {
+    BigInt v = 0;
+    for (int i = 0; i < limbs; ++i) {
+      v = v * BigInt(int64_t{1} << 32) + BigInt(static_cast<int64_t>(rng() & 0xffffffffu));
+    }
+    return rng() % 2 == 0 ? v : -v;
+  };
+  for (int i = 0; i < 300; ++i) {
+    BigInt a = random_big(1 + static_cast<int>(rng() % 8));
+    BigInt b = random_big(1 + static_cast<int>(rng() % 5));
+    if (b.IsZero()) continue;
+    BigInt q, r;
+    BigInt::DivMod(a, b, &q, &r);
+    EXPECT_EQ(q * b + r, a);
+    EXPECT_TRUE(r.Abs() < b.Abs());
+    // Remainder carries the dividend's sign (or is zero).
+    if (!r.IsZero()) {
+      EXPECT_EQ(r.sign(), a.sign());
+    }
+  }
+}
+
+TEST(BigIntTest, DivisionByZeroThrows) {
+  EXPECT_THROW(BigInt(5) / BigInt(0), std::invalid_argument);
+  EXPECT_THROW(BigInt(5) % BigInt(0), std::invalid_argument);
+}
+
+TEST(BigIntTest, KnuthDAddBackCase) {
+  // Crafted to exercise the rare "add back" correction of Algorithm D:
+  // dividend = base^4 / 2, divisor slightly above base^2 / 2.
+  BigInt base = BigInt(int64_t{1} << 32);
+  BigInt dividend = BigInt::Pow(base, 4) - BigInt::Pow(base, 2);
+  BigInt divisor = BigInt::Pow(base, 2) / BigInt(2) + BigInt(1);
+  BigInt q, r;
+  BigInt::DivMod(dividend, divisor, &q, &r);
+  EXPECT_EQ(q * divisor + r, dividend);
+  EXPECT_TRUE(r < divisor);
+  EXPECT_TRUE(!r.IsNegative());
+}
+
+TEST(BigIntTest, PowAndBitLength) {
+  EXPECT_EQ(BigInt::Pow(2, 100).ToString(), "1267650600228229401496703205376");
+  EXPECT_EQ(BigInt::Pow(2, 100).BitLength(), 101u);
+  EXPECT_EQ(BigInt::Pow(10, 0), BigInt(1));
+  EXPECT_EQ(BigInt(0).BitLength(), 0u);
+  EXPECT_EQ(BigInt(1).BitLength(), 1u);
+}
+
+TEST(BigIntTest, GcdBasics) {
+  EXPECT_EQ(BigInt::Gcd(12, 18), BigInt(6));
+  EXPECT_EQ(BigInt::Gcd(-12, 18), BigInt(6));
+  EXPECT_EQ(BigInt::Gcd(0, 5), BigInt(5));
+  EXPECT_EQ(BigInt::Gcd(0, 0), BigInt(0));
+  EXPECT_EQ(BigInt::Gcd(BigInt::Pow(2, 200) * 3, BigInt::Pow(2, 100) * 5),
+            BigInt::Pow(2, 100));
+}
+
+TEST(BigIntTest, ComparisonTotalOrder) {
+  std::vector<BigInt> ordered = {
+      BigInt::FromString("-99999999999999999999"), BigInt(-2), BigInt(0),
+      BigInt(1), BigInt(2), BigInt::FromString("99999999999999999999")};
+  for (size_t i = 0; i < ordered.size(); ++i) {
+    for (size_t j = 0; j < ordered.size(); ++j) {
+      EXPECT_EQ(ordered[i] < ordered[j], i < j);
+      EXPECT_EQ(ordered[i] == ordered[j], i == j);
+    }
+  }
+}
+
+TEST(BigIntTest, HashEqualValuesAgree) {
+  EXPECT_EQ(BigInt(42).Hash(), (BigInt(40) + BigInt(2)).Hash());
+  EXPECT_NE(BigInt(42).Hash(), BigInt(-42).Hash());
+}
+
+TEST(BigIntTest, FactorialStyleGrowth) {
+  BigInt f = 1;
+  for (int64_t i = 1; i <= 100; ++i) f *= i;
+  // 100! has 158 digits and ends in 24 zeros.
+  std::string s = f.ToString();
+  EXPECT_EQ(s.size(), 158u);
+  EXPECT_EQ(s.substr(s.size() - 24), std::string(24, '0'));
+  EXPECT_EQ(s.substr(0, 10), "9332621544");
+}
+
+}  // namespace
+}  // namespace shapley

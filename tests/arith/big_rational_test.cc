@@ -1,0 +1,79 @@
+#include "shapley/arith/big_rational.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+namespace shapley {
+namespace {
+
+TEST(BigRationalTest, NormalizationLowestTerms) {
+  BigRational r(BigInt(6), BigInt(8));
+  EXPECT_EQ(r.numerator(), BigInt(3));
+  EXPECT_EQ(r.denominator(), BigInt(4));
+  EXPECT_EQ(r.ToString(), "3/4");
+}
+
+TEST(BigRationalTest, NegativeDenominatorNormalized) {
+  BigRational r(BigInt(3), BigInt(-6));
+  EXPECT_EQ(r.ToString(), "-1/2");
+  EXPECT_EQ(r.denominator(), BigInt(2));
+}
+
+TEST(BigRationalTest, ZeroHasCanonicalForm) {
+  BigRational r(BigInt(0), BigInt(-17));
+  EXPECT_TRUE(r.IsZero());
+  EXPECT_EQ(r.denominator(), BigInt(1));
+  EXPECT_EQ(r, BigRational(0));
+}
+
+TEST(BigRationalTest, ZeroDenominatorThrows) {
+  EXPECT_THROW(BigRational(BigInt(1), BigInt(0)), std::invalid_argument);
+}
+
+TEST(BigRationalTest, FieldAxiomsOnRandomValues) {
+  std::mt19937_64 rng(3);
+  std::uniform_int_distribution<int64_t> dist(-50, 50);
+  auto random_rational = [&]() {
+    int64_t den = 0;
+    while (den == 0) den = dist(rng);
+    return BigRational(BigInt(dist(rng)), BigInt(den));
+  };
+  for (int i = 0; i < 500; ++i) {
+    BigRational a = random_rational(), b = random_rational(), c = random_rational();
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a - a, BigRational(0));
+    if (!a.IsZero()) {
+      EXPECT_EQ(a * a.Inverse(), BigRational(1));
+      EXPECT_EQ(b / a * a, b);
+    }
+  }
+}
+
+TEST(BigRationalTest, ComparisonCrossMultiplies) {
+  EXPECT_LT(BigRational(BigInt(1), BigInt(3)), BigRational(BigInt(1), BigInt(2)));
+  EXPECT_LT(BigRational(BigInt(-1), BigInt(2)), BigRational(BigInt(1), BigInt(3)));
+  EXPECT_EQ(BigRational(BigInt(2), BigInt(4)), BigRational(BigInt(1), BigInt(2)));
+}
+
+TEST(BigRationalTest, ToDoubleApproximates) {
+  EXPECT_NEAR(BigRational(BigInt(1), BigInt(3)).ToDouble(), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(BigRational(BigInt(-7), BigInt(2)).ToDouble(), -3.5, 1e-12);
+  EXPECT_EQ(BigRational(0).ToDouble(), 0.0);
+}
+
+TEST(BigRationalTest, InverseOfZeroThrows) {
+  EXPECT_THROW(BigRational(0).Inverse(), std::invalid_argument);
+  EXPECT_THROW(BigRational(1) / BigRational(0), std::invalid_argument);
+}
+
+TEST(BigRationalTest, IntegerDetection) {
+  EXPECT_TRUE(BigRational(BigInt(8), BigInt(4)).IsInteger());
+  EXPECT_FALSE(BigRational(BigInt(8), BigInt(3)).IsInteger());
+  EXPECT_EQ(BigRational(BigInt(8), BigInt(4)).ToString(), "2");
+}
+
+}  // namespace
+}  // namespace shapley

@@ -1,0 +1,52 @@
+#include "shapley/arith/factorial.h"
+
+#include <gtest/gtest.h>
+
+#include "shapley/common/macros.h"
+
+namespace shapley {
+namespace {
+
+TEST(FactorialTest, SmallValues) {
+  EXPECT_EQ(Factorial(0), BigInt(1));
+  EXPECT_EQ(Factorial(1), BigInt(1));
+  EXPECT_EQ(Factorial(5), BigInt(120));
+  EXPECT_EQ(Factorial(20), BigInt::FromString("2432902008176640000"));
+}
+
+TEST(FactorialTest, BinomialPascalIdentity) {
+  for (size_t n = 1; n <= 25; ++n) {
+    for (size_t k = 1; k < n; ++k) {
+      EXPECT_EQ(Binomial(n, k), Binomial(n - 1, k - 1) + Binomial(n - 1, k));
+    }
+    EXPECT_EQ(Binomial(n, 0), BigInt(1));
+    EXPECT_EQ(Binomial(n, n), BigInt(1));
+    EXPECT_EQ(Binomial(n, n + 1), BigInt(0));
+  }
+}
+
+TEST(FactorialTest, ShapleyWeightsSumToOneOverChoices) {
+  // Summing the weight over all coalitions B (grouped by size) must give 1:
+  // sum_b C(n-1, b) * b!(n-b-1)!/n! = sum_b 1/n = 1.
+  for (size_t n = 1; n <= 12; ++n) {
+    BigRational total = 0;
+    for (size_t b = 0; b < n; ++b) {
+      total += BigRational(Binomial(n - 1, b)) * ShapleyWeight(n, b);
+    }
+    EXPECT_EQ(total, BigRational(1)) << "n=" << n;
+  }
+}
+
+TEST(FactorialTest, ShapleyWeightRequiresBBelowN) {
+  EXPECT_THROW(ShapleyWeight(3, 3), InternalError);
+}
+
+TEST(FactorialTest, TableIsIncremental) {
+  FactorialTable table;
+  EXPECT_EQ(table.Factorial(10), BigInt(3628800));
+  EXPECT_EQ(table.Factorial(3), BigInt(6));  // Backwards access works.
+  EXPECT_EQ(table.Binomial(52, 5), BigInt(2598960));
+}
+
+}  // namespace
+}  // namespace shapley

@@ -1,0 +1,124 @@
+#include "shapley/arith/linear_system.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "shapley/arith/factorial.h"
+
+namespace shapley {
+namespace {
+
+TEST(LinearSystemTest, SolvesIdentity) {
+  RationalMatrix a = {{1, 0}, {0, 1}};
+  std::vector<BigRational> b = {BigRational(3), BigRational(BigInt(1), BigInt(2))};
+  auto x = SolveLinearSystem(a, b);
+  EXPECT_EQ(x, b);
+}
+
+TEST(LinearSystemTest, SolvesWithPivoting) {
+  // First pivot position is zero; requires a row swap.
+  RationalMatrix a = {{0, 1}, {2, 0}};
+  std::vector<BigRational> b = {BigRational(5), BigRational(8)};
+  auto x = SolveLinearSystem(a, b);
+  EXPECT_EQ(x[0], BigRational(4));
+  EXPECT_EQ(x[1], BigRational(5));
+}
+
+TEST(LinearSystemTest, SingularMatrixThrows) {
+  RationalMatrix a = {{1, 2}, {2, 4}};
+  std::vector<BigRational> b = {BigRational(1), BigRational(2)};
+  EXPECT_THROW(SolveLinearSystem(a, b), std::invalid_argument);
+}
+
+TEST(LinearSystemTest, DimensionMismatchThrows) {
+  RationalMatrix a = {{1, 2}, {3, 4}};
+  std::vector<BigRational> b = {BigRational(1)};
+  EXPECT_THROW(SolveLinearSystem(a, b), std::invalid_argument);
+}
+
+TEST(LinearSystemTest, RandomSystemsRoundTrip) {
+  std::mt19937_64 rng(17);
+  std::uniform_int_distribution<int64_t> dist(-9, 9);
+  for (int trial = 0; trial < 100; ++trial) {
+    size_t n = 1 + rng() % 6;
+    RationalMatrix a(n, std::vector<BigRational>(n));
+    std::vector<BigRational> x_true(n);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) a[i][j] = BigRational(dist(rng));
+      x_true[i] = BigRational(BigInt(dist(rng)), BigInt(1 + (rng() % 5)));
+    }
+    std::vector<BigRational> b(n, BigRational(0));
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) b[i] += a[i][j] * x_true[j];
+    }
+    try {
+      auto x = SolveLinearSystem(a, b);
+      EXPECT_EQ(x, x_true);
+    } catch (const std::invalid_argument&) {
+      // Random matrix happened to be singular; acceptable.
+    }
+  }
+}
+
+TEST(LinearSystemTest, PascalFactorialMatrixIsInvertible) {
+  // The Section 5 reduction matrix M[i][j] = (j+s)!(n+i-j)!/(n+i+s+1)!,
+  // invertible per Bacher 2002. Check by solving against a known vector.
+  for (size_t n : {1u, 3u, 6u}) {
+    for (size_t s : {0u, 2u}) {
+      RationalMatrix m(n + 1, std::vector<BigRational>(n + 1));
+      for (size_t i = 0; i <= n; ++i) {
+        for (size_t j = 0; j <= n; ++j) {
+          m[i][j] = BigRational(Factorial(j + s) * Factorial(n + i - j),
+                                Factorial(n + i + s + 1));
+        }
+      }
+      std::vector<BigRational> x_true(n + 1);
+      for (size_t j = 0; j <= n; ++j) x_true[j] = BigRational(BigInt(j * j + 1));
+      std::vector<BigRational> b(n + 1, BigRational(0));
+      for (size_t i = 0; i <= n; ++i) {
+        for (size_t j = 0; j <= n; ++j) b[i] += m[i][j] * x_true[j];
+      }
+      EXPECT_EQ(SolveLinearSystem(m, b), x_true) << "n=" << n << " s=" << s;
+    }
+  }
+}
+
+TEST(VandermondeTest, RecoversPolynomialCoefficients) {
+  // p(z) = 2 + 3z - z^2, sampled at 0, 1, 2.
+  std::vector<BigRational> points = {0, 1, 2};
+  std::vector<BigRational> values = {2, 4, 4};
+  auto c = SolveVandermonde(points, values);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(c[0], BigRational(2));
+  EXPECT_EQ(c[1], BigRational(3));
+  EXPECT_EQ(c[2], BigRational(-1));
+}
+
+TEST(VandermondeTest, RationalSamplePoints) {
+  std::mt19937_64 rng(23);
+  // Random degree-5 polynomial sampled at six rational points.
+  std::vector<BigRational> coeffs;
+  for (int i = 0; i < 6; ++i) {
+    coeffs.push_back(BigRational(BigInt(static_cast<int64_t>(rng() % 19) - 9),
+                                 BigInt(1 + rng() % 4)));
+  }
+  std::vector<BigRational> points, values;
+  for (int i = 0; i < 6; ++i) {
+    BigRational z(BigInt(i + 1), BigInt(2));
+    points.push_back(z);
+    BigRational v = 0;
+    for (size_t k = coeffs.size(); k-- > 0;) v = v * z + coeffs[k];
+    values.push_back(v);
+  }
+  EXPECT_EQ(SolveVandermonde(points, values), coeffs);
+}
+
+TEST(VandermondeTest, RepeatedPointThrows) {
+  std::vector<BigRational> points = {1, 1};
+  std::vector<BigRational> values = {2, 3};
+  EXPECT_THROW(SolveVandermonde(points, values), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace shapley

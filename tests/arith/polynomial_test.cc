@@ -1,0 +1,84 @@
+#include "shapley/arith/polynomial.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "shapley/arith/factorial.h"
+
+namespace shapley {
+namespace {
+
+Polynomial P(std::initializer_list<int64_t> coeffs) {
+  std::vector<BigInt> v;
+  for (int64_t c : coeffs) v.emplace_back(c);
+  return Polynomial(std::move(v));
+}
+
+TEST(PolynomialTest, TrimsTrailingZeros) {
+  EXPECT_EQ(P({1, 2, 0, 0}).Degree(), 1);
+  EXPECT_TRUE(P({0, 0}).IsZero());
+  EXPECT_EQ(Polynomial().Degree(), -1);
+}
+
+TEST(PolynomialTest, OnePlusZPowerIsBinomialRow) {
+  Polynomial p = Polynomial::OnePlusZPower(5);
+  EXPECT_EQ(p, P({1, 5, 10, 10, 5, 1}));
+  EXPECT_EQ(p.SumOfCoefficients(), BigInt(32));
+}
+
+TEST(PolynomialTest, MultiplicationIsConvolution) {
+  // (1 + z)(1 + 2z + z^2) = 1 + 3z + 3z^2 + z^3.
+  EXPECT_EQ(P({1, 1}) * P({1, 2, 1}), P({1, 3, 3, 1}));
+  EXPECT_EQ(Polynomial::OnePlusZPower(3) ,P({1, 1}) * P({1, 1}) * P({1, 1}));
+}
+
+TEST(PolynomialTest, RingAxiomsOnRandomPolynomials) {
+  std::mt19937_64 rng(5);
+  auto random_poly = [&rng]() {
+    std::vector<BigInt> coeffs;
+    size_t deg = rng() % 6;
+    for (size_t i = 0; i <= deg; ++i) {
+      coeffs.emplace_back(static_cast<int64_t>(rng() % 21) - 10);
+    }
+    return Polynomial(std::move(coeffs));
+  };
+  for (int i = 0; i < 200; ++i) {
+    Polynomial a = random_poly(), b = random_poly(), c = random_poly();
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a - a, Polynomial());
+    // Evaluation is a ring homomorphism.
+    BigRational z(BigInt(3), BigInt(2));
+    EXPECT_EQ((a * b).Evaluate(z), a.Evaluate(z) * b.Evaluate(z));
+    EXPECT_EQ((a + b).Evaluate(z), a.Evaluate(z) + b.Evaluate(z));
+  }
+}
+
+TEST(PolynomialTest, ShiftUpMultipliesByMonomial) {
+  EXPECT_EQ(P({1, 2}).ShiftUp(2), P({0, 0, 1, 2}));
+  EXPECT_EQ(P({1, 2}).ShiftUp(0), P({1, 2}));
+  EXPECT_TRUE(Polynomial().ShiftUp(3).IsZero());
+}
+
+TEST(PolynomialTest, CoefficientBeyondDegreeIsZero) {
+  Polynomial p = P({4, 5});
+  EXPECT_EQ(p.Coefficient(0), BigInt(4));
+  EXPECT_EQ(p.Coefficient(1), BigInt(5));
+  EXPECT_EQ(p.Coefficient(99), BigInt(0));
+}
+
+TEST(PolynomialTest, EvaluateIntHorner) {
+  EXPECT_EQ(P({1, 0, 2}).EvaluateInt(10), BigInt(201));
+  EXPECT_EQ(P({}).EvaluateInt(7), BigInt(0));
+}
+
+TEST(PolynomialTest, ToStringReadable) {
+  EXPECT_EQ(P({1, 3, 2}).ToString(), "1 + 3z + 2z^2");
+  EXPECT_EQ(P({0, 1}).ToString(), "z");
+  EXPECT_EQ(Polynomial().ToString(), "0");
+}
+
+}  // namespace
+}  // namespace shapley

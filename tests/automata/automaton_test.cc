@@ -1,0 +1,159 @@
+#include "shapley/automata/automaton.h"
+
+#include <gtest/gtest.h>
+
+#include "shapley/automata/regex.h"
+
+namespace shapley {
+namespace {
+
+// Builds a word from a string of single-letter symbols using the DFA's
+// symbol table; returns nullopt if some letter is not in the alphabet.
+std::optional<std::vector<SymbolId>> Word(const Dfa& dfa, const std::string& s) {
+  std::vector<SymbolId> word;
+  for (char ch : s) {
+    std::string name(1, ch);
+    bool found = false;
+    for (size_t i = 0; i < dfa.symbol_names().size(); ++i) {
+      if (dfa.symbol_names()[i] == name) {
+        word.push_back(static_cast<SymbolId>(i));
+        found = true;
+        break;
+      }
+    }
+    if (!found) return std::nullopt;
+  }
+  return word;
+}
+
+bool Accepts(const Dfa& dfa, const std::string& s) {
+  auto word = Word(dfa, s);
+  return word.has_value() && dfa.Accepts(*word);
+}
+
+TEST(RegexTest, ParseAndPrint) {
+  EXPECT_EQ(Regex::Parse("A B | C*").ToString(), "((A B)|C*)");
+  EXPECT_EQ(Regex::Parse("(A|B) C?").ToString(), "((A|B) C?)");
+  EXPECT_EQ(Regex::Parse("eps | A").ToString(), "(eps|A)");
+  EXPECT_EQ(Regex::Parse("A.B.C").ToString(), "((A B) C)");
+}
+
+TEST(RegexTest, ParseErrors) {
+  EXPECT_THROW(Regex::Parse(""), std::invalid_argument);
+  EXPECT_THROW(Regex::Parse("(A"), std::invalid_argument);
+  EXPECT_THROW(Regex::Parse("A)"), std::invalid_argument);
+  EXPECT_THROW(Regex::Parse("*A"), std::invalid_argument);
+  EXPECT_THROW(Regex::Parse(".A"), std::invalid_argument);
+}
+
+TEST(RegexTest, SymbolNamesInOrder) {
+  auto names = Regex::Parse("B A | A C").SymbolNames();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "B");
+  EXPECT_EQ(names[1], "A");
+  EXPECT_EQ(names[2], "C");
+}
+
+TEST(DfaTest, BasicMembership) {
+  Dfa dfa = Dfa::FromRegex(Regex::Parse("A B | B A"));
+  EXPECT_TRUE(Accepts(dfa, "AB"));
+  EXPECT_TRUE(Accepts(dfa, "BA"));
+  EXPECT_FALSE(Accepts(dfa, "AA"));
+  EXPECT_FALSE(Accepts(dfa, "A"));
+  EXPECT_FALSE(Accepts(dfa, "ABA"));
+  EXPECT_FALSE(dfa.AcceptsEpsilon());
+}
+
+TEST(DfaTest, StarAndPlus) {
+  Dfa star = Dfa::FromRegex(Regex::Parse("A*"));
+  EXPECT_TRUE(star.AcceptsEpsilon());
+  EXPECT_TRUE(Accepts(star, "AAAA"));
+  Dfa plus = Dfa::FromRegex(Regex::Parse("A+"));
+  EXPECT_FALSE(plus.AcceptsEpsilon());
+  EXPECT_TRUE(Accepts(plus, "A"));
+  EXPECT_TRUE(Accepts(plus, "AAA"));
+}
+
+TEST(DfaTest, FinitenessDetection) {
+  EXPECT_TRUE(Dfa::FromRegex(Regex::Parse("A B | C")).IsFinite());
+  EXPECT_FALSE(Dfa::FromRegex(Regex::Parse("A* B")).IsFinite());
+  EXPECT_FALSE(Dfa::FromRegex(Regex::Parse("A B+")).IsFinite());
+  // The star is unreachable-to-accept... actually (A|B C)* is infinite.
+  EXPECT_FALSE(Dfa::FromRegex(Regex::Parse("(A|B C)*")).IsFinite());
+  EXPECT_TRUE(Dfa::FromRegex(Regex::Parse("eps")).IsFinite());
+}
+
+TEST(DfaTest, MaxWordLength) {
+  EXPECT_EQ(Dfa::FromRegex(Regex::Parse("A B | C")).MaxWordLength(), 2u);
+  EXPECT_EQ(Dfa::FromRegex(Regex::Parse("A B C | A (B|C)")).MaxWordLength(), 3u);
+  EXPECT_EQ(Dfa::FromRegex(Regex::Parse("eps")).MaxWordLength(), 0u);
+  EXPECT_EQ(Dfa::FromRegex(Regex::Parse("A*")).MaxWordLength(), std::nullopt);
+}
+
+TEST(DfaTest, HasWordOfLengthAtLeast) {
+  // The RPQ dichotomy (Corollary 4.3) branches on exactly these tests.
+  Dfa bounded2 = Dfa::FromRegex(Regex::Parse("A | B C"));
+  EXPECT_TRUE(bounded2.HasWordOfLengthAtLeast(2));
+  EXPECT_FALSE(bounded2.HasWordOfLengthAtLeast(3));
+  Dfa unbounded = Dfa::FromRegex(Regex::Parse("A* B"));
+  EXPECT_TRUE(unbounded.HasWordOfLengthAtLeast(3));
+  EXPECT_TRUE(unbounded.HasWordOfLengthAtLeast(1000));
+}
+
+TEST(DfaTest, ShortestWord) {
+  Dfa dfa = Dfa::FromRegex(Regex::Parse("A A A | B B"));
+  auto w = dfa.ShortestWord();
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->size(), 2u);
+
+  Dfa eps = Dfa::FromRegex(Regex::Parse("A*"));
+  EXPECT_EQ(eps.ShortestWord()->size(), 0u);
+}
+
+TEST(DfaTest, ShortestWordOfLengthAtLeast) {
+  Dfa dfa = Dfa::FromRegex(Regex::Parse("A* B"));
+  auto w = dfa.ShortestWordOfLengthAtLeast(3);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->size(), 3u);
+  EXPECT_TRUE(dfa.Accepts(*w));
+
+  Dfa bounded = Dfa::FromRegex(Regex::Parse("A B"));
+  EXPECT_FALSE(bounded.ShortestWordOfLengthAtLeast(3).has_value());
+  EXPECT_EQ(bounded.ShortestWordOfLengthAtLeast(2)->size(), 2u);
+}
+
+TEST(DfaTest, WordsUpToLength) {
+  Dfa dfa = Dfa::FromRegex(Regex::Parse("A | B A | A B B"));
+  auto words = dfa.WordsUpToLength(2);
+  // "A" and "BA".
+  EXPECT_EQ(words.size(), 2u);
+  auto all = dfa.WordsUpToLength(5);
+  EXPECT_EQ(all.size(), 3u);
+  for (const auto& w : all) EXPECT_TRUE(dfa.Accepts(w));
+}
+
+TEST(DfaTest, WordsUpToLengthLimitEnforced) {
+  Dfa dfa = Dfa::FromRegex(Regex::Parse("(A|B)*"));
+  EXPECT_THROW(dfa.WordsUpToLength(20, 100), std::invalid_argument);
+}
+
+TEST(DfaTest, EmptyLanguageEdgeCases) {
+  // 'A' restricted to co-accessible states after intersecting with nothing
+  // is still fine; build an actually-empty language via contradiction-free
+  // regex is impossible in this AST, so check the trimmed-empty path through
+  // Accepts on a foreign word instead.
+  Dfa dfa = Dfa::FromRegex(Regex::Parse("A"));
+  EXPECT_FALSE(dfa.Accepts({42}));
+  EXPECT_FALSE(dfa.AcceptsEmptyLanguage());
+}
+
+TEST(DfaTest, PaperExampleABplusBA) {
+  // q = ∃x [AB + BA](x, a) from Section 4.1 — the q-leak example.
+  Dfa dfa = Dfa::FromRegex(Regex::Parse("A B | B A"));
+  EXPECT_TRUE(dfa.IsFinite());
+  EXPECT_EQ(dfa.MaxWordLength(), 2u);
+  EXPECT_EQ(dfa.WordsUpToLength(2).size(), 2u);
+}
+
+}  // namespace
+}  // namespace shapley

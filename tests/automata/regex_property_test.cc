@@ -1,0 +1,142 @@
+// Property test: the compiled DFA agrees with a naive structural matcher on
+// every word up to a length bound, for a grid of regexes.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "shapley/automata/automaton.h"
+
+namespace shapley {
+namespace {
+
+// Naive recursive matcher over the regex AST (exponential; ground truth).
+bool NaiveMatch(const Regex& node, const std::vector<std::string>& word,
+                size_t from, size_t to) {
+  switch (node.kind()) {
+    case Regex::Kind::kSymbol:
+      return to == from + 1 && word[from] == node.symbol();
+    case Regex::Kind::kEpsilon:
+      return from == to;
+    case Regex::Kind::kConcat:
+      for (size_t mid = from; mid <= to; ++mid) {
+        if (NaiveMatch(node.children()[0], word, from, mid) &&
+            NaiveMatch(node.children()[1], word, mid, to)) {
+          return true;
+        }
+      }
+      return false;
+    case Regex::Kind::kUnion:
+      return NaiveMatch(node.children()[0], word, from, to) ||
+             NaiveMatch(node.children()[1], word, from, to);
+    case Regex::Kind::kStar: {
+      if (from == to) return true;
+      // Consume a nonempty prefix with the body, recurse on the rest.
+      for (size_t mid = from + 1; mid <= to; ++mid) {
+        if (NaiveMatch(node.children()[0], word, from, mid) &&
+            NaiveMatch(node, word, mid, to)) {
+          return true;
+        }
+      }
+      return false;
+    }
+    case Regex::Kind::kPlus:
+      for (size_t mid = from + 1; mid <= to; ++mid) {
+        if (NaiveMatch(node.children()[0], word, from, mid)) {
+          if (mid == to) return true;
+          Regex star = Regex::Star(node.children()[0]);
+          if (NaiveMatch(star, word, mid, to)) return true;
+        }
+      }
+      return false;
+    case Regex::Kind::kOptional:
+      return from == to || NaiveMatch(node.children()[0], word, from, to);
+  }
+  return false;
+}
+
+class RegexPropertyTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RegexPropertyTest, DfaAgreesWithNaiveMatcherOnAllShortWords) {
+  Regex regex = Regex::Parse(GetParam());
+  Dfa dfa = Dfa::FromRegex(regex);
+  const std::vector<std::string> alphabet = {"A", "B", "C"};
+
+  // Enumerate every word over {A,B,C} up to length 5.
+  std::vector<std::vector<std::string>> frontier = {{}};
+  for (size_t len = 0; len <= 5; ++len) {
+    for (const auto& word : frontier) {
+      // DFA representation of the word.
+      std::vector<SymbolId> dfa_word;
+      bool in_alphabet = true;
+      for (const std::string& letter : word) {
+        bool found = false;
+        for (size_t i = 0; i < dfa.symbol_names().size(); ++i) {
+          if (dfa.symbol_names()[i] == letter) {
+            dfa_word.push_back(static_cast<SymbolId>(i));
+            found = true;
+            break;
+          }
+        }
+        if (!found) in_alphabet = false;
+      }
+      bool naive = NaiveMatch(regex, word, 0, word.size());
+      bool via_dfa = in_alphabet && dfa.Accepts(dfa_word);
+      // Words using letters outside the regex alphabet can never match.
+      if (!in_alphabet) {
+        EXPECT_FALSE(naive);
+      } else {
+        EXPECT_EQ(via_dfa, naive)
+            << GetParam() << " on word of length " << word.size();
+      }
+    }
+    // Extend the frontier.
+    std::vector<std::vector<std::string>> next;
+    for (const auto& word : frontier) {
+      for (const std::string& letter : alphabet) {
+        auto extended = word;
+        extended.push_back(letter);
+        next.push_back(std::move(extended));
+      }
+    }
+    frontier = std::move(next);
+  }
+}
+
+TEST_P(RegexPropertyTest, WordsUpToLengthAreExactlyTheAcceptedWords) {
+  Regex regex = Regex::Parse(GetParam());
+  Dfa dfa = Dfa::FromRegex(regex);
+  auto words = dfa.WordsUpToLength(4, 100000);
+  // Every enumerated word is accepted, and the count matches a full scan.
+  for (const auto& w : words) {
+    EXPECT_TRUE(dfa.Accepts(w));
+  }
+  size_t accepted = 0;
+  size_t alphabet = dfa.symbol_names().size();
+  std::vector<std::vector<SymbolId>> frontier = {{}};
+  for (size_t len = 0; len <= 4; ++len) {
+    for (const auto& w : frontier) {
+      if (dfa.Accepts(w)) ++accepted;
+    }
+    std::vector<std::vector<SymbolId>> next;
+    for (const auto& w : frontier) {
+      for (SymbolId a = 0; a < alphabet; ++a) {
+        auto e = w;
+        e.push_back(a);
+        next.push_back(std::move(e));
+      }
+    }
+    frontier = std::move(next);
+  }
+  EXPECT_EQ(words.size(), accepted) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RegexGrid, RegexPropertyTest,
+    ::testing::Values("A", "A B", "A | B", "A*", "A+", "A?", "(A|B)*",
+                      "A (B|C)* A", "A B | B A", "(A B)+ C?", "A* B* C*",
+                      "((A|B) C)+", "eps | A B C"));
+
+}  // namespace
+}  // namespace shapley

@@ -1,0 +1,163 @@
+#include "shapley/data/database.h"
+
+#include <gtest/gtest.h>
+
+#include "shapley/data/parser.h"
+#include "shapley/data/probabilistic_database.h"
+#include "shapley/data/renaming.h"
+
+namespace shapley {
+namespace {
+
+class DatabaseTest : public ::testing::Test {
+ protected:
+  DatabaseTest() : schema_(Schema::Create()) {}
+  std::shared_ptr<Schema> schema_;
+};
+
+TEST_F(DatabaseTest, InsertDeduplicatesAndSorts) {
+  Database db = ParseDatabase(schema_, "R(b,c) R(a,b) R(b,c)");
+  EXPECT_EQ(db.size(), 2u);
+  EXPECT_TRUE(db.Contains(ParseFact(schema_, "R(a,b)")));
+  EXPECT_FALSE(db.Insert(ParseFact(schema_, "R(a,b)")));
+}
+
+TEST_F(DatabaseTest, SetOperations) {
+  Database a = ParseDatabase(schema_, "R(x,y) R(y,z)");
+  Database b = ParseDatabase(schema_, "R(y,z) R(z,w)");
+  EXPECT_EQ(a.Union(b).size(), 3u);
+  EXPECT_EQ(a.Intersection(b).size(), 1u);
+  EXPECT_EQ(a.Difference(b).size(), 1u);
+  EXPECT_TRUE(a.Intersection(b).IsSubsetOf(a));
+  EXPECT_TRUE(a.IntersectsWith(b));
+  EXPECT_FALSE(a.Difference(b).IntersectsWith(b));
+}
+
+TEST_F(DatabaseTest, ConstantsCollected) {
+  Database db = ParseDatabase(schema_, "R(a,b) S(b,c,d)");
+  auto consts = db.Constants();
+  EXPECT_EQ(consts.size(), 4u);
+  EXPECT_TRUE(consts.count(Constant::Named("a")));
+  EXPECT_TRUE(consts.count(Constant::Named("d")));
+}
+
+TEST_F(DatabaseTest, InducedByConstants) {
+  Database db = ParseDatabase(schema_, "R(a,b) R(b,c) R(a,a)");
+  std::set<Constant> allowed = {Constant::Named("a"), Constant::Named("b")};
+  Database induced = db.InducedByConstants(allowed);
+  EXPECT_EQ(induced.size(), 2u);
+  EXPECT_TRUE(induced.Contains(ParseFact(schema_, "R(a,b)")));
+  EXPECT_TRUE(induced.Contains(ParseFact(schema_, "R(a,a)")));
+}
+
+TEST_F(DatabaseTest, ConnectivityThroughSharedConstants) {
+  EXPECT_TRUE(ParseDatabase(schema_, "R(a,b) R(b,c)").IsConnected());
+  EXPECT_FALSE(ParseDatabase(schema_, "R(a,b) R(c,d)").IsConnected());
+  EXPECT_TRUE(ParseDatabase(schema_, "").IsConnected());
+  EXPECT_TRUE(ParseDatabase(schema_, "R(a,b)").IsConnected());
+  // Connection via a ternary relation bridging two binary islands.
+  EXPECT_TRUE(ParseDatabase(schema_, "R(a,b) R(c,d) T(b,x,c)").IsConnected());
+}
+
+TEST_F(DatabaseTest, ConnectedComponentsPartition) {
+  Database db = ParseDatabase(schema_, "R(a,b) R(b,c) R(d,e) R(f,f)");
+  auto components = db.ConnectedComponents();
+  EXPECT_EQ(components.size(), 3u);
+  size_t total = 0;
+  for (const auto& comp : components) total += comp.size();
+  EXPECT_EQ(total, db.size());
+}
+
+TEST_F(DatabaseTest, FactsOfFiltersByRelation) {
+  Database db = ParseDatabase(schema_, "R(a,b) S(a) R(c,d)");
+  EXPECT_EQ(db.FactsOf(*schema_->FindRelation("R")).size(), 2u);
+  EXPECT_EQ(db.FactsOf(*schema_->FindRelation("S")).size(), 1u);
+}
+
+TEST_F(DatabaseTest, SchemaRejectsArityMismatch) {
+  ParseDatabase(schema_, "R(a,b)");
+  EXPECT_THROW(ParseDatabase(schema_, "R(a,b,c)"), std::invalid_argument);
+}
+
+TEST_F(DatabaseTest, ParserRejectsMalformedInput) {
+  EXPECT_THROW(ParseDatabase(schema_, "R(a,"), std::invalid_argument);
+  EXPECT_THROW(ParseDatabase(schema_, "(a,b)"), std::invalid_argument);
+  EXPECT_THROW(ParseFact(schema_, "R(a) S(b)"), std::invalid_argument);
+}
+
+TEST_F(DatabaseTest, PartitionedParserSplitsAtBar) {
+  PartitionedDatabase db =
+      ParsePartitionedDatabase(schema_, "R(a,b) R(b,c) | S(c)");
+  EXPECT_EQ(db.NumEndogenous(), 2u);
+  EXPECT_EQ(db.exogenous().size(), 1u);
+  EXPECT_FALSE(db.IsPurelyEndogenous());
+
+  PartitionedDatabase endo_only = ParsePartitionedDatabase(schema_, "R(a,b)");
+  EXPECT_TRUE(endo_only.IsPurelyEndogenous());
+}
+
+TEST_F(DatabaseTest, PartitionedDatabaseRejectsOverlap) {
+  Database endo = ParseDatabase(schema_, "R(a,b)");
+  Database exo = ParseDatabase(schema_, "R(a,b) S(c)");
+  EXPECT_THROW(PartitionedDatabase(endo, exo), std::invalid_argument);
+}
+
+TEST_F(DatabaseTest, MakeExogenousMovesFact) {
+  PartitionedDatabase db = ParsePartitionedDatabase(schema_, "R(a,b) R(b,c)");
+  Fact f = ParseFact(schema_, "R(a,b)");
+  PartitionedDatabase moved = db.WithFactMadeExogenous(f);
+  EXPECT_EQ(moved.NumEndogenous(), 1u);
+  EXPECT_TRUE(moved.exogenous().Contains(f));
+  EXPECT_EQ(db.NumEndogenous(), 2u);  // Original untouched.
+}
+
+TEST_F(DatabaseTest, RenamingFreshExceptKeepsC) {
+  Database db = ParseDatabase(schema_, "R(a,b) R(b,c)");
+  std::set<Constant> keep = {Constant::Named("a")};
+  ConstantRenaming renaming = ConstantRenaming::FreshExcept(db, keep);
+  Database renamed = renaming.Apply(db);
+  EXPECT_EQ(renamed.size(), 2u);
+  auto consts = renamed.Constants();
+  EXPECT_TRUE(consts.count(Constant::Named("a")));
+  EXPECT_FALSE(consts.count(Constant::Named("b")));
+  EXPECT_FALSE(consts.count(Constant::Named("c")));
+  // Injective on this database: still two distinct non-'a' constants.
+  EXPECT_EQ(consts.size(), 3u);
+}
+
+TEST_F(DatabaseTest, RenamingPreservesStructure) {
+  Database db = ParseDatabase(schema_, "R(a,b) R(b,b)");
+  ConstantRenaming renaming = ConstantRenaming::SingleFresh(Constant::Named("b"));
+  Database renamed = renaming.Apply(db);
+  // R(a,b') and R(b',b'): the shared-constant structure is preserved.
+  EXPECT_EQ(renamed.size(), 2u);
+  EXPECT_TRUE(renamed.IsConnected());
+  EXPECT_TRUE(renamed.Constants().count(Constant::Named("a")));
+}
+
+TEST_F(DatabaseTest, ProbabilisticDatabasePartition) {
+  PartitionedDatabase db =
+      ParsePartitionedDatabase(schema_, "R(a,b) | S(c)");
+  ProbabilisticDatabase pdb = ProbabilisticDatabase::FromPartitioned(
+      db, BigRational(BigInt(1), BigInt(2)));
+  EXPECT_EQ(pdb.size(), 2u);
+  EXPECT_TRUE(pdb.IsSingleProperProbability());
+  PartitionedDatabase back = pdb.AssociatedPartitioned();
+  EXPECT_EQ(back.NumEndogenous(), 1u);
+  EXPECT_EQ(back.exogenous().size(), 1u);
+}
+
+TEST_F(DatabaseTest, ProbabilisticDatabaseValidation) {
+  ProbabilisticDatabase pdb(schema_);
+  EXPECT_THROW(pdb.AddFact(ParseFact(schema_, "R(a,b)"), BigRational(0)),
+               std::invalid_argument);
+  EXPECT_THROW(pdb.AddFact(ParseFact(schema_, "R(a,b)"), BigRational(2)),
+               std::invalid_argument);
+  pdb.AddFact(ParseFact(schema_, "R(a,b)"), BigRational(1));
+  EXPECT_THROW(pdb.AddFact(ParseFact(schema_, "R(a,b)"), BigRational(1)),
+               std::invalid_argument);
+  EXPECT_FALSE(pdb.IsSingleProbability());  // p == 1 is not proper.
+}
+
+}  // namespace
+}  // namespace shapley

@@ -1,0 +1,61 @@
+#include "shapley/data/symbol.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace shapley {
+namespace {
+
+TEST(SymbolTest, InternIsIdempotent) {
+  Constant a1 = Constant::Named("alpha");
+  Constant a2 = Constant::Named("alpha");
+  EXPECT_EQ(a1, a2);
+  EXPECT_EQ(a1.name(), "alpha");
+}
+
+TEST(SymbolTest, DistinctNamesDistinctIds) {
+  EXPECT_NE(Constant::Named("a"), Constant::Named("b"));
+}
+
+TEST(SymbolTest, FreshConstantsAreAlwaysNew) {
+  std::set<Constant> seen;
+  seen.insert(Constant::Named("a"));
+  for (int i = 0; i < 100; ++i) {
+    Constant f = Constant::Fresh("a");
+    EXPECT_TRUE(seen.insert(f).second) << f.name();
+  }
+}
+
+TEST(SymbolTest, FreshNameDoesNotCollideWithInterned) {
+  // Pre-intern a name of the shape Fresh would produce; Fresh must skip it.
+  Constant taken = Constant::Named("collide#1");
+  Constant f1 = Constant::Fresh("collide");
+  EXPECT_NE(f1, taken);
+  EXPECT_EQ(Constant::Named(f1.name()), f1);  // Fresh names are interned.
+}
+
+TEST(SymbolTest, VariablesAndConstantsLiveInSeparateNamespaces) {
+  Constant c = Constant::Named("x");
+  Variable v = Variable::Named("x");
+  EXPECT_EQ(c.name(), v.name());
+  // Different types; ids may or may not coincide but identity is per-type.
+  EXPECT_EQ(Variable::Named("x"), v);
+  EXPECT_EQ(Constant::Named("x"), c);
+}
+
+TEST(SymbolTest, DefaultIsInvalid) {
+  EXPECT_FALSE(Constant().IsValid());
+  EXPECT_FALSE(Variable().IsValid());
+  EXPECT_TRUE(Constant::Named("q").IsValid());
+}
+
+TEST(SymbolTest, OrderingIsStable) {
+  Constant a = Constant::Named("ord_a");
+  Constant b = Constant::Named("ord_b");
+  EXPECT_TRUE(a < b || b < a);
+  EXPECT_FALSE(a < a);
+}
+
+}  // namespace
+}  // namespace shapley

@@ -1,0 +1,146 @@
+#include "shapley/engines/constants.h"
+
+#include <gtest/gtest.h>
+
+#include "shapley/data/parser.h"
+#include "shapley/gen/generators.h"
+#include "shapley/query/query_parser.h"
+
+namespace shapley {
+namespace {
+
+class ConstantsTest : public ::testing::Test {
+ protected:
+  ConstantsTest() : schema_(Schema::Create()) {}
+
+  ConstantPartition SplitByPrefix(const Database& db, const char* prefix) {
+    ConstantPartition partition;
+    for (Constant c : db.Constants()) {
+      if (c.name().rfind(prefix, 0) == 0) {
+        partition.endogenous.insert(c);
+      } else {
+        partition.exogenous.insert(c);
+      }
+    }
+    return partition;
+  }
+
+  std::shared_ptr<Schema> schema_;
+};
+
+TEST_F(ConstantsTest, PaperExampleQStar) {
+  // Publication/Keyword with two authors, one Shapley paper each... a1's
+  // paper is the only Shapley paper: a1 takes all the credit.
+  Database db = ParseDatabase(schema_,
+      "Publication(a1, p1) Publication(a2, p2) "
+      "Keyword(p1, Shapley) Keyword(p2, Databases)");
+  CqPtr q = ParseCq(schema_, "Publication(x,y), Keyword(y,$Shapley)");
+  ConstantPartition partition = SplitByPrefix(db, "a");
+
+  auto values = AllSvcConstBruteForce(*q, db, partition);
+  EXPECT_EQ(values.at(Constant::Named("a1")), BigRational(1));
+  EXPECT_EQ(values.at(Constant::Named("a2")), BigRational(0));
+}
+
+TEST_F(ConstantsTest, SharedCreditSplits) {
+  // Two authors on the single Shapley paper: 1/2 each.
+  Database db = ParseDatabase(schema_,
+      "Publication(a1, p1) Publication(a2, p1) Keyword(p1, Shapley)");
+  CqPtr q = ParseCq(schema_, "Publication(x,y), Keyword(y,$Shapley)");
+  ConstantPartition partition = SplitByPrefix(db, "a");
+  auto values = AllSvcConstBruteForce(*q, db, partition);
+  BigRational half(BigInt(1), BigInt(2));
+  EXPECT_EQ(values.at(Constant::Named("a1")), half);
+  EXPECT_EQ(values.at(Constant::Named("a2")), half);
+}
+
+TEST_F(ConstantsTest, FgmcConstCountsCoalitions) {
+  Database db = ParseDatabase(schema_,
+      "Publication(a1, p1) Publication(a2, p1) Keyword(p1, Shapley)");
+  CqPtr q = ParseCq(schema_, "Publication(x,y), Keyword(y,$Shapley)");
+  ConstantPartition partition = SplitByPrefix(db, "a");
+  Polynomial counts = FgmcConstBySize(*q, db, partition);
+  // Coalitions: {} no, {a1} yes, {a2} yes, {a1,a2} yes.
+  EXPECT_EQ(counts.Coefficient(0), BigInt(0));
+  EXPECT_EQ(counts.Coefficient(1), BigInt(2));
+  EXPECT_EQ(counts.Coefficient(2), BigInt(1));
+}
+
+TEST_F(ConstantsTest, EfficiencyOverConstants) {
+  auto schema = Schema::Create();
+  CqPtr q = ParseCq(schema, "R(x,y), S(y,z)");
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    RandomDatabaseOptions options;
+    options.num_facts = 6;
+    options.domain_size = 4;
+    options.exogenous_fraction = 0.0;
+    options.seed = seed + 60;
+    Database db = RandomPartitionedDatabase(schema, options).AllFacts();
+    ConstantPartition partition;
+    size_t i = 0;
+    for (Constant c : db.Constants()) {
+      ((i++ % 3 == 0) ? partition.exogenous : partition.endogenous).insert(c);
+    }
+    if (partition.endogenous.empty()) continue;
+    auto values = AllSvcConstBruteForce(*q, db, partition);
+    BigRational sum(0);
+    for (const auto& [c, v] : values) sum += v;
+    std::set<Constant> all = partition.exogenous;
+    all.insert(partition.endogenous.begin(), partition.endogenous.end());
+    bool full = q->Evaluate(db.InducedByConstants(all));
+    bool empty = q->Evaluate(db.InducedByConstants(partition.exogenous));
+    int expected = (full && !empty) ? 1 : 0;
+    EXPECT_EQ(sum, BigRational(expected)) << "seed " << seed;
+  }
+}
+
+TEST_F(ConstantsTest, ViaFgmcMatchesBruteForce) {
+  auto schema = Schema::Create();
+  CqPtr q = ParseCq(schema, "R(x,y), S(y,z)");
+  FgmcConstOracle oracle = [&q](const Database& d,
+                                const ConstantPartition& p) {
+    return FgmcConstBySize(*q, d, p);
+  };
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    RandomDatabaseOptions options;
+    options.num_facts = 6;
+    options.domain_size = 4;
+    options.exogenous_fraction = 0.0;
+    options.seed = seed + 70;
+    Database db = RandomPartitionedDatabase(schema, options).AllFacts();
+    ConstantPartition partition;
+    size_t i = 0;
+    for (Constant c : db.Constants()) {
+      ((i++ % 2 == 0) ? partition.endogenous : partition.exogenous).insert(c);
+    }
+    for (Constant c : partition.endogenous) {
+      EXPECT_EQ(SvcConstViaFgmcConst(*q, db, partition, c, oracle),
+                SvcConstBruteForce(*q, db, partition, c))
+          << "seed " << seed;
+    }
+  }
+}
+
+TEST_F(ConstantsTest, ValidationRejectsBadPartitions) {
+  Database db = ParseDatabase(schema_, "R(a,b)");
+  CqPtr q = ParseCq(schema_, "R(x,y)");
+  ConstantPartition overlapping;
+  overlapping.endogenous = {Constant::Named("a"), Constant::Named("b")};
+  overlapping.exogenous = {Constant::Named("a")};
+  EXPECT_THROW(FgmcConstBySize(*q, db, overlapping), std::invalid_argument);
+
+  ConstantPartition incomplete;
+  incomplete.endogenous = {Constant::Named("a")};
+  EXPECT_THROW(FgmcConstBySize(*q, db, incomplete), std::invalid_argument);
+}
+
+TEST_F(ConstantsTest, NonMonotoneRejected) {
+  Database db = ParseDatabase(schema_, "A(a)");
+  CqPtr q = ParseCq(schema_, "A(x), !B(x)");
+  ConstantPartition partition;
+  partition.endogenous = {Constant::Named("a")};
+  EXPECT_THROW(FgmcConstBySize(*q, db, partition), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace shapley

@@ -1,0 +1,107 @@
+#include "shapley/engines/game.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "shapley/arith/factorial.h"
+
+namespace shapley {
+namespace {
+
+TEST(GameTest, SingleWinningPlayerTakesAll) {
+  // v(S) = 1 iff player 0 in S: Sh(0) = 1, others 0.
+  BinaryWealth wealth = [](uint64_t mask) { return (mask & 1) != 0; };
+  EXPECT_EQ(ShapleyValueBySubsets(4, wealth, 0), BigRational(1));
+  for (size_t p = 1; p < 4; ++p) {
+    EXPECT_EQ(ShapleyValueBySubsets(4, wealth, p), BigRational(0));
+  }
+}
+
+TEST(GameTest, UnanimityGameSplitsEqually) {
+  // v(S) = 1 iff S = full set: everyone gets 1/n.
+  for (size_t n : {2, 3, 5}) {
+    uint64_t full = (uint64_t{1} << n) - 1;
+    BinaryWealth wealth = [full](uint64_t mask) { return mask == full; };
+    for (size_t p = 0; p < n; ++p) {
+      EXPECT_EQ(ShapleyValueBySubsets(n, wealth, p),
+                BigRational(BigInt(1), BigInt(static_cast<int64_t>(n))));
+    }
+  }
+}
+
+TEST(GameTest, SubsetsMatchPermutationsOnRandomGames) {
+  std::mt19937_64 rng(23);
+  for (int trial = 0; trial < 40; ++trial) {
+    size_t n = 2 + rng() % 5;  // 2..6 players.
+    // Random monotone game from random generator coalitions.
+    std::vector<uint64_t> generators;
+    for (int g = 0; g < 3; ++g) {
+      uint64_t gen = rng() % (uint64_t{1} << n);
+      if (gen != 0) generators.push_back(gen);
+    }
+    BinaryWealth wealth = [&generators](uint64_t mask) {
+      for (uint64_t gen : generators) {
+        if ((mask & gen) == gen) return true;
+      }
+      return false;
+    };
+    for (size_t p = 0; p < n; ++p) {
+      EXPECT_EQ(ShapleyValueBySubsets(n, wealth, p),
+                ShapleyValueByPermutations(n, wealth, p))
+          << "trial " << trial << " player " << p;
+    }
+  }
+}
+
+TEST(GameTest, EfficiencyOnArbitraryBinaryGames) {
+  std::mt19937_64 rng(29);
+  for (int trial = 0; trial < 30; ++trial) {
+    size_t n = 2 + rng() % 4;
+    // Arbitrary (possibly non-monotone) binary game with v(∅) = 0.
+    std::vector<char> table(size_t{1} << n);
+    for (size_t m = 1; m < table.size(); ++m) table[m] = rng() % 2;
+    table[0] = 0;
+    BinaryWealth wealth = [&table](uint64_t mask) { return table[mask] != 0; };
+    BigRational sum(0);
+    for (size_t p = 0; p < n; ++p) {
+      sum += ShapleyValueBySubsets(n, wealth, p);
+    }
+    EXPECT_EQ(sum, BigRational(static_cast<int64_t>(table.back())))
+        << "trial " << trial;
+  }
+}
+
+TEST(GameTest, Lemma63SingletonWinnerIsMaximal) {
+  // Monotone binary game with v({s}) = 1: Sh(p) <= Sh(s) for all p.
+  std::mt19937_64 rng(31);
+  for (int trial = 0; trial < 30; ++trial) {
+    size_t n = 3 + rng() % 4;
+    std::vector<uint64_t> generators = {uint64_t{1}};  // Player 0 singleton.
+    for (int g = 0; g < 3; ++g) {
+      uint64_t gen = rng() % (uint64_t{1} << n);
+      if (gen != 0) generators.push_back(gen);
+    }
+    BinaryWealth wealth = [&generators](uint64_t mask) {
+      for (uint64_t gen : generators) {
+        if ((mask & gen) == gen) return true;
+      }
+      return false;
+    };
+    BigRational s_value = ShapleyValueBySubsets(n, wealth, 0);
+    for (size_t p = 1; p < n; ++p) {
+      EXPECT_LE(ShapleyValueBySubsets(n, wealth, p), s_value)
+          << "trial " << trial;
+    }
+  }
+}
+
+TEST(GameTest, SizeLimitsEnforced) {
+  BinaryWealth wealth = [](uint64_t) { return true; };
+  EXPECT_THROW(ShapleyValueBySubsets(26, wealth, 0), std::invalid_argument);
+  EXPECT_THROW(ShapleyValueByPermutations(10, wealth, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace shapley

@@ -1,0 +1,104 @@
+// Edge cases for the lifted safe-plan engine: repeated variables in atoms,
+// constants in patterns, junk facts that match no binding, empty relations,
+// and mixed exogenous/endogenous universes.
+
+#include <gtest/gtest.h>
+
+#include "shapley/data/parser.h"
+#include "shapley/engines/fgmc.h"
+#include "shapley/engines/lifted.h"
+#include "shapley/query/query_parser.h"
+
+namespace shapley {
+namespace {
+
+class LiftedEdgeTest : public ::testing::Test {
+ protected:
+  LiftedEdgeTest() : schema_(Schema::Create()) {}
+  std::shared_ptr<Schema> schema_;
+  BruteForceFgmc brute_;
+  LiftedFgmc lifted_;
+};
+
+TEST_F(LiftedEdgeTest, RepeatedVariableInAtom) {
+  // R(x,x): only diagonal facts match; off-diagonal ones are junk.
+  CqPtr q = ParseCq(schema_, "R(x,x)");
+  PartitionedDatabase db =
+      ParsePartitionedDatabase(schema_, "R(a,a) R(a,b) R(b,b) R(c,a)");
+  EXPECT_EQ(lifted_.CountBySize(*q, db), brute_.CountBySize(*q, db));
+}
+
+TEST_F(LiftedEdgeTest, RepeatedVariableAcrossPositionsWithJoin) {
+  CqPtr q = ParseCq(schema_, "R(x,x), S(x)");
+  PartitionedDatabase db =
+      ParsePartitionedDatabase(schema_, "R(a,a) R(b,c) S(a) S(b)");
+  EXPECT_EQ(lifted_.CountBySize(*q, db), brute_.CountBySize(*q, db));
+}
+
+TEST_F(LiftedEdgeTest, ConstantInMiddlePosition) {
+  CqPtr q = ParseCq(schema_, "T(x, k, y)");
+  PartitionedDatabase db = ParsePartitionedDatabase(
+      schema_, "T(a,k,b) T(a,m,b) T(c,k,d) | T(e,k,f)");
+  EXPECT_EQ(lifted_.CountBySize(*q, db), brute_.CountBySize(*q, db));
+}
+
+TEST_F(LiftedEdgeTest, EmptyRelationMeansZero) {
+  CqPtr q = ParseCq(schema_, "R(x), S(x,y)");
+  schema_->AddRelation("S", 2);
+  PartitionedDatabase db = ParsePartitionedDatabase(schema_, "R(a) R(b)");
+  Polynomial counts = lifted_.CountBySize(*q, db);
+  EXPECT_TRUE(counts.IsZero());
+  EXPECT_EQ(brute_.CountBySize(*q, db), counts);
+}
+
+TEST_F(LiftedEdgeTest, AllExogenousUniverse) {
+  CqPtr q = ParseCq(schema_, "R(x), S(x,y)");
+  PartitionedDatabase db =
+      ParsePartitionedDatabase(schema_, "| R(a) S(a,b)");
+  Polynomial counts = lifted_.CountBySize(*q, db);
+  // Satisfied with certainty; zero endogenous facts: FGMC_0 = 1.
+  EXPECT_EQ(counts, Polynomial::Constant(1));
+}
+
+TEST_F(LiftedEdgeTest, BystanderRelationsAreFreeFactors) {
+  CqPtr q = ParseCq(schema_, "R(x)");
+  PartitionedDatabase db =
+      ParsePartitionedDatabase(schema_, "R(a) Z(b,c) Z(d,e) Z(f,g)");
+  Polynomial counts = lifted_.CountBySize(*q, db);
+  EXPECT_EQ(counts, brute_.CountBySize(*q, db));
+  // GMC = 2^3 (any subset of Z-facts) * 1 (R(a) required).
+  EXPECT_EQ(counts.SumOfCoefficients(), BigInt(8));
+}
+
+TEST_F(LiftedEdgeTest, DeepHierarchicalQuery) {
+  // Three-level hierarchy: R(x), S(x,y), T(x,y,z).
+  CqPtr q = ParseCq(schema_, "R(x), S(x,y), T(x,y,z)");
+  PartitionedDatabase db = ParsePartitionedDatabase(
+      schema_,
+      "R(a) R(b) S(a,u) S(b,u) T(a,u,p) T(a,u,q) T(b,w,p) | S(a,w)");
+  EXPECT_EQ(lifted_.CountBySize(*q, db), brute_.CountBySize(*q, db));
+}
+
+TEST_F(LiftedEdgeTest, ProbabilityModeMatchesOnEdgeCases) {
+  CqPtr q = ParseCq(schema_, "R(x,x), S(x)");
+  std::map<Fact, BigRational> probs;
+  probs.emplace(ParseFact(schema_, "R(a,a)"), BigRational(BigInt(1), BigInt(3)));
+  probs.emplace(ParseFact(schema_, "R(b,c)"), BigRational(BigInt(1), BigInt(2)));
+  probs.emplace(ParseFact(schema_, "S(a)"), BigRational(BigInt(2), BigInt(3)));
+  BigRational lifted_p = LiftedProbability(*q, probs);
+  // Direct: only the R(a,a) ∧ S(a) combination matters: 1/3 * 2/3 = 2/9.
+  EXPECT_EQ(lifted_p, BigRational(BigInt(2), BigInt(9)));
+}
+
+TEST_F(LiftedEdgeTest, RefusesUnsupportedShapes) {
+  EXPECT_THROW(RequireLiftedCompatible(*ParseCq(schema_, "P(x,y), P(y,z)")),
+               std::invalid_argument);
+  EXPECT_THROW(RequireLiftedCompatible(*ParseCq(schema_, "A(x), W(x,y), B(y)")),
+               std::invalid_argument);
+  EXPECT_THROW(RequireLiftedCompatible(*ParseCq(schema_, "A(x), !C(x)")),
+               std::invalid_argument);
+  EXPECT_NO_THROW(RequireLiftedCompatible(*ParseCq(schema_, "A(x), W(x,y)")));
+}
+
+}  // namespace
+}  // namespace shapley

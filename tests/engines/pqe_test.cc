@@ -1,0 +1,118 @@
+#include "shapley/engines/pqe.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "shapley/data/parser.h"
+#include "shapley/gen/generators.h"
+#include "shapley/query/query_parser.h"
+
+namespace shapley {
+namespace {
+
+class PqeTest : public ::testing::Test {
+ protected:
+  PqeTest() : schema_(Schema::Create()) {}
+
+  static BigRational Frac(int64_t num, int64_t den) {
+    return BigRational(BigInt(num), BigInt(den));
+  }
+
+  std::shared_ptr<Schema> schema_;
+  BruteForcePqe brute_;
+  LineagePqe lineage_;
+  LiftedPqe lifted_;
+};
+
+TEST_F(PqeTest, SingleFactProbability) {
+  CqPtr q = ParseCq(schema_, "R(x,y)");
+  ProbabilisticDatabase db(schema_);
+  db.AddFact(ParseFact(schema_, "R(a,b)"), Frac(1, 3));
+  EXPECT_EQ(brute_.Probability(*q, db), Frac(1, 3));
+  EXPECT_EQ(lineage_.Probability(*q, db), Frac(1, 3));
+  EXPECT_EQ(lifted_.Probability(*q, db), Frac(1, 3));
+}
+
+TEST_F(PqeTest, IndependentDisjunction) {
+  CqPtr q = ParseCq(schema_, "R(x,y)");
+  ProbabilisticDatabase db(schema_);
+  db.AddFact(ParseFact(schema_, "R(a,b)"), Frac(1, 2));
+  db.AddFact(ParseFact(schema_, "R(c,d)"), Frac(1, 2));
+  // 1 - (1/2)^2 = 3/4.
+  EXPECT_EQ(brute_.Probability(*q, db), Frac(3, 4));
+  EXPECT_EQ(lifted_.Probability(*q, db), Frac(3, 4));
+}
+
+TEST_F(PqeTest, JoinProbability) {
+  CqPtr q = ParseCq(schema_, "R(x,y), S(y)");
+  ProbabilisticDatabase db(schema_);
+  db.AddFact(ParseFact(schema_, "R(a,b)"), Frac(1, 2));
+  db.AddFact(ParseFact(schema_, "S(b)"), Frac(1, 3));
+  EXPECT_EQ(brute_.Probability(*q, db), Frac(1, 6));
+  EXPECT_EQ(lifted_.Probability(*q, db), Frac(1, 6));
+  EXPECT_EQ(lineage_.Probability(*q, db), Frac(1, 6));
+}
+
+TEST_F(PqeTest, EnginesAgreeOnRandomInstances) {
+  auto schema = Schema::Create();
+  CqPtr q = ParseCq(schema, "R(x), S(x,y)");
+  std::mt19937_64 rng(9);
+  for (uint64_t seed = 0; seed < 15; ++seed) {
+    RandomDatabaseOptions options;
+    options.num_facts = 8;
+    options.domain_size = 3;
+    options.exogenous_fraction = 0.0;
+    options.seed = seed + 200;
+    PartitionedDatabase pdb = RandomPartitionedDatabase(schema, options);
+    ProbabilisticDatabase db(schema);
+    for (const Fact& f : pdb.endogenous().facts()) {
+      db.AddFact(f, Frac(1 + static_cast<int64_t>(rng() % 9), 10));
+    }
+    BigRational expected = brute_.Probability(*q, db);
+    EXPECT_EQ(lineage_.Probability(*q, db), expected) << "seed " << seed;
+    EXPECT_EQ(lifted_.Probability(*q, db), expected) << "seed " << seed;
+  }
+}
+
+TEST_F(PqeTest, DeterministicFactsActExogenous) {
+  auto schema = Schema::Create();
+  CqPtr q = ParseCq(schema, "R(x,y), S(y)");
+  ProbabilisticDatabase db(schema);
+  db.AddFact(ParseFact(schema, "R(a,b)"), BigRational(1));
+  db.AddFact(ParseFact(schema, "S(b)"), Frac(2, 5));
+  EXPECT_EQ(brute_.Probability(*q, db), Frac(2, 5));
+  EXPECT_EQ(lifted_.Probability(*q, db), Frac(2, 5));
+  EXPECT_EQ(lineage_.Probability(*q, db), Frac(2, 5));
+}
+
+TEST_F(PqeTest, HardQueryBruteVsLineage) {
+  auto schema = Schema::Create();
+  CqPtr q = ParseCq(schema, "R(x), S(x,y), T(y)");
+  PartitionedDatabase gadget = RstGadget(schema, 2, 2, 1.0, 3);
+  ProbabilisticDatabase db(schema);
+  std::mt19937_64 rng(11);
+  for (const Fact& f : gadget.endogenous().facts()) {
+    db.AddFact(f, Frac(1 + static_cast<int64_t>(rng() % 9), 10));
+  }
+  EXPECT_EQ(lineage_.Probability(*q, db), brute_.Probability(*q, db));
+  EXPECT_THROW(lifted_.Probability(*q, db), std::invalid_argument);
+}
+
+TEST_F(PqeTest, SppqeShapeDetection) {
+  auto schema = Schema::Create();
+  PartitionedDatabase pdb =
+      ParsePartitionedDatabase(schema, "R(a,b) R(c,d) | S(e)");
+  ProbabilisticDatabase sppqe =
+      ProbabilisticDatabase::FromPartitioned(pdb, Frac(1, 2));
+  EXPECT_TRUE(sppqe.IsSingleProperProbability());
+  EXPECT_FALSE(sppqe.IsSingleProbability());  // Has a probability-1 fact.
+
+  PartitionedDatabase endo_only = ParsePartitionedDatabase(schema, "R(a,b)");
+  ProbabilisticDatabase spqe =
+      ProbabilisticDatabase::FromPartitioned(endo_only, Frac(1, 3));
+  EXPECT_TRUE(spqe.IsSingleProbability());
+}
+
+}  // namespace
+}  // namespace shapley

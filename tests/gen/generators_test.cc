@@ -1,0 +1,74 @@
+#include "shapley/gen/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "shapley/query/query_parser.h"
+
+namespace shapley {
+namespace {
+
+TEST(GeneratorsTest, RandomDatabaseIsDeterministic) {
+  auto schema1 = Schema::Create();
+  schema1->AddRelation("R", 2);
+  auto schema2 = Schema::Create();
+  schema2->AddRelation("R", 2);
+  RandomDatabaseOptions options;
+  options.num_facts = 10;
+  options.seed = 77;
+  PartitionedDatabase a = RandomPartitionedDatabase(schema1, options);
+  PartitionedDatabase b = RandomPartitionedDatabase(schema2, options);
+  EXPECT_EQ(a.endogenous().ToString(), b.endogenous().ToString());
+  EXPECT_EQ(a.exogenous().ToString(), b.exogenous().ToString());
+}
+
+TEST(GeneratorsTest, RandomDatabaseRespectsBounds) {
+  auto schema = Schema::Create();
+  schema->AddRelation("R", 2);
+  schema->AddRelation("S", 3);
+  RandomDatabaseOptions options;
+  options.num_facts = 25;
+  options.domain_size = 2;
+  options.seed = 3;
+  PartitionedDatabase db = RandomPartitionedDatabase(schema, options);
+  EXPECT_LE(db.AllFacts().size(), 25u);
+  EXPECT_LE(db.AllFacts().Constants().size(), 2u);
+}
+
+TEST(GeneratorsTest, RstGadgetShape) {
+  auto schema = Schema::Create();
+  PartitionedDatabase db = RstGadget(schema, 3, 4, 1.0, 1);
+  // 3 R-facts, 4 T-facts, 12 S-edges.
+  EXPECT_EQ(db.NumEndogenous(), 3u + 4u + 12u);
+  EXPECT_TRUE(db.IsPurelyEndogenous());
+  CqPtr q = ParseCq(schema, "R(x), S(x,y), T(y)");
+  EXPECT_TRUE(q->Evaluate(db.AllFacts()));
+}
+
+TEST(GeneratorsTest, PathGraphHasSourceToTargetPath) {
+  auto schema = Schema::Create();
+  Database graph = PathGraph(schema, "A", 4, 0.0, 9);
+  EXPECT_EQ(graph.size(), 4u);  // Pure path, no chords.
+  EXPECT_TRUE(graph.Constants().count(Constant::Named("s")));
+  EXPECT_TRUE(graph.Constants().count(Constant::Named("t")));
+}
+
+TEST(GeneratorsTest, RandomGraphUsesAllRelations) {
+  auto schema = Schema::Create();
+  Database graph = RandomGraph(schema, {"A", "B"}, 5, 0.9, 13);
+  EXPECT_TRUE(schema->FindRelation("A").has_value());
+  EXPECT_TRUE(schema->FindRelation("B").has_value());
+  EXPECT_GT(graph.FactsOf(*schema->FindRelation("A")).size(), 0u);
+  EXPECT_GT(graph.FactsOf(*schema->FindRelation("B")).size(), 0u);
+}
+
+TEST(GeneratorsTest, DblpDatabaseWellFormed) {
+  auto schema = Schema::Create();
+  Database db = DblpDatabase(schema, 3, 5, 0.5, 21);
+  RelationId keyword = *schema->FindRelation("Keyword");
+  EXPECT_EQ(db.FactsOf(keyword).size(), 5u);  // One keyword per paper.
+  RelationId publication = *schema->FindRelation("Publication");
+  EXPECT_GE(db.FactsOf(publication).size(), 5u);  // >= one author per paper.
+}
+
+}  // namespace
+}  // namespace shapley

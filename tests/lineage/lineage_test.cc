@@ -1,0 +1,229 @@
+#include "shapley/lineage/lineage.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "shapley/data/parser.h"
+#include "shapley/lineage/ddnnf.h"
+#include "shapley/query/query_parser.h"
+
+namespace shapley {
+namespace {
+
+class LineageTest : public ::testing::Test {
+ protected:
+  LineageTest() : schema_(Schema::Create()) {}
+  std::shared_ptr<Schema> schema_;
+};
+
+TEST_F(LineageTest, SimpleJoinLineage) {
+  CqPtr q = ParseCq(schema_, "R(x,y), S(y)");
+  PartitionedDatabase db =
+      ParsePartitionedDatabase(schema_, "R(a,b) S(b) R(c,b)");
+  Lineage lineage = BuildLineage(*q, db);
+  EXPECT_EQ(lineage.num_variables(), 3u);
+  EXPECT_FALSE(lineage.certainly_true);
+  // Two minimal supports: {R(a,b),S(b)} and {R(c,b),S(b)}.
+  EXPECT_EQ(lineage.clauses.size(), 2u);
+  for (const auto& clause : lineage.clauses) EXPECT_EQ(clause.size(), 2u);
+}
+
+TEST_F(LineageTest, ExogenousFactsDropOut) {
+  CqPtr q = ParseCq(schema_, "R(x,y), S(y)");
+  PartitionedDatabase db = ParsePartitionedDatabase(schema_, "R(a,b) | S(b)");
+  Lineage lineage = BuildLineage(*q, db);
+  ASSERT_EQ(lineage.clauses.size(), 1u);
+  EXPECT_EQ(lineage.clauses[0].size(), 1u);  // Only R(a,b) is uncertain.
+}
+
+TEST_F(LineageTest, CertainlyTrueWhenExogenousSupport) {
+  CqPtr q = ParseCq(schema_, "R(x,y)");
+  PartitionedDatabase db = ParsePartitionedDatabase(schema_, "R(c,d) | R(a,b)");
+  Lineage lineage = BuildLineage(*q, db);
+  EXPECT_TRUE(lineage.certainly_true);
+}
+
+TEST_F(LineageTest, FalseWhenNoSupport) {
+  CqPtr q = ParseCq(schema_, "R(x,y), S(y)");
+  PartitionedDatabase db = ParsePartitionedDatabase(schema_, "R(a,b)");
+  Lineage lineage = BuildLineage(*q, db);
+  EXPECT_FALSE(lineage.certainly_true);
+  EXPECT_TRUE(lineage.clauses.empty());
+}
+
+TEST_F(LineageTest, AbsorptionRemovesSuperclauses) {
+  // q = R(x,y) ∨ (R(x,y) ∧ S(y)): S-clauses absorbed by single R-clauses.
+  UcqPtr q = ParseUcq(schema_, "R(x,y) | R(x,y), S(y)");
+  PartitionedDatabase db = ParsePartitionedDatabase(schema_, "R(a,b) S(b)");
+  Lineage lineage = BuildLineage(*q, db);
+  ASSERT_EQ(lineage.clauses.size(), 1u);
+  EXPECT_EQ(lineage.clauses[0].size(), 1u);
+}
+
+TEST_F(LineageTest, NonMonotoneRejected) {
+  CqPtr q = ParseCq(schema_, "A(x), !B(x)");
+  PartitionedDatabase db = ParsePartitionedDatabase(schema_, "A(a)");
+  EXPECT_THROW(BuildLineage(*q, db), std::invalid_argument);
+}
+
+// --- Knowledge compilation ---
+
+class DdnnfTest : public ::testing::Test {
+ protected:
+  // Brute-force model count by size from the DNF itself.
+  static Polynomial BruteCount(const Lineage& lineage) {
+    size_t n = lineage.num_variables();
+    std::vector<BigInt> coeffs(n + 1, BigInt(0));
+    for (uint64_t mask = 0; mask < (uint64_t{1} << n); ++mask) {
+      bool satisfied = lineage.certainly_true;
+      for (const auto& clause : lineage.clauses) {
+        bool all = true;
+        for (uint32_t v : clause) {
+          if ((mask & (uint64_t{1} << v)) == 0) {
+            all = false;
+            break;
+          }
+        }
+        if (all) {
+          satisfied = true;
+          break;
+        }
+      }
+      if (satisfied) {
+        coeffs[static_cast<size_t>(__builtin_popcountll(mask))] += 1;
+      }
+    }
+    return Polynomial(std::move(coeffs));
+  }
+
+  static Lineage MakeLineage(size_t num_vars,
+                             std::vector<std::vector<uint32_t>> clauses) {
+    Lineage lineage;
+    auto schema = Schema::Create();
+    RelationId rel = schema->AddRelation("V", 1);
+    for (size_t i = 0; i < num_vars; ++i) {
+      lineage.variables.push_back(
+          Fact(rel, {Constant::Named("v" + std::to_string(i))}));
+    }
+    for (auto& c : clauses) {
+      std::sort(c.begin(), c.end());
+      lineage.clauses.push_back(std::move(c));
+    }
+    return lineage;
+  }
+};
+
+TEST_F(DdnnfTest, SingleClause) {
+  Lineage lineage = MakeLineage(3, {{0, 1}});
+  DdnnfCircuit circuit = CompileDnf(lineage);
+  // Models: x0 ∧ x1, x2 free: sizes 2 and 3, one each... plus x2: counts:
+  // k=2: 1 (x0x1), k=3: 1 (x0x1x2).
+  Polynomial expected = BruteCount(lineage);
+  EXPECT_EQ(circuit.CountBySize(), expected);
+  EXPECT_EQ(circuit.ModelCount(), BigInt(2));
+}
+
+TEST_F(DdnnfTest, IndependentClausesDecompose) {
+  Lineage lineage = MakeLineage(4, {{0}, {1}, {2}, {3}});
+  DdnnfCircuit circuit = CompileDnf(lineage);
+  EXPECT_EQ(circuit.CountBySize(), BruteCount(lineage));
+  // 2^4 - 1 satisfying assignments (any nonempty subset).
+  EXPECT_EQ(circuit.ModelCount(), BigInt(15));
+}
+
+TEST_F(DdnnfTest, RandomDnfsMatchBruteForce) {
+  std::mt19937_64 rng(41);
+  for (int trial = 0; trial < 60; ++trial) {
+    size_t n = 2 + rng() % 9;  // 2..10 variables.
+    size_t m = 1 + rng() % 6;  // 1..6 clauses.
+    std::vector<std::vector<uint32_t>> clauses;
+    for (size_t c = 0; c < m; ++c) {
+      std::vector<uint32_t> clause;
+      for (uint32_t v = 0; v < n; ++v) {
+        if (rng() % 3 == 0) clause.push_back(v);
+      }
+      if (clause.empty()) clause.push_back(static_cast<uint32_t>(rng() % n));
+      clauses.push_back(std::move(clause));
+    }
+    Lineage lineage = MakeLineage(n, std::move(clauses));
+    DdnnfCircuit circuit = CompileDnf(lineage);
+    EXPECT_EQ(circuit.CountBySize(), BruteCount(lineage)) << "trial " << trial;
+  }
+}
+
+TEST_F(DdnnfTest, WeightedModelCountMatchesEnumeration) {
+  std::mt19937_64 rng(43);
+  Lineage lineage = MakeLineage(5, {{0, 1}, {1, 2}, {3, 4}});
+  DdnnfCircuit circuit = CompileDnf(lineage);
+
+  std::vector<BigRational> probs;
+  for (int i = 0; i < 5; ++i) {
+    probs.push_back(BigRational(BigInt(1 + static_cast<int64_t>(rng() % 9)),
+                                BigInt(10)));
+  }
+  // Brute force.
+  BigRational expected(0);
+  for (uint64_t mask = 0; mask < 32; ++mask) {
+    bool sat = false;
+    for (const auto& clause : lineage.clauses) {
+      bool all = true;
+      for (uint32_t v : clause) {
+        if ((mask & (uint64_t{1} << v)) == 0) all = false;
+      }
+      if (all) {
+        sat = true;
+        break;
+      }
+    }
+    if (!sat) continue;
+    BigRational weight(1);
+    for (uint32_t v = 0; v < 5; ++v) {
+      weight *= (mask & (uint64_t{1} << v)) ? probs[v]
+                                            : BigRational(1) - probs[v];
+    }
+    expected += weight;
+  }
+  EXPECT_EQ(circuit.WeightedModelCount(probs), expected);
+}
+
+TEST_F(DdnnfTest, TrueAndFalseCircuits) {
+  Lineage certainly;
+  certainly.certainly_true = true;
+  for (int i = 0; i < 3; ++i) {
+    certainly.variables.push_back(Fact(0, {Constant::Fresh("t")}));
+  }
+  DdnnfCircuit t = CompileDnf(certainly);
+  EXPECT_EQ(t.ModelCount(), BigInt(8));
+  EXPECT_EQ(t.CountBySize(), Polynomial::OnePlusZPower(3));
+
+  Lineage never = MakeLineage(2, {});
+  DdnnfCircuit f = CompileDnf(never);
+  EXPECT_EQ(f.ModelCount(), BigInt(0));
+  EXPECT_TRUE(f.CountBySize().IsZero());
+}
+
+TEST_F(DdnnfTest, CacheKeepsCircuitSmallOnSeriesParallel) {
+  // k independent pairs: circuit should stay tiny thanks to decomposition.
+  std::vector<std::vector<uint32_t>> clauses;
+  for (uint32_t i = 0; i < 10; ++i) clauses.push_back({2 * i, 2 * i + 1});
+  Lineage lineage = MakeLineage(20, std::move(clauses));
+  DdnnfCircuit circuit = CompileDnf(lineage);
+  EXPECT_LT(circuit.size(), 200u);
+  // Count: (3^10 sub-check) total models = 2^20 - 3^10.
+  EXPECT_EQ(circuit.ModelCount(),
+            BigInt::Pow(2, 20) - BigInt::Pow(3, 10));
+}
+
+TEST_F(DdnnfTest, NodeCapEnforced) {
+  std::vector<std::vector<uint32_t>> clauses;
+  // Dense random-ish structure to defeat decomposition.
+  for (uint32_t i = 0; i < 14; ++i) {
+    clauses.push_back({i, (i + 1) % 14, (i + 5) % 14});
+  }
+  Lineage lineage = MakeLineage(14, std::move(clauses));
+  EXPECT_THROW(CompileDnf(lineage, 10), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace shapley

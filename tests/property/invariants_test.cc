@@ -1,0 +1,130 @@
+// Cross-cutting invariants of the problem family, swept over random
+// instances:
+//  * counting monotonicity: promoting a fact from endogenous to exogenous
+//    can only help a monotone query (GMC of the rest cannot drop);
+//  * Shapley values of monotone-query games lie in [0, 1];
+//  * the interpolation stack composed with the lifted engine stays exact
+//    (a fully polynomial FGMC pipeline through probabilities);
+//  * bounded RPQs counted through their UCQ expansion match direct counting.
+
+#include <gtest/gtest.h>
+
+#include "shapley/data/parser.h"
+#include "shapley/engines/fgmc.h"
+#include "shapley/engines/pqe.h"
+#include "shapley/engines/svc.h"
+#include "shapley/gen/generators.h"
+#include "shapley/query/path_query.h"
+#include "shapley/query/query_parser.h"
+#include "shapley/reductions/interpolation.h"
+
+namespace shapley {
+namespace {
+
+TEST(InvariantsTest, ExogenousPromotionOnlyHelpsMonotoneQueries) {
+  auto schema = Schema::Create();
+  UcqPtr q = ParseUcq(schema, "R(x), S(x,y) | T(y)");
+  BruteForceFgmc fgmc;
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    RandomDatabaseOptions options;
+    options.num_facts = 7;
+    options.domain_size = 3;
+    options.exogenous_fraction = 0.0;
+    options.seed = seed + 777;
+    PartitionedDatabase db = RandomPartitionedDatabase(schema, options);
+    if (db.NumEndogenous() == 0) continue;
+
+    Fact promoted = db.endogenous().facts().front();
+    PartitionedDatabase with_fact = db.WithFactMadeExogenous(promoted);
+    PartitionedDatabase without_fact = db.WithEndogenousFactRemoved(promoted);
+    Polynomial helped = fgmc.CountBySize(*q, with_fact);
+    Polynomial alone = fgmc.CountBySize(*q, without_fact);
+    // Per size j, every generalized support without the fact stays one with
+    // it (monotonicity): helped >= alone coefficient-wise.
+    for (size_t j = 0; j <= db.NumEndogenous(); ++j) {
+      EXPECT_GE(helped.Coefficient(j), alone.Coefficient(j))
+          << "seed " << seed << " size " << j;
+    }
+  }
+}
+
+TEST(InvariantsTest, MonotoneShapleyValuesLieInUnitInterval) {
+  auto schema = Schema::Create();
+  CqPtr q = ParseCq(schema, "R(x), S(x,y), T(y)");
+  BruteForceSvc svc;
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    RandomDatabaseOptions options;
+    options.num_facts = 6;
+    options.domain_size = 3;
+    options.exogenous_fraction = 0.3;
+    options.seed = seed + 888;
+    PartitionedDatabase db = RandomPartitionedDatabase(schema, options);
+    for (const auto& [fact, value] : svc.AllValues(*q, db)) {
+      EXPECT_GE(value, BigRational(0)) << "seed " << seed;
+      EXPECT_LE(value, BigRational(1)) << "seed " << seed;
+    }
+  }
+}
+
+TEST(InvariantsTest, FullyPolynomialPipelineThroughProbabilities) {
+  // Lifted PQE (polynomial) -> interpolation (polynomial) = polynomial
+  // FGMC; must equal the lifted counting engine exactly.
+  auto schema = Schema::Create();
+  CqPtr q = ParseCq(schema, "R(a,x), S(x,y)");
+  InterpolationFgmc via_probability(std::make_shared<LiftedPqe>());
+  LiftedFgmc direct;
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    RandomDatabaseOptions options;
+    options.num_facts = 8;
+    options.domain_size = 3;
+    options.exogenous_fraction = 0.25;
+    options.seed = seed + 999;
+    PartitionedDatabase db = RandomPartitionedDatabase(schema, options);
+    db.AddEndogenous(Fact(*schema->FindRelation("R"),
+                          {Constant::Named("a"), Constant::Named("c0")}));
+    EXPECT_EQ(via_probability.CountBySize(*q, db), direct.CountBySize(*q, db))
+        << "seed " << seed;
+  }
+}
+
+TEST(InvariantsTest, BoundedRpqExpansionCountsExactly) {
+  // A bounded RPQ (words <= 2) expanded to a UCQ must count identically to
+  // the RPQ itself — the tractable side of Corollary 4.3 in practice.
+  auto schema = Schema::Create();
+  RpqPtr q = RegularPathQuery::Create(schema, Regex::Parse("A | B C"),
+                                      Constant::Named("v0"),
+                                      Constant::Named("v1"));
+  UcqPtr expanded = q->ExpandToUcq(2);
+  BruteForceFgmc brute;
+  LineageFgmc lineage;
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Database graph = RandomGraph(schema, {"A", "B", "C"}, 3, 0.3, seed + 50);
+    PartitionedDatabase db = PartitionedDatabase::AllEndogenous(graph);
+    if (db.NumEndogenous() > 14) continue;
+    Polynomial direct = brute.CountBySize(*q, db);
+    EXPECT_EQ(brute.CountBySize(*expanded, db), direct) << "seed " << seed;
+    EXPECT_EQ(lineage.CountBySize(*expanded, db), direct) << "seed " << seed;
+  }
+}
+
+TEST(InvariantsTest, SvcInvariantUnderFactOrder) {
+  // Shapley values must not depend on the (internal) order of facts:
+  // rebuild the database with facts inserted in reverse and compare.
+  auto schema = Schema::Create();
+  CqPtr q = ParseCq(schema, "R(x,y), S(y)");
+  PartitionedDatabase db =
+      ParsePartitionedDatabase(schema, "R(a,b) R(c,b) S(b) | R(d,e)");
+  Database endo_reversed(schema);
+  const auto& facts = db.endogenous().facts();
+  for (auto it = facts.rbegin(); it != facts.rend(); ++it) {
+    endo_reversed.Insert(*it);
+  }
+  PartitionedDatabase reversed(endo_reversed, db.exogenous());
+  BruteForceSvc svc;
+  for (const Fact& f : facts) {
+    EXPECT_EQ(svc.Value(*q, db, f), svc.Value(*q, reversed, f));
+  }
+}
+
+}  // namespace
+}  // namespace shapley

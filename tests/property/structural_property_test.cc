@@ -1,0 +1,159 @@
+// Structural-analysis property sweeps on randomly generated CQs:
+//  * IsHierarchical agrees with the paper's footnote-5 characterization
+//    ("not hierarchical iff there are atoms α1, α2, α3 with
+//     vars(α1)∩vars(α2) ⊄ vars(α3) and vars(α3)∩vars(α2) ⊄ vars(α1)");
+//  * satisfaction of a monotone query equals containment of some minimal
+//    support;
+//  * the frozen core is always a minimal support.
+
+#include <gtest/gtest.h>
+
+#include "shapley/analysis/structure.h"
+#include "shapley/gen/generators.h"
+#include "shapley/query/supports.h"
+
+namespace shapley {
+namespace {
+
+// Footnote 5, implemented verbatim as the triple-of-atoms test.
+bool NonHierarchicalByFootnote5(const ConjunctiveQuery& cq) {
+  std::vector<Atom> atoms = cq.atoms();
+  atoms.insert(atoms.end(), cq.negated_atoms().begin(),
+               cq.negated_atoms().end());
+  auto subset = [](const std::set<Variable>& a, const std::set<Variable>& b) {
+    for (Variable v : a) {
+      if (b.count(v) == 0) return false;
+    }
+    return true;
+  };
+  for (const Atom& a1 : atoms) {
+    for (const Atom& a2 : atoms) {
+      for (const Atom& a3 : atoms) {
+        std::set<Variable> v1 = a1.Variables(), v2 = a2.Variables(),
+                           v3 = a3.Variables();
+        std::set<Variable> i12, i32;
+        for (Variable v : v1) {
+          if (v2.count(v)) i12.insert(v);
+        }
+        for (Variable v : v3) {
+          if (v2.count(v)) i32.insert(v);
+        }
+        if (!i12.empty() && !i32.empty() && !subset(i12, v3) &&
+            !subset(i32, v1)) {
+          return true;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+TEST(StructuralPropertyTest, HierarchicalMatchesFootnote5OnRandomCqs) {
+  for (uint64_t seed = 0; seed < 200; ++seed) {
+    auto schema = Schema::Create();
+    RandomCqOptions options;
+    options.num_atoms = 2 + seed % 3;
+    options.num_variables = 2 + seed % 3;
+    options.num_relations = 4;
+    options.max_arity = 3;
+    options.seed = seed;
+    CqPtr q = RandomCq(schema, options);
+    EXPECT_EQ(IsHierarchical(*q), !NonHierarchicalByFootnote5(*q))
+        << "seed " << seed << " query " << q->ToString();
+  }
+}
+
+TEST(StructuralPropertyTest, SatisfactionEqualsMinimalSupportContainment) {
+  for (uint64_t seed = 0; seed < 40; ++seed) {
+    auto schema = Schema::Create();
+    RandomCqOptions cq_options;
+    cq_options.num_atoms = 2;
+    cq_options.num_variables = 2;
+    cq_options.num_relations = 2;
+    cq_options.seed = seed;
+    CqPtr q = RandomCq(schema, cq_options);
+
+    RandomDatabaseOptions db_options;
+    db_options.num_facts = 6;
+    db_options.domain_size = 2;
+    db_options.exogenous_fraction = 0.0;
+    db_options.seed = seed + 1000;
+    Database db = RandomPartitionedDatabase(schema, db_options).AllFacts();
+
+    bool satisfied = q->Evaluate(db);
+    auto supports = EnumerateMinimalSupports(*q, db);
+    bool has_support = false;
+    for (const Database& s : supports) {
+      if (s.IsSubsetOf(db)) has_support = true;
+      EXPECT_TRUE(IsMinimalSupport(*q, s)) << "seed " << seed;
+    }
+    EXPECT_EQ(satisfied, has_support) << "seed " << seed;
+  }
+}
+
+TEST(StructuralPropertyTest, FrozenCoreIsAlwaysAMinimalSupport) {
+  for (uint64_t seed = 0; seed < 60; ++seed) {
+    auto schema = Schema::Create();
+    RandomCqOptions options;
+    options.num_atoms = 2 + seed % 3;
+    options.num_variables = 2 + seed % 2;
+    options.num_relations = 3;
+    options.seed = seed + 7;
+    CqPtr q = RandomCq(schema, options);
+    CqPtr core = CoreOfCq(*q);
+    Database frozen = core->Freeze();
+    EXPECT_TRUE(IsMinimalSupport(*q, frozen))
+        << "seed " << seed << " query " << q->ToString() << " core "
+        << core->ToString();
+  }
+}
+
+TEST(StructuralPropertyTest, CoreIsEquivalentToOriginal) {
+  // q and core(q) satisfy exactly the same databases.
+  for (uint64_t seed = 0; seed < 30; ++seed) {
+    auto schema = Schema::Create();
+    RandomCqOptions options;
+    options.num_atoms = 3;
+    options.num_variables = 2;
+    options.num_relations = 2;
+    options.seed = seed + 77;
+    CqPtr q = RandomCq(schema, options);
+    CqPtr core = CoreOfCq(*q);
+
+    RandomDatabaseOptions db_options;
+    db_options.num_facts = 5;
+    db_options.domain_size = 2;
+    db_options.seed = seed + 2000;
+    for (int inst = 0; inst < 4; ++inst) {
+      db_options.seed += 13;
+      Database db = RandomPartitionedDatabase(schema, db_options).AllFacts();
+      EXPECT_EQ(q->Evaluate(db), core->Evaluate(db))
+          << "seed " << seed << " inst " << inst;
+    }
+  }
+}
+
+TEST(StructuralPropertyTest, VariableConnectedComponentsPartitionAtoms) {
+  for (uint64_t seed = 0; seed < 50; ++seed) {
+    auto schema = Schema::Create();
+    RandomCqOptions options;
+    options.num_atoms = 4;
+    options.num_variables = 3;
+    options.num_relations = 4;
+    options.seed = seed + 99;
+    CqPtr q = RandomCq(schema, options);
+    auto components = VariableConnectedComponents(q->atoms());
+    size_t total = 0;
+    for (const auto& comp : components) total += comp.size();
+    EXPECT_EQ(total, q->atoms().size());
+    // Each component's subquery is variable-connected.
+    for (const auto& comp : components) {
+      std::vector<Atom> atoms;
+      for (size_t i : comp) atoms.push_back(q->atoms()[i]);
+      EXPECT_TRUE(IsVariableConnected(atoms)) << "seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace shapley

@@ -1,0 +1,92 @@
+#include "shapley/query/answers.h"
+
+#include <gtest/gtest.h>
+
+#include "shapley/data/parser.h"
+#include "shapley/engines/svc.h"
+#include "shapley/query/query_parser.h"
+
+namespace shapley {
+namespace {
+
+class AnswersTest : public ::testing::Test {
+ protected:
+  AnswersTest() : schema_(Schema::Create()) {}
+  std::shared_ptr<Schema> schema_;
+};
+
+TEST_F(AnswersTest, EnumerateAnswersProjectsHomomorphisms) {
+  CqPtr q = ParseCq(schema_, "R(x,y), S(y)");
+  Database db = ParseDatabase(schema_, "R(a,b) R(c,b) R(a,d) S(b)");
+  auto answers =
+      EnumerateAnswers(*q, {Variable::Named("x")}, db);
+  // x ∈ {a, c} (only y = b has S(b)).
+  ASSERT_EQ(answers.size(), 2u);
+  EXPECT_EQ(answers[0][0], Constant::Named("a"));
+  EXPECT_EQ(answers[1][0], Constant::Named("c"));
+}
+
+TEST_F(AnswersTest, TwoFreeVariables) {
+  CqPtr q = ParseCq(schema_, "R(x,y)");
+  Database db = ParseDatabase(schema_, "R(a,b) R(c,d)");
+  auto answers = EnumerateAnswers(
+      *q, {Variable::Named("x"), Variable::Named("y")}, db);
+  EXPECT_EQ(answers.size(), 2u);
+}
+
+TEST_F(AnswersTest, NegationBlocksAnswers) {
+  CqPtr q = ParseCq(schema_, "A(x), !B(x)");
+  Database db = ParseDatabase(schema_, "A(a) A(c) B(a)");
+  auto answers = EnumerateAnswers(*q, {Variable::Named("x")}, db);
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_EQ(answers[0][0], Constant::Named("c"));
+}
+
+TEST_F(AnswersTest, UnknownFreeVariableThrows) {
+  CqPtr q = ParseCq(schema_, "R(x,y)");
+  Database db = ParseDatabase(schema_, "R(a,b)");
+  EXPECT_THROW(EnumerateAnswers(*q, {Variable::Named("z")}, db),
+               std::invalid_argument);
+  EXPECT_THROW(BooleanizeForAnswer(*q, {Variable::Named("z")},
+                                   {Constant::Named("a")}),
+               std::invalid_argument);
+}
+
+TEST_F(AnswersTest, BooleanizeSubstitutesAnswerConstants) {
+  CqPtr q = ParseCq(schema_, "R(x,y), S(y)");
+  CqPtr boolq = BooleanizeForAnswer(*q, {Variable::Named("x")},
+                                    {Constant::Named("a")});
+  // The Booleanized query now carries the constant 'a' (Remark 3.1: this
+  // is why constants in queries matter).
+  EXPECT_EQ(boolq->QueryConstants().size(), 1u);
+  EXPECT_TRUE(boolq->Evaluate(ParseDatabase(schema_, "R(a,b) S(b)")));
+  EXPECT_FALSE(boolq->Evaluate(ParseDatabase(schema_, "R(c,b) S(b)")));
+}
+
+TEST_F(AnswersTest, ArityMismatchThrows) {
+  CqPtr q = ParseCq(schema_, "R(x,y)");
+  EXPECT_THROW(
+      BooleanizeForAnswer(*q, {Variable::Named("x")},
+                          {Constant::Named("a"), Constant::Named("b")}),
+      std::invalid_argument);
+}
+
+TEST_F(AnswersTest, PerAnswerShapleyValues) {
+  // Remark 3.1 end to end: the contribution of a fact differs per answer.
+  CqPtr q = ParseCq(schema_, "R(x,y), S(y)");
+  PartitionedDatabase db =
+      ParsePartitionedDatabase(schema_, "R(a,b) R(c,b) S(b)");
+  BruteForceSvc svc;
+  Fact ra = ParseFact(schema_, "R(a,b)");
+
+  CqPtr for_a = BooleanizeForAnswer(*q, {Variable::Named("x")},
+                                    {Constant::Named("a")});
+  CqPtr for_c = BooleanizeForAnswer(*q, {Variable::Named("x")},
+                                    {Constant::Named("c")});
+  // R(a,b) is essential for answer a, useless for answer c.
+  EXPECT_GT(svc.Value(*for_a, db, ra), BigRational(0));
+  EXPECT_EQ(svc.Value(*for_c, db, ra), BigRational(0));
+}
+
+}  // namespace
+}  // namespace shapley

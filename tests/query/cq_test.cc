@@ -1,0 +1,133 @@
+#include "shapley/query/conjunctive_query.h"
+
+#include <gtest/gtest.h>
+
+#include "shapley/data/parser.h"
+#include "shapley/query/conjunction_query.h"
+#include "shapley/query/query_parser.h"
+#include "shapley/query/union_query.h"
+
+namespace shapley {
+namespace {
+
+class CqTest : public ::testing::Test {
+ protected:
+  CqTest() : schema_(Schema::Create()) {}
+  std::shared_ptr<Schema> schema_;
+};
+
+TEST_F(CqTest, ParserTermConvention) {
+  CqPtr q = ParseCq(schema_, "R(x, a), S(a, y1)");
+  ASSERT_EQ(q->atoms().size(), 2u);
+  EXPECT_TRUE(q->atoms()[0].terms()[0].IsVariable());
+  EXPECT_TRUE(q->atoms()[0].terms()[1].IsConstant());
+  EXPECT_TRUE(q->atoms()[1].terms()[1].IsVariable());
+  EXPECT_EQ(q->Variables().size(), 2u);
+  EXPECT_EQ(q->QueryConstants().size(), 1u);
+}
+
+TEST_F(CqTest, ParserForcedMarkers) {
+  CqPtr q = ParseCq(schema_, "R(?a, $x)");
+  EXPECT_TRUE(q->atoms()[0].terms()[0].IsVariable());
+  EXPECT_EQ(q->atoms()[0].terms()[0].variable().name(), "a");
+  EXPECT_TRUE(q->atoms()[0].terms()[1].IsConstant());
+  EXPECT_EQ(q->atoms()[0].terms()[1].constant().name(), "x");
+}
+
+TEST_F(CqTest, EvaluateSimpleJoin) {
+  CqPtr q = ParseCq(schema_, "R(x,y), S(y)");
+  EXPECT_TRUE(q->Evaluate(ParseDatabase(schema_, "R(a,b) S(b)")));
+  EXPECT_FALSE(q->Evaluate(ParseDatabase(schema_, "R(a,b) S(a)")));
+  EXPECT_FALSE(q->Evaluate(ParseDatabase(schema_, "R(a,b)")));
+}
+
+TEST_F(CqTest, EvaluateWithConstants) {
+  CqPtr q = ParseCq(schema_, "R(a, x)");
+  EXPECT_TRUE(q->Evaluate(ParseDatabase(schema_, "R(a,b)")));
+  EXPECT_FALSE(q->Evaluate(ParseDatabase(schema_, "R(b,a)")));
+}
+
+TEST_F(CqTest, EvaluateSelfJoinAndRepeatedVariable) {
+  CqPtr loop = ParseCq(schema_, "E(x,x)");
+  EXPECT_TRUE(loop->Evaluate(ParseDatabase(schema_, "E(a,a)")));
+  EXPECT_FALSE(loop->Evaluate(ParseDatabase(schema_, "E(a,b) E(b,a)")));
+
+  CqPtr two_step = ParseCq(schema_, "E(x,y), E(y,z)");
+  EXPECT_TRUE(two_step->Evaluate(ParseDatabase(schema_, "E(a,b) E(b,c)")));
+  EXPECT_TRUE(two_step->Evaluate(ParseDatabase(schema_, "E(a,a)")));
+  EXPECT_FALSE(two_step->Evaluate(ParseDatabase(schema_, "E(a,b) E(c,d)")));
+}
+
+TEST_F(CqTest, EmptyQueryIsTrue) {
+  CqPtr top = ConjunctiveQuery::Create(schema_, {});
+  EXPECT_TRUE(top->Evaluate(ParseDatabase(schema_, "")));
+}
+
+TEST_F(CqTest, NegationSafeAndEvaluated) {
+  CqPtr q = ParseCq(schema_, "A(x), !S(x,y), B(y)");
+  EXPECT_TRUE(q->HasNegation());
+  EXPECT_FALSE(q->IsMonotone());
+  // A(a), B(b), no S(a,b): satisfied.
+  EXPECT_TRUE(q->Evaluate(ParseDatabase(schema_, "A(a) B(b)")));
+  // S(a,b) blocks the only match.
+  EXPECT_FALSE(q->Evaluate(ParseDatabase(schema_, "A(a) B(b) S(a,b)")));
+  // Another b' escapes the block.
+  EXPECT_TRUE(q->Evaluate(ParseDatabase(schema_, "A(a) B(b) B(c) S(a,b)")));
+}
+
+TEST_F(CqTest, UnsafeNegationRejected) {
+  EXPECT_THROW(ParseCq(schema_, "A(x), !S(x,y)"), std::invalid_argument);
+}
+
+TEST_F(CqTest, SubstituteReplacesVariable) {
+  CqPtr q = ParseCq(schema_, "R(x,y), S(y)");
+  CqPtr q2 = q->Substitute(Variable::Named("y"), Constant::Named("k"));
+  EXPECT_TRUE(q2->Evaluate(ParseDatabase(schema_, "R(a,k) S(k)")));
+  EXPECT_FALSE(q2->Evaluate(ParseDatabase(schema_, "R(a,b) S(b)")));
+  EXPECT_EQ(q2->Variables().size(), 1u);
+}
+
+TEST_F(CqTest, FreezeProducesCanonicalDatabase) {
+  CqPtr q = ParseCq(schema_, "R(x,y), S(y,c0)");
+  Assignment frozen;
+  Database db = q->Freeze(&frozen);
+  EXPECT_EQ(db.size(), 2u);
+  EXPECT_TRUE(q->Evaluate(db));
+  EXPECT_EQ(frozen.size(), 2u);
+  // The query constant survives verbatim.
+  EXPECT_TRUE(db.Constants().count(Constant::Named("c0")));
+}
+
+TEST_F(CqTest, UnionQueryEvaluation) {
+  UcqPtr q = ParseUcq(schema_, "R(x,x) | S(x), T(x)");
+  EXPECT_TRUE(q->Evaluate(ParseDatabase(schema_, "R(a,a)")));
+  EXPECT_TRUE(q->Evaluate(ParseDatabase(schema_, "S(b) T(b)")));
+  EXPECT_FALSE(q->Evaluate(ParseDatabase(schema_, "S(b) T(c)")));
+  EXPECT_EQ(q->disjuncts().size(), 2u);
+  EXPECT_TRUE(q->IsConstantFree());
+  EXPECT_TRUE(q->IsPositive());
+}
+
+TEST_F(CqTest, ConjunctionQueryEvaluation) {
+  QueryPtr q = ConjunctionQuery::Create(ParseCq(schema_, "R(x,x)"),
+                                        ParseCq(schema_, "S(y)"));
+  EXPECT_TRUE(q->Evaluate(ParseDatabase(schema_, "R(a,a) S(b)")));
+  EXPECT_FALSE(q->Evaluate(ParseDatabase(schema_, "R(a,a)")));
+  EXPECT_FALSE(q->Evaluate(ParseDatabase(schema_, "S(b)")));
+}
+
+TEST_F(CqTest, ParserErrors) {
+  EXPECT_THROW(ParseCq(schema_, ""), std::invalid_argument);
+  EXPECT_THROW(ParseCq(schema_, "R(x,y) | S(x)"), std::invalid_argument);
+  EXPECT_THROW(ParseCq(schema_, "R(x"), std::invalid_argument);
+  EXPECT_THROW(ParseUcq(schema_, "R(x,y) |"), std::invalid_argument);
+}
+
+TEST_F(CqTest, ToStringRoundTripReadable) {
+  CqPtr q = ParseCq(schema_, "R(x,a), !S(x,x)");
+  EXPECT_NE(q->ToString().find("R(x,a)"), std::string::npos);
+  EXPECT_NE(q->ToString().find("¬S(x,x)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace shapley

@@ -1,0 +1,139 @@
+#include "shapley/query/path_query.h"
+
+#include <gtest/gtest.h>
+
+#include "shapley/data/parser.h"
+
+namespace shapley {
+namespace {
+
+class PathQueryTest : public ::testing::Test {
+ protected:
+  PathQueryTest() : schema_(Schema::Create()) {}
+
+  RpqPtr Rpq(const std::string& regex, const std::string& src,
+             const std::string& dst) {
+    return RegularPathQuery::Create(schema_, Regex::Parse(regex),
+                                    Constant::Named(src), Constant::Named(dst));
+  }
+
+  std::shared_ptr<Schema> schema_;
+};
+
+TEST_F(PathQueryTest, SimplePathReachability) {
+  RpqPtr q = Rpq("A B", "s", "t");
+  EXPECT_TRUE(q->Evaluate(ParseDatabase(schema_, "A(s,m) B(m,t)")));
+  EXPECT_FALSE(q->Evaluate(ParseDatabase(schema_, "A(s,m) B(t,m)")));
+  EXPECT_FALSE(q->Evaluate(ParseDatabase(schema_, "B(s,m) A(m,t)")));
+}
+
+TEST_F(PathQueryTest, StarTraversesCycles) {
+  RpqPtr q = Rpq("A*", "s", "t");
+  EXPECT_TRUE(q->Evaluate(ParseDatabase(schema_, "A(s,x1) A(x1,x2) A(x2,t)")));
+  // Epsilon at same endpoint.
+  RpqPtr loop = Rpq("A*", "s", "s");
+  EXPECT_TRUE(loop->Evaluate(ParseDatabase(schema_, "")));
+  // Through a cycle back to s.
+  EXPECT_TRUE(q->Evaluate(ParseDatabase(schema_, "A(s,u) A(u,s) A(s,t)")));
+}
+
+TEST_F(PathQueryTest, EpsilonNeedsSameEndpoints) {
+  RpqPtr q = Rpq("A?", "s", "t");
+  EXPECT_FALSE(q->Evaluate(ParseDatabase(schema_, "B(s,t)")));
+  EXPECT_TRUE(q->Evaluate(ParseDatabase(schema_, "A(s,t)")));
+  RpqPtr same = Rpq("A?", "s", "s");
+  EXPECT_TRUE(same->Evaluate(ParseDatabase(schema_, "B(u,w)")));
+}
+
+TEST_F(PathQueryTest, ReuseOfEdgesAcrossStates) {
+  // The word AA can traverse the same edge twice on a self-loop.
+  RpqPtr q = Rpq("A A", "s", "s");
+  EXPECT_TRUE(q->Evaluate(ParseDatabase(schema_, "A(s,s)")));
+  EXPECT_FALSE(q->Evaluate(ParseDatabase(schema_, "A(s,u)")));
+}
+
+TEST_F(PathQueryTest, RpqExpandToUcq) {
+  RpqPtr q = Rpq("A | B C", "s", "t");
+  UcqPtr ucq = q->ExpandToUcq(2);
+  EXPECT_EQ(ucq->disjuncts().size(), 2u);
+  Database d1 = ParseDatabase(schema_, "A(s,t)");
+  Database d2 = ParseDatabase(schema_, "B(s,m) C(m,t)");
+  Database d3 = ParseDatabase(schema_, "B(s,m) C(u,t)");
+  EXPECT_EQ(q->Evaluate(d1), ucq->Evaluate(d1));
+  EXPECT_EQ(q->Evaluate(d2), ucq->Evaluate(d2));
+  EXPECT_EQ(q->Evaluate(d3), ucq->Evaluate(d3));
+  EXPECT_TRUE(ucq->Evaluate(d2));
+  EXPECT_FALSE(ucq->Evaluate(d3));
+}
+
+TEST_F(PathQueryTest, RpqExpansionEpsilonDisjunct) {
+  RpqPtr same = Rpq("A?", "s", "s");
+  UcqPtr ucq = same->ExpandToUcq(1);
+  // Contains the always-true empty disjunct.
+  EXPECT_TRUE(ucq->Evaluate(ParseDatabase(schema_, "")));
+}
+
+TEST_F(PathQueryTest, CrpqJoinOnVariable) {
+  // [A](x,y) ∧ [B](y,c): some A-edge into a node with a B-edge to c.
+  std::vector<PathAtom> atoms;
+  atoms.push_back({Regex::Parse("A"), Term(Variable::Named("x")),
+                   Term(Variable::Named("y"))});
+  atoms.push_back({Regex::Parse("B"), Term(Variable::Named("y")),
+                   Term(Constant::Named("c"))});
+  CrpqPtr q = ConjunctiveRegularPathQuery::Create(schema_, std::move(atoms));
+  EXPECT_TRUE(q->Evaluate(ParseDatabase(schema_, "A(u,m) B(m,c)")));
+  EXPECT_FALSE(q->Evaluate(ParseDatabase(schema_, "A(u,m) B(n,c)")));
+  EXPECT_EQ(q->Variables().size(), 2u);
+  EXPECT_TRUE(q->IsSelfJoinFree());
+}
+
+TEST_F(PathQueryTest, CrpqSelfJoinDetection) {
+  std::vector<PathAtom> atoms;
+  atoms.push_back({Regex::Parse("A B"), Term(Variable::Named("x")),
+                   Term(Variable::Named("y"))});
+  atoms.push_back({Regex::Parse("B C"), Term(Variable::Named("y")),
+                   Term(Variable::Named("z"))});
+  CrpqPtr q = ConjunctiveRegularPathQuery::Create(schema_, std::move(atoms));
+  EXPECT_FALSE(q->IsSelfJoinFree());
+}
+
+TEST_F(PathQueryTest, CrpqExpandToUcqMatchesSemantics) {
+  std::vector<PathAtom> atoms;
+  atoms.push_back({Regex::Parse("A | B"), Term(Variable::Named("x")),
+                   Term(Constant::Named("d"))});
+  CrpqPtr q = ConjunctiveRegularPathQuery::Create(schema_, std::move(atoms));
+  UcqPtr ucq = q->ExpandToUcq(1);
+  EXPECT_EQ(ucq->disjuncts().size(), 2u);
+  for (const char* db_text : {"A(u,d)", "B(u,d)", "A(d,u)", ""}) {
+    Database db = ParseDatabase(schema_, db_text);
+    EXPECT_EQ(q->Evaluate(db), ucq->Evaluate(db)) << db_text;
+  }
+}
+
+TEST_F(PathQueryTest, UnionCrpqEvaluation) {
+  std::vector<PathAtom> a1, a2;
+  a1.push_back({Regex::Parse("A"), Term(Constant::Named("s")),
+                Term(Variable::Named("x"))});
+  a2.push_back({Regex::Parse("B"), Term(Constant::Named("s")),
+                Term(Variable::Named("x"))});
+  UcrpqPtr q = UnionCrpq::Create(
+      {ConjunctiveRegularPathQuery::Create(schema_, std::move(a1)),
+       ConjunctiveRegularPathQuery::Create(schema_, std::move(a2))});
+  EXPECT_TRUE(q->Evaluate(ParseDatabase(schema_, "A(s,u)")));
+  EXPECT_TRUE(q->Evaluate(ParseDatabase(schema_, "B(s,u)")));
+  EXPECT_FALSE(q->Evaluate(ParseDatabase(schema_, "A(u,s)")));
+}
+
+TEST_F(PathQueryTest, PaperLeakExampleQuery) {
+  // q = ∃x [AB + BA](x, a): satisfied by {A(b,d), B(d,a)}.
+  std::vector<PathAtom> atoms;
+  atoms.push_back({Regex::Parse("A B | B A"), Term(Variable::Named("x")),
+                   Term(Constant::Named("a"))});
+  CrpqPtr q = ConjunctiveRegularPathQuery::Create(schema_, std::move(atoms));
+  EXPECT_TRUE(q->Evaluate(ParseDatabase(schema_, "A(b,d) B(d,a)")));
+  EXPECT_TRUE(q->Evaluate(ParseDatabase(schema_, "B(b,d) A(d,a)")));
+  EXPECT_FALSE(q->Evaluate(ParseDatabase(schema_, "A(b,d) B(a,d)")));
+}
+
+}  // namespace
+}  // namespace shapley

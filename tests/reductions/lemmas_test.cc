@@ -1,0 +1,359 @@
+#include "shapley/reductions/lemmas.h"
+
+#include <gtest/gtest.h>
+
+#include "shapley/data/parser.h"
+#include "shapley/gen/generators.h"
+#include "shapley/query/path_query.h"
+#include "shapley/query/query_parser.h"
+#include "shapley/reductions/interpolation.h"
+
+namespace shapley {
+namespace {
+
+// The reductions are validated end to end: FGMC computed through an SVC
+// oracle (itself brute force) must equal brute-force FGMC, on every instance.
+class LemmasTest : public ::testing::Test {
+ protected:
+  BruteForceFgmc brute_fgmc_;
+  BruteForceSvc svc_oracle_;
+};
+
+TEST_F(LemmasTest, Lemma41ConnectedCq) {
+  auto schema = Schema::Create();
+  CqPtr q = ParseCq(schema, "R(x,y), S(y,z)");
+  auto witness = CertifyPseudoConnected(*q);
+  ASSERT_TRUE(witness.has_value());
+
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    RandomDatabaseOptions options;
+    options.num_facts = 6;
+    options.domain_size = 3;
+    options.exogenous_fraction = 0.25;
+    options.seed = seed + 40;
+    PartitionedDatabase db = RandomPartitionedDatabase(schema, options);
+    PascalStats stats;
+    Polynomial via_svc =
+        FgmcViaSvcLemma41(*q, *witness, db, svc_oracle_, &stats);
+    EXPECT_EQ(via_svc, brute_fgmc_.CountBySize(*q, db)) << "seed " << seed;
+    if (!q->Evaluate(db.exogenous())) {
+      // The construction makes exactly |Dn|+1 oracle calls.
+      EXPECT_EQ(stats.oracle_calls, db.NumEndogenous() + 1);
+    }
+  }
+}
+
+TEST_F(LemmasTest, Lemma41ConnectedUcq) {
+  auto schema = Schema::Create();
+  UcqPtr q = ParseUcq(schema, "R(x,y), S(y,z) | T(x,y)");
+  auto witness = CertifyPseudoConnected(*q);
+  ASSERT_TRUE(witness.has_value());
+
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    RandomDatabaseOptions options;
+    options.num_facts = 6;
+    options.domain_size = 3;
+    options.exogenous_fraction = 0.2;
+    options.seed = seed + 60;
+    PartitionedDatabase db = RandomPartitionedDatabase(schema, options);
+    Polynomial via_svc = FgmcViaSvcLemma41(*q, *witness, db, svc_oracle_);
+    EXPECT_EQ(via_svc, brute_fgmc_.CountBySize(*q, db)) << "seed " << seed;
+  }
+}
+
+TEST_F(LemmasTest, Lemma41RpqViaIslandPath) {
+  auto schema = Schema::Create();
+  RpqPtr q = RegularPathQuery::Create(schema, Regex::Parse("A A A"),
+                                      Constant::Named("s"),
+                                      Constant::Named("t"));
+  auto witness = CertifyPseudoConnected(*q);
+  ASSERT_TRUE(witness.has_value());
+
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Database graph = PathGraph(schema, "A", 3, 0.25, seed + 3);
+    PartitionedDatabase db = PartitionedDatabase::AllEndogenous(graph);
+    if (db.NumEndogenous() > 9) continue;
+    Polynomial via_svc = FgmcViaSvcLemma41(*q, *witness, db, svc_oracle_);
+    EXPECT_EQ(via_svc, brute_fgmc_.CountBySize(*q, db)) << "seed " << seed;
+  }
+}
+
+TEST_F(LemmasTest, Lemma41DssQuery) {
+  // A(x) ∨ (R(x,c) ∧ S(c,x)): duplicable singleton support A(·).
+  auto schema = Schema::Create();
+  UcqPtr q = ParseUcq(schema, "A(x) | R(x,c), S(c,x)");
+  auto witness = CertifyPseudoConnected(*q);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_EQ(witness->island_support.size(), 1u);
+
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    RandomDatabaseOptions options;
+    options.num_facts = 6;
+    options.domain_size = 3;
+    options.exogenous_fraction = 0.3;
+    options.seed = seed + 70;
+    PartitionedDatabase db = RandomPartitionedDatabase(schema, options);
+    Polynomial via_svc = FgmcViaSvcLemma41(*q, *witness, db, svc_oracle_);
+    EXPECT_EQ(via_svc, brute_fgmc_.CountBySize(*q, db)) << "seed " << seed;
+  }
+}
+
+TEST_F(LemmasTest, Lemma41TrivialWhenExogenousSatisfies) {
+  auto schema = Schema::Create();
+  CqPtr q = ParseCq(schema, "R(x,y), S(y,z)");
+  auto witness = CertifyPseudoConnected(*q);
+  ASSERT_TRUE(witness.has_value());
+  PartitionedDatabase db =
+      ParsePartitionedDatabase(schema, "R(u,u) | R(a,b) S(b,c)");
+  Polynomial counts = FgmcViaSvcLemma41(*q, *witness, db, svc_oracle_);
+  EXPECT_EQ(counts, Polynomial::OnePlusZPower(1));
+}
+
+TEST_F(LemmasTest, Lemma62PurelyEndogenous) {
+  // R(x,y), S(y,z): frozen core has unshared constants (x and z frozen).
+  auto schema = Schema::Create();
+  CqPtr q = ParseCq(schema, "R(x,y), S(y,z)");
+  auto witness = CertifyPseudoConnected(*q);
+  ASSERT_TRUE(witness.has_value());
+
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    RandomDatabaseOptions options;
+    options.num_facts = 6;
+    options.domain_size = 3;
+    options.exogenous_fraction = 0.0;
+    options.seed = seed + 80;
+    PartitionedDatabase db = RandomPartitionedDatabase(schema, options);
+    Polynomial via_svcn =
+        FmcViaSvcnLemma62(*q, *witness, db.endogenous(), svc_oracle_);
+    EXPECT_EQ(via_svcn, brute_fgmc_.CountBySize(*q, db)) << "seed " << seed;
+  }
+}
+
+TEST_F(LemmasTest, Lemma43NonHierarchicalSjfCq) {
+  // The canonical hard query R(x), S(x,y), T(y), with a disconnected extra
+  // atom U(w) so that q_full ≠ q_vc and S' is nonempty.
+  auto schema = Schema::Create();
+  CqPtr q_full = ParseCq(schema, "R(x), S(x,y), T(y), U(w)");
+
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    RandomDatabaseOptions options;
+    options.num_facts = 6;
+    options.domain_size = 2;
+    options.exogenous_fraction = 0.2;
+    options.seed = seed + 90;
+    PartitionedDatabase db = RandomPartitionedDatabase(schema, options);
+    CqPtr counted;
+    PascalStats stats;
+    Polynomial via_svc =
+        FgmcViaSvcLemma43(*q_full, 0, db, svc_oracle_, &stats, &counted);
+    ASSERT_NE(counted, nullptr);
+    EXPECT_EQ(counted->atoms().size(), 3u);  // R, S, T.
+    EXPECT_EQ(via_svc, brute_fgmc_.CountBySize(*counted, db))
+        << "seed " << seed;
+    EXPECT_EQ(stats.oracle_calls, db.NumEndogenous() + 1);
+  }
+}
+
+TEST_F(LemmasTest, Lemma43ConstantFreeSelfJoinCq) {
+  // Constant-free with self-joins across components: R(x,y),R(y,x),P(u,w).
+  auto schema = Schema::Create();
+  CqPtr q_full = ParseCq(schema, "R(x,y), R(y,x), P(u,w)");
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    RandomDatabaseOptions options;
+    options.num_facts = 6;
+    options.domain_size = 2;
+    options.exogenous_fraction = 0.2;
+    options.seed = seed + 110;
+    PartitionedDatabase db = RandomPartitionedDatabase(schema, options);
+    CqPtr counted;
+    Polynomial via_svc =
+        FgmcViaSvcLemma43(*q_full, 0, db, svc_oracle_, nullptr, &counted);
+    EXPECT_EQ(via_svc, brute_fgmc_.CountBySize(*counted, db))
+        << "seed " << seed;
+  }
+}
+
+TEST_F(LemmasTest, Lemma44DecomposableCq) {
+  auto schema = Schema::Create();
+  CqPtr q = ParseCq(schema, "R(x,y), S(u,w)");
+  auto decomposition = FindDecomposition(*q);
+  ASSERT_TRUE(decomposition.has_value());
+
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    RandomDatabaseOptions options;
+    options.num_facts = 7;
+    options.domain_size = 3;
+    options.exogenous_fraction = 0.25;
+    options.seed = seed + 120;
+    PartitionedDatabase db = RandomPartitionedDatabase(schema, options);
+    Polynomial via_svc =
+        FgmcViaSvcLemma44(*q, *decomposition, db, svc_oracle_);
+    EXPECT_EQ(via_svc, brute_fgmc_.CountBySize(*q, db)) << "seed " << seed;
+  }
+}
+
+TEST_F(LemmasTest, Lemma44DecomposableCrpq) {
+  auto schema = Schema::Create();
+  std::vector<PathAtom> atoms;
+  atoms.push_back({Regex::Parse("A B"), Term(Variable::Named("x")),
+                   Term(Variable::Named("y"))});
+  atoms.push_back({Regex::Parse("C"), Term(Variable::Named("u")),
+                   Term(Variable::Named("w"))});
+  CrpqPtr q = ConjunctiveRegularPathQuery::Create(schema, std::move(atoms));
+  auto decomposition = FindDecomposition(*q);
+  ASSERT_TRUE(decomposition.has_value());
+
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    Database graph = RandomGraph(schema, {"A", "B", "C"}, 3, 0.2, seed + 17);
+    PartitionedDatabase db = PartitionedDatabase::AllEndogenous(graph);
+    if (db.NumEndogenous() > 9) continue;
+    Polynomial via_svc =
+        FgmcViaSvcLemma44(*q, *decomposition, db, svc_oracle_);
+    EXPECT_EQ(via_svc, brute_fgmc_.CountBySize(*q, db)) << "seed " << seed;
+  }
+}
+
+TEST_F(LemmasTest, Lemma61ExponentialInExogenousOnly) {
+  auto schema = Schema::Create();
+  CqPtr q = ParseCq(schema, "R(x,y), S(y)");
+  PartitionedDatabase db = ParsePartitionedDatabase(
+      schema, "R(a,b) R(c,b) S(d) | S(b) R(a,d)");
+  ASSERT_EQ(db.exogenous().size(), 2u);
+
+  BruteForceFgmc fmc_oracle;
+  size_t calls = 0;
+  Polynomial via_fmc = FgmcViaFmcLemma61(*q, db, fmc_oracle, &calls);
+  EXPECT_EQ(via_fmc, brute_fgmc_.CountBySize(*q, db));
+  EXPECT_EQ(calls, 4u);  // 2^k with k = 2.
+}
+
+TEST_F(LemmasTest, Prop62MaxSvcOracleSuffices) {
+  auto schema = Schema::Create();
+  CqPtr q = ParseCq(schema, "R(x,y), S(y,z)");
+  auto witness = CertifyPseudoConnected(*q);
+  ASSERT_TRUE(witness.has_value());
+
+  BruteForceSvc svc;
+  MaxSvcOracle max_oracle = [&svc](const BooleanQuery& query,
+                                   const PartitionedDatabase& db) {
+    return svc.MaxValue(query, db).second;
+  };
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    RandomDatabaseOptions options;
+    options.num_facts = 5;
+    options.domain_size = 3;
+    options.exogenous_fraction = 0.2;
+    options.seed = seed + 130;
+    PartitionedDatabase db = RandomPartitionedDatabase(schema, options);
+    Polynomial via_max = FgmcViaMaxSvcProp62(*q, *witness, db, max_oracle);
+    EXPECT_EQ(via_max, brute_fgmc_.CountBySize(*q, db)) << "seed " << seed;
+  }
+}
+
+TEST_F(LemmasTest, Prop63ConstantsReduction) {
+  auto schema = Schema::Create();
+  CqPtr q = ParseCq(schema, "R(x,y), S(y,z)");
+  SvcConstOracle oracle = [&q](const Database& db,
+                               const ConstantPartition& partition,
+                               Constant player) {
+    return SvcConstBruteForce(*q, db, partition, player);
+  };
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    RandomDatabaseOptions options;
+    options.num_facts = 6;
+    options.domain_size = 4;
+    options.exogenous_fraction = 0.0;
+    options.seed = seed + 140;
+    PartitionedDatabase pdb = RandomPartitionedDatabase(schema, options);
+    Database db = pdb.AllFacts();
+    // Half the constants endogenous, half exogenous.
+    ConstantPartition partition;
+    size_t index = 0;
+    for (Constant c : db.Constants()) {
+      if (index++ % 2 == 0) {
+        partition.endogenous.insert(c);
+      } else {
+        partition.exogenous.insert(c);
+      }
+    }
+    if (partition.endogenous.empty()) continue;
+    Polynomial via_svc =
+        FgmcConstViaSvcConstProp63(*q, db, partition, oracle);
+    EXPECT_EQ(via_svc, FgmcConstBySize(*q, db, partition)) << "seed " << seed;
+  }
+}
+
+TEST_F(LemmasTest, NegationD2SjfCqNeg) {
+  // q = A(x), S(x,y), B(y), !N(x,y), !G(c0): variable-connected positive
+  // part; one covered negated atom; one ground negated blocker.
+  auto schema = Schema::Create();
+  CqPtr q = ParseCq(schema, "A(x), S(x,y), B(y), !N(x,y), !G(c0)");
+
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    RandomDatabaseOptions options;
+    options.num_facts = 6;
+    options.domain_size = 2;
+    options.exogenous_fraction = 0.2;
+    options.seed = seed + 150;
+    PartitionedDatabase db = RandomPartitionedDatabase(schema, options);
+    CqPtr counted;
+    Polynomial via_svc =
+        FgmcViaSvcNegationD2(*q, 0, db, svc_oracle_, nullptr, &counted);
+    ASSERT_NE(counted, nullptr);
+    EXPECT_EQ(via_svc, brute_fgmc_.CountBySize(*counted, db))
+        << "seed " << seed;
+  }
+}
+
+TEST_F(LemmasTest, NegationD2UncoveredNegationsDrop) {
+  // Negated atom across components is dropped from the counted query.
+  auto schema = Schema::Create();
+  CqPtr q = ParseCq(schema, "A(x), B(y), !N(x), P(y,u)");
+  // Components: {A(x)} and {B(y), P(y,u)}; !N(x) covered by first only.
+  CqPtr counted;
+  PartitionedDatabase db = ParsePartitionedDatabase(schema, "A(c0) N(c0)");
+  Polynomial via_svc =
+      FgmcViaSvcNegationD2(*q, 1, db, svc_oracle_, nullptr, &counted);
+  ASSERT_NE(counted, nullptr);
+  EXPECT_FALSE(counted->HasNegation());  // !N(x) not covered by component 1.
+  EXPECT_EQ(via_svc, brute_fgmc_.CountBySize(*counted, db));
+}
+
+TEST_F(LemmasTest, FullCircleSvcToSvc) {
+  // SVC ≤ FGMC ≤ SPPQE (forward, Prop 3.3) composed with
+  // FGMC ≤ SVC (backward, Lemma 4.1): a Shapley value computed through the
+  // entire reduction stack must match direct brute force.
+  auto schema = Schema::Create();
+  CqPtr q = ParseCq(schema, "R(x,y), S(y,z)");
+  auto witness = CertifyPseudoConnected(*q);
+  ASSERT_TRUE(witness.has_value());
+
+  // FGMC oracle implemented through the Lemma 4.1 SVC reduction.
+  class Lemma41Fgmc : public FgmcEngine {
+   public:
+    Lemma41Fgmc(const BooleanQuery* q, const PseudoConnectednessWitness* w)
+        : q_(q), w_(w) {}
+    std::string name() const override { return "fgmc-via-svc(lemma41)"; }
+    Polynomial CountBySize(const BooleanQuery& query,
+                           const PartitionedDatabase& db) override {
+      (void)query;
+      return FgmcViaSvcLemma41(*q_, *w_, db, inner_);
+    }
+    const BooleanQuery* q_;
+    const PseudoConnectednessWitness* w_;
+    BruteForceSvc inner_;
+  };
+
+  auto fgmc_via_svc = std::make_shared<Lemma41Fgmc>(q.get(), &*witness);
+  SvcViaFgmc full_circle(fgmc_via_svc);
+
+  PartitionedDatabase db =
+      ParsePartitionedDatabase(schema, "R(a,b) S(b,c) R(d,b) | S(b,e)");
+  BruteForceSvc direct;
+  for (const Fact& f : db.endogenous().facts()) {
+    EXPECT_EQ(full_circle.Value(*q, db, f), direct.Value(*q, db, f));
+  }
+}
+
+}  // namespace
+}  // namespace shapley

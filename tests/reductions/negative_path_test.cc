@@ -1,0 +1,138 @@
+// Negative-path tests for the reductions: hypothesis violations must be
+// rejected loudly (with std::invalid_argument), never silently miscounted.
+
+#include <gtest/gtest.h>
+
+#include "shapley/analysis/witnesses.h"
+#include "shapley/common/macros.h"
+#include "shapley/data/parser.h"
+#include "shapley/engines/svc.h"
+#include "shapley/gen/generators.h"
+#include "shapley/query/query_parser.h"
+#include "shapley/reductions/lemmas.h"
+
+namespace shapley {
+namespace {
+
+class NegativePathTest : public ::testing::Test {
+ protected:
+  BruteForceSvc oracle_;
+};
+
+TEST_F(NegativePathTest, Lemma43RejectsConstantsWithSelfJoins) {
+  // Neither self-join-free nor constant-free: leak-freeness cannot be
+  // certified, so the wrapper must refuse.
+  auto schema = Schema::Create();
+  CqPtr q = ParseCq(schema, "R(x,a), R(y,x)");
+  PartitionedDatabase db = ParsePartitionedDatabase(schema, "R(b,a)");
+  EXPECT_THROW(FgmcViaSvcLemma43(*q, 0, db, oracle_), std::invalid_argument);
+}
+
+TEST_F(NegativePathTest, Lemma43RejectsNegation) {
+  auto schema = Schema::Create();
+  CqPtr q = ParseCq(schema, "A(x), !B(x)");
+  PartitionedDatabase db = ParsePartitionedDatabase(schema, "A(a)");
+  EXPECT_THROW(FgmcViaSvcLemma43(*q, 0, db, oracle_), std::invalid_argument);
+}
+
+TEST_F(NegativePathTest, Lemma43RejectsOutOfRangeComponent) {
+  auto schema = Schema::Create();
+  CqPtr q = ParseCq(schema, "R(x), S(x,y)");
+  PartitionedDatabase db = ParsePartitionedDatabase(schema, "R(a)");
+  EXPECT_THROW(FgmcViaSvcLemma43(*q, 5, db, oracle_), std::invalid_argument);
+}
+
+TEST_F(NegativePathTest, Lemma44RejectsSharedVocabulary) {
+  auto schema = Schema::Create();
+  CqPtr q = ParseCq(schema, "R(x,y), R(u,w)");
+  // Hand-build an (invalid) decomposition sharing the relation R.
+  Decomposition bad;
+  bad.q1 = ParseCq(schema, "R(x,y)");
+  bad.q2 = ParseCq(schema, "R(u,w)");
+  PartitionedDatabase db = ParsePartitionedDatabase(schema, "R(a,b)");
+  EXPECT_THROW(FgmcViaSvcLemma44(*q, bad, db, oracle_), std::invalid_argument);
+}
+
+TEST_F(NegativePathTest, Lemma62RequiresUnsharedConstant) {
+  // A query whose island support has every constant in two facts:
+  // R(x,y), S(y,x) — frozen core is {R(f1,f2), S(f2,f1)}; both constants
+  // occur in both facts, so the Lemma 6.2 hypothesis fails.
+  auto schema = Schema::Create();
+  CqPtr q = ParseCq(schema, "R(x,y), S(y,x)");
+  auto witness = CertifyPseudoConnected(*q);
+  ASSERT_TRUE(witness.has_value());
+  Database endo = ParseDatabase(schema, "R(a,b) S(b,a)");
+  EXPECT_THROW(FmcViaSvcnLemma62(*q, *witness, endo, oracle_),
+               std::invalid_argument);
+}
+
+TEST_F(NegativePathTest, Prop63RejectsEndogenousQueryConstants) {
+  auto schema = Schema::Create();
+  CqPtr q = ParseCq(schema, "Keyword(y, $shap)");
+  Database db = ParseDatabase(schema, "Keyword(p1, shap)");
+  ConstantPartition partition;
+  partition.endogenous = {Constant::Named("shap"), Constant::Named("p1")};
+  SvcConstOracle oracle = [](const Database&, const ConstantPartition&,
+                             Constant) { return BigRational(0); };
+  EXPECT_THROW(FgmcConstViaSvcConstProp63(*q, db, partition, oracle),
+               std::invalid_argument);
+}
+
+TEST_F(NegativePathTest, Prop63RejectsNonMonotone) {
+  auto schema = Schema::Create();
+  CqPtr q = ParseCq(schema, "A(x), !B(x)");
+  Database db = ParseDatabase(schema, "A(a)");
+  ConstantPartition partition;
+  partition.endogenous = {Constant::Named("a")};
+  SvcConstOracle oracle = [](const Database&, const ConstantPartition&,
+                             Constant) { return BigRational(0); };
+  EXPECT_THROW(FgmcConstViaSvcConstProp63(*q, db, partition, oracle),
+               std::invalid_argument);
+}
+
+TEST_F(NegativePathTest, NegationD2RejectsSelfJoins) {
+  auto schema = Schema::Create();
+  CqPtr q = ParseCq(schema, "A(x), A(y), !B(x)");
+  PartitionedDatabase db = ParsePartitionedDatabase(schema, "A(a)");
+  EXPECT_THROW(FgmcViaSvcNegationD2(*q, 0, db, oracle_),
+               std::invalid_argument);
+}
+
+TEST_F(NegativePathTest, NegationD2RejectsNegatedRelationReuse) {
+  auto schema = Schema::Create();
+  CqPtr q = ParseCq(schema, "A(x), S(x,y), !A(y)");
+  PartitionedDatabase db = ParsePartitionedDatabase(schema, "A(a) S(a,b)");
+  EXPECT_THROW(FgmcViaSvcNegationD2(*q, 0, db, oracle_),
+               std::invalid_argument);
+}
+
+TEST_F(NegativePathTest, NegationD2BlockerInExogenousMeansZero) {
+  // A ground negated atom sitting in Dx falsifies the query everywhere.
+  auto schema = Schema::Create();
+  CqPtr q = ParseCq(schema, "A(x), S(x,y), B(y), !G(c0)");
+  PartitionedDatabase db =
+      ParsePartitionedDatabase(schema, "A(c1) S(c1,c2) B(c2) | G(c0)");
+  Polynomial counts = FgmcViaSvcNegationD2(*q, 0, db, oracle_);
+  EXPECT_TRUE(counts.IsZero());
+}
+
+TEST_F(NegativePathTest, PascalSpecValidatesSupportDisjointness) {
+  // The support must be renamed away from the base database first; the
+  // runner checks and refuses overlapping constructions.
+  auto schema = Schema::Create();
+  CqPtr q = ParseCq(schema, "R(x,y)");
+  PartitionedDatabase db = ParsePartitionedDatabase(schema, "R(a,b)");
+  PascalSpec spec;
+  spec.oracle_query = q.get();
+  spec.base = db;
+  spec.exogenous_extra = Database(schema);
+  spec.s0 = ParseDatabase(schema, "R(a,b)");  // Overlaps the base!
+  spec.s_minus = Database(schema);
+  spec.mu = ParseFact(schema, "R(a,b)");
+  spec.duplicated = Constant::Named("a");
+  spec.blockers = Database(schema);
+  EXPECT_THROW(RunPascalReduction(spec, oracle_), InternalError);
+}
+
+}  // namespace
+}  // namespace shapley
