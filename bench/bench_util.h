@@ -2,10 +2,14 @@
 #define SHAPLEY_BENCH_BENCH_UTIL_H_
 
 #include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <variant>
 #include <vector>
 
 namespace shapley::bench {
@@ -72,6 +76,105 @@ inline void Banner(const std::string& title) {
 }
 
 inline std::string PassFail(bool ok) { return ok ? "ok" : "** FAIL **"; }
+
+/// Machine-readable benchmark output: rows of string/number metrics,
+/// written as a JSON array of flat objects when the bench was invoked with
+/// `--json out.json` (a no-op sink otherwise, so instrumenting costs one
+/// line per row). The driver-side perf trajectory (BENCH_*.json) consumes
+/// this format.
+///
+///   JsonReporter json = JsonReporter::FromArgs(argc, argv, "my_bench");
+///   json.Row({{"name", "case1"}, {"ms", 12.5}, {"threads", 4.0}});
+///   ...
+///   json.Write();  // Also called by the destructor.
+class JsonReporter {
+ public:
+  using Value = std::variant<double, std::string>;
+  using Row_t = std::vector<std::pair<std::string, Value>>;
+
+  /// Scans argv for "--json PATH" (or "--json=PATH"). Unrelated arguments
+  /// are ignored, so this composes with a bench's own flag handling.
+  static JsonReporter FromArgs(int argc, char** argv,
+                               std::string bench_name) {
+    JsonReporter reporter(std::move(bench_name));
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--json" && i + 1 < argc) {
+        reporter.path_ = argv[i + 1];
+      } else if (arg.rfind("--json=", 0) == 0) {
+        reporter.path_ = arg.substr(7);
+      }
+    }
+    return reporter;
+  }
+
+  explicit JsonReporter(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+  ~JsonReporter() { Write(); }
+
+  JsonReporter(JsonReporter&&) = default;
+  JsonReporter& operator=(JsonReporter&&) = default;
+
+  bool enabled() const { return !path_.empty(); }
+
+  void Row(Row_t row) {
+    if (enabled()) rows_.push_back(std::move(row));
+  }
+
+  /// Writes the collected rows; idempotent (subsequent calls are no-ops).
+  void Write() {
+    if (!enabled() || written_) return;
+    written_ = true;
+    std::ofstream out(path_);
+    if (!out) {
+      std::cerr << "warning: cannot write --json file " << path_ << "\n";
+      return;
+    }
+    out << "{\"bench\": \"" << Escaped(bench_name_) << "\", \"rows\": [";
+    for (size_t r = 0; r < rows_.size(); ++r) {
+      out << (r == 0 ? "\n" : ",\n") << "  {";
+      for (size_t c = 0; c < rows_[r].size(); ++c) {
+        if (c > 0) out << ", ";
+        out << '"' << Escaped(rows_[r][c].first) << "\": ";
+        if (const auto* num = std::get_if<double>(&rows_[r][c].second)) {
+          std::ostringstream os;  // Full precision, no trailing padding.
+          os << std::setprecision(15) << *num;
+          out << os.str();
+        } else {
+          out << '"' << Escaped(std::get<std::string>(rows_[r][c].second))
+              << '"';
+        }
+      }
+      out << "}";
+    }
+    out << "\n]}\n";
+    std::cout << "wrote " << rows_.size() << " rows to " << path_ << "\n";
+  }
+
+ private:
+  static std::string Escaped(const std::string& s) {
+    std::string out;
+    for (char ch : s) {
+      if (ch == '"' || ch == '\\') {
+        out += '\\';
+        out += ch;
+      } else if (static_cast<unsigned char>(ch) < 0x20) {
+        // RFC 8259: control characters must be escaped.
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+        out += buf;
+      } else {
+        out += ch;
+      }
+    }
+    return out;
+  }
+
+  std::string bench_name_;
+  std::string path_;
+  std::vector<Row_t> rows_;
+  bool written_ = false;
+};
 
 }  // namespace shapley::bench
 

@@ -6,21 +6,32 @@
 //   example_cli classify  '<ucq>'
 //   example_cli eval      '<ucq>' '<db>'
 //   example_cli count     '<ucq>' '<db>'
-//   example_cli values    '<ucq>' '<db>'
-//   example_cli max       '<ucq>' '<db>'
+//   example_cli values    '<ucq>' '<db>' [--threads N] [--engine E]
+//   example_cli max       '<ucq>' '<db>' [--threads N] [--engine E]
 //
 // Database syntax: "R(a,b) S(b,c) | T(d)" — facts after '|' are exogenous.
 // Query syntax:    "R(x,y), S(y,z) | T(x)" — '|' separates disjuncts,
 //                  '!' negates an atom, u..z-initial identifiers are
 //                  variables ('?v' forces a variable, '$c' a constant).
+//
+// values/max run through the exec batch runtime: --threads N fans the
+// per-fact work across N pool threads (default 1 = serial), and --engine
+// picks the SVC engine: 'brute' (default; any query class), 'lifted'
+// (hierarchical sjf-CQ only) or 'ddnnf' (monotone queries). Execution
+// stats go to stderr.
 
+#include <algorithm>
+#include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "shapley/analysis/classifier.h"
 #include "shapley/data/parser.h"
 #include "shapley/engines/fgmc.h"
 #include "shapley/engines/svc.h"
+#include "shapley/exec/batch_runner.h"
 #include "shapley/query/query_parser.h"
 
 namespace {
@@ -28,21 +39,55 @@ namespace {
 int Usage() {
   std::cerr
       << "usage: example_cli classify '<query>'\n"
-      << "       example_cli eval|count|values|max '<query>' '<database>'\n"
-      << "e.g.:  example_cli values 'R(x,y), S(y)' 'R(a,b) R(c,b) | S(b)'\n";
+      << "       example_cli eval|count '<query>' '<database>'\n"
+      << "       example_cli values|max '<query>' '<database>'\n"
+      << "                   [--threads N] [--engine brute|lifted|ddnnf]\n"
+      << "e.g.:  example_cli values 'R(x,y), S(y)' 'R(a,b) R(c,b) | S(b)' "
+         "--threads 4\n";
   return 2;
+}
+
+std::shared_ptr<shapley::SvcEngine> MakeEngine(const std::string& name) {
+  using namespace shapley;
+  if (name == "brute") return std::make_shared<BruteForceSvc>();
+  if (name == "lifted") {
+    return std::make_shared<SvcViaFgmc>(std::make_shared<LiftedFgmc>());
+  }
+  if (name == "ddnnf") {
+    return std::make_shared<SvcViaFgmc>(std::make_shared<LineageFgmc>());
+  }
+  throw std::invalid_argument("unknown --engine '" + name +
+                              "' (expected brute, lifted or ddnnf)");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace shapley;
-  if (argc < 3) return Usage();
-  const std::string command = argv[1];
+
+  // Split flags from positional arguments.
+  std::vector<std::string> args;
+  size_t threads = 1;
+  std::string engine_name = "brute";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads" && i + 1 < argc) {
+      // Clamp to [1, 64]: negative/garbage falls back to serial, and an
+      // oversized request must not exhaust the machine's thread limit.
+      const long requested = std::atol(argv[++i]);
+      threads = requested < 1 ? 1 : std::min<long>(requested, 64);
+    } else if (arg == "--engine" && i + 1 < argc) {
+      engine_name = argv[++i];
+    } else {
+      args.push_back(arg);
+    }
+  }
+  if (args.size() < 2) return Usage();
+  const std::string command = args[0];
 
   try {
     auto schema = Schema::Create();
-    UcqPtr parsed = ParseUcq(schema, argv[2]);
+    UcqPtr parsed = ParseUcq(schema, args[1]);
     QueryPtr query = parsed->disjuncts().size() == 1
                          ? QueryPtr(parsed->disjuncts()[0])
                          : QueryPtr(parsed);
@@ -51,8 +96,8 @@ int main(int argc, char** argv) {
       std::cout << ToString(ClassifySvcComplexity(*query)) << "\n";
       return 0;
     }
-    if (argc < 4) return Usage();
-    PartitionedDatabase db = ParsePartitionedDatabase(schema, argv[3]);
+    if (args.size() < 3) return Usage();
+    PartitionedDatabase db = ParsePartitionedDatabase(schema, args[2]);
 
     if (command == "eval") {
       bool full = query->Evaluate(db.AllFacts());
@@ -68,18 +113,24 @@ int main(int argc, char** argv) {
                 << "GMC total:    " << counts.SumOfCoefficients() << "\n";
       return 0;
     }
-    if (command == "values") {
-      BruteForceSvc svc;
-      for (const auto& [fact, value] : svc.AllValues(*query, db)) {
+    if (command == "values" || command == "max") {
+      BatchOptions options;
+      options.threads = threads;
+      BatchSvcRunner runner(MakeEngine(engine_name), options);
+      std::vector<BatchInstance> batch{{query, db}};
+      if (command == "values") {
+        auto results = runner.AllValues(batch);
+        for (const auto& [fact, value] : results[0]) {
+          std::cout << fact.ToString(*schema) << " = " << value.ToString()
+                    << "  (~" << value.ToDouble() << ")\n";
+        }
+      } else {
+        auto [fact, value] = runner.MaxValues(batch)[0];
         std::cout << fact.ToString(*schema) << " = " << value.ToString()
-                  << "  (~" << value.ToDouble() << ")\n";
+                  << "\n";
       }
-      return 0;
-    }
-    if (command == "max") {
-      BruteForceSvc svc;
-      auto [fact, value] = svc.MaxValue(*query, db);
-      std::cout << fact.ToString(*schema) << " = " << value.ToString() << "\n";
+      std::cerr << "exec: engine=" << runner.engine().name() << " "
+                << runner.last_stats().ToString() << "\n";
       return 0;
     }
     return Usage();

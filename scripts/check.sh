@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Single CI entry point: configure, build, run the test suite, and run one
+# fast benchmark (with its bit-identical self-check) as a smoke test of the
+# exec runtime. Usage: scripts/check.sh [build-dir]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+echo "== configure =="
+cmake -B "$build_dir" -S "$repo_root"
+
+echo "== build =="
+cmake --build "$build_dir" -j "$jobs"
+
+echo "== test =="
+ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
+
+echo "== bench (fast: small instances, JSON to $build_dir/bench_parallel_scaling.json) =="
+"$build_dir/bench_parallel_scaling" --facts-k 20 --brute-k 5 \
+    --json "$build_dir/bench_parallel_scaling.json"
+
+echo "== check.sh: all green =="

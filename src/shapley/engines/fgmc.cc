@@ -4,6 +4,7 @@
 
 #include "shapley/common/macros.h"
 #include "shapley/engines/lifted.h"
+#include "shapley/exec/oracle_cache.h"
 #include "shapley/lineage/ddnnf.h"
 #include "shapley/lineage/lineage.h"
 
@@ -31,6 +32,10 @@ Polynomial BruteForceFgmc::CountBySize(const BooleanQuery& query,
 
 Polynomial LineageFgmc::CountBySize(const BooleanQuery& query,
                                     const PartitionedDatabase& db) {
+  if (circuit_cache_ != nullptr) {
+    return circuit_cache_->Circuit(query, db, support_cap_, node_cap_)
+        ->CountBySize();
+  }
   Lineage lineage = BuildLineage(query, db, support_cap_);
   DdnnfCircuit circuit = CompileDnf(lineage, node_cap_);
   return circuit.CountBySize();

@@ -54,6 +54,8 @@ class BruteForceFgmc : public FgmcEngine {
                          const PartitionedDatabase& db) override;
 };
 
+class OracleCache;
+
 /// Lineage + knowledge compilation: builds the minimal-support DNF, compiles
 /// it to decision-DNNF and reads off the stratified model count. Monotone
 /// queries only; exact for arbitrary lineage (worst case exponential only
@@ -67,9 +69,14 @@ class LineageFgmc : public FgmcEngine {
   Polynomial CountBySize(const BooleanQuery& query,
                          const PartitionedDatabase& db) override;
 
+  /// Shares compiled d-DNNF circuits through `cache` (thread-safe; the
+  /// caller keeps ownership). Null restores uncached compilation.
+  void set_circuit_cache(OracleCache* cache) { circuit_cache_ = cache; }
+
  private:
   size_t support_cap_;
   size_t node_cap_;
+  OracleCache* circuit_cache_ = nullptr;
 };
 
 /// Safe-plan lifted counting for hierarchical self-join-free CQs — the

@@ -1,11 +1,15 @@
 #include "shapley/engines/svc.h"
 
+#include <algorithm>
+#include <mutex>
 #include <stdexcept>
 #include <vector>
 
 #include "shapley/arith/factorial.h"
 #include "shapley/common/macros.h"
 #include "shapley/engines/game.h"
+#include "shapley/exec/oracle_cache.h"
+#include "shapley/exec/thread_pool.h"
 
 namespace shapley {
 
@@ -34,21 +38,28 @@ std::pair<Fact, BigRational> SvcEngine::MaxValue(const BooleanQuery& query,
 namespace {
 
 // Precomputes the satisfaction of every world mask over Dn (with Dx always
-// present). Shared across all facts for AllValues.
+// present). Shared across all facts for AllValues; mask ranges are
+// independent, so the table fills in parallel chunks when a pool is given.
 std::vector<char> SatisfactionTable(const BooleanQuery& query,
-                                    const PartitionedDatabase& db) {
+                                    const PartitionedDatabase& db,
+                                    ThreadPool* pool) {
   const auto& endo = db.endogenous().facts();
   const size_t n = endo.size();
   if (n > 25) {
     throw std::invalid_argument("BruteForceSvc: more than 25 endogenous facts");
   }
   std::vector<char> table(size_t{1} << n);
-  for (uint64_t mask = 0; mask < table.size(); ++mask) {
+  auto evaluate = [&](size_t mask) {
     Database world = db.exogenous();
     for (size_t i = 0; i < n; ++i) {
       if (mask & (uint64_t{1} << i)) world.Insert(endo[i]);
     }
     table[mask] = query.Evaluate(world) ? 1 : 0;
+  };
+  if (pool != nullptr && pool->num_threads() > 1 && table.size() >= 2048) {
+    pool->ParallelFor(0, table.size(), evaluate, /*grain=*/512);
+  } else {
+    for (uint64_t mask = 0; mask < table.size(); ++mask) evaluate(mask);
   }
   return table;
 }
@@ -61,13 +72,32 @@ size_t IndexOfFact(const PartitionedDatabase& db, const Fact& fact) {
   throw std::invalid_argument("SVC: fact is not endogenous in the database");
 }
 
+// Σ_j j!(n−j−1)!·delta_at(j) / n! — the Shapley-weighted sum of per-size
+// marginal counts, accumulated as one integer numerator over the common
+// denominator n! (a single rational normalization instead of one per size).
+template <typename DeltaAt>
+BigRational WeightedMarginalSum(size_t n, const DeltaAt& delta_at) {
+  BigInt numerator(0);
+  for (size_t j = 0; j + 1 <= n; ++j) {
+    BigInt delta = delta_at(j);
+    if (delta.IsZero()) continue;
+    // Copy before the next Factorial call: the memo table may grow and
+    // reallocate, invalidating the returned reference.
+    BigInt weight = Factorial(j);
+    weight *= Factorial(n - j - 1);
+    weight *= delta;
+    numerator += weight;
+  }
+  return BigRational(std::move(numerator), Factorial(n));
+}
+
 }  // namespace
 
 BigRational BruteForceSvc::Value(const BooleanQuery& query,
                                  const PartitionedDatabase& db,
                                  const Fact& fact) {
   size_t player = IndexOfFact(db, fact);
-  std::vector<char> table = SatisfactionTable(query, db);
+  std::vector<char> table = SatisfactionTable(query, db, exec_.pool);
   return ShapleyValueBySubsets(
       db.NumEndogenous(),
       [&table](uint64_t mask) { return table[mask] != 0; }, player);
@@ -75,12 +105,69 @@ BigRational BruteForceSvc::Value(const BooleanQuery& query,
 
 std::map<Fact, BigRational> BruteForceSvc::AllValues(
     const BooleanQuery& query, const PartitionedDatabase& db) {
-  std::vector<char> table = SatisfactionTable(query, db);
-  BinaryWealth wealth = [&table](uint64_t mask) { return table[mask] != 0; };
-  std::map<Fact, BigRational> values;
   const auto& endo = db.endogenous().facts();
-  for (size_t i = 0; i < endo.size(); ++i) {
-    values.emplace(endo[i], ShapleyValueBySubsets(endo.size(), wealth, i));
+  const size_t n = endo.size();
+  std::map<Fact, BigRational> values;
+  if (n == 0) return values;
+
+  std::vector<char> table = SatisfactionTable(query, db, exec_.pool);
+  const uint64_t num_masks = uint64_t{1} << n;
+
+  // One tallying sweep shared across all facts: every coalition B and
+  // player p ∉ B classifies the marginal v(B ∪ {p}) − v(B) into a
+  // per-(player, |B|) plus/minus counter — n·2^n integer increments, with
+  // the exact rational Shapley weights entering only once per (player,
+  // size) afterwards. Counters fit in uint64 (≤ C(n−1, b) ≤ 2^24 at the
+  // n ≤ 25 brute-force limit). The mask range chunks freely across threads
+  // with one local tally per chunk.
+  const size_t cells = n * n;
+  std::vector<uint64_t> plus(cells, 0), minus(cells, 0);
+  std::mutex merge_mutex;
+
+  auto sweep = [&](uint64_t mask_begin, uint64_t mask_end,
+                   std::vector<uint64_t>& local_plus,
+                   std::vector<uint64_t>& local_minus) {
+    for (uint64_t mask = mask_begin; mask < mask_end; ++mask) {
+      const char v = table[mask];
+      const size_t b = static_cast<size_t>(__builtin_popcountll(mask));
+      for (size_t p = 0; p < n; ++p) {
+        const uint64_t bit = uint64_t{1} << p;
+        if (mask & bit) continue;
+        const char vp = table[mask | bit];
+        if (vp > v) {
+          ++local_plus[p * n + b];
+        } else if (vp < v) {
+          ++local_minus[p * n + b];
+        }
+      }
+    }
+  };
+
+  ThreadPool* pool = exec_.pool;
+  if (pool != nullptr && pool->num_threads() > 1 && num_masks >= 4096) {
+    const uint64_t num_chunks =
+        std::min<uint64_t>(num_masks / 2048, 8 * pool->num_threads());
+    const uint64_t chunk = (num_masks + num_chunks - 1) / num_chunks;
+    pool->ParallelFor(0, static_cast<size_t>(num_chunks), [&](size_t c) {
+      std::vector<uint64_t> local_plus(cells, 0), local_minus(cells, 0);
+      const uint64_t lo = c * chunk;
+      const uint64_t hi = std::min(num_masks, lo + chunk);
+      sweep(lo, hi, local_plus, local_minus);
+      std::lock_guard<std::mutex> lock(merge_mutex);
+      for (size_t i = 0; i < cells; ++i) {
+        plus[i] += local_plus[i];
+        minus[i] += local_minus[i];
+      }
+    });
+  } else {
+    sweep(0, num_masks, plus, minus);
+  }
+
+  for (size_t p = 0; p < n; ++p) {
+    values.emplace(endo[p], WeightedMarginalSum(n, [&](size_t b) {
+      return BigInt(static_cast<int64_t>(plus[p * n + b])) -
+             BigInt(static_cast<int64_t>(minus[p * n + b]));
+    }));
   }
   return values;
 }
@@ -89,10 +176,19 @@ BigRational PermutationSvc::Value(const BooleanQuery& query,
                                   const PartitionedDatabase& db,
                                   const Fact& fact) {
   size_t player = IndexOfFact(db, fact);
-  std::vector<char> table = SatisfactionTable(query, db);
+  std::vector<char> table = SatisfactionTable(query, db, exec_.pool);
   return ShapleyValueByPermutations(
       db.NumEndogenous(),
       [&table](uint64_t mask) { return table[mask] != 0; }, player);
+}
+
+Polynomial SvcViaFgmc::Count(const BooleanQuery& query,
+                             const PartitionedDatabase& db) {
+  oracle_calls_.fetch_add(1, std::memory_order_relaxed);
+  if (exec_.cache != nullptr) {
+    return exec_.cache->CountBySize(*oracle_, query, db);
+  }
+  return oracle_->CountBySize(query, db);
 }
 
 BigRational SvcViaFgmc::Value(const BooleanQuery& query,
@@ -106,9 +202,8 @@ BigRational SvcViaFgmc::Value(const BooleanQuery& query,
   // present vs μ removed.
   PartitionedDatabase with_mu = db.WithFactMadeExogenous(fact);
   PartitionedDatabase without_mu = db.WithEndogenousFactRemoved(fact);
-  Polynomial counts_with = oracle_->CountBySize(query, with_mu);
-  Polynomial counts_without = oracle_->CountBySize(query, without_mu);
-  oracle_calls_ += 2;
+  Polynomial counts_with = Count(query, with_mu);
+  Polynomial counts_without = Count(query, without_mu);
 
   BigRational value(0);
   for (size_t j = 0; j + 1 <= n; ++j) {
@@ -117,6 +212,41 @@ BigRational SvcViaFgmc::Value(const BooleanQuery& query,
     value += ShapleyWeight(n, j) * BigRational(delta);
   }
   return value;
+}
+
+std::map<Fact, BigRational> SvcViaFgmc::AllValues(
+    const BooleanQuery& query, const PartitionedDatabase& db) {
+  const auto& endo = db.endogenous().facts();
+  const size_t n = endo.size();
+  std::map<Fact, BigRational> values;
+  if (n == 0) return values;
+
+  // Shared compilation (see the class comment): with the full-database
+  // polynomial F computed once, the per-fact "μ made exogenous" count is
+  //   FGMC_j(Dn\{μ}, Dx∪{μ}) = F[j+1] − FGMC_{j+1}(Dn\{μ}, Dx),
+  // an exact integer identity, so each fact costs one oracle call (plus
+  // coefficient arithmetic) and the values match Value() bit for bit.
+  Polynomial full = Count(query, db);
+
+  std::vector<BigRational> results(n);
+  auto per_fact = [&](size_t i) {
+    Polynomial without =
+        Count(query, db.WithEndogenousFactRemoved(endo[i]));
+    results[i] = WeightedMarginalSum(n, [&](size_t j) {
+      BigInt with_j = full.Coefficient(j + 1) - without.Coefficient(j + 1);
+      return with_j - without.Coefficient(j);
+    });
+  };
+
+  if (exec_.pool != nullptr && exec_.pool->num_threads() > 1 && n > 1) {
+    exec_.pool->ParallelFor(0, n, per_fact);
+  } else {
+    for (size_t i = 0; i < n; ++i) per_fact(i);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    values.emplace(endo[i], std::move(results[i]));
+  }
+  return values;
 }
 
 }  // namespace shapley

@@ -1,6 +1,7 @@
 #ifndef SHAPLEY_ENGINES_SVC_H_
 #define SHAPLEY_ENGINES_SVC_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <string>
@@ -9,6 +10,7 @@
 #include "shapley/arith/big_rational.h"
 #include "shapley/data/partitioned_database.h"
 #include "shapley/engines/fgmc.h"
+#include "shapley/exec/exec_context.h"
 #include "shapley/query/boolean_query.h"
 
 namespace shapley {
@@ -35,11 +37,24 @@ class SvcEngine {
   /// together with that value. Requires a nonempty Dn.
   virtual std::pair<Fact, BigRational> MaxValue(const BooleanQuery& query,
                                                 const PartitionedDatabase& db);
+
+  /// Installs shared execution resources (a thread pool to fan AllValues
+  /// work across, an oracle cache to reuse counting work). Engines fall
+  /// back to serial, uncached execution on null members and must return
+  /// identical values either way. The installer keeps ownership and the
+  /// resources must outlive every engine call that uses them.
+  void set_exec_context(const ExecContext& context) { exec_ = context; }
+  const ExecContext& exec_context() const { return exec_; }
+
+ protected:
+  ExecContext exec_;
 };
 
 /// Exhaustive subset-formula evaluation (Equation 2), 2^|Dn| query
 /// evaluations shared across all facts. Works for every query type
-/// (including CQ¬). Requires |Dn| <= 25.
+/// (including CQ¬). Requires |Dn| <= 25. AllValues shares one satisfaction
+/// table and one tallying sweep across all facts, chunked across the
+/// exec-context pool when one is installed.
 class BruteForceSvc : public SvcEngine {
  public:
   std::string name() const override { return "brute-force"; }
@@ -64,6 +79,14 @@ class PermutationSvc : public SvcEngine {
 /// with C_j = j!(|Dn|−j−1)!/|Dn|!. Two FGMC oracle calls per fact; with the
 /// lifted FGMC engine this is the polynomial-time algorithm for
 /// hierarchical sjf-CQs (the tractable side of [Livshits et al. 2021]).
+///
+/// AllValues collapses the reduction further: splitting every generalized
+/// support of the *full* database on whether it contains μ gives
+///   FGMC_j(Dn, Dx) = FGMC_{j-1}(Dn\{μ}, Dx∪{μ}) + FGMC_j(Dn\{μ}, Dx),
+/// so one shared full-database count replaces the per-fact "μ exogenous"
+/// call: 1 + |Dn| oracle calls for a whole instance instead of 2|Dn|.
+/// Oracle calls go through the exec-context cache when one is installed,
+/// and facts fan out across the exec-context pool.
 class SvcViaFgmc : public SvcEngine {
  public:
   explicit SvcViaFgmc(std::shared_ptr<FgmcEngine> oracle)
@@ -74,13 +97,22 @@ class SvcViaFgmc : public SvcEngine {
   }
   BigRational Value(const BooleanQuery& query, const PartitionedDatabase& db,
                     const Fact& fact) override;
+  std::map<Fact, BigRational> AllValues(const BooleanQuery& query,
+                                        const PartitionedDatabase& db) override;
 
-  /// Number of FGMC oracle calls made so far (reduction bookkeeping).
-  size_t oracle_calls() const { return oracle_calls_; }
+  /// Number of FGMC oracle requests made so far (reduction bookkeeping;
+  /// cache hits count — they are requests the reduction needed).
+  size_t oracle_calls() const { return oracle_calls_.load(); }
+
+  /// The FGMC oracle backing the reduction.
+  const std::shared_ptr<FgmcEngine>& oracle() const { return oracle_; }
 
  private:
+  /// One oracle request, through the cache when installed.
+  Polynomial Count(const BooleanQuery& query, const PartitionedDatabase& db);
+
   std::shared_ptr<FgmcEngine> oracle_;
-  size_t oracle_calls_ = 0;
+  std::atomic<size_t> oracle_calls_{0};
 };
 
 }  // namespace shapley

@@ -1,0 +1,123 @@
+#include "shapley/exec/batch_runner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+namespace shapley {
+
+std::string ExecStats::ToString() const {
+  std::ostringstream os;
+  os << "instances=" << instances << " facts=" << facts
+     << " threads=" << threads << " tasks=" << tasks
+     << " oracle_calls=" << oracle_calls << " cache_hits=" << cache_hits
+     << " cache_misses=" << cache_misses << " wall_ms=" << wall_ms;
+  return os.str();
+}
+
+std::string ExecStats::ToJson() const {
+  std::ostringstream os;
+  os << "{\"instances\": " << instances << ", \"facts\": " << facts
+     << ", \"threads\": " << threads << ", \"tasks\": " << tasks
+     << ", \"oracle_calls\": " << oracle_calls
+     << ", \"cache_hits\": " << cache_hits
+     << ", \"cache_misses\": " << cache_misses
+     << ", \"wall_ms\": " << wall_ms << "}";
+  return os.str();
+}
+
+BatchSvcRunner::BatchSvcRunner(std::shared_ptr<SvcEngine> engine,
+                               BatchOptions options)
+    : engine_(std::move(engine)) {
+  size_t threads = options.threads;
+  if (threads == 0) {
+    threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
+  if (options.use_cache) {
+    cache_ = std::make_unique<OracleCache>(options.cache_max_entries);
+  }
+}
+
+BatchSvcRunner::~BatchSvcRunner() = default;
+
+namespace {
+
+// Uninstalls the shared resources from the engine (and its d-DNNF oracle,
+// when it has one) on scope exit, so the engine never outlives a pool or
+// cache it points at — also on the exception path.
+struct ContextGuard {
+  SvcEngine& engine;
+  LineageFgmc* lineage_oracle;
+  ~ContextGuard() {
+    engine.set_exec_context(ExecContext{});
+    if (lineage_oracle != nullptr) lineage_oracle->set_circuit_cache(nullptr);
+  }
+};
+
+}  // namespace
+
+template <typename Result, typename PerInstance>
+std::vector<Result> BatchSvcRunner::Run(const std::vector<BatchInstance>& batch,
+                                        const PerInstance& per_instance) {
+  const auto start = std::chrono::steady_clock::now();
+  const size_t base_tasks = pool_ != nullptr ? pool_->tasks_executed() : 0;
+  const size_t base_hits = cache_ != nullptr ? cache_->hits() : 0;
+  const size_t base_misses = cache_ != nullptr ? cache_->misses() : 0;
+  auto* via_fgmc = dynamic_cast<SvcViaFgmc*>(engine_.get());
+  const size_t base_oracle = via_fgmc != nullptr ? via_fgmc->oracle_calls() : 0;
+
+  engine_->set_exec_context(ExecContext{pool_.get(), cache_.get()});
+  // A d-DNNF-backed oracle additionally shares its compiled circuits.
+  LineageFgmc* lineage_oracle =
+      via_fgmc != nullptr
+          ? dynamic_cast<LineageFgmc*>(via_fgmc->oracle().get())
+          : nullptr;
+  if (lineage_oracle != nullptr) {
+    lineage_oracle->set_circuit_cache(cache_.get());
+  }
+  ContextGuard guard{*engine_, lineage_oracle};
+
+  std::vector<Result> results(batch.size());
+  auto run_one = [&](size_t i) { results[i] = per_instance(batch[i]); };
+  if (pool_ != nullptr && batch.size() > 1) {
+    pool_->ParallelFor(0, batch.size(), run_one);
+  } else {
+    for (size_t i = 0; i < batch.size(); ++i) run_one(i);
+  }
+
+  stats_ = ExecStats{};
+  stats_.instances = batch.size();
+  for (const BatchInstance& instance : batch) {
+    stats_.facts += instance.db.NumEndogenous();
+  }
+  stats_.threads = pool_ != nullptr ? pool_->num_threads() : 1;
+  stats_.tasks = pool_ != nullptr ? pool_->tasks_executed() - base_tasks : 0;
+  stats_.oracle_calls =
+      via_fgmc != nullptr ? via_fgmc->oracle_calls() - base_oracle : 0;
+  stats_.cache_hits = cache_ != nullptr ? cache_->hits() - base_hits : 0;
+  stats_.cache_misses =
+      cache_ != nullptr ? cache_->misses() - base_misses : 0;
+  stats_.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  return results;
+}
+
+std::vector<std::map<Fact, BigRational>> BatchSvcRunner::AllValues(
+    const std::vector<BatchInstance>& batch) {
+  return Run<std::map<Fact, BigRational>>(
+      batch, [this](const BatchInstance& instance) {
+        return engine_->AllValues(*instance.query, instance.db);
+      });
+}
+
+std::vector<std::pair<Fact, BigRational>> BatchSvcRunner::MaxValues(
+    const std::vector<BatchInstance>& batch) {
+  return Run<std::pair<Fact, BigRational>>(
+      batch, [this](const BatchInstance& instance) {
+        return engine_->MaxValue(*instance.query, instance.db);
+      });
+}
+
+}  // namespace shapley

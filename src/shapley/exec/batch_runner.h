@@ -1,0 +1,102 @@
+#ifndef SHAPLEY_EXEC_BATCH_RUNNER_H_
+#define SHAPLEY_EXEC_BATCH_RUNNER_H_
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "shapley/arith/big_rational.h"
+#include "shapley/data/partitioned_database.h"
+#include "shapley/engines/svc.h"
+#include "shapley/exec/oracle_cache.h"
+#include "shapley/exec/thread_pool.h"
+#include "shapley/query/boolean_query.h"
+
+namespace shapley {
+
+/// One SVC instance of a batch: a Boolean query over a partitioned
+/// database. Instances may freely share queries, schemas and facts.
+struct BatchInstance {
+  QueryPtr query;
+  PartitionedDatabase db;
+};
+
+struct BatchOptions {
+  /// Worker threads. 0 → one per hardware thread; 1 → serial execution
+  /// (no pool; still shares the cache and the per-instance oracle-sharing
+  /// algebra of the engines' AllValues overrides).
+  size_t threads = 0;
+
+  /// Share one OracleCache across the whole batch.
+  bool use_cache = true;
+  size_t cache_max_entries = 1 << 16;
+};
+
+/// Execution report of one batch run.
+struct ExecStats {
+  size_t instances = 0;
+  size_t facts = 0;         ///< Total endogenous facts across instances.
+  size_t threads = 1;       ///< Pool workers (1 = serial).
+  size_t tasks = 0;         ///< Pool queue tasks executed during the run.
+  size_t oracle_calls = 0;  ///< FGMC oracle requests (SvcViaFgmc only).
+  size_t cache_hits = 0;
+  size_t cache_misses = 0;
+  double wall_ms = 0.0;
+
+  std::string ToString() const;
+  /// One flat JSON object, e.g. for bench --json output.
+  std::string ToJson() const;
+};
+
+/// Fans Shapley-value computation for a batch of instances across a shared
+/// thread pool, routing every counting-oracle request of every instance
+/// through one shared OracleCache. Values are exact BigRationals, computed
+/// by the installed engine, and are bit-identical to what the same engine
+/// produces serially — the runner only changes scheduling and reuse, never
+/// arithmetic.
+///
+/// Parallelism has two nested levels, both dynamic: instances fan out
+/// across the pool, and each instance's AllValues fans its per-fact (or
+/// per-mask-chunk) work across the same pool; the fork-join loops let the
+/// waiting thread participate, so the nesting cannot deadlock or
+/// oversubscribe.
+class BatchSvcRunner {
+ public:
+  explicit BatchSvcRunner(std::shared_ptr<SvcEngine> engine,
+                          BatchOptions options = {});
+  ~BatchSvcRunner();
+
+  /// AllValues of every instance, in input order. Throws what the engine
+  /// throws (first failure wins; remaining work is abandoned).
+  std::vector<std::map<Fact, BigRational>> AllValues(
+      const std::vector<BatchInstance>& batch);
+
+  /// MaxValue of every instance, in input order. Every instance needs a
+  /// nonempty Dn.
+  std::vector<std::pair<Fact, BigRational>> MaxValues(
+      const std::vector<BatchInstance>& batch);
+
+  /// Stats of the most recent AllValues/MaxValues run.
+  const ExecStats& last_stats() const { return stats_; }
+
+  SvcEngine& engine() { return *engine_; }
+  ThreadPool* pool() { return pool_.get(); }        ///< Null when serial.
+  OracleCache* cache() { return cache_.get(); }     ///< Null when uncached.
+
+ private:
+  template <typename Result, typename PerInstance>
+  std::vector<Result> Run(const std::vector<BatchInstance>& batch,
+                          const PerInstance& per_instance);
+
+  std::shared_ptr<SvcEngine> engine_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<OracleCache> cache_;
+  ExecStats stats_;
+};
+
+}  // namespace shapley
+
+#endif  // SHAPLEY_EXEC_BATCH_RUNNER_H_

@@ -1,0 +1,21 @@
+#ifndef SHAPLEY_EXEC_EXEC_CONTEXT_H_
+#define SHAPLEY_EXEC_EXEC_CONTEXT_H_
+
+namespace shapley {
+
+class OracleCache;
+class ThreadPool;
+
+/// Optional shared execution resources, installed on engines by the batch
+/// runtime (see exec/batch_runner.h) or by hand. Null members mean "serial"
+/// and "uncached"; engines must produce identical values either way — the
+/// context may only change how fast they are obtained. The installer keeps
+/// ownership and must outlive every engine call that uses the context.
+struct ExecContext {
+  ThreadPool* pool = nullptr;
+  OracleCache* cache = nullptr;
+};
+
+}  // namespace shapley
+
+#endif  // SHAPLEY_EXEC_EXEC_CONTEXT_H_

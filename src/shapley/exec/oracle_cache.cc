@@ -1,0 +1,107 @@
+#include "shapley/exec/oracle_cache.h"
+
+#include <mutex>
+#include <sstream>
+#include <utility>
+
+#include "shapley/data/partitioned_database.h"
+#include "shapley/engines/fgmc.h"
+#include "shapley/lineage/ddnnf.h"
+#include "shapley/lineage/lineage.h"
+#include "shapley/query/boolean_query.h"
+
+namespace shapley {
+
+namespace {
+
+// Appends one database part as "|R(3,7) S(7)" using relation names (schemas
+// are object-local, names are not) and interned constant ids (process-wide
+// canonical). Facts are already sorted and unique inside a Database.
+void AppendFacts(std::ostream& os, const Database& part) {
+  os << '|';
+  const auto& schema = part.schema();
+  for (const Fact& fact : part.facts()) {
+    os << (schema != nullptr ? schema->name(fact.relation())
+                             : std::to_string(fact.relation()))
+       << '(';
+    for (size_t i = 0; i < fact.args().size(); ++i) {
+      if (i > 0) os << ',';
+      os << fact.args()[i].id();
+    }
+    os << ')';
+  }
+}
+
+}  // namespace
+
+std::string OracleCache::Fingerprint(const std::string& oracle_name,
+                                     const BooleanQuery& query,
+                                     const PartitionedDatabase& db) {
+  std::ostringstream os;
+  os << oracle_name << '\x1f' << query.ToString() << '\x1f';
+  AppendFacts(os, db.endogenous());
+  AppendFacts(os, db.exogenous());
+  return os.str();
+}
+
+Polynomial OracleCache::CountBySize(FgmcEngine& oracle,
+                                    const BooleanQuery& query,
+                                    const PartitionedDatabase& db) {
+  const std::string key = Fingerprint(oracle.name(), query, db);
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    auto it = counts_.find(key);
+    if (it != counts_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  Polynomial counts = oracle.CountBySize(query, db);
+  {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    if (counts_.size() >= max_entries_) counts_.clear();
+    counts_.emplace(key, counts);
+  }
+  return counts;
+}
+
+std::shared_ptr<const DdnnfCircuit> OracleCache::Circuit(
+    const BooleanQuery& query, const PartitionedDatabase& db,
+    size_t support_cap, size_t node_cap) {
+  std::string key = Fingerprint("ddnnf", query, db);
+  key += '\x1f' + std::to_string(support_cap) + ':' +
+         std::to_string(node_cap);
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    auto it = circuits_.find(key);
+    if (it != circuits_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  Lineage lineage = BuildLineage(query, db, support_cap);
+  auto circuit =
+      std::make_shared<const DdnnfCircuit>(CompileDnf(lineage, node_cap));
+  {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    if (circuits_.size() >= max_entries_) circuits_.clear();
+    auto [it, inserted] = circuits_.emplace(std::move(key), circuit);
+    if (!inserted) circuit = it->second;  // First insert wins.
+  }
+  return circuit;
+}
+
+size_t OracleCache::size() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return counts_.size() + circuits_.size();
+}
+
+void OracleCache::Clear() {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  counts_.clear();
+  circuits_.clear();
+}
+
+}  // namespace shapley

@@ -1,0 +1,78 @@
+#ifndef SHAPLEY_EXEC_ORACLE_CACHE_H_
+#define SHAPLEY_EXEC_ORACLE_CACHE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+
+#include "shapley/arith/polynomial.h"
+
+namespace shapley {
+
+class BooleanQuery;
+class DdnnfCircuit;
+class FgmcEngine;
+class PartitionedDatabase;
+
+/// Memoizes the expensive artifacts of the counting pipeline across facts,
+/// instances and whole batch runs:
+///  - FGMC count-by-size polynomials, keyed by (oracle, query, Dn, Dx) —
+///    the unit of cost of the SVC ≤ FGMC reduction (Claim A.1), so every
+///    hit eliminates one full stratified count;
+///  - compiled d-DNNF circuits, keyed by (query, Dn, Dx, compiler caps) —
+///    one compilation then serves FGMC, PQE and repeated probes.
+///
+/// Keys are canonical fingerprints: the query's text plus the sorted fact
+/// lists of both database parts (relation names + interned constant ids),
+/// so two inputs fingerprint equal iff they are the same query text over
+/// equal partitioned fact sets. All entry points are thread-safe;
+/// concurrent misses on one key compute independently and the first insert
+/// wins (duplicates are discarded — results for equal keys are equal).
+///
+/// Capacity is bounded by `max_entries` per table with epoch eviction: when
+/// a table would exceed the bound it is cleared wholesale. The workloads
+/// here have no useful recency structure (a batch either fits or cycles),
+/// so the dumb policy beats per-entry bookkeeping.
+class OracleCache {
+ public:
+  explicit OracleCache(size_t max_entries = 1 << 16)
+      : max_entries_(max_entries == 0 ? 1 : max_entries) {}
+
+  /// oracle.CountBySize(query, db), memoized.
+  Polynomial CountBySize(FgmcEngine& oracle, const BooleanQuery& query,
+                         const PartitionedDatabase& db);
+
+  /// The d-DNNF circuit of the query's lineage over db, memoized.
+  /// Compilation failures (caps exceeded, non-monotone query) are not
+  /// cached and rethrow on every call.
+  std::shared_ptr<const DdnnfCircuit> Circuit(const BooleanQuery& query,
+                                              const PartitionedDatabase& db,
+                                              size_t support_cap,
+                                              size_t node_cap);
+
+  /// The canonical cache key; exposed for tests and diagnostics.
+  static std::string Fingerprint(const std::string& oracle_name,
+                                 const BooleanQuery& query,
+                                 const PartitionedDatabase& db);
+
+  size_t hits() const { return hits_.load(); }
+  size_t misses() const { return misses_.load(); }
+  size_t size() const;
+  void Clear();
+
+ private:
+  const size_t max_entries_;
+  mutable std::shared_mutex mutex_;
+  std::unordered_map<std::string, Polynomial> counts_;
+  std::unordered_map<std::string, std::shared_ptr<const DdnnfCircuit>>
+      circuits_;
+  std::atomic<size_t> hits_{0};
+  std::atomic<size_t> misses_{0};
+};
+
+}  // namespace shapley
+
+#endif  // SHAPLEY_EXEC_ORACLE_CACHE_H_

@@ -1,0 +1,215 @@
+#include "shapley/exec/batch_runner.h"
+
+#include <gtest/gtest.h>
+
+#include "shapley/data/parser.h"
+#include "shapley/engines/fgmc.h"
+#include "shapley/engines/svc.h"
+#include "shapley/gen/generators.h"
+#include "shapley/query/query_parser.h"
+
+namespace shapley {
+namespace {
+
+QueryPtr ParseQuery(const std::shared_ptr<Schema>& schema, const char* text) {
+  UcqPtr ucq = ParseUcq(schema, text);
+  if (ucq->disjuncts().size() == 1) return ucq->disjuncts()[0];
+  return ucq;
+}
+
+std::vector<BatchInstance> RandomBatch(const std::shared_ptr<Schema>& schema,
+                                       const char* query_text,
+                                       size_t instances, uint64_t seed0) {
+  QueryPtr q = ParseQuery(schema, query_text);
+  std::vector<BatchInstance> batch;
+  for (size_t k = 0; k < instances; ++k) {
+    RandomDatabaseOptions options;
+    options.num_facts = 7;
+    options.domain_size = 3;
+    options.exogenous_fraction = 0.25;
+    options.seed = seed0 + 29 * k;
+    batch.push_back({q, RandomPartitionedDatabase(schema, options)});
+  }
+  return batch;
+}
+
+// The core property of the whole subsystem: the parallel, cached batch path
+// is bit-identical to the serial per-fact engines.
+TEST(BatchRunnerTest, ParallelBatchEqualsSequentialBruteForce) {
+  for (const char* query_text :
+       {"R(x), S(x,y)", "R(x), S(x,y), T(y)", "R(x,y) | R(x,x)"}) {
+    auto schema = Schema::Create();
+    std::vector<BatchInstance> batch = RandomBatch(schema, query_text, 5, 11);
+
+    BatchOptions options;
+    options.threads = 4;
+    BatchSvcRunner runner(std::make_shared<BruteForceSvc>(), options);
+    std::vector<std::map<Fact, BigRational>> results = runner.AllValues(batch);
+
+    ASSERT_EQ(results.size(), batch.size());
+    BruteForceSvc serial;
+    for (size_t k = 0; k < batch.size(); ++k) {
+      const auto& db = batch[k].db;
+      ASSERT_EQ(results[k].size(), db.NumEndogenous()) << query_text;
+      for (const Fact& f : db.endogenous().facts()) {
+        EXPECT_EQ(results[k].at(f), serial.Value(*batch[k].query, db, f))
+            << query_text << " instance " << k;
+      }
+    }
+    const ExecStats& stats = runner.last_stats();
+    EXPECT_EQ(stats.instances, batch.size());
+    EXPECT_EQ(stats.threads, 4u);
+    EXPECT_GT(stats.wall_ms, 0.0);
+  }
+}
+
+TEST(BatchRunnerTest, ParallelBatchEqualsPermutationOracle) {
+  auto schema = Schema::Create();
+  std::vector<BatchInstance> batch = RandomBatch(schema, "R(x), S(x,y)", 3, 5);
+
+  BatchOptions options;
+  options.threads = 3;
+  BatchSvcRunner runner(std::make_shared<BruteForceSvc>(), options);
+  auto results = runner.AllValues(batch);
+
+  PermutationSvc permutations;
+  for (size_t k = 0; k < batch.size(); ++k) {
+    ASSERT_LE(batch[k].db.NumEndogenous(), 9u);
+    for (const Fact& f : batch[k].db.endogenous().facts()) {
+      EXPECT_EQ(results[k].at(f),
+                permutations.Value(*batch[k].query, batch[k].db, f))
+          << "instance " << k;
+    }
+  }
+}
+
+TEST(BatchRunnerTest, ViaFgmcBatchSharesOracleWorkAndMatchesSerial) {
+  auto schema = Schema::Create();
+  std::vector<BatchInstance> batch = RandomBatch(schema, "R(x), S(x,y)", 4, 3);
+  // Two copies of the same instance: the cache must collapse the repeats.
+  batch.push_back(batch[0]);
+
+  BatchOptions options;
+  // Serial: cache-hit counts are deterministic only without concurrent
+  // misses on one key (those compute independently, first insert wins).
+  options.threads = 1;
+  BatchSvcRunner runner(std::make_shared<SvcViaFgmc>(
+                            std::make_shared<BruteForceFgmc>()),
+                        options);
+  auto results = runner.AllValues(batch);
+
+  SvcViaFgmc serial(std::make_shared<BruteForceFgmc>());
+  size_t total_facts = 0;
+  for (size_t k = 0; k < batch.size(); ++k) {
+    total_facts += batch[k].db.NumEndogenous();
+    for (const Fact& f : batch[k].db.endogenous().facts()) {
+      EXPECT_EQ(results[k].at(f), serial.Value(*batch[k].query, batch[k].db, f))
+          << "instance " << k;
+    }
+  }
+
+  const ExecStats& stats = runner.last_stats();
+  EXPECT_EQ(stats.facts, total_facts);
+  // Shared full-database compilation: 1 + |Dn| logical requests per
+  // instance instead of 2|Dn|.
+  EXPECT_EQ(stats.oracle_calls, total_facts + batch.size());
+  // The duplicated instance answers entirely from cache.
+  EXPECT_GE(stats.cache_hits, 1 + batch.back().db.NumEndogenous());
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses, stats.oracle_calls);
+}
+
+TEST(BatchRunnerTest, LiftedOracleBatchMatchesBruteForce) {
+  auto schema = Schema::Create();
+  std::vector<BatchInstance> batch =
+      RandomBatch(schema, "R(x), S(x,y)", 4, 23);
+
+  BatchOptions options;
+  options.threads = 2;
+  BatchSvcRunner runner(
+      std::make_shared<SvcViaFgmc>(std::make_shared<LiftedFgmc>()), options);
+  auto results = runner.AllValues(batch);
+
+  BruteForceSvc brute;
+  for (size_t k = 0; k < batch.size(); ++k) {
+    EXPECT_EQ(results[k], brute.AllValues(*batch[k].query, batch[k].db))
+        << "instance " << k;
+  }
+}
+
+TEST(BatchRunnerTest, SerialModeAndCachelessModeStillAgree) {
+  auto schema = Schema::Create();
+  std::vector<BatchInstance> batch = RandomBatch(schema, "R(x), S(x,y)", 3, 41);
+
+  BruteForceSvc reference;
+  std::vector<std::map<Fact, BigRational>> expected;
+  for (const auto& instance : batch) {
+    expected.push_back(reference.AllValues(*instance.query, instance.db));
+  }
+
+  for (bool use_cache : {true, false}) {
+    for (size_t threads : {size_t{1}, size_t{2}}) {
+      BatchOptions options;
+      options.threads = threads;
+      options.use_cache = use_cache;
+      BatchSvcRunner runner(std::make_shared<SvcViaFgmc>(
+                                std::make_shared<BruteForceFgmc>()),
+                            options);
+      EXPECT_EQ(runner.AllValues(batch), expected)
+          << "threads=" << threads << " cache=" << use_cache;
+      EXPECT_EQ(runner.pool() != nullptr, threads > 1);
+      EXPECT_EQ(runner.cache() != nullptr, use_cache);
+    }
+  }
+}
+
+TEST(BatchRunnerTest, MaxValuesMatchesSerialMaxValue) {
+  auto schema = Schema::Create();
+  std::vector<BatchInstance> batch = RandomBatch(schema, "R(x), S(x,y)", 4, 19);
+
+  BatchOptions options;
+  options.threads = 3;
+  BatchSvcRunner runner(std::make_shared<BruteForceSvc>(), options);
+  auto maxima = runner.MaxValues(batch);
+
+  BruteForceSvc serial;
+  ASSERT_EQ(maxima.size(), batch.size());
+  for (size_t k = 0; k < batch.size(); ++k) {
+    auto [fact, value] = serial.MaxValue(*batch[k].query, batch[k].db);
+    EXPECT_EQ(maxima[k].first, fact) << "instance " << k;
+    EXPECT_EQ(maxima[k].second, value) << "instance " << k;
+  }
+}
+
+TEST(BatchRunnerTest, EngineErrorsPropagateAndContextIsRestored) {
+  auto schema = Schema::Create();
+  QueryPtr q = ParseQuery(schema, "R(x)");
+  // MaxValue on an endogenous-free instance throws.
+  std::vector<BatchInstance> batch{
+      {q, ParsePartitionedDatabase(schema, "| R(a)")}};
+
+  auto engine = std::make_shared<BruteForceSvc>();
+  BatchOptions options;
+  options.threads = 2;
+  BatchSvcRunner runner(engine, options);
+  EXPECT_THROW(runner.MaxValues(batch), std::invalid_argument);
+  EXPECT_EQ(engine->exec_context().pool, nullptr);
+  EXPECT_EQ(engine->exec_context().cache, nullptr);
+}
+
+TEST(BatchRunnerTest, EmptyBatchAndEmptyInstances) {
+  auto schema = Schema::Create();
+  BatchOptions options;
+  options.threads = 2;
+  BatchSvcRunner runner(std::make_shared<BruteForceSvc>(), options);
+  EXPECT_TRUE(runner.AllValues({}).empty());
+
+  QueryPtr q = ParseQuery(schema, "R(x)");
+  std::vector<BatchInstance> batch{
+      {q, ParsePartitionedDatabase(schema, "| R(a)")}};
+  auto results = runner.AllValues(batch);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].empty());
+}
+
+}  // namespace
+}  // namespace shapley

@@ -1,0 +1,138 @@
+#include "shapley/exec/oracle_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "shapley/data/parser.h"
+#include "shapley/engines/fgmc.h"
+#include "shapley/exec/thread_pool.h"
+#include "shapley/lineage/ddnnf.h"
+#include "shapley/query/query_parser.h"
+
+namespace shapley {
+namespace {
+
+class OracleCacheTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<Schema> schema_ = Schema::Create();
+};
+
+TEST_F(OracleCacheTest, MemoizesCountBySize) {
+  CqPtr q = ParseCq(schema_, "R(x), S(x,y)");
+  PartitionedDatabase db =
+      ParsePartitionedDatabase(schema_, "R(a) S(a,b) S(a,c) | R(d)");
+
+  OracleCache cache;
+  BruteForceFgmc oracle;
+  Polynomial direct = oracle.CountBySize(*q, db);
+
+  Polynomial first = cache.CountBySize(oracle, *q, db);
+  EXPECT_EQ(first, direct);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 1u);
+
+  Polynomial second = cache.CountBySize(oracle, *q, db);
+  EXPECT_EQ(second, direct);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST_F(OracleCacheTest, FingerprintSeparatesQueryDatabaseAndPartition) {
+  CqPtr q1 = ParseCq(schema_, "R(x), S(x,y)");
+  CqPtr q2 = ParseCq(schema_, "R(x)");
+  PartitionedDatabase db1 =
+      ParsePartitionedDatabase(schema_, "R(a) S(a,b)");
+  PartitionedDatabase db2 =
+      ParsePartitionedDatabase(schema_, "R(a) S(a,c)");
+  // Same facts as db1, but S(a,b) exogenous: the partition must matter.
+  PartitionedDatabase db3 = ParsePartitionedDatabase(schema_, "R(a) | S(a,b)");
+
+  const std::string base = OracleCache::Fingerprint("brute-force", *q1, db1);
+  EXPECT_NE(OracleCache::Fingerprint("brute-force", *q2, db1), base);
+  EXPECT_NE(OracleCache::Fingerprint("brute-force", *q1, db2), base);
+  EXPECT_NE(OracleCache::Fingerprint("brute-force", *q1, db3), base);
+  EXPECT_NE(OracleCache::Fingerprint("lifted-safe-plan", *q1, db1), base);
+  EXPECT_EQ(OracleCache::Fingerprint("brute-force", *q1, db1), base);
+}
+
+TEST_F(OracleCacheTest, DistinctEnginesGetDistinctEntries) {
+  CqPtr q = ParseCq(schema_, "R(x), S(x,y)");
+  PartitionedDatabase db = ParsePartitionedDatabase(schema_, "R(a) S(a,b)");
+
+  OracleCache cache;
+  BruteForceFgmc brute;
+  LiftedFgmc lifted;
+  Polynomial from_brute = cache.CountBySize(brute, *q, db);
+  Polynomial from_lifted = cache.CountBySize(lifted, *q, db);
+  EXPECT_EQ(from_brute, from_lifted);  // Engines agree...
+  EXPECT_EQ(cache.misses(), 2u);       // ...but are keyed separately.
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST_F(OracleCacheTest, MemoizesCompiledCircuits) {
+  CqPtr q = ParseCq(schema_, "R(x), S(x,y)");
+  PartitionedDatabase db =
+      ParsePartitionedDatabase(schema_, "R(a) S(a,b) R(c) S(c,d)");
+
+  OracleCache cache;
+  auto circuit1 = cache.Circuit(*q, db, 200000, 2000000);
+  auto circuit2 = cache.Circuit(*q, db, 200000, 2000000);
+  EXPECT_EQ(circuit1.get(), circuit2.get());  // Same compilation, shared.
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+
+  BruteForceFgmc brute;
+  EXPECT_EQ(circuit1->CountBySize(), brute.CountBySize(*q, db));
+}
+
+TEST_F(OracleCacheTest, CircuitCacheDrivesLineageFgmc) {
+  CqPtr q = ParseCq(schema_, "R(x), S(x,y)");
+  PartitionedDatabase db =
+      ParsePartitionedDatabase(schema_, "R(a) S(a,b) S(a,c) | S(a,d)");
+
+  BruteForceFgmc brute;
+  LineageFgmc lineage;
+  OracleCache cache;
+  lineage.set_circuit_cache(&cache);
+  EXPECT_EQ(lineage.CountBySize(*q, db), brute.CountBySize(*q, db));
+  EXPECT_EQ(lineage.CountBySize(*q, db), brute.CountBySize(*q, db));
+  EXPECT_EQ(cache.hits(), 1u);
+  lineage.set_circuit_cache(nullptr);
+}
+
+TEST_F(OracleCacheTest, EvictsWholesaleWhenFull) {
+  CqPtr q = ParseCq(schema_, "R(x)");
+  OracleCache cache(/*max_entries=*/2);
+  BruteForceFgmc oracle;
+  for (int i = 0; i < 5; ++i) {
+    PartitionedDatabase db = ParsePartitionedDatabase(
+        schema_, "R(a" + std::to_string(i) + ")");
+    cache.CountBySize(oracle, *q, db);
+  }
+  EXPECT_LE(cache.size(), 2u);
+  EXPECT_EQ(cache.misses(), 5u);
+}
+
+TEST_F(OracleCacheTest, ThreadSafeUnderConcurrentMixedAccess) {
+  CqPtr q = ParseCq(schema_, "R(x), S(x,y)");
+  std::vector<PartitionedDatabase> dbs;
+  for (int i = 0; i < 4; ++i) {
+    dbs.push_back(ParsePartitionedDatabase(
+        schema_, "R(a) S(a,b" + std::to_string(i) + ") S(a,c)"));
+  }
+  BruteForceFgmc oracle;
+  std::vector<Polynomial> expected;
+  for (const auto& db : dbs) expected.push_back(oracle.CountBySize(*q, db));
+
+  OracleCache cache;
+  ThreadPool pool(4);
+  pool.ParallelFor(0, 400, [&](size_t i) {
+    const size_t k = i % dbs.size();
+    ASSERT_EQ(cache.CountBySize(oracle, *q, dbs[k]), expected[k]);
+  });
+  EXPECT_EQ(cache.hits() + cache.misses(), 400u);
+  EXPECT_GE(cache.hits(), 400u - 2 * dbs.size());
+}
+
+}  // namespace
+}  // namespace shapley

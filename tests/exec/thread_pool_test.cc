@@ -1,0 +1,103 @@
+#include "shapley/exec/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace shapley {
+namespace {
+
+TEST(ThreadPoolTest, SubmitRunsTasksAndReturnsResults) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_threads(), 3u);
+
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 20; ++i) {
+    futures.push_back(pool.Submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(futures[static_cast<size_t>(i)].get(), i * i);
+  }
+  EXPECT_GE(pool.tasks_executed(), 20u);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptionsThroughFuture) {
+  ThreadPool pool(2);
+  auto future = pool.Submit(
+      []() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kCount = 10000;
+  std::vector<std::atomic<int>> touched(kCount);
+  pool.ParallelFor(0, kCount,
+                   [&](size_t i) { touched[i].fetch_add(1); },
+                   /*grain=*/7);
+  for (size_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(touched[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForHonorsBeginOffsetAndEmptyRange) {
+  ThreadPool pool(2);
+  std::atomic<size_t> sum{0};
+  pool.ParallelFor(100, 200, [&](size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), (100u + 199u) * 100u / 2u);
+
+  pool.ParallelFor(5, 5, [&](size_t) { FAIL() << "empty range ran"; });
+  pool.ParallelFor(7, 3, [&](size_t) { FAIL() << "inverted range ran"; });
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsFirstBodyException) {
+  ThreadPool pool(3);
+  std::atomic<size_t> executed{0};
+  EXPECT_THROW(
+      pool.ParallelFor(0, 1000,
+                       [&](size_t i) {
+                         executed.fetch_add(1);
+                         if (i == 17) throw std::invalid_argument("boom");
+                       }),
+      std::invalid_argument);
+  // The loop terminated (did not hang) and did not run everything after
+  // abandoning; no stronger guarantee than termination is made.
+  EXPECT_GE(executed.load(), 1u);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<size_t> total{0};
+  pool.ParallelFor(0, 8, [&](size_t) {
+    pool.ParallelFor(0, 50, [&](size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 8u * 50u);
+}
+
+TEST(ThreadPoolTest, StressManySmallLoops) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<size_t> sum{0};
+    pool.ParallelFor(0, 64, [&](size_t i) { sum.fetch_add(i + 1); });
+    ASSERT_EQ(sum.load(), 64u * 65u / 2u) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futures;
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) {
+      futures.push_back(pool.Submit([&ran] { ran.fetch_add(1); }));
+    }
+  }  // Destructor joins after draining.
+  EXPECT_EQ(ran.load(), 50);
+  for (auto& f : futures) f.get();
+}
+
+}  // namespace
+}  // namespace shapley

@@ -9,6 +9,9 @@
 #include "shapley/engines/fgmc.h"
 #include "shapley/engines/pqe.h"
 #include "shapley/engines/svc.h"
+#include "shapley/exec/batch_runner.h"
+#include "shapley/exec/oracle_cache.h"
+#include "shapley/exec/thread_pool.h"
 #include "shapley/gen/generators.h"
 #include "shapley/query/query_parser.h"
 #include "shapley/reductions/interpolation.h"
@@ -87,6 +90,50 @@ TEST_P(EngineAgreementTest, SvcEnginesAgree) {
       if (c.lifted_applicable) {
         SvcViaFgmc via_lifted(std::make_shared<LiftedFgmc>());
         EXPECT_EQ(via_lifted.Value(*q, db, f), expected)
+            << c.label << " seed " << seed;
+      }
+    }
+  }
+}
+
+// The exec runtime must be invisible in the values: AllValues through a
+// thread pool and a shared oracle cache is bit-identical to the serial
+// per-fact brute-force and permutation oracles.
+TEST_P(EngineAgreementTest, ParallelBatchAgreesWithSequentialOracles) {
+  const AgreementCase& c = GetParam();
+  auto schema = Schema::Create();
+  QueryPtr q = Parse(schema, c);
+
+  ThreadPool pool(3);
+  OracleCache cache;
+  ExecContext context{&pool, &cache};
+
+  BruteForceSvc parallel_brute;
+  parallel_brute.set_exec_context(context);
+  SvcViaFgmc parallel_via_fgmc(std::make_shared<BruteForceFgmc>());
+  parallel_via_fgmc.set_exec_context(context);
+
+  BruteForceSvc serial_brute;
+  PermutationSvc permutations;
+
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    RandomDatabaseOptions options;
+    options.num_facts = 6;
+    options.domain_size = 3;
+    options.exogenous_fraction = 0.2;
+    options.seed = seed * 17 + 3;
+    PartitionedDatabase db = RandomPartitionedDatabase(schema, options);
+
+    std::map<Fact, BigRational> batched = parallel_brute.AllValues(*q, db);
+    std::map<Fact, BigRational> batched_fgmc =
+        parallel_via_fgmc.AllValues(*q, db);
+    ASSERT_EQ(batched.size(), db.NumEndogenous());
+    for (const Fact& f : db.endogenous().facts()) {
+      BigRational expected = serial_brute.Value(*q, db, f);
+      EXPECT_EQ(batched.at(f), expected) << c.label << " seed " << seed;
+      EXPECT_EQ(batched_fgmc.at(f), expected) << c.label << " seed " << seed;
+      if (db.NumEndogenous() <= 8) {
+        EXPECT_EQ(permutations.Value(*q, db, f), expected)
             << c.label << " seed " << seed;
       }
     }
