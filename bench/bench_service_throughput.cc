@@ -1,0 +1,163 @@
+// Streaming throughput of the ShapleyService serving layer: a mixed-class
+// request stream (hierarchical sjf-CQs routed to the lifted polynomial
+// engine, non-hierarchical ones to guarded brute force) is submitted
+// asynchronously and drained, at several pool widths. The self-check
+// asserts bit-identical agreement with the serial per-engine AllValues —
+// the serving layer may only change scheduling and reuse, never values.
+//
+// Flags: --requests N   stream length            (default 64)
+//        --facts N      endogenous+exogenous facts per instance (default 7)
+//        --threads-max N  widest pool tried      (default 8)
+//        --json PATH    machine-readable rows (BENCH_service.json format)
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "shapley/engines/fgmc.h"
+#include "shapley/engines/svc.h"
+#include "shapley/gen/generators.h"
+#include "shapley/query/query_parser.h"
+#include "shapley/service/shapley_service.h"
+
+using namespace shapley;
+using shapley::bench::Banner;
+using shapley::bench::JsonReporter;
+using shapley::bench::PassFail;
+using shapley::bench::Table;
+using shapley::bench::Timer;
+
+namespace {
+
+QueryPtr ParseQuery(const std::shared_ptr<Schema>& schema, const char* text) {
+  UcqPtr ucq = ParseUcq(schema, text);
+  if (ucq->disjuncts().size() == 1) return ucq->disjuncts()[0];
+  return ucq;
+}
+
+struct StreamCase {
+  QueryPtr query;
+  PartitionedDatabase db;
+  std::map<Fact, BigRational> expected;
+  std::string expected_engine;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t requests = 64;
+  size_t facts = 7;
+  size_t threads_max = 8;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--requests" && i + 1 < argc) {
+      requests = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--facts" && i + 1 < argc) {
+      facts = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--threads-max" && i + 1 < argc) {
+      threads_max = std::strtoull(argv[++i], nullptr, 10);
+    }
+  }
+  JsonReporter json =
+      JsonReporter::FromArgs(argc, argv, "bench_service_throughput");
+
+  Banner("ShapleyService streaming throughput (mixed dichotomy classes)");
+  std::cout << "stream: " << requests << " requests, ~" << facts
+            << " facts each, alternating hierarchical sjf-CQ (lifted) / "
+               "non-hierarchical CQ (brute force)\n";
+
+  auto schema = Schema::Create();
+  QueryPtr easy = ParseQuery(schema, "R(x), S(x,y)");
+  QueryPtr hard = ParseQuery(schema, "R(x), S(x,y), T(y)");
+
+  // Build the stream and its serial reference once, outside the timers.
+  SvcViaFgmc serial_lifted(std::make_shared<LiftedFgmc>());
+  BruteForceSvc serial_brute;
+  std::vector<StreamCase> stream;
+  stream.reserve(requests);
+  Timer serial_timer;
+  for (size_t k = 0; k < requests; ++k) {
+    RandomDatabaseOptions options;
+    options.num_facts = facts;
+    options.domain_size = 3;
+    options.exogenous_fraction = 0.2;
+    options.seed = 31 * k + 7;
+    StreamCase c;
+    c.query = (k % 2 == 0) ? easy : hard;
+    c.db = RandomPartitionedDatabase(schema, options);
+    stream.push_back(std::move(c));
+  }
+  // Serial per-engine baseline (what a caller without the service does).
+  serial_timer = Timer();
+  for (StreamCase& c : stream) {
+    SvcEngine& serial = (c.query == easy)
+                            ? static_cast<SvcEngine&>(serial_lifted)
+                            : static_cast<SvcEngine&>(serial_brute);
+    c.expected = serial.AllValues(*c.query, c.db);
+    c.expected_engine = serial.name();
+  }
+  const double serial_ms = serial_timer.ElapsedMs();
+
+  Table table({"threads", "wall_ms", "req/s", "speedup", "cache_hits",
+               "cache_bytes", "identical"},
+              {10, 12, 12, 10, 13, 14, 12});
+  table.PrintHeader();
+
+  bool all_ok = true;
+  std::vector<size_t> widths;
+  for (size_t t = 1; t <= threads_max; t *= 2) widths.push_back(t);
+  for (size_t threads : widths) {
+    ServiceOptions options;
+    options.threads = threads;
+    ShapleyService service(options);
+
+    Timer timer;
+    std::vector<std::future<SvcResponse>> futures;
+    futures.reserve(stream.size());
+    for (const StreamCase& c : stream) {
+      SvcRequest request;
+      request.query = c.query;
+      request.db = c.db;
+      futures.push_back(service.Submit(request));
+    }
+    bool identical = true;
+    for (size_t k = 0; k < futures.size(); ++k) {
+      SvcResponse response = futures[k].get();
+      identical = identical && response.ok() &&
+                  response.engine == stream[k].expected_engine &&
+                  response.values == stream[k].expected;
+    }
+    const double wall_ms = timer.ElapsedMs();
+    all_ok = all_ok && identical;
+
+    const double rps = wall_ms > 0 ? 1000.0 * requests / wall_ms : 0.0;
+    const size_t cache_hits =
+        service.cache() != nullptr ? service.cache()->hits() : 0;
+    const size_t cache_bytes =
+        service.cache() != nullptr ? service.cache()->bytes_used() : 0;
+    table.PrintRow(threads, wall_ms, rps,
+                   wall_ms > 0 ? serial_ms / wall_ms : 0.0, cache_hits,
+                   cache_bytes, PassFail(identical));
+    json.Row({{"name", "stream"},
+              {"requests", static_cast<double>(requests)},
+              {"facts", static_cast<double>(facts)},
+              {"threads", static_cast<double>(threads)},
+              {"wall_ms", wall_ms},
+              {"serial_ms", serial_ms},
+              {"requests_per_s", rps},
+              {"speedup_vs_serial", wall_ms > 0 ? serial_ms / wall_ms : 0.0},
+              {"cache_hits", static_cast<double>(cache_hits)},
+              {"cache_bytes", static_cast<double>(cache_bytes)},
+              {"identical", identical ? "yes" : "no"}});
+  }
+
+  std::cout << "serial per-engine baseline: " << serial_ms << " ms\n"
+            << "self-check (bit-identical to serial engines): "
+            << PassFail(all_ok) << "\n";
+  json.Write();
+  return all_ok ? 0 : 1;
+}

@@ -4,25 +4,31 @@
 //
 // Usage:
 //   example_cli classify  '<ucq>'
+//   example_cli engines
 //   example_cli eval      '<ucq>' '<db>'
 //   example_cli count     '<ucq>' '<db>'
 //   example_cli values    '<ucq>' '<db>' [--threads N] [--engine E]
 //   example_cli max       '<ucq>' '<db>' [--threads N] [--engine E]
+//   example_cli topk      '<ucq>' '<db>' [K] [--threads N] [--engine E]
 //
 // Database syntax: "R(a,b) S(b,c) | T(d)" — facts after '|' are exogenous.
 // Query syntax:    "R(x,y), S(y,z) | T(x)" — '|' separates disjuncts,
 //                  '!' negates an atom, u..z-initial identifiers are
 //                  variables ('?v' forces a variable, '$c' a constant).
 //
-// values/max run through the exec batch runtime: --threads N fans the
-// per-fact work across N pool threads (default 1 = serial), and --engine
-// picks the SVC engine: 'brute' (default; any query class), 'lifted'
-// (hierarchical sjf-CQ only) or 'ddnnf' (monotone queries). Execution
-// stats go to stderr.
+// values/max/topk go through the ShapleyService serving layer: --threads N
+// sizes the service pool (default 1 = deterministic serial), and --engine
+// picks the engine from the registry ('brute', 'lifted', 'ddnnf',
+// 'permutations') or 'auto' (default): dichotomy routing by the
+// classifier — the lifted polynomial engine on the tractable hierarchical
+// sjf-CQ side, guarded brute force otherwise. The verdict, the engine that
+// served the request and execution stats go to stderr; structured SvcErrors
+// are reported instead of stack traces.
 
 #include <algorithm>
 #include <cstdlib>
 #include <iostream>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -31,33 +37,32 @@
 #include "shapley/data/parser.h"
 #include "shapley/engines/fgmc.h"
 #include "shapley/engines/svc.h"
-#include "shapley/exec/batch_runner.h"
 #include "shapley/query/query_parser.h"
+#include "shapley/service/shapley_service.h"
 
 namespace {
 
 int Usage() {
   std::cerr
       << "usage: example_cli classify '<query>'\n"
+      << "       example_cli engines\n"
       << "       example_cli eval|count '<query>' '<database>'\n"
       << "       example_cli values|max '<query>' '<database>'\n"
-      << "                   [--threads N] [--engine brute|lifted|ddnnf]\n"
-      << "e.g.:  example_cli values 'R(x,y), S(y)' 'R(a,b) R(c,b) | S(b)' "
+      << "       example_cli topk '<query>' '<database>' [K]\n"
+      << "                   [--threads N]\n"
+      << "                   [--engine auto|brute|lifted|ddnnf|permutations]\n"
+      << "e.g.:  example_cli values 'R(x), S(x,y)' 'R(a) S(a,b) | S(a,c)' "
          "--threads 4\n";
   return 2;
 }
 
-std::shared_ptr<shapley::SvcEngine> MakeEngine(const std::string& name) {
-  using namespace shapley;
-  if (name == "brute") return std::make_shared<BruteForceSvc>();
-  if (name == "lifted") {
-    return std::make_shared<SvcViaFgmc>(std::make_shared<LiftedFgmc>());
-  }
-  if (name == "ddnnf") {
-    return std::make_shared<SvcViaFgmc>(std::make_shared<LineageFgmc>());
-  }
-  throw std::invalid_argument("unknown --engine '" + name +
-                              "' (expected brute, lifted or ddnnf)");
+void PrintResponseDiagnostics(const shapley::SvcResponse& response) {
+  std::cerr << "verdict: " << shapley::ToString(response.verdict) << "\n"
+            << "exec: engine=" << response.engine
+            << (response.routed_by_classifier ? " (classifier-routed)"
+                                              : " (override)")
+            << " queue_ms=" << response.stats.queue_ms
+            << " exec_ms=" << response.stats.exec_ms << "\n";
 }
 
 }  // namespace
@@ -68,7 +73,7 @@ int main(int argc, char** argv) {
   // Split flags from positional arguments.
   std::vector<std::string> args;
   size_t threads = 1;
-  std::string engine_name = "brute";
+  std::string engine_name = "auto";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--threads" && i + 1 < argc) {
@@ -82,10 +87,30 @@ int main(int argc, char** argv) {
       args.push_back(arg);
     }
   }
-  if (args.size() < 2) return Usage();
+  if (args.empty()) return Usage();
   const std::string command = args[0];
 
   try {
+    if (command == "engines") {
+      // The registry is the single source of engine dispatch — no ad-hoc
+      // string switch to fall out of sync with.
+      EngineRegistry registry = EngineRegistry::Default();
+      std::cout << "auto: dichotomy routing (lifted when the classifier "
+                   "proves FP via the hierarchical sjf-CQ island, guarded "
+                   "brute force otherwise)\n";
+      for (const std::string& name : registry.Names()) {
+        const EngineRegistry::Entry* entry = registry.Find(name);
+        std::cout << name << ": " << entry->description;
+        if (entry->caps.max_endogenous !=
+            std::numeric_limits<size_t>::max()) {
+          std::cout << " [|Dn| <= " << entry->caps.max_endogenous << "]";
+        }
+        std::cout << "\n";
+      }
+      return 0;
+    }
+
+    if (args.size() < 2) return Usage();
     auto schema = Schema::Create();
     UcqPtr parsed = ParseUcq(schema, args[1]);
     QueryPtr query = parsed->disjuncts().size() == 1
@@ -113,24 +138,54 @@ int main(int argc, char** argv) {
                 << "GMC total:    " << counts.SumOfCoefficients() << "\n";
       return 0;
     }
-    if (command == "values" || command == "max") {
-      BatchOptions options;
+    if (command == "values" || command == "max" || command == "topk") {
+      ServiceOptions options;
       options.threads = threads;
-      BatchSvcRunner runner(MakeEngine(engine_name), options);
-      std::vector<BatchInstance> batch{{query, db}};
+      ShapleyService service(options);
+
+      SvcRequest request;
+      request.query = query;
+      request.db = db;
+      if (engine_name != "auto") request.engine = engine_name;
       if (command == "values") {
-        auto results = runner.AllValues(batch);
-        for (const auto& [fact, value] : results[0]) {
+        request.mode = SvcMode::kAllValues;
+      } else if (command == "max") {
+        request.mode = SvcMode::kMaxValue;
+      } else {
+        request.mode = SvcMode::kTopK;
+        request.top_k = 3;
+        if (args.size() > 3) {
+          // Reject non-numeric or non-positive K: a typo must not look
+          // like a successful empty answer.
+          char* end = nullptr;
+          const unsigned long k = std::strtoul(args[3].c_str(), &end, 10);
+          if (end == args[3].c_str() || *end != '\0' || k == 0) {
+            std::cerr << "error: K must be a positive integer, got '"
+                      << args[3] << "'\n";
+            return Usage();
+          }
+          request.top_k = static_cast<size_t>(k);
+        }
+      }
+
+      SvcResponse response = service.Compute(std::move(request));
+      if (!response.ok()) {
+        std::cerr << "verdict: " << ToString(response.verdict) << "\n"
+                  << "error: " << response.error->ToString() << "\n";
+        return 1;
+      }
+      if (command == "values") {
+        for (const auto& [fact, value] : response.values) {
           std::cout << fact.ToString(*schema) << " = " << value.ToString()
                     << "  (~" << value.ToDouble() << ")\n";
         }
       } else {
-        auto [fact, value] = runner.MaxValues(batch)[0];
-        std::cout << fact.ToString(*schema) << " = " << value.ToString()
-                  << "\n";
+        for (const auto& [fact, value] : response.ranked) {
+          std::cout << fact.ToString(*schema) << " = " << value.ToString()
+                    << "\n";
+        }
       }
-      std::cerr << "exec: engine=" << runner.engine().name() << " "
-                << runner.last_stats().ToString() << "\n";
+      PrintResponseDiagnostics(response);
       return 0;
     }
     return Usage();

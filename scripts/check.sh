@@ -17,8 +17,23 @@ cmake --build "$build_dir" -j "$jobs"
 echo "== test =="
 ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
 
+echo "== service tests (guard: the glob must have picked them up) =="
+# Direct invocation: fails loudly if the test glob ever stops matching
+# tests/service/ (and avoids ctest flags newer than the CMake floor).
+"$build_dir/service_shapley_service_test" --gtest_brief=1
+"$build_dir/service_service_concurrency_test" --gtest_brief=1
+
 echo "== bench (fast: small instances, JSON to $build_dir/bench_parallel_scaling.json) =="
 "$build_dir/bench_parallel_scaling" --facts-k 20 --brute-k 5 \
     --json "$build_dir/bench_parallel_scaling.json"
+
+echo "== bench (service throughput, appending to BENCH_service.json) =="
+"$build_dir/bench_service_throughput" --requests 64 --facts 7 \
+    --json "$build_dir/bench_service_throughput.json"
+# Append this run as ONE compact line (JSONL) so the accumulated perf
+# trajectory stays machine-readable: one json.loads() per line.
+python3 -c 'import json,sys; print(json.dumps(json.load(open(sys.argv[1]))))' \
+    "$build_dir/bench_service_throughput.json" \
+    >> "$repo_root/BENCH_service.json"
 
 echo "== check.sh: all green =="

@@ -1,0 +1,37 @@
+#ifndef SHAPLEY_ENGINES_CAPABILITIES_H_
+#define SHAPLEY_ENGINES_CAPABILITIES_H_
+
+#include <cstddef>
+#include <limits>
+
+namespace shapley {
+
+/// Hard |Dn| guard of the exhaustive 2^|Dn| engines (subset masks are
+/// uint64 and the sweep is exponential; beyond this the brute-force
+/// engines raise SvcErrorCode::kCapacityExceeded). Lives here so both the
+/// SVC and FGMC engine layers advertise the same bound they enforce.
+inline constexpr size_t kBruteForceMaxEndogenous = 25;
+
+/// Capability metadata of a counting / SVC engine, consumed by the serving
+/// front-end (service/) for routing and pre-flight validation. The class
+/// flags mirror the paper's dichotomy landscape: an engine either handles
+/// every Boolean query of the library, only monotone ones (the lineage /
+/// knowledge-compilation pipelines), or only the tractable hierarchical
+/// sjf-CQ island of [Livshits et al. 2021]. Exactly one of the three class
+/// flags should be set.
+struct EngineCaps {
+  /// Handles every BooleanQuery class, including CQ¬.
+  bool all_query_classes = false;
+  /// Monotone queries only (lineage-based pipelines).
+  bool monotone_only = false;
+  /// Positive hierarchical self-join-free CQs only (the lifted safe plan —
+  /// exactly the FP side of the sjf-CQ dichotomy).
+  bool hierarchical_sjf_cq_only = false;
+  /// Hard upper bound on |Dn| the engine accepts before it raises a
+  /// capacity error (max() = unbounded, i.e. polynomial-time engines).
+  size_t max_endogenous = std::numeric_limits<size_t>::max();
+};
+
+}  // namespace shapley
+
+#endif  // SHAPLEY_ENGINES_CAPABILITIES_H_

@@ -14,8 +14,10 @@ Polynomial BruteForceFgmc::CountBySize(const BooleanQuery& query,
                                        const PartitionedDatabase& db) {
   const auto& endo = db.endogenous().facts();
   const size_t n = endo.size();
-  if (n > 25) {
-    throw std::invalid_argument("BruteForceFgmc: more than 25 endogenous facts");
+  if (n > kBruteForceMaxEndogenous) {
+    throw std::invalid_argument(
+        "BruteForceFgmc: more than " +
+        std::to_string(kBruteForceMaxEndogenous) + " endogenous facts");
   }
   std::vector<BigInt> coefficients(n + 1, BigInt(0));
   for (uint64_t mask = 0; mask < (uint64_t{1} << n); ++mask) {

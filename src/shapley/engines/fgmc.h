@@ -6,6 +6,7 @@
 
 #include "shapley/arith/polynomial.h"
 #include "shapley/data/partitioned_database.h"
+#include "shapley/engines/capabilities.h"
 #include "shapley/query/boolean_query.h"
 
 namespace shapley {
@@ -23,6 +24,10 @@ class FgmcEngine {
   virtual ~FgmcEngine() = default;
 
   virtual std::string name() const = 0;
+
+  /// Capability metadata for routing and pre-flight validation (see
+  /// service/engine_registry.h). Default: any query class, unbounded |Dn|.
+  virtual EngineCaps caps() const { return {.all_query_classes = true}; }
 
   /// The generating polynomial of generalized-support counts.
   virtual Polynomial CountBySize(const BooleanQuery& query,
@@ -50,6 +55,10 @@ class FgmcEngine {
 class BruteForceFgmc : public FgmcEngine {
  public:
   std::string name() const override { return "brute-force"; }
+  EngineCaps caps() const override {
+    return {.all_query_classes = true,
+            .max_endogenous = kBruteForceMaxEndogenous};
+  }
   Polynomial CountBySize(const BooleanQuery& query,
                          const PartitionedDatabase& db) override;
 };
@@ -66,6 +75,7 @@ class LineageFgmc : public FgmcEngine {
       : support_cap_(support_cap), node_cap_(node_cap) {}
 
   std::string name() const override { return "lineage-ddnnf"; }
+  EngineCaps caps() const override { return {.monotone_only = true}; }
   Polynomial CountBySize(const BooleanQuery& query,
                          const PartitionedDatabase& db) override;
 
@@ -87,6 +97,9 @@ class LineageFgmc : public FgmcEngine {
 class LiftedFgmc : public FgmcEngine {
  public:
   std::string name() const override { return "lifted-safe-plan"; }
+  EngineCaps caps() const override {
+    return {.hierarchical_sjf_cq_only = true};
+  }
   Polynomial CountBySize(const BooleanQuery& query,
                          const PartitionedDatabase& db) override;
 };

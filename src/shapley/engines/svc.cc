@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <mutex>
+#include <sstream>
 #include <stdexcept>
 #include <vector>
 
@@ -12,6 +13,32 @@
 #include "shapley/exec/thread_pool.h"
 
 namespace shapley {
+
+std::string ToString(SvcErrorCode code) {
+  switch (code) {
+    case SvcErrorCode::kCapacityExceeded:
+      return "capacity-exceeded";
+    case SvcErrorCode::kUnsupportedQuery:
+      return "unsupported-query";
+    case SvcErrorCode::kDeadlineExceeded:
+      return "deadline-exceeded";
+    case SvcErrorCode::kCancelled:
+      return "cancelled";
+    case SvcErrorCode::kInvalidRequest:
+      return "invalid-request";
+    case SvcErrorCode::kEngineFailure:
+      return "engine-failure";
+  }
+  return "?";
+}
+
+std::string SvcError::ToString() const {
+  std::ostringstream os;
+  os << shapley::ToString(code);
+  if (!engine.empty()) os << " [" << engine << "]";
+  os << ": " << message;
+  return os.str();
+}
 
 std::map<Fact, BigRational> SvcEngine::AllValues(const BooleanQuery& query,
                                                  const PartitionedDatabase& db) {
@@ -45,8 +72,15 @@ std::vector<char> SatisfactionTable(const BooleanQuery& query,
                                     ThreadPool* pool) {
   const auto& endo = db.endogenous().facts();
   const size_t n = endo.size();
-  if (n > 25) {
-    throw std::invalid_argument("BruteForceSvc: more than 25 endogenous facts");
+  if (n > kBruteForceMaxEndogenous) {
+    // Structured capacity error: the serving layer turns this into an
+    // SvcResponse error instead of a crashed request; direct callers still
+    // catch it as std::invalid_argument.
+    throw SvcException(
+        {SvcErrorCode::kCapacityExceeded,
+         "|Dn| = " + std::to_string(n) + " exceeds the 2^|Dn| guard (max " +
+             std::to_string(kBruteForceMaxEndogenous) + " endogenous facts)",
+         "brute-force"});
   }
   std::vector<char> table(size_t{1} << n);
   auto evaluate = [&](size_t mask) {

@@ -9,7 +9,9 @@
 
 #include "shapley/arith/big_rational.h"
 #include "shapley/data/partitioned_database.h"
+#include "shapley/engines/capabilities.h"
 #include "shapley/engines/fgmc.h"
+#include "shapley/engines/svc_error.h"
 #include "shapley/exec/exec_context.h"
 #include "shapley/query/boolean_query.h"
 
@@ -23,6 +25,10 @@ class SvcEngine {
   virtual ~SvcEngine() = default;
 
   virtual std::string name() const = 0;
+
+  /// Capability metadata for routing and pre-flight validation (see
+  /// service/engine_registry.h). Default: any query class, unbounded |Dn|.
+  virtual EngineCaps caps() const { return {.all_query_classes = true}; }
 
   virtual BigRational Value(const BooleanQuery& query,
                             const PartitionedDatabase& db,
@@ -52,12 +58,17 @@ class SvcEngine {
 
 /// Exhaustive subset-formula evaluation (Equation 2), 2^|Dn| query
 /// evaluations shared across all facts. Works for every query type
-/// (including CQ¬). Requires |Dn| <= 25. AllValues shares one satisfaction
-/// table and one tallying sweep across all facts, chunked across the
-/// exec-context pool when one is installed.
+/// (including CQ¬). Requires |Dn| <= kBruteForceMaxEndogenous, enforced
+/// with a structured SvcException(kCapacityExceeded). AllValues shares one
+/// satisfaction table and one tallying sweep across all facts, chunked
+/// across the exec-context pool when one is installed.
 class BruteForceSvc : public SvcEngine {
  public:
   std::string name() const override { return "brute-force"; }
+  EngineCaps caps() const override {
+    return {.all_query_classes = true,
+            .max_endogenous = kBruteForceMaxEndogenous};
+  }
   BigRational Value(const BooleanQuery& query, const PartitionedDatabase& db,
                     const Fact& fact) override;
   std::map<Fact, BigRational> AllValues(const BooleanQuery& query,
@@ -69,6 +80,9 @@ class BruteForceSvc : public SvcEngine {
 class PermutationSvc : public SvcEngine {
  public:
   std::string name() const override { return "permutations"; }
+  EngineCaps caps() const override {
+    return {.all_query_classes = true, .max_endogenous = 9};
+  }
   BigRational Value(const BooleanQuery& query, const PartitionedDatabase& db,
                     const Fact& fact) override;
 };
@@ -95,6 +109,9 @@ class SvcViaFgmc : public SvcEngine {
   std::string name() const override {
     return "via-fgmc(" + oracle_->name() + ")";
   }
+  /// The reduction adds nothing to the oracle's reach: whatever query class
+  /// and capacity the FGMC backend supports is what this engine supports.
+  EngineCaps caps() const override { return oracle_->caps(); }
   BigRational Value(const BooleanQuery& query, const PartitionedDatabase& db,
                     const Fact& fact) override;
   std::map<Fact, BigRational> AllValues(const BooleanQuery& query,

@@ -1,0 +1,64 @@
+#ifndef SHAPLEY_ENGINES_SVC_ERROR_H_
+#define SHAPLEY_ENGINES_SVC_ERROR_H_
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace shapley {
+
+/// Structured failure modes of a Shapley-value request. The serving layer
+/// (service/shapley_service.h) reports every failure as an SvcError inside
+/// the response instead of letting exceptions escape a worker thread.
+enum class SvcErrorCode {
+  /// The instance exceeds a hard size guard (e.g. the 2^|Dn| brute-force
+  /// sweep beyond kBruteForceMaxEndogenous) and no polynomial engine
+  /// covers the query's class.
+  kCapacityExceeded,
+  /// The chosen engine cannot handle this query class (e.g. the lifted
+  /// plan on a non-hierarchical query, d-DNNF on CQ¬).
+  kUnsupportedQuery,
+  /// The request's deadline had already passed when it was dequeued.
+  kDeadlineExceeded,
+  /// The request's cancel token was set, or the service is shutting down.
+  kCancelled,
+  /// Malformed request (no query, unknown engine name, non-endogenous
+  /// fact, empty Dn for MaxValue, ...).
+  kInvalidRequest,
+  /// The engine failed for any other reason (compilation node cap,
+  /// resource exhaustion, ...).
+  kEngineFailure,
+};
+
+std::string ToString(SvcErrorCode code);
+
+/// One structured error: machine-readable code, human-readable message,
+/// and the engine that raised it (empty when raised by the front-end).
+struct SvcError {
+  SvcErrorCode code = SvcErrorCode::kEngineFailure;
+  std::string message;
+  std::string engine;
+
+  /// "capacity-exceeded [brute-force]: more than 25 endogenous facts".
+  std::string ToString() const;
+};
+
+/// Exception carrier for SvcError across code that still communicates by
+/// throwing (the engines' synchronous entry points). Derives from
+/// std::invalid_argument so call sites that predate the structured path —
+/// and tests asserting the exception type — keep working; new code should
+/// catch SvcException first and read error().
+class SvcException : public std::invalid_argument {
+ public:
+  explicit SvcException(SvcError error)
+      : std::invalid_argument(error.ToString()), error_(std::move(error)) {}
+
+  const SvcError& error() const { return error_; }
+
+ private:
+  SvcError error_;
+};
+
+}  // namespace shapley
+
+#endif  // SHAPLEY_ENGINES_SVC_ERROR_H_

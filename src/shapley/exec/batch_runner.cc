@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <chrono>
 #include <sstream>
+#include <stdexcept>
+
+#include "shapley/service/shapley_service.h"
 
 namespace shapley {
 
@@ -11,7 +14,8 @@ std::string ExecStats::ToString() const {
   os << "instances=" << instances << " facts=" << facts
      << " threads=" << threads << " tasks=" << tasks
      << " oracle_calls=" << oracle_calls << " cache_hits=" << cache_hits
-     << " cache_misses=" << cache_misses << " wall_ms=" << wall_ms;
+     << " cache_misses=" << cache_misses << " cache_bytes=" << cache_bytes
+     << " wall_ms=" << wall_ms;
   return os.str();
 }
 
@@ -22,6 +26,7 @@ std::string ExecStats::ToJson() const {
      << ", \"oracle_calls\": " << oracle_calls
      << ", \"cache_hits\": " << cache_hits
      << ", \"cache_misses\": " << cache_misses
+     << ", \"cache_bytes\": " << cache_bytes
      << ", \"wall_ms\": " << wall_ms << "}";
   return os.str();
 }
@@ -29,17 +34,25 @@ std::string ExecStats::ToJson() const {
 BatchSvcRunner::BatchSvcRunner(std::shared_ptr<SvcEngine> engine,
                                BatchOptions options)
     : engine_(std::move(engine)) {
-  size_t threads = options.threads;
-  if (threads == 0) {
-    threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  threads_ = options.threads;
+  if (threads_ == 0) {
+    threads_ = std::max<size_t>(1, std::thread::hardware_concurrency());
   }
-  if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
-  if (options.use_cache) {
-    cache_ = std::make_unique<OracleCache>(options.cache_max_entries);
-  }
+  ServiceOptions service_options;
+  service_options.threads = threads_;
+  service_options.use_cache = options.use_cache;
+  service_options.cache_max_entries = options.cache_max_entries;
+  service_options.cache_max_bytes = options.cache_max_bytes;
+  service_ = std::make_unique<ShapleyService>(service_options);
 }
 
 BatchSvcRunner::~BatchSvcRunner() = default;
+
+ThreadPool* BatchSvcRunner::pool() {
+  return threads_ > 1 ? service_->pool() : nullptr;
+}
+
+OracleCache* BatchSvcRunner::cache() { return service_->cache(); }
 
 namespace {
 
@@ -55,35 +68,78 @@ struct ContextGuard {
   }
 };
 
+// Batch semantics are exceptions, service semantics are structured errors;
+// translate back. The engine's own exception is rethrown untouched when
+// the service captured one ("throws what the engine throws" — type and
+// message preserved); front-end failures, which the historical runner
+// could not produce, surface as SvcException (a std::invalid_argument).
+[[noreturn]] void RethrowSvcError(const SvcResponse& response) {
+  if (response.raw_exception != nullptr) {
+    std::rethrow_exception(response.raw_exception);
+  }
+  throw SvcException(*response.error);
+}
+
 }  // namespace
 
-template <typename Result, typename PerInstance>
+template <typename Result, typename Extract>
 std::vector<Result> BatchSvcRunner::Run(const std::vector<BatchInstance>& batch,
-                                        const PerInstance& per_instance) {
+                                        SvcMode mode, const Extract& extract) {
   const auto start = std::chrono::steady_clock::now();
-  const size_t base_tasks = pool_ != nullptr ? pool_->tasks_executed() : 0;
-  const size_t base_hits = cache_ != nullptr ? cache_->hits() : 0;
-  const size_t base_misses = cache_ != nullptr ? cache_->misses() : 0;
+  ThreadPool* service_pool = service_->pool();
+  OracleCache* shared_cache = service_->cache();
+  const size_t base_tasks = service_pool->tasks_executed();
+  const size_t base_hits = shared_cache != nullptr ? shared_cache->hits() : 0;
+  const size_t base_misses =
+      shared_cache != nullptr ? shared_cache->misses() : 0;
   auto* via_fgmc = dynamic_cast<SvcViaFgmc*>(engine_.get());
   const size_t base_oracle = via_fgmc != nullptr ? via_fgmc->oracle_calls() : 0;
 
-  engine_->set_exec_context(ExecContext{pool_.get(), cache_.get()});
-  // A d-DNNF-backed oracle additionally shares its compiled circuits.
+  // The runner's one engine instance is shared by every request of the
+  // batch, so its context is installed once here (not per request by the
+  // service — engine_instance overrides skip the service's install) and
+  // removed when the batch settles.
+  engine_->set_exec_context(ExecContext{pool(), shared_cache});
   LineageFgmc* lineage_oracle =
       via_fgmc != nullptr
           ? dynamic_cast<LineageFgmc*>(via_fgmc->oracle().get())
           : nullptr;
   if (lineage_oracle != nullptr) {
-    lineage_oracle->set_circuit_cache(cache_.get());
+    lineage_oracle->set_circuit_cache(shared_cache);
   }
   ContextGuard guard{*engine_, lineage_oracle};
 
-  std::vector<Result> results(batch.size());
-  auto run_one = [&](size_t i) { results[i] = per_instance(batch[i]); };
-  if (pool_ != nullptr && batch.size() > 1) {
-    pool_->ParallelFor(0, batch.size(), run_one);
-  } else {
-    for (size_t i = 0; i < batch.size(); ++i) run_one(i);
+  // One shared cancel token restores the historical first-failure-wins
+  // abandonment: when a response comes back failed, setting the token
+  // makes every queued-but-unstarted request of this batch resolve
+  // immediately with kCancelled instead of burning its full engine run.
+  // The db copy into each request is deliberate: requests are
+  // self-contained values (linear in facts, dwarfed by per-instance
+  // engine work).
+  CancelToken abandon = MakeCancelToken();
+  std::vector<SvcRequest> requests;
+  requests.reserve(batch.size());
+  for (const BatchInstance& instance : batch) {
+    SvcRequest request;
+    request.query = instance.query;
+    request.db = instance.db;
+    request.mode = mode;
+    request.engine_instance = engine_;
+    request.cancel = abandon;
+    requests.push_back(std::move(request));
+  }
+  std::vector<std::future<SvcResponse>> futures =
+      service_->SubmitBatch(std::move(requests));
+
+  // Settle the whole batch before surfacing any failure: the engine's
+  // shared context must stay installed while any request is still running.
+  // Futures are read in input order, so the first failure observed is the
+  // first failure by input order (cancellations can only trail it).
+  std::vector<SvcResponse> responses;
+  responses.reserve(futures.size());
+  for (std::future<SvcResponse>& future : futures) {
+    responses.push_back(future.get());
+    if (!responses.back().ok()) abandon->store(true);
   }
 
   stats_ = ExecStats{};
@@ -91,33 +147,41 @@ std::vector<Result> BatchSvcRunner::Run(const std::vector<BatchInstance>& batch,
   for (const BatchInstance& instance : batch) {
     stats_.facts += instance.db.NumEndogenous();
   }
-  stats_.threads = pool_ != nullptr ? pool_->num_threads() : 1;
-  stats_.tasks = pool_ != nullptr ? pool_->tasks_executed() - base_tasks : 0;
+  stats_.threads = threads_;
+  stats_.tasks = service_pool->tasks_executed() - base_tasks;
   stats_.oracle_calls =
       via_fgmc != nullptr ? via_fgmc->oracle_calls() - base_oracle : 0;
-  stats_.cache_hits = cache_ != nullptr ? cache_->hits() - base_hits : 0;
+  stats_.cache_hits =
+      shared_cache != nullptr ? shared_cache->hits() - base_hits : 0;
   stats_.cache_misses =
-      cache_ != nullptr ? cache_->misses() - base_misses : 0;
+      shared_cache != nullptr ? shared_cache->misses() - base_misses : 0;
+  stats_.cache_bytes =
+      shared_cache != nullptr ? shared_cache->bytes_used() : 0;
   stats_.wall_ms = std::chrono::duration<double, std::milli>(
                        std::chrono::steady_clock::now() - start)
                        .count();
+
+  std::vector<Result> results;
+  results.reserve(responses.size());
+  for (SvcResponse& response : responses) {
+    if (!response.ok()) RethrowSvcError(response);
+    results.push_back(extract(response));
+  }
   return results;
 }
 
 std::vector<std::map<Fact, BigRational>> BatchSvcRunner::AllValues(
     const std::vector<BatchInstance>& batch) {
   return Run<std::map<Fact, BigRational>>(
-      batch, [this](const BatchInstance& instance) {
-        return engine_->AllValues(*instance.query, instance.db);
-      });
+      batch, SvcMode::kAllValues,
+      [](SvcResponse& response) { return std::move(response.values); });
 }
 
 std::vector<std::pair<Fact, BigRational>> BatchSvcRunner::MaxValues(
     const std::vector<BatchInstance>& batch) {
   return Run<std::pair<Fact, BigRational>>(
-      batch, [this](const BatchInstance& instance) {
-        return engine_->MaxValue(*instance.query, instance.db);
-      });
+      batch, SvcMode::kMaxValue,
+      [](SvcResponse& response) { return std::move(response.ranked.front()); });
 }
 
 }  // namespace shapley

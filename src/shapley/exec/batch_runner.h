@@ -17,6 +17,9 @@
 
 namespace shapley {
 
+class ShapleyService;
+enum class SvcMode;  // Scoped enums may be declared opaquely (int default).
+
 /// One SVC instance of a batch: a Boolean query over a partitioned
 /// database. Instances may freely share queries, schemas and facts.
 struct BatchInstance {
@@ -26,13 +29,15 @@ struct BatchInstance {
 
 struct BatchOptions {
   /// Worker threads. 0 → one per hardware thread; 1 → serial execution
-  /// (no pool; still shares the cache and the per-instance oracle-sharing
-  /// algebra of the engines' AllValues overrides).
+  /// (requests run one at a time in submission order and the engines use
+  /// their serial per-instance paths; the cache and the oracle-sharing
+  /// algebra of the engines' AllValues overrides still apply).
   size_t threads = 0;
 
   /// Share one OracleCache across the whole batch.
   bool use_cache = true;
   size_t cache_max_entries = 1 << 16;
+  size_t cache_max_bytes = size_t{512} << 20;
 };
 
 /// Execution report of one batch run.
@@ -40,10 +45,11 @@ struct ExecStats {
   size_t instances = 0;
   size_t facts = 0;         ///< Total endogenous facts across instances.
   size_t threads = 1;       ///< Pool workers (1 = serial).
-  size_t tasks = 0;         ///< Pool queue tasks executed during the run.
+  size_t tasks = 0;         ///< Pool tasks executed (requests + chunks).
   size_t oracle_calls = 0;  ///< FGMC oracle requests (SvcViaFgmc only).
   size_t cache_hits = 0;
   size_t cache_misses = 0;
+  size_t cache_bytes = 0;   ///< Approximate bytes resident after the run.
   double wall_ms = 0.0;
 
   std::string ToString() const;
@@ -51,26 +57,27 @@ struct ExecStats {
   std::string ToJson() const;
 };
 
-/// Fans Shapley-value computation for a batch of instances across a shared
-/// thread pool, routing every counting-oracle request of every instance
-/// through one shared OracleCache. Values are exact BigRationals, computed
-/// by the installed engine, and are bit-identical to what the same engine
-/// produces serially — the runner only changes scheduling and reuse, never
-/// arithmetic.
+/// Synchronous batch front over the serving layer: fans Shapley-value
+/// computation for a batch of instances across the shared pool of an
+/// internally-owned ShapleyService, routing every counting-oracle request
+/// through the service's shared OracleCache. Values are exact BigRationals,
+/// computed by the installed engine, and are bit-identical to what the same
+/// engine produces serially — the runner only changes scheduling and reuse,
+/// never arithmetic.
 ///
-/// Parallelism has two nested levels, both dynamic: instances fan out
-/// across the pool, and each instance's AllValues fans its per-fact (or
-/// per-mask-chunk) work across the same pool; the fork-join loops let the
-/// waiting thread participate, so the nesting cannot deadlock or
-/// oversubscribe.
+/// This class is a thin adapter kept for callers that have a batch in hand
+/// and want blocking semantics plus engine exceptions; new code that
+/// streams requests, needs routing, deadlines or structured errors should
+/// talk to ShapleyService directly (service/shapley_service.h).
 class BatchSvcRunner {
  public:
   explicit BatchSvcRunner(std::shared_ptr<SvcEngine> engine,
                           BatchOptions options = {});
   ~BatchSvcRunner();
 
-  /// AllValues of every instance, in input order. Throws what the engine
-  /// throws (first failure wins; remaining work is abandoned).
+  /// AllValues of every instance, in input order. Rethrows the first
+  /// failing instance's engine error (by input order) after the batch
+  /// settles.
   std::vector<std::map<Fact, BigRational>> AllValues(
       const std::vector<BatchInstance>& batch);
 
@@ -83,17 +90,17 @@ class BatchSvcRunner {
   const ExecStats& last_stats() const { return stats_; }
 
   SvcEngine& engine() { return *engine_; }
-  ThreadPool* pool() { return pool_.get(); }        ///< Null when serial.
-  OracleCache* cache() { return cache_.get(); }     ///< Null when uncached.
+  ThreadPool* pool();        ///< Null when serial (threads == 1).
+  OracleCache* cache();      ///< Null when uncached.
 
  private:
-  template <typename Result, typename PerInstance>
+  template <typename Result, typename Extract>
   std::vector<Result> Run(const std::vector<BatchInstance>& batch,
-                          const PerInstance& per_instance);
+                          SvcMode mode, const Extract& extract);
 
   std::shared_ptr<SvcEngine> engine_;
-  std::unique_ptr<ThreadPool> pool_;
-  std::unique_ptr<OracleCache> cache_;
+  std::unique_ptr<ShapleyService> service_;
+  size_t threads_ = 1;  ///< Resolved worker count.
   ExecStats stats_;
 };
 

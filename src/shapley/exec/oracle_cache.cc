@@ -1,6 +1,5 @@
 #include "shapley/exec/oracle_cache.h"
 
-#include <mutex>
 #include <sstream>
 #include <utility>
 
@@ -32,6 +31,16 @@ void AppendFacts(std::ostream& os, const Database& part) {
   }
 }
 
+// Approximate heap footprint of a count polynomial: per-coefficient object
+// overhead plus the magnitude's limb bytes.
+size_t ApproxBytes(const Polynomial& p) {
+  size_t bytes = sizeof(Polynomial);
+  for (const BigInt& c : p.coefficients()) {
+    bytes += sizeof(BigInt) + (c.BitLength() + 7) / 8;
+  }
+  return bytes;
+}
+
 }  // namespace
 
 std::string OracleCache::Fingerprint(const std::string& oracle_name,
@@ -48,22 +57,27 @@ Polynomial OracleCache::CountBySize(FgmcEngine& oracle,
                                     const BooleanQuery& query,
                                     const PartitionedDatabase& db) {
   const std::string key = Fingerprint(oracle.name(), query, db);
+  std::shared_ptr<const Polynomial> cached;
   {
-    std::shared_lock<std::shared_mutex> lock(mutex_);
-    auto it = counts_.find(key);
-    if (it != counts_.end()) {
-      hits_.fetch_add(1, std::memory_order_relaxed);
-      return it->second;
-    }
+    std::lock_guard<std::mutex> lock(counts_.mutex);
+    counts_.Lookup(key, clock_.fetch_add(1), &cached);
+  }
+  if (cached != nullptr) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return *cached;  // The value copy happens outside the lock.
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
-  Polynomial counts = oracle.CountBySize(query, db);
+  auto counts =
+      std::make_shared<const Polynomial>(oracle.CountBySize(query, db));
+  const size_t counts_bytes = ApproxBytes(*counts);
+  std::shared_ptr<const Polynomial> resident;
   {
-    std::unique_lock<std::shared_mutex> lock(mutex_);
-    if (counts_.size() >= max_entries_) counts_.clear();
-    counts_.emplace(key, counts);
+    std::lock_guard<std::mutex> lock(counts_.mutex);
+    resident = counts_.Insert(key, std::move(counts), counts_bytes,
+                              clock_.fetch_add(1));
   }
-  return counts;
+  EnforceBudget();
+  return *resident;  // Shared-ptr keeps the value alive across eviction.
 }
 
 std::shared_ptr<const DdnnfCircuit> OracleCache::Circuit(
@@ -73,35 +87,70 @@ std::shared_ptr<const DdnnfCircuit> OracleCache::Circuit(
   key += '\x1f' + std::to_string(support_cap) + ':' +
          std::to_string(node_cap);
   {
-    std::shared_lock<std::shared_mutex> lock(mutex_);
-    auto it = circuits_.find(key);
-    if (it != circuits_.end()) {
+    std::lock_guard<std::mutex> lock(circuits_.mutex);
+    std::shared_ptr<const DdnnfCircuit> cached;
+    if (circuits_.Lookup(key, clock_.fetch_add(1), &cached)) {
       hits_.fetch_add(1, std::memory_order_relaxed);
-      return it->second;
+      return cached;
     }
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
   Lineage lineage = BuildLineage(query, db, support_cap);
   auto circuit =
       std::make_shared<const DdnnfCircuit>(CompileDnf(lineage, node_cap));
+  std::shared_ptr<const DdnnfCircuit> resident;
   {
-    std::unique_lock<std::shared_mutex> lock(mutex_);
-    if (circuits_.size() >= max_entries_) circuits_.clear();
-    auto [it, inserted] = circuits_.emplace(std::move(key), circuit);
-    if (!inserted) circuit = it->second;  // First insert wins.
+    std::lock_guard<std::mutex> lock(circuits_.mutex);
+    resident = circuits_.Insert(std::move(key), circuit,
+                                circuit->ApproxBytes(), clock_.fetch_add(1));
   }
-  return circuit;
+  EnforceBudget();
+  return resident;
+}
+
+void OracleCache::EnforceBudget() {
+  std::scoped_lock lock(counts_.mutex, circuits_.mutex);
+  size_t evicted = 0;
+  // Per-table entry bound.
+  while (counts_.CanEvict() && counts_.lru.size() > max_entries_) {
+    counts_.EvictTail();
+    ++evicted;
+  }
+  while (circuits_.CanEvict() && circuits_.lru.size() > max_entries_) {
+    circuits_.EvictTail();
+    ++evicted;
+  }
+  // Shared byte budget, true LRU across both tables via the use ticks.
+  while (counts_.bytes + circuits_.bytes > max_bytes_) {
+    const bool counts_evictable = counts_.CanEvict();
+    const bool circuits_evictable = circuits_.CanEvict();
+    if (counts_evictable &&
+        (!circuits_evictable || counts_.TailTick() < circuits_.TailTick())) {
+      counts_.EvictTail();
+    } else if (circuits_evictable) {
+      circuits_.EvictTail();
+    } else {
+      break;  // Only the per-table most recent entries remain.
+    }
+    ++evicted;
+  }
+  if (evicted > 0) evictions_.fetch_add(evicted, std::memory_order_relaxed);
 }
 
 size_t OracleCache::size() const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
-  return counts_.size() + circuits_.size();
+  std::scoped_lock lock(counts_.mutex, circuits_.mutex);
+  return counts_.lru.size() + circuits_.lru.size();
+}
+
+size_t OracleCache::bytes_used() const {
+  std::scoped_lock lock(counts_.mutex, circuits_.mutex);
+  return counts_.bytes + circuits_.bytes;
 }
 
 void OracleCache::Clear() {
-  std::unique_lock<std::shared_mutex> lock(mutex_);
-  counts_.clear();
-  circuits_.clear();
+  std::scoped_lock lock(counts_.mutex, circuits_.mutex);
+  counts_.Clear();
+  circuits_.Clear();
 }
 
 }  // namespace shapley

@@ -3,9 +3,12 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <list>
 #include <memory>
-#include <shared_mutex>
+#include <mutex>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 
 #include "shapley/arith/polynomial.h"
@@ -18,7 +21,7 @@ class FgmcEngine;
 class PartitionedDatabase;
 
 /// Memoizes the expensive artifacts of the counting pipeline across facts,
-/// instances and whole batch runs:
+/// instances, batches and whole service lifetimes:
 ///  - FGMC count-by-size polynomials, keyed by (oracle, query, Dn, Dx) —
 ///    the unit of cost of the SVC ≤ FGMC reduction (Claim A.1), so every
 ///    hit eliminates one full stratified count;
@@ -28,18 +31,35 @@ class PartitionedDatabase;
 /// Keys are canonical fingerprints: the query's text plus the sorted fact
 /// lists of both database parts (relation names + interned constant ids),
 /// so two inputs fingerprint equal iff they are the same query text over
-/// equal partitioned fact sets. All entry points are thread-safe;
-/// concurrent misses on one key compute independently and the first insert
-/// wins (duplicates are discarded — results for equal keys are equal).
+/// equal partitioned fact sets. All entry points are thread-safe — each
+/// table has its own lock, so polynomial and circuit *lookups* never
+/// contend with each other (the post-insert budget pass briefly takes
+/// both); concurrent misses on one key compute independently and the
+/// first insert wins (duplicates are discarded — results for equal keys
+/// are equal).
 ///
-/// Capacity is bounded by `max_entries` per table with epoch eviction: when
-/// a table would exceed the bound it is cleared wholesale. The workloads
-/// here have no useful recency structure (a batch either fits or cycles),
-/// so the dumb policy beats per-entry bookkeeping.
+/// Both tables store their values behind shared_ptr, so the under-lock
+/// work of a hit is a pointer copy plus the O(1) LRU splice — never a
+/// deep copy of coefficient limbs or circuit nodes.
+///
+/// Capacity is bounded two ways: `max_entries` entries per table, and one
+/// `max_bytes` budget of approximate heap footprint (key string +
+/// polynomial coefficient limbs, or compiled circuit nodes) SHARED across
+/// both tables — circuits routinely outweigh polynomials by orders of
+/// magnitude, so counting entries alone would let a handful of circuits
+/// blow the budget. Eviction is LRU by size across the whole cache (use
+/// ticks order entries of both tables on one clock): when a bound is
+/// exceeded, globally least-recently-used entries are dropped until the
+/// cache fits again, so a long-lived serving process keeps its hot working
+/// set instead of clearing wholesale. Each table always retains its most
+/// recent entry, even when that entry alone exceeds the byte budget —
+/// refusing it would recompute forever.
 class OracleCache {
  public:
-  explicit OracleCache(size_t max_entries = 1 << 16)
-      : max_entries_(max_entries == 0 ? 1 : max_entries) {}
+  explicit OracleCache(size_t max_entries = 1 << 16,
+                       size_t max_bytes = size_t{512} << 20)
+      : max_entries_(max_entries == 0 ? 1 : max_entries),
+        max_bytes_(max_bytes == 0 ? 1 : max_bytes) {}
 
   /// oracle.CountBySize(query, db), memoized.
   Polynomial CountBySize(FgmcEngine& oracle, const BooleanQuery& query,
@@ -60,17 +80,88 @@ class OracleCache {
 
   size_t hits() const { return hits_.load(); }
   size_t misses() const { return misses_.load(); }
+  /// Entries dropped by LRU-by-size eviction so far.
+  size_t evictions() const { return evictions_.load(); }
   size_t size() const;
+  /// Approximate bytes held across both tables right now.
+  size_t bytes_used() const;
   void Clear();
 
  private:
+  /// One LRU table: list front = most recently used; the index maps the
+  /// key (owned by the list node, stable across splices) to its node.
+  /// Entries carry a use tick from the cache-wide clock so the two tables
+  /// can be evicted against each other in true LRU order. All fields are
+  /// guarded by `mutex`.
+  template <typename Value>
+  struct Shard {
+    struct Entry {
+      std::string key;
+      Value value;
+      size_t bytes = 0;
+      uint64_t tick = 0;
+    };
+    mutable std::mutex mutex;
+    std::list<Entry> lru;
+    std::unordered_map<std::string_view, typename std::list<Entry>::iterator>
+        index;
+    size_t bytes = 0;
+
+    /// Bumps an existing entry and copies out the value; false on miss.
+    bool Lookup(const std::string& key, uint64_t tick, Value* out) {
+      auto it = index.find(std::string_view(key));
+      if (it == index.end()) return false;
+      lru.splice(lru.begin(), lru, it->second);
+      it->second->tick = tick;
+      *out = it->second->value;
+      return true;
+    }
+
+    /// Inserts (first insert wins) and returns the resident value.
+    Value Insert(std::string key, Value value, size_t value_bytes,
+                 uint64_t tick) {
+      auto it = index.find(std::string_view(key));
+      if (it != index.end()) {  // Concurrent miss landed first.
+        lru.splice(lru.begin(), lru, it->second);
+        it->second->tick = tick;
+        return it->second->value;
+      }
+      lru.push_front(Entry{std::move(key), std::move(value), 0, tick});
+      lru.front().bytes = lru.front().key.size() + value_bytes;
+      bytes += lru.front().bytes;
+      index.emplace(std::string_view(lru.front().key), lru.begin());
+      return lru.front().value;
+    }
+
+    /// True when the LRU tail may be evicted (never the sole entry).
+    bool CanEvict() const { return lru.size() > 1; }
+    /// Use tick of the LRU tail (call only when non-empty).
+    uint64_t TailTick() const { return lru.back().tick; }
+
+    void EvictTail() {
+      index.erase(std::string_view(lru.back().key));
+      bytes -= lru.back().bytes;
+      lru.pop_back();
+    }
+
+    void Clear() {
+      index.clear();
+      lru.clear();
+      bytes = 0;
+    }
+  };
+
+  /// Applies both bounds; locks both shards (scoped_lock, deadlock-free).
+  void EnforceBudget();
+
   const size_t max_entries_;
-  mutable std::shared_mutex mutex_;
-  std::unordered_map<std::string, Polynomial> counts_;
-  std::unordered_map<std::string, std::shared_ptr<const DdnnfCircuit>>
-      circuits_;
+  const size_t max_bytes_;
+  Shard<std::shared_ptr<const Polynomial>> counts_;
+  Shard<std::shared_ptr<const DdnnfCircuit>> circuits_;
+  std::atomic<uint64_t> clock_{0};
   std::atomic<size_t> hits_{0};
   std::atomic<size_t> misses_{0};
+  std::atomic<size_t> evictions_{0};
 };
 
 }  // namespace shapley

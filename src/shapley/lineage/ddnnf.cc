@@ -330,4 +330,12 @@ BigInt DdnnfCircuit::ModelCount() const {
   return CountBySize().SumOfCoefficients();
 }
 
+size_t DdnnfCircuit::ApproxBytes() const {
+  size_t bytes = sizeof(DdnnfCircuit) + nodes_.capacity() * sizeof(Node);
+  for (const Node& node : nodes_) {
+    bytes += node.children.capacity() * sizeof(uint32_t);
+  }
+  return bytes;
+}
+
 }  // namespace shapley

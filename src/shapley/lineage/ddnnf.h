@@ -55,6 +55,12 @@ class DdnnfCircuit {
   /// Total number of satisfying assignments (CountBySize at z = 1).
   BigInt ModelCount() const;
 
+  /// Approximate heap footprint in bytes (node array + child lists) — the
+  /// unit of the size-aware cache accounting in exec/oracle_cache.h.
+  /// Circuits routinely outweigh count polynomials by orders of magnitude,
+  /// which is why the cache budgets bytes rather than entries alone.
+  size_t ApproxBytes() const;
+
  private:
   friend DdnnfCircuit CompileDnf(const Lineage& lineage, size_t node_cap);
   friend DdnnfCircuit CompileDnf(const Lineage& lineage,

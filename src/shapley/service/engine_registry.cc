@@ -1,0 +1,106 @@
+#include "shapley/service/engine_registry.h"
+
+#include <sstream>
+#include <utility>
+
+#include "shapley/analysis/structure.h"
+#include "shapley/engines/fgmc.h"
+#include "shapley/query/conjunctive_query.h"
+
+namespace shapley {
+
+EngineRegistry EngineRegistry::Default() {
+  EngineRegistry registry;
+  registry.Register(
+      {"brute", "exhaustive 2^|Dn| subset sweep (any query class)",
+       BruteForceSvc().caps(),
+       [] { return std::make_shared<BruteForceSvc>(); }});
+  registry.Register(
+      {"permutations", "|Dn|! permutation sweep (tiny cross-validation)",
+       PermutationSvc().caps(),
+       [] { return std::make_shared<PermutationSvc>(); }});
+  registry.Register(
+      {"lifted",
+       "SVC via lifted safe-plan FGMC (hierarchical sjf-CQ, polynomial)",
+       LiftedFgmc().caps(), [] {
+         return std::make_shared<SvcViaFgmc>(std::make_shared<LiftedFgmc>());
+       }});
+  registry.Register(
+      {"ddnnf", "SVC via lineage + d-DNNF compilation (monotone queries)",
+       LineageFgmc().caps(), [] {
+         return std::make_shared<SvcViaFgmc>(std::make_shared<LineageFgmc>());
+       }});
+  return registry;
+}
+
+void EngineRegistry::Register(Entry entry) {
+  std::string name = entry.name;
+  entries_.insert_or_assign(std::move(name), std::move(entry));
+}
+
+const EngineRegistry::Entry* EngineRegistry::Find(
+    const std::string& name) const {
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::shared_ptr<SvcEngine> EngineRegistry::Create(
+    const std::string& name) const {
+  const Entry* entry = Find(name);
+  if (entry == nullptr) throw SvcException(UnknownEngineError(name));
+  return entry->factory();
+}
+
+SvcError EngineRegistry::UnknownEngineError(const std::string& name) const {
+  std::ostringstream os;
+  os << "unknown engine '" << name << "' (known:";
+  for (const std::string& known : Names()) os << ' ' << known;
+  os << ')';
+  return {SvcErrorCode::kInvalidRequest, os.str(), ""};
+}
+
+std::vector<std::string> EngineRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) names.push_back(name);
+  return names;
+}
+
+bool CapsAdmit(const EngineCaps& caps, const BooleanQuery& query,
+               size_t num_endogenous, std::string* reason) {
+  auto reject = [&](const std::string& why) {
+    if (reason != nullptr) *reason = why;
+    return false;
+  };
+  if (num_endogenous > caps.max_endogenous) {
+    return reject("|Dn| = " + std::to_string(num_endogenous) +
+                  " exceeds the engine's capacity of " +
+                  std::to_string(caps.max_endogenous) + " endogenous facts");
+  }
+  if (caps.all_query_classes) return true;
+  if (caps.monotone_only) {
+    if (!query.IsMonotone()) {
+      return reject("engine handles monotone queries only");
+    }
+    return true;
+  }
+  if (caps.hierarchical_sjf_cq_only) {
+    const auto* cq = dynamic_cast<const ConjunctiveQuery*>(&query);
+    if (cq == nullptr) {
+      return reject("engine handles conjunctive queries only");
+    }
+    if (cq->HasNegation()) {
+      return reject("engine handles positive CQs only");
+    }
+    if (!IsSelfJoinFree(*cq)) {
+      return reject("engine requires a self-join-free CQ");
+    }
+    if (!IsHierarchical(*cq)) {
+      return reject("engine requires a hierarchical CQ");
+    }
+    return true;
+  }
+  return reject("engine declares no supported query class");
+}
+
+}  // namespace shapley

@@ -1,0 +1,70 @@
+#ifndef SHAPLEY_SERVICE_ENGINE_REGISTRY_H_
+#define SHAPLEY_SERVICE_ENGINE_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "shapley/engines/capabilities.h"
+#include "shapley/engines/svc.h"
+
+namespace shapley {
+
+/// Name → engine factory with capability metadata — the one place engine
+/// dispatch lives (it replaces the ad-hoc --engine string switch the CLI
+/// used to carry). The service consults the caps for routing and
+/// pre-flight validation; factories produce a fresh instance per request,
+/// so engines never share mutable state across concurrent requests.
+class EngineRegistry {
+ public:
+  using Factory = std::function<std::shared_ptr<SvcEngine>()>;
+
+  struct Entry {
+    std::string name;
+    std::string description;
+    EngineCaps caps;
+    Factory factory;
+  };
+
+  /// The built-in engines:
+  ///   brute         — exhaustive 2^|Dn| sweep, any query class, |Dn| <= 25
+  ///   permutations  — |Dn|! cross-validation oracle, |Dn| <= 9
+  ///   lifted        — via-FGMC over the lifted safe plan (hierarchical
+  ///                   sjf-CQs; the polynomial side of the dichotomy)
+  ///   ddnnf         — via-FGMC over lineage + d-DNNF compilation
+  ///                   (monotone queries; exact, worst-case exponential)
+  static EngineRegistry Default();
+
+  /// Adds or replaces an entry under entry.name.
+  void Register(Entry entry);
+
+  /// Null when unknown.
+  const Entry* Find(const std::string& name) const;
+
+  /// A fresh engine instance; throws SvcException(kInvalidRequest) listing
+  /// the known names when `name` is unknown.
+  std::shared_ptr<SvcEngine> Create(const std::string& name) const;
+
+  /// The one "unknown engine 'x' (known: ...)" error — shared by Create's
+  /// throw and the service's structured-response path.
+  SvcError UnknownEngineError(const std::string& name) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> Names() const;
+
+ private:
+  std::map<std::string, Entry> entries_;
+};
+
+/// True iff an engine with `caps` can serve `query` over a database with
+/// `num_endogenous` players; on rejection, *reason (when non-null) gets a
+/// one-line explanation. This is where capability metadata meets the
+/// structural analysis (hierarchicalness, self-join-freeness, monotonicity).
+bool CapsAdmit(const EngineCaps& caps, const BooleanQuery& query,
+               size_t num_endogenous, std::string* reason = nullptr);
+
+}  // namespace shapley
+
+#endif  // SHAPLEY_SERVICE_ENGINE_REGISTRY_H_

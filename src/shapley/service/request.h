@@ -1,0 +1,121 @@
+#ifndef SHAPLEY_SERVICE_REQUEST_H_
+#define SHAPLEY_SERVICE_REQUEST_H_
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "shapley/analysis/classifier.h"
+#include "shapley/arith/big_rational.h"
+#include "shapley/data/partitioned_database.h"
+#include "shapley/engines/svc.h"
+#include "shapley/engines/svc_error.h"
+#include "shapley/query/boolean_query.h"
+
+namespace shapley {
+
+/// What a request asks of the service.
+enum class SvcMode {
+  kAllValues,     ///< Shapley value of every endogenous fact.
+  kMaxValue,      ///< One fact of maximum value (Section 6.3).
+  kTopK,          ///< The top_k highest-valued facts, descending.
+  kClassifyOnly,  ///< Just the dichotomy verdict — no engine runs.
+};
+
+std::string ToString(SvcMode mode);
+
+/// Cooperative cancellation flag, shared between a client and any number of
+/// its in-flight requests. Setting it fails not-yet-started requests with
+/// SvcErrorCode::kCancelled (requests already executing run to completion —
+/// the exact engines have no safe preemption points).
+using CancelToken = std::shared_ptr<std::atomic<bool>>;
+
+inline CancelToken MakeCancelToken() {
+  return std::make_shared<std::atomic<bool>>(false);
+}
+
+/// One typed request: a Boolean query over a partitioned database, plus
+/// serving directives. Requests are self-contained values — they can be
+/// built on any thread and freely share queries/schemas/facts.
+struct SvcRequest {
+  QueryPtr query;
+  PartitionedDatabase db;
+  SvcMode mode = SvcMode::kAllValues;
+
+  /// kTopK only: how many facts to return (clipped to |Dn|).
+  size_t top_k = 3;
+
+  /// Engine override by registry name ("brute", "lifted", "ddnnf",
+  /// "permutations"). Empty = automatic dichotomy routing: the classifier
+  /// verdict picks the lifted via-FGMC engine on the tractable hierarchical
+  /// sjf-CQ side and falls back to guarded brute force otherwise.
+  std::string engine;
+
+  /// Strongest override: a caller-owned engine instance, called as-is. The
+  /// service does not install its shared ExecContext on it — the caller
+  /// manages the instance's context and its thread-safety across requests —
+  /// and skips classification (the verdict would not route anything), so
+  /// the response's verdict reads "unclassified". This is how
+  /// BatchSvcRunner preserves its historical behavior and cost profile.
+  std::shared_ptr<SvcEngine> engine_instance;
+
+  /// Absolute deadline; a request past it when dequeued fails with
+  /// kDeadlineExceeded without running its engine.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+
+  /// Optional cancellation token (see CancelToken).
+  CancelToken cancel;
+
+  /// Convenience: deadline = now + budget.
+  SvcRequest& WithTimeout(std::chrono::milliseconds budget) {
+    deadline = std::chrono::steady_clock::now() + budget;
+    return *this;
+  }
+};
+
+/// Per-request timing, attached to every response.
+struct RequestStats {
+  double queue_ms = 0.0;  ///< Submit → execution start (time in the queue).
+  double exec_ms = 0.0;   ///< Execution start → response ready.
+};
+
+/// The service's answer. Every response — success or failure — carries the
+/// classifier verdict for its query: the dichotomy is part of the answer,
+/// not a hidden routing detail.
+struct SvcResponse {
+  SvcMode mode = SvcMode::kAllValues;
+
+  /// Dichotomy verdict of ClassifySvcComplexity (always populated once the
+  /// request parsed; default-initialized kUnknown for malformed requests).
+  DichotomyVerdict verdict;
+
+  /// Name of the engine that served the request ("" when none ran).
+  std::string engine;
+  /// True when the engine was picked by dichotomy routing rather than a
+  /// per-request override.
+  bool routed_by_classifier = false;
+
+  /// kAllValues result.
+  std::map<Fact, BigRational> values;
+  /// kMaxValue (size 1) / kTopK (size <= top_k) results, by descending
+  /// value; ties broken by fact order for determinism.
+  std::vector<std::pair<Fact, BigRational>> ranked;
+
+  std::optional<SvcError> error;
+  /// The engine exception behind `error`, when one was caught (null for
+  /// front-end failures: deadline, cancellation, routing). Lets synchronous
+  /// adapters rethrow exactly what the engine threw.
+  std::exception_ptr raw_exception;
+  RequestStats stats;
+
+  bool ok() const { return !error.has_value(); }
+};
+
+}  // namespace shapley
+
+#endif  // SHAPLEY_SERVICE_REQUEST_H_

@@ -1,0 +1,306 @@
+#include "shapley/service/shapley_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "shapley/analysis/classifier.h"
+#include "shapley/engines/fgmc.h"
+
+namespace shapley {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsBetween(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+/// An immediately-ready future (used when the service refuses work without
+/// touching the pool).
+std::future<SvcResponse> ReadyFuture(SvcResponse response) {
+  std::promise<SvcResponse> promise;
+  promise.set_value(std::move(response));
+  return promise.get_future();
+}
+
+/// values sorted by descending value, ties by fact order, first k.
+std::vector<std::pair<Fact, BigRational>> TopK(
+    const std::map<Fact, BigRational>& values, size_t k) {
+  std::vector<std::pair<Fact, BigRational>> ranked(values.begin(),
+                                                   values.end());
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const auto& a, const auto& b) {
+                     if (a.second != b.second) return b.second < a.second;
+                     return a.first < b.first;
+                   });
+  if (ranked.size() > k) ranked.resize(k);
+  return ranked;
+}
+
+}  // namespace
+
+std::string ToString(SvcMode mode) {
+  switch (mode) {
+    case SvcMode::kAllValues:
+      return "all-values";
+    case SvcMode::kMaxValue:
+      return "max-value";
+    case SvcMode::kTopK:
+      return "top-k";
+    case SvcMode::kClassifyOnly:
+      return "classify-only";
+  }
+  return "?";
+}
+
+ShapleyService::ShapleyService(ServiceOptions options, EngineRegistry registry)
+    : options_(options), registry_(std::move(registry)) {
+  if (options_.use_cache) {
+    cache_ = std::make_unique<OracleCache>(options_.cache_max_entries,
+                                           options_.cache_max_bytes);
+  }
+  size_t threads = options_.threads;
+  if (threads == 0) {
+    threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  pool_ = std::make_unique<ThreadPool>(threads);
+  // Engine-internal fan-out only pays off with real parallelism; with one
+  // worker the engines run their serial (deterministic-order) paths.
+  context_ =
+      ExecContext{threads > 1 ? pool_.get() : nullptr, cache_.get()};
+}
+
+ShapleyService::~ShapleyService() {
+  Shutdown();
+  pool_.reset();  // Drains queued requests (each resolves kCancelled).
+}
+
+void ShapleyService::Shutdown() { shutting_down_.store(true); }
+
+std::future<SvcResponse> ShapleyService::Submit(SvcRequest request) {
+  const Clock::time_point submitted = Clock::now();
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (shutting_down_.load()) {
+    SvcResponse response;
+    response.mode = request.mode;
+    response.error = SvcError{SvcErrorCode::kCancelled,
+                              "service is shutting down", ""};
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    return ReadyFuture(std::move(response));
+  }
+  auto shared = std::make_shared<SvcRequest>(std::move(request));
+  return pool_->Submit(
+      [this, shared, submitted] { return Execute(*shared, submitted); });
+}
+
+std::vector<std::future<SvcResponse>> ShapleyService::SubmitBatch(
+    std::vector<SvcRequest> requests) {
+  std::vector<std::future<SvcResponse>> futures;
+  futures.reserve(requests.size());
+  for (SvcRequest& request : requests) {
+    futures.push_back(Submit(std::move(request)));
+  }
+  return futures;
+}
+
+SvcResponse ShapleyService::Compute(SvcRequest request) {
+  const Clock::time_point submitted = Clock::now();
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  return Execute(request, submitted);
+}
+
+std::shared_ptr<SvcEngine> ShapleyService::MakeConfiguredEngine(
+    const EngineRegistry::Entry& entry) const {
+  std::shared_ptr<SvcEngine> engine = entry.factory();
+  engine->set_exec_context(context_);
+  // A d-DNNF-backed oracle additionally shares compiled circuits through
+  // the cache (one compilation serves FGMC, PQE and repeated probes).
+  if (auto* via_fgmc = dynamic_cast<SvcViaFgmc*>(engine.get())) {
+    if (auto* lineage =
+            dynamic_cast<LineageFgmc*>(via_fgmc->oracle().get())) {
+      lineage->set_circuit_cache(cache_.get());
+    }
+  }
+  return engine;
+}
+
+namespace {
+
+// Routing preference among admitting engines: class specialists first
+// (their restriction certifies a polynomial algorithm — the tractable side
+// of the dichotomy), then guarded exhaustive engines (cheap and exact for
+// small instances of any class), then compilation-based engines as the
+// last resort (exact, but worst-case exponential behind a node cap).
+int RoutePreference(const EngineCaps& caps) {
+  if (caps.hierarchical_sjf_cq_only) return 0;
+  if (caps.all_query_classes) return 1;
+  return 2;
+}
+
+}  // namespace
+
+std::shared_ptr<SvcEngine> ShapleyService::Route(const BooleanQuery& query,
+                                                 size_t num_endogenous,
+                                                 SvcResponse* response) const {
+  // Scan the whole registry by capability, so Register()-ing an engine
+  // (e.g. a future sampling engine) extends routing without touching this
+  // code. The exhaustive engines additionally honor the service-level
+  // fallback guard: beyond it they are not "an engine", they are a sweep
+  // that cannot finish.
+  const EngineRegistry::Entry* best = nullptr;
+  for (const std::string& name : registry_.Names()) {
+    const EngineRegistry::Entry* entry = registry_.Find(name);
+    if (entry->caps.all_query_classes &&
+        num_endogenous > options_.brute_force_max_facts) {
+      continue;
+    }
+    if (!CapsAdmit(entry->caps, query, num_endogenous, nullptr)) continue;
+    if (best == nullptr ||
+        RoutePreference(entry->caps) < RoutePreference(best->caps)) {
+      best = entry;
+    }
+  }
+  if (best == nullptr) {
+    response->error = SvcError{
+        SvcErrorCode::kCapacityExceeded,
+        "no registered engine admits |Dn| = " +
+            std::to_string(num_endogenous) + " for [" +
+            response->verdict.query_class +
+            "] (exhaustive fallback guard: " +
+            std::to_string(std::min(options_.brute_force_max_facts,
+                                    kBruteForceMaxEndogenous)) +
+            "): " + response->verdict.justification,
+        ""};
+    return nullptr;
+  }
+  response->routed_by_classifier = true;
+  return MakeConfiguredEngine(*best);
+}
+
+SvcResponse ShapleyService::Execute(const SvcRequest& request,
+                                    Clock::time_point submitted) {
+  const Clock::time_point start = Clock::now();
+  SvcResponse response;
+  response.mode = request.mode;
+  response.stats.queue_ms = MsBetween(submitted, start);
+
+  auto finish = [&](SvcResponse&& done) -> SvcResponse {
+    done.stats.exec_ms = MsBetween(start, Clock::now());
+    (done.ok() ? completed_ : failed_).fetch_add(1, std::memory_order_relaxed);
+    return std::move(done);
+  };
+  auto fail = [&](SvcErrorCode code, std::string message,
+                  std::string engine = "") -> SvcResponse {
+    response.error = SvcError{code, std::move(message), std::move(engine)};
+    return finish(std::move(response));
+  };
+
+  if (shutting_down_.load()) {
+    return fail(SvcErrorCode::kCancelled, "service is shutting down");
+  }
+  if (request.cancel != nullptr && request.cancel->load()) {
+    return fail(SvcErrorCode::kCancelled, "request was cancelled");
+  }
+  if (request.deadline.has_value() && start > *request.deadline) {
+    return fail(SvcErrorCode::kDeadlineExceeded,
+                "deadline passed " +
+                    std::to_string(MsBetween(*request.deadline, start)) +
+                    " ms before execution started");
+  }
+  if (request.query == nullptr) {
+    return fail(SvcErrorCode::kInvalidRequest, "request has no query");
+  }
+
+  // A caller-owned engine instance bypasses routing, so the classifier's
+  // verdict would be dead weight computed per request — skip it (this is
+  // the BatchSvcRunner path, which must not pay costs the historical
+  // runner never paid). Every routed or registry-named request is
+  // classified and carries the verdict in its response.
+  if (request.engine_instance == nullptr ||
+      request.mode == SvcMode::kClassifyOnly) {
+    try {
+      response.verdict = ClassifySvcComplexity(*request.query);
+    } catch (const std::exception& e) {
+      // An honest kUnknown: classification failing must not take the
+      // request down with it — routing falls back to the guarded
+      // brute-force path.
+      response.verdict = DichotomyVerdict{};
+      response.verdict.query_class = "unclassified";
+      response.verdict.justification = std::string("classifier failed: ") +
+                                       e.what();
+    }
+  } else {
+    response.verdict.query_class = "unclassified";
+    response.verdict.justification =
+        "classification skipped: caller-supplied engine instance";
+  }
+  if (request.mode == SvcMode::kClassifyOnly) {
+    return finish(std::move(response));
+  }
+
+  const size_t n = request.db.NumEndogenous();
+  std::shared_ptr<SvcEngine> engine;
+  if (request.engine_instance != nullptr) {
+    engine = request.engine_instance;
+  } else if (!request.engine.empty()) {
+    const EngineRegistry::Entry* entry = registry_.Find(request.engine);
+    if (entry == nullptr) {
+      SvcError unknown = registry_.UnknownEngineError(request.engine);
+      return fail(unknown.code, unknown.message);
+    }
+    std::string reason;
+    if (!CapsAdmit(entry->caps, *request.query, n, &reason)) {
+      const SvcErrorCode code = n > entry->caps.max_endogenous
+                                    ? SvcErrorCode::kCapacityExceeded
+                                    : SvcErrorCode::kUnsupportedQuery;
+      return fail(code, reason, entry->name);
+    }
+    engine = MakeConfiguredEngine(*entry);
+  } else {
+    engine = Route(*request.query, n, &response);
+    if (engine == nullptr) return finish(std::move(response));
+  }
+  response.engine = engine->name();
+
+  try {
+    switch (request.mode) {
+      case SvcMode::kAllValues:
+        response.values = engine->AllValues(*request.query, request.db);
+        break;
+      case SvcMode::kMaxValue:
+        response.ranked.push_back(
+            engine->MaxValue(*request.query, request.db));
+        break;
+      case SvcMode::kTopK:
+        response.ranked =
+            TopK(engine->AllValues(*request.query, request.db),
+                 request.top_k);
+        break;
+      case SvcMode::kClassifyOnly:
+        break;  // Handled above.
+    }
+  } catch (const SvcException& e) {
+    SvcError error = e.error();
+    if (error.engine.empty()) error.engine = response.engine;
+    response.error = std::move(error);
+    response.raw_exception = std::current_exception();
+  } catch (const std::invalid_argument& e) {
+    response.error =
+        SvcError{SvcErrorCode::kInvalidRequest, e.what(), response.engine};
+    response.raw_exception = std::current_exception();
+  } catch (const std::exception& e) {
+    response.error =
+        SvcError{SvcErrorCode::kEngineFailure, e.what(), response.engine};
+    response.raw_exception = std::current_exception();
+  } catch (...) {
+    // The "future.get() never throws" contract must hold even for throws
+    // outside the std::exception hierarchy.
+    response.error = SvcError{SvcErrorCode::kEngineFailure,
+                              "non-standard exception", response.engine};
+    response.raw_exception = std::current_exception();
+  }
+  return finish(std::move(response));
+}
+
+}  // namespace shapley

@@ -1,0 +1,132 @@
+#ifndef SHAPLEY_SERVICE_SHAPLEY_SERVICE_H_
+#define SHAPLEY_SERVICE_SHAPLEY_SERVICE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "shapley/engines/svc.h"
+#include "shapley/exec/exec_context.h"
+#include "shapley/exec/oracle_cache.h"
+#include "shapley/exec/thread_pool.h"
+#include "shapley/service/engine_registry.h"
+#include "shapley/service/request.h"
+
+namespace shapley {
+
+struct ServiceOptions {
+  /// Worker threads serving requests (and fanning each request's per-fact
+  /// work). 0 → one per hardware thread. 1 keeps Submit() non-blocking but
+  /// executes requests one at a time in submission order, with the
+  /// engine-internal work serial too — the deterministic mode.
+  size_t threads = 0;
+
+  /// Share one OracleCache across every request the service ever serves.
+  bool use_cache = true;
+  size_t cache_max_entries = 1 << 16;
+  size_t cache_max_bytes = size_t{512} << 20;
+
+  /// |Dn| guard of the brute-force fallback on the #P-hard side of the
+  /// dichotomy: larger instances fail with kCapacityExceeded instead of
+  /// starting a 2^|Dn| sweep that cannot finish. Clipped to
+  /// kBruteForceMaxEndogenous.
+  size_t brute_force_max_facts = kBruteForceMaxEndogenous;
+};
+
+/// The serving front-end of the library — the paper's dichotomy turned
+/// into a routing policy.
+///
+/// ShapleyService accepts typed SvcRequests and returns futures for typed
+/// SvcResponses. Submit() is non-blocking: the request is queued on the
+/// service's long-lived ThreadPool and executed when a worker frees up.
+/// Every request is classified (ClassifySvcComplexity) and the verdict is
+/// embedded in its response; unless overridden, the verdict also routes
+/// the request — the lifted via-FGMC engine on the tractable hierarchical
+/// sjf-CQ side, guarded brute force otherwise, and a structured SvcError
+/// (never a stray exception) when neither applies. The pool, the
+/// size-aware OracleCache and the registry are owned here as process-wide
+/// shared state: one service instance is the intended lifetime for a whole
+/// serving process, and `BatchSvcRunner` is a thin synchronous adapter
+/// over it.
+///
+/// Thread-safety: Submit/SubmitBatch/Compute may be called from any number
+/// of client threads concurrently. Engines are instantiated per request
+/// from the registry, so no engine state is shared across requests (except
+/// caller-provided engine_instance overrides, whose sharing discipline is
+/// the caller's).
+///
+/// Failure discipline: Execute never throws — every failure (capacity,
+/// unsupported class, deadline, cancellation, engine error) becomes
+/// SvcResponse::error, so a worker thread can never die on a request and
+/// future.get() never surprises the client with an engine exception.
+class ShapleyService {
+ public:
+  explicit ShapleyService(ServiceOptions options = {},
+                          EngineRegistry registry = EngineRegistry::Default());
+  ~ShapleyService();
+
+  ShapleyService(const ShapleyService&) = delete;
+  ShapleyService& operator=(const ShapleyService&) = delete;
+
+  /// Queues one request; non-blocking. The future is always eventually
+  /// ready and never throws on get().
+  std::future<SvcResponse> Submit(SvcRequest request);
+
+  /// Queues many requests at once; futures in input order.
+  std::vector<std::future<SvcResponse>> SubmitBatch(
+      std::vector<SvcRequest> requests);
+
+  /// Blocking convenience: executes the request inline on the calling
+  /// thread (no queue hop; engine-internal work still fans across the
+  /// pool when threads > 1).
+  SvcResponse Compute(SvcRequest request);
+
+  /// Stops accepting work; queued-but-unstarted requests resolve with
+  /// kCancelled. Idempotent. Also called by the destructor, which then
+  /// drains the pool.
+  void Shutdown();
+
+  const EngineRegistry& registry() const { return registry_; }
+  const ServiceOptions& options() const { return options_; }
+
+  /// The shared pool (never null; size options().threads resolved).
+  ThreadPool* pool() { return pool_.get(); }
+  /// The shared cache; null when options().use_cache is false.
+  OracleCache* cache() { return cache_.get(); }
+
+  size_t requests_submitted() const { return submitted_.load(); }
+  size_t requests_completed() const { return completed_.load(); }
+  size_t requests_failed() const { return failed_.load(); }
+
+ private:
+  SvcResponse Execute(const SvcRequest& request,
+                      std::chrono::steady_clock::time_point submitted);
+
+  /// Registry factory + shared-context install (pool when parallel, cache,
+  /// d-DNNF circuit sharing).
+  std::shared_ptr<SvcEngine> MakeConfiguredEngine(
+      const EngineRegistry::Entry& entry) const;
+
+  /// Dichotomy routing; on failure fills response->error and returns null.
+  std::shared_ptr<SvcEngine> Route(const BooleanQuery& query,
+                                   size_t num_endogenous,
+                                   SvcResponse* response) const;
+
+  const ServiceOptions options_;
+  const EngineRegistry registry_;
+  std::unique_ptr<OracleCache> cache_;
+  std::unique_ptr<ThreadPool> pool_;
+  ExecContext context_;  ///< Installed on registry-created engines.
+  std::atomic<bool> shutting_down_{false};
+  std::atomic<size_t> submitted_{0};
+  std::atomic<size_t> completed_{0};
+  std::atomic<size_t> failed_{0};
+};
+
+}  // namespace shapley
+
+#endif  // SHAPLEY_SERVICE_SHAPLEY_SERVICE_H_

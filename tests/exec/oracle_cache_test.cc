@@ -100,7 +100,7 @@ TEST_F(OracleCacheTest, CircuitCacheDrivesLineageFgmc) {
   lineage.set_circuit_cache(nullptr);
 }
 
-TEST_F(OracleCacheTest, EvictsWholesaleWhenFull) {
+TEST_F(OracleCacheTest, EvictsLruByCountWhenFull) {
   CqPtr q = ParseCq(schema_, "R(x)");
   OracleCache cache(/*max_entries=*/2);
   BruteForceFgmc oracle;
@@ -109,8 +109,69 @@ TEST_F(OracleCacheTest, EvictsWholesaleWhenFull) {
         schema_, "R(a" + std::to_string(i) + ")");
     cache.CountBySize(oracle, *q, db);
   }
-  EXPECT_LE(cache.size(), 2u);
+  EXPECT_EQ(cache.size(), 2u);
   EXPECT_EQ(cache.misses(), 5u);
+  EXPECT_EQ(cache.evictions(), 3u);
+
+  // The most recent entries survived: re-asking for them hits...
+  cache.CountBySize(oracle, *q, ParsePartitionedDatabase(schema_, "R(a4)"));
+  cache.CountBySize(oracle, *q, ParsePartitionedDatabase(schema_, "R(a3)"));
+  EXPECT_EQ(cache.hits(), 2u);
+  // ...and the oldest was evicted: re-asking for it misses again.
+  cache.CountBySize(oracle, *q, ParsePartitionedDatabase(schema_, "R(a0)"));
+  EXPECT_EQ(cache.misses(), 6u);
+}
+
+TEST_F(OracleCacheTest, LruBumpOnHitProtectsHotEntries) {
+  CqPtr q = ParseCq(schema_, "R(x)");
+  OracleCache cache(/*max_entries=*/2);
+  BruteForceFgmc oracle;
+  auto count = [&](const std::string& db_text) {
+    PartitionedDatabase db = ParsePartitionedDatabase(schema_, db_text);
+    cache.CountBySize(oracle, *q, db);
+  };
+  count("R(a)");  // miss
+  count("R(b)");  // miss
+  count("R(a)");  // hit: bumps R(a) ahead of R(b)
+  count("R(c)");  // miss: evicts R(b), the least recently used
+  count("R(a)");  // hit: R(a) survived because it was hot
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 3u);
+  count("R(b)");  // miss again: it was the one evicted
+  EXPECT_EQ(cache.misses(), 4u);
+}
+
+TEST_F(OracleCacheTest, AccountsApproximateBytesAndEvictsBySize) {
+  CqPtr q = ParseCq(schema_, "R(x), S(x,y)");
+  PartitionedDatabase db =
+      ParsePartitionedDatabase(schema_, "R(a) S(a,b) S(a,c)");
+
+  OracleCache cache;
+  BruteForceFgmc oracle;
+  EXPECT_EQ(cache.bytes_used(), 0u);
+  cache.CountBySize(oracle, *q, db);
+  const size_t after_polynomial = cache.bytes_used();
+  EXPECT_GT(after_polynomial, 0u);
+
+  // Compiled circuits are accounted too — and they dominate polynomials.
+  cache.Circuit(*q, db, 200000, 2000000);
+  EXPECT_GT(cache.bytes_used(), after_polynomial);
+
+  cache.Clear();
+  EXPECT_EQ(cache.bytes_used(), 0u);
+  EXPECT_EQ(cache.size(), 0u);
+
+  // A tiny byte budget forces LRU-by-size eviction down to one resident
+  // entry (a single entry is always admitted so work is never recomputed
+  // forever).
+  OracleCache tiny(/*max_entries=*/1 << 16, /*max_bytes=*/1);
+  for (int i = 0; i < 4; ++i) {
+    PartitionedDatabase d = ParsePartitionedDatabase(
+        schema_, "R(a" + std::to_string(i) + ")");
+    tiny.CountBySize(oracle, *ParseCq(schema_, "R(x)"), d);
+    EXPECT_EQ(tiny.size(), 1u);
+  }
+  EXPECT_EQ(tiny.evictions(), 3u);
 }
 
 TEST_F(OracleCacheTest, ThreadSafeUnderConcurrentMixedAccess) {

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "shapley/engines/fgmc.h"
+#include "shapley/engines/svc.h"
+#include "shapley/gen/generators.h"
+#include "shapley/query/query_parser.h"
+#include "shapley/service/shapley_service.h"
+
+namespace shapley {
+namespace {
+
+QueryPtr ParseQuery(const std::shared_ptr<Schema>& schema, const char* text) {
+  UcqPtr ucq = ParseUcq(schema, text);
+  if (ucq->disjuncts().size() == 1) return ucq->disjuncts()[0];
+  return ucq;
+}
+
+// Many client threads hammering Submit() on one shared service: every
+// response must be bit-identical to the serial engines, no request may be
+// lost, and the shared cache must stay coherent. This is the concurrency
+// contract of the serving layer.
+TEST(ServiceConcurrencyTest, ConcurrentClientsGetBitIdenticalValues) {
+  constexpr size_t kClients = 8;
+  constexpr size_t kRequestsPerClient = 8;
+
+  auto schema = Schema::Create();
+  QueryPtr easy = ParseQuery(schema, "R(x), S(x,y)");
+  QueryPtr hard = ParseQuery(schema, "R(x), S(x,y), T(y)");
+
+  // Pre-build instances and serial expectations on the main thread (the
+  // generators mutate the schema; the service must only see finished
+  // values).
+  struct Case {
+    QueryPtr query;
+    PartitionedDatabase db;
+    std::map<Fact, BigRational> expected;
+    std::string expected_engine;
+  };
+  SvcViaFgmc serial_lifted(std::make_shared<LiftedFgmc>());
+  BruteForceSvc serial_brute;
+  std::vector<Case> cases;
+  for (size_t k = 0; k < kClients * kRequestsPerClient; ++k) {
+    RandomDatabaseOptions options;
+    options.num_facts = 6;
+    options.domain_size = 3;
+    options.exogenous_fraction = 0.2;
+    options.seed = 1000 + 7 * k;
+    Case c;
+    c.query = (k % 2 == 0) ? easy : hard;
+    c.db = RandomPartitionedDatabase(schema, options);
+    SvcEngine& serial = (k % 2 == 0)
+                            ? static_cast<SvcEngine&>(serial_lifted)
+                            : static_cast<SvcEngine&>(serial_brute);
+    c.expected = serial.AllValues(*c.query, c.db);
+    c.expected_engine = serial.name();
+    cases.push_back(std::move(c));
+  }
+
+  ShapleyService service(ServiceOptions{.threads = 4});
+
+  std::vector<std::vector<std::future<SvcResponse>>> per_client(kClients);
+  std::vector<std::thread> clients;
+  for (size_t client = 0; client < kClients; ++client) {
+    clients.emplace_back([&, client] {
+      for (size_t r = 0; r < kRequestsPerClient; ++r) {
+        const Case& c = cases[client * kRequestsPerClient + r];
+        SvcRequest request;
+        request.query = c.query;
+        request.db = c.db;
+        per_client[client].push_back(service.Submit(std::move(request)));
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  for (size_t client = 0; client < kClients; ++client) {
+    for (size_t r = 0; r < kRequestsPerClient; ++r) {
+      const Case& c = cases[client * kRequestsPerClient + r];
+      SvcResponse response = per_client[client][r].get();
+      ASSERT_TRUE(response.ok())
+          << "client " << client << " request " << r << ": "
+          << response.error->ToString();
+      EXPECT_EQ(response.engine, c.expected_engine);
+      EXPECT_TRUE(response.routed_by_classifier);
+      EXPECT_EQ(response.values, c.expected)
+          << "client " << client << " request " << r;
+    }
+  }
+  EXPECT_EQ(service.requests_submitted(), kClients * kRequestsPerClient);
+  EXPECT_EQ(service.requests_completed(), kClients * kRequestsPerClient);
+  EXPECT_EQ(service.requests_failed(), 0u);
+}
+
+// Repeated identical instances from concurrent clients answer from the
+// shared cache: the lifted pipeline's oracle polynomials are computed once
+// and reused, not once per client.
+TEST(ServiceConcurrencyTest, ConcurrentRepeatsShareTheOracleCache) {
+  auto schema = Schema::Create();
+  QueryPtr q = ParseQuery(schema, "R(x), S(x,y)");
+  RandomDatabaseOptions options;
+  options.num_facts = 8;
+  options.domain_size = 3;
+  options.seed = 77;
+  PartitionedDatabase db = RandomPartitionedDatabase(schema, options);
+
+  ShapleyService service(ServiceOptions{.threads = 4});
+  std::vector<std::future<SvcResponse>> futures;
+  for (size_t k = 0; k < 32; ++k) {
+    SvcRequest request;
+    request.query = q;
+    request.db = db;
+    futures.push_back(service.Submit(std::move(request)));
+  }
+  SvcViaFgmc serial(std::make_shared<LiftedFgmc>());
+  std::map<Fact, BigRational> expected = serial.AllValues(*q, db);
+  for (auto& future : futures) {
+    SvcResponse response = future.get();
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(response.values, expected);
+  }
+  ASSERT_NE(service.cache(), nullptr);
+  // 32 identical instances, 1 + |Dn| distinct oracle keys: most of the
+  // (32 - 1) * (1 + |Dn|) repeat requests must hit (concurrent misses on
+  // one key may compute independently, so allow slack).
+  EXPECT_GT(service.cache()->hits(), service.cache()->misses());
+  EXPECT_GT(service.cache()->bytes_used(), 0u);
+}
+
+// Shutdown during a flood: whatever was accepted resolves (served or
+// cancelled), the destructor joins cleanly, and nothing deadlocks.
+TEST(ServiceConcurrencyTest, ShutdownMidFloodResolvesEveryFuture) {
+  auto schema = Schema::Create();
+  QueryPtr q = ParseQuery(schema, "R(x), S(x,y)");
+  RandomDatabaseOptions options;
+  options.num_facts = 6;
+  options.seed = 5;
+  PartitionedDatabase db = RandomPartitionedDatabase(schema, options);
+
+  std::vector<std::future<SvcResponse>> futures;
+  {
+    ShapleyService service(ServiceOptions{.threads = 2});
+    for (size_t k = 0; k < 64; ++k) {
+      SvcRequest request;
+      request.query = q;
+      request.db = db;
+      futures.push_back(service.Submit(std::move(request)));
+    }
+    service.Shutdown();
+    // Destructor drains the queue; queued-but-unstarted requests resolve
+    // with kCancelled.
+  }
+  size_t served = 0, cancelled = 0;
+  for (auto& future : futures) {
+    SvcResponse response = future.get();
+    if (response.ok()) {
+      ++served;
+    } else {
+      EXPECT_EQ(response.error->code, SvcErrorCode::kCancelled);
+      ++cancelled;
+    }
+  }
+  EXPECT_EQ(served + cancelled, 64u);
+}
+
+}  // namespace
+}  // namespace shapley

@@ -1,0 +1,355 @@
+#include "shapley/service/shapley_service.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "shapley/data/parser.h"
+#include "shapley/engines/fgmc.h"
+#include "shapley/engines/svc.h"
+#include "shapley/gen/generators.h"
+#include "shapley/query/query_parser.h"
+
+namespace shapley {
+namespace {
+
+QueryPtr ParseQuery(const std::shared_ptr<Schema>& schema, const char* text) {
+  UcqPtr ucq = ParseUcq(schema, text);
+  if (ucq->disjuncts().size() == 1) return ucq->disjuncts()[0];
+  return ucq;
+}
+
+PartitionedDatabase RandomDb(const std::shared_ptr<Schema>& schema,
+                             uint64_t seed, size_t num_facts = 7) {
+  RandomDatabaseOptions options;
+  options.num_facts = num_facts;
+  options.domain_size = 3;
+  options.exogenous_fraction = 0.25;
+  options.seed = seed;
+  return RandomPartitionedDatabase(schema, options);
+}
+
+// A database with n endogenous R-facts (beyond any brute-force guard when
+// n > kBruteForceMaxEndogenous).
+PartitionedDatabase WideDb(const std::shared_ptr<Schema>& schema, size_t n) {
+  std::string text;
+  for (size_t i = 0; i < n; ++i) {
+    text += "R(a" + std::to_string(i) + ") ";
+  }
+  text += "S(a0,b) T(b)";
+  return ParsePartitionedDatabase(schema, text);
+}
+
+// The dichotomy as routing policy: the tractable hierarchical sjf-CQ goes
+// to the lifted polynomial engine, the #P-hard non-hierarchical one falls
+// back to guarded brute force — and both answers match the serial engines
+// bit for bit.
+TEST(ShapleyServiceTest, RoutesByDichotomyAndMatchesSerialEngines) {
+  auto schema = Schema::Create();
+  QueryPtr easy = ParseQuery(schema, "R(x), S(x,y)");
+  QueryPtr hard = ParseQuery(schema, "R(x), S(x,y), T(y)");
+  PartitionedDatabase db = RandomDb(schema, 7);
+
+  ShapleyService service(ServiceOptions{.threads = 2});
+
+  SvcRequest easy_request;
+  easy_request.query = easy;
+  easy_request.db = db;
+  SvcResponse easy_response = service.Submit(easy_request).get();
+  ASSERT_TRUE(easy_response.ok()) << easy_response.error->ToString();
+  EXPECT_EQ(easy_response.engine, "via-fgmc(lifted-safe-plan)");
+  EXPECT_TRUE(easy_response.routed_by_classifier);
+  EXPECT_EQ(easy_response.verdict.tractability, Tractability::kFP);
+  EXPECT_EQ(easy_response.verdict.query_class, "sjf-CQ");
+  SvcViaFgmc serial_lifted(std::make_shared<LiftedFgmc>());
+  EXPECT_EQ(easy_response.values, serial_lifted.AllValues(*easy, db));
+
+  SvcRequest hard_request;
+  hard_request.query = hard;
+  hard_request.db = db;
+  SvcResponse hard_response = service.Submit(hard_request).get();
+  ASSERT_TRUE(hard_response.ok()) << hard_response.error->ToString();
+  EXPECT_EQ(hard_response.engine, "brute-force");
+  EXPECT_TRUE(hard_response.routed_by_classifier);
+  EXPECT_EQ(hard_response.verdict.tractability, Tractability::kSharpPHard);
+  BruteForceSvc serial_brute;
+  EXPECT_EQ(hard_response.values, serial_brute.AllValues(*hard, db));
+}
+
+// The acceptance bar of the serving layer: a 64-request mixed-class batch
+// submitted through the async front matches the serial per-engine
+// AllValues bit for bit, with the verdict attached to every response.
+TEST(ShapleyServiceTest, MixedClassBatch64IsBitIdenticalToSerialEngines) {
+  auto schema = Schema::Create();
+  QueryPtr easy = ParseQuery(schema, "R(x), S(x,y)");
+  QueryPtr hard = ParseQuery(schema, "R(x), S(x,y), T(y)");
+
+  std::vector<SvcRequest> requests;
+  for (size_t k = 0; k < 64; ++k) {
+    SvcRequest request;
+    request.query = (k % 2 == 0) ? easy : hard;
+    request.db = RandomDb(schema, 100 + 13 * k);
+    requests.push_back(std::move(request));
+  }
+  // Keep copies: SubmitBatch consumes the request objects.
+  std::vector<SvcRequest> reference = requests;
+
+  ShapleyService service(ServiceOptions{.threads = 4});
+  std::vector<std::future<SvcResponse>> futures =
+      service.SubmitBatch(std::move(requests));
+  ASSERT_EQ(futures.size(), 64u);
+
+  SvcViaFgmc serial_lifted(std::make_shared<LiftedFgmc>());
+  BruteForceSvc serial_brute;
+  for (size_t k = 0; k < futures.size(); ++k) {
+    SvcResponse response = futures[k].get();
+    ASSERT_TRUE(response.ok()) << "request " << k << ": "
+                               << response.error->ToString();
+    EXPECT_NE(response.verdict.query_class, "");
+    SvcEngine& serial = (k % 2 == 0)
+                            ? static_cast<SvcEngine&>(serial_lifted)
+                            : static_cast<SvcEngine&>(serial_brute);
+    EXPECT_EQ(response.engine, serial.name()) << "request " << k;
+    EXPECT_EQ(response.values,
+              serial.AllValues(*reference[k].query, reference[k].db))
+        << "request " << k;
+  }
+  EXPECT_EQ(service.requests_completed(), 64u);
+  EXPECT_EQ(service.requests_failed(), 0u);
+}
+
+TEST(ShapleyServiceTest, ClassifyOnlyRunsNoEngine) {
+  auto schema = Schema::Create();
+  ShapleyService service(ServiceOptions{.threads = 1});
+
+  SvcRequest request;
+  request.query = ParseQuery(schema, "R(x), S(x,y), T(y)");
+  request.mode = SvcMode::kClassifyOnly;
+  SvcResponse response = service.Compute(request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.engine, "");
+  EXPECT_EQ(response.verdict.tractability, Tractability::kSharpPHard);
+  EXPECT_TRUE(response.values.empty());
+  EXPECT_TRUE(response.ranked.empty());
+}
+
+TEST(ShapleyServiceTest, MaxValueAndTopKAgreeWithAllValues) {
+  auto schema = Schema::Create();
+  QueryPtr q = ParseQuery(schema, "R(x), S(x,y)");
+  PartitionedDatabase db = RandomDb(schema, 21);
+  ASSERT_GT(db.NumEndogenous(), 2u);
+
+  ShapleyService service(ServiceOptions{.threads = 2});
+
+  SvcRequest all;
+  all.query = q;
+  all.db = db;
+  SvcResponse all_response = service.Compute(all);
+  ASSERT_TRUE(all_response.ok());
+
+  SvcRequest max;
+  max.query = q;
+  max.db = db;
+  max.mode = SvcMode::kMaxValue;
+  SvcResponse max_response = service.Compute(max);
+  ASSERT_TRUE(max_response.ok());
+  ASSERT_EQ(max_response.ranked.size(), 1u);
+  BruteForceSvc serial;
+  auto [expected_fact, expected_value] = serial.MaxValue(*q, db);
+  EXPECT_EQ(max_response.ranked[0].first, expected_fact);
+  EXPECT_EQ(max_response.ranked[0].second, expected_value);
+
+  SvcRequest topk;
+  topk.query = q;
+  topk.db = db;
+  topk.mode = SvcMode::kTopK;
+  topk.top_k = 3;
+  SvcResponse topk_response = service.Compute(topk);
+  ASSERT_TRUE(topk_response.ok());
+  ASSERT_EQ(topk_response.ranked.size(),
+            std::min<size_t>(3, db.NumEndogenous()));
+  // Descending, ties by fact order, consistent with AllValues.
+  for (size_t i = 0; i + 1 < topk_response.ranked.size(); ++i) {
+    const auto& a = topk_response.ranked[i];
+    const auto& b = topk_response.ranked[i + 1];
+    EXPECT_TRUE(b.second < a.second ||
+                (a.second == b.second && a.first < b.first));
+  }
+  EXPECT_EQ(topk_response.ranked[0].second, expected_value);
+  for (const auto& [fact, value] : topk_response.ranked) {
+    EXPECT_EQ(all_response.values.at(fact), value);
+  }
+}
+
+TEST(ShapleyServiceTest, OversizedUnservableInstanceFailsWithStructuredCapacity) {
+  auto schema = Schema::Create();
+  // Negation rules out every engine once the exhaustive guard is passed:
+  // lifted and ddnnf refuse non-monotone queries, brute/permutations are
+  // guarded. Non-hierarchical with negation → #P-hard by [Reshef et al.].
+  QueryPtr hard_neg = ParseQuery(schema, "R(x), S(x,y), !T(y)");
+  PartitionedDatabase big = WideDb(schema, 30);
+  ASSERT_GT(big.NumEndogenous(), kBruteForceMaxEndogenous);
+
+  ShapleyService service(ServiceOptions{.threads = 1});
+  SvcRequest request;
+  request.query = hard_neg;
+  request.db = big;
+  SvcResponse response = service.Submit(request).get();
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.error->code, SvcErrorCode::kCapacityExceeded);
+  // The verdict still explains *why* there is no polynomial way out.
+  EXPECT_EQ(response.verdict.tractability, Tractability::kSharpPHard);
+  EXPECT_EQ(response.engine, "");  // No engine ran.
+}
+
+TEST(ShapleyServiceTest, MonotoneQueryBeyondBruteGuardRoutesToDdnnf) {
+  auto schema = Schema::Create();
+  // #P-hard class, but this *instance* has trivial lineage, and d-DNNF
+  // compilation is the only registered engine whose caps admit a monotone
+  // query with |Dn| > the exhaustive guard — routing must find it instead
+  // of failing.
+  QueryPtr hard = ParseQuery(schema, "R(x), S(x,y), T(y)");
+  PartitionedDatabase big = WideDb(schema, 30);
+
+  ShapleyService service(ServiceOptions{.threads = 1});
+  SvcRequest request;
+  request.query = hard;
+  request.db = big;
+  SvcResponse response = service.Submit(request).get();
+  ASSERT_TRUE(response.ok()) << response.error->ToString();
+  EXPECT_EQ(response.engine, "via-fgmc(lineage-ddnnf)");
+  EXPECT_TRUE(response.routed_by_classifier);
+  EXPECT_EQ(response.values.size(), big.NumEndogenous());
+}
+
+TEST(ShapleyServiceTest, BruteForceEngineThrowsStructuredSvcException) {
+  auto schema = Schema::Create();
+  QueryPtr q = ParseQuery(schema, "R(x)");
+  PartitionedDatabase big = WideDb(schema, 30);
+  BruteForceSvc brute;
+  try {
+    brute.AllValues(*q, big);
+    FAIL() << "expected SvcException";
+  } catch (const SvcException& e) {
+    EXPECT_EQ(e.error().code, SvcErrorCode::kCapacityExceeded);
+    EXPECT_EQ(e.error().engine, "brute-force");
+  }
+  // And it is still an invalid_argument for pre-structured call sites.
+  EXPECT_THROW(brute.AllValues(*q, big), std::invalid_argument);
+}
+
+TEST(ShapleyServiceTest, EngineOverridesAreValidatedAgainstCaps) {
+  auto schema = Schema::Create();
+  QueryPtr hard = ParseQuery(schema, "R(x), S(x,y), T(y)");
+  PartitionedDatabase db = RandomDb(schema, 3);
+
+  ShapleyService service(ServiceOptions{.threads = 1});
+
+  SvcRequest unknown;
+  unknown.query = hard;
+  unknown.db = db;
+  unknown.engine = "no-such-engine";
+  SvcResponse unknown_response = service.Compute(unknown);
+  ASSERT_FALSE(unknown_response.ok());
+  EXPECT_EQ(unknown_response.error->code, SvcErrorCode::kInvalidRequest);
+
+  SvcRequest lifted;
+  lifted.query = hard;  // Non-hierarchical: outside the lifted class.
+  lifted.db = db;
+  lifted.engine = "lifted";
+  SvcResponse lifted_response = service.Compute(lifted);
+  ASSERT_FALSE(lifted_response.ok());
+  EXPECT_EQ(lifted_response.error->code, SvcErrorCode::kUnsupportedQuery);
+  EXPECT_EQ(lifted_response.error->engine, "lifted");
+
+  // A supported explicit override runs and is marked as not routed.
+  SvcRequest brute;
+  brute.query = hard;
+  brute.db = db;
+  brute.engine = "brute";
+  SvcResponse brute_response = service.Compute(brute);
+  ASSERT_TRUE(brute_response.ok());
+  EXPECT_FALSE(brute_response.routed_by_classifier);
+  EXPECT_EQ(brute_response.engine, "brute-force");
+}
+
+TEST(ShapleyServiceTest, DeadlinesAndCancellationFailFast) {
+  auto schema = Schema::Create();
+  QueryPtr q = ParseQuery(schema, "R(x), S(x,y)");
+  PartitionedDatabase db = RandomDb(schema, 9);
+
+  ShapleyService service(ServiceOptions{.threads = 1});
+
+  SvcRequest late;
+  late.query = q;
+  late.db = db;
+  late.deadline =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(5);
+  SvcResponse late_response = service.Submit(late).get();
+  ASSERT_FALSE(late_response.ok());
+  EXPECT_EQ(late_response.error->code, SvcErrorCode::kDeadlineExceeded);
+
+  CancelToken token = MakeCancelToken();
+  token->store(true);
+  SvcRequest cancelled;
+  cancelled.query = q;
+  cancelled.db = db;
+  cancelled.cancel = token;
+  SvcResponse cancelled_response = service.Submit(cancelled).get();
+  ASSERT_FALSE(cancelled_response.ok());
+  EXPECT_EQ(cancelled_response.error->code, SvcErrorCode::kCancelled);
+}
+
+TEST(ShapleyServiceTest, MalformedRequestsAreStructuredErrors) {
+  auto schema = Schema::Create();
+  ShapleyService service(ServiceOptions{.threads = 1});
+
+  SvcRequest no_query;
+  SvcResponse no_query_response = service.Submit(no_query).get();
+  ASSERT_FALSE(no_query_response.ok());
+  EXPECT_EQ(no_query_response.error->code, SvcErrorCode::kInvalidRequest);
+
+  // MaxValue over an empty Dn: the engine's invalid_argument becomes a
+  // structured error instead of escaping the worker thread.
+  SvcRequest empty_dn;
+  empty_dn.query = ParseQuery(schema, "R(x)");
+  empty_dn.db = ParsePartitionedDatabase(schema, "| R(a)");
+  empty_dn.mode = SvcMode::kMaxValue;
+  SvcResponse empty_response = service.Submit(empty_dn).get();
+  ASSERT_FALSE(empty_response.ok());
+  EXPECT_EQ(empty_response.error->code, SvcErrorCode::kInvalidRequest);
+}
+
+TEST(ShapleyServiceTest, ShutdownResolvesNewRequestsAsCancelled) {
+  auto schema = Schema::Create();
+  QueryPtr q = ParseQuery(schema, "R(x)");
+  ShapleyService service(ServiceOptions{.threads = 1});
+  service.Shutdown();
+
+  SvcRequest request;
+  request.query = q;
+  request.db = ParsePartitionedDatabase(schema, "R(a)");
+  SvcResponse response = service.Submit(request).get();
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.error->code, SvcErrorCode::kCancelled);
+}
+
+TEST(ShapleyServiceTest, DefaultRegistryListsTheFourEngines) {
+  EngineRegistry registry = EngineRegistry::Default();
+  EXPECT_EQ(registry.Names(),
+            (std::vector<std::string>{"brute", "ddnnf", "lifted",
+                                      "permutations"}));
+  ASSERT_NE(registry.Find("brute"), nullptr);
+  EXPECT_EQ(registry.Find("brute")->caps.max_endogenous,
+            kBruteForceMaxEndogenous);
+  EXPECT_TRUE(registry.Find("lifted")->caps.hierarchical_sjf_cq_only);
+  EXPECT_TRUE(registry.Find("ddnnf")->caps.monotone_only);
+  EXPECT_EQ(registry.Find("nope"), nullptr);
+  EXPECT_THROW(registry.Create("nope"), SvcException);
+  EXPECT_EQ(registry.Create("lifted")->name(), "via-fgmc(lifted-safe-plan)");
+}
+
+}  // namespace
+}  // namespace shapley
