@@ -19,17 +19,22 @@
 // values/max/topk go through the ShapleyService serving layer: --threads N
 // sizes the service pool (default 1 = deterministic serial), and --engine
 // picks the engine from the registry ('brute', 'lifted', 'ddnnf',
-// 'permutations') or 'auto' (default): dichotomy routing by the
-// classifier — the lifted polynomial engine on the tractable hierarchical
-// sjf-CQ side, guarded brute force otherwise. The verdict, the engine that
-// served the request and execution stats go to stderr; structured SvcErrors
-// are reported instead of stack traces.
+// 'permutations', 'sampling') or 'auto' (default): dichotomy routing by
+// the classifier — the lifted polynomial engine on the tractable
+// hierarchical sjf-CQ side, guarded brute force otherwise. --approx opts
+// the request into Monte Carlo permutation sampling when no exact engine
+// admits the instance; --epsilon/--delta set the Hoeffding (ε, δ)
+// contract and --seed makes the run reproducible. Estimates print with
+// their half-width and confidence. The verdict, the engine that served
+// the request and execution stats go to stderr; structured SvcErrors are
+// reported instead of stack traces.
 
 #include <algorithm>
 #include <cstdlib>
 #include <iostream>
 #include <limits>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -50,7 +55,10 @@ int Usage() {
       << "       example_cli values|max '<query>' '<database>'\n"
       << "       example_cli topk '<query>' '<database>' [K]\n"
       << "                   [--threads N]\n"
-      << "                   [--engine auto|brute|lifted|ddnnf|permutations]\n"
+      << "                   [--engine "
+         "auto|brute|lifted|ddnnf|permutations|sampling]\n"
+      << "                   [--approx] [--epsilon E] [--delta D] "
+         "[--seed S]\n"
       << "e.g.:  example_cli values 'R(x), S(x,y)' 'R(a) S(a,b) | S(a,c)' "
          "--threads 4\n";
   return 2;
@@ -63,6 +71,18 @@ void PrintResponseDiagnostics(const shapley::SvcResponse& response) {
                                               : " (override)")
             << " queue_ms=" << response.stats.queue_ms
             << " exec_ms=" << response.stats.exec_ms << "\n";
+  if (response.approx.has_value()) {
+    std::cerr << "approx: " << response.approx->ToString() << "\n";
+  }
+}
+
+/// " ± 0.05 (95% conf)" after an estimated value; empty for exact answers.
+std::string ApproxSuffix(const shapley::SvcResponse& response) {
+  if (!response.approx.has_value()) return "";
+  std::ostringstream os;
+  os << "  ± " << response.approx->half_width << " ("
+     << 100.0 * response.approx->confidence << "% conf)";
+  return os.str();
 }
 
 }  // namespace
@@ -74,6 +94,8 @@ int main(int argc, char** argv) {
   std::vector<std::string> args;
   size_t threads = 1;
   std::string engine_name = "auto";
+  bool allow_approx = false;
+  ApproxParams approx;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--threads" && i + 1 < argc) {
@@ -83,6 +105,14 @@ int main(int argc, char** argv) {
       threads = requested < 1 ? 1 : std::min<long>(requested, 64);
     } else if (arg == "--engine" && i + 1 < argc) {
       engine_name = argv[++i];
+    } else if (arg == "--approx") {
+      allow_approx = true;
+    } else if (arg == "--epsilon" && i + 1 < argc) {
+      approx.epsilon = std::atof(argv[++i]);
+    } else if (arg == "--delta" && i + 1 < argc) {
+      approx.delta = std::atof(argv[++i]);
+    } else if (arg == "--seed" && i + 1 < argc) {
+      approx.seed = std::strtoull(argv[++i], nullptr, 10);
     } else {
       args.push_back(arg);
     }
@@ -104,6 +134,9 @@ int main(int argc, char** argv) {
         if (entry->caps.max_endogenous !=
             std::numeric_limits<size_t>::max()) {
           std::cout << " [|Dn| <= " << entry->caps.max_endogenous << "]";
+        }
+        if (entry->caps.approximate) {
+          std::cout << " [" << entry->caps.error_model << "]";
         }
         std::cout << "\n";
       }
@@ -147,6 +180,8 @@ int main(int argc, char** argv) {
       request.query = query;
       request.db = db;
       if (engine_name != "auto") request.engine = engine_name;
+      request.allow_approx = allow_approx;
+      request.approx = approx;
       if (command == "values") {
         request.mode = SvcMode::kAllValues;
       } else if (command == "max") {
@@ -174,15 +209,17 @@ int main(int argc, char** argv) {
                   << "error: " << response.error->ToString() << "\n";
         return 1;
       }
+      const std::string approx_suffix = ApproxSuffix(response);
       if (command == "values") {
         for (const auto& [fact, value] : response.values) {
           std::cout << fact.ToString(*schema) << " = " << value.ToString()
-                    << "  (~" << value.ToDouble() << ")\n";
+                    << "  (~" << value.ToDouble() << ")" << approx_suffix
+                    << "\n";
         }
       } else {
         for (const auto& [fact, value] : response.ranked) {
           std::cout << fact.ToString(*schema) << " = " << value.ToString()
-                    << "\n";
+                    << approx_suffix << "\n";
         }
       }
       PrintResponseDiagnostics(response);

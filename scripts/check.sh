@@ -23,6 +23,9 @@ echo "== service tests (guard: the glob must have picked them up) =="
 "$build_dir/service_shapley_service_test" --gtest_brief=1
 "$build_dir/service_service_concurrency_test" --gtest_brief=1
 
+echo "== approx tests (guard: cross-validation vs the exact engines) =="
+"$build_dir/approx_sampling_test" --gtest_brief=1
+
 echo "== bench (fast: small instances, JSON to $build_dir/bench_parallel_scaling.json) =="
 "$build_dir/bench_parallel_scaling" --facts-k 20 --brute-k 5 \
     --json "$build_dir/bench_parallel_scaling.json"
@@ -35,5 +38,14 @@ echo "== bench (service throughput, appending to BENCH_service.json) =="
 python3 -c 'import json,sys; print(json.dumps(json.load(open(sys.argv[1]))))' \
     "$build_dir/bench_service_throughput.json" \
     >> "$repo_root/BENCH_service.json"
+
+echo "== bench (approx convergence, appending to BENCH_approx.json) =="
+# Error-vs-samples curve beyond the brute-force guard; the bench itself
+# fails if any point's empirical error escapes its certified half-width.
+"$build_dir/bench_approx_convergence" --samples-max 4096 \
+    --json "$build_dir/bench_approx_convergence.json"
+python3 -c 'import json,sys; print(json.dumps(json.load(open(sys.argv[1]))))' \
+    "$build_dir/bench_approx_convergence.json" \
+    >> "$repo_root/BENCH_approx.json"
 
 echo "== check.sh: all green =="

@@ -1,0 +1,74 @@
+#ifndef SHAPLEY_APPROX_APPROX_H_
+#define SHAPLEY_APPROX_APPROX_H_
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace shapley {
+
+/// Approximation contract of a sampling request: the caller asks for
+/// estimates within an additive half-width `epsilon` of the exact Shapley
+/// value, each with failure probability at most `delta` (per fact), and
+/// supplies the base `seed` that makes the run bit-reproducible. The
+/// sample count is derived from (epsilon, delta) by the Hoeffding bound
+/// (see HoeffdingSamples) and optionally capped by `max_samples`; when the
+/// cap bites, the response reports the (wider) half-width actually
+/// achieved by the drawn samples instead of the requested epsilon.
+struct ApproxParams {
+  double epsilon = 0.05;   ///< Target additive error (half-width), > 0.
+  double delta = 0.05;     ///< Per-fact failure probability, in (0, 1).
+  uint64_t seed = 1;       ///< Base seed; same seed → bit-identical output.
+  size_t max_samples = 0;  ///< Sample budget cap (0 = derived count only).
+};
+
+/// What an approximate engine actually did, attached to the response so the
+/// caller can judge the estimate: the realized sample count, the half-width
+/// the Hoeffding bound certifies at that count, and the confidence level.
+/// The guarantee reads: for each fact independently,
+///   P(|estimate − Sh(fact)| > half_width) ≤ delta.
+struct ApproxInfo {
+  double epsilon = 0.0;     ///< Requested half-width.
+  double delta = 0.0;       ///< Requested per-fact failure probability.
+  uint64_t seed = 0;        ///< Seed the run used (reruns reproduce it).
+  size_t samples = 0;       ///< Permutations drawn (samples per fact).
+  double half_width = 0.0;  ///< Certified half-width at `samples`.
+  double confidence = 0.0;  ///< 1 − delta.
+  double range = 1.0;       ///< Marginal range: 1 (monotone) or 2 (general).
+  size_t memo_hits = 0;     ///< Coalition evaluations served by the memo.
+
+  std::string ToString() const;
+};
+
+/// Hoeffding sample count: the smallest m with
+///   2·exp(−2·m·epsilon² / range²) ≤ delta,
+/// i.e. m = ceil(range²·ln(2/delta) / (2·epsilon²)). `range` is the spread
+/// of one sampled marginal: the Boolean-query marginal v(P∪{f}) − v(P)
+/// lies in {0, 1} for monotone queries (range 1) and {−1, 0, 1} with
+/// negation (range 2).
+inline size_t HoeffdingSamples(double epsilon, double delta, double range) {
+  const double m =
+      std::ceil(range * range * std::log(2.0 / delta) /
+                (2.0 * epsilon * epsilon));
+  if (m < 1.0) return 1;
+  // Saturate: a tiny epsilon derives counts beyond size_t, and the
+  // double→integer cast would be UB (observed wrapping to 0). The
+  // sampler's own sample guard then refuses the saturated value.
+  if (m >= static_cast<double>(std::numeric_limits<size_t>::max())) {
+    return std::numeric_limits<size_t>::max();
+  }
+  return static_cast<size_t>(m);
+}
+
+/// The half-width the same bound certifies after `samples` draws:
+///   half_width = range·sqrt(ln(2/delta) / (2·samples)).
+inline double HoeffdingHalfWidth(size_t samples, double delta, double range) {
+  return range *
+         std::sqrt(std::log(2.0 / delta) / (2.0 * static_cast<double>(samples)));
+}
+
+}  // namespace shapley
+
+#endif  // SHAPLEY_APPROX_APPROX_H_

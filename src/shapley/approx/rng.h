@@ -1,0 +1,51 @@
+#ifndef SHAPLEY_APPROX_RNG_H_
+#define SHAPLEY_APPROX_RNG_H_
+
+#include <cstdint>
+
+namespace shapley {
+
+/// SplitMix64 (Steele–Lea–Flood): a tiny, fast, well-mixed 64-bit
+/// generator. The sampler uses it instead of <random> engines because its
+/// output is fully specified by this header — bit-reproducibility across
+/// standard libraries and platforms is part of the approximation contract
+/// (std::uniform_int_distribution is implementation-defined).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform draw from [0, bound), unbiased via rejection (Lemire's
+  /// threshold trick: reject the partial final bucket of 2^64 / bound).
+  uint64_t NextBelow(uint64_t bound) {
+    const uint64_t threshold = (0 - bound) % bound;
+    uint64_t r;
+    do {
+      r = Next();
+    } while (r < threshold);
+    return r % bound;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// Derives the seed of one sample-batch stream from the request's base
+/// seed: feeding (seed, stream) through one SplitMix64 step decorrelates
+/// neighboring streams, so batch k is independent of batch k+1 while the
+/// whole schedule stays a pure function of the base seed — parallel
+/// execution order cannot leak into the estimates.
+inline uint64_t MixSeed(uint64_t seed, uint64_t stream) {
+  SplitMix64 mixer(seed ^ (0x5851f42d4c957f2dull * (stream + 1)));
+  return mixer.Next();
+}
+
+}  // namespace shapley
+
+#endif  // SHAPLEY_APPROX_RNG_H_

@@ -1,0 +1,242 @@
+#include "shapley/approx/sampling.h"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <mutex>
+#include <numeric>
+#include <sstream>
+#include <vector>
+
+#include "shapley/approx/rng.h"
+#include "shapley/exec/oracle_cache.h"
+#include "shapley/exec/sat_memo.h"
+#include "shapley/exec/thread_pool.h"
+
+namespace shapley {
+
+namespace {
+
+/// Permutations per pool task. Fixed (never derived from thread count or
+/// sample count) so the batch → RNG-stream mapping, and with it every
+/// estimate, is independent of parallelism.
+constexpr size_t kPermutationsPerBatch = 32;
+
+/// Memoize only coalitions up to this size: a random prefix of size k is
+/// one of C(n, k)·k! orderings, so revisits are common for tiny k and
+/// vanishingly rare beyond — memoizing large prefixes would only grow the
+/// table without ever hitting.
+constexpr size_t kMemoMaxCoalition = 8;
+
+size_t IndexOfEndogenous(const PartitionedDatabase& db, const Fact& fact) {
+  const auto& endo = db.endogenous().facts();
+  for (size_t i = 0; i < endo.size(); ++i) {
+    if (endo[i] == fact) return i;
+  }
+  throw SvcException({SvcErrorCode::kInvalidRequest,
+                      "sampling: fact is not endogenous in the database",
+                      "sampling"});
+}
+
+void ValidateParams(const ApproxParams& params) {
+  if (!(params.epsilon > 0.0)) {
+    throw SvcException({SvcErrorCode::kInvalidRequest,
+                        "sampling: epsilon must be > 0", "sampling"});
+  }
+  if (!(params.delta > 0.0) || !(params.delta < 1.0)) {
+    throw SvcException({SvcErrorCode::kInvalidRequest,
+                        "sampling: delta must be in (0, 1)", "sampling"});
+  }
+}
+
+}  // namespace
+
+std::string ApproxInfo::ToString() const {
+  std::ostringstream os;
+  os << "samples=" << samples << " half_width=" << half_width
+     << " confidence=" << confidence << " seed=" << seed
+     << " (requested eps=" << epsilon << " delta=" << delta
+     << ", marginal range " << range << ", memo_hits=" << memo_hits << ")";
+  return os.str();
+}
+
+BigRational SamplingSvc::Value(const BooleanQuery& query,
+                               const PartitionedDatabase& db,
+                               const Fact& fact) {
+  const size_t index = IndexOfEndogenous(db, fact);
+  // One permutation samples every fact's marginal at once, so the whole
+  // AllValues sweep costs the same sample budget as a single fact.
+  std::map<Fact, BigRational> values = AllValues(query, db);
+  return values.at(db.endogenous().facts()[index]);
+}
+
+std::map<Fact, BigRational> SamplingSvc::AllValues(
+    const BooleanQuery& query, const PartitionedDatabase& db) {
+  ValidateParams(params_);
+  const auto& endo = db.endogenous().facts();
+  const size_t n = endo.size();
+
+  const bool monotone = query.IsMonotone();
+  const double range = monotone ? 1.0 : 2.0;
+  size_t samples = HoeffdingSamples(params_.epsilon, params_.delta, range);
+  if (params_.max_samples > 0) {
+    samples = std::min(samples, params_.max_samples);
+  }
+  if (samples > kSampleGuard) {
+    throw SvcException(
+        {SvcErrorCode::kCapacityExceeded,
+         "sampling: (epsilon, delta) derives " + std::to_string(samples) +
+             " permutations, beyond the engine guard of " +
+             std::to_string(kSampleGuard) +
+             " — widen epsilon/delta or set max_samples",
+         "sampling"});
+  }
+
+  // Built locally and published under the lock only when the run
+  // completes: failed or aborted runs leave last_info() untouched, and a
+  // concurrent last_info() reader never sees a half-filled struct.
+  ApproxInfo info;
+  info.epsilon = params_.epsilon;
+  info.delta = params_.delta;
+  info.seed = params_.seed;
+  info.confidence = 1.0 - params_.delta;
+  info.range = range;
+  info.samples = samples;
+  info.half_width = HoeffdingHalfWidth(samples, params_.delta, range);
+
+  std::map<Fact, BigRational> values;
+  if (n == 0) {
+    std::lock_guard<std::mutex> lock(info_mutex_);
+    info_ = info;
+    return values;
+  }
+
+  // The shared satisfaction oracle: through the exec-context cache when
+  // installed (amortizes across requests with the same fingerprint), a
+  // run-local memo otherwise. Coalition masks index the sorted endogenous
+  // fact vector, so they are canonical per fingerprint; beyond 64 facts
+  // masks stop being representable and the memo is skipped.
+  std::shared_ptr<SatMemo> memo;
+  if (n <= 64) {
+    memo = exec_.cache != nullptr ? exec_.cache->SatTable(query, db)
+                                  : std::make_shared<SatMemo>();
+  }
+
+  // v(∅) = [Dx |= q], the `prev` seed of every walk — evaluated once.
+  const bool base_satisfied = query.Evaluate(db.exogenous());
+
+  // Per-fact net marginal tallies (#positive − #negative), merged with
+  // commutative integer addition so the totals are schedule-independent.
+  std::vector<int64_t> net(n, 0);
+  std::atomic<size_t> memo_hits{0};
+  std::mutex merge_mutex;
+
+  const size_t num_batches =
+      (samples + kPermutationsPerBatch - 1) / kPermutationsPerBatch;
+
+  auto run_batch = [&](size_t batch) {
+    // Cooperative abort points between batches: the sweep's total work
+    // (samples × |Dn| query evaluations) is caller-tunable, so honoring
+    // cancellation and deadlines mid-run is what keeps a serving worker
+    // reclaimable. The thrown SvcException abandons the remaining batches
+    // (ParallelFor rethrows the first body exception at the call site).
+    if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) {
+      throw SvcException({SvcErrorCode::kCancelled,
+                          "sampling: request cancelled mid-run", "sampling"});
+    }
+    if (deadline_.has_value() &&
+        std::chrono::steady_clock::now() > *deadline_) {
+      throw SvcException({SvcErrorCode::kDeadlineExceeded,
+                          "sampling: deadline passed mid-run after " +
+                              std::to_string(batch) + " of " +
+                              std::to_string(num_batches) + " batches",
+                          "sampling"});
+    }
+    SplitMix64 rng(MixSeed(params_.seed, batch));
+    std::vector<int64_t> local(n, 0);
+    size_t local_hits = 0;
+    std::vector<size_t> perm(n);
+    std::iota(perm.begin(), perm.end(), size_t{0});
+
+    // One world per batch: each walk inserts its prefix facts and removes
+    // them again afterwards — O(walk length) restores instead of a full
+    // exogenous copy per permutation (early-exited monotone walks touch
+    // only a handful of facts).
+    Database world = db.exogenous();
+    std::vector<size_t> walked;
+    walked.reserve(n);
+
+    const size_t first = batch * kPermutationsPerBatch;
+    const size_t last = std::min(samples, first + kPermutationsPerBatch);
+    for (size_t s = first; s < last; ++s) {
+      // Fisher–Yates; carrying the previous permutation as the starting
+      // arrangement is fine (the shuffle is uniform from any start) and
+      // deterministic (batches replay their whole schedule from the seed).
+      for (size_t i = n - 1; i > 0; --i) {
+        std::swap(perm[i], perm[rng.NextBelow(i + 1)]);
+      }
+
+      walked.clear();
+      uint64_t mask = 0;
+      bool prev = base_satisfied;
+      for (size_t i = 0; i < n; ++i) {
+        // Monotone walks stop at the first satisfied prefix: every later
+        // fact joins a winning coalition, marginal 0.
+        if (monotone && prev) break;
+        const size_t player = perm[i];
+        world.Insert(endo[player]);
+        walked.push_back(player);
+        // Masks exist only for the memo, and only while every player fits
+        // a 64-bit coalition (shifting by >= 64 would be UB).
+        if (memo != nullptr) mask |= uint64_t{1} << player;
+
+        bool current;
+        bool memoized = false;
+        const bool memoizable =
+            memo != nullptr &&
+            static_cast<size_t>(std::popcount(mask)) <= kMemoMaxCoalition;
+        if (memoizable) {
+          if (std::optional<bool> verdict = memo->Lookup(mask)) {
+            current = *verdict;
+            memoized = true;
+            ++local_hits;
+          }
+        }
+        if (!memoized) {
+          current = query.Evaluate(world);
+          if (memoizable) memo->Insert(mask, current);
+        }
+
+        local[player] +=
+            static_cast<int64_t>(current) - static_cast<int64_t>(prev);
+        prev = current;
+      }
+      for (size_t player : walked) world.Remove(endo[player]);
+    }
+
+    std::lock_guard<std::mutex> lock(merge_mutex);
+    for (size_t i = 0; i < n; ++i) net[i] += local[i];
+    memo_hits.fetch_add(local_hits, std::memory_order_relaxed);
+  };
+
+  if (exec_.pool != nullptr && exec_.pool->num_threads() > 1 &&
+      num_batches > 1) {
+    exec_.pool->ParallelFor(0, num_batches, run_batch);
+  } else {
+    for (size_t batch = 0; batch < num_batches; ++batch) run_batch(batch);
+  }
+
+  info.memo_hits = memo_hits.load();
+  for (size_t i = 0; i < n; ++i) {
+    values.emplace(endo[i],
+                   BigRational(BigInt(net[i]),
+                               BigInt(static_cast<int64_t>(samples))));
+  }
+  {
+    std::lock_guard<std::mutex> lock(info_mutex_);
+    info_ = info;
+  }
+  return values;
+}
+
+}  // namespace shapley

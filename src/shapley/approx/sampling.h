@@ -1,0 +1,120 @@
+#ifndef SHAPLEY_APPROX_SAMPLING_H_
+#define SHAPLEY_APPROX_SAMPLING_H_
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "shapley/approx/approx.h"
+#include "shapley/engines/svc.h"
+
+namespace shapley {
+
+/// Monte Carlo permutation sampling for SVC_q — the standard answer on the
+/// #P-hard side of the paper's dichotomy (cf. Kara–Olteanu–Suciu; Lupia et
+/// al.): Equation 1 reads the Shapley value as the expectation, over a
+/// uniformly random permutation π of Dn, of the marginal contribution
+/// v(π<f ∪ {f}) − v(π<f); averaging that marginal over m sampled
+/// permutations estimates every fact's value simultaneously, with the
+/// Hoeffding bound certifying an additive (ε, δ) guarantee per fact
+/// (see ApproxParams / HoeffdingSamples).
+///
+/// Execution model:
+///  - permutations are drawn in fixed-size batches; batches fan out across
+///    the exec-context ThreadPool, each with its own SplitMix64 stream
+///    seeded purely by (request seed, batch index) — so the estimate is a
+///    function of the seed alone, bit-identical across thread counts and
+///    scheduling orders (per-fact tallies are integers and merging is
+///    commutative addition);
+///  - one permutation walk evaluates the query on each prefix world,
+///    yielding one marginal sample for EVERY fact: m permutations give m
+///    samples per fact for ~n·m evaluations total;
+///  - monotone queries early-exit a walk at the first satisfied prefix
+///    (all later marginals are 0), which in practice cuts the walk to the
+///    satisfying prefix length;
+///  - prefix coalitions are memoized in a SatMemo shared through the
+///    exec-context OracleCache under the same canonical fingerprint as
+///    counting work (|Dn| ≤ 64 and small prefixes only, where revisits
+///    actually happen), so repeated sub-coalition evaluations amortize
+///    across batches, threads and repeated requests.
+///
+/// Estimates are returned as exact rationals of the empirical mean
+/// ((#positive − #negative marginals) / m), so responses stay in the
+/// BigRational currency of the exact engines and identical seeds
+/// reproduce identical values bit for bit.
+class SamplingSvc : public SvcEngine {
+ public:
+  /// Guard on the run's sample count: a request whose (ε, δ) derives more
+  /// permutations than this and supplies no tighter max_samples budget is
+  /// refused with a structured kCapacityExceeded — the sampler's analogue
+  /// of the exhaustive engines' 2^|Dn| guard. It bounds one factor of the
+  /// total work (samples × |Dn| evaluations); wall time on huge instances
+  /// is bounded cooperatively by set_cancel/set_deadline, which the
+  /// serving layer wires from the request.
+  static constexpr size_t kSampleGuard = size_t{1} << 26;
+
+  explicit SamplingSvc(ApproxParams params = {}) : params_(params) {}
+
+  std::string name() const override { return "sampling"; }
+
+  EngineCaps caps() const override {
+    return {.all_query_classes = true,
+            .approximate = true,
+            .error_model =
+                "hoeffding: P(|est - Sh| > eps) <= delta per fact, additive; "
+                "deterministic given seed"};
+  }
+
+  /// The (ε, δ, seed, budget) contract for subsequent runs. The serving
+  /// layer forwards SvcRequest::approx here before the engine runs.
+  /// Configuration setters are not synchronized against a running
+  /// AllValues — configure before running (the service configures only
+  /// its own per-request instances; a caller sharing one instance across
+  /// concurrent requests owns that discipline, as with every engine).
+  void set_params(const ApproxParams& params) { params_ = params; }
+  const ApproxParams& params() const { return params_; }
+
+  /// Cooperative mid-run aborts, checked between sample batches: a set
+  /// cancel flag fails the run with kCancelled, a passed deadline with
+  /// kDeadlineExceeded — so a long sweep cannot pin a serving worker
+  /// after its client stopped caring. Both optional (null/absent = run to
+  /// completion).
+  void set_cancel(std::shared_ptr<std::atomic<bool>> cancel) {
+    cancel_ = std::move(cancel);
+  }
+  void set_deadline(
+      std::optional<std::chrono::steady_clock::time_point> deadline) {
+    deadline_ = deadline;
+  }
+
+  BigRational Value(const BooleanQuery& query, const PartitionedDatabase& db,
+                    const Fact& fact) override;
+  std::map<Fact, BigRational> AllValues(const BooleanQuery& query,
+                                        const PartitionedDatabase& db) override;
+
+  /// What the most recent completed run actually did (samples drawn,
+  /// certified half-width, memo hits); attached to SvcResponse::approx by
+  /// the service. Returns a copy under a lock — safe against a
+  /// concurrently running AllValues on a shared instance (which run's
+  /// info a shared instance reports is, as above, the sharer's problem;
+  /// torn reads are not).
+  ApproxInfo last_info() const {
+    std::lock_guard<std::mutex> lock(info_mutex_);
+    return info_;
+  }
+
+ private:
+  ApproxParams params_;
+  std::shared_ptr<std::atomic<bool>> cancel_;
+  std::optional<std::chrono::steady_clock::time_point> deadline_;
+  mutable std::mutex info_mutex_;
+  ApproxInfo info_;
+};
+
+}  // namespace shapley
+
+#endif  // SHAPLEY_APPROX_SAMPLING_H_

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <limits>
+#include <string>
 
 namespace shapley {
 
@@ -30,6 +31,19 @@ struct EngineCaps {
   /// Hard upper bound on |Dn| the engine accepts before it raises a
   /// capacity error (max() = unbounded, i.e. polynomial-time engines).
   size_t max_endogenous = std::numeric_limits<size_t>::max();
+
+  /// Returns (ε, δ)-bounded estimates instead of exact values. Approximate
+  /// engines are exempt from the service's exhaustive-fallback guard (their
+  /// cost is the sample budget, not 2^|Dn|) but are routed to only when the
+  /// request opts in (SvcRequest::allow_approx) or names them explicitly.
+  bool approximate = false;
+
+  /// Error-model metadata of an approximate engine (empty for exact ones):
+  /// which concentration bound backs the estimates and what it promises,
+  /// e.g. "hoeffding: P(|est − Sh| > eps) <= delta per fact, additive".
+  /// Surfaced by the CLI's `engines` listing and the registry, so callers
+  /// can tell what kind of answer an engine gives before routing to it.
+  std::string error_model = {};
 };
 
 }  // namespace shapley

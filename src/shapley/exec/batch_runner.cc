@@ -15,6 +15,7 @@ std::string ExecStats::ToString() const {
      << " threads=" << threads << " tasks=" << tasks
      << " oracle_calls=" << oracle_calls << " cache_hits=" << cache_hits
      << " cache_misses=" << cache_misses << " cache_bytes=" << cache_bytes
+     << " verdict_cache_hits=" << verdict_cache_hits
      << " wall_ms=" << wall_ms;
   return os.str();
 }
@@ -27,6 +28,7 @@ std::string ExecStats::ToJson() const {
      << ", \"cache_hits\": " << cache_hits
      << ", \"cache_misses\": " << cache_misses
      << ", \"cache_bytes\": " << cache_bytes
+     << ", \"verdict_cache_hits\": " << verdict_cache_hits
      << ", \"wall_ms\": " << wall_ms << "}";
   return os.str();
 }
@@ -157,6 +159,8 @@ std::vector<Result> BatchSvcRunner::Run(const std::vector<BatchInstance>& batch,
       shared_cache != nullptr ? shared_cache->misses() - base_misses : 0;
   stats_.cache_bytes =
       shared_cache != nullptr ? shared_cache->bytes_used() : 0;
+  // verdict_cache_hits stays 0 here by construction: the runner's
+  // engine_instance requests skip classification (see the field comment).
   stats_.wall_ms = std::chrono::duration<double, std::milli>(
                        std::chrono::steady_clock::now() - start)
                        .count();

@@ -50,6 +50,10 @@ struct ExecStats {
   size_t cache_hits = 0;
   size_t cache_misses = 0;
   size_t cache_bytes = 0;   ///< Approximate bytes resident after the run.
+  /// Requests whose dichotomy classification was served from the service's
+  /// verdict cache instead of reclassifying (0 on the engine_instance path,
+  /// which skips classification altogether).
+  size_t verdict_cache_hits = 0;
   double wall_ms = 0.0;
 
   std::string ToString() const;

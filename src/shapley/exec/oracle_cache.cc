@@ -108,8 +108,48 @@ std::shared_ptr<const DdnnfCircuit> OracleCache::Circuit(
   return resident;
 }
 
+std::shared_ptr<SatMemo> OracleCache::SatTable(const BooleanQuery& query,
+                                               const PartitionedDatabase& db) {
+  const std::string key = Fingerprint("sat-memo", query, db);
+  std::shared_ptr<SatMemo> cached;
+  {
+    std::lock_guard<std::mutex> lock(memos_.mutex);
+    auto it = memos_.index.find(std::string_view(key));
+    if (it != memos_.index.end()) {
+      memos_.lru.splice(memos_.lru.begin(), memos_.lru, it->second);
+      it->second->tick = clock_.fetch_add(1);
+      // Memos grow after insertion (unlike the immutable polynomials and
+      // circuits), so every access reconciles the budget against the
+      // memo's current footprint.
+      const size_t now_bytes =
+          it->second->key.size() + it->second->value->ApproxBytes();
+      memos_.bytes += now_bytes - it->second->bytes;
+      it->second->bytes = now_bytes;
+      cached = it->second->value;
+    }
+  }
+  if (cached != nullptr) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    EnforceBudget();  // The reconciled growth may now exceed the budget.
+    return cached;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  auto memo = std::make_shared<SatMemo>();
+  const size_t memo_bytes = memo->ApproxBytes();
+  std::shared_ptr<SatMemo> resident;
+  {
+    std::lock_guard<std::mutex> lock(memos_.mutex);
+    // Concurrent misses race to insert an *empty* memo; losing one is
+    // free (no computed work is discarded, unlike the counting tables).
+    resident = memos_.Insert(key, std::move(memo), memo_bytes,
+                             clock_.fetch_add(1));
+  }
+  EnforceBudget();
+  return resident;
+}
+
 void OracleCache::EnforceBudget() {
-  std::scoped_lock lock(counts_.mutex, circuits_.mutex);
+  std::scoped_lock lock(counts_.mutex, circuits_.mutex, memos_.mutex);
   size_t evicted = 0;
   // Per-table entry bound.
   while (counts_.CanEvict() && counts_.lru.size() > max_entries_) {
@@ -120,17 +160,35 @@ void OracleCache::EnforceBudget() {
     circuits_.EvictTail();
     ++evicted;
   }
-  // Shared byte budget, true LRU across both tables via the use ticks.
-  while (counts_.bytes + circuits_.bytes > max_bytes_) {
-    const bool counts_evictable = counts_.CanEvict();
-    const bool circuits_evictable = circuits_.CanEvict();
-    if (counts_evictable &&
-        (!circuits_evictable || counts_.TailTick() < circuits_.TailTick())) {
+  while (memos_.CanEvict() && memos_.lru.size() > max_entries_) {
+    memos_.EvictTail();
+    ++evicted;
+  }
+  // Shared byte budget, true LRU across the tables via the use ticks.
+  while (counts_.bytes + circuits_.bytes + memos_.bytes > max_bytes_) {
+    struct Candidate {
+      bool evictable;
+      uint64_t tick;
+    };
+    const Candidate candidates[] = {
+        {counts_.CanEvict(), counts_.CanEvict() ? counts_.TailTick() : 0},
+        {circuits_.CanEvict(),
+         circuits_.CanEvict() ? circuits_.TailTick() : 0},
+        {memos_.CanEvict(), memos_.CanEvict() ? memos_.TailTick() : 0}};
+    int oldest = -1;
+    for (int i = 0; i < 3; ++i) {
+      if (!candidates[i].evictable) continue;
+      if (oldest == -1 || candidates[i].tick < candidates[oldest].tick) {
+        oldest = i;
+      }
+    }
+    if (oldest == -1) break;  // Only the per-table most recent entries remain.
+    if (oldest == 0) {
       counts_.EvictTail();
-    } else if (circuits_evictable) {
+    } else if (oldest == 1) {
       circuits_.EvictTail();
     } else {
-      break;  // Only the per-table most recent entries remain.
+      memos_.EvictTail();
     }
     ++evicted;
   }
@@ -138,19 +196,20 @@ void OracleCache::EnforceBudget() {
 }
 
 size_t OracleCache::size() const {
-  std::scoped_lock lock(counts_.mutex, circuits_.mutex);
-  return counts_.lru.size() + circuits_.lru.size();
+  std::scoped_lock lock(counts_.mutex, circuits_.mutex, memos_.mutex);
+  return counts_.lru.size() + circuits_.lru.size() + memos_.lru.size();
 }
 
 size_t OracleCache::bytes_used() const {
-  std::scoped_lock lock(counts_.mutex, circuits_.mutex);
-  return counts_.bytes + circuits_.bytes;
+  std::scoped_lock lock(counts_.mutex, circuits_.mutex, memos_.mutex);
+  return counts_.bytes + circuits_.bytes + memos_.bytes;
 }
 
 void OracleCache::Clear() {
-  std::scoped_lock lock(counts_.mutex, circuits_.mutex);
+  std::scoped_lock lock(counts_.mutex, circuits_.mutex, memos_.mutex);
   counts_.Clear();
   circuits_.Clear();
+  memos_.Clear();
 }
 
 }  // namespace shapley

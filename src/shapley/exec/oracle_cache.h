@@ -12,6 +12,7 @@
 #include <unordered_map>
 
 #include "shapley/arith/polynomial.h"
+#include "shapley/exec/sat_memo.h"
 
 namespace shapley {
 
@@ -26,7 +27,11 @@ class PartitionedDatabase;
 ///    the unit of cost of the SVC ≤ FGMC reduction (Claim A.1), so every
 ///    hit eliminates one full stratified count;
 ///  - compiled d-DNNF circuits, keyed by (query, Dn, Dx, compiler caps) —
-///    one compilation then serves FGMC, PQE and repeated probes.
+///    one compilation then serves FGMC, PQE and repeated probes;
+///  - coalition-satisfaction memos (SatMemo), keyed by (query, Dn, Dx) —
+///    the sampling engine's shared oracle fast path, so repeated
+///    sub-coalition evaluations amortize across requests like counting
+///    work does.
 ///
 /// Keys are canonical fingerprints: the query's text plus the sorted fact
 /// lists of both database parts (relation names + interned constant ids),
@@ -38,17 +43,18 @@ class PartitionedDatabase;
 /// first insert wins (duplicates are discarded — results for equal keys
 /// are equal).
 ///
-/// Both tables store their values behind shared_ptr, so the under-lock
+/// Every table stores its values behind shared_ptr, so the under-lock
 /// work of a hit is a pointer copy plus the O(1) LRU splice — never a
 /// deep copy of coefficient limbs or circuit nodes.
 ///
 /// Capacity is bounded two ways: `max_entries` entries per table, and one
 /// `max_bytes` budget of approximate heap footprint (key string +
-/// polynomial coefficient limbs, or compiled circuit nodes) SHARED across
-/// both tables — circuits routinely outweigh polynomials by orders of
-/// magnitude, so counting entries alone would let a handful of circuits
-/// blow the budget. Eviction is LRU by size across the whole cache (use
-/// ticks order entries of both tables on one clock): when a bound is
+/// polynomial coefficient limbs, compiled circuit nodes, or memo entries)
+/// SHARED across all tables — circuits routinely outweigh polynomials by
+/// orders of magnitude, so counting entries alone would let a handful of
+/// circuits blow the budget. Eviction is LRU by size across the whole
+/// cache (use ticks order entries of every table on one clock): when a
+/// bound is
 /// exceeded, globally least-recently-used entries are dropped until the
 /// cache fits again, so a long-lived serving process keeps its hot working
 /// set instead of clearing wholesale. Each table always retains its most
@@ -73,6 +79,14 @@ class OracleCache {
                                               size_t support_cap,
                                               size_t node_cap);
 
+  /// The shared coalition-satisfaction memo for (query, db), keyed by the
+  /// same canonical fingerprint as the counting tables — so the sampling
+  /// engine's repeated sub-coalition evaluations amortize across batches,
+  /// threads, requests and engine instances exactly like counting work
+  /// does. Creates an empty memo on first use; never null.
+  std::shared_ptr<SatMemo> SatTable(const BooleanQuery& query,
+                                    const PartitionedDatabase& db);
+
   /// The canonical cache key; exposed for tests and diagnostics.
   static std::string Fingerprint(const std::string& oracle_name,
                                  const BooleanQuery& query,
@@ -83,14 +97,14 @@ class OracleCache {
   /// Entries dropped by LRU-by-size eviction so far.
   size_t evictions() const { return evictions_.load(); }
   size_t size() const;
-  /// Approximate bytes held across both tables right now.
+  /// Approximate bytes held across all tables right now.
   size_t bytes_used() const;
   void Clear();
 
  private:
   /// One LRU table: list front = most recently used; the index maps the
   /// key (owned by the list node, stable across splices) to its node.
-  /// Entries carry a use tick from the cache-wide clock so the two tables
+  /// Entries carry a use tick from the cache-wide clock so the tables
   /// can be evicted against each other in true LRU order. All fields are
   /// guarded by `mutex`.
   template <typename Value>
@@ -151,13 +165,14 @@ class OracleCache {
     }
   };
 
-  /// Applies both bounds; locks both shards (scoped_lock, deadlock-free).
+  /// Applies both bounds; locks all shards (scoped_lock, deadlock-free).
   void EnforceBudget();
 
   const size_t max_entries_;
   const size_t max_bytes_;
   Shard<std::shared_ptr<const Polynomial>> counts_;
   Shard<std::shared_ptr<const DdnnfCircuit>> circuits_;
+  Shard<std::shared_ptr<SatMemo>> memos_;
   std::atomic<uint64_t> clock_{0};
   std::atomic<size_t> hits_{0};
   std::atomic<size_t> misses_{0};

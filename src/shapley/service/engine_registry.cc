@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "shapley/analysis/structure.h"
+#include "shapley/approx/sampling.h"
 #include "shapley/engines/fgmc.h"
 #include "shapley/query/conjunctive_query.h"
 
@@ -30,6 +31,11 @@ EngineRegistry EngineRegistry::Default() {
        LineageFgmc().caps(), [] {
          return std::make_shared<SvcViaFgmc>(std::make_shared<LineageFgmc>());
        }});
+  registry.Register(
+      {"sampling",
+       "Monte Carlo permutation sampling, Hoeffding (eps, delta) bounds "
+       "(any query class; approximate, opt-in, seed-deterministic)",
+       SamplingSvc().caps(), [] { return std::make_shared<SamplingSvc>(); }});
   return registry;
 }
 

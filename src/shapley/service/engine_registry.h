@@ -35,6 +35,9 @@ class EngineRegistry {
   ///                   sjf-CQs; the polynomial side of the dichotomy)
   ///   ddnnf         — via-FGMC over lineage + d-DNNF compilation
   ///                   (monotone queries; exact, worst-case exponential)
+  ///   sampling      — Monte Carlo permutation sampling with Hoeffding
+  ///                   (ε, δ) bounds (any query class; approximate —
+  ///                   routed to only on request opt-in)
   static EngineRegistry Default();
 
   /// Adds or replaces an entry under entry.name.

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "shapley/analysis/classifier.h"
+#include "shapley/approx/approx.h"
 #include "shapley/arith/big_rational.h"
 #include "shapley/data/partitioned_database.h"
 #include "shapley/engines/svc.h"
@@ -64,6 +65,19 @@ struct SvcRequest {
   /// BatchSvcRunner preserves its historical behavior and cost profile.
   std::shared_ptr<SvcEngine> engine_instance;
 
+  /// Opt-in to approximation: when set and no exact engine admits the
+  /// instance (the #P-hard side of the dichotomy beyond the exhaustive
+  /// guard), routing falls through to the Monte Carlo sampling engine
+  /// instead of failing with kCapacityExceeded. The response then carries
+  /// the (ε, δ) contract actually delivered in SvcResponse::approx.
+  /// Exact engines are always preferred when any admits the instance.
+  bool allow_approx = false;
+
+  /// The approximation contract (ε, δ, seed, sample budget) used when the
+  /// sampling engine serves this request — via allow_approx fallback or an
+  /// explicit engine = "sampling" override.
+  ApproxParams approx;
+
   /// Absolute deadline; a request past it when dequeued fails with
   /// kDeadlineExceeded without running its engine.
   std::optional<std::chrono::steady_clock::time_point> deadline;
@@ -105,6 +119,12 @@ struct SvcResponse {
   /// kMaxValue (size 1) / kTopK (size <= top_k) results, by descending
   /// value; ties broken by fact order for determinism.
   std::vector<std::pair<Fact, BigRational>> ranked;
+
+  /// Populated iff an approximate engine served the request: the realized
+  /// sample count, certified half-width and confidence (see ApproxInfo).
+  /// Absent on every exact answer — its presence IS the "this value is an
+  /// estimate" marker.
+  std::optional<ApproxInfo> approx;
 
   std::optional<SvcError> error;
   /// The engine exception behind `error`, when one was caught (null for

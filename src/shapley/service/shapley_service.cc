@@ -1,9 +1,11 @@
 #include "shapley/service/shapley_service.h"
 
 #include <algorithm>
+#include <typeinfo>
 #include <utility>
 
 #include "shapley/analysis/classifier.h"
+#include "shapley/approx/sampling.h"
 #include "shapley/engines/fgmc.h"
 
 namespace shapley {
@@ -55,7 +57,9 @@ std::string ToString(SvcMode mode) {
 }
 
 ShapleyService::ShapleyService(ServiceOptions options, EngineRegistry registry)
-    : options_(options), registry_(std::move(registry)) {
+    : options_(options),
+      registry_(std::move(registry)),
+      verdict_cache_(options.verdict_cache_entries) {
   if (options_.use_cache) {
     cache_ = std::make_unique<OracleCache>(options_.cache_max_entries,
                                            options_.cache_max_bytes);
@@ -130,9 +134,11 @@ namespace {
 // Routing preference among admitting engines: class specialists first
 // (their restriction certifies a polynomial algorithm — the tractable side
 // of the dichotomy), then guarded exhaustive engines (cheap and exact for
-// small instances of any class), then compilation-based engines as the
-// last resort (exact, but worst-case exponential behind a node cap).
+// small instances of any class), then compilation-based engines (exact,
+// but worst-case exponential behind a node cap), and approximate engines
+// strictly last — an estimate never shadows an available exact answer.
 int RoutePreference(const EngineCaps& caps) {
+  if (caps.approximate) return 3;
   if (caps.hierarchical_sjf_cq_only) return 0;
   if (caps.all_query_classes) return 1;
   return 2;
@@ -140,42 +146,74 @@ int RoutePreference(const EngineCaps& caps) {
 
 }  // namespace
 
-std::shared_ptr<SvcEngine> ShapleyService::Route(const BooleanQuery& query,
+std::shared_ptr<SvcEngine> ShapleyService::Route(const SvcRequest& request,
                                                  size_t num_endogenous,
                                                  SvcResponse* response) const {
   // Scan the whole registry by capability, so Register()-ing an engine
-  // (e.g. a future sampling engine) extends routing without touching this
-  // code. The exhaustive engines additionally honor the service-level
-  // fallback guard: beyond it they are not "an engine", they are a sweep
-  // that cannot finish.
+  // extends routing without touching this code. The exhaustive engines
+  // additionally honor the service-level fallback guard: beyond it they
+  // are not "an engine", they are a sweep that cannot finish. Approximate
+  // engines are exempt from that guard (their cost is the sample budget)
+  // but require the request's explicit opt-in.
   const EngineRegistry::Entry* best = nullptr;
   for (const std::string& name : registry_.Names()) {
     const EngineRegistry::Entry* entry = registry_.Find(name);
-    if (entry->caps.all_query_classes &&
+    if (entry->caps.approximate && !request.allow_approx) continue;
+    if (entry->caps.all_query_classes && !entry->caps.approximate &&
         num_endogenous > options_.brute_force_max_facts) {
       continue;
     }
-    if (!CapsAdmit(entry->caps, query, num_endogenous, nullptr)) continue;
+    if (!CapsAdmit(entry->caps, *request.query, num_endogenous, nullptr)) {
+      continue;
+    }
     if (best == nullptr ||
         RoutePreference(entry->caps) < RoutePreference(best->caps)) {
       best = entry;
     }
   }
   if (best == nullptr) {
-    response->error = SvcError{
-        SvcErrorCode::kCapacityExceeded,
+    std::string message =
         "no registered engine admits |Dn| = " +
-            std::to_string(num_endogenous) + " for [" +
-            response->verdict.query_class +
-            "] (exhaustive fallback guard: " +
-            std::to_string(std::min(options_.brute_force_max_facts,
-                                    kBruteForceMaxEndogenous)) +
-            "): " + response->verdict.justification,
-        ""};
+        std::to_string(num_endogenous) + " for [" +
+        response->verdict.query_class + "] (exhaustive fallback guard: " +
+        std::to_string(std::min(options_.brute_force_max_facts,
+                                kBruteForceMaxEndogenous)) +
+        "): " + response->verdict.justification;
+    if (!request.allow_approx) {
+      message +=
+          " — set allow_approx to fall through to the sampling engine's "
+          "(eps, delta) estimates";
+    }
+    response->error =
+        SvcError{SvcErrorCode::kCapacityExceeded, std::move(message), ""};
     return nullptr;
   }
   response->routed_by_classifier = true;
   return MakeConfiguredEngine(*best);
+}
+
+DichotomyVerdict ShapleyService::Classify(const BooleanQuery& query) {
+  // Key by dynamic type + text: two query classes could conceivably print
+  // alike, and the verdict depends on the class.
+  const std::string key =
+      std::string(typeid(query).name()) + '\x1f' + query.ToString();
+  DichotomyVerdict verdict;
+  if (verdict_cache_.Lookup(key, &verdict)) return verdict;
+  try {
+    verdict = ClassifySvcComplexity(query);
+  } catch (const std::exception& e) {
+    // An honest kUnknown: classification failing must not take the
+    // request down with it — routing falls back to the guarded
+    // brute-force path. NOT cached: the throw may be transient (e.g.
+    // allocation pressure), and pinning "unclassified" would misroute
+    // every later request of a genuinely tractable query.
+    verdict = DichotomyVerdict{};
+    verdict.query_class = "unclassified";
+    verdict.justification = std::string("classifier failed: ") + e.what();
+    return verdict;
+  }
+  verdict_cache_.Insert(key, verdict);
+  return verdict;
 }
 
 SvcResponse ShapleyService::Execute(const SvcRequest& request,
@@ -219,17 +257,7 @@ SvcResponse ShapleyService::Execute(const SvcRequest& request,
   // classified and carries the verdict in its response.
   if (request.engine_instance == nullptr ||
       request.mode == SvcMode::kClassifyOnly) {
-    try {
-      response.verdict = ClassifySvcComplexity(*request.query);
-    } catch (const std::exception& e) {
-      // An honest kUnknown: classification failing must not take the
-      // request down with it — routing falls back to the guarded
-      // brute-force path.
-      response.verdict = DichotomyVerdict{};
-      response.verdict.query_class = "unclassified";
-      response.verdict.justification = std::string("classifier failed: ") +
-                                       e.what();
-    }
+    response.verdict = Classify(*request.query);
   } else {
     response.verdict.query_class = "unclassified";
     response.verdict.justification =
@@ -258,47 +286,87 @@ SvcResponse ShapleyService::Execute(const SvcRequest& request,
     }
     engine = MakeConfiguredEngine(*entry);
   } else {
-    engine = Route(*request.query, n, &response);
+    engine = Route(request, n, &response);
     if (engine == nullptr) return finish(std::move(response));
   }
-  response.engine = engine->name();
-
-  try {
-    switch (request.mode) {
-      case SvcMode::kAllValues:
-        response.values = engine->AllValues(*request.query, request.db);
-        break;
-      case SvcMode::kMaxValue:
-        response.ranked.push_back(
-            engine->MaxValue(*request.query, request.db));
-        break;
-      case SvcMode::kTopK:
-        response.ranked =
-            TopK(engine->AllValues(*request.query, request.db),
-                 request.top_k);
-        break;
-      case SvcMode::kClassifyOnly:
-        break;  // Handled above.
+  auto run_engine = [&](const std::shared_ptr<SvcEngine>& chosen) {
+    response.engine = chosen->name();
+    // Registry-created sampling engines take the request's (ε, δ, seed)
+    // contract plus its cancel token and deadline, so a long sweep stays
+    // abortable mid-run; caller-owned engine instances are called as-is
+    // (the caller configured them).
+    auto* sampler = dynamic_cast<SamplingSvc*>(chosen.get());
+    if (sampler != nullptr && request.engine_instance == nullptr) {
+      sampler->set_params(request.approx);
+      sampler->set_cancel(request.cancel);
+      sampler->set_deadline(request.deadline);
     }
-  } catch (const SvcException& e) {
-    SvcError error = e.error();
-    if (error.engine.empty()) error.engine = response.engine;
-    response.error = std::move(error);
-    response.raw_exception = std::current_exception();
-  } catch (const std::invalid_argument& e) {
-    response.error =
-        SvcError{SvcErrorCode::kInvalidRequest, e.what(), response.engine};
-    response.raw_exception = std::current_exception();
-  } catch (const std::exception& e) {
-    response.error =
-        SvcError{SvcErrorCode::kEngineFailure, e.what(), response.engine};
-    response.raw_exception = std::current_exception();
-  } catch (...) {
-    // The "future.get() never throws" contract must hold even for throws
-    // outside the std::exception hierarchy.
-    response.error = SvcError{SvcErrorCode::kEngineFailure,
-                              "non-standard exception", response.engine};
-    response.raw_exception = std::current_exception();
+    try {
+      switch (request.mode) {
+        case SvcMode::kAllValues:
+          response.values = chosen->AllValues(*request.query, request.db);
+          break;
+        case SvcMode::kMaxValue:
+          response.ranked.push_back(
+              chosen->MaxValue(*request.query, request.db));
+          break;
+        case SvcMode::kTopK:
+          response.ranked =
+              TopK(chosen->AllValues(*request.query, request.db),
+                   request.top_k);
+          break;
+        case SvcMode::kClassifyOnly:
+          break;  // Handled above.
+      }
+      // Estimates must be labeled as such: every answer an approximate
+      // engine produced carries the realized (samples, half-width,
+      // confidence) next to the values.
+      if (sampler != nullptr) response.approx = sampler->last_info();
+    } catch (const SvcException& e) {
+      SvcError error = e.error();
+      if (error.engine.empty()) error.engine = response.engine;
+      response.error = std::move(error);
+      response.raw_exception = std::current_exception();
+    } catch (const std::invalid_argument& e) {
+      response.error =
+          SvcError{SvcErrorCode::kInvalidRequest, e.what(), response.engine};
+      response.raw_exception = std::current_exception();
+    } catch (const std::exception& e) {
+      response.error =
+          SvcError{SvcErrorCode::kEngineFailure, e.what(), response.engine};
+      response.raw_exception = std::current_exception();
+    } catch (...) {
+      // The "future.get() never throws" contract must hold even for
+      // throws outside the std::exception hierarchy.
+      response.error = SvcError{SvcErrorCode::kEngineFailure,
+                                "non-standard exception", response.engine};
+      response.raw_exception = std::current_exception();
+    }
+  };
+
+  run_engine(engine);
+
+  // The allow_approx promise is "complete instead of refuse", and it must
+  // survive an exact engine dying on capacity at *run* time too (e.g. the
+  // d-DNNF compiler blowing its node cap on an instance routing could not
+  // pre-screen): retry once with an admitting approximate engine. Only on
+  // auto-routed requests — explicit overrides asked for that engine,
+  // capacity error and all.
+  if (!response.ok() &&
+      response.error->code == SvcErrorCode::kCapacityExceeded &&
+      request.allow_approx && request.engine.empty() &&
+      request.engine_instance == nullptr && !engine->caps().approximate) {
+    for (const std::string& name : registry_.Names()) {
+      const EngineRegistry::Entry* entry = registry_.Find(name);
+      if (!entry->caps.approximate) continue;
+      if (!CapsAdmit(entry->caps, *request.query, n, nullptr)) continue;
+      response.error.reset();
+      response.raw_exception = nullptr;
+      response.values.clear();
+      response.ranked.clear();
+      run_engine(MakeConfiguredEngine(*entry));
+      break;
+    }
   }
   return finish(std::move(response));
 }

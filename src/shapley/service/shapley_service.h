@@ -15,6 +15,7 @@
 #include "shapley/exec/thread_pool.h"
 #include "shapley/service/engine_registry.h"
 #include "shapley/service/request.h"
+#include "shapley/service/verdict_cache.h"
 
 namespace shapley {
 
@@ -32,9 +33,16 @@ struct ServiceOptions {
 
   /// |Dn| guard of the brute-force fallback on the #P-hard side of the
   /// dichotomy: larger instances fail with kCapacityExceeded instead of
-  /// starting a 2^|Dn| sweep that cannot finish. Clipped to
+  /// starting a 2^|Dn| sweep that cannot finish — unless the request opts
+  /// into approximation (SvcRequest::allow_approx), in which case routing
+  /// falls through to the sampling engine. Clipped to
   /// kBruteForceMaxEndogenous.
   size_t brute_force_max_facts = kBruteForceMaxEndogenous;
+
+  /// Bound of the verdict-memoization LRU: classification is a pure
+  /// function of the query, so repeated-query streams skip it entirely
+  /// after the first request. 0 disables memoization.
+  size_t verdict_cache_entries = 1024;
 };
 
 /// The serving front-end of the library — the paper's dichotomy turned
@@ -102,6 +110,10 @@ class ShapleyService {
   size_t requests_completed() const { return completed_.load(); }
   size_t requests_failed() const { return failed_.load(); }
 
+  /// Requests whose classification was served from the verdict cache.
+  size_t verdict_cache_hits() const { return verdict_cache_.hits(); }
+  size_t verdict_cache_misses() const { return verdict_cache_.misses(); }
+
  private:
   SvcResponse Execute(const SvcRequest& request,
                       std::chrono::steady_clock::time_point submitted);
@@ -111,15 +123,21 @@ class ShapleyService {
   std::shared_ptr<SvcEngine> MakeConfiguredEngine(
       const EngineRegistry::Entry& entry) const;
 
-  /// Dichotomy routing; on failure fills response->error and returns null.
-  std::shared_ptr<SvcEngine> Route(const BooleanQuery& query,
+  /// Dichotomy routing (exact engines first; the sampling engine only when
+  /// the request allows approximation and nothing exact admits); on
+  /// failure fills response->error and returns null.
+  std::shared_ptr<SvcEngine> Route(const SvcRequest& request,
                                    size_t num_endogenous,
                                    SvcResponse* response) const;
+
+  /// ClassifySvcComplexity through the verdict cache.
+  DichotomyVerdict Classify(const BooleanQuery& query);
 
   const ServiceOptions options_;
   const EngineRegistry registry_;
   std::unique_ptr<OracleCache> cache_;
   std::unique_ptr<ThreadPool> pool_;
+  VerdictCache verdict_cache_;
   ExecContext context_;  ///< Installed on registry-created engines.
   std::atomic<bool> shutting_down_{false};
   std::atomic<size_t> submitted_{0};

@@ -1,0 +1,44 @@
+#include "shapley/service/verdict_cache.h"
+
+namespace shapley {
+
+bool VerdictCache::Lookup(const std::string& key, DichotomyVerdict* out) {
+  if (max_entries_ == 0) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(std::string_view(key));
+  if (it == index_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  *out = it->second->verdict;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void VerdictCache::Insert(const std::string& key,
+                          const DichotomyVerdict& verdict) {
+  if (max_entries_ == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(std::string_view(key));
+  if (it != index_.end()) {  // Concurrent classification landed first.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, verdict});
+  index_.emplace(std::string_view(lru_.front().key), lru_.begin());
+  while (lru_.size() > max_entries_) {
+    index_.erase(std::string_view(lru_.back().key));
+    lru_.pop_back();
+  }
+}
+
+size_t VerdictCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+}  // namespace shapley

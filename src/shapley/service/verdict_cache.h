@@ -1,0 +1,58 @@
+#ifndef SHAPLEY_SERVICE_VERDICT_CACHE_H_
+#define SHAPLEY_SERVICE_VERDICT_CACHE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <list>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+
+#include "shapley/analysis/classifier.h"
+
+namespace shapley {
+
+/// A small bounded LRU cache of dichotomy verdicts, keyed by query
+/// identity. Classification is a pure function of the query (its class
+/// membership, hierarchicalness, self-join-freeness — nothing about the
+/// database), so on a high-QPS stream of repeated queries the service can
+/// skip reclassification entirely; this takes the structural analysis off
+/// the per-request hot path.
+///
+/// Thread-safe; `max_entries == 0` disables the cache (every Lookup
+/// misses, Insert is a no-op), which is also the safe degenerate mode.
+class VerdictCache {
+ public:
+  explicit VerdictCache(size_t max_entries) : max_entries_(max_entries) {}
+
+  /// Copies the cached verdict for `key` into *out; false on miss.
+  bool Lookup(const std::string& key, DichotomyVerdict* out);
+
+  /// Records a verdict; evicts the least recently used beyond the bound.
+  void Insert(const std::string& key, const DichotomyVerdict& verdict);
+
+  size_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  size_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  size_t size() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    DichotomyVerdict verdict;
+  };
+
+  const size_t max_entries_;
+  mutable std::mutex mutex_;
+  /// Front = most recently used; the index views the entry-owned key
+  /// (stable across splices).
+  std::list<Entry> lru_;
+  std::unordered_map<std::string_view, std::list<Entry>::iterator> index_;
+  std::atomic<size_t> hits_{0};
+  std::atomic<size_t> misses_{0};
+};
+
+}  // namespace shapley
+
+#endif  // SHAPLEY_SERVICE_VERDICT_CACHE_H_

@@ -1,0 +1,260 @@
+#include "shapley/approx/sampling.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "shapley/approx/rng.h"
+#include "shapley/data/parser.h"
+#include "shapley/engines/svc.h"
+#include "shapley/exec/oracle_cache.h"
+#include "shapley/exec/thread_pool.h"
+#include "shapley/gen/generators.h"
+#include "shapley/query/query_parser.h"
+
+namespace shapley {
+namespace {
+
+QueryPtr ParseQuery(const std::shared_ptr<Schema>& schema, const char* text) {
+  UcqPtr ucq = ParseUcq(schema, text);
+  if (ucq->disjuncts().size() == 1) return ucq->disjuncts()[0];
+  return ucq;
+}
+
+PartitionedDatabase RandomDb(const std::shared_ptr<Schema>& schema,
+                             uint64_t seed, size_t num_facts = 9) {
+  RandomDatabaseOptions options;
+  options.num_facts = num_facts;
+  options.domain_size = 3;
+  options.exogenous_fraction = 0.25;
+  options.seed = seed;
+  return RandomPartitionedDatabase(schema, options);
+}
+
+double MaxAbsError(const std::map<Fact, BigRational>& estimate,
+                   const std::map<Fact, BigRational>& exact) {
+  EXPECT_EQ(estimate.size(), exact.size());
+  double worst = 0.0;
+  for (const auto& [fact, value] : estimate) {
+    worst = std::max(worst,
+                     std::abs(value.ToDouble() - exact.at(fact).ToDouble()));
+  }
+  return worst;
+}
+
+TEST(SamplingTest, HoeffdingSampleCountMatchesTheBound) {
+  // m = ceil(r² ln(2/δ) / (2ε²)).
+  EXPECT_EQ(HoeffdingSamples(0.1, 0.05, 1.0),
+            static_cast<size_t>(std::ceil(std::log(40.0) / 0.02)));
+  EXPECT_EQ(HoeffdingSamples(0.1, 0.05, 2.0),
+            static_cast<size_t>(std::ceil(4.0 * std::log(40.0) / 0.02)));
+  // The half-width at exactly the derived count certifies ≤ ε.
+  const size_t m = HoeffdingSamples(0.05, 0.01, 1.0);
+  EXPECT_LE(HoeffdingHalfWidth(m, 0.01, 1.0), 0.05);
+  EXPECT_GT(HoeffdingHalfWidth(m - 1, 0.01, 1.0), 0.05);
+  // Counts beyond size_t saturate instead of wrapping through the
+  // double→integer cast (the sample guard then refuses them).
+  EXPECT_EQ(HoeffdingSamples(1e-10, 0.05, 1.0),
+            std::numeric_limits<size_t>::max());
+}
+
+TEST(SamplingTest, SplitMixBoundedDrawsAreInRangeAndDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t bound = 1 + (static_cast<uint64_t>(i) % 17);
+    const uint64_t draw = a.NextBelow(bound);
+    EXPECT_LT(draw, bound);
+    EXPECT_EQ(draw, b.NextBelow(bound));
+  }
+  EXPECT_NE(MixSeed(1, 0), MixSeed(1, 1));
+  EXPECT_NE(MixSeed(1, 0), MixSeed(2, 0));
+}
+
+// The cross-validation contract: on instances small enough for the exact
+// engines, the sampler's estimate lands within its own reported half-width
+// of the exact value, for every fact and across ≥ 3 seeds. Fixed seeds
+// make this fully deterministic — it can never flake, only regress.
+TEST(SamplingTest, EstimatesWithinReportedHalfWidthOfExactAcrossSeeds) {
+  auto schema = Schema::Create();
+  QueryPtr monotone = ParseQuery(schema, "R(x), S(x,y), T(y)");
+  QueryPtr negated = ParseQuery(schema, "R(x), S(x,y), !T(y)");
+  BruteForceSvc exact;
+
+  for (const QueryPtr& query : {monotone, negated}) {
+    for (uint64_t seed : {1ull, 2ull, 3ull}) {
+      PartitionedDatabase db = RandomDb(schema, 17 + seed);
+      std::map<Fact, BigRational> reference = exact.AllValues(*query, db);
+
+      SamplingSvc sampler(
+          ApproxParams{.epsilon = 0.1, .delta = 0.05, .seed = seed});
+      std::map<Fact, BigRational> estimate = sampler.AllValues(*query, db);
+
+      const ApproxInfo& info = sampler.last_info();
+      EXPECT_EQ(info.seed, seed);
+      EXPECT_EQ(info.range, query->IsMonotone() ? 1.0 : 2.0);
+      EXPECT_LE(info.half_width, 0.1 + 1e-12);
+      EXPECT_GE(info.samples,
+                HoeffdingSamples(0.1, 0.05, info.range));
+      EXPECT_LE(MaxAbsError(estimate, reference), info.half_width)
+          << "query " << query->ToString() << " seed " << seed;
+    }
+  }
+}
+
+// Identical seeds must reproduce identical estimates bit for bit — and the
+// guarantee extends across thread counts: batches own their RNG streams
+// and merge with commutative integer addition, so parallel scheduling
+// cannot leak into the values.
+TEST(SamplingTest, IdenticalSeedsReproduceIdenticalEstimates) {
+  auto schema = Schema::Create();
+  QueryPtr query = ParseQuery(schema, "R(x), S(x,y), T(y)");
+  PartitionedDatabase db = RandomDb(schema, 5, 12);
+  const ApproxParams params{.epsilon = 0.05, .delta = 0.05, .seed = 99};
+
+  SamplingSvc first(params);
+  SamplingSvc second(params);
+  std::map<Fact, BigRational> serial = first.AllValues(*query, db);
+  EXPECT_EQ(serial, second.AllValues(*query, db));
+
+  ThreadPool pool(4);
+  SamplingSvc parallel(params);
+  parallel.set_exec_context(ExecContext{&pool, nullptr});
+  EXPECT_EQ(serial, parallel.AllValues(*query, db));
+
+  // A different seed is a different (equally valid) estimate; the info
+  // block still reports the same contract.
+  SamplingSvc other(ApproxParams{.epsilon = 0.05, .delta = 0.05, .seed = 7});
+  other.AllValues(*query, db);
+  EXPECT_EQ(other.last_info().samples, first.last_info().samples);
+}
+
+TEST(SamplingTest, SampleBudgetCapWidensTheReportedHalfWidth) {
+  auto schema = Schema::Create();
+  QueryPtr query = ParseQuery(schema, "R(x), S(x,y)");
+  PartitionedDatabase db = RandomDb(schema, 3);
+
+  SamplingSvc capped(ApproxParams{
+      .epsilon = 0.01, .delta = 0.05, .seed = 1, .max_samples = 64});
+  capped.AllValues(*query, db);
+  EXPECT_EQ(capped.last_info().samples, 64u);
+  // 64 samples cannot certify ε = 0.01; the response says so.
+  EXPECT_GT(capped.last_info().half_width, 0.01);
+  EXPECT_NEAR(capped.last_info().half_width,
+              HoeffdingHalfWidth(64, 0.05, 1.0), 1e-12);
+}
+
+TEST(SamplingTest, SharedSatMemoAmortizesAcrossRequestsViaOracleCache) {
+  auto schema = Schema::Create();
+  QueryPtr query = ParseQuery(schema, "R(x), S(x,y), T(y)");
+  PartitionedDatabase db = RandomDb(schema, 11);
+  OracleCache cache;
+
+  SamplingSvc sampler(ApproxParams{.epsilon = 0.1, .delta = 0.1, .seed = 4});
+  sampler.set_exec_context(ExecContext{nullptr, &cache});
+  std::map<Fact, BigRational> first = sampler.AllValues(*query, db);
+  // Small prefixes repeat within one run already.
+  EXPECT_GT(sampler.last_info().memo_hits, 0u);
+  const size_t hits_after_first = sampler.last_info().memo_hits;
+
+  // A fresh engine instance (the service creates one per request) hits the
+  // same fingerprint-keyed memo: the second run starts warm.
+  SamplingSvc rerun(ApproxParams{.epsilon = 0.1, .delta = 0.1, .seed = 4});
+  rerun.set_exec_context(ExecContext{nullptr, &cache});
+  EXPECT_EQ(first, rerun.AllValues(*query, db));
+  EXPECT_GE(rerun.last_info().memo_hits, hits_after_first);
+
+  // And the memo is a real OracleCache resident: same (query, db) maps to
+  // the same table.
+  EXPECT_EQ(cache.SatTable(*query, db), cache.SatTable(*query, db));
+}
+
+TEST(SamplingTest, ValidatesParamsAndFactEndogeneity) {
+  auto schema = Schema::Create();
+  QueryPtr query = ParseQuery(schema, "R(x)");
+  PartitionedDatabase db = ParsePartitionedDatabase(schema, "R(a) | R(b)");
+
+  SamplingSvc bad_eps(ApproxParams{.epsilon = 0.0});
+  EXPECT_THROW(bad_eps.AllValues(*query, db), SvcException);
+  SamplingSvc bad_delta(ApproxParams{.epsilon = 0.1, .delta = 1.0});
+  EXPECT_THROW(bad_delta.AllValues(*query, db), SvcException);
+
+  // An (ε, δ) whose derived count exceeds the sample guard is refused
+  // (structured capacity error) unless a budget caps it.
+  SamplingSvc absurd(ApproxParams{.epsilon = 1e-9, .delta = 0.05});
+  try {
+    absurd.AllValues(*query, db);
+    FAIL() << "expected SvcException";
+  } catch (const SvcException& e) {
+    EXPECT_EQ(e.error().code, SvcErrorCode::kCapacityExceeded);
+  }
+  SamplingSvc budgeted(ApproxParams{
+      .epsilon = 1e-9, .delta = 0.05, .seed = 1, .max_samples = 128});
+  EXPECT_EQ(budgeted.AllValues(*query, db).size(), db.NumEndogenous());
+
+  SamplingSvc sampler(ApproxParams{.epsilon = 0.2, .delta = 0.2, .seed = 1});
+  const Fact exogenous = db.exogenous().facts()[0];
+  EXPECT_THROW(sampler.Value(*query, db, exogenous), SvcException);
+
+  // Empty Dn: a well-formed, trivially empty answer.
+  PartitionedDatabase empty = ParsePartitionedDatabase(schema, "| R(a)");
+  EXPECT_TRUE(sampler.AllValues(*query, empty).empty());
+}
+
+// Between batches the sampler honors cancellation and deadlines — the
+// sweep's total work is caller-tunable, so a worker must stay reclaimable
+// mid-run, not just at dequeue time.
+TEST(SamplingTest, HonorsCancellationAndDeadlineMidRun) {
+  auto schema = Schema::Create();
+  QueryPtr query = ParseQuery(schema, "R(x), S(x,y), T(y)");
+  PartitionedDatabase db = RandomDb(schema, 8);
+
+  SamplingSvc cancelled(ApproxParams{.epsilon = 0.05, .delta = 0.05});
+  auto token = std::make_shared<std::atomic<bool>>(true);
+  cancelled.set_cancel(token);
+  try {
+    cancelled.AllValues(*query, db);
+    FAIL() << "expected SvcException";
+  } catch (const SvcException& e) {
+    EXPECT_EQ(e.error().code, SvcErrorCode::kCancelled);
+  }
+  token->store(false);
+  EXPECT_EQ(cancelled.AllValues(*query, db).size(), db.NumEndogenous());
+
+  SamplingSvc late(ApproxParams{.epsilon = 0.05, .delta = 0.05});
+  late.set_deadline(std::chrono::steady_clock::now() -
+                    std::chrono::milliseconds(1));
+  try {
+    late.AllValues(*query, db);
+    FAIL() << "expected SvcException";
+  } catch (const SvcException& e) {
+    EXPECT_EQ(e.error().code, SvcErrorCode::kDeadlineExceeded);
+  }
+}
+
+// Degenerate but exact cases the sampler must get right regardless of ε:
+// when Dx already satisfies a monotone query every value is exactly 0, and
+// a single endogenous fact that flips the query has value exactly 1.
+TEST(SamplingTest, DegenerateInstancesAreExact) {
+  auto schema = Schema::Create();
+  QueryPtr query = ParseQuery(schema, "R(x)");
+
+  PartitionedDatabase saturated =
+      ParsePartitionedDatabase(schema, "R(a) R(b) | R(c)");
+  SamplingSvc sampler(ApproxParams{.epsilon = 0.3, .delta = 0.3, .seed = 2});
+  for (const auto& [fact, value] : sampler.AllValues(*query, saturated)) {
+    EXPECT_EQ(value, BigRational(0)) << fact.ToString(*schema);
+  }
+
+  PartitionedDatabase pivotal = ParsePartitionedDatabase(schema, "R(a)");
+  std::map<Fact, BigRational> values = sampler.AllValues(*query, pivotal);
+  ASSERT_EQ(values.size(), 1u);
+  EXPECT_EQ(values.begin()->second, BigRational(1));
+}
+
+}  // namespace
+}  // namespace shapley

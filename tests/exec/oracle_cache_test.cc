@@ -69,6 +69,32 @@ TEST_F(OracleCacheTest, DistinctEnginesGetDistinctEntries) {
   EXPECT_EQ(cache.size(), 2u);
 }
 
+TEST_F(OracleCacheTest, SatTableSharesOneMemoPerFingerprint) {
+  CqPtr q = ParseCq(schema_, "R(x), S(x,y)");
+  PartitionedDatabase db =
+      ParsePartitionedDatabase(schema_, "R(a) S(a,b) | R(d)");
+  PartitionedDatabase other = ParsePartitionedDatabase(schema_, "R(a) S(a,c)");
+
+  OracleCache cache;
+  std::shared_ptr<SatMemo> memo = cache.SatTable(*q, db);
+  ASSERT_NE(memo, nullptr);
+  EXPECT_EQ(cache.misses(), 1u);
+
+  // Same (query, db) → same resident memo; verdicts written through one
+  // handle are visible through the other.
+  memo->Insert(0b11, true);
+  std::shared_ptr<SatMemo> again = cache.SatTable(*q, db);
+  EXPECT_EQ(memo, again);
+  EXPECT_EQ(cache.hits(), 1u);
+  ASSERT_TRUE(again->Lookup(0b11).has_value());
+  EXPECT_TRUE(*again->Lookup(0b11));
+  EXPECT_FALSE(again->Lookup(0b01).has_value());
+
+  // A different database is a different memo.
+  EXPECT_NE(cache.SatTable(*q, other), memo);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
 TEST_F(OracleCacheTest, MemoizesCompiledCircuits) {
   CqPtr q = ParseCq(schema_, "R(x), S(x,y)");
   PartitionedDatabase db =

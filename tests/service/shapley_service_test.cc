@@ -336,19 +336,199 @@ TEST(ShapleyServiceTest, ShutdownResolvesNewRequestsAsCancelled) {
   EXPECT_EQ(response.error->code, SvcErrorCode::kCancelled);
 }
 
-TEST(ShapleyServiceTest, DefaultRegistryListsTheFourEngines) {
+TEST(ShapleyServiceTest, DefaultRegistryListsTheFiveEngines) {
   EngineRegistry registry = EngineRegistry::Default();
   EXPECT_EQ(registry.Names(),
             (std::vector<std::string>{"brute", "ddnnf", "lifted",
-                                      "permutations"}));
+                                      "permutations", "sampling"}));
   ASSERT_NE(registry.Find("brute"), nullptr);
   EXPECT_EQ(registry.Find("brute")->caps.max_endogenous,
             kBruteForceMaxEndogenous);
   EXPECT_TRUE(registry.Find("lifted")->caps.hierarchical_sjf_cq_only);
   EXPECT_TRUE(registry.Find("ddnnf")->caps.monotone_only);
+  EXPECT_FALSE(registry.Find("brute")->caps.approximate);
+  EXPECT_TRUE(registry.Find("sampling")->caps.approximate);
+  EXPECT_NE(registry.Find("sampling")->caps.error_model, "");
   EXPECT_EQ(registry.Find("nope"), nullptr);
   EXPECT_THROW(registry.Create("nope"), SvcException);
   EXPECT_EQ(registry.Create("lifted")->name(), "via-fgmc(lifted-safe-plan)");
+}
+
+// The headline of the approximation subsystem: the exact same instance
+// that fails with a structured kCapacityExceeded (non-monotone, beyond
+// every exact engine's reach) completes via the sampling engine once the
+// request opts in — with the (ε, δ) contract attached to the response.
+TEST(ShapleyServiceTest, AllowApproxRoutesPreviouslyRefusedInstanceToSampler) {
+  auto schema = Schema::Create();
+  QueryPtr hard_neg = ParseQuery(schema, "R(x), S(x,y), !T(y)");
+  PartitionedDatabase big = WideDb(schema, 30);
+  ASSERT_GT(big.NumEndogenous(), kBruteForceMaxEndogenous);
+
+  ShapleyService service(ServiceOptions{.threads = 2});
+
+  SvcRequest refused;
+  refused.query = hard_neg;
+  refused.db = big;
+  SvcResponse refused_response = service.Compute(refused);
+  ASSERT_FALSE(refused_response.ok());
+  EXPECT_EQ(refused_response.error->code, SvcErrorCode::kCapacityExceeded);
+  EXPECT_FALSE(refused_response.approx.has_value());
+
+  SvcRequest allowed;
+  allowed.query = hard_neg;
+  allowed.db = big;
+  allowed.allow_approx = true;
+  allowed.approx = ApproxParams{.epsilon = 0.2, .delta = 0.1, .seed = 13};
+  SvcResponse response = service.Compute(allowed);
+  ASSERT_TRUE(response.ok()) << response.error->ToString();
+  EXPECT_EQ(response.engine, "sampling");
+  EXPECT_TRUE(response.routed_by_classifier);
+  EXPECT_EQ(response.values.size(), big.NumEndogenous());
+  ASSERT_TRUE(response.approx.has_value());
+  EXPECT_EQ(response.approx->seed, 13u);
+  EXPECT_EQ(response.approx->range, 2.0);  // Negation: general marginals.
+  EXPECT_GE(response.approx->samples, HoeffdingSamples(0.2, 0.1, 2.0));
+  EXPECT_LE(response.approx->half_width, 0.2 + 1e-12);
+
+  // Same seed through the service → bit-identical estimates, on any pool.
+  SvcRequest rerun = allowed;
+  EXPECT_EQ(service.Compute(rerun).values, response.values);
+}
+
+// allow_approx must also survive an exact engine dying on capacity at RUN
+// time (the d-DNNF compiler can blow its node cap on instances routing
+// cannot pre-screen): the service retries once with an admitting
+// approximate engine instead of surfacing the refusal the caller opted
+// out of.
+TEST(ShapleyServiceTest, RunTimeCapacityFailureFallsBackToSamplerOnOptIn) {
+  // A stand-in for "compilation blew up": admits every monotone query on
+  // paper, always fails with a capacity error when run.
+  class ExplodingEngine : public SvcEngine {
+   public:
+    std::string name() const override { return "exploding"; }
+    EngineCaps caps() const override { return {.monotone_only = true}; }
+    BigRational Value(const BooleanQuery&, const PartitionedDatabase&,
+                      const Fact&) override {
+      throw SvcException({SvcErrorCode::kCapacityExceeded,
+                          "node cap exceeded", "exploding"});
+    }
+  };
+
+  auto schema = Schema::Create();
+  QueryPtr hard = ParseQuery(schema, "R(x), S(x,y), T(y)");
+  PartitionedDatabase big = WideDb(schema, 30);
+
+  // Replace ddnnf so the exploding engine is the routed exact choice for
+  // monotone instances beyond the brute guard.
+  EngineRegistry registry = EngineRegistry::Default();
+  registry.Register({"ddnnf", "always-capacity-failing stand-in",
+                     ExplodingEngine().caps(),
+                     [] { return std::make_shared<ExplodingEngine>(); }});
+
+  ShapleyService service(ServiceOptions{.threads = 1}, std::move(registry));
+
+  SvcRequest refused;
+  refused.query = hard;
+  refused.db = big;
+  SvcResponse refused_response = service.Compute(refused);
+  ASSERT_FALSE(refused_response.ok());
+  EXPECT_EQ(refused_response.error->code, SvcErrorCode::kCapacityExceeded);
+
+  SvcRequest allowed;
+  allowed.query = hard;
+  allowed.db = big;
+  allowed.allow_approx = true;
+  allowed.approx = ApproxParams{.epsilon = 0.2, .delta = 0.1, .seed = 5};
+  SvcResponse response = service.Compute(allowed);
+  ASSERT_TRUE(response.ok()) << response.error->ToString();
+  EXPECT_EQ(response.engine, "sampling");
+  EXPECT_EQ(response.values.size(), big.NumEndogenous());
+  ASSERT_TRUE(response.approx.has_value());
+}
+
+// Approximation is opt-in, never preferred: when an exact engine admits
+// the instance, allow_approx must not change the routing — and exact
+// responses carry no approx block.
+TEST(ShapleyServiceTest, ExactEnginesStillWinWhenTheyAdmitTheInstance) {
+  auto schema = Schema::Create();
+  QueryPtr easy = ParseQuery(schema, "R(x), S(x,y)");
+  PartitionedDatabase db = RandomDb(schema, 7);
+
+  ShapleyService service(ServiceOptions{.threads = 1});
+  SvcRequest request;
+  request.query = easy;
+  request.db = db;
+  request.allow_approx = true;
+  SvcResponse response = service.Compute(request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.engine, "via-fgmc(lifted-safe-plan)");
+  EXPECT_FALSE(response.approx.has_value());
+}
+
+// An explicit engine override is consent enough — "sampling" works without
+// allow_approx, and its caps admit any query class at any |Dn|.
+TEST(ShapleyServiceTest, ExplicitSamplingOverrideServesSmallInstancesToo) {
+  auto schema = Schema::Create();
+  QueryPtr easy = ParseQuery(schema, "R(x), S(x,y)");
+  PartitionedDatabase db = RandomDb(schema, 7);
+
+  ShapleyService service(ServiceOptions{.threads = 1});
+  SvcRequest request;
+  request.query = easy;
+  request.db = db;
+  request.engine = "sampling";
+  request.approx = ApproxParams{.epsilon = 0.1, .delta = 0.05, .seed = 3};
+  SvcResponse response = service.Compute(request);
+  ASSERT_TRUE(response.ok()) << response.error->ToString();
+  EXPECT_EQ(response.engine, "sampling");
+  EXPECT_FALSE(response.routed_by_classifier);
+  ASSERT_TRUE(response.approx.has_value());
+
+  // Cross-validation through the serving layer: estimate within the
+  // reported half-width of the exact lifted answer.
+  SvcViaFgmc exact(std::make_shared<LiftedFgmc>());
+  std::map<Fact, BigRational> reference = exact.AllValues(*easy, db);
+  for (const auto& [fact, value] : response.values) {
+    EXPECT_NEAR(value.ToDouble(), reference.at(fact).ToDouble(),
+                response.approx->half_width);
+  }
+}
+
+// Verdict memoization: classification is a pure function of the query, so
+// a repeated-query stream classifies once and hits the cache thereafter —
+// with identical verdicts in every response.
+TEST(ShapleyServiceTest, VerdictCacheSkipsReclassificationOnRepeatedQueries) {
+  auto schema = Schema::Create();
+  QueryPtr query = ParseQuery(schema, "R(x), S(x,y), T(y)");
+
+  ShapleyService service(ServiceOptions{.threads = 1});
+  EXPECT_EQ(service.verdict_cache_hits(), 0u);
+
+  SvcResponse first;
+  for (size_t k = 0; k < 8; ++k) {
+    SvcRequest request;
+    request.query = query;
+    request.db = RandomDb(schema, 300 + k);
+    SvcResponse response = service.Compute(request);
+    ASSERT_TRUE(response.ok());
+    if (k == 0) {
+      first = response;
+    } else {
+      EXPECT_EQ(response.verdict.tractability, first.verdict.tractability);
+      EXPECT_EQ(response.verdict.query_class, first.verdict.query_class);
+    }
+  }
+  EXPECT_EQ(service.verdict_cache_hits(), 7u);
+  EXPECT_EQ(service.verdict_cache_misses(), 1u);
+
+  // Disabled cache (0 entries) keeps working, just without hits.
+  ShapleyService uncached(
+      ServiceOptions{.threads = 1, .verdict_cache_entries = 0});
+  SvcRequest request;
+  request.query = query;
+  request.db = RandomDb(schema, 300);
+  ASSERT_TRUE(uncached.Compute(request).ok());
+  EXPECT_EQ(uncached.verdict_cache_hits(), 0u);
 }
 
 }  // namespace
