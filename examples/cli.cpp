@@ -23,11 +23,15 @@
 // the classifier — the lifted polynomial engine on the tractable
 // hierarchical sjf-CQ side, guarded brute force otherwise. --approx opts
 // the request into Monte Carlo permutation sampling when no exact engine
-// admits the instance; --epsilon/--delta set the Hoeffding (ε, δ)
-// contract and --seed makes the run reproducible. Estimates print with
-// their half-width and confidence. The verdict, the engine that served
-// the request and execution stats go to stderr; structured SvcErrors are
-// reported instead of stack traces.
+// admits the instance; --epsilon/--delta set the (ε, δ) contract,
+// --strategy picks the sampling/stopping rule (hoeffding: fixed count;
+// bernstein: empirical-Bernstein sequential stopping; stratified:
+// antithetic position strata + sequential stopping — the adaptive two
+// stop early on low-variance facts and never draw more than the
+// Hoeffding count) and --seed makes the run reproducible. Estimates
+// print with their half-width and confidence. The verdict, the engine
+// that served the request and execution stats go to stderr; structured
+// SvcErrors are reported instead of stack traces.
 
 #include <algorithm>
 #include <cstdlib>
@@ -59,6 +63,7 @@ int Usage() {
          "auto|brute|lifted|ddnnf|permutations|sampling]\n"
       << "                   [--approx] [--epsilon E] [--delta D] "
          "[--seed S]\n"
+      << "                   [--strategy hoeffding|bernstein|stratified]\n"
       << "e.g.:  example_cli values 'R(x), S(x,y)' 'R(a) S(a,b) | S(a,c)' "
          "--threads 4\n";
   return 2;
@@ -76,12 +81,26 @@ void PrintResponseDiagnostics(const shapley::SvcResponse& response) {
   }
 }
 
-/// " ± 0.05 (95% conf)" after an estimated value; empty for exact answers.
-std::string ApproxSuffix(const shapley::SvcResponse& response) {
+/// " ± 0.05 (95% conf)" after an estimated value; empty for exact
+/// answers. Uses the FACT's certified half-width when the response
+/// carries per-fact widths (they differ on mixed-polarity instances and
+/// under adaptive retirement), the request-wide maximum otherwise.
+std::string ApproxSuffix(const shapley::SvcResponse& response,
+                         const shapley::PartitionedDatabase& db,
+                         const shapley::Fact& fact) {
   if (!response.approx.has_value()) return "";
+  double half_width = response.approx->half_width;
+  const auto& endo = db.endogenous().facts();
+  const auto& per_fact = response.approx->fact_half_widths;
+  for (size_t i = 0; i < endo.size() && i < per_fact.size(); ++i) {
+    if (endo[i] == fact) {
+      half_width = per_fact[i];
+      break;
+    }
+  }
   std::ostringstream os;
-  os << "  ± " << response.approx->half_width << " ("
-     << 100.0 * response.approx->confidence << "% conf)";
+  os << "  ± " << half_width << " (" << 100.0 * response.approx->confidence
+     << "% conf)";
   return os.str();
 }
 
@@ -113,6 +132,15 @@ int main(int argc, char** argv) {
       approx.delta = std::atof(argv[++i]);
     } else if (arg == "--seed" && i + 1 < argc) {
       approx.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--strategy" && i + 1 < argc) {
+      const std::string name = argv[++i];
+      const auto strategy = shapley::ParseApproxStrategy(name);
+      if (!strategy.has_value()) {
+        std::cerr << "error: unknown --strategy '" << name
+                  << "' (known: hoeffding bernstein stratified)\n";
+        return Usage();
+      }
+      approx.strategy = *strategy;
     } else {
       args.push_back(arg);
     }
@@ -209,17 +237,16 @@ int main(int argc, char** argv) {
                   << "error: " << response.error->ToString() << "\n";
         return 1;
       }
-      const std::string approx_suffix = ApproxSuffix(response);
       if (command == "values") {
         for (const auto& [fact, value] : response.values) {
           std::cout << fact.ToString(*schema) << " = " << value.ToString()
-                    << "  (~" << value.ToDouble() << ")" << approx_suffix
-                    << "\n";
+                    << "  (~" << value.ToDouble() << ")"
+                    << ApproxSuffix(response, db, fact) << "\n";
         }
       } else {
         for (const auto& [fact, value] : response.ranked) {
           std::cout << fact.ToString(*schema) << " = " << value.ToString()
-                    << approx_suffix << "\n";
+                    << ApproxSuffix(response, db, fact) << "\n";
         }
       }
       PrintResponseDiagnostics(response);

@@ -48,4 +48,16 @@ python3 -c 'import json,sys; print(json.dumps(json.load(open(sys.argv[1]))))' \
     "$build_dir/bench_approx_convergence.json" \
     >> "$repo_root/BENCH_approx.json"
 
+echo "== bench (adaptive stopping, appending to BENCH_approx.json) =="
+# Sample-count reduction of the sequential stopping strategies vs the
+# fixed Hoeffding count. The bench itself fails unless (1) bernstein draws
+# >= 5x fewer samples on the zero-variance instance, (2) every estimate at
+# every curve point stays within its certified per-fact half-width, and
+# (3) serial and 4-thread runs are bit-identical.
+"$build_dir/bench_adaptive_stopping" --facts 48 --threads 4 \
+    --json "$build_dir/bench_adaptive_stopping.json"
+python3 -c 'import json,sys; print(json.dumps(json.load(open(sys.argv[1]))))' \
+    "$build_dir/bench_adaptive_stopping.json" \
+    >> "$repo_root/BENCH_approx.json"
+
 echo "== check.sh: all green =="

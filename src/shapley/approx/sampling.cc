@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "shapley/approx/rng.h"
+#include "shapley/approx/stopping.h"
+#include "shapley/approx/strata.h"
 #include "shapley/exec/oracle_cache.h"
 #include "shapley/exec/sat_memo.h"
 #include "shapley/exec/thread_pool.h"
@@ -19,8 +21,19 @@ namespace {
 
 /// Permutations per pool task. Fixed (never derived from thread count or
 /// sample count) so the batch → RNG-stream mapping, and with it every
-/// estimate, is independent of parallelism.
+/// estimate, is independent of parallelism. A multiple of
+/// kStrataGroupPermutations, so stratified groups never straddle batches.
 constexpr size_t kPermutationsPerBatch = 32;
+static_assert(kPermutationsPerBatch % kStrataGroupPermutations == 0,
+              "stratified units must not straddle batch RNG streams");
+
+/// Batches between stopping checkpoints of the adaptive strategies: rounds
+/// of 4 batches (128 permutations) balance reaction time against δ-spend —
+/// each checkpoint costs a δ/(k(k+1)) installment, so checking after every
+/// batch would widen the bound for nothing on long runs. A pure function
+/// of nothing but this constant, so the checkpoint grid (and with it every
+/// retirement decision) is identical across thread counts.
+constexpr size_t kBatchesPerRound = 4;
 
 /// Memoize only coalitions up to this size: a random prefix of size k is
 /// one of C(n, k)·k! orderings, so revisits are common for tiny k and
@@ -47,16 +60,31 @@ void ValidateParams(const ApproxParams& params) {
     throw SvcException({SvcErrorCode::kInvalidRequest,
                         "sampling: delta must be in (0, 1)", "sampling"});
   }
+  switch (params.strategy) {
+    case ApproxStrategy::kHoeffding:
+    case ApproxStrategy::kBernstein:
+    case ApproxStrategy::kStratified:
+      break;
+    default:
+      throw SvcException(
+          {SvcErrorCode::kInvalidRequest,
+           "sampling: unknown approximation strategy — expected hoeffding, "
+           "bernstein or stratified",
+           "sampling"});
+  }
 }
 
 }  // namespace
 
 std::string ApproxInfo::ToString() const {
   std::ostringstream os;
-  os << "samples=" << samples << " half_width=" << half_width
+  os << "strategy=" << strategy << " samples=" << samples << "/"
+     << hoeffding_baseline << " half_width=" << half_width
      << " confidence=" << confidence << " seed=" << seed
      << " (requested eps=" << epsilon << " delta=" << delta
-     << ", marginal range " << range << ", memo_hits=" << memo_hits << ")";
+     << ", marginal range " << range << ", checkpoints=" << checkpoints
+     << ", retired=" << facts_retired << "/" << fact_half_widths.size()
+     << ", memo_hits=" << memo_hits << ")";
   return os.str();
 }
 
@@ -77,15 +105,24 @@ std::map<Fact, BigRational> SamplingSvc::AllValues(
   const size_t n = endo.size();
 
   const bool monotone = query.IsMonotone();
-  const double range = monotone ? 1.0 : 2.0;
-  size_t samples = HoeffdingSamples(params_.epsilon, params_.delta, range);
+  // Per-fact ranges, not one per request: a mixed instance charges each
+  // fact only the spread its own relation's polarity admits. The request's
+  // sample BUDGET must still cover the widest fact.
+  const std::vector<double> ranges = PerFactMarginalRanges(query, db);
+  const double max_range =
+      n == 0 ? (monotone ? 1.0 : 2.0)
+             : *std::max_element(ranges.begin(), ranges.end());
+
+  const size_t baseline = HoeffdingSamples(params_.epsilon, params_.delta,
+                                           max_range);
+  size_t budget = baseline;
   if (params_.max_samples > 0) {
-    samples = std::min(samples, params_.max_samples);
+    budget = std::min(budget, params_.max_samples);
   }
-  if (samples > kSampleGuard) {
+  if (budget > kSampleGuard) {
     throw SvcException(
         {SvcErrorCode::kCapacityExceeded,
-         "sampling: (epsilon, delta) derives " + std::to_string(samples) +
+         "sampling: (epsilon, delta) derives " + std::to_string(budget) +
              " permutations, beyond the engine guard of " +
              std::to_string(kSampleGuard) +
              " — widen epsilon/delta or set max_samples",
@@ -100,9 +137,12 @@ std::map<Fact, BigRational> SamplingSvc::AllValues(
   info.delta = params_.delta;
   info.seed = params_.seed;
   info.confidence = 1.0 - params_.delta;
-  info.range = range;
-  info.samples = samples;
-  info.half_width = HoeffdingHalfWidth(samples, params_.delta, range);
+  info.range = max_range;
+  info.strategy = shapley::ToString(params_.strategy);
+  info.hoeffding_baseline = baseline;
+  info.fact_ranges = ranges;
+  info.samples = budget;
+  info.half_width = HoeffdingHalfWidth(budget, params_.delta, max_range);
 
   std::map<Fact, BigRational> values;
   if (n == 0) {
@@ -110,6 +150,20 @@ std::map<Fact, BigRational> SamplingSvc::AllValues(
     info_ = info;
     return values;
   }
+
+  // Sampling-unit geometry: plain strategies draw one permutation per iid
+  // unit; the stratified strategy draws antithetic PAIRS (strata.h) and
+  // treats the pair as the unit. A budget too small to fund even one pair
+  // (an ε so loose a single draw certifies it) degenerates to a single
+  // plain unit — the run must never overdraw the budget, or the
+  // "never more than the Hoeffding count" contract breaks.
+  const bool stratified = params_.strategy == ApproxStrategy::kStratified;
+  const size_t unit_perms =
+      stratified ? std::min<size_t>(kStrataGroupPermutations, budget) : 1;
+  const size_t total_units = std::max<size_t>(1, budget / unit_perms);
+  const size_t units_per_batch = kPermutationsPerBatch / unit_perms;
+  const size_t num_batches =
+      (total_units + units_per_batch - 1) / units_per_batch;
 
   // The shared satisfaction oracle: through the exec-context cache when
   // installed (amortizes across requests with the same fingerprint), a
@@ -125,14 +179,15 @@ std::map<Fact, BigRational> SamplingSvc::AllValues(
   // v(∅) = [Dx |= q], the `prev` seed of every walk — evaluated once.
   const bool base_satisfied = query.Evaluate(db.exogenous());
 
-  // Per-fact net marginal tallies (#positive − #negative), merged with
-  // commutative integer addition so the totals are schedule-independent.
+  // Per-fact cumulative tallies over iid units: net[i] = Σ unit sums
+  // (#positive − #negative marginals), sq[i] = Σ squared unit sums (what
+  // the empirical-Bernstein rule reads the variance from). Both merged
+  // with commutative integer addition, so the totals — and with them every
+  // stopping decision — are schedule-independent.
   std::vector<int64_t> net(n, 0);
+  std::vector<int64_t> sq(n, 0);
   std::atomic<size_t> memo_hits{0};
   std::mutex merge_mutex;
-
-  const size_t num_batches =
-      (samples + kPermutationsPerBatch - 1) / kPermutationsPerBatch;
 
   auto run_batch = [&](size_t batch) {
     // Cooperative abort points between batches: the sweep's total work
@@ -153,10 +208,13 @@ std::map<Fact, BigRational> SamplingSvc::AllValues(
                           "sampling"});
     }
     SplitMix64 rng(MixSeed(params_.seed, batch));
-    std::vector<int64_t> local(n, 0);
+    std::vector<int64_t> local_net(n, 0);
+    std::vector<int64_t> local_sq(n, 0);
+    std::vector<int64_t> unit_sum(n, 0);  // One unit's per-fact marginals.
     size_t local_hits = 0;
     std::vector<size_t> perm(n);
     std::iota(perm.begin(), perm.end(), size_t{0});
+    std::vector<size_t> reversed;  // Stratified: antithetic partner.
 
     // One world per batch: each walk inserts its prefix facts and removes
     // them again afterwards — O(walk length) restores instead of a full
@@ -166,16 +224,9 @@ std::map<Fact, BigRational> SamplingSvc::AllValues(
     std::vector<size_t> walked;
     walked.reserve(n);
 
-    const size_t first = batch * kPermutationsPerBatch;
-    const size_t last = std::min(samples, first + kPermutationsPerBatch);
-    for (size_t s = first; s < last; ++s) {
-      // Fisher–Yates; carrying the previous permutation as the starting
-      // arrangement is fine (the shuffle is uniform from any start) and
-      // deterministic (batches replay their whole schedule from the seed).
-      for (size_t i = n - 1; i > 0; --i) {
-        std::swap(perm[i], perm[rng.NextBelow(i + 1)]);
-      }
-
+    // One permutation walk: marginals accumulate into unit_sum (a group's
+    // walks share one unit_sum; a plain unit is a single walk).
+    auto walk = [&](const std::vector<size_t>& arrangement) {
       walked.clear();
       uint64_t mask = 0;
       bool prev = base_satisfied;
@@ -183,7 +234,7 @@ std::map<Fact, BigRational> SamplingSvc::AllValues(
         // Monotone walks stop at the first satisfied prefix: every later
         // fact joins a winning coalition, marginal 0.
         if (monotone && prev) break;
-        const size_t player = perm[i];
+        const size_t player = arrangement[i];
         world.Insert(endo[player]);
         walked.push_back(player);
         // Masks exist only for the memo, and only while every player fits
@@ -207,31 +258,114 @@ std::map<Fact, BigRational> SamplingSvc::AllValues(
           if (memoizable) memo->Insert(mask, current);
         }
 
-        local[player] +=
+        unit_sum[player] +=
             static_cast<int64_t>(current) - static_cast<int64_t>(prev);
         prev = current;
       }
       for (size_t player : walked) world.Remove(endo[player]);
+    };
+
+    const size_t first = batch * units_per_batch;
+    const size_t last = std::min(total_units, first + units_per_batch);
+    for (size_t u = first; u < last; ++u) {
+      // Fisher–Yates; carrying the previous permutation as the starting
+      // arrangement is fine (the shuffle is uniform from any start) and
+      // deterministic (batches replay their whole schedule from the seed).
+      for (size_t i = n - 1; i > 0; --i) {
+        std::swap(perm[i], perm[rng.NextBelow(i + 1)]);
+      }
+
+      walk(perm);
+      if (unit_perms == kStrataGroupPermutations) {
+        // One iid unit = one antithetic pair: the reversal samples every
+        // fact at the complementary position stratum (see strata.h for
+        // why that is both unbiased and variance-cutting).
+        ReverseInto(perm, &reversed);
+        walk(reversed);
+      }
+
+      for (size_t i = 0; i < n; ++i) {
+        const int64_t x = unit_sum[i];
+        if (x != 0) {
+          local_net[i] += x;
+          local_sq[i] += x * x;
+          unit_sum[i] = 0;
+        }
+      }
     }
 
     std::lock_guard<std::mutex> lock(merge_mutex);
-    for (size_t i = 0; i < n; ++i) net[i] += local[i];
+    for (size_t i = 0; i < n; ++i) {
+      net[i] += local_net[i];
+      sq[i] += local_sq[i];
+    }
     memo_hits.fetch_add(local_hits, std::memory_order_relaxed);
   };
 
-  if (exec_.pool != nullptr && exec_.pool->num_threads() > 1 &&
-      num_batches > 1) {
-    exec_.pool->ParallelFor(0, num_batches, run_batch);
+  auto run_span = [&](size_t from, size_t to) {
+    if (exec_.pool != nullptr && exec_.pool->num_threads() > 1 &&
+        to - from > 1) {
+      exec_.pool->ParallelFor(from, to, run_batch);
+    } else {
+      for (size_t batch = from; batch < to; ++batch) run_batch(batch);
+    }
+  };
+
+  if (params_.strategy == ApproxStrategy::kHoeffding) {
+    // The fixed-count baseline: one fan-out over every batch, no
+    // checkpoints — the same batch schedule as before the adaptive
+    // strategies existed, so estimates only differ where the per-fact
+    // range analysis tightened the derived count itself. The per-fact
+    // half-widths apply the per-fact ranges: at the same sample count, a
+    // fact negation never touches certifies half the width.
+    run_span(0, num_batches);
+    const int64_t drawn = static_cast<int64_t>(total_units);
+    info.fact_samples.assign(n, total_units);
+    info.fact_half_widths.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      info.fact_half_widths[i] =
+          HoeffdingHalfWidth(total_units, params_.delta, ranges[i]);
+      values.emplace(endo[i], BigRational(BigInt(net[i]), BigInt(drawn)));
+    }
   } else {
-    for (size_t batch = 0; batch < num_batches; ++batch) run_batch(batch);
+    // Adaptive strategies: rounds of batches with a stopping checkpoint
+    // between them. The early exit is what the adaptive contract buys —
+    // once every fact's bound meets ε, the remaining rounds are never
+    // scheduled. Checkpoints see only merged tallies at round barriers,
+    // so the exit round (and every estimate) is thread-count independent.
+    SequentialStopper stopper(params_.epsilon, params_.delta, ranges,
+                              unit_perms);
+    size_t done = 0;
+    size_t units_done = 0;
+    bool all_retired = false;
+    while (done < num_batches && !all_retired) {
+      const size_t to = std::min(num_batches, done + kBatchesPerRound);
+      run_span(done, to);
+      done = to;
+      units_done = std::min(total_units, done * units_per_batch);
+      if (done < num_batches) {
+        all_retired = stopper.Checkpoint(net, sq, units_done);
+      }
+    }
+    stopper.Finish(net, sq, units_done);
+
+    info.samples = units_done * unit_perms;
+    info.checkpoints = stopper.checkpoints();
+    info.facts_retired = stopper.retired_within_epsilon();
+    info.fact_samples = stopper.frozen_samples();
+    info.fact_half_widths = stopper.half_widths();
+    info.half_width = *std::max_element(info.fact_half_widths.begin(),
+                                        info.fact_half_widths.end());
+    for (size_t i = 0; i < n; ++i) {
+      values.emplace(
+          endo[i],
+          BigRational(BigInt(stopper.frozen_net()[i]),
+                      BigInt(static_cast<int64_t>(
+                          stopper.frozen_samples()[i]))));
+    }
   }
 
   info.memo_hits = memo_hits.load();
-  for (size_t i = 0; i < n; ++i) {
-    values.emplace(endo[i],
-                   BigRational(BigInt(net[i]),
-                               BigInt(static_cast<int64_t>(samples))));
-  }
   {
     std::lock_guard<std::mutex> lock(info_mutex_);
     info_ = info;

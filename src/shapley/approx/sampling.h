@@ -18,10 +18,23 @@ namespace shapley {
 /// #P-hard side of the paper's dichotomy (cf. Kara–Olteanu–Suciu; Lupia et
 /// al.): Equation 1 reads the Shapley value as the expectation, over a
 /// uniformly random permutation π of Dn, of the marginal contribution
-/// v(π<f ∪ {f}) − v(π<f); averaging that marginal over m sampled
-/// permutations estimates every fact's value simultaneously, with the
-/// Hoeffding bound certifying an additive (ε, δ) guarantee per fact
-/// (see ApproxParams / HoeffdingSamples).
+/// v(π<f ∪ {f}) − v(π<f); averaging that marginal over sampled
+/// permutations estimates every fact's value simultaneously, with a
+/// concentration bound certifying an additive (ε, δ) guarantee per fact.
+///
+/// Three strategies share the execution substrate (see ApproxStrategy):
+///  - hoeffding: the fixed-count baseline — HoeffdingSamples(ε, δ, range)
+///    permutations drawn up front, variance-blind;
+///  - bernstein: empirical-Bernstein sequential stopping — between batch
+///    rounds, every fact whose variance-aware half-width already meets ε
+///    is retired (its estimate freezes), and the run stops when all facts
+///    are retired, never exceeding the Hoeffding count (approx/stopping.h);
+///  - stratified: the same stopping rule over position-stratified,
+///    antithetically paired permutation groups (approx/strata.h), which
+///    cut the between-position variance the Bernstein rule feeds on.
+/// Marginal ranges are computed PER FACT (PerFactMarginalRanges): a fact
+/// whose relation negation never touches keeps the tighter range-1 bound
+/// even on a query with negated atoms elsewhere.
 ///
 /// Execution model:
 ///  - permutations are drawn in fixed-size batches; batches fan out across
@@ -29,7 +42,10 @@ namespace shapley {
 ///    seeded purely by (request seed, batch index) — so the estimate is a
 ///    function of the seed alone, bit-identical across thread counts and
 ///    scheduling orders (per-fact tallies are integers and merging is
-///    commutative addition);
+///    commutative addition). Adaptive strategies take their stopping
+///    decisions only BETWEEN rounds of batches, from the merged tallies,
+///    so early exit never breaks that guarantee — it only lets the batch
+///    fan-out stop scheduling rounds the contract no longer needs;
 ///  - one permutation walk evaluates the query on each prefix world,
 ///    yielding one marginal sample for EVERY fact: m permutations give m
 ///    samples per fact for ~n·m evaluations total;
@@ -43,18 +59,19 @@ namespace shapley {
 ///    across batches, threads and repeated requests.
 ///
 /// Estimates are returned as exact rationals of the empirical mean
-/// ((#positive − #negative marginals) / m), so responses stay in the
-/// BigRational currency of the exact engines and identical seeds
-/// reproduce identical values bit for bit.
+/// ((#positive − #negative marginals) / samples backing the fact), so
+/// responses stay in the BigRational currency of the exact engines and
+/// identical seeds reproduce identical values bit for bit.
 class SamplingSvc : public SvcEngine {
  public:
-  /// Guard on the run's sample count: a request whose (ε, δ) derives more
+  /// Guard on the run's sample budget: a request whose (ε, δ) derives more
   /// permutations than this and supplies no tighter max_samples budget is
   /// refused with a structured kCapacityExceeded — the sampler's analogue
   /// of the exhaustive engines' 2^|Dn| guard. It bounds one factor of the
   /// total work (samples × |Dn| evaluations); wall time on huge instances
   /// is bounded cooperatively by set_cancel/set_deadline, which the
-  /// serving layer wires from the request.
+  /// serving layer wires from the request. Adaptive strategies may stop
+  /// far below the budget; they can never exceed it.
   static constexpr size_t kSampleGuard = size_t{1} << 26;
 
   explicit SamplingSvc(ApproxParams params = {}) : params_(params) {}
@@ -64,14 +81,12 @@ class SamplingSvc : public SvcEngine {
   EngineCaps caps() const override {
     return {.all_query_classes = true,
             .approximate = true,
-            .error_model =
-                "hoeffding: P(|est - Sh| > eps) <= delta per fact, additive; "
-                "deterministic given seed"};
+            .error_model = ApproxErrorModel(params_.strategy)};
   }
 
-  /// The (ε, δ, seed, budget) contract for subsequent runs. The serving
-  /// layer forwards SvcRequest::approx here before the engine runs.
-  /// Configuration setters are not synchronized against a running
+  /// The (ε, δ, seed, budget, strategy) contract for subsequent runs. The
+  /// serving layer forwards SvcRequest::approx here before the engine
+  /// runs. Configuration setters are not synchronized against a running
   /// AllValues — configure before running (the service configures only
   /// its own per-request instances; a caller sharing one instance across
   /// concurrent requests owns that discipline, as with every engine).
@@ -96,12 +111,12 @@ class SamplingSvc : public SvcEngine {
   std::map<Fact, BigRational> AllValues(const BooleanQuery& query,
                                         const PartitionedDatabase& db) override;
 
-  /// What the most recent completed run actually did (samples drawn,
-  /// certified half-width, memo hits); attached to SvcResponse::approx by
-  /// the service. Returns a copy under a lock — safe against a
-  /// concurrently running AllValues on a shared instance (which run's
-  /// info a shared instance reports is, as above, the sharer's problem;
-  /// torn reads are not).
+  /// What the most recent completed run actually did (strategy, samples
+  /// drawn vs. Hoeffding baseline, per-fact certified half-widths, memo
+  /// hits); attached to SvcResponse::approx by the service. Returns a copy
+  /// under a lock — safe against a concurrently running AllValues on a
+  /// shared instance (which run's info a shared instance reports is, as
+  /// above, the sharer's problem; torn reads are not).
   ApproxInfo last_info() const {
     std::lock_guard<std::mutex> lock(info_mutex_);
     return info_;

@@ -1,0 +1,139 @@
+#include "shapley/approx/stopping.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "shapley/query/conjunction_query.h"
+#include "shapley/query/conjunctive_query.h"
+#include "shapley/query/union_query.h"
+
+namespace shapley {
+
+namespace {
+
+/// Walks the query tree collecting which relations occur positively and
+/// which under negation. Returns false when the tree contains a node whose
+/// polarity structure this analysis cannot read (an unknown non-monotone
+/// class) — the caller then falls back to the conservative range.
+bool CollectPolarity(const BooleanQuery& query, std::set<RelationId>* positive,
+                     std::set<RelationId>* negated) {
+  if (const auto* cq = dynamic_cast<const ConjunctiveQuery*>(&query)) {
+    for (const Atom& atom : cq->atoms()) positive->insert(atom.relation());
+    for (const Atom& atom : cq->negated_atoms()) {
+      negated->insert(atom.relation());
+    }
+    return true;
+  }
+  if (const auto* ucq = dynamic_cast<const UnionQuery*>(&query)) {
+    for (const CqPtr& disjunct : ucq->disjuncts()) {
+      if (!CollectPolarity(*disjunct, positive, negated)) return false;
+    }
+    return true;
+  }
+  if (const auto* conj = dynamic_cast<const ConjunctionQuery*>(&query)) {
+    return CollectPolarity(*conj->left(), positive, negated) &&
+           CollectPolarity(*conj->right(), positive, negated);
+  }
+  // Every other class of the library is monotone; a monotone subtree
+  // contributes no negated occurrence, and its positive relations only
+  // matter when they meet a negated occurrence elsewhere — which we cannot
+  // rule out without reading them. Monotone whole queries never reach this
+  // analysis (the caller short-circuits), so reaching an unreadable node
+  // means negation is in play somewhere: stay conservative.
+  return false;
+}
+
+}  // namespace
+
+std::vector<double> PerFactMarginalRanges(const BooleanQuery& query,
+                                          const PartitionedDatabase& db) {
+  const auto& endo = db.endogenous().facts();
+  // Monotone query: every marginal is {0, 1}.
+  std::vector<double> ranges(endo.size(), 1.0);
+  if (query.IsMonotone()) return ranges;
+
+  std::set<RelationId> positive, negated;
+  if (!CollectPolarity(query, &positive, &negated)) {
+    std::fill(ranges.begin(), ranges.end(), 2.0);
+    return ranges;
+  }
+  for (size_t i = 0; i < endo.size(); ++i) {
+    const RelationId relation = endo[i].relation();
+    // Only a relation occurring under BOTH polarities can both create and
+    // kill witnesses — everything else is monotone or anti-monotone in
+    // the fact, spread 1.
+    ranges[i] = (positive.count(relation) != 0 && negated.count(relation) != 0)
+                    ? 2.0
+                    : 1.0;
+  }
+  return ranges;
+}
+
+SequentialStopper::SequentialStopper(double epsilon, double delta,
+                                     std::vector<double> fact_ranges,
+                                     size_t unit_perms)
+    : epsilon_(epsilon),
+      delta_(delta),
+      ranges_(std::move(fact_ranges)),
+      unit_perms_(unit_perms),
+      retired_(ranges_.size(), false),
+      frozen_net_(ranges_.size(), 0),
+      frozen_samples_(ranges_.size(), 0),
+      half_widths_(ranges_.size(), 0.0) {}
+
+double SequentialStopper::HalfWidthAt(size_t i, int64_t net, int64_t sq,
+                                      size_t units, double delta_k) const {
+  // Unit values are (unit sum) / unit_perms — means of unit_perms bounded
+  // marginals, so they share the single-marginal range. The tallies stay
+  // integers (determinism currency); the conversion to doubles here is a
+  // pure function of the merged integers, so it is schedule-independent.
+  const double t = static_cast<double>(units);
+  const double scale = static_cast<double>(unit_perms_);
+  const double mean = static_cast<double>(net) / (scale * t);
+  const double mean_sq =
+      static_cast<double>(sq) / (scale * scale * t);
+  const double variance = std::max(0.0, mean_sq - mean * mean);
+  return EmpiricalBernsteinHalfWidth(units, variance, ranges_[i], delta_k);
+}
+
+void SequentialStopper::Freeze(size_t i, int64_t net, size_t units,
+                               double half_width) {
+  retired_[i] = true;
+  ++retired_count_;
+  frozen_net_[i] = net;
+  frozen_samples_[i] = units * unit_perms_;
+  half_widths_[i] = half_width;
+}
+
+bool SequentialStopper::Checkpoint(const std::vector<int64_t>& net,
+                                   const std::vector<int64_t>& sq,
+                                   size_t units) {
+  ++checkpoint_;
+  const double delta_k = CheckpointDelta(delta_, checkpoint_);
+  for (size_t i = 0; i < retired_.size(); ++i) {
+    if (retired_[i]) continue;
+    const double hw = HalfWidthAt(i, net[i], sq[i], units, delta_k);
+    if (hw <= epsilon_) {
+      Freeze(i, net[i], units, hw);
+      ++retired_within_epsilon_;
+    }
+  }
+  return all_retired();
+}
+
+void SequentialStopper::Finish(const std::vector<int64_t>& net,
+                               const std::vector<int64_t>& sq, size_t units) {
+  if (all_retired()) return;
+  // One last δ installment for the terminal look; facts frozen here report
+  // whatever half-width the drawn samples actually certify — wider than ε
+  // when a budget cap truncated the run, and honestly so.
+  ++checkpoint_;
+  const double delta_k = CheckpointDelta(delta_, checkpoint_);
+  for (size_t i = 0; i < retired_.size(); ++i) {
+    if (retired_[i]) continue;
+    Freeze(i, net[i], units, HalfWidthAt(i, net[i], sq[i], units, delta_k));
+  }
+}
+
+}  // namespace shapley

@@ -1,0 +1,113 @@
+#ifndef SHAPLEY_APPROX_STOPPING_H_
+#define SHAPLEY_APPROX_STOPPING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "shapley/approx/approx.h"
+#include "shapley/data/partitioned_database.h"
+#include "shapley/query/boolean_query.h"
+
+namespace shapley {
+
+/// Per-fact marginal ranges of `query` over the endogenous facts of `db`,
+/// in the database's (sorted) endogenous fact order.
+///
+/// The Boolean-query marginal v(P ∪ {f}) − v(P) spans
+///  - {0, 1} when the query is monotone in f's relation (the relation only
+///    ever occurs positively, or not at all),
+///  - {−1, 0} when it is anti-monotone in it (the relation occurs only
+///    under negation — adding such a fact can only kill witnesses),
+///  - {−1, 0, 1} only when the relation occurs under BOTH polarities.
+/// The Hoeffding and Bernstein bounds depend on the marginal's SPREAD, so
+/// the first two cases certify with range 1 — half the range (and a
+/// quarter of the Hoeffding sample count) the query-level "has negation
+/// somewhere" test would charge them. This is deliberately computed per
+/// fact, not per request: a mixed instance keeps the tighter bound on
+/// every fact negation never touches.
+///
+/// Polarity is read off the query tree for conjunctive queries, unions and
+/// conjunctions thereof; any other non-monotone query class falls back to
+/// the conservative range 2 for every fact.
+std::vector<double> PerFactMarginalRanges(const BooleanQuery& query,
+                                          const PartitionedDatabase& db);
+
+/// The empirical-Bernstein sequential stopping rule of the adaptive
+/// sampling strategies (ApproxStrategy::kBernstein / kStratified).
+///
+/// The sampler draws permutations in deterministic batches and calls
+/// Checkpoint() between rounds with the MERGED integer tallies — per-fact
+/// sums and sums of squares over iid sampling units (one permutation, or
+/// one stratified group of `unit_perms` permutations). At checkpoint k the
+/// rule computes each live fact's empirical-Bernstein half-width at
+/// confidence CheckpointDelta(delta, k) and RETIRES every fact whose
+/// half-width already meets ε: the fact's estimate freezes at the current
+/// tallies (later draws are ignored), its certified half-width is
+/// recorded, and once every fact is retired the whole run stops. The
+/// δ-spending schedule keeps the union over all checkpoints within δ, so
+/// the joint (ε, δ) contract holds despite the repeated looks — and
+/// because checkpoints only ever see merged tallies at batch boundaries,
+/// retirement decisions (and with them the estimates) are bit-identical
+/// across thread counts.
+///
+/// Finish() is the terminal checkpoint: facts still live when the budget
+/// runs out freeze at the final tallies with the (wider) half-width
+/// actually certified there — the honest answer when `max_samples`
+/// truncates a run that needed more.
+class SequentialStopper {
+ public:
+  /// `fact_ranges`: per-fact marginal ranges (PerFactMarginalRanges).
+  /// `unit_perms`: permutations per iid sampling unit (1 for plain Monte
+  /// Carlo, kStrataGroupPermutations for stratified groups). Tallies and
+  /// unit counts passed to Checkpoint/Finish are in UNITS; frozen sample
+  /// counts are reported back in permutations.
+  SequentialStopper(double epsilon, double delta,
+                    std::vector<double> fact_ranges, size_t unit_perms);
+
+  /// One stopping decision from cumulative merged tallies: net[i] = Σ of
+  /// unit sums, sq[i] = Σ of squared unit sums, over `units` iid units.
+  /// Returns true once every fact is retired (the caller stops sampling).
+  bool Checkpoint(const std::vector<int64_t>& net,
+                  const std::vector<int64_t>& sq, size_t units);
+
+  /// Terminal checkpoint: freezes every still-live fact at the final
+  /// tallies, whatever half-width that certifies.
+  void Finish(const std::vector<int64_t>& net, const std::vector<int64_t>& sq,
+              size_t units);
+
+  bool all_retired() const { return retired_count_ == retired_.size(); }
+  size_t retired_count() const { return retired_count_; }
+  /// Facts retired with their bound met (≤ ε) — excludes Finish() freezes.
+  size_t retired_within_epsilon() const { return retired_within_epsilon_; }
+  size_t checkpoints() const { return checkpoint_; }
+
+  /// Frozen per-fact results, valid after Finish() (in endogenous order).
+  const std::vector<int64_t>& frozen_net() const { return frozen_net_; }
+  /// Permutations backing each fact's estimate (unit count × unit_perms).
+  const std::vector<size_t>& frozen_samples() const { return frozen_samples_; }
+  const std::vector<double>& half_widths() const { return half_widths_; }
+
+ private:
+  /// Empirical-Bernstein half-width of fact i at the given tallies and
+  /// per-checkpoint confidence.
+  double HalfWidthAt(size_t i, int64_t net, int64_t sq, size_t units,
+                     double delta_k) const;
+  void Freeze(size_t i, int64_t net, size_t units, double half_width);
+
+  double epsilon_;
+  double delta_;
+  std::vector<double> ranges_;
+  size_t unit_perms_;
+  size_t checkpoint_ = 0;
+  size_t retired_count_ = 0;
+  size_t retired_within_epsilon_ = 0;
+  std::vector<bool> retired_;
+  std::vector<int64_t> frozen_net_;
+  std::vector<size_t> frozen_samples_;
+  std::vector<double> half_widths_;
+};
+
+}  // namespace shapley
+
+#endif  // SHAPLEY_APPROX_STOPPING_H_

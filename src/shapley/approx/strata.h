@@ -1,0 +1,56 @@
+#ifndef SHAPLEY_APPROX_STRATA_H_
+#define SHAPLEY_APPROX_STRATA_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace shapley {
+
+/// Antithetic, position-paired permutation sampling
+/// (ApproxStrategy::kStratified).
+///
+/// The permutation marginal of a fact f depends on the permutation only
+/// through the coalition preceding f — and that coalition's distribution
+/// depends on f's POSITION alone. Plain Monte Carlo lets the two samples
+/// a fact gets from two permutations land in arbitrary positions, paying
+/// the between-position component of the marginal's variance (often the
+/// dominant one: early positions rarely satisfy a query, late positions
+/// almost always do) in full. The antithetic pair allocates positions by
+/// construction:
+///
+///  - One iid sampling UNIT is a PAIR: a uniformly random permutation σ
+///    together with its REVERSAL. A fact at position k in σ sits at
+///    position n−1−k in reverse(σ), so every unit samples each fact at
+///    COMPLEMENTARY position strata — never two draws from the same half
+///    of the position range. For a marginal that is monotone in position
+///    the two draws are negatively correlated, so the pair mean's
+///    variance, (Var + Cov)/2, drops below half a single marginal's: the
+///    between-position component cancels inside the pair.
+///  - The pair mean stays bounded by the single-marginal range, and pairs
+///    use disjoint RNG draws, hence are iid — exactly the unit the
+///    empirical-Bernstein stopping rule (approx/stopping.h) needs; its
+///    variance term is where the reduction cashes out.
+///
+/// The unit is kept as SMALL as soundness allows on purpose: the stopping
+/// rule's bias term pays per iid unit, so bundling g permutations into
+/// one unit costs g× the draws in the bias-dominated low-variance regime.
+/// A pair costs 2× and buys ≥ 2× back; bigger bundles (e.g. full rotation
+/// orbits) don't. Deterministic per-unit transforms of an INDEPENDENT
+/// uniform base permutation (rotations included) are statistically inert —
+/// the transformed draw is again uniform — so the reversal, which ties the
+/// unit's two draws together, is the only transform that earns its keep.
+///
+/// Reversal of a uniform permutation is uniform, so each individual
+/// permutation is an unbiased draw and the pair mean is an unbiased,
+/// bounded estimate of the Shapley value.
+inline constexpr size_t kStrataGroupPermutations = 2;
+
+/// out = reverse(order): the antithetic partner.
+inline void ReverseInto(const std::vector<size_t>& order,
+                        std::vector<size_t>* out) {
+  out->assign(order.rbegin(), order.rend());
+}
+
+}  // namespace shapley
+
+#endif  // SHAPLEY_APPROX_STRATA_H_

@@ -33,8 +33,11 @@ EngineRegistry EngineRegistry::Default() {
        }});
   registry.Register(
       {"sampling",
-       "Monte Carlo permutation sampling, Hoeffding (eps, delta) bounds "
-       "(any query class; approximate, opt-in, seed-deterministic)",
+       "Monte Carlo permutation sampling with (eps, delta) bounds — "
+       "strategies: hoeffding (fixed count), bernstein (empirical-Bernstein "
+       "sequential stopping), stratified (antithetic position strata + "
+       "sequential stopping) (any query class; approximate, opt-in, "
+       "seed-deterministic)",
        SamplingSvc().caps(), [] { return std::make_shared<SamplingSvc>(); }});
   return registry;
 }

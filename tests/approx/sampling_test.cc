@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <limits>
@@ -10,6 +11,7 @@
 #include <vector>
 
 #include "shapley/approx/rng.h"
+#include "shapley/approx/stopping.h"
 #include "shapley/data/parser.h"
 #include "shapley/engines/svc.h"
 #include "shapley/exec/oracle_cache.h"
@@ -96,10 +98,18 @@ TEST(SamplingTest, EstimatesWithinReportedHalfWidthOfExactAcrossSeeds) {
 
       const ApproxInfo& info = sampler.last_info();
       EXPECT_EQ(info.seed, seed);
-      EXPECT_EQ(info.range, query->IsMonotone() ? 1.0 : 2.0);
+      // Ranges are per fact, not per request: !T(y) makes T-facts
+      // anti-monotone (marginal {−1, 0}) and leaves R/S-facts monotone
+      // (marginal {0, 1}) — every spread is 1, and the request budget
+      // covers the widest fact, not a query-level "has negation" tax.
+      const std::vector<double> ranges = PerFactMarginalRanges(*query, db);
+      EXPECT_EQ(info.range,
+                *std::max_element(ranges.begin(), ranges.end()));
+      EXPECT_EQ(info.fact_ranges, ranges);
       EXPECT_LE(info.half_width, 0.1 + 1e-12);
       EXPECT_GE(info.samples,
                 HoeffdingSamples(0.1, 0.05, info.range));
+      EXPECT_EQ(info.strategy, "hoeffding");
       EXPECT_LE(MaxAbsError(estimate, reference), info.half_width)
           << "query " << query->ToString() << " seed " << seed;
     }
@@ -254,6 +264,97 @@ TEST(SamplingTest, DegenerateInstancesAreExact) {
   std::map<Fact, BigRational> values = sampler.AllValues(*query, pivotal);
   ASSERT_EQ(values.size(), 1u);
   EXPECT_EQ(values.begin()->second, BigRational(1));
+}
+
+// The per-fact range fix: sample budgets and certified half-widths used to
+// be derived once per request from "does the query have negation anywhere",
+// charging every fact the range-2 spread. The marginal's spread is a
+// property of the FACT's relation polarity: only a relation occurring both
+// positively and negated can swing a marginal across two units.
+TEST(SamplingTest, PerFactRangesGiveMixedInstancesTheTighterBound) {
+  auto schema = Schema::Create();
+
+  // T occurs only negated → T-facts are anti-monotone (spread 1); R/S only
+  // positive → monotone (spread 1). Nothing in this query justifies the
+  // old per-request range of 2.
+  QueryPtr safe_neg = ParseQuery(schema, "R(x), S(x,y), !T(y)");
+  PartitionedDatabase pos_endo =
+      ParsePartitionedDatabase(schema, "R(a) S(a,b) T(b) R(c)");
+  const std::vector<double> all_one = PerFactMarginalRanges(*safe_neg, pos_endo);
+  EXPECT_EQ(all_one, std::vector<double>(pos_endo.NumEndogenous(), 1.0));
+
+  // The derived budget follows the per-fact analysis: 4x fewer samples
+  // than the per-request range-2 derivation charged for the same query.
+  SamplingSvc sampler(ApproxParams{.epsilon = 0.1, .delta = 0.1, .seed = 2});
+  sampler.AllValues(*safe_neg, pos_endo);
+  EXPECT_EQ(sampler.last_info().samples, HoeffdingSamples(0.1, 0.1, 1.0));
+  EXPECT_EQ(sampler.last_info().range, 1.0);
+
+  // A genuinely mixed instance: R occurs under both polarities (range 2),
+  // S only positively (range 1). The budget must cover the widest fact,
+  // but the S-fact's reported half-width stays twice as tight.
+  QueryPtr mixed = ParseQuery(schema, "S(x,y), R(x), !R(y)");
+  PartitionedDatabase both =
+      ParsePartitionedDatabase(schema, "R(a) S(a,b) R(b) | S(b,c)");
+  const auto& endo = both.endogenous().facts();
+  const std::vector<double> ranges = PerFactMarginalRanges(*mixed, both);
+  ASSERT_EQ(ranges.size(), endo.size());
+  bool saw_wide = false, saw_tight = false;
+  for (size_t i = 0; i < endo.size(); ++i) {
+    SCOPED_TRACE(endo[i].ToString(*schema));
+    if (endo[i].ToString(*schema)[0] == 'R') {
+      EXPECT_EQ(ranges[i], 2.0);
+      saw_wide = true;
+    } else {
+      EXPECT_EQ(ranges[i], 1.0);
+      saw_tight = true;
+    }
+  }
+  ASSERT_TRUE(saw_wide && saw_tight) << "instance must be genuinely mixed";
+
+  SamplingSvc on_mixed(ApproxParams{.epsilon = 0.2, .delta = 0.1, .seed = 3});
+  on_mixed.AllValues(*mixed, both);
+  const ApproxInfo info = on_mixed.last_info();
+  EXPECT_EQ(info.range, 2.0);
+  EXPECT_EQ(info.samples, HoeffdingSamples(0.2, 0.1, 2.0));
+  for (size_t i = 0; i < endo.size(); ++i) {
+    EXPECT_NEAR(info.fact_half_widths[i],
+                HoeffdingHalfWidth(info.samples, 0.1, ranges[i]), 1e-12);
+  }
+}
+
+// Contract regression for the budget-cap path of the ADAPTIVE strategies:
+// when max_samples truncates a run before any fact's bound meets ε, every
+// fact must report the (wider) half-width its own tallies actually
+// certify — honestly per fact, never the requested ε.
+TEST(SamplingTest, AdaptiveBudgetCapWidensEveryReportedHalfWidthHonestly) {
+  auto schema = Schema::Create();
+  QueryPtr query = ParseQuery(schema, "R(x), S(x,y), T(y)");
+  PartitionedDatabase db = RandomDb(schema, 21);
+  BruteForceSvc exact;
+  std::map<Fact, BigRational> reference = exact.AllValues(*query, db);
+
+  for (ApproxStrategy strategy :
+       {ApproxStrategy::kBernstein, ApproxStrategy::kStratified}) {
+    SCOPED_TRACE(ToString(strategy));
+    SamplingSvc capped(ApproxParams{.epsilon = 0.005,
+                                    .delta = 0.05,
+                                    .seed = 9,
+                                    .max_samples = 128,
+                                    .strategy = strategy});
+    std::map<Fact, BigRational> estimate = capped.AllValues(*query, db);
+    const ApproxInfo info = capped.last_info();
+    EXPECT_EQ(info.strategy, std::string(ToString(strategy)));
+    EXPECT_LE(info.samples, 128u);
+    EXPECT_EQ(info.facts_retired, 0u);  // 128 samples cannot certify 0.005.
+    ASSERT_EQ(info.fact_half_widths.size(), db.NumEndogenous());
+    for (double hw : info.fact_half_widths) {
+      EXPECT_GT(hw, 0.005);  // Honestly widened, per fact.
+    }
+    EXPECT_GT(info.half_width, 0.005);
+    // The widened widths are still certificates, not apologies.
+    EXPECT_LE(MaxAbsError(estimate, reference), info.half_width);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,280 @@
+// Property-test harness for the adaptive sampling strategies
+// (approx/stopping.h, approx/strata.h, SamplingSvc with
+// ApproxStrategy::kBernstein / kStratified): randomized instances across
+// seeds, three properties pinned down per instance —
+//
+//  (a) HONESTY: every estimate lands within its *reported* per-fact
+//      half-width of the exact value (computed by the brute-force engine),
+//  (b) FRUGALITY: an adaptive run never draws more samples than the fixed
+//      Hoeffding baseline for the same (ε, δ) contract,
+//  (c) DETERMINISM: reruns are bit-identical serial vs. on a 4-thread
+//      pool — retirement decisions happen only at batch boundaries from
+//      merged integer tallies, so parallel scheduling cannot leak into
+//      estimates, sample counts, or reported half-widths.
+//
+// Every instance uses a fixed seed, so the whole suite is deterministic:
+// it can never flake, only regress.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "shapley/approx/approx.h"
+#include "shapley/approx/sampling.h"
+#include "shapley/approx/stopping.h"
+#include "shapley/approx/strata.h"
+#include "shapley/data/parser.h"
+#include "shapley/engines/svc.h"
+#include "shapley/exec/thread_pool.h"
+#include "shapley/gen/generators.h"
+#include "shapley/query/query_parser.h"
+
+namespace shapley {
+namespace {
+
+QueryPtr ParseQuery(const std::shared_ptr<Schema>& schema, const char* text) {
+  UcqPtr ucq = ParseUcq(schema, text);
+  if (ucq->disjuncts().size() == 1) return ucq->disjuncts()[0];
+  return ucq;
+}
+
+PartitionedDatabase RandomDb(const std::shared_ptr<Schema>& schema,
+                             uint64_t seed, size_t num_facts = 10) {
+  RandomDatabaseOptions options;
+  options.num_facts = num_facts;
+  options.domain_size = 3;
+  options.exogenous_fraction = 0.2;
+  options.seed = seed;
+  return RandomPartitionedDatabase(schema, options);
+}
+
+struct SampleRun {
+  std::map<Fact, BigRational> values;
+  ApproxInfo info;
+};
+
+SampleRun RunSampler(const BooleanQuery& query, const PartitionedDatabase& db,
+               const ApproxParams& params, ThreadPool* pool) {
+  SamplingSvc sampler(params);
+  if (pool != nullptr) {
+    sampler.set_exec_context(ExecContext{pool, nullptr});
+  }
+  SampleRun run;
+  run.values = sampler.AllValues(query, db);
+  run.info = sampler.last_info();
+  return run;
+}
+
+// (a)+(b)+(c) over randomized instances: monotone and negated queries,
+// five database seeds each, both adaptive strategies.
+TEST(StoppingPropertyTest, AdaptiveEstimatesAreHonestFrugalAndDeterministic) {
+  auto schema = Schema::Create();
+  QueryPtr monotone = ParseQuery(schema, "R(x), S(x,y), T(y)");
+  QueryPtr negated = ParseQuery(schema, "S(x,y), R(x), !R(y)");
+  BruteForceSvc exact;
+  ThreadPool pool(4);
+
+  size_t adaptive_runs = 0;
+  size_t runs_that_retired_early = 0;
+  for (const QueryPtr& query : {monotone, negated}) {
+    for (uint64_t seed : {1ull, 2ull, 3ull, 4ull, 5ull}) {
+      PartitionedDatabase db = RandomDb(schema, 40 + seed);
+      const auto& endo = db.endogenous().facts();
+      std::map<Fact, BigRational> reference = exact.AllValues(*query, db);
+
+      for (ApproxStrategy strategy :
+           {ApproxStrategy::kBernstein, ApproxStrategy::kStratified}) {
+        SCOPED_TRACE(std::string(ToString(strategy)) + " query " +
+                     query->ToString() + " seed " + std::to_string(seed));
+        const ApproxParams params{.epsilon = 0.08,
+                                  .delta = 0.05,
+                                  .seed = seed * 7 + 1,
+                                  .strategy = strategy};
+        SampleRun serial = RunSampler(*query, db, params, nullptr);
+        ++adaptive_runs;
+
+        // (a) Honesty: each fact within ITS OWN reported half-width.
+        ASSERT_EQ(serial.info.fact_half_widths.size(), endo.size());
+        ASSERT_EQ(serial.info.fact_samples.size(), endo.size());
+        for (size_t i = 0; i < endo.size(); ++i) {
+          const double err =
+              std::abs(serial.values.at(endo[i]).ToDouble() -
+                       reference.at(endo[i]).ToDouble());
+          EXPECT_LE(err, serial.info.fact_half_widths[i] + 1e-12)
+              << endo[i].ToString(*schema);
+          // A retired fact's bound met the contract, and the report says
+          // so; an unretired fact's width widened honestly past ε.
+          EXPECT_GT(serial.info.fact_half_widths[i], 0.0);
+          EXPECT_GE(serial.info.fact_samples[i], 1u);
+          EXPECT_LE(serial.info.fact_samples[i], serial.info.samples);
+        }
+
+        // (b) Frugality: never more than the fixed Hoeffding count.
+        EXPECT_LE(serial.info.samples, serial.info.hoeffding_baseline);
+        EXPECT_GT(serial.info.checkpoints, 0u);
+        if (serial.info.samples < serial.info.hoeffding_baseline) {
+          ++runs_that_retired_early;
+        }
+
+        // (c) Determinism: bit-identical across thread counts, in the
+        // values AND in the stopping decisions they derive from.
+        SampleRun parallel = RunSampler(*query, db, params, &pool);
+        EXPECT_EQ(serial.values, parallel.values);
+        EXPECT_EQ(serial.info.samples, parallel.info.samples);
+        EXPECT_EQ(serial.info.fact_samples, parallel.info.fact_samples);
+        EXPECT_EQ(serial.info.fact_half_widths,
+                  parallel.info.fact_half_widths);
+        EXPECT_EQ(serial.info.checkpoints, parallel.info.checkpoints);
+        EXPECT_EQ(serial.info.facts_retired, parallel.info.facts_retired);
+      }
+    }
+  }
+  // The suite must actually exercise early stopping somewhere — otherwise
+  // the frugality property is vacuously true.
+  EXPECT_GT(runs_that_retired_early, 0u)
+      << "no instance retired early across " << adaptive_runs
+      << " adaptive runs — the stopping rule never fired";
+}
+
+// The fixed-count strategy satisfies honesty too (its per-fact Hoeffding
+// widths are certificates), and the adaptive strategies agree with it on
+// degenerate instances that admit exact answers regardless of ε.
+TEST(StoppingPropertyTest, DegenerateInstancesStayExactUnderEveryStrategy) {
+  auto schema = Schema::Create();
+  QueryPtr query = ParseQuery(schema, "R(x)");
+  PartitionedDatabase pivotal = ParsePartitionedDatabase(schema, "R(a)");
+  PartitionedDatabase saturated =
+      ParsePartitionedDatabase(schema, "R(a) R(b) | R(c)");
+
+  for (ApproxStrategy strategy :
+       {ApproxStrategy::kHoeffding, ApproxStrategy::kBernstein,
+        ApproxStrategy::kStratified}) {
+    SCOPED_TRACE(ToString(strategy));
+    SamplingSvc sampler(ApproxParams{
+        .epsilon = 0.25, .delta = 0.25, .seed = 6, .strategy = strategy});
+    std::map<Fact, BigRational> one = sampler.AllValues(*query, pivotal);
+    ASSERT_EQ(one.size(), 1u);
+    EXPECT_EQ(one.begin()->second, BigRational(1));
+
+    for (const auto& [fact, value] : sampler.AllValues(*query, saturated)) {
+      EXPECT_EQ(value, BigRational(0)) << fact.ToString(*schema);
+    }
+  }
+}
+
+// The stopping rule in isolation: zero-variance tallies retire at the
+// first checkpoint the bias term allows, the δ-spending schedule sums to
+// δ, and Finish() freezes stragglers honestly.
+TEST(StoppingPropertyTest, SequentialStopperRetiresByVarianceAndSpendsDelta) {
+  // Σ_k δ/(k(k+1)) telescopes to δ: any finite run spends δ·K/(K+1),
+  // strictly within the budget, whatever the checkpoint count.
+  double spent = 0.0;
+  for (size_t k = 1; k <= 10000; ++k) spent += CheckpointDelta(0.05, k);
+  EXPECT_LT(spent, 0.05);
+  EXPECT_NEAR(spent, 0.05, 1e-5);
+
+  // Two facts, unit scale 1: fact 0 with zero variance (every unit sum
+  // 1), fact 1 with maximal swing. After enough units, fact 0's
+  // empirical-Bernstein width beats ε while fact 1's Hoeffding-like term
+  // keeps it alive.
+  SequentialStopper stopper(0.1, 0.05, {1.0, 2.0}, 1);
+  const size_t units = 1024;
+  std::vector<int64_t> net = {static_cast<int64_t>(units), 0};
+  std::vector<int64_t> sq = {static_cast<int64_t>(units),
+                             static_cast<int64_t>(units)};
+  EXPECT_FALSE(stopper.Checkpoint(net, sq, units));
+  EXPECT_EQ(stopper.retired_count(), 1u);
+  EXPECT_EQ(stopper.retired_within_epsilon(), 1u);
+  EXPECT_EQ(stopper.frozen_samples()[0], units);
+  EXPECT_LE(stopper.half_widths()[0], 0.1);
+
+  // Terminal freeze: the straggler reports the wider width it earned.
+  stopper.Finish(net, sq, units);
+  EXPECT_TRUE(stopper.all_retired());
+  EXPECT_EQ(stopper.retired_within_epsilon(), 1u);
+  EXPECT_GT(stopper.half_widths()[1], 0.1);
+  EXPECT_EQ(stopper.frozen_net()[1], 0);
+  EXPECT_EQ(stopper.checkpoints(), 2u);
+}
+
+// Per-fact ranges: the polarity analysis behind the tighter bounds.
+TEST(StoppingPropertyTest, PerFactRangesFollowRelationPolarity) {
+  auto schema = Schema::Create();
+  PartitionedDatabase db =
+      ParsePartitionedDatabase(schema, "R(a) S(a,b) T(b)");
+
+  // Monotone query: everything spread 1.
+  EXPECT_EQ(PerFactMarginalRanges(*ParseQuery(schema, "R(x), S(x,y), T(y)"),
+                                  db),
+            (std::vector<double>{1.0, 1.0, 1.0}));
+  // T only negated: anti-monotone in T, monotone in R/S — still spread 1.
+  EXPECT_EQ(PerFactMarginalRanges(*ParseQuery(schema, "R(x), S(x,y), !T(y)"),
+                                  db),
+            (std::vector<double>{1.0, 1.0, 1.0}));
+  // R under both polarities across disjuncts: only R pays spread 2.
+  const std::vector<double> union_ranges = PerFactMarginalRanges(
+      *ParseQuery(schema, "R(x), S(x,y) | S(x,y), !R(y)"), db);
+  const auto& endo = db.endogenous().facts();
+  ASSERT_EQ(union_ranges.size(), endo.size());
+  for (size_t i = 0; i < endo.size(); ++i) {
+    const bool is_r = endo[i].ToString(*schema)[0] == 'R';
+    EXPECT_EQ(union_ranges[i], is_r ? 2.0 : 1.0)
+        << endo[i].ToString(*schema);
+  }
+}
+
+// The strata geometry: the antithetic partner is a permutation (no fact
+// sampled twice in one walk) that places every fact at the complementary
+// position stratum — the mechanism the pair's variance cut rests on.
+TEST(StoppingPropertyTest, StrataReversalsAreAntitheticPermutations) {
+  const size_t n = 11;
+  std::vector<size_t> base(n);
+  for (size_t i = 0; i < n; ++i) base[i] = (i * 7 + 3) % n;  // Any perm.
+
+  std::vector<size_t> reversed;
+  ReverseInto(base, &reversed);
+  std::vector<size_t> sorted = reversed;
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(sorted[i], i);
+  // Exactly antithetic: a fact at position k lands at position n−1−k.
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(reversed[i], base[n - 1 - i]);
+  }
+}
+
+// Budget-overdraw regression: a budget too small to fund one antithetic
+// pair must degenerate to a single plain unit, never draw past the cap —
+// and an ε so loose the Hoeffding baseline is a single permutation must
+// keep the "never more than the baseline" contract for every strategy.
+TEST(StoppingPropertyTest, StratifiedNeverOverdrawsASubPairBudget) {
+  auto schema = Schema::Create();
+  QueryPtr query = ParseQuery(schema, "R(x), S(x,y), T(y)");
+  PartitionedDatabase db = RandomDb(schema, 3);
+
+  SamplingSvc capped(ApproxParams{.epsilon = 0.1,
+                                  .delta = 0.05,
+                                  .seed = 1,
+                                  .max_samples = 1,
+                                  .strategy = ApproxStrategy::kStratified});
+  EXPECT_EQ(capped.AllValues(*query, db).size(), db.NumEndogenous());
+  EXPECT_EQ(capped.last_info().samples, 1u);
+
+  for (ApproxStrategy strategy :
+       {ApproxStrategy::kHoeffding, ApproxStrategy::kBernstein,
+        ApproxStrategy::kStratified}) {
+    SCOPED_TRACE(ToString(strategy));
+    SamplingSvc loose(ApproxParams{
+        .epsilon = 2.0, .delta = 0.5, .seed = 1, .strategy = strategy});
+    loose.AllValues(*query, db);
+    EXPECT_EQ(loose.last_info().hoeffding_baseline, 1u);
+    EXPECT_LE(loose.last_info().samples,
+              loose.last_info().hoeffding_baseline);
+  }
+}
+
+}  // namespace
+}  // namespace shapley

@@ -386,8 +386,12 @@ TEST(ShapleyServiceTest, AllowApproxRoutesPreviouslyRefusedInstanceToSampler) {
   EXPECT_EQ(response.values.size(), big.NumEndogenous());
   ASSERT_TRUE(response.approx.has_value());
   EXPECT_EQ(response.approx->seed, 13u);
-  EXPECT_EQ(response.approx->range, 2.0);  // Negation: general marginals.
-  EXPECT_GE(response.approx->samples, HoeffdingSamples(0.2, 0.1, 2.0));
+  // Ranges are per fact: every endogenous fact here is an R-fact, and R
+  // only occurs positively — the per-request range-2 "query has negation"
+  // tax no longer applies, so the derived budget is 4x tighter.
+  EXPECT_EQ(response.approx->range, 1.0);
+  EXPECT_GE(response.approx->samples, HoeffdingSamples(0.2, 0.1, 1.0));
+  EXPECT_EQ(response.approx->strategy, "hoeffding");
   EXPECT_LE(response.approx->half_width, 0.2 + 1e-12);
 
   // Same seed through the service → bit-identical estimates, on any pool.
@@ -492,6 +496,111 @@ TEST(ShapleyServiceTest, ExplicitSamplingOverrideServesSmallInstancesToo) {
     EXPECT_NEAR(value.ToDouble(), reference.at(fact).ToDouble(),
                 response.approx->half_width);
   }
+}
+
+// Strategy plumbing, request → engine → response: an adaptive strategy
+// override is honored, echoed back in ApproxInfo.strategy, and its sample
+// count never exceeds the Hoeffding baseline the same contract would have
+// drawn up front — with bit-identical reruns through the service pool.
+TEST(ShapleyServiceTest, AdaptiveStrategyIsEchoedAndNeverExceedsBaseline) {
+  auto schema = Schema::Create();
+  // Negated so no exact engine admits the beyond-guard instance (the
+  // monotone variant would route to the d-DNNF pipeline instead).
+  QueryPtr hard = ParseQuery(schema, "R(x), S(x,y), !T(y)");
+  PartitionedDatabase big = WideDb(schema, 30);
+  ASSERT_GT(big.NumEndogenous(), kBruteForceMaxEndogenous);
+
+  ShapleyService service(ServiceOptions{.threads = 2});
+  for (ApproxStrategy strategy :
+       {ApproxStrategy::kBernstein, ApproxStrategy::kStratified}) {
+    SCOPED_TRACE(ToString(strategy));
+    SvcRequest request;
+    request.query = hard;
+    request.db = big;
+    request.allow_approx = true;
+    request.approx = ApproxParams{
+        .epsilon = 0.1, .delta = 0.1, .seed = 21, .strategy = strategy};
+    SvcRequest rerun = request;
+
+    SvcResponse response = service.Compute(std::move(request));
+    ASSERT_TRUE(response.ok()) << response.error->ToString();
+    EXPECT_EQ(response.engine, "sampling");
+    ASSERT_TRUE(response.approx.has_value());
+    EXPECT_EQ(response.approx->strategy, std::string(ToString(strategy)));
+    EXPECT_LE(response.approx->samples, response.approx->hoeffding_baseline);
+    EXPECT_EQ(response.approx->fact_half_widths.size(), big.NumEndogenous());
+    EXPECT_EQ(response.values.size(), big.NumEndogenous());
+
+    SvcResponse again = service.Compute(std::move(rerun));
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again.values, response.values);
+    EXPECT_EQ(again.approx->samples, response.approx->samples);
+  }
+}
+
+// An out-of-range strategy in the request must come back as a structured
+// SvcError from the sampling engine — not an exception through the future,
+// not a silent fallback to a default strategy.
+TEST(ShapleyServiceTest, UnknownApproxStrategyFailsWithStructuredError) {
+  auto schema = Schema::Create();
+  QueryPtr easy = ParseQuery(schema, "R(x), S(x,y)");
+  PartitionedDatabase db = RandomDb(schema, 7);
+
+  ShapleyService service(ServiceOptions{.threads = 1});
+  SvcRequest request;
+  request.query = easy;
+  request.db = db;
+  request.engine = "sampling";
+  request.approx.strategy = static_cast<ApproxStrategy>(99);
+  SvcResponse response = service.Compute(std::move(request));
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.error->code, SvcErrorCode::kInvalidRequest);
+  EXPECT_EQ(response.error->engine, "sampling");
+  EXPECT_NE(response.error->message.find("strategy"), std::string::npos);
+  EXPECT_FALSE(response.approx.has_value());
+
+  // The string side of the contract: every name the CLI accepts parses,
+  // anything else is a parse failure before a request is even built.
+  EXPECT_EQ(ParseApproxStrategy("bernstein"), ApproxStrategy::kBernstein);
+  EXPECT_EQ(ParseApproxStrategy("stratified"), ApproxStrategy::kStratified);
+  EXPECT_EQ(ParseApproxStrategy("hoeffding"), ApproxStrategy::kHoeffding);
+  EXPECT_EQ(ParseApproxStrategy("wald"), std::nullopt);
+}
+
+// Strategy overrides ride the same verdict-cache fast path as everything
+// else: a repeated query stream classifies once regardless of which
+// sampling strategy serves each request, and the verdict in every response
+// is identical.
+TEST(ShapleyServiceTest, StrategyOverridesLeaveVerdictCachingUnchanged) {
+  auto schema = Schema::Create();
+  QueryPtr hard = ParseQuery(schema, "R(x), S(x,y), !T(y)");
+  PartitionedDatabase big = WideDb(schema, 28);
+
+  ShapleyService service(ServiceOptions{.threads = 1});
+  const ApproxStrategy strategies[] = {ApproxStrategy::kHoeffding,
+                                       ApproxStrategy::kBernstein,
+                                       ApproxStrategy::kStratified};
+  std::string verdict_class;
+  for (size_t k = 0; k < 6; ++k) {
+    SvcRequest request;
+    request.query = hard;
+    request.db = big;
+    request.allow_approx = true;
+    request.approx = ApproxParams{
+        .epsilon = 0.15, .delta = 0.1, .seed = 4, .strategy = strategies[k % 3]};
+    SvcResponse response = service.Compute(std::move(request));
+    ASSERT_TRUE(response.ok()) << response.error->ToString();
+    ASSERT_TRUE(response.approx.has_value());
+    EXPECT_EQ(response.approx->strategy,
+              std::string(ToString(strategies[k % 3])));
+    if (k == 0) {
+      verdict_class = response.verdict.query_class;
+    } else {
+      EXPECT_EQ(response.verdict.query_class, verdict_class);
+    }
+  }
+  // 1 classification + 5 cache hits: strategies never fork the verdict key.
+  EXPECT_EQ(service.verdict_cache_hits(), 5u);
 }
 
 // Verdict memoization: classification is a pure function of the query, so
