@@ -1,0 +1,223 @@
+// Load generator for the network front (net/server.h): an in-process
+// HttpServer over a ShapleyService on an ephemeral port, hammered by N
+// client connections each firing a mixed request stream — tractable
+// lifted instances, guarded brute-force instances, and (ε, δ) sampling
+// with a fixed seed — over real TCP sockets.
+//
+// Self-checks (the bench FAILS, exit 1, if any is violated):
+//   1. every response arrives and is ok;
+//   2. every payload is bit-identical to the in-process Compute() answer
+//      for the same request (exact rationals AND sampling estimates);
+//   3. the server drains cleanly: Stop() after the storm leaves
+//      requests_served == requests sent, nothing dropped.
+//
+// Usage:
+//   bench_net_throughput [--connections N] [--requests N] [--threads N]
+//                        [--json out.json]
+//
+// --json rows (JSONL-appended to BENCH_net.json by scripts/check.sh):
+//   {"name": "4-conn", "connections": 4, "requests": 256,
+//    "wall_ms": ..., "rps": ..., "batch": 0|1}
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "shapley/data/parser.h"
+#include "shapley/net/client.h"
+#include "shapley/net/server.h"
+#include "shapley/query/query_parser.h"
+#include "shapley/service/shapley_service.h"
+
+namespace {
+
+using namespace shapley;
+
+QueryPtr ParseQuery(const std::shared_ptr<Schema>& schema, const char* text) {
+  UcqPtr ucq = ParseUcq(schema, text);
+  if (ucq->disjuncts().size() == 1) return ucq->disjuncts()[0];
+  return ucq;
+}
+
+bool SameAnswer(const SvcResponse& a, const SvcResponse& b) {
+  return a.ok() == b.ok() && a.values == b.values && a.ranked == b.ranked &&
+         a.engine == b.engine;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t connections = 4;
+  size_t requests_per_connection = 64;
+  size_t threads = 4;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--connections" && i + 1 < argc) {
+      connections = std::strtoul(argv[++i], nullptr, 10);
+    } else if (arg == "--requests" && i + 1 < argc) {
+      requests_per_connection = std::strtoul(argv[++i], nullptr, 10);
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = std::strtoul(argv[++i], nullptr, 10);
+    }
+  }
+  connections = std::max<size_t>(1, connections);
+  requests_per_connection = std::max<size_t>(1, requests_per_connection);
+
+  bench::JsonReporter json =
+      bench::JsonReporter::FromArgs(argc, argv, "bench_net_throughput");
+  bench::Banner("Network front throughput (real TCP, mixed request stream)");
+
+  // The request mix: the dichotomy's both sides plus a seeded estimate.
+  auto schema = Schema::Create();
+  QueryPtr easy = ParseQuery(schema, "R(x), S(x,y)");
+  QueryPtr hard = ParseQuery(schema, "R(x), S(x,y), T(y)");
+  PartitionedDatabase db = ParsePartitionedDatabase(
+      schema, "R(a) R(b) S(a,c) S(b,d) T(c) | T(d) S(a,e)");
+
+  std::vector<SvcRequest> mix;
+  {
+    SvcRequest r;
+    r.query = easy;
+    r.db = db;
+    mix.push_back(r);  // → lifted
+    r.query = hard;
+    mix.push_back(r);  // → brute
+    r.mode = SvcMode::kTopK;
+    r.top_k = 2;
+    mix.push_back(r);  // → ranked through the wire
+    SvcRequest s;
+    s.query = hard;
+    s.db = db;
+    s.engine = "sampling";
+    s.approx.epsilon = 0.1;
+    s.approx.seed = 42;
+    mix.push_back(s);  // → estimate, fixed seed
+  }
+
+  ServiceOptions service_options;
+  service_options.threads = threads;
+  ShapleyService service(service_options);
+  net::ServerOptions server_options;
+  server_options.max_connections = connections + 8;
+  net::HttpServer server(&service, server_options);
+  server.Start();
+
+  // In-process ground truth, computed once per mix entry on an identical
+  // but separate service (its counters must not pollute the serving one).
+  ShapleyService reference(service_options);
+  std::vector<SvcResponse> expected;
+  for (const SvcRequest& request : mix) {
+    expected.push_back(reference.Compute(request));
+    if (!expected.back().ok()) {
+      std::cerr << "reference request failed: "
+                << expected.back().error->ToString() << "\n";
+      return 1;
+    }
+  }
+
+  std::atomic<size_t> mismatches{0};
+  std::atomic<size_t> transport_errors{0};
+
+  auto storm = [&](size_t conns, bool as_batch) {
+    std::vector<std::thread> clients;
+    bench::Timer timer;
+    for (size_t c = 0; c < conns; ++c) {
+      clients.emplace_back([&, c] {
+        try {
+          net::ShapleyClient client("127.0.0.1", server.port());
+          if (as_batch) {
+            // One big pipelined batch per connection: completion-order
+            // streaming under load.
+            std::vector<SvcRequest> batch;
+            for (size_t i = 0; i < requests_per_connection; ++i) {
+              batch.push_back(mix[(c + i) % mix.size()]);
+            }
+            std::vector<SvcResponse> responses = client.ComputeBatch(batch);
+            for (size_t i = 0; i < responses.size(); ++i) {
+              if (!SameAnswer(responses[i], expected[(c + i) % mix.size()])) {
+                mismatches.fetch_add(1);
+              }
+            }
+          } else {
+            for (size_t i = 0; i < requests_per_connection; ++i) {
+              SvcResponse response =
+                  client.Compute(mix[(c + i) % mix.size()]);
+              if (!SameAnswer(response, expected[(c + i) % mix.size()])) {
+                mismatches.fetch_add(1);
+              }
+            }
+          }
+        } catch (const std::exception& e) {
+          std::cerr << "client " << c << ": " << e.what() << "\n";
+          transport_errors.fetch_add(1);
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    return timer.ElapsedMs();
+  };
+
+  bench::Table table({"scenario", "conns", "requests", "wall ms", "req/s"},
+                     {14, 8, 10, 12, 12});
+  table.PrintHeader();
+  struct Scenario {
+    std::string name;
+    size_t conns;
+    bool batch;
+  };
+  const std::vector<Scenario> scenarios = {
+      {"1-conn", 1, false},
+      {std::to_string(connections) + "-conn", connections, false},
+      {std::to_string(connections) + "-conn-batch", connections, true},
+  };
+  for (const Scenario& scenario : scenarios) {
+    const size_t total = scenario.conns * requests_per_connection;
+    const double wall_ms = storm(scenario.conns, scenario.batch);
+    const double rps = 1000.0 * static_cast<double>(total) / wall_ms;
+    table.PrintRow(scenario.name, scenario.conns, total, wall_ms, rps);
+    json.Row({{"name", scenario.name},
+              {"connections", static_cast<double>(scenario.conns)},
+              {"requests", static_cast<double>(total)},
+              {"wall_ms", wall_ms},
+              {"rps", rps},
+              {"batch", scenario.batch ? 1.0 : 0.0}});
+  }
+
+  // Drain and audit: nothing dropped, nothing mismatched. A batch POST is
+  // ONE HTTP request carrying many service requests, so the two layers
+  // audit separately.
+  server.Stop();
+  size_t total_sent = 0;   // Service-level requests.
+  size_t total_http = 0;   // HTTP exchanges.
+  for (const Scenario& scenario : scenarios) {
+    total_sent += scenario.conns * requests_per_connection;
+    total_http +=
+        scenario.batch ? scenario.conns
+                       : scenario.conns * requests_per_connection;
+  }
+  const bool served_all =
+      server.requests_served() == total_http &&
+      service.requests_submitted() == total_sent;
+  std::cout << "\nself-check: " << server.requests_served() << "/"
+            << total_sent << " served over " << server.connections_accepted()
+            << " connections, " << mismatches.load()
+            << " payload mismatches, " << transport_errors.load()
+            << " transport errors: "
+            << bench::PassFail(served_all && mismatches.load() == 0 &&
+                               transport_errors.load() == 0)
+            << "\n";
+  json.Row({{"name", "self_check"},
+            {"served", static_cast<double>(server.requests_served())},
+            {"sent", static_cast<double>(total_sent)},
+            {"mismatches", static_cast<double>(mismatches.load())},
+            {"transport_errors", static_cast<double>(transport_errors.load())}});
+  if (!served_all || mismatches.load() != 0 || transport_errors.load() != 0) {
+    return 1;
+  }
+  return 0;
+}

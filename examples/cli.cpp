@@ -1,15 +1,17 @@
 // A small command-line tool over the library: classify a query, evaluate
-// it, count generalized supports, or compute Shapley values, for ad-hoc
-// databases and queries given as arguments.
+// it, count generalized supports, compute Shapley values — locally or over
+// the network front — and serve the whole stack on a TCP port.
 //
 // Usage:
 //   example_cli classify  '<ucq>'
 //   example_cli engines
 //   example_cli eval      '<ucq>' '<db>'
 //   example_cli count     '<ucq>' '<db>'
-//   example_cli values    '<ucq>' '<db>' [--threads N] [--engine E]
-//   example_cli max       '<ucq>' '<db>' [--threads N] [--engine E]
+//   example_cli values    '<ucq>' '<db>' [--threads N] [--engine E] [--json]
+//   example_cli max       '<ucq>' '<db>' [--threads N] [--engine E] [--json]
 //   example_cli topk      '<ucq>' '<db>' [K] [--threads N] [--engine E]
+//   example_cli serve     [--host H] [--port P] [--threads N]
+//   example_cli call HOST:PORT values|max|topk|classify '<ucq>' '<db>' [K]
 //
 // Database syntax: "R(a,b) S(b,c) | T(d)" — facts after '|' are exogenous.
 // Query syntax:    "R(x,y), S(y,z) | T(x)" — '|' separates disjuncts,
@@ -20,32 +22,41 @@
 // sizes the service pool (default 1 = deterministic serial), and --engine
 // picks the engine from the registry ('brute', 'lifted', 'ddnnf',
 // 'permutations', 'sampling') or 'auto' (default): dichotomy routing by
-// the classifier — the lifted polynomial engine on the tractable
-// hierarchical sjf-CQ side, guarded brute force otherwise. --approx opts
-// the request into Monte Carlo permutation sampling when no exact engine
-// admits the instance; --epsilon/--delta set the (ε, δ) contract,
-// --strategy picks the sampling/stopping rule (hoeffding: fixed count;
-// bernstein: empirical-Bernstein sequential stopping; stratified:
-// antithetic position strata + sequential stopping — the adaptive two
-// stop early on low-variance facts and never draw more than the
-// Hoeffding count) and --seed makes the run reproducible. Estimates
-// print with their half-width and confidence. The verdict, the engine
-// that served the request and execution stats go to stderr; structured
-// SvcErrors are reported instead of stack traces.
+// the classifier. --approx opts the request into Monte Carlo permutation
+// sampling when no exact engine admits the instance; --epsilon/--delta set
+// the (ε, δ) contract, --strategy picks the stopping rule and --seed makes
+// the run reproducible.
+//
+// --json prints the response in the CANONICAL WIRE FORMAT (net/codec.h) —
+// the same JSON the HTTP server sends, so scripts parse one format whether
+// they shell out to the CLI or curl the service.
+//
+// serve starts the network front (net/server.h) over a ShapleyService and
+// prints "listening on HOST:PORT"; SIGINT/SIGTERM drain in-flight requests
+// and exit 0. call sends one request to a running server through the
+// client library (net/client.h) and prints the response exactly like the
+// local commands do — same flags, same output, plus the wire round-trip.
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdlib>
 #include <iostream>
 #include <limits>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "shapley/analysis/classifier.h"
 #include "shapley/data/parser.h"
 #include "shapley/engines/fgmc.h"
 #include "shapley/engines/svc.h"
+#include "shapley/net/client.h"
+#include "shapley/net/codec.h"
+#include "shapley/net/server.h"
 #include "shapley/query/query_parser.h"
 #include "shapley/service/shapley_service.h"
 
@@ -58,12 +69,16 @@ int Usage() {
       << "       example_cli eval|count '<query>' '<database>'\n"
       << "       example_cli values|max '<query>' '<database>'\n"
       << "       example_cli topk '<query>' '<database>' [K]\n"
+      << "       example_cli serve [--host H] [--port P] [--threads N]\n"
+      << "       example_cli call HOST:PORT values|max|topk|classify "
+         "'<query>' '<database>' [K]\n"
       << "                   [--threads N]\n"
       << "                   [--engine "
          "auto|brute|lifted|ddnnf|permutations|sampling]\n"
       << "                   [--approx] [--epsilon E] [--delta D] "
          "[--seed S]\n"
       << "                   [--strategy hoeffding|bernstein|stratified]\n"
+      << "                   [--json]\n"
       << "e.g.:  example_cli values 'R(x), S(x,y)' 'R(a) S(a,b) | S(a,c)' "
          "--threads 4\n";
   return 2;
@@ -104,6 +119,73 @@ std::string ApproxSuffix(const shapley::SvcResponse& response,
   return os.str();
 }
 
+/// THE response printer — local and networked commands share it, and its
+/// --json branch IS the wire format (net/codec's EncodeResponse), so the
+/// CLI never grows a second serialization.
+int PrintResponse(const shapley::SvcResponse& response,
+                  const std::shared_ptr<shapley::Schema>& schema,
+                  const shapley::PartitionedDatabase& db, bool as_json) {
+  if (as_json) {
+    std::cout << shapley::net::EncodeResponse(response, *schema).Dump()
+              << "\n";
+    return response.ok() ? 0 : 1;
+  }
+  if (!response.ok()) {
+    std::cerr << "verdict: " << ToString(response.verdict) << "\n"
+              << "error: " << response.error->ToString() << " (status "
+              << shapley::net::HttpStatusFor(response.error->code) << ")\n";
+    return 1;
+  }
+  if (response.mode == shapley::SvcMode::kClassifyOnly) {
+    std::cout << ToString(response.verdict) << "\n";
+    return 0;
+  }
+  if (!response.values.empty() || response.mode ==
+                                      shapley::SvcMode::kAllValues) {
+    for (const auto& [fact, value] : response.values) {
+      std::cout << fact.ToString(*schema) << " = " << value.ToString()
+                << "  (~" << value.ToDouble() << ")"
+                << ApproxSuffix(response, db, fact) << "\n";
+    }
+  }
+  for (const auto& [fact, value] : response.ranked) {
+    std::cout << fact.ToString(*schema) << " = " << value.ToString()
+              << ApproxSuffix(response, db, fact) << "\n";
+  }
+  PrintResponseDiagnostics(response);
+  return 0;
+}
+
+std::sig_atomic_t volatile g_stop_requested = 0;
+void HandleStopSignal(int) { g_stop_requested = 1; }
+
+int RunServe(const std::string& host, uint16_t port, size_t threads) {
+  shapley::ServiceOptions options;
+  options.threads = threads;
+  shapley::ShapleyService service(options);
+  shapley::net::ServerOptions server_options;
+  server_options.host = host;
+  server_options.port = port;
+  shapley::net::HttpServer server(&service, server_options);
+  server.Start();
+  // The parseable line scripts (and scripts/check.sh) wait for.
+  std::cout << "listening on " << server.host() << ":" << server.port()
+            << std::endl;
+
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  while (g_stop_requested == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::cerr << "draining..." << std::endl;
+  server.Stop();        // Finishes in-flight requests, then closes.
+  service.Shutdown();
+  std::cerr << "served " << server.requests_served() << " requests over "
+            << server.connections_accepted() << " connections; bye"
+            << std::endl;
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -113,7 +195,10 @@ int main(int argc, char** argv) {
   std::vector<std::string> args;
   size_t threads = 1;
   std::string engine_name = "auto";
+  std::string host = "127.0.0.1";
+  long port = 0;
   bool allow_approx = false;
+  bool as_json = false;
   ApproxParams approx;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -124,8 +209,18 @@ int main(int argc, char** argv) {
       threads = requested < 1 ? 1 : std::min<long>(requested, 64);
     } else if (arg == "--engine" && i + 1 < argc) {
       engine_name = argv[++i];
+    } else if (arg == "--host" && i + 1 < argc) {
+      host = argv[++i];
+    } else if (arg == "--port" && i + 1 < argc) {
+      port = std::atol(argv[++i]);
+      if (port < 0 || port > 65535) {
+        std::cerr << "error: --port must be in [0, 65535]\n";
+        return Usage();
+      }
     } else if (arg == "--approx") {
       allow_approx = true;
+    } else if (arg == "--json") {
+      as_json = true;
     } else if (arg == "--epsilon" && i + 1 < argc) {
       approx.epsilon = std::atof(argv[++i]);
     } else if (arg == "--delta" && i + 1 < argc) {
@@ -146,9 +241,34 @@ int main(int argc, char** argv) {
     }
   }
   if (args.empty()) return Usage();
-  const std::string command = args[0];
+  std::string command = args[0];
 
   try {
+    if (command == "serve") {
+      return RunServe(host, static_cast<uint16_t>(port), threads);
+    }
+
+    // `call HOST:PORT subcmd ...` reshapes into the local arg layout with
+    // the connection target on the side — one request-building path.
+    std::string call_target;
+    if (command == "call") {
+      if (args.size() < 3) return Usage();
+      call_target = args[1];
+      command = args[2];
+      args.erase(args.begin() + 1, args.begin() + 3);
+      const size_t colon = call_target.rfind(':');
+      if (colon == std::string::npos) {
+        std::cerr << "error: call target must be HOST:PORT\n";
+        return Usage();
+      }
+      host = call_target.substr(0, colon);
+      port = std::atol(call_target.c_str() + colon + 1);
+      if (port <= 0 || port > 65535) {
+        std::cerr << "error: bad port in '" << call_target << "'\n";
+        return Usage();
+      }
+    }
+
     if (command == "engines") {
       // The registry is the single source of engine dispatch — no ad-hoc
       // string switch to fall out of sync with.
@@ -178,12 +298,14 @@ int main(int argc, char** argv) {
                          ? QueryPtr(parsed->disjuncts()[0])
                          : QueryPtr(parsed);
 
-    if (command == "classify") {
+    if (command == "classify" && call_target.empty()) {
       std::cout << ToString(ClassifySvcComplexity(*query)) << "\n";
       return 0;
     }
-    if (args.size() < 3) return Usage();
-    PartitionedDatabase db = ParsePartitionedDatabase(schema, args[2]);
+    if (args.size() < 3 && command != "classify") return Usage();
+    PartitionedDatabase db =
+        args.size() >= 3 ? ParsePartitionedDatabase(schema, args[2])
+                         : PartitionedDatabase(schema);
 
     if (command == "eval") {
       bool full = query->Evaluate(db.AllFacts());
@@ -199,11 +321,8 @@ int main(int argc, char** argv) {
                 << "GMC total:    " << counts.SumOfCoefficients() << "\n";
       return 0;
     }
-    if (command == "values" || command == "max" || command == "topk") {
-      ServiceOptions options;
-      options.threads = threads;
-      ShapleyService service(options);
-
+    if (command == "values" || command == "max" || command == "topk" ||
+        command == "classify") {
       SvcRequest request;
       request.query = query;
       request.db = db;
@@ -214,6 +333,8 @@ int main(int argc, char** argv) {
         request.mode = SvcMode::kAllValues;
       } else if (command == "max") {
         request.mode = SvcMode::kMaxValue;
+      } else if (command == "classify") {
+        request.mode = SvcMode::kClassifyOnly;
       } else {
         request.mode = SvcMode::kTopK;
         request.top_k = 3;
@@ -231,26 +352,17 @@ int main(int argc, char** argv) {
         }
       }
 
-      SvcResponse response = service.Compute(std::move(request));
-      if (!response.ok()) {
-        std::cerr << "verdict: " << ToString(response.verdict) << "\n"
-                  << "error: " << response.error->ToString() << "\n";
-        return 1;
-      }
-      if (command == "values") {
-        for (const auto& [fact, value] : response.values) {
-          std::cout << fact.ToString(*schema) << " = " << value.ToString()
-                    << "  (~" << value.ToDouble() << ")"
-                    << ApproxSuffix(response, db, fact) << "\n";
-        }
+      SvcResponse response;
+      if (!call_target.empty()) {
+        net::ShapleyClient client(host, static_cast<uint16_t>(port));
+        response = client.Compute(request);
       } else {
-        for (const auto& [fact, value] : response.ranked) {
-          std::cout << fact.ToString(*schema) << " = " << value.ToString()
-                    << ApproxSuffix(response, db, fact) << "\n";
-        }
+        ServiceOptions options;
+        options.threads = threads;
+        ShapleyService service(options);
+        response = service.Compute(std::move(request));
       }
-      PrintResponseDiagnostics(response);
-      return 0;
+      return PrintResponse(response, schema, db, as_json);
     }
     return Usage();
   } catch (const std::exception& e) {

@@ -26,6 +26,57 @@ echo "== service tests (guard: the glob must have picked them up) =="
 echo "== approx tests (guard: cross-validation vs the exact engines) =="
 "$build_dir/approx_sampling_test" --gtest_brief=1
 
+echo "== net tests (guard: codec round-trips + e2e socket) =="
+"$build_dir/net_codec_test" --gtest_brief=1
+"$build_dir/net_server_test" --gtest_brief=1
+
+echo "== net smoke (serve on an ephemeral port, call over a real socket) =="
+# End-to-end through the CLI: start the server, send one exact and one
+# approximate request through the client library, check the values are
+# bit-identical to the in-process run of the same requests, then drain
+# with SIGTERM and require a clean exit 0.
+serve_log="$build_dir/serve_smoke.log"
+"$build_dir/example_cli" serve --port 0 --threads 2 > "$serve_log" 2>/dev/null &
+serve_pid=$!
+# A failing assertion below must not orphan the background server.
+trap 'kill "$serve_pid" 2>/dev/null || true' EXIT
+for _ in $(seq 1 100); do
+  grep -q "^listening on " "$serve_log" && break
+  sleep 0.1
+done
+port="$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$serve_log")"
+[ -n "$port" ] || { echo "serve smoke: no port line in $serve_log"; exit 1; }
+smoke_q='R(x), S(x,y), T(y)'
+smoke_db='R(a) R(b) S(a,c) S(b,d) T(c) | T(d)'
+for extra in "" "--engine sampling --seed 3"; do
+  # shellcheck disable=SC2086
+  "$build_dir/example_cli" call "127.0.0.1:$port" values "$smoke_q" "$smoke_db" --json $extra 2>/dev/null \
+      > "$build_dir/smoke_wire.json"
+  # shellcheck disable=SC2086
+  "$build_dir/example_cli" values "$smoke_q" "$smoke_db" --json $extra 2>/dev/null \
+      > "$build_dir/smoke_local.json"
+  python3 - "$build_dir/smoke_wire.json" "$build_dir/smoke_local.json" <<'PYEOF'
+import json, sys
+wire, local = (json.load(open(p)) for p in sys.argv[1:3])
+assert wire["values"] == local["values"], \
+    f"wire != local:\n{wire['values']}\n{local['values']}"
+assert wire["status"] == 200, wire
+PYEOF
+done
+kill -TERM "$serve_pid"
+wait "$serve_pid" || { echo "serve smoke: server did not drain cleanly"; exit 1; }
+trap - EXIT
+echo "serve/call smoke: values bit-identical over the socket, clean drain"
+
+echo "== bench (net throughput, appending to BENCH_net.json) =="
+# Multi-connection load generator with its own bit-identical self-check
+# (the bench exits 1 on any mismatch, drop or transport error).
+"$build_dir/bench_net_throughput" --connections 4 --requests 64 \
+    --json "$build_dir/bench_net_throughput.json"
+python3 -c 'import json,sys; print(json.dumps(json.load(open(sys.argv[1]))))' \
+    "$build_dir/bench_net_throughput.json" \
+    >> "$repo_root/BENCH_net.json"
+
 echo "== bench (fast: small instances, JSON to $build_dir/bench_parallel_scaling.json) =="
 "$build_dir/bench_parallel_scaling" --facts-k 20 --brute-k 5 \
     --json "$build_dir/bench_parallel_scaling.json"

@@ -192,8 +192,11 @@ inline double EmpiricalBernsteinHalfWidth(size_t samples, double variance,
 /// (1-based) tests each fact's bound at confidence delta_k = δ/(k·(k+1)).
 /// Σ_k δ/(k(k+1)) telescopes to δ, so a K-checkpoint run spends
 /// δ·K/(K+1) < δ and the union over ALL checkpoints stays within δ —
-/// the joint (ε, δ) contract survives any number of looks at the data
-/// (including the one extra terminal look Finish() takes).
+/// the joint (ε, δ) contract survives any number of looks at the data.
+/// The SequentialStopper feeds this schedule δ/2 and reserves the other
+/// δ/2 for one terminal Hoeffding bound (the δ-split of
+/// approx/stopping.h), capping a non-retiring run's width premium over
+/// plain Hoeffding at √2.
 inline double CheckpointDelta(double delta, size_t checkpoint) {
   const double k = static_cast<double>(checkpoint);
   return delta / (k * (k + 1.0));

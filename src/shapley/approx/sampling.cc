@@ -151,6 +151,28 @@ std::map<Fact, BigRational> SamplingSvc::AllValues(
     return values;
   }
 
+  // Canonical player order: permutation position p maps to the fact at
+  // endo[order[p]], with `order` sorting the endogenous facts by their
+  // RENDERED TEXT rather than by their (relation id, constant id) tuple.
+  // Interner ids depend on process history — a database decoded from the
+  // wire, or built in another process, interns relations/constants in a
+  // different sequence and would sort the same facts differently — while
+  // the text is a pure function of the instance. Pinning the player
+  // indexing to the text makes every estimate a function of (seed,
+  // instance) alone: bit-identical across thread counts, schemas AND
+  // processes — the same canonicalization discipline as the OracleCache
+  // fingerprint, and what makes the memo masks below truly canonical.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  {
+    std::vector<std::string> keys(n);
+    for (size_t i = 0; i < n; ++i) keys[i] = endo[i].ToString(*db.schema());
+    std::sort(order.begin(), order.end(),
+              [&](size_t a, size_t b) { return keys[a] < keys[b]; });
+  }
+  std::vector<double> canonical_ranges(n);
+  for (size_t p = 0; p < n; ++p) canonical_ranges[p] = ranges[order[p]];
+
   // Sampling-unit geometry: plain strategies draw one permutation per iid
   // unit; the stratified strategy draws antithetic PAIRS (strata.h) and
   // treats the pair as the unit. A budget too small to fund even one pair
@@ -167,9 +189,10 @@ std::map<Fact, BigRational> SamplingSvc::AllValues(
 
   // The shared satisfaction oracle: through the exec-context cache when
   // installed (amortizes across requests with the same fingerprint), a
-  // run-local memo otherwise. Coalition masks index the sorted endogenous
-  // fact vector, so they are canonical per fingerprint; beyond 64 facts
-  // masks stop being representable and the memo is skipped.
+  // run-local memo otherwise. Coalition masks index the canonical
+  // (text-ordered) fact positions, so they are canonical per fingerprint
+  // — two processes memoizing the same instance agree bit for bit; beyond
+  // 64 facts masks stop being representable and the memo is skipped.
   std::shared_ptr<SatMemo> memo;
   if (n <= 64) {
     memo = exec_.cache != nullptr ? exec_.cache->SatTable(query, db)
@@ -225,7 +248,8 @@ std::map<Fact, BigRational> SamplingSvc::AllValues(
     walked.reserve(n);
 
     // One permutation walk: marginals accumulate into unit_sum (a group's
-    // walks share one unit_sum; a plain unit is a single walk).
+    // walks share one unit_sum; a plain unit is a single walk). Players
+    // are CANONICAL positions; endo[order[player]] is the actual fact.
     auto walk = [&](const std::vector<size_t>& arrangement) {
       walked.clear();
       uint64_t mask = 0;
@@ -235,7 +259,7 @@ std::map<Fact, BigRational> SamplingSvc::AllValues(
         // fact joins a winning coalition, marginal 0.
         if (monotone && prev) break;
         const size_t player = arrangement[i];
-        world.Insert(endo[player]);
+        world.Insert(endo[order[player]]);
         walked.push_back(player);
         // Masks exist only for the memo, and only while every player fits
         // a 64-bit coalition (shifting by >= 64 would be UB).
@@ -262,7 +286,7 @@ std::map<Fact, BigRational> SamplingSvc::AllValues(
             static_cast<int64_t>(current) - static_cast<int64_t>(prev);
         prev = current;
       }
-      for (size_t player : walked) world.Remove(endo[player]);
+      for (size_t player : walked) world.Remove(endo[order[player]]);
     };
 
     const size_t first = batch * units_per_batch;
@@ -322,10 +346,12 @@ std::map<Fact, BigRational> SamplingSvc::AllValues(
     const int64_t drawn = static_cast<int64_t>(total_units);
     info.fact_samples.assign(n, total_units);
     info.fact_half_widths.resize(n);
-    for (size_t i = 0; i < n; ++i) {
+    for (size_t p = 0; p < n; ++p) {
+      // Tallies are canonical-indexed; reports stay in endogenous order.
+      const size_t i = order[p];
       info.fact_half_widths[i] =
           HoeffdingHalfWidth(total_units, params_.delta, ranges[i]);
-      values.emplace(endo[i], BigRational(BigInt(net[i]), BigInt(drawn)));
+      values.emplace(endo[i], BigRational(BigInt(net[p]), BigInt(drawn)));
     }
   } else {
     // Adaptive strategies: rounds of batches with a stopping checkpoint
@@ -333,8 +359,8 @@ std::map<Fact, BigRational> SamplingSvc::AllValues(
     // once every fact's bound meets ε, the remaining rounds are never
     // scheduled. Checkpoints see only merged tallies at round barriers,
     // so the exit round (and every estimate) is thread-count independent.
-    SequentialStopper stopper(params_.epsilon, params_.delta, ranges,
-                              unit_perms);
+    SequentialStopper stopper(params_.epsilon, params_.delta,
+                              canonical_ranges, unit_perms);
     size_t done = 0;
     size_t units_done = 0;
     bool all_retired = false;
@@ -352,17 +378,22 @@ std::map<Fact, BigRational> SamplingSvc::AllValues(
     info.samples = units_done * unit_perms;
     info.checkpoints = stopper.checkpoints();
     info.facts_retired = stopper.retired_within_epsilon();
-    info.fact_samples = stopper.frozen_samples();
-    info.fact_half_widths = stopper.half_widths();
-    info.half_width = *std::max_element(info.fact_half_widths.begin(),
-                                        info.fact_half_widths.end());
-    for (size_t i = 0; i < n; ++i) {
+    // Stopper results are canonical-indexed; un-permute into the
+    // endogenous order the ApproxInfo contract promises.
+    info.fact_samples.resize(n);
+    info.fact_half_widths.resize(n);
+    for (size_t p = 0; p < n; ++p) {
+      const size_t i = order[p];
+      info.fact_samples[i] = stopper.frozen_samples()[p];
+      info.fact_half_widths[i] = stopper.half_widths()[p];
       values.emplace(
           endo[i],
-          BigRational(BigInt(stopper.frozen_net()[i]),
+          BigRational(BigInt(stopper.frozen_net()[p]),
                       BigInt(static_cast<int64_t>(
-                          stopper.frozen_samples()[i]))));
+                          stopper.frozen_samples()[p]))));
     }
+    info.half_width = *std::max_element(info.fact_half_widths.begin(),
+                                        info.fact_half_widths.end());
   }
 
   info.memo_hits = memo_hits.load();

@@ -39,10 +39,14 @@ namespace shapley {
 /// Execution model:
 ///  - permutations are drawn in fixed-size batches; batches fan out across
 ///    the exec-context ThreadPool, each with its own SplitMix64 stream
-///    seeded purely by (request seed, batch index) — so the estimate is a
-///    function of the seed alone, bit-identical across thread counts and
-///    scheduling orders (per-fact tallies are integers and merging is
-///    commutative addition). Adaptive strategies take their stopping
+///    seeded purely by (request seed, batch index), and permutation
+///    positions index the facts in CANONICAL TEXT ORDER (not interner-id
+///    order, which varies with process history) — so the estimate is a
+///    function of (seed, instance) alone, bit-identical across thread
+///    counts, scheduling orders, schemas and processes (per-fact tallies
+///    are integers and merging is commutative addition); a request
+///    replayed through the network front (net/) against a remote server
+///    reproduces the local run exactly. Adaptive strategies take their stopping
 ///    decisions only BETWEEN rounds of batches, from the merged tallies,
 ///    so early exit never breaks that guarantee — it only lets the batch
 ///    fan-out stop scheduling rounds the contract no longer needs;

@@ -110,7 +110,11 @@ bool SequentialStopper::Checkpoint(const std::vector<int64_t>& net,
                                    const std::vector<int64_t>& sq,
                                    size_t units) {
   ++checkpoint_;
-  const double delta_k = CheckpointDelta(delta_, checkpoint_);
+  // δ-split: the checkpoint schedule spends HALF the budget (see the
+  // class comment — the other half funds Finish()'s terminal Hoeffding
+  // look). CheckpointDelta telescopes to its argument, so the union over
+  // every checkpoint stays within δ/2.
+  const double delta_k = CheckpointDelta(delta_ / 2.0, checkpoint_);
   for (size_t i = 0; i < retired_.size(); ++i) {
     if (retired_[i]) continue;
     const double hw = HalfWidthAt(i, net[i], sq[i], units, delta_k);
@@ -125,14 +129,26 @@ bool SequentialStopper::Checkpoint(const std::vector<int64_t>& net,
 void SequentialStopper::Finish(const std::vector<int64_t>& net,
                                const std::vector<int64_t>& sq, size_t units) {
   if (all_retired()) return;
-  // One last δ installment for the terminal look; facts frozen here report
-  // whatever half-width the drawn samples actually certify — wider than ε
-  // when a budget cap truncated the run, and honestly so.
+  // Terminal look, funded by the RESERVED δ/2: each straggler freezes at
+  // the better of (a) one more empirical-Bernstein checkpoint from the
+  // δ/2 schedule and (b) one plain Hoeffding bound at confidence δ/2 over
+  // everything drawn. (b) is what caps the non-retiring premium: a run
+  // whose variance never justified early stopping reports
+  //   range·sqrt(ln(4/δ) / (2m))  ≤  √2 · range·sqrt(ln(2/δ) / (2m)),
+  // at most a √2 width premium over the fixed Hoeffding strategy at the
+  // same count — instead of the unbounded ln(k²)-flavored premium the
+  // old all-schedule spending charged. Both looks are budgeted (δ/2
+  // schedule union + δ/2 terminal ≤ δ), so the joint per-fact contract
+  // P(|est − Sh| > reported half-width) ≤ δ still holds.
   ++checkpoint_;
-  const double delta_k = CheckpointDelta(delta_, checkpoint_);
+  const double delta_k = CheckpointDelta(delta_ / 2.0, checkpoint_);
   for (size_t i = 0; i < retired_.size(); ++i) {
     if (retired_[i]) continue;
-    Freeze(i, net[i], units, HalfWidthAt(i, net[i], sq[i], units, delta_k));
+    const double bernstein =
+        HalfWidthAt(i, net[i], sq[i], units, delta_k);
+    const double hoeffding =
+        HoeffdingHalfWidth(units, delta_ / 2.0, ranges_[i]);
+    Freeze(i, net[i], units, std::min(bernstein, hoeffding));
   }
 }
 

@@ -41,20 +41,27 @@ std::vector<double> PerFactMarginalRanges(const BooleanQuery& query,
 /// sums and sums of squares over iid sampling units (one permutation, or
 /// one stratified group of `unit_perms` permutations). At checkpoint k the
 /// rule computes each live fact's empirical-Bernstein half-width at
-/// confidence CheckpointDelta(delta, k) and RETIRES every fact whose
+/// confidence CheckpointDelta(delta/2, k) and RETIRES every fact whose
 /// half-width already meets ε: the fact's estimate freezes at the current
 /// tallies (later draws are ignored), its certified half-width is
-/// recorded, and once every fact is retired the whole run stops. The
-/// δ-spending schedule keeps the union over all checkpoints within δ, so
-/// the joint (ε, δ) contract holds despite the repeated looks — and
-/// because checkpoints only ever see merged tallies at batch boundaries,
+/// recorded, and once every fact is retired the whole run stops. Because
+/// checkpoints only ever see merged tallies at batch boundaries,
 /// retirement decisions (and with them the estimates) are bit-identical
 /// across thread counts.
 ///
-/// Finish() is the terminal checkpoint: facts still live when the budget
-/// runs out freeze at the final tallies with the (wider) half-width
-/// actually certified there — the honest answer when `max_samples`
-/// truncates a run that needed more.
+/// δ-SPLIT: the failure budget is spent in two halves. The checkpoint
+/// schedule draws from δ/2 (its telescoping union stays within δ/2), and
+/// the other δ/2 is RESERVED for one terminal Hoeffding bound in
+/// Finish(). A fact still live when the budget runs out freezes at the
+/// better of one more Bernstein look and that terminal Hoeffding width —
+/// so a non-retiring run (nothing about its variance ever justified
+/// stopping early) reports at worst range·sqrt(ln(4/δ)/(2m)), a √2
+/// premium over the fixed Hoeffding strategy at the same count, rather
+/// than a premium that grows with the number of checkpoints taken. The
+/// two halves together keep the joint per-fact contract at δ.
+///
+/// Finish() is that terminal checkpoint: when `max_samples` truncates a
+/// run that needed more, the recorded width is honestly wider than ε.
 class SequentialStopper {
  public:
   /// `fact_ranges`: per-fact marginal ranges (PerFactMarginalRanges).

@@ -1,0 +1,79 @@
+#ifndef SHAPLEY_NET_CLIENT_H_
+#define SHAPLEY_NET_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "shapley/net/codec.h"
+#include "shapley/net/http.h"
+#include "shapley/net/json.h"
+#include "shapley/service/request.h"
+
+namespace shapley::net {
+
+struct ClientOptions {
+  /// Per-read timeout. Generous by default: an exact engine may legitimately
+  /// think for a while before the response starts.
+  int read_timeout_ms = 60'000;
+  size_t max_body_bytes = 64 * 1024 * 1024;
+};
+
+/// Blocking HTTP client for the Shapley network front — the library the
+/// CLI's `call` command, the tests and the throughput bench talk through.
+/// One client = one keep-alive connection, re-established transparently
+/// when the server closed it between calls. Not thread-safe; use one
+/// client per thread (the load generator does exactly that).
+///
+/// Error discipline mirrors the service: anything the SERVER answered —
+/// including 4xx/5xx — decodes into the returned SvcResponse (the
+/// structured SvcError is inside, exactly as the in-process API returns
+/// it). Only TRANSPORT failures (connect refused, connection died
+/// mid-message, undecodable payload) throw std::runtime_error: there is no
+/// response to return, truthfully, in those cases.
+class ShapleyClient {
+ public:
+  ShapleyClient(std::string host, uint16_t port, ClientOptions options = {});
+  ~ShapleyClient();
+
+  ShapleyClient(const ShapleyClient&) = delete;
+  ShapleyClient& operator=(const ShapleyClient&) = delete;
+
+  /// POST /v1/compute. The request's query/database are serialized through
+  /// net/codec; the response's facts are re-interned into the request's
+  /// own schema, so returned Fact keys compare equal to local ones.
+  SvcResponse Compute(const SvcRequest& request);
+
+  /// POST /v1/batch: all requests in one round-trip; the server streams
+  /// results in completion order and this call reassembles them into INPUT
+  /// order before returning (the id tags carry the correspondence).
+  std::vector<SvcResponse> ComputeBatch(
+      const std::vector<SvcRequest>& requests);
+
+  /// GET /v1/engines and /v1/stats, as parsed JSON.
+  Json Engines();
+  Json Stats();
+
+  /// The HTTP status of the last Compute/Engines/Stats call (batch: 200).
+  int last_status() const { return last_status_; }
+
+ private:
+  /// One request/response exchange, reconnecting once if the keep-alive
+  /// connection had gone away. Returns the raw body.
+  HttpResponse RoundTrip(const std::string& method, const std::string& target,
+                         const std::string& body, bool* chunked,
+                         std::unique_ptr<SocketReader>* reader_out);
+  bool EnsureConnected();
+
+  const std::string host_;
+  const uint16_t port_;
+  const ClientOptions options_;
+  Socket socket_;
+  std::unique_ptr<SocketReader> reader_;
+  int last_status_ = 0;
+};
+
+}  // namespace shapley::net
+
+#endif  // SHAPLEY_NET_CLIENT_H_

@@ -1,0 +1,110 @@
+#ifndef SHAPLEY_NET_CODEC_H_
+#define SHAPLEY_NET_CODEC_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "shapley/data/schema.h"
+#include "shapley/net/json.h"
+#include "shapley/service/request.h"
+
+namespace shapley::net {
+
+/// The ONE canonical wire format of the serving stack: SvcRequest and
+/// SvcResponse to/from JSON. The CLI's --json output, the HTTP server, the
+/// client library and the benches all go through these four functions, so
+/// a value has exactly one serialized form everywhere.
+///
+/// Request wire shape (top-level unknown fields are REJECTED — a typo like
+/// "epsilonn" must fail loudly, not silently run with defaults):
+///
+///   {
+///     "query": "R(?x), S(?x,?y), !T(?y)",          // CLI query syntax
+///     "database": {"endogenous": ["R(a)", ...],    // CLI fact syntax
+///                  "exogenous":  ["T(b)", ...]},
+///     "mode": "all-values" | "max-value" | "top-k" | "classify-only",
+///     "top_k": 3,                                   // optional
+///     "engine": "lifted",                           // optional override
+///     "allow_approx": true,                         // optional
+///     "approx": {"epsilon": 0.05, "delta": 0.05,    // optional
+///                "seed": 1, "max_samples": 0,
+///                "strategy": "hoeffding"},
+///     "timeout_ms": 500                             // optional, relative
+///   }
+///
+/// Queries are carried as parser text with every term prefix made explicit
+/// ('?' variable, '$' constant), so the encoding is independent of the
+/// u–z naming convention and always re-parses to the same query.
+/// Deadlines cross the wire as a RELATIVE timeout_ms (an absolute
+/// steady_clock point is meaningless in another process); the decoder
+/// re-anchors it at decode time. engine_instance and cancel tokens are
+/// process-local by nature and never serialize.
+///
+/// Response wire shape (values as exact "p/q" strings — BigRational
+/// round-trips bit-identically; "approx_value" is a display convenience):
+///
+///   {
+///     "mode": "...", "status": 200,
+///     "verdict": {"tractability": "FP", "query_class": "...",
+///                 "justification": "...", "fgmc_svc_equivalent": true},
+///     "engine": "lifted", "routed_by_classifier": true,
+///     "values": [{"fact": "R(a)", "value": "1/3",
+///                 "approx_value": 0.33333...}, ...],
+///     "ranked": [...],                              // max-value / top-k
+///     "approx": {... full ApproxInfo ...},          // only on estimates
+///     "error": {"code": "capacity-exceeded", "status": 413,
+///               "message": "...", "engine": ""},    // only on failure
+///     "stats": {"queue_ms": ..., "exec_ms": ...}
+///   }
+
+/// HTTP-style status for a structured error code — the mapping the README
+/// documents and the server sends:
+///   invalid-request    → 400   unsupported-query  → 422
+///   capacity-exceeded  → 413   deadline-exceeded  → 504
+///   cancelled          → 499   engine-failure     → 500
+/// (ok → 200.)
+int HttpStatusFor(SvcErrorCode code);
+
+/// Inverse of ToString(SvcErrorCode); nullopt for unknown names.
+std::optional<SvcErrorCode> ParseSvcErrorCode(const std::string& name);
+
+/// Inverse of ToString(SvcMode); nullopt for unknown names.
+std::optional<SvcMode> ParseSvcMode(const std::string& name);
+
+/// Canonical parser-ready text of a CQ or UCQ (the classes the wire — and
+/// the CLI — speak); nullopt for query classes without a textual syntax
+/// (path queries, conjunction nodes, ...).
+std::optional<std::string> CanonicalQueryText(const BooleanQuery& query);
+
+/// Encodes a request. Throws SvcException(kInvalidRequest) when the query
+/// has no canonical text (see CanonicalQueryText) — a request that cannot
+/// cross the wire must fail at the sender, loudly.
+Json EncodeRequest(const SvcRequest& request);
+
+/// A decoded request plus the schema its facts/atoms were interned into
+/// (fresh per decode: the wire is the only coupling between processes).
+struct DecodedRequest {
+  SvcRequest request;
+  std::shared_ptr<Schema> schema;
+};
+
+/// Decodes a request; on any malformed input (bad JSON types, unknown
+/// fields, unparsable query/fact text, bad mode/strategy names) returns a
+/// structured kInvalidRequest instead of throwing — the server maps it
+/// straight to a 400 response. `out` is valid only on nullopt.
+std::optional<SvcError> DecodeRequest(const Json& json, DecodedRequest* out);
+
+/// Encodes a response; `schema` renders the facts.
+Json EncodeResponse(const SvcResponse& response, const Schema& schema);
+
+/// Decodes a response, interning facts into `schema` (use the schema the
+/// request was built against so Fact keys compare equal to local results).
+/// Malformed input yields kInvalidRequest; `out` is valid only on nullopt.
+std::optional<SvcError> DecodeResponse(const Json& json,
+                                       const std::shared_ptr<Schema>& schema,
+                                       SvcResponse* out);
+
+}  // namespace shapley::net
+
+#endif  // SHAPLEY_NET_CODEC_H_

@@ -1,0 +1,147 @@
+#ifndef SHAPLEY_NET_HTTP_H_
+#define SHAPLEY_NET_HTTP_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace shapley::net {
+
+/// POSIX-socket + HTTP/1.1 plumbing shared by the server (net/server.h)
+/// and the client library (net/client.h). Deliberately minimal: exactly
+/// the slice of HTTP the wire protocol needs — request/status lines,
+/// headers, Content-Length and chunked bodies, keep-alive — implemented
+/// over blocking sockets with poll()-based read timeouts. No TLS, no
+/// compression, no external dependency.
+
+/// RAII file descriptor. Move-only; closes on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void Close();
+
+  /// Writes the whole buffer (handling partial writes and EINTR); false on
+  /// any hard error (the peer is gone — the caller drops the connection).
+  bool SendAll(std::string_view data);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Connects TCP to host:port (numeric or resolvable host). Invalid socket
+/// + error message on failure.
+Socket ConnectTcp(const std::string& host, uint16_t port, std::string* error);
+
+/// Listening TCP socket bound to host:port (port 0 = ephemeral);
+/// *bound_port receives the actual port. Invalid socket + message on
+/// failure.
+Socket ListenTcp(const std::string& host, uint16_t port, int backlog,
+                 uint16_t* bound_port, std::string* error);
+
+/// Buffered reader over a socket with a per-read-call timeout. All Read*
+/// methods return false on timeout, EOF or error; Eof()/TimedOut()
+/// distinguish the clean cases.
+class SocketReader {
+ public:
+  SocketReader(int fd, int timeout_ms) : fd_(fd), timeout_ms_(timeout_ms) {}
+
+  /// One CRLF- (or bare-LF-) terminated line, terminator stripped; fails
+  /// when the line exceeds `max_len` (header bombs must not grow memory).
+  bool ReadLine(std::string* line, size_t max_len = 64 * 1024);
+  /// Exactly `n` bytes appended to *out.
+  bool ReadExact(size_t n, std::string* out);
+
+  bool Eof() const { return eof_; }
+  bool TimedOut() const { return timed_out_; }
+
+ private:
+  bool FillBuffer();
+
+  int fd_;
+  int timeout_ms_;
+  std::string buffer_;
+  size_t pos_ = 0;
+  bool eof_ = false;
+  bool timed_out_ = false;
+};
+
+using HttpHeaders = std::vector<std::pair<std::string, std::string>>;
+
+/// Case-insensitive header lookup; nullptr when absent.
+const std::string* FindHeader(const HttpHeaders& headers,
+                              std::string_view name);
+
+struct HttpRequest {
+  std::string method;   // "GET", "POST"
+  std::string target;   // "/v1/compute"
+  std::string version;  // "HTTP/1.1"
+  HttpHeaders headers;
+  std::string body;
+};
+
+struct HttpResponse {
+  int status = 0;
+  std::string reason;
+  HttpHeaders headers;
+  std::string body;  // Filled by ReadHttpResponse; empty for chunked heads.
+};
+
+enum class HttpReadResult {
+  kOk,
+  kClosed,     ///< Clean EOF before the first byte of a message.
+  kTimeout,    ///< The read timeout elapsed mid-message (or before one).
+  kTooLarge,   ///< Declared or actual body beyond the caller's cap.
+  kMalformed,  ///< Anything else that is not HTTP.
+};
+
+/// Reads one full request (head + Content-Length body; chunked requests are
+/// kMalformed — the protocol never sends them). `max_body` caps the body.
+HttpReadResult ReadHttpRequest(SocketReader* reader, size_t max_body,
+                               HttpRequest* out);
+
+/// Reads a status line + headers, then the body: Content-Length bodies are
+/// read fully into out->body; a chunked body is left UNREAD (the caller
+/// streams it with ReadChunk) and `*chunked` is set.
+HttpReadResult ReadHttpResponse(SocketReader* reader, size_t max_body,
+                                HttpResponse* out, bool* chunked);
+
+/// One chunk of a chunked body into *chunk (empty + true on the terminal
+/// 0-chunk, after consuming the trailing CRLF). False on malformed input.
+bool ReadChunk(SocketReader* reader, size_t max_chunk, std::string* chunk,
+               bool* done);
+
+/// Serialized message head + body writers.
+std::string SerializeRequest(const HttpRequest& request);
+/// `extra_headers` land verbatim after the defaults. With content_length
+/// (>= 0) the body is framed by Content-Length; the caller sends the body.
+std::string SerializeResponseHead(int status, std::string_view content_type,
+                                  long content_length, bool keep_alive,
+                                  const HttpHeaders& extra_headers = {});
+/// One chunk frame (size line + payload + CRLF); empty payload = terminal.
+std::string ChunkFrame(std::string_view payload);
+
+/// Standard reason phrase ("OK", "Bad Request", ...; "Unknown" otherwise).
+const char* ReasonPhrase(int status);
+
+}  // namespace shapley::net
+
+#endif  // SHAPLEY_NET_HTTP_H_

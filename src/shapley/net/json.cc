@@ -1,0 +1,521 @@
+#include "shapley/net/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+namespace shapley::net {
+
+namespace {
+
+/// Shortest round-trip formatting via std::to_chars: re-parsing the text
+/// yields the identical double, and equal doubles always print alike —
+/// both halves of the codec's bit-identical contract.
+std::string DoubleToText(double value) {
+  if (!std::isfinite(value)) return "null";  // JSON has no NaN/Inf.
+  char buf[32];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  return std::string(buf, ptr);
+}
+
+}  // namespace
+
+Json Json::Bool(bool value) {
+  Json j;
+  j.kind_ = Kind::kBool;
+  j.bool_ = value;
+  return j;
+}
+
+Json Json::Number(double value) {
+  Json j;
+  j.kind_ = Kind::kNumber;
+  j.scalar_ = DoubleToText(value);
+  if (j.scalar_ == "null") j.kind_ = Kind::kNull;
+  return j;
+}
+
+Json Json::Number(int64_t value) {
+  Json j;
+  j.kind_ = Kind::kNumber;
+  j.scalar_ = std::to_string(value);
+  return j;
+}
+
+Json Json::Number(uint64_t value) {
+  Json j;
+  j.kind_ = Kind::kNumber;
+  j.scalar_ = std::to_string(value);
+  return j;
+}
+
+Json Json::NumberToken(std::string raw_literal) {
+  Json j;
+  j.kind_ = Kind::kNumber;
+  j.scalar_ = std::move(raw_literal);
+  return j;
+}
+
+Json Json::Str(std::string value) {
+  Json j;
+  j.kind_ = Kind::kString;
+  j.scalar_ = std::move(value);
+  return j;
+}
+
+Json Json::Arr(Array items) {
+  Json j;
+  j.kind_ = Kind::kArray;
+  j.array_ = std::move(items);
+  return j;
+}
+
+Json Json::Obj(Object members) {
+  Json j;
+  j.kind_ = Kind::kObject;
+  j.object_ = std::move(members);
+  return j;
+}
+
+std::optional<bool> Json::IfBool() const {
+  if (kind_ != Kind::kBool) return std::nullopt;
+  return bool_;
+}
+
+std::optional<double> Json::IfDouble() const {
+  if (kind_ != Kind::kNumber) return std::nullopt;
+  // from_chars, not strtod: strtod honors LC_NUMERIC, so a host process
+  // under a comma-decimal locale would silently read "0.05" as 0.
+  // from_chars is locale-independent and the exact inverse of the
+  // to_chars the writer uses, and accepts every RFC 8259 literal the
+  // parser admitted.
+  double value = 0.0;
+  auto [ptr, ec] = std::from_chars(scalar_.data(),
+                                   scalar_.data() + scalar_.size(), value);
+  if (ec == std::errc::result_out_of_range) {
+    // Representable-overflow literals clamp like strtod would (±HUGE_VAL
+    // keeps the sign); the codec's fields never legitimately get here.
+    return scalar_[0] == '-' ? -std::numeric_limits<double>::infinity()
+                             : std::numeric_limits<double>::infinity();
+  }
+  if (ec != std::errc() || ptr != scalar_.data() + scalar_.size()) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+std::optional<int64_t> Json::IfInt64() const {
+  if (kind_ != Kind::kNumber) return std::nullopt;
+  int64_t value = 0;
+  auto [ptr, ec] = std::from_chars(scalar_.data(),
+                                   scalar_.data() + scalar_.size(), value);
+  if (ec != std::errc() || ptr != scalar_.data() + scalar_.size()) {
+    return std::nullopt;  // Fractional, exponent form, or out of range.
+  }
+  return value;
+}
+
+std::optional<uint64_t> Json::IfUint64() const {
+  if (kind_ != Kind::kNumber) return std::nullopt;
+  uint64_t value = 0;
+  auto [ptr, ec] = std::from_chars(scalar_.data(),
+                                   scalar_.data() + scalar_.size(), value);
+  if (ec != std::errc() || ptr != scalar_.data() + scalar_.size()) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+const std::string* Json::IfString() const {
+  return kind_ == Kind::kString ? &scalar_ : nullptr;
+}
+
+const Json::Array* Json::IfArray() const {
+  return kind_ == Kind::kArray ? &array_ : nullptr;
+}
+
+const Json::Object* Json::IfObject() const {
+  return kind_ == Kind::kObject ? &object_ : nullptr;
+}
+
+const Json* Json::Find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : object_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+Json& Json::Set(std::string key, Json value) {
+  kind_ = Kind::kObject;
+  object_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+Json& Json::Push(Json value) {
+  kind_ = Kind::kArray;
+  array_.push_back(std::move(value));
+  return *this;
+}
+
+// ----------------------------------------------------------------- writer --
+
+namespace {
+
+void EscapeInto(const std::string& text, std::string* out) {
+  out->push_back('"');
+  for (char ch : text) {
+    switch (ch) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          *out += buf;
+        } else {
+          out->push_back(ch);  // UTF-8 passes through untouched.
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+void Json::DumpTo(std::string* out) const {
+  switch (kind_) {
+    case Kind::kNull:
+      *out += "null";
+      break;
+    case Kind::kBool:
+      *out += bool_ ? "true" : "false";
+      break;
+    case Kind::kNumber:
+      *out += scalar_;
+      break;
+    case Kind::kString:
+      EscapeInto(scalar_, out);
+      break;
+    case Kind::kArray:
+      out->push_back('[');
+      for (size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        array_[i].DumpTo(out);
+      }
+      out->push_back(']');
+      break;
+    case Kind::kObject:
+      out->push_back('{');
+      for (size_t i = 0; i < object_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        EscapeInto(object_[i].first, out);
+        out->push_back(':');
+        object_[i].second.DumpTo(out);
+      }
+      out->push_back('}');
+      break;
+  }
+}
+
+std::string Json::Dump() const {
+  std::string out;
+  DumpTo(&out);
+  return out;
+}
+
+// ----------------------------------------------------------------- parser --
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<Json> Run(std::string* error) {
+    std::optional<Json> value = ParseValue(0);
+    if (!value.has_value()) {
+      if (error != nullptr) *error = error_;
+      return std::nullopt;
+    }
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      if (error != nullptr) {
+        *error = At("trailing characters after the document");
+      }
+      return std::nullopt;
+    }
+    return value;
+  }
+
+ private:
+  std::string At(const std::string& reason) const {
+    return "byte " + std::to_string(pos_) + ": " + reason;
+  }
+
+  std::optional<Json> Fail(const std::string& reason) {
+    if (error_.empty()) error_ = At(reason);
+    return std::nullopt;
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char ch) {
+    if (pos_ < text_.size() && text_[pos_] == ch) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<Json> ParseValue(size_t depth) {
+    if (depth > Json::kMaxDepth) return Fail("nesting too deep");
+    SkipSpace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    const char ch = text_[pos_];
+    if (ch == '{') return ParseObject(depth);
+    if (ch == '[') return ParseArray(depth);
+    if (ch == '"') {
+      std::optional<std::string> s = ParseString();
+      if (!s.has_value()) return std::nullopt;
+      return Json::Str(std::move(*s));
+    }
+    if (ConsumeWord("true")) return Json::Bool(true);
+    if (ConsumeWord("false")) return Json::Bool(false);
+    if (ConsumeWord("null")) return Json::Null();
+    return ParseNumber();
+  }
+
+  std::optional<Json> ParseObject(size_t depth) {
+    Consume('{');
+    Json::Object members;
+    SkipSpace();
+    if (Consume('}')) return Json::Obj(std::move(members));
+    while (true) {
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Fail("expected a string key");
+      }
+      std::optional<std::string> key = ParseString();
+      if (!key.has_value()) return std::nullopt;
+      for (const auto& [name, unused] : members) {
+        if (name == *key) return Fail("duplicate key \"" + *key + "\"");
+      }
+      SkipSpace();
+      if (!Consume(':')) return Fail("expected ':' after key");
+      std::optional<Json> value = ParseValue(depth + 1);
+      if (!value.has_value()) return std::nullopt;
+      members.emplace_back(std::move(*key), std::move(*value));
+      SkipSpace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return Json::Obj(std::move(members));
+      return Fail("expected ',' or '}' in object");
+    }
+  }
+
+  std::optional<Json> ParseArray(size_t depth) {
+    Consume('[');
+    Json::Array items;
+    SkipSpace();
+    if (Consume(']')) return Json::Arr(std::move(items));
+    while (true) {
+      std::optional<Json> value = ParseValue(depth + 1);
+      if (!value.has_value()) return std::nullopt;
+      items.push_back(std::move(*value));
+      SkipSpace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return Json::Arr(std::move(items));
+      return Fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::optional<std::string> ParseString() {
+    Consume('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) {
+        Fail("unterminated string");
+        return std::nullopt;
+      }
+      const unsigned char ch = text_[pos_++];
+      if (ch == '"') return out;
+      if (ch < 0x20) {
+        Fail("raw control character in string");
+        return std::nullopt;
+      }
+      if (ch != '\\') {
+        out.push_back(static_cast<char>(ch));
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        Fail("dangling escape");
+        return std::nullopt;
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          out.push_back(esc);
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          std::optional<uint32_t> cp = ParseHex4();
+          if (!cp.has_value()) return std::nullopt;
+          // Surrogate pair → one code point.
+          if (*cp >= 0xD800 && *cp <= 0xDBFF) {
+            if (!ConsumeWord("\\u")) {
+              Fail("lone high surrogate");
+              return std::nullopt;
+            }
+            std::optional<uint32_t> low = ParseHex4();
+            if (!low.has_value()) return std::nullopt;
+            if (*low < 0xDC00 || *low > 0xDFFF) {
+              Fail("invalid low surrogate");
+              return std::nullopt;
+            }
+            *cp = 0x10000 + ((*cp - 0xD800) << 10) + (*low - 0xDC00);
+          } else if (*cp >= 0xDC00 && *cp <= 0xDFFF) {
+            Fail("lone low surrogate");
+            return std::nullopt;
+          }
+          AppendUtf8(*cp, &out);
+          break;
+        }
+        default:
+          Fail("unknown escape");
+          return std::nullopt;
+      }
+    }
+  }
+
+  std::optional<uint32_t> ParseHex4() {
+    if (pos_ + 4 > text_.size()) {
+      Fail("truncated \\u escape");
+      return std::nullopt;
+    }
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char ch = text_[pos_++];
+      value <<= 4;
+      if (ch >= '0' && ch <= '9') {
+        value |= static_cast<uint32_t>(ch - '0');
+      } else if (ch >= 'a' && ch <= 'f') {
+        value |= static_cast<uint32_t>(ch - 'a' + 10);
+      } else if (ch >= 'A' && ch <= 'F') {
+        value |= static_cast<uint32_t>(ch - 'A' + 10);
+      } else {
+        Fail("non-hex digit in \\u escape");
+        return std::nullopt;
+      }
+    }
+    return value;
+  }
+
+  static void AppendUtf8(uint32_t cp, std::string* out) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  std::optional<Json> ParseNumber() {
+    // RFC 8259 grammar: -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?
+    // Validated here, then stored as the RAW slice — what Dump() re-emits.
+    const size_t start = pos_;
+    Consume('-');
+    if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      return Fail("expected a value");
+    }
+    if (text_[pos_] == '0') {
+      ++pos_;
+    } else {
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    if (Consume('.')) {
+      if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return Fail("expected digits after decimal point");
+      }
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return Fail("expected exponent digits");
+      }
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    return Json::NumberToken(std::string(text_.substr(start, pos_ - start)));
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+std::optional<Json> Json::Parse(std::string_view text, std::string* error) {
+  Parser parser(text);
+  return parser.Run(error);
+}
+
+}  // namespace shapley::net

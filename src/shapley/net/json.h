@@ -1,0 +1,100 @@
+#ifndef SHAPLEY_NET_JSON_H_
+#define SHAPLEY_NET_JSON_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace shapley::net {
+
+/// A small self-contained JSON value — parser and writer in one type, no
+/// external dependency (the same precedent as the self-contained SplitMix64
+/// of approx/rng.h: the wire protocol must not pull a library the container
+/// may not have).
+///
+/// Design points that matter to the wire protocol:
+///  - numbers are stored as their RAW TOKEN TEXT. Writing a uint64 seed or
+///    a shortest-round-trip double re-emits exactly the characters that
+///    were parsed (or that ToChars produced), so encode→decode→encode is
+///    bit-identical — the codec tests pin that down;
+///  - objects are ordered (insertion order preserved, emitted verbatim), so
+///    an encoding is canonical: one SvcRequest has exactly one wire form;
+///  - parsing is strict RFC 8259 (no trailing commas, no comments, no bare
+///    NaN/Infinity) with a nesting-depth cap, so malformed or adversarial
+///    input fails with a position-tagged error instead of crashing or
+///    recursing the stack away.
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Array = std::vector<Json>;
+  /// Ordered members; duplicate keys are a parse error.
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  /// Maximum array/object nesting the parser accepts ("[[[[..." must fail
+  /// cleanly, not overflow the stack).
+  static constexpr size_t kMaxDepth = 64;
+
+  Json() = default;  ///< null
+
+  static Json Null() { return Json(); }
+  static Json Bool(bool value);
+  static Json Number(double value);    ///< Shortest round-trip form.
+  static Json Number(int64_t value);
+  static Json Number(uint64_t value);
+  /// A number from its raw literal, emitted verbatim by Dump(). The caller
+  /// owns validity (the parser passes only grammar-checked slices here).
+  static Json NumberToken(std::string raw_literal);
+  static Json Str(std::string value);
+  static Json Arr(Array items = {});
+  static Json Obj(Object members = {});
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+
+  /// Typed views; nullopt / nullptr when the kind (or numeric range) does
+  /// not match — decoders turn that into structured errors, never a crash.
+  std::optional<bool> IfBool() const;
+  std::optional<double> IfDouble() const;
+  std::optional<int64_t> IfInt64() const;
+  std::optional<uint64_t> IfUint64() const;
+  const std::string* IfString() const;
+  const Array* IfArray() const;
+  const Object* IfObject() const;
+
+  /// Object member lookup (first match); null when absent or not an object.
+  const Json* Find(std::string_view key) const;
+
+  /// Builder conveniences (no-ops on the wrong kind are bugs; they assert
+  /// via the kind checks in debug use — keep construction well-typed).
+  Json& Set(std::string key, Json value);  ///< Appends to an object.
+  Json& Push(Json value);                  ///< Appends to an array.
+
+  /// Compact canonical serialization: `{"a":1,"b":[true,null]}` — no
+  /// whitespace, members in insertion order, numbers verbatim.
+  std::string Dump() const;
+
+  /// Strict parse of exactly one JSON document (trailing non-whitespace is
+  /// an error). On failure returns nullopt and, when `error` is non-null,
+  /// a one-line "byte N: reason" message.
+  static std::optional<Json> Parse(std::string_view text,
+                                   std::string* error = nullptr);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  /// kNumber: the raw literal; kString: the decoded text.
+  std::string scalar_;
+  Array array_;
+  Object object_;
+
+  void DumpTo(std::string* out) const;
+};
+
+}  // namespace shapley::net
+
+#endif  // SHAPLEY_NET_JSON_H_

@@ -1,0 +1,436 @@
+#include "shapley/net/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <chrono>
+#include <future>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "shapley/net/codec.h"
+#include "shapley/net/json.h"
+
+namespace shapley::net {
+
+namespace {
+
+/// A response for failures raised by the HTTP layer itself (no service
+/// round-trip happened): same wire shape as every other error, so clients
+/// have exactly one error format to handle.
+std::string FrontEndErrorBody(SvcErrorCode code, std::string message) {
+  SvcResponse response;
+  response.error = SvcError{code, std::move(message), ""};
+  // No schema is needed: a front-end error has no facts to render.
+  auto schema = Schema::Create();
+  return EncodeResponse(response, *schema).Dump();
+}
+
+}  // namespace
+
+HttpServer::HttpServer(ShapleyService* service, ServerOptions options)
+    : service_(service), options_(std::move(options)) {}
+
+HttpServer::~HttpServer() { Stop(); }
+
+void HttpServer::Start() {
+  std::string error;
+  listener_ = ListenTcp(options_.host, options_.port, /*backlog=*/128, &port_,
+                        &error);
+  if (!listener_.valid()) {
+    throw std::runtime_error("HttpServer: " + error);
+  }
+  running_.store(true);
+  stopping_.store(false);
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+}
+
+void HttpServer::Stop() {
+  if (!running_.exchange(false)) return;
+  stopping_.store(true);
+  if (acceptor_.joinable()) acceptor_.join();
+  listener_.Close();
+  // Drain: a connection mid-request finishes it and writes the response
+  // (shutdown below only closes the READ side); an IDLE keep-alive
+  // connection is parked in poll() waiting for its next request and would
+  // otherwise hold the join until its read timeout — SHUT_RD turns that
+  // wait into an immediate EOF.
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    for (const auto& [id, fd] : conn_fds_) ::shutdown(fd, SHUT_RD);
+    for (auto& [id, thread] : conn_threads_) threads.push_back(std::move(thread));
+    conn_threads_.clear();
+    finished_conns_.clear();
+  }
+  for (std::thread& thread : threads) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+void HttpServer::ReapFinished() {
+  std::vector<std::thread> done;
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    for (uint64_t id : finished_conns_) {
+      auto it = conn_threads_.find(id);
+      if (it != conn_threads_.end()) {
+        done.push_back(std::move(it->second));
+        conn_threads_.erase(it);
+      }
+    }
+    finished_conns_.clear();
+  }
+  for (std::thread& thread : done) {
+    if (thread.joinable()) thread.join();  // Near-instant: it already exited.
+  }
+}
+
+void HttpServer::AcceptLoop() {
+  while (!stopping_.load()) {
+    // Finished connections are joined here, between accepts, so the
+    // registry holds live threads only — a long-lived server serving
+    // millions of connections stays at O(live) thread handles.
+    ReapFinished();
+    // Poll with a short timeout instead of blocking accept(): Stop() only
+    // has to flip the flag, no cross-thread socket shutdown subtleties.
+    pollfd pfd{listener_.fd(), POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, 200);
+    if (rc <= 0) continue;
+    const int fd = ::accept(listener_.fd(), nullptr, nullptr);
+    if (fd < 0) continue;
+    Socket socket(fd);
+    if (stopping_.load()) break;  // Arrived in the closing window.
+    if (live_connections_.load() >= options_.max_connections) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      const std::string body = FrontEndErrorBody(
+          SvcErrorCode::kCapacityExceeded,
+          "server at its connection limit (" +
+              std::to_string(options_.max_connections) + ") — retry");
+      socket.SendAll(SerializeResponseHead(503, "application/json",
+                                           static_cast<long>(body.size()),
+                                           /*keep_alive=*/false) +
+                     body);
+      continue;
+    }
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    live_connections_.fetch_add(1);
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    const uint64_t id = next_conn_id_++;
+    conn_fds_[id] = socket.fd();
+    conn_threads_[id] = std::thread(
+        [this, id, s = std::move(socket)]() mutable {
+          RunConnection(id, std::move(s));
+        });
+  }
+}
+
+void HttpServer::RunConnection(uint64_t id, Socket socket) {
+  ConnectionLoop(&socket);
+  {
+    // Deregister the fd BEFORE the Socket destructor closes it: Stop()
+    // shutdowns only fds still in the registry, so it can never touch a
+    // descriptor number the kernel has already handed to someone else.
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    conn_fds_.erase(id);
+    finished_conns_.push_back(id);
+  }
+  live_connections_.fetch_sub(1);
+}
+
+void HttpServer::ConnectionLoop(Socket* socket_ptr) {
+  Socket& socket = *socket_ptr;
+  SocketReader reader(socket.fd(), options_.read_timeout_ms);
+  while (true) {
+    HttpRequest request;
+    const HttpReadResult result =
+        ReadHttpRequest(&reader, options_.max_body_bytes, &request);
+    if (result == HttpReadResult::kClosed) break;
+    if (result == HttpReadResult::kTimeout) {
+      // Idle keep-alive connections just close; a timeout mid-message gets
+      // the 408 courtesy first.
+      break;
+    }
+    if (result == HttpReadResult::kTooLarge) {
+      // capacity-exceeded, matching the 413 transport status and the
+      // README table ("body over the server limit").
+      const std::string body = FrontEndErrorBody(
+          SvcErrorCode::kCapacityExceeded,
+          "request body exceeds the server limit of " +
+              std::to_string(options_.max_body_bytes) + " bytes");
+      socket.SendAll(SerializeResponseHead(413, "application/json",
+                                           static_cast<long>(body.size()),
+                                           /*keep_alive=*/false) +
+                     body);
+      break;
+    }
+    if (result == HttpReadResult::kMalformed) {
+      const std::string body = FrontEndErrorBody(SvcErrorCode::kInvalidRequest,
+                                                 "malformed HTTP request");
+      socket.SendAll(SerializeResponseHead(400, "application/json",
+                                           static_cast<long>(body.size()),
+                                           /*keep_alive=*/false) +
+                     body);
+      break;
+    }
+
+    // The drain contract: a request READ before Stop() is served and its
+    // response written; the connection then closes instead of looping.
+    const bool draining = stopping_.load();
+    const std::string* connection =
+        FindHeader(request.headers, "Connection");
+    const bool client_wants_close =
+        connection != nullptr && (*connection == "close" ||
+                                  *connection == "Close");
+    const bool keep_alive = !draining && !client_wants_close &&
+                            request.version == "HTTP/1.1";
+
+    // Counted BEFORE the response is written: a client that has read its
+    // response (and then asks /v1/stats, or a test that asserts counters)
+    // must already see this request in the tally.
+    served_.fetch_add(1, std::memory_order_relaxed);
+    if (!HandleRequest(&socket, request, keep_alive)) break;
+    if (!keep_alive) break;
+  }
+}
+
+bool HttpServer::HandleRequest(Socket* socket, const HttpRequest& request,
+                               bool keep_alive) {
+  if (request.target == "/v1/compute") {
+    if (request.method != "POST") {
+      return WriteJson(socket, 405,
+                       FrontEndErrorBody(SvcErrorCode::kInvalidRequest,
+                                         "use POST on /v1/compute"),
+                       keep_alive);
+    }
+    return HandleCompute(socket, request, keep_alive);
+  }
+  if (request.target == "/v1/batch") {
+    if (request.method != "POST") {
+      return WriteJson(socket, 405,
+                       FrontEndErrorBody(SvcErrorCode::kInvalidRequest,
+                                         "use POST on /v1/batch"),
+                       keep_alive);
+    }
+    return HandleBatch(socket, request, keep_alive);
+  }
+  if (request.target == "/v1/engines") {
+    if (request.method != "GET") {
+      return WriteJson(socket, 405,
+                       FrontEndErrorBody(SvcErrorCode::kInvalidRequest,
+                                         "use GET on /v1/engines"),
+                       keep_alive);
+    }
+    return HandleEngines(socket, keep_alive);
+  }
+  if (request.target == "/v1/stats") {
+    if (request.method != "GET") {
+      return WriteJson(socket, 405,
+                       FrontEndErrorBody(SvcErrorCode::kInvalidRequest,
+                                         "use GET on /v1/stats"),
+                       keep_alive);
+    }
+    return HandleStats(socket, keep_alive);
+  }
+  return WriteJson(socket, 404,
+                   FrontEndErrorBody(SvcErrorCode::kInvalidRequest,
+                                     "unknown endpoint " + request.target),
+                   keep_alive);
+}
+
+bool HttpServer::HandleCompute(Socket* socket, const HttpRequest& request,
+                               bool keep_alive) {
+  std::string parse_error;
+  std::optional<Json> json = Json::Parse(request.body, &parse_error);
+  if (!json.has_value()) {
+    return WriteJson(socket, 400,
+                     FrontEndErrorBody(SvcErrorCode::kInvalidRequest,
+                                       "bad JSON: " + parse_error),
+                     keep_alive);
+  }
+  DecodedRequest decoded;
+  if (std::optional<SvcError> error = DecodeRequest(*json, &decoded)) {
+    SvcResponse response;
+    response.error = std::move(error);
+    auto schema = Schema::Create();
+    return WriteJson(socket, HttpStatusFor(response.error->code),
+                     EncodeResponse(response, *schema).Dump(), keep_alive);
+  }
+  // Blocking Compute on the connection thread: the service's pool does the
+  // fan-out; this thread is exactly the client's wait.
+  SvcResponse response = service_->Compute(std::move(decoded.request));
+  const int status =
+      response.ok() ? 200 : HttpStatusFor(response.error->code);
+  return WriteJson(socket, status,
+                   EncodeResponse(response, *decoded.schema).Dump(),
+                   keep_alive);
+}
+
+bool HttpServer::HandleBatch(Socket* socket, const HttpRequest& request,
+                             bool keep_alive) {
+  std::string parse_error;
+  std::optional<Json> json = Json::Parse(request.body, &parse_error);
+  if (!json.has_value()) {
+    return WriteJson(socket, 400,
+                     FrontEndErrorBody(SvcErrorCode::kInvalidRequest,
+                                       "bad JSON: " + parse_error),
+                     keep_alive);
+  }
+  const Json* requests = json->Find("requests");
+  const Json::Array* items =
+      requests != nullptr ? requests->IfArray() : nullptr;
+  if (items == nullptr) {
+    return WriteJson(socket, 400,
+                     FrontEndErrorBody(
+                         SvcErrorCode::kInvalidRequest,
+                         "batch: expected {\"requests\": [...]}"),
+                     keep_alive);
+  }
+
+  // Decode everything first; per-request decode failures become tagged
+  // error lines in the stream (one bad request must not sink its batch).
+  struct Slot {
+    std::shared_ptr<Schema> schema;
+    std::future<SvcResponse> future;
+    std::optional<SvcResponse> immediate;  // Decode failures.
+    bool streamed = false;
+  };
+  std::vector<Slot> slots(items->size());
+  for (size_t i = 0; i < items->size(); ++i) {
+    DecodedRequest decoded;
+    if (std::optional<SvcError> error = DecodeRequest((*items)[i], &decoded)) {
+      SvcResponse response;
+      response.error = std::move(error);
+      slots[i].schema = Schema::Create();
+      slots[i].immediate = std::move(response);
+    } else {
+      slots[i].schema = decoded.schema;
+      slots[i].future = service_->Submit(std::move(decoded.request));
+    }
+  }
+
+  // Stream in COMPLETION order: chunked ndjson, each line tagged "id".
+  if (!socket->SendAll(SerializeResponseHead(
+          200, "application/x-ndjson", /*content_length=*/-1, keep_alive))) {
+    return false;
+  }
+  auto stream_one = [&](size_t i, const SvcResponse& response) {
+    Json line = EncodeResponse(response, *slots[i].schema);
+    // The id leads the object so a human tailing the stream sees it first.
+    Json tagged;
+    tagged.Set("id", Json::Number(uint64_t{i}));
+    for (auto& [key, value] : *line.IfObject()) {
+      tagged.Set(key, value);
+    }
+    return socket->SendAll(ChunkFrame(tagged.Dump() + "\n"));
+  };
+
+  size_t remaining = slots.size();
+  for (size_t i = 0; i < slots.size(); ++i) {
+    if (slots[i].immediate.has_value()) {
+      if (!stream_one(i, *slots[i].immediate)) return false;
+      slots[i].streamed = true;
+      --remaining;
+    }
+  }
+  while (remaining > 0) {
+    bool progressed = false;
+    for (size_t i = 0; i < slots.size(); ++i) {
+      if (slots[i].streamed) continue;
+      if (slots[i].future.wait_for(std::chrono::milliseconds(0)) ==
+          std::future_status::ready) {
+        const SvcResponse response = slots[i].future.get();
+        if (!stream_one(i, response)) return false;
+        slots[i].streamed = true;
+        --remaining;
+        progressed = true;
+      }
+    }
+    if (!progressed && remaining > 0) {
+      // Nothing ready: block on the first outstanding future instead of
+      // spinning. 25 ms keeps completion-order latency invisible while a
+      // minutes-long instance costs ~40 wake-ups/s, not ~500.
+      for (size_t i = 0; i < slots.size(); ++i) {
+        if (!slots[i].streamed) {
+          slots[i].future.wait_for(std::chrono::milliseconds(25));
+          break;
+        }
+      }
+    }
+  }
+  return socket->SendAll(ChunkFrame(""));  // Terminal chunk.
+}
+
+bool HttpServer::HandleEngines(Socket* socket, bool keep_alive) {
+  Json engines = Json::Arr();
+  const EngineRegistry& registry = service_->registry();
+  for (const std::string& name : registry.Names()) {
+    const EngineRegistry::Entry* entry = registry.Find(name);
+    Json engine;
+    engine.Set("name", Json::Str(entry->name));
+    engine.Set("description", Json::Str(entry->description));
+    Json caps;
+    caps.Set("all_query_classes", Json::Bool(entry->caps.all_query_classes));
+    caps.Set("monotone_only", Json::Bool(entry->caps.monotone_only));
+    caps.Set("hierarchical_sjf_cq_only",
+             Json::Bool(entry->caps.hierarchical_sjf_cq_only));
+    caps.Set("approximate", Json::Bool(entry->caps.approximate));
+    if (entry->caps.max_endogenous != std::numeric_limits<size_t>::max()) {
+      caps.Set("max_endogenous",
+               Json::Number(uint64_t{entry->caps.max_endogenous}));
+    }
+    if (!entry->caps.error_model.empty()) {
+      caps.Set("error_model", Json::Str(entry->caps.error_model));
+    }
+    engine.Set("caps", std::move(caps));
+    engines.Push(std::move(engine));
+  }
+  Json body;
+  body.Set("engines", std::move(engines));
+  return WriteJson(socket, 200, body.Dump(), keep_alive);
+}
+
+bool HttpServer::HandleStats(Socket* socket, bool keep_alive) {
+  const ServiceStats stats = service_->Stats();
+  Json service;
+  service.Set("requests_submitted",
+              Json::Number(uint64_t{stats.requests_submitted}));
+  service.Set("requests_completed",
+              Json::Number(uint64_t{stats.requests_completed}));
+  service.Set("requests_failed",
+              Json::Number(uint64_t{stats.requests_failed}));
+  service.Set("verdict_cache_hits",
+              Json::Number(uint64_t{stats.verdict_cache_hits}));
+  service.Set("verdict_cache_misses",
+              Json::Number(uint64_t{stats.verdict_cache_misses}));
+  service.Set("pool_threads", Json::Number(uint64_t{stats.pool_threads}));
+  service.Set("pool_tasks_executed",
+              Json::Number(uint64_t{stats.pool_tasks_executed}));
+  service.Set("cache_entries", Json::Number(uint64_t{stats.cache_entries}));
+  service.Set("cache_bytes", Json::Number(uint64_t{stats.cache_bytes}));
+  service.Set("cache_hits", Json::Number(uint64_t{stats.cache_hits}));
+  service.Set("cache_misses", Json::Number(uint64_t{stats.cache_misses}));
+  service.Set("cache_evictions",
+              Json::Number(uint64_t{stats.cache_evictions}));
+  Json server;
+  server.Set("connections_accepted", Json::Number(uint64_t{accepted_.load()}));
+  server.Set("connections_rejected", Json::Number(uint64_t{rejected_.load()}));
+  server.Set("connections_live",
+             Json::Number(uint64_t{live_connections_.load()}));
+  server.Set("requests_served", Json::Number(uint64_t{served_.load()}));
+  Json body;
+  body.Set("service", std::move(service));
+  body.Set("server", std::move(server));
+  return WriteJson(socket, 200, body.Dump(), keep_alive);
+}
+
+bool HttpServer::WriteJson(Socket* socket, int status, const std::string& body,
+                           bool keep_alive) {
+  return socket->SendAll(
+      SerializeResponseHead(status, "application/json",
+                            static_cast<long>(body.size()), keep_alive) +
+      body);
+}
+
+}  // namespace shapley::net

@@ -1,0 +1,131 @@
+#ifndef SHAPLEY_NET_SERVER_H_
+#define SHAPLEY_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "shapley/net/http.h"
+#include "shapley/service/shapley_service.h"
+
+namespace shapley::net {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 = ephemeral: the OS picks; read the result from HttpServer::port().
+  uint16_t port = 0;
+  /// Concurrent connections beyond this are answered 503 and closed —
+  /// back-pressure at the door instead of unbounded thread growth.
+  size_t max_connections = 64;
+  /// Request bodies beyond this are refused 413 without being read in.
+  size_t max_body_bytes = 8 * 1024 * 1024;
+  /// Idle-read timeout per request on a keep-alive connection; an idle
+  /// connection past it is closed (408 if mid-message).
+  int read_timeout_ms = 10'000;
+};
+
+/// The TCP/HTTP front of a ShapleyService — the piece that turns the
+/// in-process serving layer (exact engines, dichotomy routing, the (ε, δ)
+/// sampling subsystem, caches, deadlines) into an actual network service.
+///
+/// Endpoints (wire formats in net/codec.h):
+///   POST /v1/compute  one SvcRequest JSON → one SvcResponse JSON; the
+///                     HTTP status is 200 on success, else the mapped
+///                     SvcError status (HttpStatusFor)
+///   POST /v1/batch    {"requests": [r0, r1, ...]} → chunked
+///                     application/x-ndjson: one response line per
+///                     request IN COMPLETION ORDER, each tagged with its
+///                     zero-based "id" — a slow exact instance never
+///                     head-of-line-blocks a fast one behind it
+///   GET  /v1/engines  the registry: names, descriptions, capabilities
+///   GET  /v1/stats    ServiceStats snapshot (+ server connection counters)
+///
+/// Execution model: one acceptor thread plus one thread per live
+/// connection (bounded by max_connections; the service's own pool does the
+/// actual computing, so connection threads are thin I/O loops that block
+/// on futures). Connections are keep-alive by default.
+///
+/// Shutdown discipline: Stop() closes the door (no new connections), asks
+/// every connection loop to finish THE REQUEST IT IS SERVING, streams
+/// those responses out, and joins — in-flight work is drained, never
+/// dropped. Requests arriving after Stop() get "Connection: close".
+class HttpServer {
+ public:
+  /// `service` outlives the server; not owned.
+  HttpServer(ShapleyService* service, ServerOptions options = {});
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds, listens and spawns the acceptor. Throws std::runtime_error
+  /// when the address cannot be bound.
+  void Start();
+
+  /// Graceful drain (see above). Idempotent; also run by the destructor.
+  void Stop();
+
+  bool running() const { return running_.load(); }
+  /// The bound port (after Start(); ephemeral requests resolve here).
+  uint16_t port() const { return port_; }
+  const std::string& host() const { return options_.host; }
+
+  size_t connections_accepted() const { return accepted_.load(); }
+  size_t connections_rejected() const { return rejected_.load(); }
+  size_t requests_served() const { return served_.load(); }
+
+ private:
+  void AcceptLoop();
+  /// Thread body: runs the connection loop, then registers itself as
+  /// finished (reaped by the acceptor, or by Stop()).
+  void RunConnection(uint64_t id, Socket socket);
+  void ConnectionLoop(Socket* socket);
+  /// Joins every finished connection thread (near-instant joins).
+  void ReapFinished();
+
+  /// One request → one response write. False ends the connection.
+  bool HandleRequest(Socket* socket, const HttpRequest& request,
+                     bool keep_alive);
+  bool HandleCompute(Socket* socket, const HttpRequest& request,
+                     bool keep_alive);
+  bool HandleBatch(Socket* socket, const HttpRequest& request,
+                   bool keep_alive);
+  bool HandleEngines(Socket* socket, bool keep_alive);
+  bool HandleStats(Socket* socket, bool keep_alive);
+  bool WriteJson(Socket* socket, int status, const std::string& body,
+                 bool keep_alive);
+
+  ShapleyService* service_;
+  const ServerOptions options_;
+  Socket listener_;
+  uint16_t port_ = 0;
+  std::thread acceptor_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<size_t> live_connections_{0};
+  std::atomic<size_t> accepted_{0};
+  std::atomic<size_t> rejected_{0};
+  std::atomic<size_t> served_{0};
+
+  /// Connection registry. Threads are REAPED as connections finish (the
+  /// acceptor joins them between accepts), so a long-lived server does
+  /// not accumulate one zombie thread handle per connection ever served.
+  /// conn_fds_ tracks each live connection's socket so Stop() can
+  /// shutdown(SHUT_RD) it — which unblocks an idle keep-alive read
+  /// immediately while still letting the in-flight response write out.
+  /// Ordering discipline: a connection removes its fd from the registry
+  /// BEFORE closing it, so Stop() never shutdowns a reused descriptor.
+  std::mutex conns_mutex_;
+  uint64_t next_conn_id_ = 0;
+  std::map<uint64_t, std::thread> conn_threads_;
+  std::map<uint64_t, int> conn_fds_;
+  std::vector<uint64_t> finished_conns_;
+};
+
+}  // namespace shapley::net
+
+#endif  // SHAPLEY_NET_SERVER_H_

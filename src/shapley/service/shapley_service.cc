@@ -82,6 +82,25 @@ ShapleyService::~ShapleyService() {
 
 void ShapleyService::Shutdown() { shutting_down_.store(true); }
 
+ServiceStats ShapleyService::Stats() const {
+  ServiceStats stats;
+  stats.requests_submitted = submitted_.load(std::memory_order_relaxed);
+  stats.requests_completed = completed_.load(std::memory_order_relaxed);
+  stats.requests_failed = failed_.load(std::memory_order_relaxed);
+  stats.verdict_cache_hits = verdict_cache_.hits();
+  stats.verdict_cache_misses = verdict_cache_.misses();
+  stats.pool_threads = pool_->num_threads();
+  stats.pool_tasks_executed = pool_->tasks_executed();
+  if (cache_ != nullptr) {
+    stats.cache_entries = cache_->size();
+    stats.cache_bytes = cache_->bytes_used();
+    stats.cache_hits = cache_->hits();
+    stats.cache_misses = cache_->misses();
+    stats.cache_evictions = cache_->evictions();
+  }
+  return stats;
+}
+
 std::future<SvcResponse> ShapleyService::Submit(SvcRequest request) {
   const Clock::time_point submitted = Clock::now();
   submitted_.fetch_add(1, std::memory_order_relaxed);

@@ -45,6 +45,28 @@ struct ServiceOptions {
   size_t verdict_cache_entries = 1024;
 };
 
+/// One coherent snapshot of a service's counters — what a monitoring
+/// endpoint (net/server.h's GET /v1/stats) or an operator wants in a
+/// single read: request flow, verdict-cache effectiveness, pool size and
+/// shared-cache occupancy. Counters are sampled individually (each is
+/// atomic; the snapshot is not a transaction across them), which is the
+/// right fidelity for monitoring.
+struct ServiceStats {
+  size_t requests_submitted = 0;
+  size_t requests_completed = 0;
+  size_t requests_failed = 0;
+  size_t verdict_cache_hits = 0;
+  size_t verdict_cache_misses = 0;
+  size_t pool_threads = 0;
+  size_t pool_tasks_executed = 0;
+  /// Shared OracleCache occupancy/traffic; all zero when caching is off.
+  size_t cache_entries = 0;
+  size_t cache_bytes = 0;
+  size_t cache_hits = 0;
+  size_t cache_misses = 0;
+  size_t cache_evictions = 0;
+};
+
 /// The serving front-end of the library — the paper's dichotomy turned
 /// into a routing policy.
 ///
@@ -113,6 +135,10 @@ class ShapleyService {
   /// Requests whose classification was served from the verdict cache.
   size_t verdict_cache_hits() const { return verdict_cache_.hits(); }
   size_t verdict_cache_misses() const { return verdict_cache_.misses(); }
+
+  /// One-call counter snapshot (see ServiceStats) — the source of the
+  /// network front's /v1/stats endpoint.
+  ServiceStats Stats() const;
 
  private:
   SvcResponse Execute(const SvcRequest& request,

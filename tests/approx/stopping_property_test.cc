@@ -168,7 +168,7 @@ TEST(StoppingPropertyTest, DegenerateInstancesStayExactUnderEveryStrategy) {
 
 // The stopping rule in isolation: zero-variance tallies retire at the
 // first checkpoint the bias term allows, the δ-spending schedule sums to
-// δ, and Finish() freezes stragglers honestly.
+// δ, and Finish() freezes stragglers at the δ-split terminal bound.
 TEST(StoppingPropertyTest, SequentialStopperRetiresByVarianceAndSpendsDelta) {
   // Σ_k δ/(k(k+1)) telescopes to δ: any finite run spends δ·K/(K+1),
   // strictly within the budget, whatever the checkpoint count.
@@ -181,7 +181,9 @@ TEST(StoppingPropertyTest, SequentialStopperRetiresByVarianceAndSpendsDelta) {
   // 1), fact 1 with maximal swing. After enough units, fact 0's
   // empirical-Bernstein width beats ε while fact 1's Hoeffding-like term
   // keeps it alive.
-  SequentialStopper stopper(0.1, 0.05, {1.0, 2.0}, 1);
+  const double epsilon = 0.1;
+  const double delta = 0.05;
+  SequentialStopper stopper(epsilon, delta, {1.0, 2.0}, 1);
   const size_t units = 1024;
   std::vector<int64_t> net = {static_cast<int64_t>(units), 0};
   std::vector<int64_t> sq = {static_cast<int64_t>(units),
@@ -190,15 +192,51 @@ TEST(StoppingPropertyTest, SequentialStopperRetiresByVarianceAndSpendsDelta) {
   EXPECT_EQ(stopper.retired_count(), 1u);
   EXPECT_EQ(stopper.retired_within_epsilon(), 1u);
   EXPECT_EQ(stopper.frozen_samples()[0], units);
-  EXPECT_LE(stopper.half_widths()[0], 0.1);
+  EXPECT_LE(stopper.half_widths()[0], epsilon);
 
-  // Terminal freeze: the straggler reports the wider width it earned.
+  // Terminal freeze under the δ-split: the straggler reports the BETTER
+  // of one more Bernstein look (δ/2 schedule) and the reserved terminal
+  // Hoeffding bound at δ/2 — here the high-variance tallies make the
+  // Hoeffding side win outright.
   stopper.Finish(net, sq, units);
   EXPECT_TRUE(stopper.all_retired());
   EXPECT_EQ(stopper.retired_within_epsilon(), 1u);
-  EXPECT_GT(stopper.half_widths()[1], 0.1);
+  const double terminal_hoeffding =
+      HoeffdingHalfWidth(units, delta / 2.0, 2.0);
+  EXPECT_DOUBLE_EQ(stopper.half_widths()[1], terminal_hoeffding);
+  // The satellite's whole point: a non-retiring fact pays at most a √2
+  // width premium over the plain fixed-count Hoeffding bound at the same
+  // sample count (ln(4/δ) ≤ 2·ln(2/δ) for δ ≤ 1).
+  EXPECT_LE(stopper.half_widths()[1],
+            std::sqrt(2.0) * HoeffdingHalfWidth(units, delta, 2.0) + 1e-12);
   EXPECT_EQ(stopper.frozen_net()[1], 0);
   EXPECT_EQ(stopper.checkpoints(), 2u);
+}
+
+// The δ-split premium cap holds across contracts and counts: whatever
+// (ε, δ, m), a straggler's terminal width never exceeds √2× the plain
+// Hoeffding width at the same count — and never exceeds the Bernstein
+// width the old all-schedule spending would have charged.
+TEST(StoppingPropertyTest, TerminalBoundCapsNonRetiringPremiumAtSqrt2) {
+  for (const double delta : {0.25, 0.05, 0.01}) {
+    for (const size_t units : {64u, 512u, 4096u}) {
+      SCOPED_TRACE("delta " + std::to_string(delta) + " units " +
+                   std::to_string(units));
+      // One maximally-swinging fact that can never retire early: tiny ε.
+      SequentialStopper stopper(1e-9, delta, {2.0}, 1);
+      std::vector<int64_t> net = {0};
+      std::vector<int64_t> sq = {static_cast<int64_t>(units)};
+      // A long checkpoint history makes the old-style terminal Bernstein
+      // installment expensive — exactly the case the reserve rescues.
+      for (int k = 0; k < 16; ++k) {
+        EXPECT_FALSE(stopper.Checkpoint(net, sq, units));
+      }
+      stopper.Finish(net, sq, units);
+      EXPECT_LE(stopper.half_widths()[0],
+                std::sqrt(2.0) * HoeffdingHalfWidth(units, delta, 2.0) +
+                    1e-12);
+    }
+  }
 }
 
 // Per-fact ranges: the polarity analysis behind the tighter bounds.
