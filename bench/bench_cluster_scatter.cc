@@ -1,0 +1,253 @@
+// Scatter/gather scaling of the shard router (cluster/router.h): the SAME
+// mixed batch of independent instances pushed through a ShardRouter
+// fronting 1 backend vs N backends, all over real TCP on ephemeral ports.
+// Each backend is a full serving stack (ShapleyService + HttpServer); the
+// router splits the batch by rendezvous shard, streams every sub-batch
+// concurrently and re-merges lines in completion order — so the N-backend
+// wall clock should approach 1/N of the single-backend one once per-
+// request work dominates the wire.
+//
+// Self-checks (the bench FAILS, exit 1, if any is violated):
+//   1. every routed response is BIT-IDENTICAL to the in-process
+//      Compute() answer for the same request (exact rationals AND seeded
+//      sampling estimates) in BOTH topologies;
+//   2. zero transport errors, zero dropped ids;
+//   3. the router actually scattered: with N backends, every backend
+//      served at least one request of the mixed batch.
+//
+// Usage:
+//   bench_cluster_scatter [--backends N] [--requests N] [--threads N]
+//                         [--rounds N] [--json out.json]
+//
+// --json rows (JSONL-appended to BENCH_net.json by scripts/check.sh under
+// {"bench": "cluster_scatter", ...}):
+//   {"name": "3-backends", "backends": 3, "requests": 24, "rounds": 2,
+//    "wall_ms": ..., "rps": ..., "speedup": ...}
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "shapley/cluster/router.h"
+#include "shapley/data/parser.h"
+#include "shapley/net/client.h"
+#include "shapley/net/server.h"
+#include "shapley/query/query_parser.h"
+#include "shapley/service/shapley_service.h"
+
+namespace {
+
+using namespace shapley;
+
+QueryPtr ParseQuery(const std::shared_ptr<Schema>& schema,
+                    std::string_view text) {
+  UcqPtr ucq = ParseUcq(schema, text);
+  if (ucq->disjuncts().size() == 1) return ucq->disjuncts()[0];
+  return ucq;
+}
+
+/// The workload: `count` mutually distinct instances (distinct constants →
+/// distinct shard keys, so a fleet actually spreads them) alternating
+/// exact lifted, exact counting, and seeded fixed-count sampling — the
+/// last sized to dominate, so scatter parallelism has work to win on.
+std::vector<SvcRequest> BuildBatch(const std::shared_ptr<Schema>& schema,
+                                   size_t count) {
+  std::vector<SvcRequest> requests;
+  for (size_t j = 0; j < count; ++j) {
+    const std::string a = "a" + std::to_string(j);
+    SvcRequest r;
+    switch (j % 3) {
+      case 0:  // → lifted (tractable side).
+        r.query = ParseQuery(schema, "R(x), S(x,y)");
+        r.db = ParsePartitionedDatabase(
+            schema, "R(" + a + ") S(" + a + ",b) | S(" + a + ",c)");
+        break;
+      case 1:  // → exact counting (#P side, small).
+        r.query = ParseQuery(schema, "R(x), S(x,y), T(y)");
+        r.db = ParsePartitionedDatabase(
+            schema, "R(" + a + ") R(b" + a + ") S(" + a + ",c) S(b" + a +
+                        ",d) T(c) | T(d)");
+        break;
+      default: {  // → seeded sampling, the expensive kind.
+        r.query = ParseQuery(schema, "S(x,y), R(x), !T(y)");
+        std::string db_text;
+        for (int i = 0; i < 8; ++i) {
+          const std::string c = a + "_" + std::to_string(i);
+          db_text += "R(" + c + ") S(" + c + ",b" + std::to_string(i % 3) +
+                     ") ";
+        }
+        db_text += "T(b0) | T(b1)";
+        r.db = ParsePartitionedDatabase(schema, db_text);
+        r.engine = "sampling";
+        r.approx.epsilon = 0.05;
+        r.approx.delta = 0.05;
+        r.approx.seed = 100 + j;
+        r.approx.strategy = ApproxStrategy::kHoeffding;
+        break;
+      }
+    }
+    requests.push_back(std::move(r));
+  }
+  return requests;
+}
+
+bool SameAnswer(const SvcResponse& a, const SvcResponse& b) {
+  if (a.ok() != b.ok() || a.values != b.values || a.ranked != b.ranked ||
+      a.engine != b.engine) {
+    return false;
+  }
+  if (a.approx.has_value() != b.approx.has_value()) return false;
+  if (a.approx.has_value() &&
+      (a.approx->samples != b.approx->samples ||
+       a.approx->fact_half_widths != b.approx->fact_half_widths)) {
+    return false;
+  }
+  return true;
+}
+
+/// One serving stack; the fleet below owns `n` of them plus the router.
+struct Stack {
+  explicit Stack(size_t threads)
+      : service(ServiceOptions{.threads = threads}), server(&service) {
+    server.Start();
+  }
+  ShapleyService service;
+  net::HttpServer server;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t backends = 3;
+  size_t requests = 24;
+  size_t threads = 2;
+  size_t rounds = 2;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--backends" && i + 1 < argc) {
+      backends = std::strtoul(argv[++i], nullptr, 10);
+    } else if (arg == "--requests" && i + 1 < argc) {
+      requests = std::strtoul(argv[++i], nullptr, 10);
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = std::strtoul(argv[++i], nullptr, 10);
+    } else if (arg == "--rounds" && i + 1 < argc) {
+      rounds = std::strtoul(argv[++i], nullptr, 10);
+    }
+  }
+  backends = std::max<size_t>(2, backends);
+  requests = std::max<size_t>(backends, requests);
+  rounds = std::max<size_t>(1, rounds);
+
+  bench::JsonReporter json =
+      bench::JsonReporter::FromArgs(argc, argv, "cluster_scatter");
+  bench::Banner(
+      "Shard-router scatter/gather: 1 backend vs a fleet (real TCP)");
+
+  auto schema = Schema::Create();
+  const std::vector<SvcRequest> batch = BuildBatch(schema, requests);
+
+  // In-process ground truth, once per request.
+  ShapleyService reference(ServiceOptions{.threads = threads});
+  std::vector<SvcResponse> expected;
+  for (const SvcRequest& request : batch) {
+    expected.push_back(reference.Compute(request));
+    if (!expected.back().ok()) {
+      std::cerr << "reference request failed: "
+                << expected.back().error->ToString() << "\n";
+      return 1;
+    }
+  }
+
+  size_t mismatches = 0;
+  size_t transport_errors = 0;
+  size_t idle_backends = 0;
+
+  // One topology end to end: n stacks, a router over them, `rounds`
+  // batches through the router, wall clock over the routed rounds only.
+  auto run_topology = [&](size_t n) -> double {
+    std::vector<std::unique_ptr<Stack>> stacks;
+    std::vector<std::string> specs;
+    for (size_t i = 0; i < n; ++i) {
+      stacks.push_back(std::make_unique<Stack>(threads));
+      specs.push_back("127.0.0.1:" +
+                      std::to_string(stacks.back()->server.port()));
+    }
+    cluster::RouterOptions options;
+    options.health_poll_ms = 0;  // Nothing flaps in a bench.
+    cluster::ShardRouter router(specs, options);
+    router.Start();
+    double wall_ms = 0.0;
+    try {
+      net::ShapleyClient client("127.0.0.1", router.port());
+      bench::Timer timer;
+      for (size_t round = 0; round < rounds; ++round) {
+        std::vector<SvcResponse> responses = client.ComputeBatch(batch);
+        if (responses.size() != batch.size()) {
+          std::cerr << n << "-backend: " << responses.size() << " of "
+                    << batch.size() << " responses\n";
+          ++transport_errors;
+        }
+        for (size_t i = 0; i < responses.size(); ++i) {
+          if (!SameAnswer(responses[i], expected[i])) ++mismatches;
+        }
+      }
+      wall_ms = timer.ElapsedMs();
+    } catch (const std::exception& e) {
+      std::cerr << n << "-backend: " << e.what() << "\n";
+      ++transport_errors;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (router.backend(i)->routed() == 0) ++idle_backends;
+    }
+    router.Stop();
+    return wall_ms;
+  };
+
+  bench::Table table({"topology", "backends", "requests", "wall ms", "req/s",
+                      "speedup"},
+                     {14, 10, 10, 12, 12, 10});
+  table.PrintHeader();
+  const size_t total = requests * rounds;
+  double base_ms = 0.0;
+  for (const size_t n : {size_t{1}, backends}) {
+    const double wall_ms = run_topology(n);
+    if (n == 1) base_ms = wall_ms;
+    const double rps = 1000.0 * static_cast<double>(total) / wall_ms;
+    const double speedup = wall_ms > 0.0 ? base_ms / wall_ms : 0.0;
+    const std::string name = std::to_string(n) + "-backends";
+    table.PrintRow(name, n, total, wall_ms, rps, speedup);
+    json.Row({{"name", name},
+              {"backends", static_cast<double>(n)},
+              {"requests", static_cast<double>(total)},
+              {"rounds", static_cast<double>(rounds)},
+              {"wall_ms", wall_ms},
+              {"rps", rps},
+              {"speedup", speedup}});
+  }
+
+  json.Row({{"name", "self_check"},
+            {"mismatches", static_cast<double>(mismatches)},
+            {"transport_errors", static_cast<double>(transport_errors)},
+            {"idle_backends", static_cast<double>(idle_backends)}});
+
+  if (mismatches != 0 || transport_errors != 0) {
+    std::cerr << "SELF-CHECK FAILED: " << mismatches << " mismatches, "
+              << transport_errors << " transport errors\n";
+    return 1;
+  }
+  // The single-backend topology trivially uses its one backend; the fleet
+  // must have spread the batch (distinct keys ⇒ every backend works with
+  // overwhelming probability at these sizes).
+  if (idle_backends != 0) {
+    std::cerr << "SELF-CHECK FAILED: " << idle_backends
+              << " backends never saw a request\n";
+    return 1;
+  }
+  std::cout << "\nself-check: all " << 2 * total
+            << " routed responses bit-identical to in-process Compute()\n";
+  return 0;
+}

@@ -11,6 +11,7 @@
 //   example_cli max       '<ucq>' '<db>' [--threads N] [--engine E] [--json]
 //   example_cli topk      '<ucq>' '<db>' [K] [--threads N] [--engine E]
 //   example_cli serve     [--host H] [--port P] [--threads N]
+//   example_cli route     --backends H1:P1,H2:P2,... [--host H] [--port P]
 //   example_cli call HOST:PORT values|max|topk|classify '<ucq>' '<db>' [K]
 //
 // Database syntax: "R(a,b) S(b,c) | T(d)" — facts after '|' are exogenous.
@@ -33,9 +34,12 @@
 //
 // serve starts the network front (net/server.h) over a ShapleyService and
 // prints "listening on HOST:PORT"; SIGINT/SIGTERM drain in-flight requests
-// and exit 0. call sends one request to a running server through the
-// client library (net/client.h) and prints the response exactly like the
-// local commands do — same flags, same output, plus the wire round-trip.
+// and exit 0. route starts the shard router (cluster/router.h) in front of
+// a comma-separated fleet of running serve processes — same wire surface,
+// same "listening on HOST:PORT" line, same signals. call sends one request
+// to a running server (or router: they speak the same protocol) through
+// the client library (net/client.h) and prints the response exactly like
+// the local commands do — same flags, same output, plus the round-trip.
 
 #include <algorithm>
 #include <atomic>
@@ -51,6 +55,7 @@
 #include <vector>
 
 #include "shapley/analysis/classifier.h"
+#include "shapley/cluster/router.h"
 #include "shapley/data/parser.h"
 #include "shapley/engines/fgmc.h"
 #include "shapley/engines/svc.h"
@@ -70,6 +75,8 @@ int Usage() {
       << "       example_cli values|max '<query>' '<database>'\n"
       << "       example_cli topk '<query>' '<database>' [K]\n"
       << "       example_cli serve [--host H] [--port P] [--threads N]\n"
+      << "       example_cli route --backends H1:P1,H2:P2,... "
+         "[--host H] [--port P]\n"
       << "       example_cli call HOST:PORT values|max|topk|classify "
          "'<query>' '<database>' [K]\n"
       << "                   [--threads N]\n"
@@ -186,6 +193,40 @@ int RunServe(const std::string& host, uint16_t port, size_t threads) {
   return 0;
 }
 
+int RunRoute(const std::string& host, uint16_t port,
+             const std::string& backends_csv) {
+  std::vector<std::string> backends;
+  std::string spec;
+  std::istringstream specs(backends_csv);
+  while (std::getline(specs, spec, ',')) {
+    if (!spec.empty()) backends.push_back(spec);
+  }
+  if (backends.empty()) {
+    std::cerr << "error: route needs --backends H1:P1,H2:P2,...\n";
+    return Usage();
+  }
+  shapley::cluster::RouterOptions options;
+  options.server.host = host;
+  options.server.port = port;
+  shapley::cluster::ShardRouter router(backends, options);
+  router.Start();
+  // The parseable line scripts (and scripts/check.sh) wait for.
+  std::cout << "listening on " << router.host() << ":" << router.port()
+            << std::endl;
+  std::cerr << "routing over " << router.num_backends() << " backends"
+            << std::endl;
+
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  while (g_stop_requested == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::cerr << "draining..." << std::endl;
+  router.Stop();
+  std::cerr << "bye" << std::endl;
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -196,6 +237,7 @@ int main(int argc, char** argv) {
   size_t threads = 1;
   std::string engine_name = "auto";
   std::string host = "127.0.0.1";
+  std::string backends_csv;
   long port = 0;
   bool allow_approx = false;
   bool as_json = false;
@@ -211,6 +253,8 @@ int main(int argc, char** argv) {
       engine_name = argv[++i];
     } else if (arg == "--host" && i + 1 < argc) {
       host = argv[++i];
+    } else if (arg == "--backends" && i + 1 < argc) {
+      backends_csv = argv[++i];
     } else if (arg == "--port" && i + 1 < argc) {
       port = std::atol(argv[++i]);
       if (port < 0 || port > 65535) {
@@ -246,6 +290,9 @@ int main(int argc, char** argv) {
   try {
     if (command == "serve") {
       return RunServe(host, static_cast<uint16_t>(port), threads);
+    }
+    if (command == "route") {
+      return RunRoute(host, static_cast<uint16_t>(port), backends_csv);
     }
 
     // `call HOST:PORT subcmd ...` reshapes into the local arg layout with

@@ -29,6 +29,14 @@ echo "== approx tests (guard: cross-validation vs the exact engines) =="
 echo "== net tests (guard: codec round-trips + e2e socket) =="
 "$build_dir/net_codec_test" --gtest_brief=1
 "$build_dir/net_server_test" --gtest_brief=1
+"$build_dir/net_client_backoff_test" --gtest_brief=1
+
+echo "== cluster tests (guard: shard map units + router e2e over real TCP) =="
+# The router e2e spins a ShardRouter plus three in-process backends on
+# ephemeral ports and asserts every scattered batch — including one with a
+# backend killed mid-flight — is bit-identical to in-process Compute().
+"$build_dir/cluster_shard_map_test" --gtest_brief=1
+"$build_dir/cluster_router_test" --gtest_brief=1
 
 echo "== net smoke (serve on an ephemeral port, call over a real socket) =="
 # End-to-end through the CLI: start the server, send one exact and one
@@ -75,6 +83,17 @@ echo "== bench (net throughput, appending to BENCH_net.json) =="
     --json "$build_dir/bench_net_throughput.json"
 python3 -c 'import json,sys; print(json.dumps(json.load(open(sys.argv[1]))))' \
     "$build_dir/bench_net_throughput.json" \
+    >> "$repo_root/BENCH_net.json"
+
+echo "== bench (cluster scatter/gather, appending to BENCH_net.json) =="
+# Same mixed batch through a ShardRouter fronting 1 backend vs 3 backends,
+# all on ephemeral ports; the bench exits 1 unless every routed response is
+# bit-identical to in-process Compute(), no id is dropped, and every
+# backend of the fleet served at least one request.
+"$build_dir/bench_cluster_scatter" --backends 3 --requests 24 --rounds 2 \
+    --json "$build_dir/bench_cluster_scatter.json"
+python3 -c 'import json,sys; print(json.dumps(json.load(open(sys.argv[1]))))' \
+    "$build_dir/bench_cluster_scatter.json" \
     >> "$repo_root/BENCH_net.json"
 
 echo "== bench (fast: small instances, JSON to $build_dir/bench_parallel_scaling.json) =="

@@ -202,6 +202,20 @@ std::map<Fact, BigRational> SamplingSvc::AllValues(
   // v(∅) = [Dx |= q], the `prev` seed of every walk — evaluated once.
   const bool base_satisfied = query.Evaluate(db.exogenous());
 
+  // Retirement snapshot the walks truncate against (canonical positions;
+  // empty = truncation off or nothing retired yet). Updated ONLY between
+  // rounds, right after the stopper's checkpoint — every batch of a round
+  // sees one stable snapshot, so the truncation inherits the checkpoint
+  // grid's thread-count independence. A retired fact's tallies are frozen
+  // (the stopper never reads them again), so walks may skip the
+  // evaluations that exist only to measure retired facts' marginals: a
+  // position is evaluated iff it, or the position after it (whose marginal
+  // needs this prefix's value as `prev`), belongs to a live fact, and the
+  // walk ends at the last live position outright. Estimates are
+  // bit-identical with truncation on or off; only the evaluation count
+  // drops (substantially, once most facts retire early).
+  std::vector<bool> retired_walk_snapshot;
+
   // Per-fact cumulative tallies over iid units: net[i] = Σ unit sums
   // (#positive − #negative marginals), sq[i] = Σ squared unit sums (what
   // the empirical-Bernstein rule reads the variance from). Both merged
@@ -254,9 +268,23 @@ std::map<Fact, BigRational> SamplingSvc::AllValues(
       walked.clear();
       uint64_t mask = 0;
       bool prev = base_satisfied;
-      for (size_t i = 0; i < n; ++i) {
+      // Truncation bound: the position of the LAST live fact in this
+      // arrangement — everything beyond it measures only frozen tallies.
+      const bool truncate = !retired_walk_snapshot.empty();
+      size_t last_live = n - 1;
+      if (truncate) {
+        size_t i = n;
+        while (i > 0 && retired_walk_snapshot[arrangement[i - 1]]) --i;
+        if (i == 0) return;  // Every fact retired; nothing left to measure.
+        last_live = i - 1;
+      }
+      for (size_t i = 0; i <= last_live; ++i) {
         // Monotone walks stop at the first satisfied prefix: every later
-        // fact joins a winning coalition, marginal 0.
+        // fact joins a winning coalition, marginal 0. (`prev` may lag the
+        // true prefix value across SKIPPED positions below — the walk then
+        // just breaks one evaluated position later; live facts' marginals
+        // are unaffected, because a live position always sees an evaluated
+        // predecessor.)
         if (monotone && prev) break;
         const size_t player = arrangement[i];
         world.Insert(endo[order[player]]);
@@ -264,6 +292,15 @@ std::map<Fact, BigRational> SamplingSvc::AllValues(
         // Masks exist only for the memo, and only while every player fits
         // a 64-bit coalition (shifting by >= 64 would be UB).
         if (memo != nullptr) mask |= uint64_t{1} << player;
+
+        // Evaluate iff this position's marginal is still read (live fact)
+        // or the NEXT position's is (its marginal subtracts this prefix's
+        // value). Two retired positions in a row need no evaluation at
+        // all — the world just accumulates their facts.
+        if (truncate && retired_walk_snapshot[player] &&
+            (i == last_live || retired_walk_snapshot[arrangement[i + 1]])) {
+          continue;
+        }
 
         bool current;
         bool memoized = false;
@@ -371,6 +408,10 @@ std::map<Fact, BigRational> SamplingSvc::AllValues(
       units_done = std::min(total_units, done * units_per_batch);
       if (done < num_batches) {
         all_retired = stopper.Checkpoint(net, sq, units_done);
+        if (truncate_retired_walks_ && !all_retired &&
+            stopper.retired_count() > 0) {
+          retired_walk_snapshot = stopper.retired();
+        }
       }
     }
     stopper.Finish(net, sq, units_done);

@@ -110,6 +110,18 @@ class SamplingSvc : public SvcEngine {
     deadline_ = deadline;
   }
 
+  /// Retired-fact walk truncation (adaptive strategies; default ON). Once
+  /// the stopper retires a fact its tallies are frozen, so later walks
+  /// skip the query evaluations that exist only to measure retired facts'
+  /// marginals — the walk still inserts the prefix facts (later active
+  /// positions need the world) but evaluates a position only when it, or
+  /// the position after it, belongs to a live fact, and ends at the last
+  /// live position outright. Estimates are BIT-IDENTICAL either way
+  /// (stopping_property_test asserts it); the toggle exists for that test
+  /// and for perf comparisons, not as a correctness knob.
+  void set_truncate_retired_walks(bool on) { truncate_retired_walks_ = on; }
+  bool truncate_retired_walks() const { return truncate_retired_walks_; }
+
   BigRational Value(const BooleanQuery& query, const PartitionedDatabase& db,
                     const Fact& fact) override;
   std::map<Fact, BigRational> AllValues(const BooleanQuery& query,
@@ -128,6 +140,7 @@ class SamplingSvc : public SvcEngine {
 
  private:
   ApproxParams params_;
+  bool truncate_retired_walks_ = true;
   std::shared_ptr<std::atomic<bool>> cancel_;
   std::optional<std::chrono::steady_clock::time_point> deadline_;
   mutable std::mutex info_mutex_;

@@ -85,6 +85,12 @@ class SequentialStopper {
 
   bool all_retired() const { return retired_count_ == retired_.size(); }
   size_t retired_count() const { return retired_count_; }
+  /// Per-fact retirement flags (canonical order) as of the last
+  /// Checkpoint(). A retired fact's tallies are FROZEN — Checkpoint and
+  /// Finish never read them again — which is what lets the sampler skip
+  /// evaluating retired facts' marginals inside later permutation walks
+  /// without changing a single reported estimate.
+  const std::vector<bool>& retired() const { return retired_; }
   /// Facts retired with their bound met (≤ ε) — excludes Finish() freezes.
   size_t retired_within_epsilon() const { return retired_within_epsilon_; }
   size_t checkpoints() const { return checkpoint_; }

@@ -1,0 +1,70 @@
+#include "shapley/cluster/backend.h"
+
+#include <utility>
+
+namespace shapley::cluster {
+
+std::optional<BackendAddress> ParseBackendAddress(const std::string& spec) {
+  const size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= spec.size()) {
+    return std::nullopt;
+  }
+  BackendAddress address;
+  address.host = spec.substr(0, colon);
+  unsigned long port = 0;
+  for (size_t i = colon + 1; i < spec.size(); ++i) {
+    const char c = spec[i];
+    if (c < '0' || c > '9') return std::nullopt;
+    port = port * 10 + static_cast<unsigned long>(c - '0');
+    if (port > 65535) return std::nullopt;
+  }
+  if (port == 0) return std::nullopt;
+  address.port = static_cast<uint16_t>(port);
+  return address;
+}
+
+BackendChannel::BackendChannel(BackendAddress address,
+                               net::ClientOptions client_options)
+    : address_(std::move(address)),
+      id_(address_.host + ":" + std::to_string(address_.port)),
+      client_options_(client_options) {}
+
+std::unique_ptr<net::ShapleyClient> BackendChannel::Acquire() {
+  {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    if (!pool_.empty()) {
+      std::unique_ptr<net::ShapleyClient> client = std::move(pool_.back());
+      pool_.pop_back();
+      return client;
+    }
+  }
+  return std::make_unique<net::ShapleyClient>(address_.host, address_.port,
+                                              client_options_);
+}
+
+void BackendChannel::Release(std::unique_ptr<net::ShapleyClient> client) {
+  std::lock_guard<std::mutex> lock(pool_mutex_);
+  pool_.push_back(std::move(client));
+}
+
+bool BackendChannel::Probe() {
+  // A probe must answer fast or not at all: short read timeout, one dial
+  // attempt — the point is a verdict, not a patient wait.
+  net::ClientOptions probe_options = client_options_;
+  probe_options.read_timeout_ms = 1'000;
+  probe_options.connect_attempts = 1;
+  net::ShapleyClient probe(address_.host, address_.port, probe_options);
+  bool ok = false;
+  try {
+    int status = 0;
+    probe.RawGet("/healthz", &status);
+    ok = (status == 200);
+  } catch (const std::runtime_error&) {
+    ok = false;
+  }
+  healthy_.store(ok);
+  return ok;
+}
+
+}  // namespace shapley::cluster

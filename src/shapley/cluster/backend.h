@@ -1,0 +1,80 @@
+#ifndef SHAPLEY_CLUSTER_BACKEND_H_
+#define SHAPLEY_CLUSTER_BACKEND_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "shapley/net/client.h"
+
+namespace shapley::cluster {
+
+/// "host:port" split into its parts; nullopt on anything unparsable.
+struct BackendAddress {
+  std::string host;
+  uint16_t port = 0;
+};
+std::optional<BackendAddress> ParseBackendAddress(const std::string& spec);
+
+/// The router's view of one backend: its address, a pooled set of
+/// keep-alive client connections, a health flag, and per-backend routing
+/// counters. Thread-safe — many scatter threads acquire connections from
+/// one channel concurrently.
+///
+/// Health semantics: healthy_ starts true (a fresh fleet gets the benefit
+/// of the doubt; the first failed request corrects it), is cleared by any
+/// transport failure the router observes, and is restored only by a
+/// successful /healthz probe — so a flapping backend has to actually
+/// answer before traffic returns to it.
+class BackendChannel {
+ public:
+  BackendChannel(BackendAddress address, net::ClientOptions client_options);
+
+  /// "host:port" — the identity rendezvous hashing is computed over.
+  const std::string& id() const { return id_; }
+
+  /// A connection for exclusive use (ShapleyClient is single-threaded):
+  /// pooled if one is free, freshly built otherwise. Never null; dialing
+  /// happens lazily inside the client.
+  std::unique_ptr<net::ShapleyClient> Acquire();
+
+  /// Returns a connection to the pool (call only after a clean exchange —
+  /// a client that threw mid-protocol should simply be destroyed instead).
+  void Release(std::unique_ptr<net::ShapleyClient> client);
+
+  /// GET /healthz with a short read timeout; updates healthy() and
+  /// returns the verdict.
+  bool Probe();
+
+  bool healthy() const { return healthy_.load(); }
+  void set_healthy(bool healthy) { healthy_.store(healthy); }
+
+  /// Requests this channel was asked to serve (batch counts each line).
+  void CountRouted(size_t n) { routed_.fetch_add(n); }
+  /// Requests that died on this channel with a transport failure.
+  void CountFailed(size_t n) { failed_.fetch_add(n); }
+  /// Requests re-sent here after another shard failed them.
+  void CountRetried(size_t n) { retried_.fetch_add(n); }
+  size_t routed() const { return routed_.load(); }
+  size_t failed() const { return failed_.load(); }
+  size_t retried() const { return retried_.load(); }
+
+ private:
+  const BackendAddress address_;
+  const std::string id_;
+  const net::ClientOptions client_options_;
+  std::atomic<bool> healthy_{true};
+  std::atomic<size_t> routed_{0};
+  std::atomic<size_t> failed_{0};
+  std::atomic<size_t> retried_{0};
+  std::mutex pool_mutex_;
+  std::vector<std::unique_ptr<net::ShapleyClient>> pool_;
+};
+
+}  // namespace shapley::cluster
+
+#endif  // SHAPLEY_CLUSTER_BACKEND_H_

@@ -1,0 +1,536 @@
+#include "shapley/cluster/router.h"
+
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "shapley/common/version.h"
+#include "shapley/net/codec.h"
+#include "shapley/net/json.h"
+
+namespace shapley::cluster {
+
+namespace {
+
+using net::Json;
+
+/// "id" first (humans tailing the stream see it first), every other
+/// member of `parsed` verbatim in order.
+Json RetagParsedLine(const Json& parsed, uint64_t new_id) {
+  Json tagged;
+  tagged.Set("id", Json::Number(new_id));
+  if (const Json::Object* members = parsed.IfObject()) {
+    for (const auto& [key, value] : *members) {
+      if (key != "id") tagged.Set(key, value);
+    }
+  }
+  return tagged;
+}
+
+/// An ndjson line the ROUTER answers for a request no backend could serve.
+std::string UnservedLine(uint64_t id, const std::string& detail) {
+  const std::string body = net::FrontEndErrorBody(
+      SvcErrorCode::kUpstreamUnavailable, detail);
+  std::string parse_error;
+  std::optional<Json> json = Json::Parse(body, &parse_error);
+  return RetagParsedLine(*json, id).Dump();
+}
+
+}  // namespace
+
+std::string RetagNdjsonLine(const std::string& line, uint64_t new_id) {
+  std::string parse_error;
+  std::optional<Json> json = Json::Parse(line, &parse_error);
+  if (!json.has_value()) {
+    throw std::runtime_error("RetagNdjsonLine: bad line: " + parse_error);
+  }
+  return RetagParsedLine(*json, new_id).Dump();
+}
+
+/// The HttpHandler behind the router's HttpServer. One instance, shared by
+/// every connection thread; all state lives in the ShardRouter.
+class RouterHandler : public net::HttpHandler {
+ public:
+  explicit RouterHandler(ShardRouter* router) : router_(router) {}
+
+  bool Handle(net::Socket* socket, const net::HttpRequest& request,
+              bool keep_alive, const net::ServerCounters& counters) override {
+    if (request.target == "/v1/compute") {
+      if (request.method != "POST") {
+        return MethodNotAllowed(socket, "use POST on /v1/compute",
+                                keep_alive);
+      }
+      return HandleCompute(socket, request, keep_alive);
+    }
+    if (request.target == "/v1/batch") {
+      if (request.method != "POST") {
+        return MethodNotAllowed(socket, "use POST on /v1/batch", keep_alive);
+      }
+      return HandleBatch(socket, request, keep_alive);
+    }
+    if (request.target == "/v1/engines") {
+      if (request.method != "GET") {
+        return MethodNotAllowed(socket, "use GET on /v1/engines", keep_alive);
+      }
+      return HandleProxyGet(socket, "/v1/engines", keep_alive);
+    }
+    if (request.target == "/v1/stats") {
+      if (request.method != "GET") {
+        return MethodNotAllowed(socket, "use GET on /v1/stats", keep_alive);
+      }
+      return HandleStats(socket, keep_alive, counters);
+    }
+    if (request.target == "/v1/cluster") {
+      if (request.method != "GET") {
+        return MethodNotAllowed(socket, "use GET on /v1/cluster", keep_alive);
+      }
+      return HandleCluster(socket, keep_alive, counters);
+    }
+    return net::WriteJsonResponse(
+        socket, 404,
+        net::FrontEndErrorBody(SvcErrorCode::kInvalidRequest,
+                               "unknown endpoint " + request.target),
+        keep_alive);
+  }
+
+ private:
+  bool MethodNotAllowed(net::Socket* socket, const std::string& message,
+                        bool keep_alive) {
+    return net::WriteJsonResponse(
+        socket, 405,
+        net::FrontEndErrorBody(SvcErrorCode::kInvalidRequest, message),
+        keep_alive);
+  }
+
+  /// The shard key of a decoded request; falls back to the raw body when
+  /// the fingerprint is unavailable (still deterministic, just opaque).
+  static std::string KeyFor(const SvcRequest& request,
+                            const std::string& raw_body) {
+    std::string key = ShardKeyFor(request);
+    return key.empty() ? raw_body : key;
+  }
+
+  /// Healthy backends for `key` in rendezvous order — [0] is the home
+  /// shard, the rest the failover sequence.
+  std::vector<size_t> HealthyRank(const std::string& key) const {
+    std::vector<size_t> healthy;
+    for (size_t i : router_->shard_map_.Rank(key)) {
+      if (router_->backends_[i]->healthy()) healthy.push_back(i);
+    }
+    return healthy;
+  }
+
+  bool HandleCompute(net::Socket* socket, const net::HttpRequest& request,
+                     bool keep_alive) {
+    std::string parse_error;
+    std::optional<Json> json = Json::Parse(request.body, &parse_error);
+    if (!json.has_value()) {
+      return net::WriteJsonResponse(
+          socket, 400,
+          net::FrontEndErrorBody(SvcErrorCode::kInvalidRequest,
+                                 "bad JSON: " + parse_error),
+          keep_alive);
+    }
+    // Decoded for ROUTING only — the fingerprint needs the typed query and
+    // database; the bytes that reach the backend are the client's own.
+    net::DecodedRequest decoded;
+    if (std::optional<SvcError> error = net::DecodeRequest(*json, &decoded)) {
+      SvcResponse response;
+      response.error = std::move(error);
+      auto schema = Schema::Create();
+      return net::WriteJsonResponse(
+          socket, net::HttpStatusFor(response.error->code),
+          net::EncodeResponse(response, *schema).Dump(), keep_alive);
+    }
+
+    router_->requests_routed_.fetch_add(1);
+    const std::string key = KeyFor(decoded.request, request.body);
+    std::vector<size_t> order = HealthyRank(key);
+    const size_t tries =
+        router_->options_.retry_failover ? std::min<size_t>(order.size(), 2)
+                                         : std::min<size_t>(order.size(), 1);
+    for (size_t attempt = 0; attempt < tries; ++attempt) {
+      BackendChannel* channel = router_->backends_[order[attempt]].get();
+      channel->CountRouted(1);
+      if (attempt > 0) {
+        channel->CountRetried(1);
+        router_->requests_failed_over_.fetch_add(1);
+      }
+      std::unique_ptr<net::ShapleyClient> client = channel->Acquire();
+      try {
+        int status = 0;
+        const std::string body = client->RawCompute(request.body, &status);
+        channel->Release(std::move(client));
+        return net::WriteJsonResponse(socket, status, body, keep_alive);
+      } catch (const std::runtime_error&) {
+        // Transport failure (the client threw, so it is mid-protocol and
+        // gets destroyed, not pooled): mark the shard down and fail over.
+        channel->CountFailed(1);
+        channel->set_healthy(false);
+      }
+    }
+    router_->requests_unserved_.fetch_add(1);
+    return net::WriteJsonResponse(
+        socket, 503,
+        net::FrontEndErrorBody(SvcErrorCode::kUpstreamUnavailable,
+                               "no healthy backend for this shard"),
+        keep_alive);
+  }
+
+  bool HandleBatch(net::Socket* socket, const net::HttpRequest& request,
+                   bool keep_alive) {
+    std::string parse_error;
+    std::optional<Json> json = Json::Parse(request.body, &parse_error);
+    if (!json.has_value()) {
+      return net::WriteJsonResponse(
+          socket, 400,
+          net::FrontEndErrorBody(SvcErrorCode::kInvalidRequest,
+                                 "bad JSON: " + parse_error),
+          keep_alive);
+    }
+    const Json* requests = json->Find("requests");
+    const Json::Array* items =
+        requests != nullptr ? requests->IfArray() : nullptr;
+    if (items == nullptr) {
+      return net::WriteJsonResponse(
+          socket, 400,
+          net::FrontEndErrorBody(SvcErrorCode::kInvalidRequest,
+                                 "batch: expected {\"requests\": [...]}"),
+          keep_alive);
+    }
+
+    // Route every request: decode failures are answered by the ROUTER
+    // (tagged error lines, exactly as a backend would stream them); the
+    // rest group by home shard, remembering their raw text (forwarded
+    // verbatim) and key (for failover re-ranking).
+    const size_t n = items->size();
+    std::vector<std::string> item_text(n);
+    std::vector<std::string> keys(n);
+    std::vector<std::string> immediate;       // Pre-routed error lines.
+    std::map<size_t, std::vector<size_t>> groups;  // backend → global ids.
+    std::vector<size_t> unserved;
+    for (size_t i = 0; i < n; ++i) {
+      item_text[i] = (*items)[i].Dump();
+      net::DecodedRequest decoded;
+      if (std::optional<SvcError> error =
+              net::DecodeRequest((*items)[i], &decoded)) {
+        SvcResponse response;
+        response.error = std::move(error);
+        auto schema = Schema::Create();
+        std::string body = net::EncodeResponse(response, *schema).Dump();
+        std::optional<Json> parsed = Json::Parse(body, &parse_error);
+        immediate.push_back(RetagParsedLine(*parsed, uint64_t{i}).Dump());
+        continue;
+      }
+      router_->requests_routed_.fetch_add(1);
+      keys[i] = KeyFor(decoded.request, item_text[i]);
+      const std::vector<size_t> order = HealthyRank(keys[i]);
+      if (order.empty()) {
+        unserved.push_back(i);
+      } else {
+        groups[order[0]].push_back(i);
+      }
+    }
+
+    // Gather side: one writer lock serializes completion-order lines from
+    // every shard stream into the single client-facing chunk stream.
+    if (!socket->SendAll(net::SerializeResponseHead(
+            200, "application/x-ndjson", /*content_length=*/-1,
+            keep_alive))) {
+      return false;
+    }
+    std::mutex write_mutex;
+    bool write_ok = true;
+    auto write_line = [&](const std::string& line) {
+      std::lock_guard<std::mutex> lock(write_mutex);
+      if (!write_ok) return;
+      write_ok = socket->SendAll(net::ChunkFrame(line + "\n"));
+    };
+    for (const std::string& line : immediate) write_line(line);
+    for (size_t id : unserved) {
+      router_->requests_unserved_.fetch_add(1);
+      write_line(UnservedLine(id, "no healthy backend for this shard"));
+    }
+
+    // Scatter side: one thread per shard, each streaming its sub-batch and
+    // re-tagging local ids back to global ones as lines complete. A shard
+    // that dies mid-stream fails over exactly the ids it had NOT yet
+    // delivered (depth 1, once); anything beyond that becomes a structured
+    // kUpstreamUnavailable line — every id is answered exactly once.
+    std::function<void(size_t, const std::vector<size_t>&, int)> run_shard =
+        [&](size_t backend_index, const std::vector<size_t>& ids,
+            int depth) {
+          BackendChannel* channel = router_->backends_[backend_index].get();
+          channel->CountRouted(ids.size());
+          if (depth > 0) channel->CountRetried(ids.size());
+          std::string body = "{\"requests\":[";
+          for (size_t k = 0; k < ids.size(); ++k) {
+            if (k > 0) body += ',';
+            body += item_text[ids[k]];
+          }
+          body += "]}";
+          std::vector<bool> seen(ids.size(), false);
+          std::unique_ptr<net::ShapleyClient> client = channel->Acquire();
+          try {
+            client->RawBatch(body, [&](const std::string& line) {
+              std::string line_error;
+              std::optional<Json> parsed = Json::Parse(line, &line_error);
+              if (!parsed.has_value()) {
+                throw std::runtime_error("undecodable batch line: " +
+                                         line_error);
+              }
+              const Json* id_json = parsed->Find("id");
+              std::optional<uint64_t> local =
+                  id_json != nullptr ? id_json->IfUint64() : std::nullopt;
+              if (!local.has_value() || *local >= ids.size()) {
+                throw std::runtime_error("batch line with a bad id");
+              }
+              seen[*local] = true;
+              write_line(
+                  RetagParsedLine(*parsed, uint64_t{ids[*local]}).Dump());
+            });
+            channel->Release(std::move(client));
+          } catch (const std::runtime_error&) {
+            channel->set_healthy(false);
+            std::vector<size_t> missing;
+            for (size_t k = 0; k < ids.size(); ++k) {
+              if (!seen[k]) missing.push_back(ids[k]);
+            }
+            channel->CountFailed(missing.size());
+            if (router_->options_.retry_failover && depth == 0) {
+              // Re-rank each survivor against CURRENT health; several may
+              // share a fallback, so regroup before re-sending.
+              std::map<size_t, std::vector<size_t>> regrouped;
+              for (size_t id : missing) {
+                const std::vector<size_t> order = HealthyRank(keys[id]);
+                if (order.empty()) {
+                  router_->requests_unserved_.fetch_add(1);
+                  write_line(UnservedLine(
+                      id, "no healthy backend for this shard"));
+                } else {
+                  router_->requests_failed_over_.fetch_add(1);
+                  regrouped[order[0]].push_back(id);
+                }
+              }
+              for (const auto& [fallback, sub_ids] : regrouped) {
+                run_shard(fallback, sub_ids, 1);
+              }
+            } else {
+              for (size_t id : missing) {
+                router_->requests_unserved_.fetch_add(1);
+                write_line(
+                    UnservedLine(id, "shard failed and failover exhausted"));
+              }
+            }
+          }
+        };
+
+    std::vector<std::thread> workers;
+    workers.reserve(groups.size());
+    for (const auto& [backend_index, ids] : groups) {
+      workers.emplace_back(
+          [&run_shard, backend_index = backend_index, &ids] {
+            run_shard(backend_index, ids, 0);
+          });
+    }
+    for (std::thread& worker : workers) worker.join();
+
+    {
+      std::lock_guard<std::mutex> lock(write_mutex);
+      if (!write_ok) return false;
+      return socket->SendAll(net::ChunkFrame(""));  // Terminal chunk.
+    }
+  }
+
+  /// Forwards a GET verbatim from the first healthy backend that answers
+  /// (/v1/engines: a homogeneous fleet has one registry).
+  bool HandleProxyGet(net::Socket* socket, const std::string& target,
+                      bool keep_alive) {
+    for (size_t i = 0; i < router_->backends_.size(); ++i) {
+      BackendChannel* channel = router_->backends_[i].get();
+      if (!channel->healthy()) continue;
+      std::unique_ptr<net::ShapleyClient> client = channel->Acquire();
+      try {
+        int status = 0;
+        const std::string body = client->RawGet(target, &status);
+        channel->Release(std::move(client));
+        return net::WriteJsonResponse(socket, status, body, keep_alive);
+      } catch (const std::runtime_error&) {
+        channel->set_healthy(false);
+      }
+    }
+    return net::WriteJsonResponse(
+        socket, 503,
+        net::FrontEndErrorBody(SvcErrorCode::kUpstreamUnavailable,
+                               "no healthy backend"),
+        keep_alive);
+  }
+
+  /// One fleet-wide /v1/stats that LOOKS like a single backend's: every
+  /// reachable backend's "service" counters summed field by field (field
+  /// set taken from the responses, so fields this router build does not
+  /// know about still aggregate), plus the router's own "server" block.
+  bool HandleStats(net::Socket* socket, bool keep_alive,
+                   const net::ServerCounters& counters) {
+    std::vector<std::pair<std::string, uint64_t>> sums;
+    for (size_t i = 0; i < router_->backends_.size(); ++i) {
+      BackendChannel* channel = router_->backends_[i].get();
+      if (!channel->healthy()) continue;
+      std::unique_ptr<net::ShapleyClient> client = channel->Acquire();
+      std::string body;
+      try {
+        int status = 0;
+        body = client->RawGet("/v1/stats", &status);
+        channel->Release(std::move(client));
+        if (status != 200) continue;
+      } catch (const std::runtime_error&) {
+        channel->set_healthy(false);
+        continue;
+      }
+      std::string parse_error;
+      std::optional<Json> parsed = Json::Parse(body, &parse_error);
+      const Json* service =
+          parsed.has_value() ? parsed->Find("service") : nullptr;
+      const Json::Object* fields =
+          service != nullptr ? service->IfObject() : nullptr;
+      if (fields == nullptr) continue;
+      for (const auto& [key, value] : *fields) {
+        std::optional<uint64_t> number = value.IfUint64();
+        if (!number.has_value()) continue;
+        bool found = false;
+        for (auto& [sum_key, sum] : sums) {
+          if (sum_key == key) {
+            sum += *number;
+            found = true;
+            break;
+          }
+        }
+        if (!found) sums.emplace_back(key, *number);
+      }
+    }
+    Json service;
+    for (const auto& [key, sum] : sums) {
+      service.Set(key, Json::Number(sum));
+    }
+    Json server;
+    server.Set("connections_accepted",
+               Json::Number(uint64_t{counters.connections_accepted}));
+    server.Set("connections_rejected",
+               Json::Number(uint64_t{counters.connections_rejected}));
+    server.Set("connections_live",
+               Json::Number(uint64_t{counters.connections_live}));
+    server.Set("requests_served",
+               Json::Number(uint64_t{counters.requests_served}));
+    Json body;
+    body.Set("service", std::move(service));
+    body.Set("server", std::move(server));
+    return net::WriteJsonResponse(socket, 200, body.Dump(), keep_alive);
+  }
+
+  bool HandleCluster(net::Socket* socket, bool keep_alive,
+                     const net::ServerCounters& counters) {
+    Json shards = Json::Arr();
+    for (size_t i = 0; i < router_->backends_.size(); ++i) {
+      const BackendChannel* channel = router_->backends_[i].get();
+      Json shard;
+      shard.Set("id", Json::Str(channel->id()));
+      shard.Set("healthy", Json::Bool(channel->healthy()));
+      shard.Set("routed", Json::Number(uint64_t{channel->routed()}));
+      shard.Set("failed", Json::Number(uint64_t{channel->failed()}));
+      shard.Set("retried", Json::Number(uint64_t{channel->retried()}));
+      shards.Push(std::move(shard));
+    }
+    Json body;
+    body.Set("role", Json::Str("router"));
+    body.Set("version", Json::Str(kShapleyVersion));
+    body.Set("hash", Json::Str("rendezvous-fnv1a64"));
+    body.Set("shards", std::move(shards));
+    body.Set("requests_routed",
+             Json::Number(uint64_t{router_->requests_routed_.load()}));
+    body.Set("requests_failed_over",
+             Json::Number(uint64_t{router_->requests_failed_over_.load()}));
+    body.Set("requests_unserved",
+             Json::Number(uint64_t{router_->requests_unserved_.load()}));
+    Json server;
+    server.Set("connections_accepted",
+               Json::Number(uint64_t{counters.connections_accepted}));
+    server.Set("requests_served",
+               Json::Number(uint64_t{counters.requests_served}));
+    body.Set("server", std::move(server));
+    return net::WriteJsonResponse(socket, 200, body.Dump(), keep_alive);
+  }
+
+  ShardRouter* router_;
+};
+
+ShardRouter::ShardRouter(const std::vector<std::string>& backend_specs,
+                         RouterOptions options)
+    : options_(std::move(options)), shard_map_({}) {
+  if (backend_specs.empty()) {
+    throw std::invalid_argument("ShardRouter: no backends");
+  }
+  std::vector<std::string> ids;
+  for (const std::string& spec : backend_specs) {
+    std::optional<BackendAddress> address = ParseBackendAddress(spec);
+    if (!address.has_value()) {
+      throw std::invalid_argument("ShardRouter: bad backend spec '" + spec +
+                                  "' (want host:port)");
+    }
+    backends_.push_back(
+        std::make_unique<BackendChannel>(*address, options_.client));
+    ids.push_back(backends_.back()->id());
+  }
+  shard_map_ = ShardMap(std::move(ids));
+  handler_ = std::make_unique<RouterHandler>(this);
+}
+
+ShardRouter::~ShardRouter() { Stop(); }
+
+void ShardRouter::Start() {
+  for (auto& backend : backends_) backend->Probe();
+  net::ServerOptions server_options = options_.server;
+  server_options.role = "router";
+  server_ = std::make_unique<net::HttpServer>(handler_.get(), server_options);
+  server_->Start();
+  if (options_.health_poll_ms > 0) {
+    polling_.store(true);
+    poller_ = std::thread([this] { PollLoop(); });
+  }
+}
+
+void ShardRouter::Stop() {
+  if (polling_.exchange(false) && poller_.joinable()) poller_.join();
+  if (server_ != nullptr) server_->Stop();
+}
+
+uint16_t ShardRouter::port() const { return server_->port(); }
+
+const std::string& ShardRouter::host() const { return server_->host(); }
+
+std::vector<bool> ShardRouter::Eligibility() const {
+  std::vector<bool> eligible(backends_.size());
+  for (size_t i = 0; i < backends_.size(); ++i) {
+    eligible[i] = backends_[i]->healthy();
+  }
+  return eligible;
+}
+
+void ShardRouter::PollLoop() {
+  // Sleep in short slices so Stop() never waits a full poll period.
+  int elapsed_ms = options_.health_poll_ms;  // First round probes at once.
+  while (polling_.load()) {
+    if (elapsed_ms >= options_.health_poll_ms) {
+      for (auto& backend : backends_) {
+        if (!polling_.load()) return;
+        backend->Probe();
+      }
+      elapsed_ms = 0;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    elapsed_ms += 20;
+  }
+}
+
+}  // namespace shapley::cluster

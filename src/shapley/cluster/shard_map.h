@@ -1,0 +1,65 @@
+#ifndef SHAPLEY_CLUSTER_SHARD_MAP_H_
+#define SHAPLEY_CLUSTER_SHARD_MAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "shapley/service/request.h"
+
+namespace shapley::cluster {
+
+/// FNV-1a 64-bit over the bytes of `s` — fully specified here, so the same
+/// key hashes identically in every process of the fleet (std::hash is
+/// implementation-defined and therefore unusable as a shard function).
+uint64_t StableHash64(const std::string& s);
+
+/// The routing key of a request: a canonical, PROCESS-INDEPENDENT
+/// rendering of (query text, sorted fact text) — computed from the
+/// DECODED request alone, no evaluation. Unlike OracleCache::Fingerprint
+/// (which renders interner ids and is only stable within one schema),
+/// this key is a pure function of the instance: two textually different
+/// but canonically equal requests, decoded by any process, get the same
+/// key — so repeats of an instance always land on the same shard and
+/// warm that backend's oracle cache instead of spraying cold misses
+/// across the fleet. Returns "" when the request carries no query (the
+/// router then falls back to hashing the raw body).
+std::string ShardKeyFor(const SvcRequest& request);
+
+/// Rendezvous (highest-random-weight) hashing over a fixed list of backend
+/// ids. Each (key, backend) pair gets a stable 64-bit weight; a key's home
+/// is the backend with the highest weight. Properties the router leans on:
+///   - deterministic: any process with the same backend list computes the
+///     same placement (no shared state, no coordination);
+///   - minimal disruption: removing one backend remaps ONLY the keys whose
+///     highest weight was that backend (~1/N of them) — every other key
+///     keeps its shard and its warmed cache;
+///   - built-in fallback order: a key's SECOND-highest backend is its
+///     natural failover target, the same one every router instance picks.
+class ShardMap {
+ public:
+  static constexpr size_t npos = static_cast<size_t>(-1);
+
+  explicit ShardMap(std::vector<std::string> backend_ids);
+
+  size_t size() const { return ids_.size(); }
+  const std::vector<std::string>& ids() const { return ids_; }
+
+  /// All backend indices ordered by descending weight for `key` (ties by
+  /// lower index): Rank(key)[0] is the home shard, [1] the first fallback.
+  std::vector<size_t> Rank(const std::string& key) const;
+
+  /// The highest-weight backend among those with eligible[i] true; npos
+  /// when none is eligible. eligible.size() must equal size().
+  size_t Pick(const std::string& key, const std::vector<bool>& eligible) const;
+
+ private:
+  uint64_t Weight(const std::string& key, size_t backend) const;
+
+  std::vector<std::string> ids_;
+};
+
+}  // namespace shapley::cluster
+
+#endif  // SHAPLEY_CLUSTER_SHARD_MAP_H_

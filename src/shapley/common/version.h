@@ -1,0 +1,14 @@
+#ifndef SHAPLEY_COMMON_VERSION_H_
+#define SHAPLEY_COMMON_VERSION_H_
+
+namespace shapley {
+
+/// Build identity reported by GET /healthz (net/server.h, cluster/router.h)
+/// so a router's health probe — and an operator's curl — can tell which
+/// build answered without paying for a full /v1/stats snapshot. Bumped on
+/// wire-visible changes.
+inline constexpr const char* kShapleyVersion = "0.6.0";
+
+}  // namespace shapley
+
+#endif  // SHAPLEY_COMMON_VERSION_H_

@@ -28,6 +28,8 @@ std::string ToString(SvcErrorCode code) {
       return "invalid-request";
     case SvcErrorCode::kEngineFailure:
       return "engine-failure";
+    case SvcErrorCode::kUpstreamUnavailable:
+      return "upstream-unavailable";
   }
   return "?";
 }

@@ -28,6 +28,10 @@ enum class SvcErrorCode {
   /// The engine failed for any other reason (compilation node cap,
   /// resource exhaustion, ...).
   kEngineFailure,
+  /// A proxy (the shard router) could not reach any backend able to serve
+  /// the request — the request itself is fine; the fleet behind the proxy
+  /// is not. Clients may retry after a backoff.
+  kUpstreamUnavailable,
 };
 
 std::string ToString(SvcErrorCode code);

@@ -1,7 +1,12 @@
 #include "shapley/net/client.h"
 
+#include <algorithm>
+#include <chrono>
 #include <stdexcept>
+#include <thread>
 #include <utility>
+
+#include "shapley/approx/rng.h"
 
 namespace shapley::net {
 
@@ -29,6 +34,22 @@ SvcResponse DecodeOrThrow(const std::string& body,
 
 }  // namespace
 
+int ReconnectBackoff::DelayMs(size_t attempt) const {
+  if (attempt == 0) return 0;
+  // cap = min(base·2^(k−1), max), grown in uint64 so a large attempt
+  // count cannot overflow past the cap.
+  uint64_t cap = static_cast<uint64_t>(std::max(base_ms_, 1));
+  const uint64_t max = static_cast<uint64_t>(std::max(max_ms_, 1));
+  for (size_t k = 1; k < attempt && cap < max; ++k) cap *= 2;
+  cap = std::min(cap, max);
+  // Equal jitter: keep at least half the cap (a real pause) and draw the
+  // rest from a SplitMix64 stream keyed by (seed, attempt) — pure, so the
+  // schedule replays identically and is unit-testable.
+  const uint64_t half = cap / 2;
+  SplitMix64 rng(MixSeed(seed_, attempt));
+  return static_cast<int>(half + rng.NextBelow(cap - half + 1));
+}
+
 ShapleyClient::ShapleyClient(std::string host, uint16_t port,
                              ClientOptions options)
     : host_(std::move(host)), port_(port), options_(options) {}
@@ -41,12 +62,28 @@ bool ShapleyClient::EnsureConnected() {
   if (socket_.valid() && reader_ != nullptr) return true;
   socket_.Close();
   reader_.reset();
-  std::string error;
-  socket_ = ConnectTcp(host_, port_, &error);
-  if (!socket_.valid()) return false;
-  reader_ = std::make_unique<SocketReader>(socket_.fd(),
-                                           options_.read_timeout_ms);
-  return true;
+  // Dial with the backoff schedule: a backend restarting (or a listen
+  // queue momentarily full) deserves a few spaced attempts, not an
+  // instant failure — but attempts are capped, so a DEAD backend still
+  // fails in bounded time and the router can move on to a fallback shard.
+  const ReconnectBackoff backoff(options_.base_backoff_ms,
+                                 options_.max_backoff_ms,
+                                 options_.backoff_seed);
+  const int attempts = std::max(options_.connect_attempts, 1);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    const int delay = backoff.DelayMs(static_cast<size_t>(attempt));
+    if (delay > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+    }
+    std::string error;
+    socket_ = ConnectTcp(host_, port_, &error);
+    if (socket_.valid()) {
+      reader_ = std::make_unique<SocketReader>(socket_.fd(),
+                                               options_.read_timeout_ms);
+      return true;
+    }
+  }
+  return false;
 }
 
 HttpResponse ShapleyClient::RoundTrip(
@@ -220,6 +257,61 @@ Json ShapleyClient::Stats() {
   std::optional<Json> json = Json::Parse(http.body, &parse_error);
   if (!json.has_value()) ThrowTransport("bad /v1/stats body: " + parse_error);
   return *json;
+}
+
+std::string ShapleyClient::RawCompute(const std::string& body, int* status) {
+  bool chunked = false;
+  HttpResponse http =
+      RoundTrip("POST", "/v1/compute", body, &chunked, nullptr);
+  if (chunked) ThrowTransport("/v1/compute answered with a chunked body");
+  last_status_ = http.status;
+  if (status != nullptr) *status = http.status;
+  return std::move(http.body);
+}
+
+void ShapleyClient::RawBatch(
+    const std::string& body,
+    const std::function<void(const std::string& line)>& on_line) {
+  bool chunked = false;
+  std::unique_ptr<SocketReader> reader;
+  HttpResponse http = RoundTrip("POST", "/v1/batch", body, &chunked, &reader);
+  last_status_ = http.status;
+  if (!chunked) {
+    ThrowTransport("batch refused: " + http.body);
+  }
+
+  // However streaming ends — cleanly or by throw — the connection has
+  // protocol state we will not resync; drop it so the next call redials.
+  struct ConnectionDropper {
+    Socket* socket;
+    ~ConnectionDropper() { socket->Close(); }
+  } dropper{&socket_};
+
+  std::string pending;  // ndjson lines may straddle chunk boundaries.
+  bool done = false;
+  std::string chunk;
+  while (!done) {
+    if (!ReadChunk(reader.get(), options_.max_body_bytes, &chunk, &done)) {
+      ThrowTransport("batch stream died mid-way");
+    }
+    pending += chunk;
+    size_t nl;
+    while ((nl = pending.find('\n')) != std::string::npos) {
+      std::string line = pending.substr(0, nl);
+      pending.erase(0, nl + 1);
+      if (line.empty()) continue;
+      on_line(line);
+    }
+  }
+}
+
+std::string ShapleyClient::RawGet(const std::string& target, int* status) {
+  bool chunked = false;
+  HttpResponse http = RoundTrip("GET", target, "", &chunked, nullptr);
+  if (chunked) ThrowTransport(target + " answered with a chunked body");
+  last_status_ = http.status;
+  if (status != nullptr) *status = http.status;
+  return std::move(http.body);
 }
 
 }  // namespace shapley::net

@@ -2,6 +2,7 @@
 #define SHAPLEY_NET_CLIENT_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -18,6 +19,37 @@ struct ClientOptions {
   /// think for a while before the response starts.
   int read_timeout_ms = 60'000;
   size_t max_body_bytes = 64 * 1024 * 1024;
+  /// Dial attempts per EnsureConnected (≥ 1). The first attempt is
+  /// immediate; each later one waits out ReconnectBackoff::DelayMs first.
+  int connect_attempts = 4;
+  /// Backoff schedule (see ReconnectBackoff): attempt k ≥ 1 waits a
+  /// jittered delay in [cap/2, cap] with cap = min(base·2^(k−1), max).
+  int base_backoff_ms = 10;
+  int max_backoff_ms = 250;
+  /// Jitter seed. The schedule is a pure function of (seed, attempt) —
+  /// deterministic for tests, while different clients (different seeds)
+  /// still spread their retries instead of dialing in lockstep.
+  uint64_t backoff_seed = 0;
+};
+
+/// The client's reconnect schedule: capped exponential backoff with
+/// deterministic equal-jitter. DelayMs(0) is 0 (first dial is free);
+/// DelayMs(k) for k ≥ 1 is drawn from [cap/2, cap], cap =
+/// min(base·2^(k−1), max), with the draw a pure SplitMix64 function of
+/// (seed, k) — the same seed replays the same schedule bit for bit, and
+/// distinct seeds decorrelate, so a fleet of clients losing one backend
+/// does not thundering-herd its replacement.
+class ReconnectBackoff {
+ public:
+  ReconnectBackoff(int base_ms, int max_ms, uint64_t seed)
+      : base_ms_(base_ms), max_ms_(max_ms), seed_(seed) {}
+
+  int DelayMs(size_t attempt) const;
+
+ private:
+  int base_ms_;
+  int max_ms_;
+  uint64_t seed_;
 };
 
 /// Blocking HTTP client for the Shapley network front — the library the
@@ -54,6 +86,25 @@ class ShapleyClient {
   /// GET /v1/engines and /v1/stats, as parsed JSON.
   Json Engines();
   Json Stats();
+
+  /// Raw proxy surface — the shard router's path. Bodies cross VERBATIM in
+  /// both directions (no decode→re-encode round trip), so fields this
+  /// build does not know about survive the hop unchanged.
+
+  /// POST /v1/compute with `body` as-is; returns the raw response body and
+  /// sets *status to the HTTP status.
+  std::string RawCompute(const std::string& body, int* status);
+
+  /// POST /v1/batch with `body` as-is; `on_line` receives each ndjson line
+  /// verbatim (without its trailing newline) as it streams in. Throws
+  /// std::runtime_error on transport failure — possibly after some lines
+  /// were already delivered; the caller tracks which ids it has seen.
+  void RawBatch(const std::string& body,
+                const std::function<void(const std::string& line)>& on_line);
+
+  /// GET `target` (e.g. "/v1/stats", "/healthz") as-is; returns the raw
+  /// response body and sets *status.
+  std::string RawGet(const std::string& target, int* status);
 
   /// The HTTP status of the last Compute/Engines/Stats call (batch: 200).
   int last_status() const { return last_status_; }

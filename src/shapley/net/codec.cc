@@ -149,9 +149,10 @@ Json EncodeValueEntry(const Fact& fact, const BigRational& value,
 std::optional<SvcError> DecodeValueEntry(
     const Json& json, const std::shared_ptr<Schema>& schema, Fact* fact,
     BigRational* value) {
-  if (auto err = RejectUnknownFields(json, {"fact", "value", "approx_value"},
-                                     "values[]")) {
-    return err;
+  // Response path: unknown fields are IGNORED, not rejected (see
+  // DecodeResponse) — a newer server may annotate entries.
+  if (json.IfObject() == nullptr) {
+    return Invalid("values[]: expected a JSON object");
   }
   const Json* fact_json = json.Find("fact");
   const Json* value_json = json.Find("value");
@@ -246,6 +247,8 @@ int HttpStatusFor(SvcErrorCode code) {
       return 504;
     case SvcErrorCode::kEngineFailure:
       return 500;
+    case SvcErrorCode::kUpstreamUnavailable:
+      return 503;  // The fleet behind a proxy is down; retry later.
   }
   return 500;
 }
@@ -254,7 +257,8 @@ std::optional<SvcErrorCode> ParseSvcErrorCode(const std::string& name) {
   for (SvcErrorCode code :
        {SvcErrorCode::kCapacityExceeded, SvcErrorCode::kUnsupportedQuery,
         SvcErrorCode::kDeadlineExceeded, SvcErrorCode::kCancelled,
-        SvcErrorCode::kInvalidRequest, SvcErrorCode::kEngineFailure}) {
+        SvcErrorCode::kInvalidRequest, SvcErrorCode::kEngineFailure,
+        SvcErrorCode::kUpstreamUnavailable}) {
     if (shapley::ToString(code) == name) return code;
   }
   return std::nullopt;
@@ -528,12 +532,14 @@ Json EncodeResponse(const SvcResponse& response, const Schema& schema) {
 std::optional<SvcError> DecodeResponse(const Json& json,
                                        const std::shared_ptr<Schema>& schema,
                                        SvcResponse* out) {
-  if (auto err = RejectUnknownFields(
-          json,
-          {"mode", "status", "verdict", "engine", "routed_by_classifier",
-           "values", "ranked", "approx", "error", "stats"},
-          "response")) {
-    return err;
+  // FORWARD COMPATIBILITY: unlike the request path (where an unknown field
+  // is a client typo that must fail loudly), unknown RESPONSE fields are
+  // ignored — a newer server, or a newer backend behind the shard router,
+  // may legitimately annotate responses with fields this build predates.
+  // Known fields keep their strict type checks; the router passes the raw
+  // line through untouched, so nothing is lost either way.
+  if (json.IfObject() == nullptr) {
+    return Invalid("response: expected a JSON object");
   }
   SvcResponse response;
 
@@ -548,12 +554,8 @@ std::optional<SvcError> DecodeResponse(const Json& json,
   response.mode = *mode;
 
   if (const Json* verdict = json.Find("verdict")) {
-    if (auto err = RejectUnknownFields(
-            *verdict,
-            {"tractability", "query_class", "justification",
-             "fgmc_svc_equivalent"},
-            "response.verdict")) {
-      return err;
+    if (verdict->IfObject() == nullptr) {
+      return Invalid("response.verdict: expected a JSON object");
     }
     std::string tractability = "unknown";
     if (!ReadString(*verdict, "tractability", &tractability) ||
@@ -600,14 +602,8 @@ std::optional<SvcError> DecodeResponse(const Json& json,
   }
 
   if (const Json* approx = json.Find("approx")) {
-    if (auto err = RejectUnknownFields(
-            *approx,
-            {"epsilon", "delta", "seed", "samples", "half_width", "confidence",
-             "range", "memo_hits", "strategy", "hoeffding_baseline",
-             "checkpoints", "facts_retired", "fact_ranges", "fact_samples",
-             "fact_half_widths"},
-            "response.approx")) {
-      return err;
+    if (approx->IfObject() == nullptr) {
+      return Invalid("response.approx: expected a JSON object");
     }
     ApproxInfo info;
     if (!ReadDouble(*approx, "epsilon", &info.epsilon) ||
@@ -664,10 +660,8 @@ std::optional<SvcError> DecodeResponse(const Json& json,
   }
 
   if (const Json* error = json.Find("error")) {
-    if (auto err = RejectUnknownFields(
-            *error, {"code", "status", "message", "engine"},
-            "response.error")) {
-      return err;
+    if (error->IfObject() == nullptr) {
+      return Invalid("response.error: expected a JSON object");
     }
     SvcError decoded_error;
     std::string code_name = shapley::ToString(SvcErrorCode::kEngineFailure);
@@ -686,9 +680,8 @@ std::optional<SvcError> DecodeResponse(const Json& json,
   }
 
   if (const Json* stats = json.Find("stats")) {
-    if (auto err = RejectUnknownFields(*stats, {"queue_ms", "exec_ms"},
-                                       "response.stats")) {
-      return err;
+    if (stats->IfObject() == nullptr) {
+      return Invalid("response.stats: expected a JSON object");
     }
     if (!ReadDouble(*stats, "queue_ms", &response.stats.queue_ms) ||
         !ReadDouble(*stats, "exec_ms", &response.stats.exec_ms)) {

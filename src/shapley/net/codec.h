@@ -57,12 +57,22 @@ namespace shapley::net {
 ///               "message": "...", "engine": ""},    // only on failure
 ///     "stats": {"queue_ms": ..., "exec_ms": ...}
 ///   }
+///
+/// FORWARD COMPATIBILITY: the two decode paths deliberately differ.
+/// DecodeRequest stays STRICT (unknown fields are rejected — a client typo
+/// must fail loudly). DecodeResponse IGNORES unknown fields at every level
+/// (top level, verdict, approx, error, stats, values[]): a response comes
+/// from a trusted server, and an older client — or the shard router
+/// proxying for one — must tolerate fields a newer backend adds. The
+/// router additionally forwards response bodies verbatim (raw bytes, not
+/// decode→re-encode), so unknown fields survive the proxy hop unchanged.
 
 /// HTTP-style status for a structured error code — the mapping the README
 /// documents and the server sends:
 ///   invalid-request    → 400   unsupported-query  → 422
 ///   capacity-exceeded  → 413   deadline-exceeded  → 504
 ///   cancelled          → 499   engine-failure     → 500
+///   upstream-unavailable → 503
 /// (ok → 200.)
 int HttpStatusFor(SvcErrorCode code);
 

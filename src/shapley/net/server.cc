@@ -9,16 +9,12 @@
 #include <stdexcept>
 #include <utility>
 
+#include "shapley/common/version.h"
 #include "shapley/net/codec.h"
 #include "shapley/net/json.h"
 
 namespace shapley::net {
 
-namespace {
-
-/// A response for failures raised by the HTTP layer itself (no service
-/// round-trip happened): same wire shape as every other error, so clients
-/// have exactly one error format to handle.
 std::string FrontEndErrorBody(SvcErrorCode code, std::string message) {
   SvcResponse response;
   response.error = SvcError{code, std::move(message), ""};
@@ -27,10 +23,267 @@ std::string FrontEndErrorBody(SvcErrorCode code, std::string message) {
   return EncodeResponse(response, *schema).Dump();
 }
 
-}  // namespace
+bool WriteJsonResponse(Socket* socket, int status, const std::string& body,
+                       bool keep_alive) {
+  return socket->SendAll(
+      SerializeResponseHead(status, "application/json",
+                            static_cast<long>(body.size()), keep_alive) +
+      body);
+}
+
+// ---------------------------------------------------------------------------
+// ServiceHandler
+// ---------------------------------------------------------------------------
+
+bool ServiceHandler::Handle(Socket* socket, const HttpRequest& request,
+                            bool keep_alive, const ServerCounters& counters) {
+  if (request.target == "/v1/compute") {
+    if (request.method != "POST") {
+      return WriteJsonResponse(socket, 405,
+                               FrontEndErrorBody(SvcErrorCode::kInvalidRequest,
+                                                 "use POST on /v1/compute"),
+                               keep_alive);
+    }
+    return HandleCompute(socket, request, keep_alive);
+  }
+  if (request.target == "/v1/batch") {
+    if (request.method != "POST") {
+      return WriteJsonResponse(socket, 405,
+                               FrontEndErrorBody(SvcErrorCode::kInvalidRequest,
+                                                 "use POST on /v1/batch"),
+                               keep_alive);
+    }
+    return HandleBatch(socket, request, keep_alive);
+  }
+  if (request.target == "/v1/engines") {
+    if (request.method != "GET") {
+      return WriteJsonResponse(socket, 405,
+                               FrontEndErrorBody(SvcErrorCode::kInvalidRequest,
+                                                 "use GET on /v1/engines"),
+                               keep_alive);
+    }
+    return HandleEngines(socket, keep_alive);
+  }
+  if (request.target == "/v1/stats") {
+    if (request.method != "GET") {
+      return WriteJsonResponse(socket, 405,
+                               FrontEndErrorBody(SvcErrorCode::kInvalidRequest,
+                                                 "use GET on /v1/stats"),
+                               keep_alive);
+    }
+    return HandleStats(socket, keep_alive, counters);
+  }
+  return WriteJsonResponse(
+      socket, 404,
+      FrontEndErrorBody(SvcErrorCode::kInvalidRequest,
+                        "unknown endpoint " + request.target),
+      keep_alive);
+}
+
+bool ServiceHandler::HandleCompute(Socket* socket, const HttpRequest& request,
+                                   bool keep_alive) {
+  std::string parse_error;
+  std::optional<Json> json = Json::Parse(request.body, &parse_error);
+  if (!json.has_value()) {
+    return WriteJsonResponse(socket, 400,
+                             FrontEndErrorBody(SvcErrorCode::kInvalidRequest,
+                                               "bad JSON: " + parse_error),
+                             keep_alive);
+  }
+  DecodedRequest decoded;
+  if (std::optional<SvcError> error = DecodeRequest(*json, &decoded)) {
+    SvcResponse response;
+    response.error = std::move(error);
+    auto schema = Schema::Create();
+    return WriteJsonResponse(socket, HttpStatusFor(response.error->code),
+                             EncodeResponse(response, *schema).Dump(),
+                             keep_alive);
+  }
+  // Blocking Compute on the connection thread: the service's pool does the
+  // fan-out; this thread is exactly the client's wait.
+  SvcResponse response = service_->Compute(std::move(decoded.request));
+  const int status =
+      response.ok() ? 200 : HttpStatusFor(response.error->code);
+  return WriteJsonResponse(socket, status,
+                           EncodeResponse(response, *decoded.schema).Dump(),
+                           keep_alive);
+}
+
+bool ServiceHandler::HandleBatch(Socket* socket, const HttpRequest& request,
+                                 bool keep_alive) {
+  std::string parse_error;
+  std::optional<Json> json = Json::Parse(request.body, &parse_error);
+  if (!json.has_value()) {
+    return WriteJsonResponse(socket, 400,
+                             FrontEndErrorBody(SvcErrorCode::kInvalidRequest,
+                                               "bad JSON: " + parse_error),
+                             keep_alive);
+  }
+  const Json* requests = json->Find("requests");
+  const Json::Array* items =
+      requests != nullptr ? requests->IfArray() : nullptr;
+  if (items == nullptr) {
+    return WriteJsonResponse(socket, 400,
+                             FrontEndErrorBody(
+                                 SvcErrorCode::kInvalidRequest,
+                                 "batch: expected {\"requests\": [...]}"),
+                             keep_alive);
+  }
+
+  // Decode everything first; per-request decode failures become tagged
+  // error lines in the stream (one bad request must not sink its batch).
+  struct Slot {
+    std::shared_ptr<Schema> schema;
+    std::future<SvcResponse> future;
+    std::optional<SvcResponse> immediate;  // Decode failures.
+    bool streamed = false;
+  };
+  std::vector<Slot> slots(items->size());
+  for (size_t i = 0; i < items->size(); ++i) {
+    DecodedRequest decoded;
+    if (std::optional<SvcError> error = DecodeRequest((*items)[i], &decoded)) {
+      SvcResponse response;
+      response.error = std::move(error);
+      slots[i].schema = Schema::Create();
+      slots[i].immediate = std::move(response);
+    } else {
+      slots[i].schema = decoded.schema;
+      slots[i].future = service_->Submit(std::move(decoded.request));
+    }
+  }
+
+  // Stream in COMPLETION order: chunked ndjson, each line tagged "id".
+  if (!socket->SendAll(SerializeResponseHead(
+          200, "application/x-ndjson", /*content_length=*/-1, keep_alive))) {
+    return false;
+  }
+  auto stream_one = [&](size_t i, const SvcResponse& response) {
+    Json line = EncodeResponse(response, *slots[i].schema);
+    // The id leads the object so a human tailing the stream sees it first.
+    Json tagged;
+    tagged.Set("id", Json::Number(uint64_t{i}));
+    for (auto& [key, value] : *line.IfObject()) {
+      tagged.Set(key, value);
+    }
+    return socket->SendAll(ChunkFrame(tagged.Dump() + "\n"));
+  };
+
+  size_t remaining = slots.size();
+  for (size_t i = 0; i < slots.size(); ++i) {
+    if (slots[i].immediate.has_value()) {
+      if (!stream_one(i, *slots[i].immediate)) return false;
+      slots[i].streamed = true;
+      --remaining;
+    }
+  }
+  while (remaining > 0) {
+    bool progressed = false;
+    for (size_t i = 0; i < slots.size(); ++i) {
+      if (slots[i].streamed) continue;
+      if (slots[i].future.wait_for(std::chrono::milliseconds(0)) ==
+          std::future_status::ready) {
+        const SvcResponse response = slots[i].future.get();
+        if (!stream_one(i, response)) return false;
+        slots[i].streamed = true;
+        --remaining;
+        progressed = true;
+      }
+    }
+    if (!progressed && remaining > 0) {
+      // Nothing ready: block on the first outstanding future instead of
+      // spinning. 25 ms keeps completion-order latency invisible while a
+      // minutes-long instance costs ~40 wake-ups/s, not ~500.
+      for (size_t i = 0; i < slots.size(); ++i) {
+        if (!slots[i].streamed) {
+          slots[i].future.wait_for(std::chrono::milliseconds(25));
+          break;
+        }
+      }
+    }
+  }
+  return socket->SendAll(ChunkFrame(""));  // Terminal chunk.
+}
+
+bool ServiceHandler::HandleEngines(Socket* socket, bool keep_alive) {
+  Json engines = Json::Arr();
+  const EngineRegistry& registry = service_->registry();
+  for (const std::string& name : registry.Names()) {
+    const EngineRegistry::Entry* entry = registry.Find(name);
+    Json engine;
+    engine.Set("name", Json::Str(entry->name));
+    engine.Set("description", Json::Str(entry->description));
+    Json caps;
+    caps.Set("all_query_classes", Json::Bool(entry->caps.all_query_classes));
+    caps.Set("monotone_only", Json::Bool(entry->caps.monotone_only));
+    caps.Set("hierarchical_sjf_cq_only",
+             Json::Bool(entry->caps.hierarchical_sjf_cq_only));
+    caps.Set("approximate", Json::Bool(entry->caps.approximate));
+    if (entry->caps.max_endogenous != std::numeric_limits<size_t>::max()) {
+      caps.Set("max_endogenous",
+               Json::Number(uint64_t{entry->caps.max_endogenous}));
+    }
+    if (!entry->caps.error_model.empty()) {
+      caps.Set("error_model", Json::Str(entry->caps.error_model));
+    }
+    engine.Set("caps", std::move(caps));
+    engines.Push(std::move(engine));
+  }
+  Json body;
+  body.Set("engines", std::move(engines));
+  return WriteJsonResponse(socket, 200, body.Dump(), keep_alive);
+}
+
+bool ServiceHandler::HandleStats(Socket* socket, bool keep_alive,
+                                 const ServerCounters& counters) {
+  const ServiceStats stats = service_->Stats();
+  Json service;
+  service.Set("requests_submitted",
+              Json::Number(uint64_t{stats.requests_submitted}));
+  service.Set("requests_completed",
+              Json::Number(uint64_t{stats.requests_completed}));
+  service.Set("requests_failed",
+              Json::Number(uint64_t{stats.requests_failed}));
+  service.Set("requests_inflight",
+              Json::Number(uint64_t{stats.requests_inflight}));
+  service.Set("verdict_cache_hits",
+              Json::Number(uint64_t{stats.verdict_cache_hits}));
+  service.Set("verdict_cache_misses",
+              Json::Number(uint64_t{stats.verdict_cache_misses}));
+  service.Set("pool_threads", Json::Number(uint64_t{stats.pool_threads}));
+  service.Set("pool_tasks_executed",
+              Json::Number(uint64_t{stats.pool_tasks_executed}));
+  service.Set("cache_entries", Json::Number(uint64_t{stats.cache_entries}));
+  service.Set("cache_bytes", Json::Number(uint64_t{stats.cache_bytes}));
+  service.Set("cache_hits", Json::Number(uint64_t{stats.cache_hits}));
+  service.Set("cache_misses", Json::Number(uint64_t{stats.cache_misses}));
+  service.Set("cache_evictions",
+              Json::Number(uint64_t{stats.cache_evictions}));
+  Json server;
+  server.Set("connections_accepted",
+             Json::Number(uint64_t{counters.connections_accepted}));
+  server.Set("connections_rejected",
+             Json::Number(uint64_t{counters.connections_rejected}));
+  server.Set("connections_live",
+             Json::Number(uint64_t{counters.connections_live}));
+  server.Set("requests_served",
+             Json::Number(uint64_t{counters.requests_served}));
+  Json body;
+  body.Set("service", std::move(service));
+  body.Set("server", std::move(server));
+  return WriteJsonResponse(socket, 200, body.Dump(), keep_alive);
+}
+
+// ---------------------------------------------------------------------------
+// HttpServer
+// ---------------------------------------------------------------------------
 
 HttpServer::HttpServer(ShapleyService* service, ServerOptions options)
-    : service_(service), options_(std::move(options)) {}
+    : owned_handler_(std::make_unique<ServiceHandler>(service)),
+      handler_(owned_handler_.get()),
+      options_(std::move(options)) {}
+
+HttpServer::HttpServer(HttpHandler* handler, ServerOptions options)
+    : handler_(handler), options_(std::move(options)) {}
 
 HttpServer::~HttpServer() { Stop(); }
 
@@ -48,18 +301,31 @@ void HttpServer::Start() {
 
 void HttpServer::Stop() {
   if (!running_.exchange(false)) return;
+  // Drain: a connection mid-request finishes it and writes the response
+  // (SHUT_RD only closes the READ side); an IDLE keep-alive connection is
+  // parked in poll() waiting for its next request and would otherwise hold
+  // the join until its read timeout — SHUT_RD turns that wait into an
+  // immediate EOF.
+  HaltConnections(/*both_directions=*/false);
+}
+
+void HttpServer::Abort() {
+  if (!running_.exchange(false)) return;
+  // Crash simulation: SHUT_RDWR makes the in-flight response WRITE fail
+  // too, so a client streaming a batch sees the connection die mid-stream
+  // exactly as if the process had been killed.
+  HaltConnections(/*both_directions=*/true);
+}
+
+void HttpServer::HaltConnections(bool both_directions) {
   stopping_.store(true);
   if (acceptor_.joinable()) acceptor_.join();
   listener_.Close();
-  // Drain: a connection mid-request finishes it and writes the response
-  // (shutdown below only closes the READ side); an IDLE keep-alive
-  // connection is parked in poll() waiting for its next request and would
-  // otherwise hold the join until its read timeout — SHUT_RD turns that
-  // wait into an immediate EOF.
   std::vector<std::thread> threads;
   {
     std::lock_guard<std::mutex> lock(conns_mutex_);
-    for (const auto& [id, fd] : conn_fds_) ::shutdown(fd, SHUT_RD);
+    const int how = both_directions ? SHUT_RDWR : SHUT_RD;
+    for (const auto& [id, fd] : conn_fds_) ::shutdown(fd, how);
     for (auto& [id, thread] : conn_threads_) threads.push_back(std::move(thread));
     conn_threads_.clear();
     finished_conns_.clear();
@@ -67,6 +333,15 @@ void HttpServer::Stop() {
   for (std::thread& thread : threads) {
     if (thread.joinable()) thread.join();
   }
+}
+
+ServerCounters HttpServer::counters() const {
+  ServerCounters counters;
+  counters.connections_accepted = accepted_.load();
+  counters.connections_rejected = rejected_.load();
+  counters.connections_live = live_connections_.load();
+  counters.requests_served = served_.load();
+  return counters;
 }
 
 void HttpServer::ReapFinished() {
@@ -190,247 +465,31 @@ void HttpServer::ConnectionLoop(Socket* socket_ptr) {
     // response (and then asks /v1/stats, or a test that asserts counters)
     // must already see this request in the tally.
     served_.fetch_add(1, std::memory_order_relaxed);
-    if (!HandleRequest(&socket, request, keep_alive)) break;
+
+    bool alive;
+    if (request.target == "/healthz") {
+      // Answered at the transport layer: a router probing a backend's
+      // health must get a response even when the handler (or the service
+      // behind it) is busy to the gills.
+      if (request.method != "GET") {
+        alive = WriteJsonResponse(
+            &socket, 405,
+            FrontEndErrorBody(SvcErrorCode::kInvalidRequest,
+                              "use GET on /healthz"),
+            keep_alive);
+      } else {
+        Json body;
+        body.Set("status", Json::Str("ok"));
+        body.Set("version", Json::Str(kShapleyVersion));
+        body.Set("role", Json::Str(options_.role));
+        alive = WriteJsonResponse(&socket, 200, body.Dump(), keep_alive);
+      }
+    } else {
+      alive = handler_->Handle(&socket, request, keep_alive, counters());
+    }
+    if (!alive) break;
     if (!keep_alive) break;
   }
-}
-
-bool HttpServer::HandleRequest(Socket* socket, const HttpRequest& request,
-                               bool keep_alive) {
-  if (request.target == "/v1/compute") {
-    if (request.method != "POST") {
-      return WriteJson(socket, 405,
-                       FrontEndErrorBody(SvcErrorCode::kInvalidRequest,
-                                         "use POST on /v1/compute"),
-                       keep_alive);
-    }
-    return HandleCompute(socket, request, keep_alive);
-  }
-  if (request.target == "/v1/batch") {
-    if (request.method != "POST") {
-      return WriteJson(socket, 405,
-                       FrontEndErrorBody(SvcErrorCode::kInvalidRequest,
-                                         "use POST on /v1/batch"),
-                       keep_alive);
-    }
-    return HandleBatch(socket, request, keep_alive);
-  }
-  if (request.target == "/v1/engines") {
-    if (request.method != "GET") {
-      return WriteJson(socket, 405,
-                       FrontEndErrorBody(SvcErrorCode::kInvalidRequest,
-                                         "use GET on /v1/engines"),
-                       keep_alive);
-    }
-    return HandleEngines(socket, keep_alive);
-  }
-  if (request.target == "/v1/stats") {
-    if (request.method != "GET") {
-      return WriteJson(socket, 405,
-                       FrontEndErrorBody(SvcErrorCode::kInvalidRequest,
-                                         "use GET on /v1/stats"),
-                       keep_alive);
-    }
-    return HandleStats(socket, keep_alive);
-  }
-  return WriteJson(socket, 404,
-                   FrontEndErrorBody(SvcErrorCode::kInvalidRequest,
-                                     "unknown endpoint " + request.target),
-                   keep_alive);
-}
-
-bool HttpServer::HandleCompute(Socket* socket, const HttpRequest& request,
-                               bool keep_alive) {
-  std::string parse_error;
-  std::optional<Json> json = Json::Parse(request.body, &parse_error);
-  if (!json.has_value()) {
-    return WriteJson(socket, 400,
-                     FrontEndErrorBody(SvcErrorCode::kInvalidRequest,
-                                       "bad JSON: " + parse_error),
-                     keep_alive);
-  }
-  DecodedRequest decoded;
-  if (std::optional<SvcError> error = DecodeRequest(*json, &decoded)) {
-    SvcResponse response;
-    response.error = std::move(error);
-    auto schema = Schema::Create();
-    return WriteJson(socket, HttpStatusFor(response.error->code),
-                     EncodeResponse(response, *schema).Dump(), keep_alive);
-  }
-  // Blocking Compute on the connection thread: the service's pool does the
-  // fan-out; this thread is exactly the client's wait.
-  SvcResponse response = service_->Compute(std::move(decoded.request));
-  const int status =
-      response.ok() ? 200 : HttpStatusFor(response.error->code);
-  return WriteJson(socket, status,
-                   EncodeResponse(response, *decoded.schema).Dump(),
-                   keep_alive);
-}
-
-bool HttpServer::HandleBatch(Socket* socket, const HttpRequest& request,
-                             bool keep_alive) {
-  std::string parse_error;
-  std::optional<Json> json = Json::Parse(request.body, &parse_error);
-  if (!json.has_value()) {
-    return WriteJson(socket, 400,
-                     FrontEndErrorBody(SvcErrorCode::kInvalidRequest,
-                                       "bad JSON: " + parse_error),
-                     keep_alive);
-  }
-  const Json* requests = json->Find("requests");
-  const Json::Array* items =
-      requests != nullptr ? requests->IfArray() : nullptr;
-  if (items == nullptr) {
-    return WriteJson(socket, 400,
-                     FrontEndErrorBody(
-                         SvcErrorCode::kInvalidRequest,
-                         "batch: expected {\"requests\": [...]}"),
-                     keep_alive);
-  }
-
-  // Decode everything first; per-request decode failures become tagged
-  // error lines in the stream (one bad request must not sink its batch).
-  struct Slot {
-    std::shared_ptr<Schema> schema;
-    std::future<SvcResponse> future;
-    std::optional<SvcResponse> immediate;  // Decode failures.
-    bool streamed = false;
-  };
-  std::vector<Slot> slots(items->size());
-  for (size_t i = 0; i < items->size(); ++i) {
-    DecodedRequest decoded;
-    if (std::optional<SvcError> error = DecodeRequest((*items)[i], &decoded)) {
-      SvcResponse response;
-      response.error = std::move(error);
-      slots[i].schema = Schema::Create();
-      slots[i].immediate = std::move(response);
-    } else {
-      slots[i].schema = decoded.schema;
-      slots[i].future = service_->Submit(std::move(decoded.request));
-    }
-  }
-
-  // Stream in COMPLETION order: chunked ndjson, each line tagged "id".
-  if (!socket->SendAll(SerializeResponseHead(
-          200, "application/x-ndjson", /*content_length=*/-1, keep_alive))) {
-    return false;
-  }
-  auto stream_one = [&](size_t i, const SvcResponse& response) {
-    Json line = EncodeResponse(response, *slots[i].schema);
-    // The id leads the object so a human tailing the stream sees it first.
-    Json tagged;
-    tagged.Set("id", Json::Number(uint64_t{i}));
-    for (auto& [key, value] : *line.IfObject()) {
-      tagged.Set(key, value);
-    }
-    return socket->SendAll(ChunkFrame(tagged.Dump() + "\n"));
-  };
-
-  size_t remaining = slots.size();
-  for (size_t i = 0; i < slots.size(); ++i) {
-    if (slots[i].immediate.has_value()) {
-      if (!stream_one(i, *slots[i].immediate)) return false;
-      slots[i].streamed = true;
-      --remaining;
-    }
-  }
-  while (remaining > 0) {
-    bool progressed = false;
-    for (size_t i = 0; i < slots.size(); ++i) {
-      if (slots[i].streamed) continue;
-      if (slots[i].future.wait_for(std::chrono::milliseconds(0)) ==
-          std::future_status::ready) {
-        const SvcResponse response = slots[i].future.get();
-        if (!stream_one(i, response)) return false;
-        slots[i].streamed = true;
-        --remaining;
-        progressed = true;
-      }
-    }
-    if (!progressed && remaining > 0) {
-      // Nothing ready: block on the first outstanding future instead of
-      // spinning. 25 ms keeps completion-order latency invisible while a
-      // minutes-long instance costs ~40 wake-ups/s, not ~500.
-      for (size_t i = 0; i < slots.size(); ++i) {
-        if (!slots[i].streamed) {
-          slots[i].future.wait_for(std::chrono::milliseconds(25));
-          break;
-        }
-      }
-    }
-  }
-  return socket->SendAll(ChunkFrame(""));  // Terminal chunk.
-}
-
-bool HttpServer::HandleEngines(Socket* socket, bool keep_alive) {
-  Json engines = Json::Arr();
-  const EngineRegistry& registry = service_->registry();
-  for (const std::string& name : registry.Names()) {
-    const EngineRegistry::Entry* entry = registry.Find(name);
-    Json engine;
-    engine.Set("name", Json::Str(entry->name));
-    engine.Set("description", Json::Str(entry->description));
-    Json caps;
-    caps.Set("all_query_classes", Json::Bool(entry->caps.all_query_classes));
-    caps.Set("monotone_only", Json::Bool(entry->caps.monotone_only));
-    caps.Set("hierarchical_sjf_cq_only",
-             Json::Bool(entry->caps.hierarchical_sjf_cq_only));
-    caps.Set("approximate", Json::Bool(entry->caps.approximate));
-    if (entry->caps.max_endogenous != std::numeric_limits<size_t>::max()) {
-      caps.Set("max_endogenous",
-               Json::Number(uint64_t{entry->caps.max_endogenous}));
-    }
-    if (!entry->caps.error_model.empty()) {
-      caps.Set("error_model", Json::Str(entry->caps.error_model));
-    }
-    engine.Set("caps", std::move(caps));
-    engines.Push(std::move(engine));
-  }
-  Json body;
-  body.Set("engines", std::move(engines));
-  return WriteJson(socket, 200, body.Dump(), keep_alive);
-}
-
-bool HttpServer::HandleStats(Socket* socket, bool keep_alive) {
-  const ServiceStats stats = service_->Stats();
-  Json service;
-  service.Set("requests_submitted",
-              Json::Number(uint64_t{stats.requests_submitted}));
-  service.Set("requests_completed",
-              Json::Number(uint64_t{stats.requests_completed}));
-  service.Set("requests_failed",
-              Json::Number(uint64_t{stats.requests_failed}));
-  service.Set("verdict_cache_hits",
-              Json::Number(uint64_t{stats.verdict_cache_hits}));
-  service.Set("verdict_cache_misses",
-              Json::Number(uint64_t{stats.verdict_cache_misses}));
-  service.Set("pool_threads", Json::Number(uint64_t{stats.pool_threads}));
-  service.Set("pool_tasks_executed",
-              Json::Number(uint64_t{stats.pool_tasks_executed}));
-  service.Set("cache_entries", Json::Number(uint64_t{stats.cache_entries}));
-  service.Set("cache_bytes", Json::Number(uint64_t{stats.cache_bytes}));
-  service.Set("cache_hits", Json::Number(uint64_t{stats.cache_hits}));
-  service.Set("cache_misses", Json::Number(uint64_t{stats.cache_misses}));
-  service.Set("cache_evictions",
-              Json::Number(uint64_t{stats.cache_evictions}));
-  Json server;
-  server.Set("connections_accepted", Json::Number(uint64_t{accepted_.load()}));
-  server.Set("connections_rejected", Json::Number(uint64_t{rejected_.load()}));
-  server.Set("connections_live",
-             Json::Number(uint64_t{live_connections_.load()}));
-  server.Set("requests_served", Json::Number(uint64_t{served_.load()}));
-  Json body;
-  body.Set("service", std::move(service));
-  body.Set("server", std::move(server));
-  return WriteJson(socket, 200, body.Dump(), keep_alive);
-}
-
-bool HttpServer::WriteJson(Socket* socket, int status, const std::string& body,
-                           bool keep_alive) {
-  return socket->SendAll(
-      SerializeResponseHead(status, "application/json",
-                            static_cast<long>(body.size()), keep_alive) +
-      body);
 }
 
 }  // namespace shapley::net

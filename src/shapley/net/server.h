@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -26,9 +27,46 @@ struct ServerOptions {
   /// Idle-read timeout per request on a keep-alive connection; an idle
   /// connection past it is closed (408 if mid-message).
   int read_timeout_ms = 10'000;
+  /// Reported by GET /healthz ("backend" for a ShapleyService front,
+  /// "router" for the shard router) so a probe can tell what it reached.
+  std::string role = "backend";
 };
 
-/// The TCP/HTTP front of a ShapleyService — the piece that turns the
+/// Snapshot of an HttpServer's connection-level counters, handed to the
+/// handler so /v1/stats (and /v1/cluster) can report the transport layer
+/// alongside whatever the handler itself tracks.
+struct ServerCounters {
+  size_t connections_accepted = 0;
+  size_t connections_rejected = 0;
+  size_t connections_live = 0;
+  size_t requests_served = 0;
+};
+
+/// The application half of HttpServer: the transport (accept loop,
+/// keep-alive, limits, drain) is fixed; WHAT the endpoints do is this
+/// interface. ServiceHandler serves a ShapleyService (the classic single
+/// backend); cluster/router.h plugs in a scatter/gather proxy instead.
+class HttpHandler {
+ public:
+  virtual ~HttpHandler() = default;
+
+  /// One request → one (possibly chunk-streamed) response write on
+  /// `socket`. Returning false ends the connection. GET /healthz never
+  /// reaches the handler — the server answers it itself.
+  virtual bool Handle(Socket* socket, const HttpRequest& request,
+                      bool keep_alive, const ServerCounters& counters) = 0;
+};
+
+/// A response body for failures raised by the HTTP layer itself (no
+/// service round-trip happened): same wire shape as every other error, so
+/// clients have exactly one error format to handle.
+std::string FrontEndErrorBody(SvcErrorCode code, std::string message);
+
+/// Writes one Content-Length JSON response. Returns SendAll's verdict.
+bool WriteJsonResponse(Socket* socket, int status, const std::string& body,
+                       bool keep_alive);
+
+/// The HttpHandler serving a ShapleyService — the piece that turns the
 /// in-process serving layer (exact engines, dichotomy routing, the (ε, δ)
 /// sampling subsystem, caches, deadlines) into an actual network service.
 ///
@@ -43,6 +81,35 @@ struct ServerOptions {
 ///                     head-of-line-blocks a fast one behind it
 ///   GET  /v1/engines  the registry: names, descriptions, capabilities
 ///   GET  /v1/stats    ServiceStats snapshot (+ server connection counters)
+class ServiceHandler : public HttpHandler {
+ public:
+  /// `service` outlives the handler; not owned.
+  explicit ServiceHandler(ShapleyService* service) : service_(service) {}
+
+  bool Handle(Socket* socket, const HttpRequest& request, bool keep_alive,
+              const ServerCounters& counters) override;
+
+ private:
+  bool HandleCompute(Socket* socket, const HttpRequest& request,
+                     bool keep_alive);
+  bool HandleBatch(Socket* socket, const HttpRequest& request,
+                   bool keep_alive);
+  bool HandleEngines(Socket* socket, bool keep_alive);
+  bool HandleStats(Socket* socket, bool keep_alive,
+                   const ServerCounters& counters);
+
+  ShapleyService* service_;
+};
+
+/// The TCP/HTTP front: accept loop, per-connection threads, keep-alive,
+/// body/connection limits and the shutdown drain. Requests are dispatched
+/// to an HttpHandler; the classic constructor wraps a ShapleyService in a
+/// ServiceHandler, the handler constructor hosts anything else (the shard
+/// router).
+///
+/// The server answers GET /healthz itself — 200 with
+/// {"status": "ok", "version": kShapleyVersion, "role": options.role} —
+/// so a health probe costs no handler (or service) work at all.
 ///
 /// Execution model: one acceptor thread plus one thread per live
 /// connection (bounded by max_connections; the service's own pool does the
@@ -53,10 +120,16 @@ struct ServerOptions {
 /// every connection loop to finish THE REQUEST IT IS SERVING, streams
 /// those responses out, and joins — in-flight work is drained, never
 /// dropped. Requests arriving after Stop() get "Connection: close".
+/// Abort() is the opposite contract: a crash simulation for failover
+/// tests — it shutdowns every connection BOTH ways, so in-flight
+/// responses fail to write and clients see the stream die mid-flight.
 class HttpServer {
  public:
-  /// `service` outlives the server; not owned.
+  /// `service` outlives the server; not owned. Wraps it in an owned
+  /// ServiceHandler.
   HttpServer(ShapleyService* service, ServerOptions options = {});
+  /// `handler` outlives the server; not owned.
+  HttpServer(HttpHandler* handler, ServerOptions options = {});
   ~HttpServer();
 
   HttpServer(const HttpServer&) = delete;
@@ -69,6 +142,12 @@ class HttpServer {
   /// Graceful drain (see above). Idempotent; also run by the destructor.
   void Stop();
 
+  /// Hard kill: stops accepting and shutdowns every live connection in
+  /// BOTH directions, so in-flight writes fail immediately — from a
+  /// client's view the process crashed mid-response. For failover tests;
+  /// production shutdown is Stop().
+  void Abort();
+
   bool running() const { return running_.load(); }
   /// The bound port (after Start(); ephemeral requests resolve here).
   uint16_t port() const { return port_; }
@@ -77,8 +156,10 @@ class HttpServer {
   size_t connections_accepted() const { return accepted_.load(); }
   size_t connections_rejected() const { return rejected_.load(); }
   size_t requests_served() const { return served_.load(); }
+  ServerCounters counters() const;
 
  private:
+  void HaltConnections(bool both_directions);
   void AcceptLoop();
   /// Thread body: runs the connection loop, then registers itself as
   /// finished (reaped by the acceptor, or by Stop()).
@@ -87,19 +168,8 @@ class HttpServer {
   /// Joins every finished connection thread (near-instant joins).
   void ReapFinished();
 
-  /// One request → one response write. False ends the connection.
-  bool HandleRequest(Socket* socket, const HttpRequest& request,
-                     bool keep_alive);
-  bool HandleCompute(Socket* socket, const HttpRequest& request,
-                     bool keep_alive);
-  bool HandleBatch(Socket* socket, const HttpRequest& request,
-                   bool keep_alive);
-  bool HandleEngines(Socket* socket, bool keep_alive);
-  bool HandleStats(Socket* socket, bool keep_alive);
-  bool WriteJson(Socket* socket, int status, const std::string& body,
-                 bool keep_alive);
-
-  ShapleyService* service_;
+  std::unique_ptr<HttpHandler> owned_handler_;
+  HttpHandler* handler_;
   const ServerOptions options_;
   Socket listener_;
   uint16_t port_ = 0;

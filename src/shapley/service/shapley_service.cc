@@ -87,6 +87,7 @@ ServiceStats ShapleyService::Stats() const {
   stats.requests_submitted = submitted_.load(std::memory_order_relaxed);
   stats.requests_completed = completed_.load(std::memory_order_relaxed);
   stats.requests_failed = failed_.load(std::memory_order_relaxed);
+  stats.requests_inflight = inflight_.load(std::memory_order_relaxed);
   stats.verdict_cache_hits = verdict_cache_.hits();
   stats.verdict_cache_misses = verdict_cache_.misses();
   stats.pool_threads = pool_->num_threads();
@@ -113,6 +114,7 @@ std::future<SvcResponse> ShapleyService::Submit(SvcRequest request) {
     return ReadyFuture(std::move(response));
   }
   auto shared = std::make_shared<SvcRequest>(std::move(request));
+  inflight_.fetch_add(1, std::memory_order_relaxed);
   return pool_->Submit(
       [this, shared, submitted] { return Execute(*shared, submitted); });
 }
@@ -130,6 +132,7 @@ std::vector<std::future<SvcResponse>> ShapleyService::SubmitBatch(
 SvcResponse ShapleyService::Compute(SvcRequest request) {
   const Clock::time_point submitted = Clock::now();
   submitted_.fetch_add(1, std::memory_order_relaxed);
+  inflight_.fetch_add(1, std::memory_order_relaxed);
   return Execute(request, submitted);
 }
 
@@ -245,6 +248,7 @@ SvcResponse ShapleyService::Execute(const SvcRequest& request,
   auto finish = [&](SvcResponse&& done) -> SvcResponse {
     done.stats.exec_ms = MsBetween(start, Clock::now());
     (done.ok() ? completed_ : failed_).fetch_add(1, std::memory_order_relaxed);
+    inflight_.fetch_sub(1, std::memory_order_relaxed);
     return std::move(done);
   };
   auto fail = [&](SvcErrorCode code, std::string message,

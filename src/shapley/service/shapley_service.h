@@ -55,6 +55,9 @@ struct ServiceStats {
   size_t requests_submitted = 0;
   size_t requests_completed = 0;
   size_t requests_failed = 0;
+  /// Accepted but not yet finished (queued or executing) — what a load
+  /// balancer (the shard router) reads to see how busy a backend is.
+  size_t requests_inflight = 0;
   size_t verdict_cache_hits = 0;
   size_t verdict_cache_misses = 0;
   size_t pool_threads = 0;
@@ -131,6 +134,7 @@ class ShapleyService {
   size_t requests_submitted() const { return submitted_.load(); }
   size_t requests_completed() const { return completed_.load(); }
   size_t requests_failed() const { return failed_.load(); }
+  size_t requests_inflight() const { return inflight_.load(); }
 
   /// Requests whose classification was served from the verdict cache.
   size_t verdict_cache_hits() const { return verdict_cache_.hits(); }
@@ -169,6 +173,7 @@ class ShapleyService {
   std::atomic<size_t> submitted_{0};
   std::atomic<size_t> completed_{0};
   std::atomic<size_t> failed_{0};
+  std::atomic<size_t> inflight_{0};
 };
 
 }  // namespace shapley

@@ -1,0 +1,79 @@
+// The reconnect schedule's contract (net/client.h, ReconnectBackoff):
+// capped exponential growth, equal-jitter bounds, determinism in the
+// seed, decorrelation across seeds — and the client actually honoring
+// connect_attempts when a backend is unreachable.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "shapley/net/client.h"
+
+namespace shapley {
+namespace {
+
+using net::ClientOptions;
+using net::ReconnectBackoff;
+using net::ShapleyClient;
+
+TEST(ReconnectBackoffTest, FirstDialIsFreeLaterOnesJitterWithinTheCap) {
+  const int base = 10;
+  const int max = 250;
+  ReconnectBackoff backoff(base, max, /*seed=*/42);
+
+  EXPECT_EQ(backoff.DelayMs(0), 0);
+  for (size_t attempt = 1; attempt <= 12; ++attempt) {
+    SCOPED_TRACE("attempt " + std::to_string(attempt));
+    // cap = min(base·2^(k−1), max), saturating instead of overflowing.
+    int cap = base;
+    for (size_t k = 1; k < attempt && cap < max; ++k) cap *= 2;
+    cap = std::min(cap, max);
+    const int delay = backoff.DelayMs(attempt);
+    // Equal jitter: at least half the cap (real spacing under load), at
+    // most the cap (bounded worst-case reconnect latency).
+    EXPECT_GE(delay, cap / 2);
+    EXPECT_LE(delay, cap);
+  }
+  // Far past the doubling range the schedule sits inside [max/2, max].
+  EXPECT_GE(backoff.DelayMs(63), max / 2);
+  EXPECT_LE(backoff.DelayMs(63), max);
+}
+
+TEST(ReconnectBackoffTest, SameSeedReplaysSameScheduleBitForBit) {
+  ReconnectBackoff first(10, 250, 7);
+  ReconnectBackoff second(10, 250, 7);
+  for (size_t attempt = 0; attempt <= 20; ++attempt) {
+    EXPECT_EQ(first.DelayMs(attempt), second.DelayMs(attempt));
+    // Pure function of (seed, attempt): re-asking does not advance state.
+    EXPECT_EQ(first.DelayMs(attempt), first.DelayMs(attempt));
+  }
+}
+
+TEST(ReconnectBackoffTest, DistinctSeedsDecorrelate) {
+  // A fleet of clients losing one backend must not dial its replacement
+  // in lockstep: across seeds the same attempt lands on many delays.
+  std::set<int> delays;
+  for (uint64_t seed = 0; seed < 32; ++seed) {
+    ReconnectBackoff backoff(10, 250, seed);
+    delays.insert(backoff.DelayMs(6));  // cap = min(10·2^5, 250) = 250.
+  }
+  EXPECT_GT(delays.size(), 8u);
+}
+
+TEST(ReconnectBackoffTest, ClientGivesUpAfterConnectAttempts) {
+  // Port 1 on localhost refuses instantly; with a tiny schedule the whole
+  // retry loop costs milliseconds and then throws a transport error.
+  ClientOptions options;
+  options.connect_attempts = 2;
+  options.base_backoff_ms = 1;
+  options.max_backoff_ms = 2;
+  ShapleyClient client("127.0.0.1", 1, options);
+  int status = 0;
+  EXPECT_THROW(client.RawGet("/healthz", &status), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace shapley

@@ -218,6 +218,7 @@ TEST(CodecTest, EveryErrorCodeRoundTripsWithItsDocumentedStatus) {
       {SvcErrorCode::kUnsupportedQuery, 422},
       {SvcErrorCode::kCancelled, 499},
       {SvcErrorCode::kEngineFailure, 500},
+      {SvcErrorCode::kUpstreamUnavailable, 503},
       {SvcErrorCode::kDeadlineExceeded, 504},
   };
   auto schema = Schema::Create();
@@ -242,6 +243,101 @@ TEST(CodecTest, EveryErrorCodeRoundTripsWithItsDocumentedStatus) {
     EXPECT_EQ(net::EncodeResponse(decoded, *schema).Dump(), wire);
   }
   EXPECT_FALSE(net::ParseSvcErrorCode("no-such-code").has_value());
+}
+
+// ---------------------------------------------------- forward compat -----
+
+/// Splices `extra` right after the first occurrence of `marker` — the
+/// cheap way to plant an unknown member inside one specific JSON object
+/// of an otherwise canonical wire body.
+std::string InsertAfter(std::string wire, const std::string& marker,
+                        const std::string& extra) {
+  const size_t at = wire.find(marker);
+  EXPECT_NE(at, std::string::npos) << marker;
+  wire.insert(at + marker.size(), extra);
+  return wire;
+}
+
+/// DecodeResponse must IGNORE unknown fields (a newer server, or a newer
+/// backend behind the shard router, may annotate responses), while known
+/// fields keep their strict types — so a decorated body decodes to the
+/// same SvcResponse as the clean one.
+TEST(CodecTest, ResponseDecodeToleratesUnknownFieldsAtEveryLevel) {
+  auto schema = Schema::Create();
+  SvcRequest request;
+  request.query = ParseQuery(schema, "R(x), S(x,y), T(y)");
+  request.db = ParsePartitionedDatabase(schema, "R(a) S(a,b) T(b) | T(c)");
+  request.engine = "sampling";  // → values, approx, stats all populated.
+  request.approx.seed = 7;
+  ShapleyService service(ServiceOptions{.threads = 1});
+  SvcResponse response = service.Compute(request);
+  ASSERT_TRUE(response.ok()) << response.error->ToString();
+  const std::string wire = net::EncodeResponse(response, *schema).Dump();
+
+  SvcResponse clean;
+  ASSERT_FALSE(
+      net::DecodeResponse(*Json::Parse(wire), schema, &clean).has_value());
+
+  // One unknown member planted in every nesting level the decoder walks.
+  std::string decorated = wire;
+  decorated = InsertAfter(decorated, "{", R"("x_future":{"deep":[1,2]},)");
+  decorated = InsertAfter(decorated, "\"verdict\":{", R"("hint":null,)");
+  decorated = InsertAfter(decorated, "\"approx\":{", R"("gpu_ms":3.5,)");
+  decorated = InsertAfter(decorated, "\"stats\":{", R"("retries":0,)");
+  decorated = InsertAfter(decorated, "\"values\":[{", R"("note":"hi",)");
+  ASSERT_TRUE(Json::Parse(decorated).has_value()) << decorated;
+
+  SvcResponse tolerant;
+  std::optional<SvcError> error =
+      net::DecodeResponse(*Json::Parse(decorated), schema, &tolerant);
+  ASSERT_FALSE(error.has_value()) << error->ToString();
+  EXPECT_EQ(tolerant.values, clean.values);
+  EXPECT_EQ(tolerant.engine, clean.engine);
+  EXPECT_EQ(tolerant.verdict.query_class, clean.verdict.query_class);
+  ASSERT_TRUE(tolerant.approx.has_value());
+  EXPECT_EQ(tolerant.approx->samples, clean.approx->samples);
+  EXPECT_EQ(tolerant.approx->fact_half_widths,
+            clean.approx->fact_half_widths);
+
+  // The error object tolerates decoration too.
+  SvcResponse failed;
+  failed.error = SvcError{SvcErrorCode::kUpstreamUnavailable, "down", ""};
+  const std::string error_wire = InsertAfter(
+      net::EncodeResponse(failed, *schema).Dump(), "\"error\":{",
+      R"("upstream":"h1:9","attempts":2,)");
+  SvcResponse decoded_failed;
+  ASSERT_FALSE(net::DecodeResponse(*Json::Parse(error_wire), schema,
+                                   &decoded_failed)
+                   .has_value());
+  ASSERT_TRUE(decoded_failed.error.has_value());
+  EXPECT_EQ(decoded_failed.error->code, SvcErrorCode::kUpstreamUnavailable);
+  EXPECT_EQ(decoded_failed.error->message, "down");
+
+  // Tolerance is NOT sloppiness: known fields keep their strict types.
+  SvcResponse rejected;
+  EXPECT_TRUE(net::DecodeResponse(
+                  *Json::Parse(InsertAfter(wire, "\"approx\":{",
+                                           R"("samples":"many",)")),
+                  schema, &rejected)
+                  .has_value());
+}
+
+/// The REQUEST path stays strict: the same decoration that responses
+/// shrug off is a client typo there and must fail loudly.
+TEST(CodecTest, RequestDecodeStaysStrictAboutUnknownFields) {
+  auto schema = Schema::Create();
+  SvcRequest request;
+  request.query = ParseQuery(schema, "R(x)");
+  request.db = ParsePartitionedDatabase(schema, "R(a)");
+  const std::string wire = net::EncodeRequest(request).Dump();
+
+  DecodedRequest decoded;
+  ASSERT_FALSE(
+      net::DecodeRequest(*Json::Parse(wire), &decoded).has_value());
+  std::optional<SvcError> error = net::DecodeRequest(
+      *Json::Parse(InsertAfter(wire, "{", R"("x_future":1,)")), &decoded);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_EQ(error->code, SvcErrorCode::kInvalidRequest);
 }
 
 // ------------------------------------------------------------- rejection --

@@ -21,6 +21,7 @@
 #include <thread>
 #include <vector>
 
+#include "shapley/common/version.h"
 #include "shapley/data/parser.h"
 #include "shapley/net/client.h"
 #include "shapley/net/codec.h"
@@ -279,6 +280,41 @@ TEST(ServerTest, EnginesAndStatsEndpointsReportTheStack) {
   const Json* server = stats.Find("server");
   ASSERT_NE(server, nullptr);
   EXPECT_GE(*server->Find("requests_served")->IfUint64(), 2u);
+}
+
+TEST(ServerTest, HealthzIsAnsweredByTheTransportItself) {
+  Stack stack;
+  ShapleyClient client("127.0.0.1", stack.server.port());
+
+  int status = 0;
+  std::optional<Json> health = Json::Parse(client.RawGet("/healthz", &status));
+  EXPECT_EQ(status, 200);
+  ASSERT_TRUE(health.has_value());
+  EXPECT_EQ(*health->Find("status")->IfString(), "ok");
+  EXPECT_EQ(*health->Find("version")->IfString(), kShapleyVersion);
+  EXPECT_EQ(*health->Find("role")->IfString(), "backend");
+
+  // The probe cost no service work at all: a load balancer can hammer
+  // /healthz without perturbing a single service counter.
+  Json stats = client.Stats();
+  EXPECT_EQ(*stats.Find("service")->Find("requests_submitted")->IfUint64(),
+            0u);
+
+  // /healthz is a GET; anything else gets the documented 405.
+  net::HttpRequest post;
+  post.method = "POST";
+  post.target = "/healthz";
+  std::string error;
+  net::Socket socket = net::ConnectTcp("127.0.0.1", stack.server.port(),
+                                       &error);
+  ASSERT_TRUE(socket.valid()) << error;
+  ASSERT_TRUE(socket.SendAll(net::SerializeRequest(post)));
+  net::SocketReader reader(socket.fd(), 5000);
+  net::HttpResponse response;
+  bool chunked = false;
+  ASSERT_EQ(net::ReadHttpResponse(&reader, 1 << 20, &response, &chunked),
+            net::HttpReadResult::kOk);
+  EXPECT_EQ(response.status, 405);
 }
 
 TEST(ServerTest, TransportEdgesAnswerStructurally) {
