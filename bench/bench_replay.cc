@@ -1,0 +1,229 @@
+// Record/replay harness demo and self-check (obs/reqlog.h + obs/replay.h):
+// a live HttpServer captures a mixed request stream — exact lifted, guarded
+// brute force, all three (ε, δ) sampling strategies (hoeffding, bernstein,
+// stratified), a pipelined batch, and a deliberately malformed body — into
+// an ndjson request log, then the capture is replayed against a FRESH
+// server twice (max speed, then paced at the capture's own clock) over real
+// TCP.
+//
+// Self-checks (the bench FAILS, exit 1, if any is violated):
+//   1. every captured request replays — zero transport errors, zero dropped
+//      responses, in both replay runs;
+//   2. each replayed response is BIT-IDENTICAL to the recorded one in
+//      canonical form (run-volatile "stats"/"trace" members stripped, batch
+//      lines id-sorted): the serving stack is deterministic in
+//      (request bytes, seed), and replay proves it across processes —
+//      including the malformed request, which must reproduce its error;
+//   3. the replay server's stats conserve: submitted == completed + failed
+//      after the drain.
+//
+// Usage:
+//   bench_replay [--requests N] [--json out.json]
+//
+// --json rows (JSONL-appended to BENCH_obs.json by scripts/check.sh):
+//   {"name": "record" | "replay_max" | "replay_paced",
+//    "requests": N, "wall_ms": ..., "rps": ...}
+//   {"name": "self_check", "mismatches": 0, "transport_errors": 0, ...}
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "shapley/data/parser.h"
+#include "shapley/net/client.h"
+#include "shapley/net/codec.h"
+#include "shapley/net/server.h"
+#include "shapley/obs/replay.h"
+#include "shapley/obs/reqlog.h"
+#include "shapley/obs/stats_json.h"
+#include "shapley/query/query_parser.h"
+#include "shapley/service/shapley_service.h"
+
+namespace {
+
+using namespace shapley;
+
+QueryPtr ParseQuery(const std::shared_ptr<Schema>& schema, const char* text) {
+  UcqPtr ucq = ParseUcq(schema, text);
+  if (ucq->disjuncts().size() == 1) return ucq->disjuncts()[0];
+  return ucq;
+}
+
+// The capture: a mixed stream of raw wire bodies (plus one non-JSON body —
+// its 400 must replay too). Encoded once so the recorded bytes and the
+// in-memory list agree exactly.
+struct WireRequest {
+  std::string target;
+  std::string body;
+};
+
+std::vector<WireRequest> BuildMix(size_t repeat) {
+  auto schema = Schema::Create();
+  QueryPtr easy = ParseQuery(schema, "R(x), S(x,y)");
+  QueryPtr hard = ParseQuery(schema, "R(x), S(x,y), T(y)");
+  PartitionedDatabase db = ParsePartitionedDatabase(
+      schema, "R(a) R(b) S(a,c) S(b,d) T(c) | T(d) S(a,e)");
+
+  std::vector<std::string> singles;
+  {
+    SvcRequest r;
+    r.query = easy;
+    r.db = db;
+    singles.push_back(net::EncodeRequest(r).Dump());  // → lifted, exact
+    r.query = hard;
+    singles.push_back(net::EncodeRequest(r).Dump());  // → brute, exact
+    for (ApproxStrategy strategy :
+         {ApproxStrategy::kHoeffding, ApproxStrategy::kBernstein,
+          ApproxStrategy::kStratified}) {
+      SvcRequest s;
+      s.query = hard;
+      s.db = db;
+      s.engine = "sampling";
+      s.approx.epsilon = 0.1;
+      s.approx.seed = 42;
+      s.approx.strategy = strategy;
+      singles.push_back(net::EncodeRequest(s).Dump());
+    }
+  }
+
+  // One batch POST carrying the whole mix — scatter/stream/reassemble is
+  // part of what must replay deterministically.
+  net::Json batch = net::Json::Obj();
+  net::Json requests = net::Json::Arr();
+  for (const std::string& body : singles) {
+    requests.Push(*net::Json::Parse(body));
+  }
+  batch.Set("requests", std::move(requests));
+
+  std::vector<WireRequest> mix;
+  for (size_t rep = 0; rep < repeat; ++rep) {
+    for (const std::string& body : singles) {
+      mix.push_back({"/v1/compute", body});
+    }
+    mix.push_back({"/v1/batch", batch.Dump()});
+    mix.push_back({"/v1/compute", "{not json"});  // → 400, also replayed
+  }
+  return mix;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t repeat = 4;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--requests" && i + 1 < argc) {
+      // Interpreted as mix repetitions (7 requests each).
+      repeat = std::max<size_t>(1, std::strtoul(argv[++i], nullptr, 10) / 7);
+    }
+  }
+
+  bench::JsonReporter json =
+      bench::JsonReporter::FromArgs(argc, argv, "bench_replay");
+  bench::Banner("Record/replay harness (capture -> fresh server, real TCP)");
+
+  const std::string log_path = "bench_replay_capture.ndjson";
+  const std::vector<WireRequest> mix = BuildMix(repeat);
+
+  ServiceOptions service_options;
+  service_options.threads = 4;
+
+  // ---- Record: serve the mix with capture on, keep the live responses.
+  std::vector<std::string> recorded;
+  double record_ms = 0.0;
+  {
+    obs::RequestLogWriter capture(log_path);
+    ShapleyService service(service_options);
+    net::ServerOptions server_options;
+    server_options.request_log = &capture;
+    net::HttpServer server(&service, server_options);
+    server.Start();
+
+    net::ShapleyClient client("127.0.0.1", server.port());
+    bench::Timer timer;
+    for (const WireRequest& request : mix) {
+      if (request.target == "/v1/batch") {
+        std::vector<std::string> lines;
+        client.RawBatch(request.body,
+                        [&](const std::string& line) { lines.push_back(line); });
+        recorded.push_back(obs::CanonicalBatchBody(lines));
+      } else {
+        int status = 0;
+        recorded.push_back(
+            obs::CanonicalResponseBody(client.RawCompute(request.body, &status)));
+      }
+    }
+    record_ms = timer.ElapsedMs();
+    server.Stop();
+    capture.Flush();
+  }
+
+  std::string error;
+  auto log = obs::ReadRequestLog(log_path, &error);
+  if (!log || log->size() != mix.size()) {
+    std::cerr << "capture read failed: "
+              << (log ? "entry count mismatch" : error) << "\n";
+    return 1;
+  }
+
+  // ---- Replay, twice, each against a fresh service (new process in
+  // spirit: nothing shared with the recording run but the log file).
+  size_t mismatches = 0;
+  size_t transport_errors = 0;
+  bool conserved = true;
+  bench::Table table({"phase", "requests", "wall ms", "req/s"},
+                     {14, 10, 12, 12});
+  table.PrintHeader();
+
+  auto run_replay = [&](const char* name, double speed) {
+    ShapleyService service(service_options);
+    net::HttpServer server(&service, {});
+    server.Start();
+    obs::ReplayOptions options;
+    options.speed = speed;
+    const obs::ReplayResult result =
+        obs::Replay(*log, "127.0.0.1", server.port(), options);
+    server.Stop();
+    conserved = conserved && obs::StatsConserved(service.Stats());
+
+    transport_errors += result.transport_errors;
+    for (size_t i = 0; i < result.responses.size(); ++i) {
+      if (result.responses[i] != recorded[i]) ++mismatches;
+    }
+    if (result.responses.size() != recorded.size()) ++mismatches;
+    const double rps =
+        1000.0 * static_cast<double>(result.requests_sent) / result.wall_ms;
+    table.PrintRow(name, result.requests_sent, result.wall_ms, rps);
+    json.Row({{"name", name},
+              {"requests", static_cast<double>(result.requests_sent)},
+              {"wall_ms", result.wall_ms},
+              {"rps", rps}});
+  };
+
+  table.PrintRow("record", mix.size(), record_ms,
+                 1000.0 * static_cast<double>(mix.size()) / record_ms);
+  json.Row({{"name", "record"},
+            {"requests", static_cast<double>(mix.size())},
+            {"wall_ms", record_ms},
+            {"rps", 1000.0 * static_cast<double>(mix.size()) / record_ms}});
+  run_replay("replay_max", 0.0);
+  run_replay("replay_paced", 1.0);
+
+  const bool ok = mismatches == 0 && transport_errors == 0 && conserved;
+  std::cout << "\nself-check: " << log->size() << " captured, " << mismatches
+            << " canonical mismatches, " << transport_errors
+            << " transport errors, stats "
+            << (conserved ? "conserved" : "NOT conserved") << ": "
+            << bench::PassFail(ok) << "\n";
+  json.Row({{"name", "self_check"},
+            {"captured", static_cast<double>(log->size())},
+            {"mismatches", static_cast<double>(mismatches)},
+            {"transport_errors", static_cast<double>(transport_errors)},
+            {"conserved", conserved ? 1.0 : 0.0}});
+  std::remove(log_path.c_str());
+  return ok ? 0 : 1;
+}

@@ -13,6 +13,8 @@
 //   example_cli serve     [--host H] [--port P] [--threads N]
 //   example_cli route     --backends H1:P1,H2:P2,... [--host H] [--port P]
 //   example_cli call HOST:PORT values|max|topk|classify '<ucq>' '<db>' [K]
+//   example_cli stats HOST:PORT
+//   example_cli scrape HOST:PORT
 //
 // Database syntax: "R(a,b) S(b,c) | T(d)" — facts after '|' are exogenous.
 // Query syntax:    "R(x,y), S(y,z) | T(x)" — '|' separates disjuncts,
@@ -31,6 +33,16 @@
 // --json prints the response in the CANONICAL WIRE FORMAT (net/codec.h) —
 // the same JSON the HTTP server sends, so scripts parse one format whether
 // they shell out to the CLI or curl the service.
+//
+// --trace opts the request into per-request span tracing (obs/trace.h):
+// the diagnostics line gains the decode → route → cache → engine → encode
+// timings, and --json carries them as the wire's "trace" block.
+//
+// stats pretty-prints GET /v1/stats of a running server or router; scrape
+// dumps its GET /metrics Prometheus exposition verbatim. Both go through
+// the client library (one keep-alive connection) and exit non-zero on
+// transport failure or a non-200 answer — curl-free smoke probes for
+// scripts and humans alike.
 //
 // serve starts the network front (net/server.h) over a ShapleyService and
 // prints "listening on HOST:PORT"; SIGINT/SIGTERM drain in-flight requests
@@ -79,13 +91,15 @@ int Usage() {
          "[--host H] [--port P]\n"
       << "       example_cli call HOST:PORT values|max|topk|classify "
          "'<query>' '<database>' [K]\n"
+      << "       example_cli stats HOST:PORT\n"
+      << "       example_cli scrape HOST:PORT\n"
       << "                   [--threads N]\n"
       << "                   [--engine "
          "auto|brute|lifted|ddnnf|permutations|sampling]\n"
       << "                   [--approx] [--epsilon E] [--delta D] "
          "[--seed S]\n"
       << "                   [--strategy hoeffding|bernstein|stratified]\n"
-      << "                   [--json]\n"
+      << "                   [--trace] [--json]\n"
       << "e.g.:  example_cli values 'R(x), S(x,y)' 'R(a) S(a,b) | S(a,c)' "
          "--threads 4\n";
   return 2;
@@ -100,6 +114,32 @@ void PrintResponseDiagnostics(const shapley::SvcResponse& response) {
             << " exec_ms=" << response.stats.exec_ms << "\n";
   if (response.approx.has_value()) {
     std::cerr << "approx: " << response.approx->ToString() << "\n";
+  }
+  if (response.trace.has_value()) {
+    std::cerr << "trace:";
+    for (const auto& span : response.trace->spans) {
+      std::cerr << " " << span.name << "=" << span.ms << "ms";
+    }
+    std::cerr << " total=" << response.trace->TotalMs() << "ms\n";
+  }
+}
+
+/// `stats` output: the /v1/stats JSON flattened into indented "key = value"
+/// lines (sections are the response's own top-level objects).
+void PrintStatsJson(const shapley::net::Json& json, int indent) {
+  const auto* members = json.IfObject();
+  if (members == nullptr) {
+    std::cout << json.Dump() << "\n";
+    return;
+  }
+  for (const auto& [key, value] : *members) {
+    std::cout << std::string(static_cast<size_t>(indent) * 2, ' ');
+    if (value.is_object()) {
+      std::cout << key << ":\n";
+      PrintStatsJson(value, indent + 1);
+    } else {
+      std::cout << key << " = " << value.Dump() << "\n";
+    }
   }
 }
 
@@ -241,6 +281,7 @@ int main(int argc, char** argv) {
   long port = 0;
   bool allow_approx = false;
   bool as_json = false;
+  bool with_trace = false;
   ApproxParams approx;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -263,6 +304,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--approx") {
       allow_approx = true;
+    } else if (arg == "--trace") {
+      with_trace = true;
     } else if (arg == "--json") {
       as_json = true;
     } else if (arg == "--epsilon" && i + 1 < argc) {
@@ -293,6 +336,42 @@ int main(int argc, char** argv) {
     }
     if (command == "route") {
       return RunRoute(host, static_cast<uint16_t>(port), backends_csv);
+    }
+
+    if (command == "stats" || command == "scrape") {
+      if (args.size() < 2) return Usage();
+      const size_t colon = args[1].rfind(':');
+      const long target_port = colon == std::string::npos
+                                   ? 0
+                                   : std::atol(args[1].c_str() + colon + 1);
+      if (colon == std::string::npos || target_port <= 0 ||
+          target_port > 65535) {
+        std::cerr << "error: " << command << " target must be HOST:PORT\n";
+        return Usage();
+      }
+      net::ShapleyClient client(args[1].substr(0, colon),
+                                static_cast<uint16_t>(target_port));
+      // Transport failures throw (caught below → exit 1); a reachable
+      // server answering anything but 200 is also a failure.
+      int status = 0;
+      const char* target = command == "scrape" ? "/metrics" : "/v1/stats";
+      const std::string body = client.RawGet(target, &status);
+      if (status != 200) {
+        std::cerr << "error: GET " << target << " answered " << status
+                  << "\n";
+        return 1;
+      }
+      if (command == "scrape") {
+        std::cout << body;  // Prometheus text is already line-oriented.
+        return 0;
+      }
+      const auto parsed_stats = net::Json::Parse(body);
+      if (!parsed_stats.has_value()) {
+        std::cerr << "error: " << target << " returned unparsable JSON\n";
+        return 1;
+      }
+      PrintStatsJson(*parsed_stats, 0);
+      return 0;
     }
 
     // `call HOST:PORT subcmd ...` reshapes into the local arg layout with
@@ -376,6 +455,7 @@ int main(int argc, char** argv) {
       if (engine_name != "auto") request.engine = engine_name;
       request.allow_approx = allow_approx;
       request.approx = approx;
+      request.trace = with_trace;
       if (command == "values") {
         request.mode = SvcMode::kAllValues;
       } else if (command == "max") {

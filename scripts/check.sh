@@ -38,6 +38,11 @@ echo "== cluster tests (guard: shard map units + router e2e over real TCP) =="
 "$build_dir/cluster_shard_map_test" --gtest_brief=1
 "$build_dir/cluster_router_test" --gtest_brief=1
 
+echo "== obs tests (guard: registry units, /metrics scrapes, record/replay) =="
+"$build_dir/obs_metrics_test" --gtest_brief=1
+"$build_dir/obs_scrape_test" --gtest_brief=1
+"$build_dir/obs_reqlog_replay_test" --gtest_brief=1
+
 echo "== net smoke (serve on an ephemeral port, call over a real socket) =="
 # End-to-end through the CLI: start the server, send one exact and one
 # approximate request through the client library, check the values are
@@ -71,10 +76,27 @@ assert wire["values"] == local["values"], \
 assert wire["status"] == 200, wire
 PYEOF
 done
+echo "== metrics scrape smoke (same live server: scrape /metrics, grep series) =="
+# The server above has now served real traffic; a scrape must be parseable
+# Prometheus text carrying the build-info, latency-histogram and
+# conservation-self-check series. `scrape` exits non-zero on transport
+# failure or a non-200, so a wedged /metrics fails here loudly.
+scrape_out="$build_dir/scrape_smoke.txt"
+"$build_dir/example_cli" scrape "127.0.0.1:$port" > "$scrape_out"
+for series in \
+    'shapley_build_info{version=' \
+    'shapley_request_latency_ms_bucket{engine=' \
+    'shapley_service_requests_submitted_total' \
+    'shapley_service_stats_conservation_error 0' \
+    'shapley_server_requests_served_total{role="backend"}'; do
+  grep -qF "$series" "$scrape_out" \
+      || { echo "metrics smoke: missing series $series"; exit 1; }
+done
+"$build_dir/example_cli" stats "127.0.0.1:$port" > /dev/null
 kill -TERM "$serve_pid"
 wait "$serve_pid" || { echo "serve smoke: server did not drain cleanly"; exit 1; }
 trap - EXIT
-echo "serve/call smoke: values bit-identical over the socket, clean drain"
+echo "serve/call smoke: values bit-identical over the socket, metrics scraped, clean drain"
 
 echo "== bench (net throughput, appending to BENCH_net.json) =="
 # Multi-connection load generator with its own bit-identical self-check
@@ -95,6 +117,17 @@ echo "== bench (cluster scatter/gather, appending to BENCH_net.json) =="
 python3 -c 'import json,sys; print(json.dumps(json.load(open(sys.argv[1]))))' \
     "$build_dir/bench_cluster_scatter.json" \
     >> "$repo_root/BENCH_net.json"
+
+echo "== bench (record/replay, appending to BENCH_obs.json) =="
+# Captures a 3-strategy mixed run (exact, hoeffding/bernstein/stratified
+# sampling, a batch, a malformed body) and replays it twice against fresh
+# servers; the bench exits 1 unless every replayed response is
+# bit-identical in canonical form with zero transport errors.
+"$build_dir/bench_replay" --requests 28 \
+    --json "$build_dir/bench_replay.json"
+python3 -c 'import json,sys; print(json.dumps(json.load(open(sys.argv[1]))))' \
+    "$build_dir/bench_replay.json" \
+    >> "$repo_root/BENCH_obs.json"
 
 echo "== bench (fast: small instances, JSON to $build_dir/bench_parallel_scaling.json) =="
 "$build_dir/bench_parallel_scaling" --facts-k 20 --brute-k 5 \

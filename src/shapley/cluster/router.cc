@@ -9,6 +9,8 @@
 #include "shapley/common/version.h"
 #include "shapley/net/codec.h"
 #include "shapley/net/json.h"
+#include "shapley/obs/stats_json.h"
+#include "shapley/obs/trace.h"
 
 namespace shapley::cluster {
 
@@ -122,8 +124,20 @@ class RouterHandler : public net::HttpHandler {
     return healthy;
   }
 
+  /// Router-side latency (decode + route + upstream round trip) broken
+  /// down by endpoint — the router's analogue of the backend's
+  /// shapley_request_latency_ms.
+  void ObserveLatency(const char* endpoint, double ms) {
+    router_->metrics_
+        ->GetHistogram("shapley_router_request_latency_ms",
+                       "Router wall time per proxied request",
+                       obs::LatencyBucketsMs(), {{"endpoint", endpoint}})
+        ->Observe(ms);
+  }
+
   bool HandleCompute(net::Socket* socket, const net::HttpRequest& request,
                      bool keep_alive) {
+    const obs::SpanTimer wall_timer;
     std::string parse_error;
     std::optional<Json> json = Json::Parse(request.body, &parse_error);
     if (!json.has_value()) {
@@ -163,6 +177,7 @@ class RouterHandler : public net::HttpHandler {
         int status = 0;
         const std::string body = client->RawCompute(request.body, &status);
         channel->Release(std::move(client));
+        ObserveLatency("compute", wall_timer.ElapsedMs());
         return net::WriteJsonResponse(socket, status, body, keep_alive);
       } catch (const std::runtime_error&) {
         // Transport failure (the client threw, so it is mid-protocol and
@@ -181,6 +196,7 @@ class RouterHandler : public net::HttpHandler {
 
   bool HandleBatch(net::Socket* socket, const net::HttpRequest& request,
                    bool keep_alive) {
+    const obs::SpanTimer wall_timer;
     std::string parse_error;
     std::optional<Json> json = Json::Parse(request.body, &parse_error);
     if (!json.has_value()) {
@@ -340,6 +356,7 @@ class RouterHandler : public net::HttpHandler {
     {
       std::lock_guard<std::mutex> lock(write_mutex);
       if (!write_ok) return false;
+      ObserveLatency("batch", wall_timer.ElapsedMs());
       return socket->SendAll(net::ChunkFrame(""));  // Terminal chunk.
     }
   }
@@ -414,18 +431,14 @@ class RouterHandler : public net::HttpHandler {
     for (const auto& [key, sum] : sums) {
       service.Set(key, Json::Number(sum));
     }
-    Json server;
-    server.Set("connections_accepted",
-               Json::Number(uint64_t{counters.connections_accepted}));
-    server.Set("connections_rejected",
-               Json::Number(uint64_t{counters.connections_rejected}));
-    server.Set("connections_live",
-               Json::Number(uint64_t{counters.connections_live}));
-    server.Set("requests_served",
-               Json::Number(uint64_t{counters.requests_served}));
     Json body;
     body.Set("service", std::move(service));
-    body.Set("server", std::move(server));
+    // The "server" block goes through the shared stats codec
+    // (obs/stats_json) — the same serialization the backend's /v1/stats
+    // uses, so router and backend stats stay byte-compatible. The summed
+    // "service" block keeps its dynamic field walk on purpose: it must
+    // aggregate fields newer backends add that this build predates.
+    body.Set("server", obs::ServerCountersJson(counters));
     return net::WriteJsonResponse(socket, 200, body.Dump(), keep_alive);
   }
 
@@ -484,6 +497,47 @@ ShardRouter::ShardRouter(const std::vector<std::string>& backend_specs,
   }
   shard_map_ = ShardMap(std::move(ids));
   handler_ = std::make_unique<RouterHandler>(this);
+
+  // The router owns its registry and hands it to its HttpServer (Start()),
+  // so one scrape shows routing counters, per-backend series AND the
+  // transport counters side by side. Router families carry the
+  // shapley_router_ prefix — disjoint from every backend series by name
+  // (and transport families are disjoint by their role label).
+  metrics_ = std::make_unique<obs::MetricsRegistry>();
+  metrics_->AddCollector([this] {
+    metrics_
+        ->GetCounter("shapley_router_requests_routed_total",
+                     "Requests the router dispatched to a shard")
+        ->Set(requests_routed_.load());
+    metrics_
+        ->GetCounter("shapley_router_requests_failed_over_total",
+                     "Requests re-sent to a fallback shard")
+        ->Set(requests_failed_over_.load());
+    metrics_
+        ->GetCounter("shapley_router_requests_unserved_total",
+                     "Requests no healthy backend could serve")
+        ->Set(requests_unserved_.load());
+    for (const auto& backend : backends_) {
+      const obs::Labels labels{{"backend", backend->id()}};
+      metrics_
+          ->GetGauge("shapley_router_backend_healthy",
+                     "1 when the backend passes health checks", labels)
+          ->Set(backend->healthy() ? 1.0 : 0.0);
+      metrics_
+          ->GetCounter("shapley_router_backend_routed_total",
+                       "Requests routed to this backend", labels)
+          ->Set(backend->routed());
+      metrics_
+          ->GetCounter("shapley_router_backend_failed_total",
+                       "Requests that failed at this backend's transport",
+                       labels)
+          ->Set(backend->failed());
+      metrics_
+          ->GetCounter("shapley_router_backend_retried_total",
+                       "Failover requests this backend absorbed", labels)
+          ->Set(backend->retried());
+    }
+  });
 }
 
 ShardRouter::~ShardRouter() { Stop(); }
@@ -492,6 +546,7 @@ void ShardRouter::Start() {
   for (auto& backend : backends_) backend->Probe();
   net::ServerOptions server_options = options_.server;
   server_options.role = "router";
+  server_options.metrics = metrics_.get();
   server_ = std::make_unique<net::HttpServer>(handler_.get(), server_options);
   server_->Start();
   if (options_.health_poll_ms > 0) {

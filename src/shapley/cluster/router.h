@@ -12,6 +12,7 @@
 #include "shapley/cluster/shard_map.h"
 #include "shapley/net/client.h"
 #include "shapley/net/server.h"
+#include "shapley/obs/metrics.h"
 
 namespace shapley::cluster {
 
@@ -89,6 +90,12 @@ class ShardRouter {
   BackendChannel* backend(size_t i) { return backends_[i].get(); }
   size_t num_backends() const { return backends_.size(); }
 
+  /// The router's metrics registry (owned; never null). GET /metrics on
+  /// the router's port renders it: router routing counters, per-backend
+  /// {backend="host:port"} series, request-latency-by-endpoint histograms
+  /// and the transport counters its HttpServer folds in (role "router").
+  obs::MetricsRegistry* metrics() { return metrics_.get(); }
+
  private:
   friend class RouterHandler;
 
@@ -98,6 +105,7 @@ class ShardRouter {
 
   const RouterOptions options_;
   ShardMap shard_map_;
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
   std::vector<std::unique_ptr<BackendChannel>> backends_;
   std::unique_ptr<net::HttpHandler> handler_;
   std::unique_ptr<net::HttpServer> server_;

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "shapley/obs/stats_json.h"
 #include "shapley/service/shapley_service.h"
 
 namespace shapley {
@@ -21,16 +22,9 @@ std::string ExecStats::ToString() const {
 }
 
 std::string ExecStats::ToJson() const {
-  std::ostringstream os;
-  os << "{\"instances\": " << instances << ", \"facts\": " << facts
-     << ", \"threads\": " << threads << ", \"tasks\": " << tasks
-     << ", \"oracle_calls\": " << oracle_calls
-     << ", \"cache_hits\": " << cache_hits
-     << ", \"cache_misses\": " << cache_misses
-     << ", \"cache_bytes\": " << cache_bytes
-     << ", \"verdict_cache_hits\": " << verdict_cache_hits
-     << ", \"wall_ms\": " << wall_ms << "}";
-  return os.str();
+  // One shared codec path with /v1/stats — obs/stats_json.h owns the key
+  // order; a test asserts the rendered bytes.
+  return obs::ExecStatsJson(*this).Dump();
 }
 
 BatchSvcRunner::BatchSvcRunner(std::shared_ptr<SvcEngine> engine,

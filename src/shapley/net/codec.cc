@@ -323,6 +323,7 @@ Json EncodeRequest(const SvcRequest& request) {
   }
   if (!request.engine.empty()) json.Set("engine", Json::Str(request.engine));
   if (request.allow_approx) json.Set("allow_approx", Json::Bool(true));
+  if (request.trace) json.Set("trace", Json::Bool(true));
   json.Set("approx", EncodeApproxParams(request.approx));
   if (request.deadline.has_value()) {
     const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -339,7 +340,7 @@ std::optional<SvcError> DecodeRequest(const Json& json, DecodedRequest* out) {
   if (auto err = RejectUnknownFields(
           json,
           {"query", "database", "mode", "top_k", "engine", "allow_approx",
-           "approx", "timeout_ms"},
+           "trace", "approx", "timeout_ms"},
           "request")) {
     return err;
   }
@@ -429,6 +430,13 @@ std::optional<SvcError> DecodeRequest(const Json& json, DecodedRequest* out) {
       return Invalid("request.allow_approx: expected a boolean");
     }
     decoded.request.allow_approx = *value;
+  }
+  if (const Json* trace = json.Find("trace")) {
+    std::optional<bool> value = trace->IfBool();
+    if (!value.has_value()) {
+      return Invalid("request.trace: expected a boolean");
+    }
+    decoded.request.trace = *value;
   }
   if (const Json* approx = json.Find("approx")) {
     if (auto err = DecodeApproxParams(*approx, &decoded.request.approx)) {
@@ -522,11 +530,38 @@ Json EncodeResponse(const SvcResponse& response, const Schema& schema) {
     json.Set("error", std::move(error));
   }
 
+  if (response.trace.has_value()) {
+    Json spans = Json::Arr();
+    for (const obs::TraceSpan& span : response.trace->spans) {
+      Json entry;
+      entry.Set("name", Json::Str(span.name));
+      entry.Set("ms", Json::Number(span.ms));
+      spans.Push(std::move(entry));
+    }
+    Json trace;
+    trace.Set("spans", std::move(spans));
+    json.Set("trace", std::move(trace));
+  }
+
   Json stats;
   stats.Set("queue_ms", Json::Number(response.stats.queue_ms));
   stats.Set("exec_ms", Json::Number(response.stats.exec_ms));
   json.Set("stats", std::move(stats));
   return json;
+}
+
+bool AppendTraceSpan(Json* encoded_response, const std::string& name,
+                     double ms) {
+  if (encoded_response == nullptr) return false;
+  Json* trace = encoded_response->FindMutable("trace");
+  if (trace == nullptr) return false;  // Request did not opt in.
+  Json* spans = trace->FindMutable("spans");
+  if (spans == nullptr || !spans->is_array()) return false;
+  Json entry;
+  entry.Set("name", Json::Str(name));
+  entry.Set("ms", Json::Number(ms));
+  spans->Push(std::move(entry));
+  return true;
 }
 
 std::optional<SvcError> DecodeResponse(const Json& json,
@@ -687,6 +722,31 @@ std::optional<SvcError> DecodeResponse(const Json& json,
         !ReadDouble(*stats, "exec_ms", &response.stats.exec_ms)) {
       return Invalid("response.stats: malformed field types");
     }
+  }
+
+  if (const Json* trace = json.Find("trace")) {
+    if (trace->IfObject() == nullptr) {
+      return Invalid("response.trace: expected a JSON object");
+    }
+    obs::RequestTrace decoded_trace;
+    if (const Json* spans = trace->Find("spans")) {
+      const Json::Array* items = spans->IfArray();
+      if (items == nullptr) {
+        return Invalid("response.trace.spans: expected an array");
+      }
+      for (const Json& item : *items) {
+        if (item.IfObject() == nullptr) {
+          return Invalid("response.trace.spans[]: expected objects");
+        }
+        obs::TraceSpan span;
+        if (!ReadString(item, "name", &span.name) ||
+            !ReadDouble(item, "ms", &span.ms)) {
+          return Invalid("response.trace.spans[]: malformed field types");
+        }
+        decoded_trace.spans.push_back(std::move(span));
+      }
+    }
+    response.trace = std::move(decoded_trace);
   }
 
   *out = std::move(response);

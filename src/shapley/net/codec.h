@@ -30,7 +30,8 @@ namespace shapley::net {
 ///     "approx": {"epsilon": 0.05, "delta": 0.05,    // optional
 ///                "seed": 1, "max_samples": 0,
 ///                "strategy": "hoeffding"},
-///     "timeout_ms": 500                             // optional, relative
+///     "timeout_ms": 500,                            // optional, relative
+///     "trace": true                                 // optional, opt-in
 ///   }
 ///
 /// Queries are carried as parser text with every term prefix made explicit
@@ -55,6 +56,8 @@ namespace shapley::net {
 ///     "approx": {... full ApproxInfo ...},          // only on estimates
 ///     "error": {"code": "capacity-exceeded", "status": 413,
 ///               "message": "...", "engine": ""},    // only on failure
+///     "trace": {"spans": [{"name": "decode", "ms": ...},
+///               {"name": "cache", "ms": ...}, ...]},// only when requested
 ///     "stats": {"queue_ms": ..., "exec_ms": ...}
 ///   }
 ///
@@ -114,6 +117,14 @@ Json EncodeResponse(const SvcResponse& response, const Schema& schema);
 std::optional<SvcError> DecodeResponse(const Json& json,
                                        const std::shared_ptr<Schema>& schema,
                                        SvcResponse* out);
+
+/// Appends one span to an ALREADY-ENCODED response's "trace" block, in
+/// place. This exists for the spans only the server can measure around
+/// EncodeResponse itself ("encode": the body was built, then patched with
+/// its own cost). No-op returning false when the response carries no trace
+/// block (the request did not opt in).
+bool AppendTraceSpan(Json* encoded_response, const std::string& name,
+                     double ms);
 
 }  // namespace shapley::net
 

@@ -149,6 +149,14 @@ const Json* Json::Find(std::string_view key) const {
   return nullptr;
 }
 
+Json* Json::FindMutable(std::string_view key) {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (auto& [name, value] : object_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
 Json& Json::Set(std::string key, Json value) {
   kind_ = Kind::kObject;
   object_.emplace_back(std::move(key), std::move(value));

@@ -68,6 +68,9 @@ class Json {
 
   /// Object member lookup (first match); null when absent or not an object.
   const Json* Find(std::string_view key) const;
+  /// Mutable lookup for patching a member IN PLACE (Set appends — using it
+  /// on an existing key would emit a duplicate).
+  Json* FindMutable(std::string_view key);
 
   /// Builder conveniences (no-ops on the wrong kind are bugs; they assert
   /// via the kind checks in debug use — keep construction well-typed).

@@ -12,6 +12,10 @@
 #include "shapley/common/version.h"
 #include "shapley/net/codec.h"
 #include "shapley/net/json.h"
+#include "shapley/obs/metrics.h"
+#include "shapley/obs/reqlog.h"
+#include "shapley/obs/stats_json.h"
+#include "shapley/obs/trace.h"
 
 namespace shapley::net {
 
@@ -80,8 +84,110 @@ bool ServiceHandler::Handle(Socket* socket, const HttpRequest& request,
       keep_alive);
 }
 
+void ServiceHandler::set_metrics(obs::MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  if (metrics_ == nullptr) return;
+  // The ServiceStats snapshot crosses into the exposition at scrape time:
+  // counters mirror via Set() from ONE snapshot, so a scrape's components
+  // are as coherent as Stats() itself, and the conservation gauge below is
+  // computed from the same snapshot the components came from.
+  ShapleyService* service = service_;
+  obs::MetricsRegistry* registry = metrics_;
+  metrics_->AddCollector([service, registry] {
+    const ServiceStats s = service->Stats();
+    registry
+        ->GetCounter("shapley_service_requests_submitted_total",
+                     "Requests accepted by the service")
+        ->Set(s.requests_submitted);
+    registry
+        ->GetCounter("shapley_service_requests_completed_total",
+                     "Requests finished successfully")
+        ->Set(s.requests_completed);
+    registry
+        ->GetCounter("shapley_service_requests_failed_total",
+                     "Requests finished with a structured error")
+        ->Set(s.requests_failed);
+    registry
+        ->GetGauge("shapley_service_requests_inflight",
+                   "Requests accepted but not yet finished")
+        ->Set(static_cast<double>(s.requests_inflight));
+    registry
+        ->GetCounter("shapley_service_verdict_cache_hits_total",
+                     "Classifications served from the verdict cache")
+        ->Set(s.verdict_cache_hits);
+    registry
+        ->GetCounter("shapley_service_verdict_cache_misses_total",
+                     "Classifications computed fresh")
+        ->Set(s.verdict_cache_misses);
+    registry
+        ->GetGauge("shapley_service_pool_threads",
+                   "Worker threads of the service pool")
+        ->Set(static_cast<double>(s.pool_threads));
+    registry
+        ->GetCounter("shapley_service_pool_tasks_executed_total",
+                     "Tasks executed by the service pool")
+        ->Set(s.pool_tasks_executed);
+    registry
+        ->GetGauge("shapley_service_cache_entries",
+                   "Entries resident in the shared oracle cache")
+        ->Set(static_cast<double>(s.cache_entries));
+    registry
+        ->GetGauge("shapley_service_cache_bytes",
+                   "Bytes resident in the shared oracle cache")
+        ->Set(static_cast<double>(s.cache_bytes));
+    registry
+        ->GetCounter("shapley_service_cache_hits_total",
+                     "Oracle-cache hits")
+        ->Set(s.cache_hits);
+    registry
+        ->GetCounter("shapley_service_cache_misses_total",
+                     "Oracle-cache misses")
+        ->Set(s.cache_misses);
+    registry
+        ->GetCounter("shapley_service_cache_evictions_total",
+                     "Oracle-cache evictions")
+        ->Set(s.cache_evictions);
+    registry
+        ->GetGauge("shapley_service_stats_conservation_error",
+                   "submitted - (completed + failed + inflight); 0 at "
+                   "quiescence (self-check, from one snapshot)")
+        ->Set(static_cast<double>(obs::StatsConservationError(s)));
+  });
+}
+
+void ServiceHandler::ObserveArrival() {
+  if (metrics_ == nullptr) return;
+  metrics_
+      ->GetHistogram("shapley_queue_depth",
+                     "Service inflight requests sampled at request arrival",
+                     obs::DepthBuckets())
+      ->Observe(static_cast<double>(service_->requests_inflight()));
+}
+
+void ServiceHandler::ObserveRequest(const SvcResponse& response,
+                                    double wall_ms) {
+  if (metrics_ == nullptr) return;
+  // Labels describe what actually SERVED the request: "none" when no
+  // engine ran (classify-only, refused), "exact" when the answer carries
+  // no approximation contract.
+  const std::string engine = response.engine.empty() ? "none"
+                                                     : response.engine;
+  const std::string strategy =
+      response.approx.has_value() ? response.approx->strategy : "exact";
+  metrics_
+      ->GetHistogram("shapley_request_latency_ms",
+                     "Wall time from request decode to response encode",
+                     obs::LatencyBucketsMs(),
+                     {{"engine", engine},
+                      {"mode", shapley::ToString(response.mode)},
+                      {"strategy", strategy}})
+      ->Observe(wall_ms);
+}
+
 bool ServiceHandler::HandleCompute(Socket* socket, const HttpRequest& request,
                                    bool keep_alive) {
+  const obs::SpanTimer wall_timer;
+  obs::SpanTimer decode_timer;
   std::string parse_error;
   std::optional<Json> json = Json::Parse(request.body, &parse_error);
   if (!json.has_value()) {
@@ -99,14 +205,25 @@ bool ServiceHandler::HandleCompute(Socket* socket, const HttpRequest& request,
                              EncodeResponse(response, *schema).Dump(),
                              keep_alive);
   }
+  const double decode_ms = decode_timer.ElapsedMs();
+  ObserveArrival();
   // Blocking Compute on the connection thread: the service's pool does the
   // fan-out; this thread is exactly the client's wait.
   SvcResponse response = service_->Compute(std::move(decoded.request));
+  if (response.trace.has_value()) {
+    // The decode span happened FIRST — it leads the list the wire shows.
+    response.trace->spans.insert(response.trace->spans.begin(),
+                                 {"decode", decode_ms});
+  }
   const int status =
       response.ok() ? 200 : HttpStatusFor(response.error->code);
-  return WriteJsonResponse(socket, status,
-                           EncodeResponse(response, *decoded.schema).Dump(),
-                           keep_alive);
+  obs::SpanTimer encode_timer;
+  Json body = EncodeResponse(response, *decoded.schema);
+  // The encode span can only be measured AFTER encoding — patch it into
+  // the already-built body (no-op when the request did not opt in).
+  AppendTraceSpan(&body, "encode", encode_timer.ElapsedMs());
+  ObserveRequest(response, wall_timer.ElapsedMs());
+  return WriteJsonResponse(socket, status, body.Dump(), keep_alive);
 }
 
 bool ServiceHandler::HandleBatch(Socket* socket, const HttpRequest& request,
@@ -132,14 +249,17 @@ bool ServiceHandler::HandleBatch(Socket* socket, const HttpRequest& request,
 
   // Decode everything first; per-request decode failures become tagged
   // error lines in the stream (one bad request must not sink its batch).
+  const obs::SpanTimer batch_timer;
   struct Slot {
     std::shared_ptr<Schema> schema;
     std::future<SvcResponse> future;
     std::optional<SvcResponse> immediate;  // Decode failures.
+    double decode_ms = 0.0;
     bool streamed = false;
   };
   std::vector<Slot> slots(items->size());
   for (size_t i = 0; i < items->size(); ++i) {
+    obs::SpanTimer decode_timer;
     DecodedRequest decoded;
     if (std::optional<SvcError> error = DecodeRequest((*items)[i], &decoded)) {
       SvcResponse response;
@@ -147,7 +267,9 @@ bool ServiceHandler::HandleBatch(Socket* socket, const HttpRequest& request,
       slots[i].schema = Schema::Create();
       slots[i].immediate = std::move(response);
     } else {
+      slots[i].decode_ms = decode_timer.ElapsedMs();
       slots[i].schema = decoded.schema;
+      ObserveArrival();
       slots[i].future = service_->Submit(std::move(decoded.request));
     }
   }
@@ -157,8 +279,17 @@ bool ServiceHandler::HandleBatch(Socket* socket, const HttpRequest& request,
           200, "application/x-ndjson", /*content_length=*/-1, keep_alive))) {
     return false;
   }
-  auto stream_one = [&](size_t i, const SvcResponse& response) {
+  auto stream_one = [&](size_t i, SvcResponse& response) {
+    if (response.trace.has_value()) {
+      response.trace->spans.insert(response.trace->spans.begin(),
+                                   {"decode", slots[i].decode_ms});
+    }
+    obs::SpanTimer encode_timer;
     Json line = EncodeResponse(response, *slots[i].schema);
+    AppendTraceSpan(&line, "encode", encode_timer.ElapsedMs());
+    // Per-slot latency is CLIENT-OBSERVED: batch arrival to this line
+    // streaming out (queueing behind siblings included).
+    ObserveRequest(response, batch_timer.ElapsedMs());
     // The id leads the object so a human tailing the stream sees it first.
     Json tagged;
     tagged.Set("id", Json::Number(uint64_t{i}));
@@ -182,7 +313,7 @@ bool ServiceHandler::HandleBatch(Socket* socket, const HttpRequest& request,
       if (slots[i].streamed) continue;
       if (slots[i].future.wait_for(std::chrono::milliseconds(0)) ==
           std::future_status::ready) {
-        const SvcResponse response = slots[i].future.get();
+        SvcResponse response = slots[i].future.get();
         if (!stream_one(i, response)) return false;
         slots[i].streamed = true;
         --remaining;
@@ -235,41 +366,12 @@ bool ServiceHandler::HandleEngines(Socket* socket, bool keep_alive) {
 
 bool ServiceHandler::HandleStats(Socket* socket, bool keep_alive,
                                  const ServerCounters& counters) {
-  const ServiceStats stats = service_->Stats();
-  Json service;
-  service.Set("requests_submitted",
-              Json::Number(uint64_t{stats.requests_submitted}));
-  service.Set("requests_completed",
-              Json::Number(uint64_t{stats.requests_completed}));
-  service.Set("requests_failed",
-              Json::Number(uint64_t{stats.requests_failed}));
-  service.Set("requests_inflight",
-              Json::Number(uint64_t{stats.requests_inflight}));
-  service.Set("verdict_cache_hits",
-              Json::Number(uint64_t{stats.verdict_cache_hits}));
-  service.Set("verdict_cache_misses",
-              Json::Number(uint64_t{stats.verdict_cache_misses}));
-  service.Set("pool_threads", Json::Number(uint64_t{stats.pool_threads}));
-  service.Set("pool_tasks_executed",
-              Json::Number(uint64_t{stats.pool_tasks_executed}));
-  service.Set("cache_entries", Json::Number(uint64_t{stats.cache_entries}));
-  service.Set("cache_bytes", Json::Number(uint64_t{stats.cache_bytes}));
-  service.Set("cache_hits", Json::Number(uint64_t{stats.cache_hits}));
-  service.Set("cache_misses", Json::Number(uint64_t{stats.cache_misses}));
-  service.Set("cache_evictions",
-              Json::Number(uint64_t{stats.cache_evictions}));
-  Json server;
-  server.Set("connections_accepted",
-             Json::Number(uint64_t{counters.connections_accepted}));
-  server.Set("connections_rejected",
-             Json::Number(uint64_t{counters.connections_rejected}));
-  server.Set("connections_live",
-             Json::Number(uint64_t{counters.connections_live}));
-  server.Set("requests_served",
-             Json::Number(uint64_t{counters.requests_served}));
+  // Serialization goes through the ONE shared stats codec (obs/stats_json)
+  // — the same path the router's fleet-sum and ExecStats::ToJson use, with
+  // the key order pinned byte-stable by a test.
   Json body;
-  body.Set("service", std::move(service));
-  body.Set("server", std::move(server));
+  body.Set("service", obs::ServiceStatsJson(service_->Stats()));
+  body.Set("server", obs::ServerCountersJson(counters));
   return WriteJsonResponse(socket, 200, body.Dump(), keep_alive);
 }
 
@@ -280,10 +382,52 @@ bool ServiceHandler::HandleStats(Socket* socket, bool keep_alive,
 HttpServer::HttpServer(ShapleyService* service, ServerOptions options)
     : owned_handler_(std::make_unique<ServiceHandler>(service)),
       handler_(owned_handler_.get()),
-      options_(std::move(options)) {}
+      options_(std::move(options)) {
+  SetUpMetrics();
+  static_cast<ServiceHandler*>(owned_handler_.get())->set_metrics(metrics_);
+}
 
 HttpServer::HttpServer(HttpHandler* handler, ServerOptions options)
-    : handler_(handler), options_(std::move(options)) {}
+    : handler_(handler), options_(std::move(options)) {
+  SetUpMetrics();
+}
+
+void HttpServer::SetUpMetrics() {
+  if (options_.metrics != nullptr) {
+    metrics_ = options_.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  metrics_
+      ->GetGauge("shapley_build_info",
+                 "Build identity; the value is always 1",
+                 {{"version", kShapleyVersion}, {"role", options_.role}})
+      ->Set(1.0);
+  // Transport counters mirror into the scrape labeled by role, so a router
+  // and a backend sharing a dashboard produce DISJOINT series even though
+  // the family names coincide.
+  metrics_->AddCollector([this] {
+    const ServerCounters c = counters();
+    const obs::Labels role{{"role", options_.role}};
+    metrics_
+        ->GetCounter("shapley_server_connections_accepted_total",
+                     "Connections accepted by the HTTP front", role)
+        ->Set(c.connections_accepted);
+    metrics_
+        ->GetCounter("shapley_server_connections_rejected_total",
+                     "Connections refused at the connection limit", role)
+        ->Set(c.connections_rejected);
+    metrics_
+        ->GetGauge("shapley_server_connections_live",
+                   "Connections currently open", role)
+        ->Set(static_cast<double>(c.connections_live));
+    metrics_
+        ->GetCounter("shapley_server_requests_served_total",
+                     "HTTP requests served (all endpoints)", role)
+        ->Set(c.requests_served);
+  });
+}
 
 HttpServer::~HttpServer() { Stop(); }
 
@@ -466,6 +610,12 @@ void HttpServer::ConnectionLoop(Socket* socket_ptr) {
     // must already see this request in the tally.
     served_.fetch_add(1, std::memory_order_relaxed);
 
+    // Record/replay capture: the VERBATIM body, before any decode — a
+    // malformed request must replay to the identical error response.
+    if (options_.request_log != nullptr && request.method == "POST") {
+      options_.request_log->Append(request.target, request.body);
+    }
+
     bool alive;
     if (request.target == "/healthz") {
       // Answered at the transport layer: a router probing a backend's
@@ -483,6 +633,23 @@ void HttpServer::ConnectionLoop(Socket* socket_ptr) {
         body.Set("version", Json::Str(kShapleyVersion));
         body.Set("role", Json::Str(options_.role));
         alive = WriteJsonResponse(&socket, 200, body.Dump(), keep_alive);
+      }
+    } else if (request.target == "/metrics") {
+      // Answered at the transport layer like /healthz: a scrape must work
+      // even when the handler (or the fleet behind a router) is wedged.
+      if (request.method != "GET") {
+        alive = WriteJsonResponse(
+            &socket, 405,
+            FrontEndErrorBody(SvcErrorCode::kInvalidRequest,
+                              "use GET on /metrics"),
+            keep_alive);
+      } else {
+        const std::string text = metrics_->RenderPrometheus();
+        alive = socket.SendAll(
+            SerializeResponseHead(200, "text/plain; version=0.0.4",
+                                  static_cast<long>(text.size()),
+                                  keep_alive) +
+            text);
       }
     } else {
       alive = handler_->Handle(&socket, request, keep_alive, counters());

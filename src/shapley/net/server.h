@@ -13,6 +13,11 @@
 #include "shapley/net/http.h"
 #include "shapley/service/shapley_service.h"
 
+namespace shapley::obs {
+class MetricsRegistry;
+class RequestLogWriter;
+}  // namespace shapley::obs
+
 namespace shapley::net {
 
 struct ServerOptions {
@@ -30,6 +35,19 @@ struct ServerOptions {
   /// Reported by GET /healthz ("backend" for a ShapleyService front,
   /// "router" for the shard router) so a probe can tell what it reached.
   std::string role = "backend";
+
+  /// Metrics registry behind GET /metrics. Not owned; must outlive the
+  /// server. Null → the server creates and owns a private registry, so
+  /// /metrics always answers. The shard router passes its own registry
+  /// here to fold router counters and transport counters into one scrape.
+  obs::MetricsRegistry* metrics = nullptr;
+
+  /// Request capture for record/replay (obs/reqlog.h). Not owned; must
+  /// outlive the server. When set, every POST request body is appended
+  /// verbatim — BEFORE decoding, so malformed requests replay too. Null →
+  /// no capture (the default; logging costs one mutexed file write per
+  /// request).
+  obs::RequestLogWriter* request_log = nullptr;
 };
 
 /// Snapshot of an HttpServer's connection-level counters, handed to the
@@ -89,6 +107,13 @@ class ServiceHandler : public HttpHandler {
   bool Handle(Socket* socket, const HttpRequest& request, bool keep_alive,
               const ServerCounters& counters) override;
 
+  /// Attaches a metrics registry (not owned; outlives the handler):
+  /// registers the ServiceStats scrape collector and starts observing the
+  /// shapley_request_latency_ms{engine,mode,strategy} and
+  /// shapley_queue_depth histograms per request. HttpServer calls this for
+  /// its owned handler; an externally-hosted handler may call it directly.
+  void set_metrics(obs::MetricsRegistry* metrics);
+
  private:
   bool HandleCompute(Socket* socket, const HttpRequest& request,
                      bool keep_alive);
@@ -98,7 +123,15 @@ class ServiceHandler : public HttpHandler {
   bool HandleStats(Socket* socket, bool keep_alive,
                    const ServerCounters& counters);
 
+  /// Latency-histogram observation for one finished request: labels come
+  /// from the RESPONSE (engine that actually served it, realized strategy),
+  /// so routing decisions are visible in the series breakdown.
+  void ObserveRequest(const SvcResponse& response, double wall_ms);
+  /// Queue-depth observation at request arrival.
+  void ObserveArrival();
+
   ShapleyService* service_;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 /// The TCP/HTTP front: accept loop, per-connection threads, keep-alive,
@@ -109,7 +142,9 @@ class ServiceHandler : public HttpHandler {
 ///
 /// The server answers GET /healthz itself — 200 with
 /// {"status": "ok", "version": kShapleyVersion, "role": options.role} —
-/// so a health probe costs no handler (or service) work at all.
+/// so a health probe costs no handler (or service) work at all. GET
+/// /metrics is answered the same way (Prometheus text exposition of the
+/// server's registry), so a scrape works even when the handler is wedged.
 ///
 /// Execution model: one acceptor thread plus one thread per live
 /// connection (bounded by max_connections; the service's own pool does the
@@ -158,7 +193,14 @@ class HttpServer {
   size_t requests_served() const { return served_.load(); }
   ServerCounters counters() const;
 
+  /// The registry behind GET /metrics — options().metrics when provided,
+  /// else the server's own. Never null.
+  obs::MetricsRegistry* metrics() { return metrics_; }
+
  private:
+  /// Resolves metrics_ (options or owned), registers shapley_build_info
+  /// and the transport-counter collector. Ctor-only.
+  void SetUpMetrics();
   void HaltConnections(bool both_directions);
   void AcceptLoop();
   /// Thread body: runs the connection loop, then registers itself as
@@ -171,6 +213,8 @@ class HttpServer {
   std::unique_ptr<HttpHandler> owned_handler_;
   HttpHandler* handler_;
   const ServerOptions options_;
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_;  ///< Never null after construction.
   Socket listener_;
   uint16_t port_ = 0;
   std::thread acceptor_;

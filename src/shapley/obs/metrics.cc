@@ -1,0 +1,268 @@
+#include "shapley/obs/metrics.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace shapley::obs {
+
+namespace {
+
+bool ValidMetricName(const std::string& name) {
+  if (name.empty()) return false;
+  for (size_t i = 0; i < name.size(); ++i) {
+    char c = name[i];
+    bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                 c == '_' || c == ':';
+    bool digit = c >= '0' && c <= '9';
+    if (!(alpha || (digit && i > 0))) return false;
+  }
+  return true;
+}
+
+bool ValidLabelName(const std::string& name) {
+  if (name.empty()) return false;
+  for (size_t i = 0; i < name.size(); ++i) {
+    char c = name[i];
+    bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+    bool digit = c >= '0' && c <= '9';
+    if (!(alpha || (digit && i > 0))) return false;
+  }
+  return true;
+}
+
+// Prometheus renders numbers with full double precision; %.17g-style
+// round-trip output keeps sums exact while printing integers bare.
+std::string NumberText(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  if (std::isnan(v)) return "NaN";
+  if (v == static_cast<double>(static_cast<int64_t>(v)) &&
+      std::fabs(v) < 1e15) {
+    return std::to_string(static_cast<int64_t>(v));
+  }
+  std::ostringstream out;
+  out.precision(17);
+  out << v;
+  return out.str();
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)),
+      buckets_(new std::atomic<uint64_t>[bounds_.size() + 1]) {
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::Observe(double value) {
+  // First bucket whose upper bound admits the value; past the last bound
+  // the observation lands in the implicit +Inf bucket.
+  size_t i = 0;
+  while (i < bounds_.size() && value > bounds_[i]) ++i;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double old = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(old, old + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+const std::vector<double>& LatencyBucketsMs() {
+  static const std::vector<double> kBuckets = {
+      0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000,
+      10000};
+  return kBuckets;
+}
+
+const std::vector<double>& DepthBuckets() {
+  static const std::vector<double> kBuckets = {0, 1, 2, 4, 8, 16, 32, 64,
+                                               128, 256};
+  return kBuckets;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help,
+                                     const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Series* s = GetSeries(GetFamily(name, help, Kind::kCounter, {}), labels);
+  if (!s->counter) s->counter = std::make_unique<Counter>();
+  return s->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help,
+                                 const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Series* s = GetSeries(GetFamily(name, help, Kind::kGauge, {}), labels);
+  if (!s->gauge) s->gauge = std::make_unique<Gauge>();
+  return s->gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help,
+                                         const std::vector<double>& bounds,
+                                         const Labels& labels) {
+  if (bounds.empty()) {
+    throw std::invalid_argument("histogram '" + name + "' needs buckets");
+  }
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    if (!(bounds[i - 1] < bounds[i])) {
+      throw std::invalid_argument("histogram '" + name +
+                                  "' buckets must be strictly increasing");
+    }
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  Series* s = GetSeries(GetFamily(name, help, Kind::kHistogram, bounds),
+                        labels);
+  if (!s->histogram) s->histogram = std::make_unique<Histogram>(bounds);
+  return s->histogram.get();
+}
+
+MetricsRegistry::Family* MetricsRegistry::GetFamily(
+    const std::string& name, const std::string& help, Kind kind,
+    const std::vector<double>& upper_bounds) {
+  if (!ValidMetricName(name)) {
+    throw std::invalid_argument("invalid metric name: '" + name + "'");
+  }
+  for (auto& family : families_) {
+    if (family->name != name) continue;
+    if (family->kind != kind) {
+      throw std::logic_error("metric '" + name +
+                             "' re-registered with a different kind");
+    }
+    if (kind == Kind::kHistogram && family->upper_bounds != upper_bounds) {
+      throw std::logic_error("histogram '" + name +
+                             "' re-registered with different buckets");
+    }
+    return family.get();
+  }
+  auto family = std::make_unique<Family>();
+  family->name = name;
+  family->help = help;
+  family->kind = kind;
+  family->upper_bounds = upper_bounds;
+  families_.push_back(std::move(family));
+  return families_.back().get();
+}
+
+MetricsRegistry::Series* MetricsRegistry::GetSeries(Family* family,
+                                                    const Labels& labels) {
+  for (const auto& [key, value] : labels) {
+    if (!ValidLabelName(key)) {
+      throw std::invalid_argument("invalid label name: '" + key + "'");
+    }
+    (void)value;
+  }
+  for (auto& series : family->series) {
+    if (series->labels == labels) return series.get();
+  }
+  auto series = std::make_unique<Series>();
+  series->labels = labels;
+  family->series.push_back(std::move(series));
+  return family->series.back().get();
+}
+
+void MetricsRegistry::AddCollector(std::function<void()> collect) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  collectors_.push_back(std::move(collect));
+}
+
+std::string MetricsRegistry::RenderPrometheus() {
+  // Collectors register/update instruments, so they must run before the
+  // registry lock is taken (GetCounter et al. re-lock).
+  std::vector<std::function<void()>> collectors;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    collectors = collectors_;
+  }
+  for (auto& collect : collectors) collect();
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  for (const auto& family : families_) {
+    out << "# HELP " << family->name << " " << family->help << "\n";
+    out << "# TYPE " << family->name << " ";
+    switch (family->kind) {
+      case Kind::kCounter:
+        out << "counter\n";
+        break;
+      case Kind::kGauge:
+        out << "gauge\n";
+        break;
+      case Kind::kHistogram:
+        out << "histogram\n";
+        break;
+    }
+    for (const auto& series : family->series) {
+      switch (family->kind) {
+        case Kind::kCounter:
+          out << SeriesText(family->name, series->labels) << " "
+              << series->counter->value() << "\n";
+          break;
+        case Kind::kGauge:
+          out << SeriesText(family->name, series->labels) << " "
+              << NumberText(series->gauge->value()) << "\n";
+          break;
+        case Kind::kHistogram: {
+          const Histogram& h = *series->histogram;
+          uint64_t cumulative = 0;
+          for (size_t i = 0; i <= h.upper_bounds().size(); ++i) {
+            cumulative += h.bucket_count(i);
+            Labels with_le = series->labels;
+            with_le.emplace_back(
+                "le", i < h.upper_bounds().size()
+                          ? NumberText(h.upper_bounds()[i])
+                          : "+Inf");
+            out << SeriesText(family->name + "_bucket", with_le) << " "
+                << cumulative << "\n";
+          }
+          out << SeriesText(family->name + "_sum", series->labels) << " "
+              << NumberText(h.sum()) << "\n";
+          out << SeriesText(family->name + "_count", series->labels) << " "
+              << h.count() << "\n";
+          break;
+        }
+      }
+    }
+  }
+  return out.str();
+}
+
+std::string SeriesText(const std::string& name, const Labels& labels) {
+  if (labels.empty()) return name;
+  std::string out = name + "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += key;
+    out += "=\"";
+    out += EscapeLabelValue(value);
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace shapley::obs

@@ -1,0 +1,168 @@
+#ifndef SHAPLEY_OBS_METRICS_H_
+#define SHAPLEY_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace shapley::obs {
+
+/// A lock-cheap metrics registry with Prometheus text-format exposition —
+/// the observability backbone of the serving stack (net/server.h answers
+/// GET /metrics from one of these, for both a backend and the shard
+/// router).
+///
+/// Cost model: instrument REGISTRATION (GetCounter/GetGauge/GetHistogram)
+/// takes the registry mutex and scans; every later update on the returned
+/// handle is one (or, for a histogram, two) relaxed atomic adds. Hot paths
+/// either cache the handle or pay one short mutex-guarded lookup per
+/// request — both are invisible next to a single oracle call.
+///
+/// Series identity is (family name, label set). A family's kind (counter |
+/// gauge | histogram), help text and bucket layout are fixed by its first
+/// registration; a later Get* with the same name but a different kind or
+/// bucket layout throws std::logic_error — two subsystems silently
+/// exporting incompatible series under one name is a bug, not a merge.
+///
+/// Exposition is DETERMINISTIC: families render in first-registration
+/// order, series within a family in registration order, so a scrape is a
+/// pure function of the registration/update history (the scrape tests
+/// assert byte-level properties on it).
+
+/// Label set of one series, e.g. {{"engine", "lifted"}, {"mode",
+/// "all-values"}}. Order is preserved into the exposition verbatim; use
+/// one consistent order per family (the registry treats differently-
+/// ordered but equal sets as distinct series — don't do that).
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotone event tally. Set() exists for MIRRORING an externally-owned
+/// atomic counter (ServiceStats, router tallies) into the exposition from
+/// a scrape-time collector — never mix Inc() and Set() on one series.
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Set(uint64_t v) { value_.store(v, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Point-in-time measurement (cache bytes, inflight requests, health 0/1).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: one atomic counter per bucket, an atomic total
+/// count and a CAS-add double sum — Observe() never takes a lock. Bucket
+/// upper bounds are set at registration and render cumulatively with the
+/// implicit +Inf bucket, Prometheus-style.
+class Histogram {
+ public:
+  /// `upper_bounds` must be strictly increasing (validated by the
+  /// registry). An implicit +Inf bucket is always appended.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void Observe(double value);
+
+  const std::vector<double>& upper_bounds() const { return bounds_; }
+  /// Non-cumulative count of bucket i (i == bounds().size() is +Inf).
+  uint64_t bucket_count(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds.size() + 1.
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Latency bucket layout shared by every *_latency_ms family in the stack
+/// (sub-millisecond cache hits through multi-second exact sweeps).
+const std::vector<double>& LatencyBucketsMs();
+
+/// Small-integer layout for queue-depth style histograms.
+const std::vector<double>& DepthBuckets();
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Instrument handles are valid for the registry's lifetime and safe to
+  /// update from any thread. Registering the exact same (name, labels)
+  /// again returns the SAME instrument; a kind/bucket mismatch throws
+  /// std::logic_error, an invalid metric/label name std::invalid_argument.
+  Counter* GetCounter(const std::string& name, const std::string& help,
+                      const Labels& labels = {});
+  Gauge* GetGauge(const std::string& name, const std::string& help,
+                  const Labels& labels = {});
+  Histogram* GetHistogram(const std::string& name, const std::string& help,
+                          const std::vector<double>& upper_bounds,
+                          const Labels& labels = {});
+
+  /// Scrape-time hook: every collector runs (in registration order) at the
+  /// start of RenderPrometheus(), mirroring externally-owned counters
+  /// (ServiceStats snapshots, router tallies, transport counters) into
+  /// their registry instruments. Collectors must not register instruments
+  /// lazily from other threads while a scrape runs — register up front.
+  void AddCollector(std::function<void()> collect);
+
+  /// The Prometheus text exposition (format 0.0.4): runs collectors, then
+  /// renders every family as "# HELP", "# TYPE" and its series lines —
+  /// histograms as cumulative _bucket{le="..."} series plus _sum/_count.
+  /// Label values are escaped (backslash, quote, newline).
+  std::string RenderPrometheus();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  struct Series {
+    Labels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  struct Family {
+    std::string name;
+    std::string help;
+    Kind kind;
+    std::vector<double> upper_bounds;  // kHistogram only.
+    std::vector<std::unique_ptr<Series>> series;
+  };
+
+  Family* GetFamily(const std::string& name, const std::string& help,
+                    Kind kind, const std::vector<double>& upper_bounds);
+  Series* GetSeries(Family* family, const Labels& labels);
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Family>> families_;  // Registration order.
+  std::vector<std::function<void()>> collectors_;
+};
+
+/// "name{k1=\"v1\",k2=\"v2\"}" with escaped values — the exact series text
+/// the exposition emits (exposed for tests and for series-disjointness
+/// checks across scrapes).
+std::string SeriesText(const std::string& name, const Labels& labels);
+
+/// Escapes a label value for exposition: backslash, double quote and
+/// newline become \\, \" and \n.
+std::string EscapeLabelValue(const std::string& value);
+
+}  // namespace shapley::obs
+
+#endif  // SHAPLEY_OBS_METRICS_H_

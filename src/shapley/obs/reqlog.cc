@@ -1,0 +1,102 @@
+#include "shapley/obs/reqlog.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "shapley/net/json.h"
+
+namespace shapley::obs {
+
+using net::Json;
+
+RequestLogWriter::RequestLogWriter(const std::string& path)
+    : out_(path, std::ios::out | std::ios::trunc),
+      epoch_(std::chrono::steady_clock::now()) {
+  if (!out_) {
+    throw std::runtime_error("RequestLogWriter: cannot open " + path);
+  }
+}
+
+void RequestLogWriter::Append(const std::string& target,
+                              const std::string& body) {
+  const double t_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - epoch_)
+                          .count();
+  // The body crosses as a JSON STRING (escaped), so the log line re-parses
+  // to the exact original bytes — whitespace, key order and all.
+  Json line;
+  line.Set("t_ms", Json::Number(t_ms));
+  line.Set("target", Json::Str(target));
+  line.Set("body", Json::Str(body));
+  std::lock_guard<std::mutex> lock(mutex_);
+  out_ << line.Dump() << "\n";
+  ++entries_;
+}
+
+size_t RequestLogWriter::entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_;
+}
+
+void RequestLogWriter::Flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  out_.flush();
+}
+
+std::optional<std::vector<LogEntry>> ReadRequestLog(const std::string& path,
+                                                    std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return ParseRequestLog(text.str(), error);
+}
+
+std::optional<std::vector<LogEntry>> ParseRequestLog(const std::string& text,
+                                                     std::string* error) {
+  std::vector<LogEntry> entries;
+  size_t line_no = 0;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t end = text.find('\n', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(pos, end - pos);
+    pos = end + 1;
+    ++line_no;
+    if (line.empty()) continue;  // Tolerate a trailing newline only.
+    std::string parse_error;
+    std::optional<Json> json = Json::Parse(line, &parse_error);
+    if (!json.has_value()) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(line_no) + ": " + parse_error;
+      }
+      return std::nullopt;
+    }
+    const Json* t_ms = json->Find("t_ms");
+    const Json* target = json->Find("target");
+    const Json* body = json->Find("body");
+    const std::optional<double> t = t_ms != nullptr ? t_ms->IfDouble()
+                                                    : std::nullopt;
+    const std::string* target_text =
+        target != nullptr ? target->IfString() : nullptr;
+    const std::string* body_text = body != nullptr ? body->IfString() : nullptr;
+    if (!t.has_value() || target_text == nullptr || body_text == nullptr) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(line_no) +
+                 ": expected {t_ms, target, body}";
+      }
+      return std::nullopt;
+    }
+    LogEntry entry;
+    entry.t_ms = *t;
+    entry.target = *target_text;
+    entry.body = *body_text;
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+}  // namespace shapley::obs

@@ -1,0 +1,73 @@
+#ifndef SHAPLEY_OBS_REQLOG_H_
+#define SHAPLEY_OBS_REQLOG_H_
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace shapley::obs {
+
+/// Request capture for record/replay: the server (net/server.h, via
+/// ServerOptions::request_log) appends one ndjson line per POST request it
+/// reads off a socket — BEFORE decoding, so the captured body is the exact
+/// wire bytes, malformed requests included (a replay must reproduce their
+/// error responses too). The log is self-contained: replaying it against a
+/// fresh process reproduces the original responses bit-for-bit (after
+/// stripping run-volatile timing fields), because the serving stack is
+/// deterministic in (request bytes, seed).
+///
+/// Line shape (one JSON object per line, no blank lines):
+///   {"t_ms": 12.5, "target": "/v1/compute", "body": "{...verbatim...}"}
+/// t_ms is milliseconds since the writer was constructed (steady clock), so
+/// original-speed replay can reproduce the capture's pacing.
+
+struct LogEntry {
+  double t_ms = 0.0;    ///< Capture-relative arrival time.
+  std::string target;   ///< Request target, e.g. "/v1/compute".
+  std::string body;     ///< Verbatim request body bytes.
+};
+
+/// Thread-safe appending ndjson writer. One writer may be shared by every
+/// connection thread of a server (Append serializes under a mutex, and one
+/// request is one line, so lines never interleave).
+class RequestLogWriter {
+ public:
+  /// Opens (truncates) `path`. Throws std::runtime_error when the file
+  /// cannot be opened.
+  explicit RequestLogWriter(const std::string& path);
+
+  /// Appends one captured request, stamped with now - construction time.
+  void Append(const std::string& target, const std::string& body);
+
+  /// Lines appended so far.
+  size_t entries() const;
+
+  /// Flushes buffered lines to the file (Append already writes through the
+  /// stream; this forces the OS handoff — call before handing the path to a
+  /// reader while the writer is still live).
+  void Flush();
+
+ private:
+  mutable std::mutex mutex_;
+  std::ofstream out_;
+  std::chrono::steady_clock::time_point epoch_;
+  size_t entries_ = 0;
+};
+
+/// Parses a captured log back into entries. Returns nullopt (and fills
+/// `error` with a "line N: reason" message) on the first malformed line —
+/// a truncated capture should fail loudly, not replay a prefix silently.
+std::optional<std::vector<LogEntry>> ReadRequestLog(const std::string& path,
+                                                    std::string* error);
+
+/// ReadRequestLog on in-memory text (the file reader delegates here).
+std::optional<std::vector<LogEntry>> ParseRequestLog(const std::string& text,
+                                                     std::string* error);
+
+}  // namespace shapley::obs
+
+#endif  // SHAPLEY_OBS_REQLOG_H_

@@ -1,0 +1,18 @@
+#include "shapley/obs/trace.h"
+
+namespace shapley::obs {
+
+double RequestTrace::TotalMs() const {
+  double total = 0.0;
+  for (const TraceSpan& span : spans) total += span.ms;
+  return total;
+}
+
+const TraceSpan* RequestTrace::Find(const std::string& name) const {
+  for (const TraceSpan& span : spans) {
+    if (span.name == name) return &span;
+  }
+  return nullptr;
+}
+
+}  // namespace shapley::obs

@@ -1,0 +1,57 @@
+#ifndef SHAPLEY_OBS_TRACE_H_
+#define SHAPLEY_OBS_TRACE_H_
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+namespace shapley::obs {
+
+/// Per-request tracing: a request that opts in (SvcRequest::trace, or
+/// `"trace": true` on the wire) carries a RequestTrace through the stack;
+/// each layer appends the spans it owns — the server measures decode and
+/// encode, the service measures route / cache / engine — and the finished
+/// list rides back as an opt-in `"trace"` block in the response JSON.
+/// Span durations also feed the request-latency histograms, so the trace
+/// block and /metrics agree by construction.
+///
+/// Spans are flat, not nested: each is a (name, milliseconds) pair
+/// measured by the layer that owns it, appended in completion order.
+/// This header stays dependency-light on purpose — service/request.h
+/// embeds RequestTrace in every SvcResponse.
+
+struct TraceSpan {
+  std::string name;  // decode | route | cache | engine | encode | ...
+  double ms = 0.0;
+};
+
+struct RequestTrace {
+  std::vector<TraceSpan> spans;
+
+  void Add(const std::string& name, double ms) { spans.push_back({name, ms}); }
+  /// Total traced time; spans are disjoint by construction (each layer
+  /// times its own exclusive section) so the sum is meaningful.
+  double TotalMs() const;
+  const TraceSpan* Find(const std::string& name) const;
+};
+
+/// Steady-clock stopwatch for one span. Usage:
+///   SpanTimer t;
+///   ... work ...
+///   trace->Add("engine", t.ElapsedMs());
+class SpanTimer {
+ public:
+  SpanTimer() : start_(std::chrono::steady_clock::now()) {}
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace shapley::obs
+
+#endif  // SHAPLEY_OBS_TRACE_H_

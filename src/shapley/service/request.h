@@ -16,6 +16,7 @@
 #include "shapley/data/partitioned_database.h"
 #include "shapley/engines/svc.h"
 #include "shapley/engines/svc_error.h"
+#include "shapley/obs/trace.h"
 #include "shapley/query/boolean_query.h"
 
 namespace shapley {
@@ -85,6 +86,13 @@ struct SvcRequest {
   /// Optional cancellation token (see CancelToken).
   CancelToken cancel;
 
+  /// Opt-in per-request tracing: the service (and the network front)
+  /// record span timings — decode → route → cache → engine → encode — into
+  /// SvcResponse::trace, and the wire response carries them as a "trace"
+  /// block. Off by default: a span costs two steady-clock reads, but the
+  /// response block is per-request payload nobody asked for.
+  bool trace = false;
+
   /// Convenience: deadline = now + budget.
   SvcRequest& WithTimeout(std::chrono::milliseconds budget) {
     deadline = std::chrono::steady_clock::now() + budget;
@@ -132,6 +140,11 @@ struct SvcResponse {
   /// adapters rethrow exactly what the engine threw.
   std::exception_ptr raw_exception;
   RequestStats stats;
+
+  /// Populated iff the request opted in (SvcRequest::trace): the span
+  /// timings each layer recorded while serving this request. Volatile by
+  /// nature (like `stats`) — record/replay comparisons strip it.
+  std::optional<obs::RequestTrace> trace;
 
   bool ok() const { return !error.has_value(); }
 };

@@ -214,13 +214,17 @@ std::shared_ptr<SvcEngine> ShapleyService::Route(const SvcRequest& request,
   return MakeConfiguredEngine(*best);
 }
 
-DichotomyVerdict ShapleyService::Classify(const BooleanQuery& query) {
+DichotomyVerdict ShapleyService::Classify(const BooleanQuery& query,
+                                          obs::RequestTrace* trace) {
   // Key by dynamic type + text: two query classes could conceivably print
   // alike, and the verdict depends on the class.
   const std::string key =
       std::string(typeid(query).name()) + '\x1f' + query.ToString();
   DichotomyVerdict verdict;
-  if (verdict_cache_.Lookup(key, &verdict)) return verdict;
+  obs::SpanTimer lookup_timer;
+  const bool hit = verdict_cache_.Lookup(key, &verdict);
+  if (trace != nullptr) trace->Add("cache", lookup_timer.ElapsedMs());
+  if (hit) return verdict;
   try {
     verdict = ClassifySvcComplexity(query);
   } catch (const std::exception& e) {
@@ -245,8 +249,16 @@ SvcResponse ShapleyService::Execute(const SvcRequest& request,
   response.mode = request.mode;
   response.stats.queue_ms = MsBetween(submitted, start);
 
+  // Opt-in tracing: spans accumulate here and ride out on the response.
+  // The set is disjoint — "cache" is the verdict-cache lookup, "route" is
+  // classification + engine selection MINUS that lookup, "engine" is the
+  // engine run(s); the server adds "decode"/"encode" around this call.
+  const bool tracing = request.trace;
+  obs::RequestTrace trace;
+
   auto finish = [&](SvcResponse&& done) -> SvcResponse {
     done.stats.exec_ms = MsBetween(start, Clock::now());
+    if (tracing) done.trace = std::move(trace);
     (done.ok() ? completed_ : failed_).fetch_add(1, std::memory_order_relaxed);
     inflight_.fetch_sub(1, std::memory_order_relaxed);
     return std::move(done);
@@ -278,15 +290,23 @@ SvcResponse ShapleyService::Execute(const SvcRequest& request,
   // the BatchSvcRunner path, which must not pay costs the historical
   // runner never paid). Every routed or registry-named request is
   // classified and carries the verdict in its response.
+  obs::SpanTimer route_timer;
+  auto record_route = [&] {
+    if (!tracing) return;
+    double cache_ms = 0.0;
+    if (const obs::TraceSpan* span = trace.Find("cache")) cache_ms = span->ms;
+    trace.Add("route", route_timer.ElapsedMs() - cache_ms);
+  };
   if (request.engine_instance == nullptr ||
       request.mode == SvcMode::kClassifyOnly) {
-    response.verdict = Classify(*request.query);
+    response.verdict = Classify(*request.query, tracing ? &trace : nullptr);
   } else {
     response.verdict.query_class = "unclassified";
     response.verdict.justification =
         "classification skipped: caller-supplied engine instance";
   }
   if (request.mode == SvcMode::kClassifyOnly) {
+    record_route();
     return finish(std::move(response));
   }
 
@@ -310,8 +330,12 @@ SvcResponse ShapleyService::Execute(const SvcRequest& request,
     engine = MakeConfiguredEngine(*entry);
   } else {
     engine = Route(request, n, &response);
-    if (engine == nullptr) return finish(std::move(response));
+    if (engine == nullptr) {
+      record_route();
+      return finish(std::move(response));
+    }
   }
+  record_route();
   auto run_engine = [&](const std::shared_ptr<SvcEngine>& chosen) {
     response.engine = chosen->name();
     // Registry-created sampling engines take the request's (ε, δ, seed)
@@ -367,6 +391,7 @@ SvcResponse ShapleyService::Execute(const SvcRequest& request,
     }
   };
 
+  obs::SpanTimer engine_timer;
   run_engine(engine);
 
   // The allow_approx promise is "complete instead of refuse", and it must
@@ -391,6 +416,10 @@ SvcResponse ShapleyService::Execute(const SvcRequest& request,
       break;
     }
   }
+  // One span covers the engine run INCLUDING the approx capacity retry —
+  // it is the request's total engine time, which is what the latency
+  // histograms want.
+  if (tracing) trace.Add("engine", engine_timer.ElapsedMs());
   return finish(std::move(response));
 }
 

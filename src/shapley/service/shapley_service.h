@@ -160,8 +160,10 @@ class ShapleyService {
                                    size_t num_endogenous,
                                    SvcResponse* response) const;
 
-  /// ClassifySvcComplexity through the verdict cache.
-  DichotomyVerdict Classify(const BooleanQuery& query);
+  /// ClassifySvcComplexity through the verdict cache. When `trace` is
+  /// non-null, records the verdict-cache lookup as a "cache" span.
+  DichotomyVerdict Classify(const BooleanQuery& query,
+                            obs::RequestTrace* trace = nullptr);
 
   const ServiceOptions options_;
   const EngineRegistry registry_;

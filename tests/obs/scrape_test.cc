@@ -1,0 +1,299 @@
+// GET /metrics over REAL TCP, for both halves of the serving stack:
+//
+//  (a) a backend scrape is well-formed Prometheus text — exactly one
+//      HELP/TYPE per family, HELP before TYPE, no duplicate series lines,
+//      every histogram's cumulative buckets monotone with +Inf == _count —
+//      and carries shapley_build_info{version, role="backend"};
+//  (b) request-latency series are labeled by what ACTUALLY served the
+//      request: engine, mode and strategy ("exact" vs the sampling
+//      strategy), fed from real traffic;
+//  (c) the conservation self-check gauge reads 0 once the service drained;
+//  (d) a ROUTER scrape exposes the routing counters and per-backend
+//      {backend="host:port"} series, and its series set is fully DISJOINT
+//      from a backend's (router-prefixed families by name, shared
+//      transport families by the role label);
+//  (e) the opt-in "trace" block crosses the wire: spans decode → route →
+//      cache → engine → encode on a traced request, absent otherwise.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "shapley/cluster/router.h"
+#include "shapley/common/version.h"
+#include "shapley/data/parser.h"
+#include "shapley/net/client.h"
+#include "shapley/net/server.h"
+#include "shapley/query/query_parser.h"
+#include "shapley/service/shapley_service.h"
+
+namespace shapley {
+namespace {
+
+using net::ShapleyClient;
+
+QueryPtr ParseQuery(const std::shared_ptr<Schema>& schema,
+                    std::string_view text) {
+  UcqPtr ucq = ParseUcq(schema, text);
+  if (ucq->disjuncts().size() == 1) return ucq->disjuncts()[0];
+  return ucq;
+}
+
+/// One backend serving stack on an ephemeral port.
+struct Stack {
+  explicit Stack(ServiceOptions service_options = {.threads = 2})
+      : service(service_options), server(&service) {
+    server.Start();
+  }
+  ShapleyService service;
+  net::HttpServer server;
+};
+
+std::string Scrape(const std::string& host, uint16_t port) {
+  ShapleyClient client(host, port);
+  int status = 0;
+  const std::string body = client.RawGet("/metrics", &status);
+  EXPECT_EQ(status, 200);
+  return body;
+}
+
+std::vector<std::string> Lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+/// Series identity of one sample line: everything before the value.
+std::string SeriesKey(const std::string& line) {
+  return line.substr(0, line.rfind(' '));
+}
+
+/// The format checks every scrape in this file must pass.
+void ExpectWellFormed(const std::string& text) {
+  // One HELP and one TYPE per family, HELP first.
+  std::map<std::string, int> help_count;
+  std::map<std::string, int> type_count;
+  std::set<std::string> series_seen;
+  std::map<std::string, uint64_t> bucket_cumulative;  // By le-less key.
+  std::map<std::string, uint64_t> bucket_inf;
+  std::map<std::string, uint64_t> histogram_count;
+  for (const std::string& line : Lines(text)) {
+    ASSERT_FALSE(line.empty()) << "blank line in exposition";
+    if (line.rfind("# HELP ", 0) == 0) {
+      const std::string name = line.substr(7, line.find(' ', 7) - 7);
+      EXPECT_EQ(++help_count[name], 1) << "duplicate HELP for " << name;
+      EXPECT_EQ(type_count[name], 0) << "HELP after TYPE for " << name;
+      continue;
+    }
+    if (line.rfind("# TYPE ", 0) == 0) {
+      const std::string name = line.substr(7, line.find(' ', 7) - 7);
+      EXPECT_EQ(++type_count[name], 1) << "duplicate TYPE for " << name;
+      EXPECT_EQ(help_count[name], 1) << "TYPE without HELP for " << name;
+      continue;
+    }
+    ASSERT_NE(line[0], '#') << "unknown comment line: " << line;
+    EXPECT_TRUE(series_seen.insert(SeriesKey(line)).second)
+        << "duplicate series: " << SeriesKey(line);
+
+    // Histogram bucket bookkeeping: cumulative counts must be monotone
+    // within a series (le label stripped), +Inf must equal _count.
+    const uint64_t value = std::stoull(line.substr(line.rfind(' ') + 1));
+    const size_t bucket_pos = line.find("_bucket{");
+    if (bucket_pos != std::string::npos) {
+      std::string key = SeriesKey(line);
+      const size_t le = key.find("le=\"");
+      ASSERT_NE(le, std::string::npos) << line;
+      const std::string le_value =
+          key.substr(le + 4, key.find('"', le + 4) - (le + 4));
+      // The le pair is the last label: erase it (and a preceding comma).
+      key.erase(key[le - 1] == ',' ? le - 1 : le);
+      auto [it, fresh] = bucket_cumulative.try_emplace(key, value);
+      if (!fresh) {
+        EXPECT_GE(value, it->second) << "non-monotone buckets: " << line;
+        it->second = value;
+      }
+      if (le_value == "+Inf") bucket_inf[key] = value;
+    } else if (line.find("_count") != std::string::npos &&
+               line.find("_count ") != std::string::npos) {
+      histogram_count[line.substr(0, line.find("_count"))] = value;
+    }
+  }
+  for (const auto& [key, inf] : bucket_inf) {
+    // key is "name_bucket{labels" or "name_bucket"; recover the name.
+    const std::string name = key.substr(0, key.find("_bucket"));
+    if (histogram_count.count(name) != 0) {
+      // Unlabeled histogram: +Inf must match the _count line.
+      EXPECT_EQ(inf, histogram_count[name]) << name;
+    }
+  }
+}
+
+TEST(BackendScrape, WellFormedLabeledAndConserved) {
+  auto schema = Schema::Create();
+  Stack stack;
+
+  // Real traffic: one exact lifted, one exact brute-side, one seeded
+  // sampling run, one structured failure.
+  ShapleyClient client("127.0.0.1", stack.server.port());
+  SvcRequest easy;
+  easy.query = ParseQuery(schema, "R(x), S(x,y)");
+  easy.db = ParsePartitionedDatabase(schema, "R(a) S(a,b) | S(a,c)");
+  EXPECT_TRUE(client.Compute(easy).ok());
+
+  SvcRequest hard = easy;
+  hard.query = ParseQuery(schema, "R(x), S(x,y), T(y)");
+  hard.db = ParsePartitionedDatabase(schema,
+                                     "R(a) S(a,b) T(b) | T(c) S(a,c)");
+  EXPECT_TRUE(client.Compute(hard).ok());
+
+  SvcRequest sampled = hard;
+  sampled.engine = "sampling";
+  sampled.approx.epsilon = 0.2;
+  sampled.approx.seed = 7;
+  const SvcResponse sampled_response = client.Compute(sampled);
+  EXPECT_TRUE(sampled_response.ok());
+  ASSERT_TRUE(sampled_response.approx.has_value());
+
+  SvcRequest bad = easy;
+  bad.engine = "no-such-engine";
+  EXPECT_FALSE(client.Compute(bad).ok());
+
+  const std::string text = Scrape("127.0.0.1", stack.server.port());
+  ExpectWellFormed(text);
+
+  // Identity and role.
+  EXPECT_NE(
+      text.find("shapley_build_info{version=\"" +
+                std::string(kShapleyVersion) + "\",role=\"backend\"} 1"),
+      std::string::npos);
+
+  // Latency series labeled by what served each request.
+  EXPECT_NE(text.find("# TYPE shapley_request_latency_ms histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("engine=\"" + sampled_response.engine +
+                      "\",mode=\"all-values\",strategy=\"" +
+                      sampled_response.approx->strategy + "\""),
+            std::string::npos);
+  EXPECT_NE(text.find("strategy=\"exact\""), std::string::npos);
+  EXPECT_NE(text.find("engine=\"none\""), std::string::npos);  // The failure.
+  EXPECT_NE(text.find("shapley_queue_depth_bucket"), std::string::npos);
+
+  // Service counters crossed into the scrape, and the drained service
+  // self-checks: conservation error 0, submitted == 4.
+  EXPECT_NE(text.find("shapley_service_requests_submitted_total 4"),
+            std::string::npos);
+  EXPECT_NE(text.find("shapley_service_requests_failed_total 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("shapley_service_stats_conservation_error 0"),
+            std::string::npos);
+
+  // Transport counters are role-labeled.
+  EXPECT_NE(text.find("shapley_server_requests_served_total{role="
+                      "\"backend\"}"),
+            std::string::npos);
+}
+
+TEST(RouterScrape, RouterSeriesAndBackendDisjointness) {
+  auto schema = Schema::Create();
+  std::vector<std::unique_ptr<Stack>> backends;
+  std::vector<std::string> specs;
+  for (size_t i = 0; i < 2; ++i) {
+    backends.push_back(std::make_unique<Stack>());
+    specs.push_back("127.0.0.1:" +
+                    std::to_string(backends.back()->server.port()));
+  }
+  cluster::RouterOptions options;
+  options.health_poll_ms = 0;
+  cluster::ShardRouter router(specs, options);
+  router.Start();
+
+  ShapleyClient client("127.0.0.1", router.port());
+  SvcRequest request;
+  request.query = ParseQuery(schema, "R(x), S(x,y)");
+  request.db = ParsePartitionedDatabase(schema, "R(a) S(a,b) | S(a,c)");
+  EXPECT_TRUE(client.Compute(request).ok());
+
+  const std::string router_text = Scrape("127.0.0.1", router.port());
+  ExpectWellFormed(router_text);
+  EXPECT_NE(router_text.find("shapley_router_requests_routed_total 1"),
+            std::string::npos);
+  EXPECT_NE(router_text.find("shapley_build_info{version=\"" +
+                             std::string(kShapleyVersion) +
+                             "\",role=\"router\"} 1"),
+            std::string::npos);
+  for (const std::string& spec : specs) {
+    EXPECT_NE(router_text.find("shapley_router_backend_healthy{backend=\"" +
+                               spec + "\"} 1"),
+              std::string::npos);
+    EXPECT_NE(router_text.find("shapley_router_backend_routed_total{"
+                               "backend=\"" + spec + "\"}"),
+              std::string::npos);
+  }
+  EXPECT_NE(router_text.find(
+                "shapley_router_request_latency_ms_bucket{endpoint="
+                "\"compute\""),
+            std::string::npos);
+
+  // Full series disjointness against the backend that served the request:
+  // no sample line identity appears in both scrapes.
+  const std::string backend_text =
+      Scrape("127.0.0.1", backends[0]->server.port());
+  ExpectWellFormed(backend_text);
+  std::set<std::string> router_series;
+  for (const std::string& line : Lines(router_text)) {
+    if (line[0] != '#') router_series.insert(SeriesKey(line));
+  }
+  for (const std::string& line : Lines(backend_text)) {
+    if (line[0] == '#') continue;
+    EXPECT_EQ(router_series.count(SeriesKey(line)), 0u)
+        << "series in BOTH scrapes: " << SeriesKey(line);
+  }
+  // And no service-layer series on the router (it computes nothing).
+  EXPECT_EQ(router_text.find("shapley_service_"), std::string::npos);
+  EXPECT_EQ(backend_text.find("shapley_router_"), std::string::npos);
+
+  router.Stop();
+}
+
+TEST(TraceWire, OptInSpansCrossTheWire) {
+  auto schema = Schema::Create();
+  Stack stack;
+  ShapleyClient client("127.0.0.1", stack.server.port());
+
+  SvcRequest request;
+  request.query = ParseQuery(schema, "R(x), S(x,y)");
+  request.db = ParsePartitionedDatabase(schema, "R(a) S(a,b) | S(a,c)");
+
+  // Off by default: no trace block, no spans.
+  const SvcResponse untraced = client.Compute(request);
+  EXPECT_TRUE(untraced.ok());
+  EXPECT_FALSE(untraced.trace.has_value());
+
+  request.trace = true;
+  const SvcResponse traced = client.Compute(request);
+  EXPECT_TRUE(traced.ok());
+  ASSERT_TRUE(traced.trace.has_value());
+  for (const char* span : {"decode", "cache", "route", "engine", "encode"}) {
+    const obs::TraceSpan* found = traced.trace->Find(span);
+    ASSERT_NE(found, nullptr) << span;
+    EXPECT_GE(found->ms, 0.0) << span;
+  }
+  EXPECT_GT(traced.trace->TotalMs(), 0.0);
+
+  // The histogram fed by these requests observed both of them.
+  const std::string text = Scrape("127.0.0.1", stack.server.port());
+  EXPECT_NE(text.find("shapley_request_latency_ms_count{engine=\"" +
+                      traced.engine + "\",mode=\"all-values\","
+                      "strategy=\"exact\"} 2"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace shapley
