@@ -1,0 +1,247 @@
+// Tracing overhead guard (obs/trace.h + the deep-path hooks): tracing is
+// strictly OPT-IN, and a disabled-trace request must not allocate a
+// recorder or take a trace lock anywhere on the hot path. This bench
+// enforces that contract — and the structural one — at runtime:
+//
+//   1. baseline rounds: blocks of UNTRACED in-process requests served
+//      before any request has ever been traced;
+//   2. mixed rounds: the same untraced blocks, interleaved with blocks of
+//      traced requests. If the disabled path paid for tracing (shared
+//      locks, allocation, residue), these blocks would slow down;
+//   3. guard (exit 1 on violation): compared on the PER-REQUEST MINIMUM
+//      latency of each phase (block averages are polluted by whatever
+//      else the machine is doing; the fastest single request is the one
+//      the scheduler left alone, so it isolates the code path's own
+//      cost). Best mixed untraced request within 5% of the best baseline
+//      request, with a noise allowance self-calibrated from the spread
+//      the baseline rounds themselves exhibited (2 µs floor);
+//   4. every traced response must carry a WELL-FORMED tree — a "service"
+//      root, decode-free in-process shape route → engine → ..., the
+//      engine span decomposed into compile/delta/accumulate (exact) or
+//      per-checkpoint rounds (sampling) — and values BIT-IDENTICAL to the
+//      untraced run: tracing observes, it never perturbs.
+//
+// Usage:
+//   bench_trace_overhead [--reps N] [--json out.json]
+//
+// --json rows (JSONL-appended to BENCH_obs.json by scripts/check.sh):
+//   {"name": "untraced_baseline" | "untraced_mixed" | "traced",
+//    "requests": N, "us_per_req": ...}
+//   {"name": "self_check", "overhead_pct": ..., "malformed_trees": 0,
+//    "value_mismatches": 0, "ok": 1}
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "shapley/data/parser.h"
+#include "shapley/obs/trace.h"
+#include "shapley/query/query_parser.h"
+#include "shapley/service/shapley_service.h"
+
+namespace {
+
+using namespace shapley;
+
+QueryPtr ParseQuery(const std::shared_ptr<Schema>& schema, const char* text) {
+  UcqPtr ucq = ParseUcq(schema, text);
+  if (ucq->disjuncts().size() == 1) return ucq->disjuncts()[0];
+  return ucq;
+}
+
+/// The hot-path instance: small, exact, lifted — per-request cost is
+/// dominated by the service/engine path the tracing hooks live on.
+SvcRequest HotInstance(const std::shared_ptr<Schema>& schema) {
+  SvcRequest request;
+  request.query = ParseQuery(schema, "R(x), S(x,y)");
+  request.db = ParsePartitionedDatabase(
+      schema, "R(a) R(b) S(a,c) S(b,d) | S(a,d) S(b,c)");
+  return request;
+}
+
+/// One measured block of `reps` requests: the block-average per-request
+/// microseconds (throughput view, noise included) and the fastest single
+/// request (the one the scheduler left alone — the guard's estimator).
+struct BlockStats {
+  double mean_us = 0.0;
+  double min_us = 0.0;
+};
+
+BlockStats RunBlock(ShapleyService* service, const SvcRequest& request,
+                    size_t reps) {
+  BlockStats stats;
+  stats.min_us = std::numeric_limits<double>::infinity();
+  bench::Timer block_timer;
+  for (size_t i = 0; i < reps; ++i) {
+    bench::Timer request_timer;
+    const SvcResponse response = service->Compute(request);
+    stats.min_us = std::min(stats.min_us, 1000.0 * request_timer.ElapsedMs());
+    if (!response.ok()) {
+      std::cerr << "hot-path request failed mid-block\n";
+      std::exit(1);
+    }
+  }
+  stats.mean_us = 1000.0 * block_timer.ElapsedMs() /
+                  static_cast<double>(reps);
+  return stats;
+}
+
+double MinOf(const std::vector<BlockStats>& rounds,
+             double BlockStats::* member) {
+  double best = std::numeric_limits<double>::infinity();
+  for (const BlockStats& round : rounds) best = std::min(best, round.*member);
+  return best;
+}
+
+/// Structural contract of one traced EXACT response; increments
+/// `malformed` on any violation.
+void CheckExactTree(const SvcResponse& response, size_t* malformed) {
+  if (!response.trace.has_value() ||
+      response.trace->root.name != "service" ||
+      !obs::WellNested(response.trace->root)) {
+    ++*malformed;
+    return;
+  }
+  for (const char* span :
+       {"route", "cache", "engine", "compile", "delta", "accumulate"}) {
+    if (response.trace->Find(span) == nullptr) {
+      ++*malformed;
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t reps = 300;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--reps" && i + 1 < argc) {
+      reps = std::max<size_t>(50, std::strtoul(argv[++i], nullptr, 10));
+    }
+  }
+  constexpr size_t kRounds = 4;
+
+  bench::JsonReporter json =
+      bench::JsonReporter::FromArgs(argc, argv, "bench_trace_overhead");
+  bench::Banner(
+      "Trace overhead guard (untraced hot path must not pay for tracing)");
+
+  auto schema = Schema::Create();
+  const SvcRequest untraced_request = HotInstance(schema);
+  SvcRequest traced_request = untraced_request;
+  traced_request.trace = true;
+
+  ShapleyService service(ServiceOptions{.threads = 2});
+
+  // Ground truth for the perturbation check, and cache warmup in one.
+  const SvcResponse reference = service.Compute(untraced_request);
+  if (!reference.ok()) {
+    std::cerr << "reference request failed\n";
+    return 1;
+  }
+  for (size_t i = 0; i < 50; ++i) service.Compute(untraced_request);
+
+  // ---- Baseline rounds: tracing has NEVER been used in this process.
+  std::vector<BlockStats> baseline_rounds;
+  for (size_t round = 0; round < kRounds; ++round) {
+    baseline_rounds.push_back(RunBlock(&service, untraced_request, reps));
+  }
+
+  // ---- Mixed rounds: traced blocks interleaved with untraced blocks.
+  size_t malformed = 0;
+  size_t value_mismatches = 0;
+  std::vector<BlockStats> mixed_rounds;
+  std::vector<BlockStats> traced_rounds;
+  for (size_t round = 0; round < kRounds; ++round) {
+    BlockStats traced_block;
+    traced_block.min_us = std::numeric_limits<double>::infinity();
+    bench::Timer block_timer;
+    for (size_t i = 0; i < reps; ++i) {
+      bench::Timer request_timer;
+      const SvcResponse response = service.Compute(traced_request);
+      traced_block.min_us =
+          std::min(traced_block.min_us, 1000.0 * request_timer.ElapsedMs());
+      if (response.values != reference.values) ++value_mismatches;
+      CheckExactTree(response, &malformed);
+    }
+    traced_block.mean_us = 1000.0 * block_timer.ElapsedMs() /
+                           static_cast<double>(reps);
+    traced_rounds.push_back(traced_block);
+    mixed_rounds.push_back(RunBlock(&service, untraced_request, reps));
+  }
+
+  // A traced SAMPLING request must decompose into per-checkpoint rounds.
+  {
+    SvcRequest sampled = traced_request;
+    sampled.engine = "sampling";
+    sampled.approx.epsilon = 0.25;
+    sampled.approx.seed = 3;
+    const SvcResponse response = service.Compute(sampled);
+    const obs::TraceSpan* round =
+        response.trace.has_value() ? response.trace->Find("round") : nullptr;
+    if (round == nullptr || round->FindAttr("samples") == nullptr ||
+        round->FindAttr("retired") == nullptr) {
+      ++malformed;
+    }
+  }
+
+  // The guard compares FASTEST SINGLE REQUESTS, not block averages: an
+  // average absorbs whatever else the machine ran during the block, while
+  // the fastest request of a 100+-request block is one the scheduler left
+  // alone. The noise allowance is self-calibrated: a baseline→mixed shift
+  // is only evidence of residue when it exceeds the spread the baseline
+  // rounds showed AMONG THEMSELVES (with a 2 µs floor).
+  const double baseline = MinOf(baseline_rounds, &BlockStats::min_us);
+  const double mixed = MinOf(mixed_rounds, &BlockStats::min_us);
+  const double traced = MinOf(traced_rounds, &BlockStats::min_us);
+  double baseline_spread = 0.0;
+  for (const BlockStats& round : baseline_rounds) {
+    baseline_spread = std::max(baseline_spread, round.min_us - baseline);
+  }
+  const double allowance = std::max(2.0, baseline_spread);
+  const double overhead_pct = 100.0 * (mixed - baseline) / baseline;
+  const bool untraced_ok =
+      mixed <= baseline * 1.05 || mixed - baseline <= allowance;
+
+  bench::Table table({"phase", "requests", "min us/req", "mean us/req"},
+                     {20, 12, 12, 12});
+  table.PrintHeader();
+  const double block_total = static_cast<double>(reps * kRounds);
+  table.PrintRow("untraced_baseline", reps * kRounds, baseline,
+                 MinOf(baseline_rounds, &BlockStats::mean_us));
+  table.PrintRow("untraced_mixed", reps * kRounds, mixed,
+                 MinOf(mixed_rounds, &BlockStats::mean_us));
+  table.PrintRow("traced", reps * kRounds, traced,
+                 MinOf(traced_rounds, &BlockStats::mean_us));
+  json.Row({{"name", "untraced_baseline"},
+            {"requests", block_total},
+            {"us_per_req", baseline},
+            {"mean_us_per_req", MinOf(baseline_rounds, &BlockStats::mean_us)}});
+  json.Row({{"name", "untraced_mixed"},
+            {"requests", block_total},
+            {"us_per_req", mixed},
+            {"mean_us_per_req", MinOf(mixed_rounds, &BlockStats::mean_us)}});
+  json.Row({{"name", "traced"},
+            {"requests", block_total},
+            {"us_per_req", traced},
+            {"mean_us_per_req", MinOf(traced_rounds, &BlockStats::mean_us)}});
+
+  const bool ok = untraced_ok && malformed == 0 && value_mismatches == 0;
+  std::cout << "\nself-check: untraced overhead "
+            << (overhead_pct < 0 ? 0.0 : overhead_pct)
+            << "% (guard 5% or " << allowance << " us noise allowance), "
+            << malformed << " malformed trees, " << value_mismatches
+            << " value mismatches: " << bench::PassFail(ok) << "\n";
+  json.Row({{"name", "self_check"},
+            {"overhead_pct", overhead_pct},
+            {"malformed_trees", static_cast<double>(malformed)},
+            {"value_mismatches", static_cast<double>(value_mismatches)},
+            {"ok", ok ? 1.0 : 0.0}});
+  return ok ? 0 : 1;
+}

@@ -15,6 +15,7 @@
 //   example_cli call HOST:PORT values|max|topk|classify '<ucq>' '<db>' [K]
 //   example_cli stats HOST:PORT
 //   example_cli scrape HOST:PORT
+//   example_cli trace HOST:PORT ['<query>' '<database>']
 //
 // Database syntax: "R(a,b) S(b,c) | T(d)" — facts after '|' are exogenous.
 // Query syntax:    "R(x,y), S(y,z) | T(x)" — '|' separates disjuncts,
@@ -34,15 +35,19 @@
 // the same JSON the HTTP server sends, so scripts parse one format whether
 // they shell out to the CLI or curl the service.
 //
-// --trace opts the request into per-request span tracing (obs/trace.h):
-// the diagnostics line gains the decode → route → cache → engine → encode
-// timings, and --json carries them as the wire's "trace" block.
+// --trace opts the request into hierarchical span tracing (obs/trace.h):
+// the diagnostics print the span TREE — one line per span, indented by
+// depth, wall-ms and attributes on each — and --json carries it as the
+// wire's nested "trace" block.
 //
 // stats pretty-prints GET /v1/stats of a running server or router; scrape
-// dumps its GET /metrics Prometheus exposition verbatim. Both go through
-// the client library (one keep-alive connection) and exit non-zero on
-// transport failure or a non-200 answer — curl-free smoke probes for
-// scripts and humans alike.
+// dumps its GET /metrics Prometheus exposition verbatim; trace sends one
+// traced probe request (a tiny canned instance unless a query/database
+// pair follows) and pretty-prints the returned span tree — against a
+// router this shows the full cluster-wide tree, hop spans and all. All
+// three go through the client library (one keep-alive connection) and
+// exit non-zero on transport failure or a failed answer — curl-free smoke
+// probes for scripts and humans alike.
 //
 // serve starts the network front (net/server.h) over a ShapleyService and
 // prints "listening on HOST:PORT"; SIGINT/SIGTERM drain in-flight requests
@@ -74,6 +79,7 @@
 #include "shapley/net/client.h"
 #include "shapley/net/codec.h"
 #include "shapley/net/server.h"
+#include "shapley/obs/trace.h"
 #include "shapley/query/query_parser.h"
 #include "shapley/service/shapley_service.h"
 
@@ -93,6 +99,7 @@ int Usage() {
          "'<query>' '<database>' [K]\n"
       << "       example_cli stats HOST:PORT\n"
       << "       example_cli scrape HOST:PORT\n"
+      << "       example_cli trace HOST:PORT ['<query>' '<database>']\n"
       << "                   [--threads N]\n"
       << "                   [--engine "
          "auto|brute|lifted|ddnnf|permutations|sampling]\n"
@@ -103,6 +110,33 @@ int Usage() {
       << "e.g.:  example_cli values 'R(x), S(x,y)' 'R(a) S(a,b) | S(a,c)' "
          "--threads 4\n";
   return 2;
+}
+
+/// One span per line, two spaces of indent per tree level, wall-ms first
+/// so the eye can scan the time column, attributes trailing:
+///   backend  12.41ms
+///     decode  0.03ms
+///     engine  11.90ms  engine=via-fgmc(lifted) cache_hits=0
+///       compile  4.51ms  oracle=lifted
+void PrintSpanTree(std::ostream& os, const shapley::obs::TraceSpan& span,
+                   int depth) {
+  os << std::string(static_cast<size_t>(depth) * 2, ' ') << span.name
+     << "  " << span.ms << "ms";
+  for (size_t i = 0; i < span.attrs.size(); ++i) {
+    os << (i == 0 ? "  " : " ") << span.attrs[i].first << "="
+       << span.attrs[i].second;
+  }
+  os << "\n";
+  for (const auto& child : span.children) {
+    PrintSpanTree(os, child, depth + 1);
+  }
+}
+
+void PrintTrace(std::ostream& os, const shapley::obs::RequestTrace& trace) {
+  os << "trace:";
+  if (trace.context.valid()) os << " id=" << trace.context.TraceIdHex();
+  os << " total=" << trace.TotalMs() << "ms\n";
+  PrintSpanTree(os, trace.root, 1);
 }
 
 void PrintResponseDiagnostics(const shapley::SvcResponse& response) {
@@ -116,11 +150,7 @@ void PrintResponseDiagnostics(const shapley::SvcResponse& response) {
     std::cerr << "approx: " << response.approx->ToString() << "\n";
   }
   if (response.trace.has_value()) {
-    std::cerr << "trace:";
-    for (const auto& span : response.trace->spans) {
-      std::cerr << " " << span.name << "=" << span.ms << "ms";
-    }
-    std::cerr << " total=" << response.trace->TotalMs() << "ms\n";
+    PrintTrace(std::cerr, *response.trace);
   }
 }
 
@@ -338,7 +368,7 @@ int main(int argc, char** argv) {
       return RunRoute(host, static_cast<uint16_t>(port), backends_csv);
     }
 
-    if (command == "stats" || command == "scrape") {
+    if (command == "stats" || command == "scrape" || command == "trace") {
       if (args.size() < 2) return Usage();
       const size_t colon = args[1].rfind(':');
       const long target_port = colon == std::string::npos
@@ -351,6 +381,37 @@ int main(int argc, char** argv) {
       }
       net::ShapleyClient client(args[1].substr(0, colon),
                                 static_cast<uint16_t>(target_port));
+      if (command == "trace") {
+        // One-shot traced probe: a tiny canned instance (overridable with
+        // trailing '<query>' '<database>' arguments) sent with tracing on;
+        // the answer's span tree prints to stdout. Transport failures
+        // throw (caught below → exit 1), like stats/scrape.
+        auto probe_schema = Schema::Create();
+        const std::string query_text =
+            args.size() > 2 ? args[2] : "R(x), S(x,y)";
+        const std::string db_text =
+            args.size() > 3 ? args[3] : "R(a) R(b) S(a,c) | S(b,c)";
+        UcqPtr probe_parsed = ParseUcq(probe_schema, query_text);
+        SvcRequest probe;
+        probe.query = probe_parsed->disjuncts().size() == 1
+                          ? QueryPtr(probe_parsed->disjuncts()[0])
+                          : QueryPtr(probe_parsed);
+        probe.db = ParsePartitionedDatabase(probe_schema, db_text);
+        probe.mode = SvcMode::kAllValues;
+        probe.trace = true;
+        const SvcResponse probed = client.Compute(probe);
+        if (!probed.ok()) {
+          std::cerr << "error: probe failed: " << probed.error->ToString()
+                    << "\n";
+          return 1;
+        }
+        if (!probed.trace.has_value()) {
+          std::cerr << "error: response carried no trace block\n";
+          return 1;
+        }
+        PrintTrace(std::cout, *probed.trace);
+        return 0;
+      }
       // Transport failures throw (caught below → exit 1); a reachable
       // server answering anything but 200 is also a failure.
       int status = 0;

@@ -38,10 +38,12 @@ echo "== cluster tests (guard: shard map units + router e2e over real TCP) =="
 "$build_dir/cluster_shard_map_test" --gtest_brief=1
 "$build_dir/cluster_router_test" --gtest_brief=1
 
-echo "== obs tests (guard: registry units, /metrics scrapes, record/replay) =="
+echo "== obs tests (guard: registry units, /metrics scrapes, record/replay, tracing) =="
 "$build_dir/obs_metrics_test" --gtest_brief=1
 "$build_dir/obs_scrape_test" --gtest_brief=1
 "$build_dir/obs_reqlog_replay_test" --gtest_brief=1
+"$build_dir/obs_trace_test" --gtest_brief=1
+"$build_dir/obs_cluster_trace_test" --gtest_brief=1
 
 echo "== net smoke (serve on an ephemeral port, call over a real socket) =="
 # End-to-end through the CLI: start the server, send one exact and one
@@ -76,11 +78,24 @@ assert wire["values"] == local["values"], \
 assert wire["status"] == 200, wire
 PYEOF
 done
+echo "== trace smoke (same live server: one-shot traced probe, span tree) =="
+# `trace` sends one traced request and renders the span tree; it exits
+# non-zero on transport failure, a failed request or a missing trace, so a
+# broken trace path fails here loudly. The rendered tree must show the
+# backend root and the engine decomposition.
+trace_out="$build_dir/trace_smoke.txt"
+"$build_dir/example_cli" trace "127.0.0.1:$port" > "$trace_out"
+for span in 'backend' 'engine' 'compile'; do
+  grep -q "^ *$span " "$trace_out" \
+      || { echo "trace smoke: missing span $span"; exit 1; }
+done
+
 echo "== metrics scrape smoke (same live server: scrape /metrics, grep series) =="
-# The server above has now served real traffic; a scrape must be parseable
-# Prometheus text carrying the build-info, latency-histogram and
-# conservation-self-check series. `scrape` exits non-zero on transport
-# failure or a non-200, so a wedged /metrics fails here loudly.
+# The server above has now served real traffic (the traced probe included);
+# a scrape must be parseable Prometheus text carrying the build-info,
+# latency-histogram, conservation-self-check, per-phase duration and
+# per-table cache series. `scrape` exits non-zero on transport failure or a
+# non-200, so a wedged /metrics fails here loudly.
 scrape_out="$build_dir/scrape_smoke.txt"
 "$build_dir/example_cli" scrape "127.0.0.1:$port" > "$scrape_out"
 for series in \
@@ -88,7 +103,9 @@ for series in \
     'shapley_request_latency_ms_bucket{engine=' \
     'shapley_service_requests_submitted_total' \
     'shapley_service_stats_conservation_error 0' \
-    'shapley_server_requests_served_total{role="backend"}'; do
+    'shapley_server_requests_served_total{role="backend"}' \
+    'shapley_phase_duration_ms_bucket{phase="engine"' \
+    'shapley_cache_hits_total{table="counts"}'; do
   grep -qF "$series" "$scrape_out" \
       || { echo "metrics smoke: missing series $series"; exit 1; }
 done
@@ -127,6 +144,17 @@ echo "== bench (record/replay, appending to BENCH_obs.json) =="
     --json "$build_dir/bench_replay.json"
 python3 -c 'import json,sys; print(json.dumps(json.load(open(sys.argv[1]))))' \
     "$build_dir/bench_replay.json" \
+    >> "$repo_root/BENCH_obs.json"
+
+echo "== bench (trace overhead guard, appending to BENCH_obs.json) =="
+# Untraced hot-path requests interleaved with traced ones: the bench exits
+# 1 if the untraced path regresses more than 5% against its pre-tracing
+# baseline, if any traced tree is malformed, or if tracing perturbs a
+# single computed value.
+"$build_dir/bench_trace_overhead" --reps 120 \
+    --json "$build_dir/bench_trace_overhead.json"
+python3 -c 'import json,sys; print(json.dumps(json.load(open(sys.argv[1]))))' \
+    "$build_dir/bench_trace_overhead.json" \
     >> "$repo_root/BENCH_obs.json"
 
 echo "== bench (fast: small instances, JSON to $build_dir/bench_parallel_scaling.json) =="

@@ -14,6 +14,7 @@
 #include "shapley/exec/oracle_cache.h"
 #include "shapley/exec/sat_memo.h"
 #include "shapley/exec/thread_pool.h"
+#include "shapley/obs/trace.h"
 
 namespace shapley {
 
@@ -372,6 +373,13 @@ std::map<Fact, BigRational> SamplingSvc::AllValues(
     }
   };
 
+  // Per-round spans for traced requests (exec_.trace is null — zero-cost
+  // — unless the request opted in), recorded from this coordinating
+  // thread only: pool workers running batches never touch the recorder.
+  // Tracing observes the round barriers; it never changes the batch → RNG
+  // mapping, so traced and untraced estimates are bit-identical.
+  obs::TraceRecorder* recorder = exec_.trace;
+
   if (params_.strategy == ApproxStrategy::kHoeffding) {
     // The fixed-count baseline: one fan-out over every batch, no
     // checkpoints — the same batch schedule as before the adaptive
@@ -379,7 +387,13 @@ std::map<Fact, BigRational> SamplingSvc::AllValues(
     // range analysis tightened the derived count itself. The per-fact
     // half-widths apply the per-fact ranges: at the same sample count, a
     // fact negation never touches certifies half the width.
+    if (recorder != nullptr) recorder->Begin("round");
     run_span(0, num_batches);
+    if (recorder != nullptr) {
+      recorder->Attr("samples", std::to_string(total_units * unit_perms));
+      recorder->Attr("retired", "0");
+      recorder->End();
+    }
     const int64_t drawn = static_cast<int64_t>(total_units);
     info.fact_samples.assign(n, total_units);
     info.fact_half_widths.resize(n);
@@ -402,6 +416,7 @@ std::map<Fact, BigRational> SamplingSvc::AllValues(
     size_t units_done = 0;
     bool all_retired = false;
     while (done < num_batches && !all_retired) {
+      if (recorder != nullptr) recorder->Begin("round");
       const size_t to = std::min(num_batches, done + kBatchesPerRound);
       run_span(done, to);
       done = to;
@@ -412,6 +427,14 @@ std::map<Fact, BigRational> SamplingSvc::AllValues(
             stopper.retired_count() > 0) {
           retired_walk_snapshot = stopper.retired();
         }
+      }
+      if (recorder != nullptr) {
+        // The span covers the round's sampling AND its stopping
+        // checkpoint; the attributes are the cumulative progress the
+        // checkpoint saw.
+        recorder->Attr("samples", std::to_string(units_done * unit_perms));
+        recorder->Attr("retired", std::to_string(stopper.retired_count()));
+        recorder->End();
       }
     }
     stopper.Finish(net, sq, units_done);

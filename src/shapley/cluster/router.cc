@@ -160,6 +160,35 @@ class RouterHandler : public net::HttpHandler {
     }
 
     router_->requests_routed_.fetch_add(1);
+
+    // Cluster-propagated tracing: a traced request gets a recorder rooted
+    // at "router" under ONE trace context (the client's own, when it sent
+    // the object form; derived from the request bytes otherwise), and the
+    // forwarded body is re-stamped with that context so the backend's
+    // span tree grafts into this one. Untraced requests keep the existing
+    // contract — the client's bytes are forwarded VERBATIM, no recorder,
+    // no re-encode.
+    std::unique_ptr<obs::TraceRecorder> recorder;
+    std::string forward_body = request.body;
+    if (decoded.request.trace) {
+      obs::TraceContext context = decoded.request.trace_context;
+      if (!context.valid()) context = obs::TraceContext::Derive(request.body);
+      recorder = std::make_unique<obs::TraceRecorder>("router", context);
+      Json stamped = *json;
+      net::SetRequestTraceContext(&stamped, recorder->context());
+      forward_body = stamped.Dump();
+    }
+    // Installs the finished cluster-wide tree into a backend (or error)
+    // body; returns the body unchanged when the request is untraced or
+    // the body is not JSON.
+    auto with_trace = [&](const std::string& body) {
+      if (recorder == nullptr) return body;
+      std::optional<Json> parsed = Json::Parse(body);
+      if (!parsed.has_value()) return body;
+      net::SetTraceBlock(&*parsed, recorder->Finish());
+      return parsed->Dump();
+    };
+
     const std::string key = KeyFor(decoded.request, request.body);
     std::vector<size_t> order = HealthyRank(key);
     const size_t tries =
@@ -172,25 +201,55 @@ class RouterHandler : public net::HttpHandler {
         channel->CountRetried(1);
         router_->requests_failed_over_.fetch_add(1);
       }
+      if (recorder != nullptr) {
+        // One "hop" span per forwarding attempt, tagged with the upstream
+        // identity — a failover leaves BOTH hops in the tree, the failed
+        // one carrying the error.
+        recorder->Begin("hop");
+        recorder->Attr("backend", channel->id());
+        recorder->Attr("attempt", std::to_string(attempt));
+      }
       std::unique_ptr<net::ShapleyClient> client = channel->Acquire();
       try {
         int status = 0;
-        const std::string body = client->RawCompute(request.body, &status);
+        const std::string body = client->RawCompute(forward_body, &status);
         channel->Release(std::move(client));
+        if (recorder != nullptr) {
+          // Graft the backend's own span tree (shipped in the response's
+          // trace block) under this hop — offsets are parent-relative, so
+          // no clock comparison across processes is needed.
+          std::optional<obs::RequestTrace> backend_trace;
+          if (std::optional<Json> parsed = Json::Parse(body)) {
+            if (const Json* trace_json = parsed->Find("trace")) {
+              backend_trace = net::DecodeTrace(*trace_json);
+            }
+          }
+          if (backend_trace.has_value()) {
+            recorder->EndGraft(std::move(backend_trace->root));
+          } else {
+            recorder->End();
+          }
+        }
         ObserveLatency("compute", wall_timer.ElapsedMs());
-        return net::WriteJsonResponse(socket, status, body, keep_alive);
-      } catch (const std::runtime_error&) {
+        return net::WriteJsonResponse(socket, status, with_trace(body),
+                                      keep_alive);
+      } catch (const std::runtime_error& e) {
         // Transport failure (the client threw, so it is mid-protocol and
         // gets destroyed, not pooled): mark the shard down and fail over.
         channel->CountFailed(1);
         channel->set_healthy(false);
+        if (recorder != nullptr) {
+          recorder->Attr("error", e.what());
+          recorder->End();
+        }
       }
     }
     router_->requests_unserved_.fetch_add(1);
     return net::WriteJsonResponse(
         socket, 503,
-        net::FrontEndErrorBody(SvcErrorCode::kUpstreamUnavailable,
-                               "no healthy backend for this shard"),
+        with_trace(net::FrontEndErrorBody(
+            SvcErrorCode::kUpstreamUnavailable,
+            "no healthy backend for this shard")),
         keep_alive);
   }
 
@@ -224,6 +283,10 @@ class RouterHandler : public net::HttpHandler {
     const size_t n = items->size();
     std::vector<std::string> item_text(n);
     std::vector<std::string> keys(n);
+    // Per-item recorders for traced requests (null otherwise): each traced
+    // item gets its OWN cluster-wide tree, its forwarded text re-stamped
+    // with the item's trace context; untraced items forward verbatim.
+    std::vector<std::unique_ptr<obs::TraceRecorder>> recorders(n);
     std::vector<std::string> immediate;       // Pre-routed error lines.
     std::map<size_t, std::vector<size_t>> groups;  // backend → global ids.
     std::vector<size_t> unserved;
@@ -241,6 +304,16 @@ class RouterHandler : public net::HttpHandler {
         continue;
       }
       router_->requests_routed_.fetch_add(1);
+      if (decoded.request.trace) {
+        obs::TraceContext context = decoded.request.trace_context;
+        if (!context.valid()) {
+          context = obs::TraceContext::Derive(item_text[i]);
+        }
+        recorders[i] = std::make_unique<obs::TraceRecorder>("router", context);
+        Json stamped = (*items)[i];
+        net::SetRequestTraceContext(&stamped, recorders[i]->context());
+        item_text[i] = stamped.Dump();
+      }
       keys[i] = KeyFor(decoded.request, item_text[i]);
       const std::vector<size_t> order = HealthyRank(keys[i]);
       if (order.empty()) {
@@ -264,10 +337,23 @@ class RouterHandler : public net::HttpHandler {
       if (!write_ok) return;
       write_ok = socket->SendAll(net::ChunkFrame(line + "\n"));
     };
+    // A traced unserved item still carries its (router-only) span tree —
+    // the hops it burned are exactly what an operator wants to see on a
+    // 503 line.
+    auto unserved_line = [&](size_t id, const std::string& detail) {
+      std::string line = UnservedLine(id, detail);
+      if (recorders[id] != nullptr) {
+        if (std::optional<Json> parsed = Json::Parse(line)) {
+          net::SetTraceBlock(&*parsed, recorders[id]->Finish());
+          line = parsed->Dump();
+        }
+      }
+      return line;
+    };
     for (const std::string& line : immediate) write_line(line);
     for (size_t id : unserved) {
       router_->requests_unserved_.fetch_add(1);
-      write_line(UnservedLine(id, "no healthy backend for this shard"));
+      write_line(unserved_line(id, "no healthy backend for this shard"));
     }
 
     // Scatter side: one thread per shard, each streaming its sub-batch and
@@ -287,6 +373,18 @@ class RouterHandler : public net::HttpHandler {
             body += item_text[ids[k]];
           }
           body += "]}";
+          // Every traced id of this sub-batch opens a "hop" span now (its
+          // recorder is touched only by this shard's worker thread until
+          // the hop closes); a mid-stream death leaves the failed hop —
+          // error-tagged — in the tree next to the retry hop the failover
+          // pass adds.
+          for (size_t id : ids) {
+            if (recorders[id] != nullptr) {
+              recorders[id]->Begin("hop");
+              recorders[id]->Attr("backend", channel->id());
+              recorders[id]->Attr("attempt", std::to_string(depth));
+            }
+          }
           std::vector<bool> seen(ids.size(), false);
           std::unique_ptr<net::ShapleyClient> client = channel->Acquire();
           try {
@@ -304,17 +402,44 @@ class RouterHandler : public net::HttpHandler {
                 throw std::runtime_error("batch line with a bad id");
               }
               seen[*local] = true;
-              write_line(
-                  RetagParsedLine(*parsed, uint64_t{ids[*local]}).Dump());
+              const size_t gid = ids[*local];
+              if (recorders[gid] != nullptr) {
+                // Close the hop (grafting the backend's subtree from the
+                // line's trace block) and install the finished cluster
+                // tree into the line this client actually receives.
+                std::optional<obs::RequestTrace> backend_trace;
+                if (const Json* trace_json = parsed->Find("trace")) {
+                  backend_trace = net::DecodeTrace(*trace_json);
+                }
+                if (backend_trace.has_value()) {
+                  recorders[gid]->EndGraft(std::move(backend_trace->root));
+                } else {
+                  recorders[gid]->End();
+                }
+                Json traced_line = *parsed;
+                net::SetTraceBlock(&traced_line, recorders[gid]->Finish());
+                write_line(
+                    RetagParsedLine(traced_line, uint64_t{gid}).Dump());
+              } else {
+                write_line(RetagParsedLine(*parsed, uint64_t{gid}).Dump());
+              }
             });
             channel->Release(std::move(client));
-          } catch (const std::runtime_error&) {
+          } catch (const std::runtime_error& e) {
             channel->set_healthy(false);
             std::vector<size_t> missing;
             for (size_t k = 0; k < ids.size(); ++k) {
               if (!seen[k]) missing.push_back(ids[k]);
             }
             channel->CountFailed(missing.size());
+            // The undelivered ids' hops failed: tag and close them before
+            // the failover pass opens their retry hops.
+            for (size_t id : missing) {
+              if (recorders[id] != nullptr) {
+                recorders[id]->Attr("error", e.what());
+                recorders[id]->End();
+              }
+            }
             if (router_->options_.retry_failover && depth == 0) {
               // Re-rank each survivor against CURRENT health; several may
               // share a fallback, so regroup before re-sending.
@@ -323,7 +448,7 @@ class RouterHandler : public net::HttpHandler {
                 const std::vector<size_t> order = HealthyRank(keys[id]);
                 if (order.empty()) {
                   router_->requests_unserved_.fetch_add(1);
-                  write_line(UnservedLine(
+                  write_line(unserved_line(
                       id, "no healthy backend for this shard"));
                 } else {
                   router_->requests_failed_over_.fetch_add(1);
@@ -336,8 +461,8 @@ class RouterHandler : public net::HttpHandler {
             } else {
               for (size_t id : missing) {
                 router_->requests_unserved_.fetch_add(1);
-                write_line(
-                    UnservedLine(id, "shard failed and failover exhausted"));
+                write_line(unserved_line(
+                    id, "shard failed and failover exhausted"));
               }
             }
           }

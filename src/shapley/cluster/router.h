@@ -18,6 +18,10 @@ namespace shapley::cluster {
 
 struct RouterOptions {
   /// The router's own listening socket (role is forced to "router").
+  /// `server.request_log` works here exactly as on a backend: the router's
+  /// HttpServer captures every POST body at the shared pre-decode point,
+  /// so a router session can be recorded and replayed (obs/reqlog,
+  /// obs/replay) against a fresh fleet.
   net::ServerOptions server;
   /// Options for the pooled backend connections.
   net::ClientOptions client;
@@ -65,6 +69,16 @@ std::string RetagNdjsonLine(const std::string& line, uint64_t new_id);
 /// had not yet streamed. When no backend can serve a request, it gets a
 /// structured kUpstreamUnavailable error (HTTP 503) — never a dropped id.
 /// A background poller probes /healthz so a recovered backend rejoins.
+///
+/// Tracing: a traced request ("trace" opted in) yields ONE cluster-wide
+/// span tree — the router roots it at "router", opens a "hop" span per
+/// forwarding attempt (attrs: backend identity, attempt number, and the
+/// transport error on a failed hop), stamps its trace context onto the
+/// forwarded body (the only rewrite traced forwarding performs; untraced
+/// bodies still cross verbatim), and grafts the backend's own "backend →
+/// decode/route/cache/engine/encode" subtree from the response under the
+/// hop that fetched it. Failover keeps both hops in the tree. Untraced
+/// requests allocate no recorder anywhere on the path.
 class ShardRouter {
  public:
   /// `backend_specs` are "host:port" strings. Throws std::invalid_argument

@@ -11,6 +11,7 @@
 #include "shapley/engines/game.h"
 #include "shapley/exec/oracle_cache.h"
 #include "shapley/exec/thread_pool.h"
+#include "shapley/obs/trace.h"
 
 namespace shapley {
 
@@ -146,7 +147,20 @@ std::map<Fact, BigRational> BruteForceSvc::AllValues(
   std::map<Fact, BigRational> values;
   if (n == 0) return values;
 
+  // Deep-path decomposition for traced requests (null otherwise — the
+  // untraced path takes no locks and allocates nothing for tracing). The
+  // three phases mirror the lifted engine's: "compile" builds the shared
+  // satisfaction table, "delta" is the marginal-classifying sweep,
+  // "accumulate" the exact rational weighting. Spans are recorded from
+  // this coordinating thread only; pool workers never touch the recorder.
+  obs::TraceRecorder* recorder = exec_.trace;
+
+  if (recorder != nullptr) recorder->Begin("compile");
   std::vector<char> table = SatisfactionTable(query, db, exec_.pool);
+  if (recorder != nullptr) {
+    recorder->Attr("worlds", std::to_string(table.size()));
+    recorder->End();
+  }
   const uint64_t num_masks = uint64_t{1} << n;
 
   // One tallying sweep shared across all facts: every coalition B and
@@ -179,6 +193,7 @@ std::map<Fact, BigRational> BruteForceSvc::AllValues(
     }
   };
 
+  if (recorder != nullptr) recorder->Begin("delta");
   ThreadPool* pool = exec_.pool;
   if (pool != nullptr && pool->num_threads() > 1 && num_masks >= 4096) {
     const uint64_t num_chunks =
@@ -198,12 +213,18 @@ std::map<Fact, BigRational> BruteForceSvc::AllValues(
   } else {
     sweep(0, num_masks, plus, minus);
   }
+  if (recorder != nullptr) recorder->End();
 
+  if (recorder != nullptr) recorder->Begin("accumulate");
   for (size_t p = 0; p < n; ++p) {
     values.emplace(endo[p], WeightedMarginalSum(n, [&](size_t b) {
       return BigInt(static_cast<int64_t>(plus[p * n + b])) -
              BigInt(static_cast<int64_t>(minus[p * n + b]));
     }));
+  }
+  if (recorder != nullptr) {
+    recorder->Attr("facts", std::to_string(n));
+    recorder->End();
   }
   return values;
 }
@@ -257,28 +278,66 @@ std::map<Fact, BigRational> SvcViaFgmc::AllValues(
   std::map<Fact, BigRational> values;
   if (n == 0) return values;
 
+  // The reduction runs as three sequential passes so a traced request can
+  // see where the time goes (spans recorded from this coordinating thread
+  // only; exec_.trace is null — zero-cost — unless the request opted in):
+  //   "compile"    — the one shared full-database count F,
+  //   "delta"      — the per-fact Dn\{μ} counts, fanned across the pool,
+  //   "accumulate" — the exact rational Shapley weighting of the
+  //                  coefficient deltas.
+  // The passes compute exactly what the fused per-fact loop computed; only
+  // the order changed, so values match Value() bit for bit.
+  obs::TraceRecorder* recorder = exec_.trace;
+
   // Shared compilation (see the class comment): with the full-database
   // polynomial F computed once, the per-fact "μ made exogenous" count is
   //   FGMC_j(Dn\{μ}, Dx∪{μ}) = F[j+1] − FGMC_{j+1}(Dn\{μ}, Dx),
-  // an exact integer identity, so each fact costs one oracle call (plus
-  // coefficient arithmetic) and the values match Value() bit for bit.
+  // an exact integer identity, so each fact costs one oracle call plus
+  // coefficient arithmetic.
+  if (recorder != nullptr) recorder->Begin("compile");
   Polynomial full = Count(query, db);
+  if (recorder != nullptr) {
+    recorder->Attr("oracle", oracle_->name());
+    recorder->End();
+  }
 
+  const bool parallel =
+      exec_.pool != nullptr && exec_.pool->num_threads() > 1 && n > 1;
+
+  if (recorder != nullptr) recorder->Begin("delta");
+  std::vector<Polynomial> withouts(n);
+  auto count_without = [&](size_t i) {
+    withouts[i] = Count(query, db.WithEndogenousFactRemoved(endo[i]));
+  };
+  if (parallel) {
+    exec_.pool->ParallelFor(0, n, count_without);
+  } else {
+    for (size_t i = 0; i < n; ++i) count_without(i);
+  }
+  if (recorder != nullptr) {
+    recorder->Attr("oracle_calls", std::to_string(n));
+    recorder->End();
+  }
+
+  if (recorder != nullptr) recorder->Begin("accumulate");
   std::vector<BigRational> results(n);
-  auto per_fact = [&](size_t i) {
-    Polynomial without =
-        Count(query, db.WithEndogenousFactRemoved(endo[i]));
+  auto accumulate = [&](size_t i) {
+    const Polynomial& without = withouts[i];
     results[i] = WeightedMarginalSum(n, [&](size_t j) {
       BigInt with_j = full.Coefficient(j + 1) - without.Coefficient(j + 1);
       return with_j - without.Coefficient(j);
     });
   };
-
-  if (exec_.pool != nullptr && exec_.pool->num_threads() > 1 && n > 1) {
-    exec_.pool->ParallelFor(0, n, per_fact);
+  if (parallel) {
+    exec_.pool->ParallelFor(0, n, accumulate);
   } else {
-    for (size_t i = 0; i < n; ++i) per_fact(i);
+    for (size_t i = 0; i < n; ++i) accumulate(i);
   }
+  if (recorder != nullptr) {
+    recorder->Attr("facts", std::to_string(n));
+    recorder->End();
+  }
+
   for (size_t i = 0; i < n; ++i) {
     values.emplace(endo[i], std::move(results[i]));
   }

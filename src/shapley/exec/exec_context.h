@@ -3,6 +3,10 @@
 
 namespace shapley {
 
+namespace obs {
+class TraceRecorder;
+}  // namespace obs
+
 class OracleCache;
 class ThreadPool;
 
@@ -14,6 +18,13 @@ class ThreadPool;
 struct ExecContext {
   ThreadPool* pool = nullptr;
   OracleCache* cache = nullptr;
+  /// Per-request deep-path profiling hook (obs/trace.h): non-null only
+  /// while serving a TRACED request, in which case the engine decomposes
+  /// its work into phase spans (compile / delta / accumulate, sampling
+  /// rounds) on this recorder. Engines must null-check before ANY trace
+  /// work — a null recorder is the hot path and must stay allocation- and
+  /// lock-free. Recording may not change computed values.
+  obs::TraceRecorder* trace = nullptr;
 };
 
 }  // namespace shapley

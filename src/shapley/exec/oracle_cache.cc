@@ -63,10 +63,10 @@ Polynomial OracleCache::CountBySize(FgmcEngine& oracle,
     counts_.Lookup(key, clock_.fetch_add(1), &cached);
   }
   if (cached != nullptr) {
-    hits_.fetch_add(1, std::memory_order_relaxed);
+    counts_.stats.hits.fetch_add(1, std::memory_order_relaxed);
     return *cached;  // The value copy happens outside the lock.
   }
-  misses_.fetch_add(1, std::memory_order_relaxed);
+  counts_.stats.misses.fetch_add(1, std::memory_order_relaxed);
   auto counts =
       std::make_shared<const Polynomial>(oracle.CountBySize(query, db));
   const size_t counts_bytes = ApproxBytes(*counts);
@@ -90,11 +90,11 @@ std::shared_ptr<const DdnnfCircuit> OracleCache::Circuit(
     std::lock_guard<std::mutex> lock(circuits_.mutex);
     std::shared_ptr<const DdnnfCircuit> cached;
     if (circuits_.Lookup(key, clock_.fetch_add(1), &cached)) {
-      hits_.fetch_add(1, std::memory_order_relaxed);
+      circuits_.stats.hits.fetch_add(1, std::memory_order_relaxed);
       return cached;
     }
   }
-  misses_.fetch_add(1, std::memory_order_relaxed);
+  circuits_.stats.misses.fetch_add(1, std::memory_order_relaxed);
   Lineage lineage = BuildLineage(query, db, support_cap);
   auto circuit =
       std::make_shared<const DdnnfCircuit>(CompileDnf(lineage, node_cap));
@@ -129,11 +129,11 @@ std::shared_ptr<SatMemo> OracleCache::SatTable(const BooleanQuery& query,
     }
   }
   if (cached != nullptr) {
-    hits_.fetch_add(1, std::memory_order_relaxed);
+    memos_.stats.hits.fetch_add(1, std::memory_order_relaxed);
     EnforceBudget();  // The reconciled growth may now exceed the budget.
     return cached;
   }
-  misses_.fetch_add(1, std::memory_order_relaxed);
+  memos_.stats.misses.fetch_add(1, std::memory_order_relaxed);
   auto memo = std::make_shared<SatMemo>();
   const size_t memo_bytes = memo->ApproxBytes();
   std::shared_ptr<SatMemo> resident;
@@ -150,19 +150,16 @@ std::shared_ptr<SatMemo> OracleCache::SatTable(const BooleanQuery& query,
 
 void OracleCache::EnforceBudget() {
   std::scoped_lock lock(counts_.mutex, circuits_.mutex, memos_.mutex);
-  size_t evicted = 0;
-  // Per-table entry bound.
+  // Per-table entry bound. (EvictTail attributes each eviction to its
+  // table's counters — the resolution shapley_cache_evictions_total wants.)
   while (counts_.CanEvict() && counts_.lru.size() > max_entries_) {
     counts_.EvictTail();
-    ++evicted;
   }
   while (circuits_.CanEvict() && circuits_.lru.size() > max_entries_) {
     circuits_.EvictTail();
-    ++evicted;
   }
   while (memos_.CanEvict() && memos_.lru.size() > max_entries_) {
     memos_.EvictTail();
-    ++evicted;
   }
   // Shared byte budget, true LRU across the tables via the use ticks.
   while (counts_.bytes + circuits_.bytes + memos_.bytes > max_bytes_) {
@@ -190,9 +187,23 @@ void OracleCache::EnforceBudget() {
     } else {
       memos_.EvictTail();
     }
-    ++evicted;
   }
-  if (evicted > 0) evictions_.fetch_add(evicted, std::memory_order_relaxed);
+}
+
+OracleCache::Stats OracleCache::PerTableStats() const {
+  auto snapshot = [](const ShardCounters& c) {
+    TableStats out;
+    out.hits = c.hits.load(std::memory_order_relaxed);
+    out.misses = c.misses.load(std::memory_order_relaxed);
+    out.inserts = c.inserts.load(std::memory_order_relaxed);
+    out.evictions = c.evictions.load(std::memory_order_relaxed);
+    return out;
+  };
+  Stats stats;
+  stats.counts = snapshot(counts_.stats);
+  stats.circuits = snapshot(circuits_.stats);
+  stats.memos = snapshot(memos_.stats);
+  return stats;
 }
 
 size_t OracleCache::size() const {

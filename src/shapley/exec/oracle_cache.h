@@ -62,6 +62,24 @@ class PartitionedDatabase;
 /// refusing it would recompute forever.
 class OracleCache {
  public:
+  /// Lookup/insert/evict traffic of ONE table — the per-table resolution
+  /// the shapley_cache_*_total{table=...} metric families expose (the
+  /// aggregate hits()/misses()/evictions() below are sums of these).
+  /// `inserts` counts entries that actually became resident; a concurrent
+  /// miss whose insert lost the first-wins race is a hit-shaped non-event
+  /// and is not counted.
+  struct TableStats {
+    size_t hits = 0;
+    size_t misses = 0;
+    size_t inserts = 0;
+    size_t evictions = 0;
+  };
+  struct Stats {
+    TableStats counts;
+    TableStats circuits;
+    TableStats memos;
+  };
+
   explicit OracleCache(size_t max_entries = 1 << 16,
                        size_t max_bytes = size_t{512} << 20)
       : max_entries_(max_entries == 0 ? 1 : max_entries),
@@ -92,21 +110,43 @@ class OracleCache {
                                  const BooleanQuery& query,
                                  const PartitionedDatabase& db);
 
-  size_t hits() const { return hits_.load(); }
-  size_t misses() const { return misses_.load(); }
-  /// Entries dropped by LRU-by-size eviction so far.
-  size_t evictions() const { return evictions_.load(); }
+  size_t hits() const {
+    return counts_.stats.hits + circuits_.stats.hits + memos_.stats.hits;
+  }
+  size_t misses() const {
+    return counts_.stats.misses + circuits_.stats.misses +
+           memos_.stats.misses;
+  }
+  /// Entries dropped by LRU-by-size eviction so far (all tables).
+  size_t evictions() const {
+    return counts_.stats.evictions + circuits_.stats.evictions +
+           memos_.stats.evictions;
+  }
+  /// One per-table snapshot of lookup/insert/evict counters. Each counter
+  /// is an individual atomic read (monitoring fidelity, like the service's
+  /// ServiceStats) — the per-counter values are exact, the cross-counter
+  /// cut is not a transaction.
+  Stats PerTableStats() const;
   size_t size() const;
   /// Approximate bytes held across all tables right now.
   size_t bytes_used() const;
   void Clear();
 
  private:
+  /// Per-table traffic counters; atomics so the hot lookup paths bump them
+  /// with relaxed stores and PerTableStats() reads without any table lock.
+  struct ShardCounters {
+    std::atomic<size_t> hits{0};
+    std::atomic<size_t> misses{0};
+    std::atomic<size_t> inserts{0};
+    std::atomic<size_t> evictions{0};
+  };
+
   /// One LRU table: list front = most recently used; the index maps the
   /// key (owned by the list node, stable across splices) to its node.
   /// Entries carry a use tick from the cache-wide clock so the tables
   /// can be evicted against each other in true LRU order. All fields are
-  /// guarded by `mutex`.
+  /// guarded by `mutex` except the lock-free `stats` counters.
   template <typename Value>
   struct Shard {
     struct Entry {
@@ -116,6 +156,7 @@ class OracleCache {
       uint64_t tick = 0;
     };
     mutable std::mutex mutex;
+    ShardCounters stats;
     std::list<Entry> lru;
     std::unordered_map<std::string_view, typename std::list<Entry>::iterator>
         index;
@@ -140,6 +181,7 @@ class OracleCache {
         it->second->tick = tick;
         return it->second->value;
       }
+      stats.inserts.fetch_add(1, std::memory_order_relaxed);
       lru.push_front(Entry{std::move(key), std::move(value), 0, tick});
       lru.front().bytes = lru.front().key.size() + value_bytes;
       bytes += lru.front().bytes;
@@ -153,6 +195,7 @@ class OracleCache {
     uint64_t TailTick() const { return lru.back().tick; }
 
     void EvictTail() {
+      stats.evictions.fetch_add(1, std::memory_order_relaxed);
       index.erase(std::string_view(lru.back().key));
       bytes -= lru.back().bytes;
       lru.pop_back();
@@ -174,9 +217,6 @@ class OracleCache {
   Shard<std::shared_ptr<const DdnnfCircuit>> circuits_;
   Shard<std::shared_ptr<SatMemo>> memos_;
   std::atomic<uint64_t> clock_{0};
-  std::atomic<size_t> hits_{0};
-  std::atomic<size_t> misses_{0};
-  std::atomic<size_t> evictions_{0};
 };
 
 }  // namespace shapley

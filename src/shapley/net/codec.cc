@@ -323,7 +323,19 @@ Json EncodeRequest(const SvcRequest& request) {
   }
   if (!request.engine.empty()) json.Set("engine", Json::Str(request.engine));
   if (request.allow_approx) json.Set("allow_approx", Json::Bool(true));
-  if (request.trace) json.Set("trace", Json::Bool(true));
+  if (request.trace) {
+    if (request.trace_context.valid()) {
+      // Cluster-propagated form: the receiver must record under this
+      // identity so its subtree grafts into the sender's tree.
+      Json trace;
+      trace.Set("trace_id", Json::Str(request.trace_context.TraceIdHex()));
+      trace.Set("parent_span",
+                Json::Str(obs::HexU64(request.trace_context.parent_span)));
+      json.Set("trace", std::move(trace));
+    } else {
+      json.Set("trace", Json::Bool(true));
+    }
+  }
   json.Set("approx", EncodeApproxParams(request.approx));
   if (request.deadline.has_value()) {
     const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -432,11 +444,39 @@ std::optional<SvcError> DecodeRequest(const Json& json, DecodedRequest* out) {
     decoded.request.allow_approx = *value;
   }
   if (const Json* trace = json.Find("trace")) {
-    std::optional<bool> value = trace->IfBool();
-    if (!value.has_value()) {
-      return Invalid("request.trace: expected a boolean");
+    if (std::optional<bool> value = trace->IfBool()) {
+      decoded.request.trace = *value;
+    } else if (trace->IfObject() != nullptr) {
+      // The cluster-propagation form: strict like every other request
+      // member — a typo in a context field must fail loudly.
+      if (auto err = RejectUnknownFields(*trace, {"trace_id", "parent_span"},
+                                         "request.trace")) {
+        return err;
+      }
+      const Json* id = trace->Find("trace_id");
+      const std::string* id_text = id != nullptr ? id->IfString() : nullptr;
+      std::optional<std::pair<uint64_t, uint64_t>> parsed_id =
+          id_text != nullptr ? obs::ParseTraceIdHex(*id_text) : std::nullopt;
+      if (!parsed_id.has_value()) {
+        return Invalid(
+            "request.trace.trace_id: expected 32 lowercase hex chars");
+      }
+      decoded.request.trace_context.trace_hi = parsed_id->first;
+      decoded.request.trace_context.trace_lo = parsed_id->second;
+      if (const Json* parent = trace->Find("parent_span")) {
+        const std::string* text = parent->IfString();
+        std::optional<uint64_t> span =
+            text != nullptr ? obs::ParseHexU64(*text) : std::nullopt;
+        if (!span.has_value()) {
+          return Invalid(
+              "request.trace.parent_span: expected 16 lowercase hex chars");
+        }
+        decoded.request.trace_context.parent_span = *span;
+      }
+      decoded.request.trace = true;
+    } else {
+      return Invalid("request.trace: expected a boolean or a context object");
     }
-    decoded.request.trace = *value;
   }
   if (const Json* approx = json.Find("approx")) {
     if (auto err = DecodeApproxParams(*approx, &decoded.request.approx)) {
@@ -531,16 +571,7 @@ Json EncodeResponse(const SvcResponse& response, const Schema& schema) {
   }
 
   if (response.trace.has_value()) {
-    Json spans = Json::Arr();
-    for (const obs::TraceSpan& span : response.trace->spans) {
-      Json entry;
-      entry.Set("name", Json::Str(span.name));
-      entry.Set("ms", Json::Number(span.ms));
-      spans.Push(std::move(entry));
-    }
-    Json trace;
-    trace.Set("spans", std::move(spans));
-    json.Set("trace", std::move(trace));
+    json.Set("trace", EncodeTrace(*response.trace));
   }
 
   Json stats;
@@ -550,18 +581,105 @@ Json EncodeResponse(const SvcResponse& response, const Schema& schema) {
   return json;
 }
 
-bool AppendTraceSpan(Json* encoded_response, const std::string& name,
-                     double ms) {
-  if (encoded_response == nullptr) return false;
-  Json* trace = encoded_response->FindMutable("trace");
-  if (trace == nullptr) return false;  // Request did not opt in.
-  Json* spans = trace->FindMutable("spans");
-  if (spans == nullptr || !spans->is_array()) return false;
-  Json entry;
-  entry.Set("name", Json::Str(name));
-  entry.Set("ms", Json::Number(ms));
-  spans->Push(std::move(entry));
+Json EncodeTraceSpan(const obs::TraceSpan& span) {
+  Json json;
+  json.Set("name", Json::Str(span.name));
+  json.Set("start_ms", Json::Number(span.start_ms));
+  json.Set("ms", Json::Number(span.ms));
+  if (!span.attrs.empty()) {
+    Json attrs;
+    for (const auto& [key, value] : span.attrs) {
+      attrs.Set(key, Json::Str(value));
+    }
+    json.Set("attrs", std::move(attrs));
+  }
+  if (!span.children.empty()) {
+    Json children = Json::Arr();
+    for (const obs::TraceSpan& child : span.children) {
+      children.Push(EncodeTraceSpan(child));
+    }
+    json.Set("children", std::move(children));
+  }
+  return json;
+}
+
+Json EncodeTrace(const obs::RequestTrace& trace) {
+  Json json;
+  if (trace.context.valid()) {
+    json.Set("trace_id", Json::Str(trace.context.TraceIdHex()));
+  }
+  json.Set("root", EncodeTraceSpan(trace.root));
+  return json;
+}
+
+bool DecodeTraceSpan(const Json& json, obs::TraceSpan* out) {
+  if (json.IfObject() == nullptr) return false;
+  obs::TraceSpan span;
+  // "name" is REQUIRED — a nameless span is corruption, not a new field;
+  // the timing members are tolerated when absent (they default to 0).
+  if (!ReadString(json, "name", &span.name) || span.name.empty() ||
+      !ReadDouble(json, "start_ms", &span.start_ms) ||
+      !ReadDouble(json, "ms", &span.ms)) {
+    return false;
+  }
+  if (const Json* attrs = json.Find("attrs")) {
+    const Json::Object* members = attrs->IfObject();
+    if (members == nullptr) return false;
+    for (const auto& [key, value] : *members) {
+      const std::string* text = value.IfString();
+      if (text == nullptr) return false;
+      span.attrs.emplace_back(key, *text);
+    }
+  }
+  if (const Json* children = json.Find("children")) {
+    const Json::Array* items = children->IfArray();
+    if (items == nullptr) return false;
+    for (const Json& item : *items) {
+      obs::TraceSpan child;
+      if (!DecodeTraceSpan(item, &child)) return false;
+      span.children.push_back(std::move(child));
+    }
+  }
+  *out = std::move(span);
   return true;
+}
+
+std::optional<obs::RequestTrace> DecodeTrace(const Json& trace_json) {
+  if (trace_json.IfObject() == nullptr) return std::nullopt;
+  obs::RequestTrace trace;
+  if (const Json* id = trace_json.Find("trace_id")) {
+    const std::string* text = id->IfString();
+    std::optional<std::pair<uint64_t, uint64_t>> parsed =
+        text != nullptr ? obs::ParseTraceIdHex(*text) : std::nullopt;
+    if (!parsed.has_value()) return std::nullopt;
+    trace.context.trace_hi = parsed->first;
+    trace.context.trace_lo = parsed->second;
+  }
+  if (const Json* root = trace_json.Find("root")) {
+    if (!DecodeTraceSpan(*root, &trace.root)) return std::nullopt;
+  }
+  return trace;
+}
+
+void SetTraceBlock(Json* encoded_response, const obs::RequestTrace& trace) {
+  Json block = EncodeTrace(trace);
+  if (Json* existing = encoded_response->FindMutable("trace")) {
+    *existing = std::move(block);
+  } else {
+    encoded_response->Set("trace", std::move(block));
+  }
+}
+
+void SetRequestTraceContext(Json* encoded_request,
+                            const obs::TraceContext& context) {
+  Json block;
+  block.Set("trace_id", Json::Str(context.TraceIdHex()));
+  block.Set("parent_span", Json::Str(obs::HexU64(context.parent_span)));
+  if (Json* existing = encoded_request->FindMutable("trace")) {
+    *existing = std::move(block);
+  } else {
+    encoded_request->Set("trace", std::move(block));
+  }
 }
 
 std::optional<SvcError> DecodeResponse(const Json& json,
@@ -725,28 +843,11 @@ std::optional<SvcError> DecodeResponse(const Json& json,
   }
 
   if (const Json* trace = json.Find("trace")) {
-    if (trace->IfObject() == nullptr) {
-      return Invalid("response.trace: expected a JSON object");
+    std::optional<obs::RequestTrace> decoded_trace = DecodeTrace(*trace);
+    if (!decoded_trace.has_value()) {
+      return Invalid("response.trace: malformed span tree");
     }
-    obs::RequestTrace decoded_trace;
-    if (const Json* spans = trace->Find("spans")) {
-      const Json::Array* items = spans->IfArray();
-      if (items == nullptr) {
-        return Invalid("response.trace.spans: expected an array");
-      }
-      for (const Json& item : *items) {
-        if (item.IfObject() == nullptr) {
-          return Invalid("response.trace.spans[]: expected objects");
-        }
-        obs::TraceSpan span;
-        if (!ReadString(item, "name", &span.name) ||
-            !ReadDouble(item, "ms", &span.ms)) {
-          return Invalid("response.trace.spans[]: malformed field types");
-        }
-        decoded_trace.spans.push_back(std::move(span));
-      }
-    }
-    response.trace = std::move(decoded_trace);
+    response.trace = std::move(*decoded_trace);
   }
 
   *out = std::move(response);

@@ -32,6 +32,11 @@ namespace shapley::net {
 ///                "strategy": "hoeffding"},
 ///     "timeout_ms": 500,                            // optional, relative
 ///     "trace": true                                 // optional, opt-in
+///       // — or, cluster-propagated, the trace CONTEXT the sender wants
+///       // this request recorded under (the shard router stamps one on
+///       // every traced request it forwards, so backend subtrees graft
+///       // into ONE cluster-wide tree):
+///     "trace": {"trace_id": "<32 hex>", "parent_span": "<16 hex>"}
 ///   }
 ///
 /// Queries are carried as parser text with every term prefix made explicit
@@ -56,10 +61,17 @@ namespace shapley::net {
 ///     "approx": {... full ApproxInfo ...},          // only on estimates
 ///     "error": {"code": "capacity-exceeded", "status": 413,
 ///               "message": "...", "engine": ""},    // only on failure
-///     "trace": {"spans": [{"name": "decode", "ms": ...},
-///               {"name": "cache", "ms": ...}, ...]},// only when requested
+///     "trace": {"trace_id": "<32 hex>",             // only when requested
+///               "root": {"name": "backend", "start_ms": 0, "ms": ...,
+///                        "attrs": {"k": "v", ...},  // omitted when empty
+///                        "children": [{...}, ...]}},// omitted when empty
 ///     "stats": {"queue_ms": ..., "exec_ms": ...}
 ///   }
+///
+/// The trace block is a SPAN TREE (obs/trace.h): start_ms is the offset
+/// from the parent span's start, so child spans nest within their parent's
+/// [start, end) by construction and a router can graft a backend's tree
+/// under its hop span without comparing clocks across processes.
 ///
 /// FORWARD COMPATIBILITY: the two decode paths deliberately differ.
 /// DecodeRequest stays STRICT (unknown fields are rejected — a client typo
@@ -118,13 +130,35 @@ std::optional<SvcError> DecodeResponse(const Json& json,
                                        const std::shared_ptr<Schema>& schema,
                                        SvcResponse* out);
 
-/// Appends one span to an ALREADY-ENCODED response's "trace" block, in
-/// place. This exists for the spans only the server can measure around
-/// EncodeResponse itself ("encode": the body was built, then patched with
-/// its own cost). No-op returning false when the response carries no trace
-/// block (the request did not opt in).
-bool AppendTraceSpan(Json* encoded_response, const std::string& name,
-                     double ms);
+/// One span subtree as wire JSON ({"name", "start_ms", "ms", "attrs"?,
+/// "children"?}).
+Json EncodeTraceSpan(const obs::TraceSpan& span);
+
+/// The full response "trace" block ({"trace_id"?, "root"}). trace_id is
+/// emitted only for a valid (non-zero) context.
+Json EncodeTrace(const obs::RequestTrace& trace);
+
+/// Inverse of EncodeTraceSpan, response-tolerant: unknown members are
+/// ignored, known members keep strict types, "name" is required (a
+/// nameless span is corruption, not evolution). False on malformed input.
+bool DecodeTraceSpan(const Json& json, obs::TraceSpan* out);
+
+/// Inverse of EncodeTrace; nullopt on malformed input.
+std::optional<obs::RequestTrace> DecodeTrace(const Json& trace_json);
+
+/// Installs (or replaces) the "trace" block of an ALREADY-ENCODED
+/// response, in place. This exists because only the server can measure
+/// spans around EncodeResponse itself ("encode"), and because the router
+/// replaces a backend's block with the grafted cluster-wide tree.
+void SetTraceBlock(Json* encoded_response, const obs::RequestTrace& trace);
+
+/// Rewrites the "trace" member of an ALREADY-ENCODED request to the
+/// cluster-propagation OBJECT form carrying `context` (adding the member
+/// if absent) — how the router stamps its identity onto a traced request
+/// before forwarding. Untraced requests are never patched: the router
+/// forwards their bytes verbatim.
+void SetRequestTraceContext(Json* encoded_request,
+                            const obs::TraceContext& context);
 
 }  // namespace shapley::net
 

@@ -12,7 +12,9 @@
 #include "shapley/common/version.h"
 #include "shapley/net/codec.h"
 #include "shapley/net/json.h"
+#include "shapley/exec/oracle_cache.h"
 #include "shapley/obs/metrics.h"
+#include "shapley/obs/phase_metrics.h"
 #include "shapley/obs/reqlog.h"
 #include "shapley/obs/stats_json.h"
 #include "shapley/obs/trace.h"
@@ -87,6 +89,42 @@ bool ServiceHandler::Handle(Socket* socket, const HttpRequest& request,
 void ServiceHandler::set_metrics(obs::MetricsRegistry* metrics) {
   metrics_ = metrics;
   if (metrics_ == nullptr) return;
+  // Deep-path phase histograms (fed by traced requests) are registered
+  // eagerly so the families are grep-able on a zero-traffic scrape.
+  obs::RegisterPhaseMetrics(metrics_);
+  // Per-table oracle-cache traffic, scraped straight off the cache's
+  // lock-free counters (names disjoint from the shapley_service_cache_*
+  // aggregates below, which stay for dashboard continuity).
+  if (OracleCache* cache = service_->cache(); cache != nullptr) {
+    obs::MetricsRegistry* cache_registry = metrics_;
+    metrics_->AddCollector([cache, cache_registry] {
+      const OracleCache::Stats stats = cache->PerTableStats();
+      auto expose = [cache_registry](const char* table,
+                                     const OracleCache::TableStats& t) {
+        const obs::Labels labels = {{"table", table}};
+        cache_registry
+            ->GetCounter("shapley_cache_hits_total",
+                         "Oracle-cache hits by table", labels)
+            ->Set(t.hits);
+        cache_registry
+            ->GetCounter("shapley_cache_misses_total",
+                         "Oracle-cache misses by table", labels)
+            ->Set(t.misses);
+        cache_registry
+            ->GetCounter("shapley_cache_inserts_total",
+                         "Oracle-cache entries made resident, by table",
+                         labels)
+            ->Set(t.inserts);
+        cache_registry
+            ->GetCounter("shapley_cache_evictions_total",
+                         "Oracle-cache LRU evictions by table", labels)
+            ->Set(t.evictions);
+      };
+      expose("counts", stats.counts);
+      expose("circuits", stats.circuits);
+      expose("memos", stats.memos);
+    });
+  }
   // The ServiceStats snapshot crosses into the exposition at scrape time:
   // counters mirror via Set() from ONE snapshot, so a scrape's components
   // are as coherent as Stats() itself, and the conservation gauge below is
@@ -186,6 +224,7 @@ void ServiceHandler::ObserveRequest(const SvcResponse& response,
 
 bool ServiceHandler::HandleCompute(Socket* socket, const HttpRequest& request,
                                    bool keep_alive) {
+  const auto arrival = std::chrono::steady_clock::now();
   const obs::SpanTimer wall_timer;
   obs::SpanTimer decode_timer;
   std::string parse_error;
@@ -207,21 +246,37 @@ bool ServiceHandler::HandleCompute(Socket* socket, const HttpRequest& request,
   }
   const double decode_ms = decode_timer.ElapsedMs();
   ObserveArrival();
+  // Recorder allocated ONLY for traced requests — the untraced hot path
+  // carries a null pointer end to end. The root span is backdated to the
+  // request's arrival so the decode measurement (taken before we knew the
+  // request wanted tracing) slots in with honest offsets; the context
+  // comes off the wire when the router propagated one, else is derived
+  // deterministically from the request bytes.
+  std::unique_ptr<obs::TraceRecorder> recorder;
+  if (decoded.request.trace) {
+    obs::TraceContext context = decoded.request.trace_context;
+    if (!context.valid()) context = obs::TraceContext::Derive(request.body);
+    recorder =
+        std::make_unique<obs::TraceRecorder>("backend", context, arrival);
+    recorder->AddClosed("decode", 0.0, decode_ms);
+    decoded.request.recorder = recorder.get();
+  }
   // Blocking Compute on the connection thread: the service's pool does the
   // fan-out; this thread is exactly the client's wait.
   SvcResponse response = service_->Compute(std::move(decoded.request));
-  if (response.trace.has_value()) {
-    // The decode span happened FIRST — it leads the list the wire shows.
-    response.trace->spans.insert(response.trace->spans.begin(),
-                                 {"decode", decode_ms});
-  }
   const int status =
       response.ok() ? 200 : HttpStatusFor(response.error->code);
-  obs::SpanTimer encode_timer;
+  if (recorder != nullptr) recorder->Begin("encode");
   Json body = EncodeResponse(response, *decoded.schema);
-  // The encode span can only be measured AFTER encoding — patch it into
-  // the already-built body (no-op when the request did not opt in).
-  AppendTraceSpan(&body, "encode", encode_timer.ElapsedMs());
+  if (recorder != nullptr) {
+    // The encode span can only close AFTER encoding — the finished tree is
+    // patched into the already-built body, and its spans feed the
+    // aggregate phase histograms so /metrics and the trace block agree.
+    recorder->End();
+    const obs::RequestTrace trace = recorder->Finish();
+    if (metrics_ != nullptr) obs::ObserveTracePhases(metrics_, trace.root);
+    SetTraceBlock(&body, trace);
+  }
   ObserveRequest(response, wall_timer.ElapsedMs());
   return WriteJsonResponse(socket, status, body.Dump(), keep_alive);
 }
@@ -254,11 +309,27 @@ bool ServiceHandler::HandleBatch(Socket* socket, const HttpRequest& request,
     std::shared_ptr<Schema> schema;
     std::future<SvcResponse> future;
     std::optional<SvcResponse> immediate;  // Decode failures.
+    std::unique_ptr<obs::TraceRecorder> recorder;  // Traced items only.
     double decode_ms = 0.0;
     bool streamed = false;
   };
   std::vector<Slot> slots(items->size());
+  // The service pool holds a raw pointer INTO each slot (the recorder) for
+  // as long as its compute runs, so the slots must outlive every submitted
+  // future — including on the early-return paths where the connection died
+  // mid-batch. This guard drains whatever is still in flight before the
+  // vector can be destroyed. (future.get() invalidates the future, so only
+  // genuinely outstanding computes are waited on.)
+  struct DrainInFlight {
+    std::vector<Slot>* slots;
+    ~DrainInFlight() {
+      for (Slot& slot : *slots) {
+        if (slot.future.valid() && !slot.streamed) slot.future.wait();
+      }
+    }
+  } drain{&slots};
   for (size_t i = 0; i < items->size(); ++i) {
+    const auto slot_arrival = std::chrono::steady_clock::now();
     obs::SpanTimer decode_timer;
     DecodedRequest decoded;
     if (std::optional<SvcError> error = DecodeRequest((*items)[i], &decoded)) {
@@ -269,6 +340,16 @@ bool ServiceHandler::HandleBatch(Socket* socket, const HttpRequest& request,
     } else {
       slots[i].decode_ms = decode_timer.ElapsedMs();
       slots[i].schema = decoded.schema;
+      if (decoded.request.trace) {
+        obs::TraceContext context = decoded.request.trace_context;
+        if (!context.valid()) {
+          context = obs::TraceContext::Derive((*items)[i].Dump());
+        }
+        slots[i].recorder = std::make_unique<obs::TraceRecorder>(
+            "backend", context, slot_arrival);
+        slots[i].recorder->AddClosed("decode", 0.0, slots[i].decode_ms);
+        decoded.request.recorder = slots[i].recorder.get();
+      }
       ObserveArrival();
       slots[i].future = service_->Submit(std::move(decoded.request));
     }
@@ -280,13 +361,15 @@ bool ServiceHandler::HandleBatch(Socket* socket, const HttpRequest& request,
     return false;
   }
   auto stream_one = [&](size_t i, SvcResponse& response) {
-    if (response.trace.has_value()) {
-      response.trace->spans.insert(response.trace->spans.begin(),
-                                   {"decode", slots[i].decode_ms});
-    }
-    obs::SpanTimer encode_timer;
+    obs::TraceRecorder* recorder = slots[i].recorder.get();
+    if (recorder != nullptr) recorder->Begin("encode");
     Json line = EncodeResponse(response, *slots[i].schema);
-    AppendTraceSpan(&line, "encode", encode_timer.ElapsedMs());
+    if (recorder != nullptr) {
+      recorder->End();
+      const obs::RequestTrace trace = recorder->Finish();
+      if (metrics_ != nullptr) obs::ObserveTracePhases(metrics_, trace.root);
+      SetTraceBlock(&line, trace);
+    }
     // Per-slot latency is CLIENT-OBSERVED: batch arrival to this line
     // streaming out (queueing behind siblings included).
     ObserveRequest(response, batch_timer.ElapsedMs());

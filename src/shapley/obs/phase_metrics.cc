@@ -1,0 +1,38 @@
+#include "shapley/obs/phase_metrics.h"
+
+namespace shapley::obs {
+
+namespace {
+
+constexpr const char* kFamily = "shapley_phase_duration_ms";
+constexpr const char* kHelp =
+    "Span durations from traced requests, by phase (the per-request trace "
+    "tree and this family are the same measurements)";
+
+/// Every phase name the stack emits: the serving layers (decode → route →
+/// cache → engine → encode), the exact engines' decomposition (compile /
+/// delta / accumulate) and the sampler's per-checkpoint rounds.
+constexpr const char* kKnownPhases[] = {
+    "backend", "decode",  "route",      "cache", "engine",
+    "compile", "delta",   "accumulate", "round", "encode",
+};
+
+Histogram* PhaseHistogram(MetricsRegistry* registry, const std::string& phase) {
+  return registry->GetHistogram(kFamily, kHelp, LatencyBucketsMs(),
+                                {{"phase", phase}});
+}
+
+}  // namespace
+
+void RegisterPhaseMetrics(MetricsRegistry* registry) {
+  for (const char* phase : kKnownPhases) PhaseHistogram(registry, phase);
+}
+
+void ObserveTracePhases(MetricsRegistry* registry, const TraceSpan& root) {
+  PhaseHistogram(registry, root.name)->Observe(root.ms);
+  for (const TraceSpan& child : root.children) {
+    ObserveTracePhases(registry, child);
+  }
+}
+
+}  // namespace shapley::obs

@@ -1,0 +1,28 @@
+#ifndef SHAPLEY_OBS_PHASE_METRICS_H_
+#define SHAPLEY_OBS_PHASE_METRICS_H_
+
+#include "shapley/obs/metrics.h"
+#include "shapley/obs/trace.h"
+
+namespace shapley::obs {
+
+/// The bridge from per-request span trees (obs/trace.h) to the aggregate
+/// scrape: every span of a finished trace feeds the
+/// shapley_phase_duration_ms{phase="<span name>"} histogram family, so the
+/// deep-path profile is visible both per-request (the wire "trace" block)
+/// and fleet-wide (/metrics), and the two agree by construction — they are
+/// the same measurements.
+
+/// Eagerly registers shapley_phase_duration_ms for every phase the serving
+/// stack emits, so a scrape exposes the family at zero traced traffic
+/// (dashboards and the CI smoke can grep for it unconditionally).
+void RegisterPhaseMetrics(MetricsRegistry* registry);
+
+/// Walks a FINISHED span tree depth-first, observing each span's duration
+/// into shapley_phase_duration_ms{phase=<name>}. Runs once per traced
+/// request, off the untraced hot path entirely.
+void ObserveTracePhases(MetricsRegistry* registry, const TraceSpan& root);
+
+}  // namespace shapley::obs
+
+#endif  // SHAPLEY_OBS_PHASE_METRICS_H_

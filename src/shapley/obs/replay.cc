@@ -12,15 +12,37 @@ namespace shapley::obs {
 
 using net::Json;
 
+namespace {
+
+/// Drops "stats" and "trace" members from EVERY object level, not just the
+/// top one: the trace block is a nested span tree (timings down to engine
+/// internals, different on every run), so a shallow strip would leave
+/// volatile children behind and break bit-identical replay comparison.
+Json StripVolatileMembers(const Json& json) {
+  if (const Json::Object* members = json.IfObject()) {
+    Json canonical;
+    for (const auto& [key, value] : *members) {
+      if (key == "stats" || key == "trace") continue;
+      canonical.Set(key, StripVolatileMembers(value));
+    }
+    return canonical;
+  }
+  if (const Json::Array* elements = json.IfArray()) {
+    Json canonical = Json::Arr();
+    for (const Json& element : *elements) {
+      canonical.Push(StripVolatileMembers(element));
+    }
+    return canonical;
+  }
+  return json;
+}
+
+}  // namespace
+
 std::string CanonicalResponseBody(const std::string& raw) {
   std::optional<Json> json = Json::Parse(raw);
   if (!json.has_value() || !json->is_object()) return raw;
-  Json canonical;
-  for (const auto& [key, value] : *json->IfObject()) {
-    if (key == "stats" || key == "trace") continue;
-    canonical.Set(key, value);
-  }
-  return canonical.Dump();
+  return StripVolatileMembers(*json).Dump();
 }
 
 std::string CanonicalBatchBody(const std::vector<std::string>& lines) {

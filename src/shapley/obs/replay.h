@@ -38,9 +38,10 @@ struct ReplayResult {
 };
 
 /// Canonical comparison form of one /v1/compute response body: parsed,
-/// run-volatile members ("stats" timings, "trace" spans) dropped at the
-/// top level, re-dumped. Unparsable input is returned verbatim (a
-/// non-JSON body should fail a comparison loudly, not vanish).
+/// run-volatile members ("stats" timings, "trace" span trees) dropped
+/// RECURSIVELY at every object depth (the trace block nests spans within
+/// spans), re-dumped. Unparsable input is returned verbatim (a non-JSON
+/// body should fail a comparison loudly, not vanish).
 std::string CanonicalResponseBody(const std::string& raw);
 
 /// Canonical form of a /v1/batch response: each ndjson line canonicalized

@@ -1,18 +1,205 @@
 #include "shapley/obs/trace.h"
 
+#include <algorithm>
+
 namespace shapley::obs {
 
-double RequestTrace::TotalMs() const {
-  double total = 0.0;
-  for (const TraceSpan& span : spans) total += span.ms;
-  return total;
+namespace {
+
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+uint64_t Fnv1a(std::string_view bytes, uint64_t basis) {
+  uint64_t hash = basis;
+  for (unsigned char c : bytes) {
+    hash ^= c;
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+}  // namespace
+
+TraceContext TraceContext::Derive(std::string_view request_bytes) {
+  TraceContext context;
+  // Two independent FNV-1a passes (the standard offset basis and a second
+  // basis derived from it) give 128 bits; fold the basis back in so the
+  // empty request still yields a non-zero id.
+  context.trace_hi = Fnv1a(request_bytes, 14695981039346656037ull);
+  context.trace_lo = Fnv1a(request_bytes, 0x9e3779b97f4a7c15ull);
+  if (context.trace_hi == 0) context.trace_hi = kFnvPrime;
+  if ((context.trace_hi | context.trace_lo) == 0) context.trace_lo = 1;
+  context.parent_span = 0;
+  return context;
+}
+
+std::string TraceContext::TraceIdHex() const {
+  return HexU64(trace_hi) + HexU64(trace_lo);
+}
+
+std::string HexU64(uint64_t value) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = kDigits[value & 0xF];
+    value >>= 4;
+  }
+  return out;
+}
+
+std::optional<uint64_t> ParseHexU64(std::string_view text) {
+  if (text.size() != 16) return std::nullopt;
+  uint64_t value = 0;
+  for (char c : text) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') {
+      value |= static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      value |= static_cast<uint64_t>(c - 'a' + 10);
+    } else {
+      return std::nullopt;
+    }
+  }
+  return value;
+}
+
+std::optional<std::pair<uint64_t, uint64_t>> ParseTraceIdHex(
+    std::string_view text) {
+  if (text.size() != 32) return std::nullopt;
+  std::optional<uint64_t> hi = ParseHexU64(text.substr(0, 16));
+  std::optional<uint64_t> lo = ParseHexU64(text.substr(16));
+  if (!hi.has_value() || !lo.has_value()) return std::nullopt;
+  return std::make_pair(*hi, *lo);
+}
+
+const std::string* TraceSpan::FindAttr(const std::string& key) const {
+  for (const auto& [k, v] : attrs) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+bool WellNested(const TraceSpan& span) {
+  for (const TraceSpan& child : span.children) {
+    if (child.start_ms < 0.0) return false;
+    if (child.start_ms + child.ms > span.ms + 1e-6) return false;
+    if (!WellNested(child)) return false;
+  }
+  return true;
 }
 
 const TraceSpan* RequestTrace::Find(const std::string& name) const {
-  for (const TraceSpan& span : spans) {
-    if (span.name == name) return &span;
+  const TraceSpan* stack[1] = {&root};
+  std::vector<const TraceSpan*> pending(stack, stack + 1);
+  while (!pending.empty()) {
+    const TraceSpan* span = pending.back();
+    pending.pop_back();
+    if (span->name == name) return span;
+    // Push children in reverse so pre-order (first child first) wins.
+    for (auto it = span->children.rbegin(); it != span->children.rend();
+         ++it) {
+      pending.push_back(&*it);
+    }
   }
   return nullptr;
+}
+
+TraceRecorder::TraceRecorder(std::string root_name, TraceContext context)
+    : TraceRecorder(std::move(root_name), context,
+                    std::chrono::steady_clock::now()) {}
+
+TraceRecorder::TraceRecorder(std::string root_name, TraceContext context,
+                             std::chrono::steady_clock::time_point epoch)
+    : context_(context), epoch_(epoch) {
+  Open root;
+  root.span.name = std::move(root_name);
+  root.start_abs = 0.0;
+  open_.push_back(std::move(root));
+}
+
+double TraceRecorder::NowMs() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void TraceRecorder::Begin(const std::string& name) {
+  const double now = NowMs();
+  std::lock_guard<std::mutex> lock(mutex_);
+  Open open;
+  open.span.name = name;
+  open.start_abs = now;
+  open_.push_back(std::move(open));
+}
+
+void TraceRecorder::Attr(const std::string& key, std::string value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  open_.back().span.attrs.emplace_back(key, std::move(value));
+}
+
+void TraceRecorder::CloseTop(TraceSpan* graft) {
+  Open closing = std::move(open_.back());
+  open_.pop_back();
+  closing.span.ms = std::max(closing.span.ms, NowMs() - closing.start_abs);
+  if (graft != nullptr) {
+    // The remote subtree ran strictly inside this span's real-time window
+    // (the window includes both network legs), so its duration bounds the
+    // span's from below; split the residual delay symmetrically.
+    closing.span.ms = std::max(closing.span.ms, graft->ms);
+    graft->start_ms = std::max(0.0, (closing.span.ms - graft->ms) / 2.0);
+    closing.span.children.push_back(std::move(*graft));
+  }
+  Open& parent = open_.back();
+  closing.span.start_ms = closing.start_abs - parent.start_abs;
+  parent.span.children.push_back(std::move(closing.span));
+}
+
+void TraceRecorder::End() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (open_.size() <= 1) return;  // The root is Finish()'s to close.
+  CloseTop(nullptr);
+}
+
+void TraceRecorder::EndGraft(TraceSpan subtree) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (open_.size() <= 1) return;
+  CloseTop(&subtree);
+}
+
+void TraceRecorder::AddClosed(const std::string& name, double start_ms,
+                              double ms) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TraceSpan span;
+  span.name = name;
+  span.start_ms = start_ms;
+  span.ms = ms;
+  open_.back().span.children.push_back(std::move(span));
+}
+
+namespace {
+
+/// Bottom-up: a parent always covers its children. Growth, not
+/// truncation — durations of grafted subtrees are real measurements.
+void EnsureContainment(TraceSpan* span) {
+  for (TraceSpan& child : span->children) {
+    EnsureContainment(&child);
+    if (child.start_ms < 0.0) child.start_ms = 0.0;
+    span->ms = std::max(span->ms, child.start_ms + child.ms);
+  }
+}
+
+}  // namespace
+
+RequestTrace TraceRecorder::Finish() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  while (open_.size() > 1) CloseTop(nullptr);
+  RequestTrace trace;
+  trace.context = context_;
+  trace.root = std::move(open_.back().span);
+  trace.root.start_ms = 0.0;
+  trace.root.ms = std::max(trace.root.ms, NowMs() - open_.back().start_abs);
+  open_.clear();
+  EnsureContainment(&trace.root);
+  return trace;
 }
 
 }  // namespace shapley::obs

@@ -86,12 +86,26 @@ struct SvcRequest {
   /// Optional cancellation token (see CancelToken).
   CancelToken cancel;
 
-  /// Opt-in per-request tracing: the service (and the network front)
-  /// record span timings — decode → route → cache → engine → encode — into
-  /// SvcResponse::trace, and the wire response carries them as a "trace"
-  /// block. Off by default: a span costs two steady-clock reads, but the
-  /// response block is per-request payload nobody asked for.
+  /// Opt-in per-request tracing: the layers serving this request build a
+  /// hierarchical span tree — decode → route(cache) → engine(compile /
+  /// delta / accumulate, or per-checkpoint sampling rounds) → encode —
+  /// into SvcResponse::trace, and the wire response carries it as a
+  /// "trace" block. Off by default: an untraced request allocates no
+  /// recorder and takes no trace lock anywhere on the hot path.
   bool trace = false;
+
+  /// Cluster-propagated trace identity (obs/trace.h): set when the wire
+  /// request carried a `"trace"` OBJECT (the router stamps one on traced
+  /// requests it forwards), zero otherwise. Only meaningful with
+  /// trace == true.
+  obs::TraceContext trace_context;
+
+  /// Process-local recorder injected by a fronting layer (the HTTP server
+  /// owns the root span so decode/encode enclose the service's spans).
+  /// When set, the service records into it and leaves SvcResponse::trace
+  /// empty — the owner finishes the tree. Never serialized; like `cancel`,
+  /// this member does not cross the wire.
+  obs::TraceRecorder* recorder = nullptr;
 
   /// Convenience: deadline = now + budget.
   SvcRequest& WithTimeout(std::chrono::milliseconds budget) {
@@ -141,9 +155,10 @@ struct SvcResponse {
   std::exception_ptr raw_exception;
   RequestStats stats;
 
-  /// Populated iff the request opted in (SvcRequest::trace): the span
-  /// timings each layer recorded while serving this request. Volatile by
-  /// nature (like `stats`) — record/replay comparisons strip it.
+  /// Populated iff the request opted in (SvcRequest::trace) and no
+  /// fronting layer injected its own recorder: the span tree recorded
+  /// while serving this request. Volatile by nature (like `stats`) —
+  /// record/replay comparisons strip it.
   std::optional<obs::RequestTrace> trace;
 
   bool ok() const { return !error.has_value(); }

@@ -215,15 +215,18 @@ std::shared_ptr<SvcEngine> ShapleyService::Route(const SvcRequest& request,
 }
 
 DichotomyVerdict ShapleyService::Classify(const BooleanQuery& query,
-                                          obs::RequestTrace* trace) {
+                                          obs::TraceRecorder* recorder) {
   // Key by dynamic type + text: two query classes could conceivably print
   // alike, and the verdict depends on the class.
   const std::string key =
       std::string(typeid(query).name()) + '\x1f' + query.ToString();
   DichotomyVerdict verdict;
-  obs::SpanTimer lookup_timer;
+  if (recorder != nullptr) recorder->Begin("cache");
   const bool hit = verdict_cache_.Lookup(key, &verdict);
-  if (trace != nullptr) trace->Add("cache", lookup_timer.ElapsedMs());
+  if (recorder != nullptr) {
+    recorder->Attr("hit", hit ? "true" : "false");
+    recorder->End();
+  }
   if (hit) return verdict;
   try {
     verdict = ClassifySvcComplexity(query);
@@ -249,16 +252,26 @@ SvcResponse ShapleyService::Execute(const SvcRequest& request,
   response.mode = request.mode;
   response.stats.queue_ms = MsBetween(submitted, start);
 
-  // Opt-in tracing: spans accumulate here and ride out on the response.
-  // The set is disjoint — "cache" is the verdict-cache lookup, "route" is
-  // classification + engine selection MINUS that lookup, "engine" is the
-  // engine run(s); the server adds "decode"/"encode" around this call.
-  const bool tracing = request.trace;
-  obs::RequestTrace trace;
+  // Opt-in tracing via a hierarchical span recorder: "route" covers
+  // classification + engine selection and encloses the verdict-"cache"
+  // lookup; "engine" covers the engine run(s) and is decomposed further by
+  // the engines themselves through ExecContext::trace (compile/delta/
+  // accumulate, per-checkpoint sampling rounds). A fronting server injects
+  // its own recorder (rooted at "backend", wrapping decode/encode too) and
+  // owns Finish(); the in-process path records into a local "service" root
+  // and ships the finished tree on the response. Untraced requests carry
+  // recorder == nullptr end to end — no allocation, no locking.
+  std::unique_ptr<obs::TraceRecorder> owned_recorder;
+  obs::TraceRecorder* recorder = request.recorder;
+  if (request.trace && recorder == nullptr) {
+    owned_recorder =
+        std::make_unique<obs::TraceRecorder>("service", request.trace_context);
+    recorder = owned_recorder.get();
+  }
 
   auto finish = [&](SvcResponse&& done) -> SvcResponse {
     done.stats.exec_ms = MsBetween(start, Clock::now());
-    if (tracing) done.trace = std::move(trace);
+    if (owned_recorder != nullptr) done.trace = owned_recorder->Finish();
     (done.ok() ? completed_ : failed_).fetch_add(1, std::memory_order_relaxed);
     inflight_.fetch_sub(1, std::memory_order_relaxed);
     return std::move(done);
@@ -290,23 +303,24 @@ SvcResponse ShapleyService::Execute(const SvcRequest& request,
   // the BatchSvcRunner path, which must not pay costs the historical
   // runner never paid). Every routed or registry-named request is
   // classified and carries the verdict in its response.
-  obs::SpanTimer route_timer;
-  auto record_route = [&] {
-    if (!tracing) return;
-    double cache_ms = 0.0;
-    if (const obs::TraceSpan* span = trace.Find("cache")) cache_ms = span->ms;
-    trace.Add("route", route_timer.ElapsedMs() - cache_ms);
+  // "route" spans classification + engine selection; Classify nests the
+  // verdict-cache lookup under it as a "cache" child. Every exit from the
+  // selection block closes the span — a fronting recorder outlives this
+  // call and must get its stack back balanced.
+  if (recorder != nullptr) recorder->Begin("route");
+  auto end_route = [&] {
+    if (recorder != nullptr) recorder->End();
   };
   if (request.engine_instance == nullptr ||
       request.mode == SvcMode::kClassifyOnly) {
-    response.verdict = Classify(*request.query, tracing ? &trace : nullptr);
+    response.verdict = Classify(*request.query, recorder);
   } else {
     response.verdict.query_class = "unclassified";
     response.verdict.justification =
         "classification skipped: caller-supplied engine instance";
   }
   if (request.mode == SvcMode::kClassifyOnly) {
-    record_route();
+    end_route();
     return finish(std::move(response));
   }
 
@@ -318,6 +332,7 @@ SvcResponse ShapleyService::Execute(const SvcRequest& request,
     const EngineRegistry::Entry* entry = registry_.Find(request.engine);
     if (entry == nullptr) {
       SvcError unknown = registry_.UnknownEngineError(request.engine);
+      end_route();
       return fail(unknown.code, unknown.message);
     }
     std::string reason;
@@ -325,19 +340,29 @@ SvcResponse ShapleyService::Execute(const SvcRequest& request,
       const SvcErrorCode code = n > entry->caps.max_endogenous
                                     ? SvcErrorCode::kCapacityExceeded
                                     : SvcErrorCode::kUnsupportedQuery;
+      end_route();
       return fail(code, reason, entry->name);
     }
     engine = MakeConfiguredEngine(*entry);
   } else {
     engine = Route(request, n, &response);
     if (engine == nullptr) {
-      record_route();
+      end_route();
       return finish(std::move(response));
     }
   }
-  record_route();
+  end_route();
   auto run_engine = [&](const std::shared_ptr<SvcEngine>& chosen) {
     response.engine = chosen->name();
+    // The recorder rides into the engine's deep paths on a per-request
+    // copy of the shared ExecContext — only for engines this service just
+    // created (a caller-owned instance's context is the caller's, and may
+    // be shared across concurrent requests).
+    if (recorder != nullptr && request.engine_instance == nullptr) {
+      ExecContext traced = context_;
+      traced.trace = recorder;
+      chosen->set_exec_context(traced);
+    }
     // Registry-created sampling engines take the request's (ε, δ, seed)
     // contract plus its cancel token and deadline, so a long sweep stays
     // abortable mid-run; caller-owned engine instances are called as-is
@@ -391,7 +416,17 @@ SvcResponse ShapleyService::Execute(const SvcRequest& request,
     }
   };
 
-  obs::SpanTimer engine_timer;
+  // Oracle-cache traffic attributed to THIS request's engine run: deltas
+  // of the shared cache's counters across the span, attached as engine-
+  // span attributes (the per-table aggregates feed /metrics separately).
+  size_t cache_hits_before = 0, cache_misses_before = 0;
+  if (recorder != nullptr) {
+    recorder->Begin("engine");
+    if (cache_ != nullptr) {
+      cache_hits_before = cache_->hits();
+      cache_misses_before = cache_->misses();
+    }
+  }
   run_engine(engine);
 
   // The allow_approx promise is "complete instead of refuse", and it must
@@ -419,7 +454,16 @@ SvcResponse ShapleyService::Execute(const SvcRequest& request,
   // One span covers the engine run INCLUDING the approx capacity retry —
   // it is the request's total engine time, which is what the latency
   // histograms want.
-  if (tracing) trace.Add("engine", engine_timer.ElapsedMs());
+  if (recorder != nullptr) {
+    recorder->Attr("engine", response.engine);
+    if (cache_ != nullptr) {
+      recorder->Attr("cache_hits",
+                     std::to_string(cache_->hits() - cache_hits_before));
+      recorder->Attr("cache_misses",
+                     std::to_string(cache_->misses() - cache_misses_before));
+    }
+    recorder->End();
+  }
   return finish(std::move(response));
 }
 

@@ -160,10 +160,11 @@ class ShapleyService {
                                    size_t num_endogenous,
                                    SvcResponse* response) const;
 
-  /// ClassifySvcComplexity through the verdict cache. When `trace` is
-  /// non-null, records the verdict-cache lookup as a "cache" span.
+  /// ClassifySvcComplexity through the verdict cache. When `recorder` is
+  /// non-null, records the verdict-cache lookup as a "cache" span (with a
+  /// hit=true|false attribute) nested under the caller's open span.
   DichotomyVerdict Classify(const BooleanQuery& query,
-                            obs::RequestTrace* trace = nullptr);
+                            obs::TraceRecorder* recorder = nullptr);
 
   const ServiceOptions options_;
   const EngineRegistry registry_;

@@ -1,0 +1,357 @@
+// Cluster-propagated tracing and the router record/replay loop, over REAL
+// TCP — a router fronting three in-process `serve` stacks:
+//
+//  (a) a traced routed compute comes back with ONE coherent tree: a
+//      "router" root, a "hop" span tagged with the PREDICTED home shard,
+//      and the backend's own decode → route(cache) → engine → encode
+//      subtree (engine decomposed by the deep-path hooks) grafted under
+//      the hop — with the trace id derived deterministically from the
+//      request bytes, so the client can predict it; untraced requests
+//      still cross with no trace block at all;
+//  (b) under a mid-batch kill, every victim request's tree shows BOTH
+//      hops — the failed one error-tagged on the dead backend, the retry
+//      on the key's predicted fallback shard carrying the real subtree —
+//      well-nested, with ZERO dropped ids;
+//  (c) the router's HttpServer captures its POST traffic at the shared
+//      pre-decode point (RouterOptions.server.request_log), and the
+//      capture replays against a FRESH fleet bit-identically in canonical
+//      form — the record/replay loop closed THROUGH the router.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "shapley/cluster/router.h"
+#include "shapley/cluster/shard_map.h"
+#include "shapley/data/parser.h"
+#include "shapley/net/client.h"
+#include "shapley/net/codec.h"
+#include "shapley/net/server.h"
+#include "shapley/obs/replay.h"
+#include "shapley/obs/reqlog.h"
+#include "shapley/obs/trace.h"
+#include "shapley/query/query_parser.h"
+#include "shapley/service/shapley_service.h"
+
+namespace shapley {
+namespace {
+
+using cluster::RouterOptions;
+using cluster::ShardRouter;
+using net::Json;
+using net::ShapleyClient;
+
+QueryPtr ParseQuery(const std::shared_ptr<Schema>& schema,
+                    std::string_view text) {
+  UcqPtr ucq = ParseUcq(schema, text);
+  if (ucq->disjuncts().size() == 1) return ucq->disjuncts()[0];
+  return ucq;
+}
+
+/// One backend serving stack on an ephemeral port.
+struct Stack {
+  explicit Stack(ServiceOptions service_options = {.threads = 2})
+      : service(service_options), server(&service) {
+    server.Start();
+  }
+  ShapleyService service;
+  net::HttpServer server;
+};
+
+/// Deterministic, fast-failover router options (see tests/cluster).
+RouterOptions FastRouterOptions() {
+  RouterOptions options;
+  options.health_poll_ms = 0;
+  options.client.connect_attempts = 2;
+  options.client.base_backoff_ms = 1;
+  options.client.max_backoff_ms = 2;
+  return options;
+}
+
+/// N backend stacks plus a router over them, torn down in reverse order.
+struct Fleet {
+  explicit Fleet(size_t n, RouterOptions options = FastRouterOptions()) {
+    for (size_t i = 0; i < n; ++i) {
+      backends.push_back(std::make_unique<Stack>());
+      specs.push_back("127.0.0.1:" +
+                      std::to_string(backends.back()->server.port()));
+    }
+    router = std::make_unique<ShardRouter>(specs, options);
+    router->Start();
+  }
+  ~Fleet() { router->Stop(); }
+
+  /// Rendezvous ranking for a request — [0] is the home shard, [1] the
+  /// first fallback; any process with the same backend list agrees.
+  std::vector<size_t> Rank(const SvcRequest& request) const {
+    return cluster::ShardMap(specs).Rank(cluster::ShardKeyFor(request));
+  }
+
+  std::vector<std::unique_ptr<Stack>> backends;
+  std::vector<std::string> specs;
+  std::unique_ptr<ShardRouter> router;
+};
+
+SvcRequest EasyInstance(const std::shared_ptr<Schema>& schema, int j) {
+  const std::string a = "a" + std::to_string(j);
+  SvcRequest request;
+  request.query = ParseQuery(schema, "R(x), S(x,y)");
+  request.db = ParsePartitionedDatabase(
+      schema, "R(" + a + ") S(" + a + ",b) | S(" + a + ",c)");
+  return request;
+}
+
+/// A fixed-count sampling instance slow enough to still be in flight when
+/// the mid-batch kill lands (see tests/cluster/router_test.cc).
+SvcRequest SlowInstance(const std::shared_ptr<Schema>& schema, int j) {
+  SvcRequest request;
+  request.query = ParseQuery(schema, "S(x,y), R(x), !T(y)");
+  std::string db_text;
+  for (int i = 0; i < 12; ++i) {
+    const std::string a = "a" + std::to_string(j) + "_" + std::to_string(i);
+    db_text += "R(" + a + ") ";
+    db_text += "S(" + a + ",b" + std::to_string(i % 4) + ") ";
+  }
+  db_text += "T(b0) T(b1) | T(b2)";
+  request.db = ParsePartitionedDatabase(schema, db_text);
+  request.engine = "sampling";
+  request.approx.epsilon = 0.025;
+  request.approx.delta = 0.05;
+  request.approx.seed = 5 + static_cast<uint64_t>(j);
+  request.approx.strategy = ApproxStrategy::kHoeffding;
+  return request;
+}
+
+/// The attr every hop span must carry: which upstream it talked to.
+const std::string& HopBackend(const obs::TraceSpan& hop) {
+  const std::string* backend = hop.FindAttr("backend");
+  EXPECT_NE(backend, nullptr);
+  static const std::string kMissing = "<missing>";
+  return backend != nullptr ? *backend : kMissing;
+}
+
+TEST(ClusterTrace, RoutedComputeYieldsOneGraftedTree) {
+  auto schema = Schema::Create();
+  Fleet fleet(3);
+  ShapleyClient client("127.0.0.1", fleet.router->port());
+
+  // Untraced: verbatim forwarding, no trace block anywhere.
+  SvcRequest request = EasyInstance(schema, 0);
+  const SvcResponse untraced = client.Compute(request);
+  EXPECT_TRUE(untraced.ok());
+  EXPECT_FALSE(untraced.trace.has_value());
+
+  request.trace = true;
+  const SvcResponse traced = client.Compute(request);
+  EXPECT_TRUE(traced.ok());
+  ASSERT_TRUE(traced.trace.has_value());
+  const obs::RequestTrace& trace = *traced.trace;
+
+  // The trace id is derived from the request bytes — the client can
+  // compute it WITHOUT talking to anyone.
+  EXPECT_EQ(trace.context.TraceIdHex(),
+            obs::TraceContext::Derive(net::EncodeRequest(request).Dump())
+                .TraceIdHex());
+
+  // Router root → one hop on the PREDICTED home shard → the backend's own
+  // subtree grafted under it, engine decomposition included.
+  EXPECT_EQ(trace.root.name, "router");
+  EXPECT_TRUE(obs::WellNested(trace.root));
+  ASSERT_EQ(trace.root.children.size(), 1u);
+  const obs::TraceSpan& hop = trace.root.children[0];
+  EXPECT_EQ(hop.name, "hop");
+  EXPECT_EQ(HopBackend(hop), fleet.specs[fleet.Rank(request)[0]]);
+  ASSERT_NE(hop.FindAttr("attempt"), nullptr);
+  EXPECT_EQ(*hop.FindAttr("attempt"), "0");
+  EXPECT_EQ(hop.FindAttr("error"), nullptr);
+
+  ASSERT_EQ(hop.children.size(), 1u);
+  const obs::TraceSpan& backend = hop.children[0];
+  EXPECT_EQ(backend.name, "backend");
+  std::vector<std::string> phases;
+  for (const obs::TraceSpan& child : backend.children) {
+    phases.push_back(child.name);
+  }
+  EXPECT_EQ(phases, (std::vector<std::string>{"decode", "route", "engine",
+                                              "encode"}));
+  for (const char* deep : {"cache", "compile", "delta", "accumulate"}) {
+    EXPECT_NE(trace.Find(deep), nullptr) << deep;
+  }
+}
+
+TEST(ClusterTrace, MidBatchKillKeepsBothHopsInEveryVictimTree) {
+  auto schema = Schema::Create();
+  // Six slow, mutually distinct instances, ALL traced: by pigeonhole some
+  // backend owns at least two, each still in flight when the kill lands.
+  std::vector<SvcRequest> requests;
+  for (int j = 0; j < 6; ++j) {
+    requests.push_back(SlowInstance(schema, j));
+    requests.back().trace = true;
+  }
+
+  Fleet fleet(3);
+  std::vector<size_t> owned(fleet.backends.size(), 0);
+  for (const SvcRequest& request : requests) {
+    ++owned[fleet.Rank(request)[0]];
+  }
+  size_t victim = 0;
+  for (size_t i = 1; i < owned.size(); ++i) {
+    if (owned[i] > owned[victim]) victim = i;
+  }
+  ASSERT_GE(owned[victim], 2u);
+
+  std::vector<SvcResponse> actual;
+  std::thread submitter([&] {
+    ShapleyClient client("127.0.0.1", fleet.router->port());
+    actual = client.ComputeBatch(requests);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  fleet.backends[victim]->server.Abort();
+  submitter.join();
+
+  // ZERO dropped ids: every request answered, successfully, with a tree.
+  ASSERT_EQ(actual.size(), requests.size());
+  size_t victims_seen = 0;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    SCOPED_TRACE("request " + std::to_string(i));
+    EXPECT_TRUE(actual[i].ok());
+    ASSERT_TRUE(actual[i].trace.has_value());
+    const obs::RequestTrace& trace = *actual[i].trace;
+    EXPECT_EQ(trace.root.name, "router");
+    EXPECT_TRUE(obs::WellNested(trace.root));
+
+    const std::vector<size_t> rank = fleet.Rank(requests[i]);
+    if (rank[0] != victim) {
+      // Untouched by the kill: exactly one clean hop on the home shard.
+      ASSERT_EQ(trace.root.children.size(), 1u);
+      EXPECT_EQ(HopBackend(trace.root.children[0]), fleet.specs[rank[0]]);
+      EXPECT_EQ(trace.root.children[0].FindAttr("error"), nullptr);
+      continue;
+    }
+    ++victims_seen;
+
+    // A victim: BOTH hops in ONE tree — the failed attempt on the dead
+    // backend, error-tagged and childless, then the retry on the key's
+    // predicted fallback shard carrying the real backend subtree.
+    ASSERT_EQ(trace.root.children.size(), 2u);
+    const obs::TraceSpan& failed = trace.root.children[0];
+    EXPECT_EQ(failed.name, "hop");
+    EXPECT_EQ(HopBackend(failed), fleet.specs[victim]);
+    EXPECT_EQ(*failed.FindAttr("attempt"), "0");
+    EXPECT_NE(failed.FindAttr("error"), nullptr);
+    EXPECT_TRUE(failed.children.empty());
+
+    const obs::TraceSpan& retry = trace.root.children[1];
+    EXPECT_EQ(retry.name, "hop");
+    EXPECT_EQ(HopBackend(retry), fleet.specs[rank[1]]);
+    EXPECT_EQ(*retry.FindAttr("attempt"), "1");
+    EXPECT_EQ(retry.FindAttr("error"), nullptr);
+    ASSERT_EQ(retry.children.size(), 1u);
+    EXPECT_EQ(retry.children[0].name, "backend");
+
+    // The sampler's per-checkpoint instrumentation survived the failover:
+    // the retried engine span decomposes into at least one round with
+    // samples/retired counts.
+    const obs::TraceSpan* round = trace.Find("round");
+    ASSERT_NE(round, nullptr);
+    ASSERT_NE(round->FindAttr("samples"), nullptr);
+    EXPECT_NE(*round->FindAttr("samples"), "0");
+    ASSERT_NE(round->FindAttr("retired"), nullptr);
+    EXPECT_EQ(*round->FindAttr("retired"), "0");  // Hoeffding never retires.
+  }
+  EXPECT_EQ(victims_seen, owned[victim]);
+  EXPECT_FALSE(fleet.router->backend(victim)->healthy());
+}
+
+/// RAII temp file in the test's working directory.
+struct TempPath {
+  explicit TempPath(std::string name) : path(std::move(name)) {}
+  ~TempPath() { std::remove(path.c_str()); }
+  const std::string path;
+};
+
+TEST(ClusterTrace, RouterSessionRecordsAndReplaysBitIdentically) {
+  TempPath temp("obs_router_reqlog_e2e.ndjson");
+  auto schema = Schema::Create();
+
+  // The recorded session: two singles (one TRACED — volatile members must
+  // canonicalize away), a malformed body (its 400 must replay), and a
+  // scattered batch.
+  std::vector<std::string> sent_bodies;
+  {
+    SvcRequest plain = EasyInstance(schema, 0);
+    sent_bodies.push_back(net::EncodeRequest(plain).Dump());
+    SvcRequest traced = EasyInstance(schema, 1);
+    traced.trace = true;
+    sent_bodies.push_back(net::EncodeRequest(traced).Dump());
+  }
+  Json batch;
+  {
+    Json items = Json::Arr();
+    for (int j = 2; j < 8; ++j) {
+      items.Push(net::EncodeRequest(EasyInstance(schema, j)));
+    }
+    batch.Set("requests", std::move(items));
+  }
+
+  std::vector<std::string> recorded;  // Canonical responses, send order.
+  {
+    obs::RequestLogWriter capture(temp.path);
+    RouterOptions options = FastRouterOptions();
+    options.server.request_log = &capture;
+    Fleet fleet(3, options);
+    ShapleyClient client("127.0.0.1", fleet.router->port());
+
+    int status = 0;
+    for (const std::string& body : sent_bodies) {
+      recorded.push_back(
+          obs::CanonicalResponseBody(client.RawCompute(body, &status)));
+      EXPECT_EQ(status, 200);
+    }
+    sent_bodies.push_back("{broken");
+    recorded.push_back(
+        obs::CanonicalResponseBody(client.RawCompute("{broken", &status)));
+    EXPECT_EQ(status, 400);
+    sent_bodies.push_back(batch.Dump());
+    std::vector<std::string> lines;
+    client.RawBatch(batch.Dump(),
+                    [&](const std::string& line) { lines.push_back(line); });
+    recorded.push_back(obs::CanonicalBatchBody(lines));
+    capture.Flush();
+    EXPECT_EQ(capture.entries(), sent_bodies.size());
+  }
+
+  // The router captured every POST verbatim at the shared pre-decode
+  // point, in arrival order — health probes (GETs) never pollute it.
+  std::string error;
+  auto log = obs::ReadRequestLog(temp.path, &error);
+  ASSERT_TRUE(log.has_value()) << error;
+  ASSERT_EQ(log->size(), sent_bodies.size());
+  for (size_t i = 0; i < sent_bodies.size(); ++i) {
+    EXPECT_EQ((*log)[i].body, sent_bodies[i]) << "entry " << i;
+    EXPECT_EQ((*log)[i].target,
+              i + 1 == sent_bodies.size() ? "/v1/batch" : "/v1/compute");
+  }
+
+  // Replayed against a FRESH fleet — new ports, new shard map, cold
+  // caches — every response is bit-identical in canonical form: the
+  // placement may differ, the answers cannot.
+  Fleet fresh(2);
+  const obs::ReplayResult result =
+      obs::Replay(*log, "127.0.0.1", fresh.router->port());
+  EXPECT_EQ(result.requests_sent, log->size());
+  EXPECT_EQ(result.transport_errors, 0u);
+  ASSERT_EQ(result.responses.size(), recorded.size());
+  for (size_t i = 0; i < recorded.size(); ++i) {
+    EXPECT_EQ(result.responses[i], recorded[i]) << "entry " << i;
+    EXPECT_FALSE(result.responses[i].empty()) << "dropped entry " << i;
+  }
+}
+
+}  // namespace
+}  // namespace shapley

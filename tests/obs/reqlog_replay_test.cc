@@ -6,9 +6,10 @@
 //      line-numbered error instead of replaying a prefix;
 //  (b) a live HttpServer captures its POST traffic verbatim (before
 //      decoding — malformed bodies included), in arrival order;
-//  (c) the canonicalizers: "stats"/"trace" stripped at the top level,
-//      unparsable text passed through, batch lines id-sorted so the
-//      canonical form is completion-order independent;
+//  (c) the canonicalizers: "stats"/"trace" stripped RECURSIVELY at every
+//      object depth (the trace block is a nested span tree), unparsable
+//      text passed through, batch lines id-sorted so the canonical form
+//      is completion-order independent;
 //  (d) END TO END: a captured mixed run (exact, sampling, batch, error
 //      request) replayed against a FRESH server reproduces every response
 //      BIT-IDENTICALLY in canonical form, with zero transport errors —
@@ -103,12 +104,22 @@ TEST(RequestLog, MalformedLogsFailLoudly) {
   EXPECT_TRUE(log->empty());
 }
 
-TEST(Canonicalize, StripsVolatileMembersAndSortsBatchLines) {
-  // Top-level stats/trace go; everything else survives in order.
+TEST(Canonicalize, StripsVolatileMembersRecursivelyAndSortsBatchLines) {
+  // Top-level stats/trace go — the trace block being a full span TREE —
+  // and everything else survives in order.
   EXPECT_EQ(CanonicalResponseBody(
                 R"({"mode":"all-values","stats":{"queue_ms":1.5},)"
-                R"("trace":{"spans":[]},"status":200})"),
+                R"("trace":{"trace_id":"00ab","root":{"name":"backend",)"
+                R"("ms":2.5,"children":[{"name":"engine","ms":1.0}]}},)"
+                R"("status":200})"),
             R"({"mode":"all-values","status":200})");
+  // The strip is RECURSIVE: stats/trace buried inside nested objects and
+  // array elements go too (a shallow strip would leave these behind and
+  // break bit-identical replay comparison).
+  EXPECT_EQ(CanonicalResponseBody(
+                R"({"id":3,"inner":{"trace":{"root":{"name":"x"}},)"
+                R"("value":7},"list":[{"stats":{"exec_ms":9},"ok":true}]})"),
+            R"({"id":3,"inner":{"value":7},"list":[{"ok":true}]})");
   // Unparsable text passes through verbatim (comparisons then fail loudly).
   EXPECT_EQ(CanonicalResponseBody("not json"), "not json");
 

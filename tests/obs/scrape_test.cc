@@ -12,8 +12,14 @@
 //      {backend="host:port"} series, and its series set is fully DISJOINT
 //      from a backend's (router-prefixed families by name, shared
 //      transport families by the role label);
-//  (e) the opt-in "trace" block crosses the wire: spans decode → route →
-//      cache → engine → encode on a traced request, absent otherwise.
+//  (e) the opt-in "trace" block crosses the wire as ONE well-nested span
+//      TREE — a "backend" root enclosing decode → route (cache inside) →
+//      engine → encode, the engine span decomposed into compile / delta /
+//      accumulate by the deep-path hooks — absent otherwise, with a trace
+//      id derived deterministically from the request bytes; and the span
+//      durations feed the scrape-time shapley_phase_duration_ms{phase}
+//      and shapley_cache_*{table} families, which stay BACKEND-ONLY (the
+//      router never exposes them).
 
 #include <gtest/gtest.h>
 
@@ -255,8 +261,12 @@ TEST(RouterScrape, RouterSeriesAndBackendDisjointness) {
     EXPECT_EQ(router_series.count(SeriesKey(line)), 0u)
         << "series in BOTH scrapes: " << SeriesKey(line);
   }
-  // And no service-layer series on the router (it computes nothing).
+  // And no service-layer series on the router (it computes nothing) —
+  // the phase/cache profiling families included: those measure REAL work,
+  // which only backends perform.
   EXPECT_EQ(router_text.find("shapley_service_"), std::string::npos);
+  EXPECT_EQ(router_text.find("shapley_phase_duration_ms"), std::string::npos);
+  EXPECT_EQ(router_text.find("shapley_cache_"), std::string::npos);
   EXPECT_EQ(backend_text.find("shapley_router_"), std::string::npos);
 
   router.Stop();
@@ -280,19 +290,74 @@ TEST(TraceWire, OptInSpansCrossTheWire) {
   const SvcResponse traced = client.Compute(request);
   EXPECT_TRUE(traced.ok());
   ASSERT_TRUE(traced.trace.has_value());
-  for (const char* span : {"decode", "cache", "route", "engine", "encode"}) {
-    const obs::TraceSpan* found = traced.trace->Find(span);
-    ASSERT_NE(found, nullptr) << span;
-    EXPECT_GE(found->ms, 0.0) << span;
-  }
-  EXPECT_GT(traced.trace->TotalMs(), 0.0);
+  const obs::RequestTrace& trace = *traced.trace;
 
-  // The histogram fed by these requests observed both of them.
+  // ONE tree: a "backend" root whose direct children are the serving
+  // phases in wall-clock order, every child nested in its parent's
+  // [start, end) window.
+  EXPECT_TRUE(trace.context.valid());
+  EXPECT_EQ(trace.root.name, "backend");
+  EXPECT_TRUE(obs::WellNested(trace.root));
+  EXPECT_GT(trace.TotalMs(), 0.0);
+  std::vector<std::string> phases;
+  for (const obs::TraceSpan& child : trace.root.children) {
+    phases.push_back(child.name);
+  }
+  EXPECT_EQ(phases, (std::vector<std::string>{"decode", "route", "engine",
+                                              "encode"}));
+
+  // The cache probe lives INSIDE route, tagged with its outcome.
+  const obs::TraceSpan* route = trace.Find("route");
+  ASSERT_NE(route, nullptr);
+  ASSERT_EQ(route->children.size(), 1u);
+  EXPECT_EQ(route->children[0].name, "cache");
+  const std::string* hit = route->children[0].FindAttr("hit");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_TRUE(*hit == "true" || *hit == "false");
+
+  // The engine span carries its identity and cache deltas, and the
+  // deep-path hooks decompose it: compile / delta / accumulate for an
+  // exact engine.
+  const obs::TraceSpan* engine = trace.Find("engine");
+  ASSERT_NE(engine, nullptr);
+  const std::string* engine_name = engine->FindAttr("engine");
+  ASSERT_NE(engine_name, nullptr);
+  EXPECT_EQ(*engine_name, traced.engine);
+  EXPECT_NE(engine->FindAttr("cache_hits"), nullptr);
+  EXPECT_NE(engine->FindAttr("cache_misses"), nullptr);
+  for (const char* deep : {"compile", "delta", "accumulate"}) {
+    ASSERT_NE(trace.Find(deep), nullptr) << deep;
+  }
+
+  // The trace id is a pure function of the request bytes: the same
+  // request traced again reports the SAME id.
+  const SvcResponse again = client.Compute(request);
+  ASSERT_TRUE(again.trace.has_value());
+  EXPECT_EQ(again.trace->context.TraceIdHex(), trace.context.TraceIdHex());
+
+  // The latency histogram observed all three requests, and the span
+  // durations fed the scrape-time profiling families: per-phase duration
+  // histograms (traced requests only) and per-table cache counters.
   const std::string text = Scrape("127.0.0.1", stack.server.port());
   EXPECT_NE(text.find("shapley_request_latency_ms_count{engine=\"" +
                       traced.engine + "\",mode=\"all-values\","
-                      "strategy=\"exact\"} 2"),
+                      "strategy=\"exact\"} 3"),
             std::string::npos);
+  EXPECT_NE(text.find("# TYPE shapley_phase_duration_ms histogram"),
+            std::string::npos);
+  for (const char* phase : {"decode", "engine", "compile", "accumulate"}) {
+    EXPECT_NE(text.find("shapley_phase_duration_ms_count{phase=\"" +
+                        std::string(phase) + "\"} 2"),
+              std::string::npos)
+        << phase;
+  }
+  for (const char* family :
+       {"shapley_cache_hits_total{table=\"counts\"}",
+        "shapley_cache_misses_total{table=\"counts\"}",
+        "shapley_cache_inserts_total{table=\"circuits\"}",
+        "shapley_cache_evictions_total{table=\"memos\"}"}) {
+    EXPECT_NE(text.find(family), std::string::npos) << family;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,301 @@
+// The trace substrate (obs/trace.h) and its wire codec (net/codec.h):
+//
+//  (a) TraceContext::Derive is a pure function of the request bytes —
+//      same bytes, same 128-bit id; different bytes, different id; never
+//      zero (the empty request included) — and the hex codecs are strict
+//      inverses;
+//  (b) TraceRecorder turns a Begin/Attr/End discipline into a well-nested
+//      tree: parent-relative offsets, attribute order preserved, AddClosed
+//      backfills pre-recorder measurements, the epoch constructor
+//      backdates the root, Finish closes whatever is still open and grows
+//      parents over grafted children (never truncates);
+//  (c) EndGraft splices a remote subtree under the closing hop span with
+//      the symmetric network-delay estimate, keeping the result
+//      well-nested without any cross-process clock comparison;
+//  (d) the codec round-trips span trees bit-losslessly, tolerates unknown
+//      response members, rejects malformed trees, and SetTraceBlock /
+//      SetRequestTraceContext patch already-encoded bodies in place (the
+//      router's stamping primitive).
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "shapley/net/codec.h"
+#include "shapley/net/json.h"
+#include "shapley/obs/trace.h"
+
+namespace shapley::obs {
+namespace {
+
+using net::Json;
+
+TEST(TraceContext, DeriveIsDeterministicAndNonZero) {
+  const TraceContext a = TraceContext::Derive("{\"query\":\"R(?x)\"}");
+  const TraceContext b = TraceContext::Derive("{\"query\":\"R(?x)\"}");
+  EXPECT_TRUE(a.valid());
+  EXPECT_EQ(a.trace_hi, b.trace_hi);
+  EXPECT_EQ(a.trace_lo, b.trace_lo);
+  EXPECT_EQ(a.TraceIdHex(), b.TraceIdHex());
+  EXPECT_EQ(a.parent_span, 0u);
+
+  const TraceContext c = TraceContext::Derive("{\"query\":\"S(?x)\"}");
+  EXPECT_NE(a.TraceIdHex(), c.TraceIdHex());
+
+  // Even the empty request has an identity.
+  EXPECT_TRUE(TraceContext::Derive("").valid());
+  EXPECT_FALSE(TraceContext().valid());
+}
+
+TEST(TraceContext, HexCodecsAreStrictInverses) {
+  EXPECT_EQ(HexU64(0), "0000000000000000");
+  EXPECT_EQ(HexU64(0xdeadbeefULL), "00000000deadbeef");
+  for (uint64_t value : {0ull, 1ull, 0xdeadbeefull, ~0ull}) {
+    const std::string hex = HexU64(value);
+    ASSERT_EQ(hex.size(), 16u);
+    EXPECT_EQ(ParseHexU64(hex), value);
+  }
+  // Strict: exact length, lowercase hex only.
+  EXPECT_FALSE(ParseHexU64("abc").has_value());
+  EXPECT_FALSE(ParseHexU64("00000000DEADBEEF").has_value());
+  EXPECT_FALSE(ParseHexU64("0000000000000zzz").has_value());
+  EXPECT_FALSE(ParseHexU64("00000000deadbeef0").has_value());
+
+  const TraceContext context = TraceContext::Derive("bytes");
+  const std::string id = context.TraceIdHex();
+  ASSERT_EQ(id.size(), 32u);
+  const auto parsed = ParseTraceIdHex(id);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->first, context.trace_hi);
+  EXPECT_EQ(parsed->second, context.trace_lo);
+  EXPECT_FALSE(ParseTraceIdHex(id.substr(1)).has_value());
+  EXPECT_FALSE(ParseTraceIdHex(id + "0").has_value());
+}
+
+TEST(TraceRecorder, BuildsAWellNestedTree) {
+  TraceRecorder recorder("backend", TraceContext::Derive("r"));
+  recorder.AddClosed("decode", 0.0, 0.25);
+  recorder.Begin("route");
+  recorder.Begin("cache");
+  recorder.Attr("hit", "false");
+  recorder.End();
+  recorder.End();
+  recorder.Begin("engine");
+  recorder.Attr("engine", "lifted");
+  recorder.Attr("cache_hits", "1");
+  recorder.End();
+  const RequestTrace trace = recorder.Finish();
+
+  EXPECT_TRUE(trace.context.valid());
+  EXPECT_EQ(trace.root.name, "backend");
+  EXPECT_EQ(trace.root.start_ms, 0.0);
+  EXPECT_TRUE(WellNested(trace.root));
+
+  ASSERT_EQ(trace.root.children.size(), 3u);
+  EXPECT_EQ(trace.root.children[0].name, "decode");
+  EXPECT_EQ(trace.root.children[0].ms, 0.25);
+  EXPECT_EQ(trace.root.children[1].name, "route");
+  EXPECT_EQ(trace.root.children[2].name, "engine");
+
+  const TraceSpan* cache = trace.Find("cache");
+  ASSERT_NE(cache, nullptr);
+  ASSERT_EQ(trace.root.children[1].children.size(), 1u);
+  EXPECT_EQ(&trace.root.children[1].children[0], cache);
+  ASSERT_NE(cache->FindAttr("hit"), nullptr);
+  EXPECT_EQ(*cache->FindAttr("hit"), "false");
+  EXPECT_EQ(cache->FindAttr("miss"), nullptr);
+
+  // Attribute order is preserved (it goes onto the wire as written).
+  const TraceSpan* engine = trace.Find("engine");
+  ASSERT_NE(engine, nullptr);
+  ASSERT_EQ(engine->attrs.size(), 2u);
+  EXPECT_EQ(engine->attrs[0].first, "engine");
+  EXPECT_EQ(engine->attrs[1].first, "cache_hits");
+}
+
+TEST(TraceRecorder, FinishClosesOpenSpansAndGrowsOverClosedChildren) {
+  TraceRecorder recorder("service");
+  recorder.Begin("route");
+  recorder.Begin("engine");
+  // A backfilled child longer than any real elapsed time: Finish must
+  // GROW engine → route → root over it rather than truncate it.
+  recorder.AddClosed("compile", 0.0, 1000.0);
+  const RequestTrace trace = recorder.Finish();
+
+  EXPECT_TRUE(WellNested(trace.root));
+  const TraceSpan* engine = trace.Find("engine");
+  ASSERT_NE(engine, nullptr);
+  EXPECT_GE(engine->ms, 1000.0);
+  EXPECT_GE(trace.root.ms, 1000.0);
+  ASSERT_NE(trace.Find("compile"), nullptr);
+}
+
+TEST(TraceRecorder, EpochConstructorBackdatesTheRoot) {
+  const auto epoch =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(40);
+  TraceRecorder recorder("backend", TraceContext::Derive("r"), epoch);
+  recorder.AddClosed("decode", 0.0, 5.0);
+  const RequestTrace trace = recorder.Finish();
+  // The root covers the pre-recorder work: at least the 40ms since epoch.
+  EXPECT_GE(trace.root.ms, 40.0);
+  EXPECT_TRUE(WellNested(trace.root));
+}
+
+TEST(TraceRecorder, EndGraftSplicesARemoteSubtree) {
+  TraceSpan remote;
+  remote.name = "backend";
+  remote.ms = 3.0;
+  TraceSpan remote_child;
+  remote_child.name = "engine";
+  remote_child.start_ms = 1.0;
+  remote_child.ms = 2.0;
+  remote.children.push_back(remote_child);
+
+  TraceRecorder recorder("router", TraceContext::Derive("r"));
+  recorder.Begin("hop");
+  recorder.Attr("backend", "127.0.0.1:9");
+  recorder.EndGraft(remote);
+  const RequestTrace trace = recorder.Finish();
+
+  EXPECT_TRUE(WellNested(trace.root));
+  ASSERT_EQ(trace.root.children.size(), 1u);
+  const TraceSpan& hop = trace.root.children[0];
+  EXPECT_EQ(hop.name, "hop");
+  // The hop's window includes both network legs, so it covers the grafted
+  // subtree, which starts at the symmetric delay estimate.
+  EXPECT_GE(hop.ms, 3.0);
+  ASSERT_EQ(hop.children.size(), 1u);
+  const TraceSpan& grafted = hop.children[0];
+  EXPECT_EQ(grafted.name, "backend");
+  EXPECT_EQ(grafted.ms, 3.0);
+  EXPECT_NEAR(grafted.start_ms, (hop.ms - grafted.ms) / 2.0, 1e-9);
+  // The remote subtree's internal offsets are untouched.
+  ASSERT_EQ(grafted.children.size(), 1u);
+  EXPECT_EQ(grafted.children[0].start_ms, 1.0);
+  EXPECT_EQ(grafted.children[0].ms, 2.0);
+}
+
+TEST(WellNestedCheck, RejectsEscapingChildren) {
+  TraceSpan parent;
+  parent.name = "p";
+  parent.ms = 2.0;
+  TraceSpan child;
+  child.name = "c";
+  child.start_ms = 1.5;
+  child.ms = 1.0;  // Ends at 2.5 > 2.0.
+  parent.children.push_back(child);
+  EXPECT_FALSE(WellNested(parent));
+
+  parent.children[0].start_ms = -0.5;
+  parent.children[0].ms = 1.0;
+  EXPECT_FALSE(WellNested(parent));
+
+  parent.children[0].start_ms = 0.5;
+  EXPECT_TRUE(WellNested(parent));
+}
+
+TEST(TraceCodec, RoundTripsTheSpanTreeLosslessly) {
+  RequestTrace trace;
+  trace.context = TraceContext::Derive("request bytes");
+  trace.root.name = "router";
+  trace.root.ms = 12.5;
+  TraceSpan hop;
+  hop.name = "hop";
+  hop.start_ms = 0.5;
+  hop.ms = 11.0;
+  hop.attrs = {{"backend", "127.0.0.1:9"}, {"attempt", "0"}};
+  TraceSpan engine;
+  engine.name = "engine";
+  engine.start_ms = 2.0;
+  engine.ms = 8.0;
+  hop.children.push_back(engine);
+  trace.root.children.push_back(std::move(hop));
+
+  const Json encoded = net::EncodeTrace(trace);
+  const std::optional<RequestTrace> decoded = net::DecodeTrace(encoded);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->context.TraceIdHex(), trace.context.TraceIdHex());
+  EXPECT_EQ(decoded->root.name, "router");
+  EXPECT_EQ(decoded->root.ms, 12.5);
+  ASSERT_EQ(decoded->root.children.size(), 1u);
+  const TraceSpan& decoded_hop = decoded->root.children[0];
+  EXPECT_EQ(decoded_hop.start_ms, 0.5);
+  ASSERT_EQ(decoded_hop.attrs.size(), 2u);
+  EXPECT_EQ(decoded_hop.attrs[0],
+            (std::pair<std::string, std::string>{"backend", "127.0.0.1:9"}));
+  EXPECT_EQ(decoded_hop.attrs[1],
+            (std::pair<std::string, std::string>{"attempt", "0"}));
+  ASSERT_EQ(decoded_hop.children.size(), 1u);
+  EXPECT_EQ(decoded_hop.children[0].name, "engine");
+
+  // Re-encoding the decode is byte-identical: ONE serialized form.
+  EXPECT_EQ(net::EncodeTrace(*decoded).Dump(), encoded.Dump());
+}
+
+TEST(TraceCodec, ToleratesUnknownMembersRejectsMalformedTrees) {
+  // Unknown span members are ignored (response-tolerant decode).
+  const Json spare = *Json::Parse(
+      R"({"name":"engine","start_ms":0,"ms":1.5,"flavor":"new"})");
+  TraceSpan span;
+  ASSERT_TRUE(net::DecodeTraceSpan(spare, &span));
+  EXPECT_EQ(span.name, "engine");
+  EXPECT_EQ(span.ms, 1.5);
+
+  // Missing required members, wrong types, bad ids: all rejected.
+  for (const char* bad : {
+           R"({"start_ms":0,"ms":1})",                      // No name.
+           R"({"name":"x","start_ms":"0","ms":1})",         // Type.
+           R"({"name":"x","start_ms":0,"ms":1,"attrs":3})",  // Attrs type.
+           R"({"name":"x","start_ms":0,"ms":1,)"
+           R"("children":[{"ms":1}]})",                     // Bad child.
+       }) {
+    SCOPED_TRACE(bad);
+    EXPECT_FALSE(net::DecodeTraceSpan(*Json::Parse(bad), &span));
+  }
+  EXPECT_FALSE(
+      net::DecodeTrace(*Json::Parse(R"({"trace_id":"xyz","root":)"
+                                    R"({"name":"r","start_ms":0,"ms":1}})"))
+          .has_value());
+  EXPECT_FALSE(net::DecodeTrace(*Json::Parse("[]")).has_value());
+}
+
+TEST(TraceCodec, PatchesEncodedBodiesInPlace) {
+  RequestTrace trace;
+  trace.context = TraceContext::Derive("r");
+  trace.root.name = "backend";
+  trace.root.ms = 1.0;
+
+  // SetTraceBlock replaces an existing block and preserves member order.
+  Json response = *Json::Parse(
+      R"({"mode":"all-values","trace":{"old":true},"status":200})");
+  net::SetTraceBlock(&response, trace);
+  const std::optional<RequestTrace> round =
+      net::DecodeTrace(*response.Find("trace"));
+  ASSERT_TRUE(round.has_value());
+  EXPECT_EQ(round->root.name, "backend");
+  EXPECT_EQ(response.Dump().find(R"({"mode":"all-values","trace":)"), 0u);
+  EXPECT_NE(response.Dump().find(R"("status":200})"), std::string::npos);
+
+  // SetRequestTraceContext rewrites "trace": true to the object form the
+  // router stamps — and adds the member when absent.
+  TraceContext context = TraceContext::Derive("r");
+  context.parent_span = 0xabcULL;
+  for (const char* body :
+       {R"js({"query":"R(?x)","trace":true})js", R"js({"query":"R(?x)"})js"}) {
+    SCOPED_TRACE(body);
+    Json request = *Json::Parse(body);
+    net::SetRequestTraceContext(&request, context);
+    const Json* block = request.Find("trace");
+    ASSERT_NE(block, nullptr);
+    ASSERT_NE(block->Find("trace_id"), nullptr);
+    EXPECT_EQ(*block->Find("trace_id")->IfString(), context.TraceIdHex());
+    EXPECT_EQ(*block->Find("parent_span")->IfString(),
+              "0000000000000abc");
+  }
+}
+
+}  // namespace
+}  // namespace shapley::obs
