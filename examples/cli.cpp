@@ -11,6 +11,7 @@
 //   example_cli max       '<ucq>' '<db>' [--threads N] [--engine E] [--json]
 //   example_cli topk      '<ucq>' '<db>' [K] [--threads N] [--engine E]
 //   example_cli serve     [--host H] [--port P] [--threads N]
+//                         [--max-connections C]
 //   example_cli route     --backends H1:P1,H2:P2,... [--host H] [--port P]
 //   example_cli call HOST:PORT values|max|topk|classify '<ucq>' '<db>' [K]
 //   example_cli stats HOST:PORT
@@ -92,7 +93,8 @@ int Usage() {
       << "       example_cli eval|count '<query>' '<database>'\n"
       << "       example_cli values|max '<query>' '<database>'\n"
       << "       example_cli topk '<query>' '<database>' [K]\n"
-      << "       example_cli serve [--host H] [--port P] [--threads N]\n"
+      << "       example_cli serve [--host H] [--port P] [--threads N] "
+         "[--max-connections C]\n"
       << "       example_cli route --backends H1:P1,H2:P2,... "
          "[--host H] [--port P]\n"
       << "       example_cli call HOST:PORT values|max|topk|classify "
@@ -236,13 +238,15 @@ int PrintResponse(const shapley::SvcResponse& response,
 std::sig_atomic_t volatile g_stop_requested = 0;
 void HandleStopSignal(int) { g_stop_requested = 1; }
 
-int RunServe(const std::string& host, uint16_t port, size_t threads) {
+int RunServe(const std::string& host, uint16_t port, size_t threads,
+             size_t max_connections) {
   shapley::ServiceOptions options;
   options.threads = threads;
   shapley::ShapleyService service(options);
   shapley::net::ServerOptions server_options;
   server_options.host = host;
   server_options.port = port;
+  if (max_connections > 0) server_options.max_connections = max_connections;
   shapley::net::HttpServer server(&service, server_options);
   server.Start();
   // The parseable line scripts (and scripts/check.sh) wait for.
@@ -309,6 +313,7 @@ int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   std::string backends_csv;
   long port = 0;
+  size_t max_connections = 0;  // 0 = server default.
   bool allow_approx = false;
   bool as_json = false;
   bool with_trace = false;
@@ -332,6 +337,11 @@ int main(int argc, char** argv) {
         std::cerr << "error: --port must be in [0, 65535]\n";
         return Usage();
       }
+    } else if (arg == "--max-connections" && i + 1 < argc) {
+      const long requested = std::atol(argv[++i]);
+      // 0 keeps the server default; the event loop makes large values
+      // cheap (one fd per connection, not one thread).
+      max_connections = requested < 0 ? 0 : static_cast<size_t>(requested);
     } else if (arg == "--approx") {
       allow_approx = true;
     } else if (arg == "--trace") {
@@ -362,7 +372,8 @@ int main(int argc, char** argv) {
 
   try {
     if (command == "serve") {
-      return RunServe(host, static_cast<uint16_t>(port), threads);
+      return RunServe(host, static_cast<uint16_t>(port), threads,
+                      max_connections);
     }
     if (command == "route") {
       return RunRoute(host, static_cast<uint16_t>(port), backends_csv);

@@ -30,6 +30,7 @@ echo "== net tests (guard: codec round-trips + e2e socket) =="
 "$build_dir/net_codec_test" --gtest_brief=1
 "$build_dir/net_server_test" --gtest_brief=1
 "$build_dir/net_client_backoff_test" --gtest_brief=1
+"$build_dir/net_http_parse_test" --gtest_brief=1
 
 echo "== cluster tests (guard: shard map units + router e2e over real TCP) =="
 # The router e2e spins a ShardRouter plus three in-process backends on
@@ -105,11 +106,58 @@ for series in \
     'shapley_service_stats_conservation_error 0' \
     'shapley_server_requests_served_total{role="backend"}' \
     'shapley_phase_duration_ms_bucket{phase="engine"' \
+    'shapley_server_eventloop_wakeups_total{role="backend"}' \
+    'shapley_server_eventloop_dispatches_total{role="backend"}' \
+    'shapley_server_eventloop_using_epoll{role="backend"}' \
     'shapley_cache_hits_total{table="counts"}'; do
   grep -qF "$series" "$scrape_out" \
       || { echo "metrics smoke: missing series $series"; exit 1; }
 done
 "$build_dir/example_cli" stats "127.0.0.1:$port" > /dev/null
+
+echo "== high-concurrency smoke (512 simultaneous keep-alive connections) =="
+# One single-threaded client holds 512 keep-alive connections open AT ONCE
+# against the same live serve process (event loop: one fd each, not one OS
+# thread each) and runs two request rounds over every one of them — round
+# two proves the connections were reused, not re-accepted.
+python3 - "$port" <<'PYEOF'
+import socket, sys
+port = int(sys.argv[1])
+N = 512
+probe = b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n"
+conns = [socket.create_connection(("127.0.0.1", port), timeout=10)
+         for _ in range(N)]
+def read_response(s):
+    data = b""
+    while b"\r\n\r\n" not in data:
+        chunk = s.recv(4096)
+        assert chunk, "connection closed mid-head"
+        data += chunk
+    head, rest = data.split(b"\r\n\r\n", 1)
+    lines = head.split(b"\r\n")
+    status = int(lines[0].split()[1])
+    length = 0
+    for line in lines[1:]:
+        name, _, value = line.partition(b":")
+        if name.strip().lower() == b"content-length":
+            length = int(value.strip())
+    while len(rest) < length:
+        chunk = s.recv(4096)
+        assert chunk, "connection closed mid-body"
+        rest += chunk
+    assert len(rest) == length, "unexpected trailing bytes"
+    return status
+for rnd in range(2):
+    for s in conns:
+        s.sendall(probe)
+    for i, s in enumerate(conns):
+        st = read_response(s)
+        assert st == 200, f"conn {i} round {rnd}: status {st}"
+for s in conns:
+    s.close()
+print(f"high-concurrency smoke: {N} keep-alive connections x 2 rounds, all 200")
+PYEOF
+
 kill -TERM "$serve_pid"
 wait "$serve_pid" || { echo "serve smoke: server did not drain cleanly"; exit 1; }
 trap - EXIT
@@ -145,6 +193,12 @@ echo "== bench (record/replay, appending to BENCH_obs.json) =="
 python3 -c 'import json,sys; print(json.dumps(json.load(open(sys.argv[1]))))' \
     "$build_dir/bench_replay.json" \
     >> "$repo_root/BENCH_obs.json"
+# The replay now runs against the event-loop server, so its bit-identical
+# zero-drop verdict doubles as a network-front regression line: mirror it
+# into BENCH_net.json alongside the throughput bench.
+python3 -c 'import json,sys; print(json.dumps(json.load(open(sys.argv[1]))))' \
+    "$build_dir/bench_replay.json" \
+    >> "$repo_root/BENCH_net.json"
 
 echo "== bench (trace overhead guard, appending to BENCH_obs.json) =="
 # Untraced hot-path requests interleaved with traced ones: the bench exits

@@ -57,51 +57,51 @@ class RouterHandler : public net::HttpHandler {
  public:
   explicit RouterHandler(ShardRouter* router) : router_(router) {}
 
-  bool Handle(net::Socket* socket, const net::HttpRequest& request,
+  bool Handle(net::ResponseWriter* writer, const net::HttpRequest& request,
               bool keep_alive, const net::ServerCounters& counters) override {
     if (request.target == "/v1/compute") {
       if (request.method != "POST") {
-        return MethodNotAllowed(socket, "use POST on /v1/compute",
+        return MethodNotAllowed(writer, "use POST on /v1/compute",
                                 keep_alive);
       }
-      return HandleCompute(socket, request, keep_alive);
+      return HandleCompute(writer, request, keep_alive);
     }
     if (request.target == "/v1/batch") {
       if (request.method != "POST") {
-        return MethodNotAllowed(socket, "use POST on /v1/batch", keep_alive);
+        return MethodNotAllowed(writer, "use POST on /v1/batch", keep_alive);
       }
-      return HandleBatch(socket, request, keep_alive);
+      return HandleBatch(writer, request, keep_alive);
     }
     if (request.target == "/v1/engines") {
       if (request.method != "GET") {
-        return MethodNotAllowed(socket, "use GET on /v1/engines", keep_alive);
+        return MethodNotAllowed(writer, "use GET on /v1/engines", keep_alive);
       }
-      return HandleProxyGet(socket, "/v1/engines", keep_alive);
+      return HandleProxyGet(writer, "/v1/engines", keep_alive);
     }
     if (request.target == "/v1/stats") {
       if (request.method != "GET") {
-        return MethodNotAllowed(socket, "use GET on /v1/stats", keep_alive);
+        return MethodNotAllowed(writer, "use GET on /v1/stats", keep_alive);
       }
-      return HandleStats(socket, keep_alive, counters);
+      return HandleStats(writer, keep_alive, counters);
     }
     if (request.target == "/v1/cluster") {
       if (request.method != "GET") {
-        return MethodNotAllowed(socket, "use GET on /v1/cluster", keep_alive);
+        return MethodNotAllowed(writer, "use GET on /v1/cluster", keep_alive);
       }
-      return HandleCluster(socket, keep_alive, counters);
+      return HandleCluster(writer, keep_alive, counters);
     }
     return net::WriteJsonResponse(
-        socket, 404,
+        writer, 404,
         net::FrontEndErrorBody(SvcErrorCode::kInvalidRequest,
                                "unknown endpoint " + request.target),
         keep_alive);
   }
 
  private:
-  bool MethodNotAllowed(net::Socket* socket, const std::string& message,
+  bool MethodNotAllowed(net::ResponseWriter* writer, const std::string& message,
                         bool keep_alive) {
     return net::WriteJsonResponse(
-        socket, 405,
+        writer, 405,
         net::FrontEndErrorBody(SvcErrorCode::kInvalidRequest, message),
         keep_alive);
   }
@@ -135,14 +135,14 @@ class RouterHandler : public net::HttpHandler {
         ->Observe(ms);
   }
 
-  bool HandleCompute(net::Socket* socket, const net::HttpRequest& request,
+  bool HandleCompute(net::ResponseWriter* writer, const net::HttpRequest& request,
                      bool keep_alive) {
     const obs::SpanTimer wall_timer;
     std::string parse_error;
     std::optional<Json> json = Json::Parse(request.body, &parse_error);
     if (!json.has_value()) {
       return net::WriteJsonResponse(
-          socket, 400,
+          writer, 400,
           net::FrontEndErrorBody(SvcErrorCode::kInvalidRequest,
                                  "bad JSON: " + parse_error),
           keep_alive);
@@ -155,7 +155,7 @@ class RouterHandler : public net::HttpHandler {
       response.error = std::move(error);
       auto schema = Schema::Create();
       return net::WriteJsonResponse(
-          socket, net::HttpStatusFor(response.error->code),
+          writer, net::HttpStatusFor(response.error->code),
           net::EncodeResponse(response, *schema).Dump(), keep_alive);
     }
 
@@ -231,7 +231,7 @@ class RouterHandler : public net::HttpHandler {
           }
         }
         ObserveLatency("compute", wall_timer.ElapsedMs());
-        return net::WriteJsonResponse(socket, status, with_trace(body),
+        return net::WriteJsonResponse(writer, status, with_trace(body),
                                       keep_alive);
       } catch (const std::runtime_error& e) {
         // Transport failure (the client threw, so it is mid-protocol and
@@ -246,21 +246,21 @@ class RouterHandler : public net::HttpHandler {
     }
     router_->requests_unserved_.fetch_add(1);
     return net::WriteJsonResponse(
-        socket, 503,
+        writer, 503,
         with_trace(net::FrontEndErrorBody(
             SvcErrorCode::kUpstreamUnavailable,
             "no healthy backend for this shard")),
         keep_alive);
   }
 
-  bool HandleBatch(net::Socket* socket, const net::HttpRequest& request,
+  bool HandleBatch(net::ResponseWriter* writer, const net::HttpRequest& request,
                    bool keep_alive) {
     const obs::SpanTimer wall_timer;
     std::string parse_error;
     std::optional<Json> json = Json::Parse(request.body, &parse_error);
     if (!json.has_value()) {
       return net::WriteJsonResponse(
-          socket, 400,
+          writer, 400,
           net::FrontEndErrorBody(SvcErrorCode::kInvalidRequest,
                                  "bad JSON: " + parse_error),
           keep_alive);
@@ -270,7 +270,7 @@ class RouterHandler : public net::HttpHandler {
         requests != nullptr ? requests->IfArray() : nullptr;
     if (items == nullptr) {
       return net::WriteJsonResponse(
-          socket, 400,
+          writer, 400,
           net::FrontEndErrorBody(SvcErrorCode::kInvalidRequest,
                                  "batch: expected {\"requests\": [...]}"),
           keep_alive);
@@ -325,7 +325,7 @@ class RouterHandler : public net::HttpHandler {
 
     // Gather side: one writer lock serializes completion-order lines from
     // every shard stream into the single client-facing chunk stream.
-    if (!socket->SendAll(net::SerializeResponseHead(
+    if (!writer->SendAll(net::SerializeResponseHead(
             200, "application/x-ndjson", /*content_length=*/-1,
             keep_alive))) {
       return false;
@@ -335,7 +335,7 @@ class RouterHandler : public net::HttpHandler {
     auto write_line = [&](const std::string& line) {
       std::lock_guard<std::mutex> lock(write_mutex);
       if (!write_ok) return;
-      write_ok = socket->SendAll(net::ChunkFrame(line + "\n"));
+      write_ok = writer->SendAll(net::ChunkFrame(line + "\n"));
     };
     // A traced unserved item still carries its (router-only) span tree —
     // the hops it burned are exactly what an operator wants to see on a
@@ -482,13 +482,13 @@ class RouterHandler : public net::HttpHandler {
       std::lock_guard<std::mutex> lock(write_mutex);
       if (!write_ok) return false;
       ObserveLatency("batch", wall_timer.ElapsedMs());
-      return socket->SendAll(net::ChunkFrame(""));  // Terminal chunk.
+      return writer->SendAll(net::ChunkFrame(""));  // Terminal chunk.
     }
   }
 
   /// Forwards a GET verbatim from the first healthy backend that answers
   /// (/v1/engines: a homogeneous fleet has one registry).
-  bool HandleProxyGet(net::Socket* socket, const std::string& target,
+  bool HandleProxyGet(net::ResponseWriter* writer, const std::string& target,
                       bool keep_alive) {
     for (size_t i = 0; i < router_->backends_.size(); ++i) {
       BackendChannel* channel = router_->backends_[i].get();
@@ -498,13 +498,13 @@ class RouterHandler : public net::HttpHandler {
         int status = 0;
         const std::string body = client->RawGet(target, &status);
         channel->Release(std::move(client));
-        return net::WriteJsonResponse(socket, status, body, keep_alive);
+        return net::WriteJsonResponse(writer, status, body, keep_alive);
       } catch (const std::runtime_error&) {
         channel->set_healthy(false);
       }
     }
     return net::WriteJsonResponse(
-        socket, 503,
+        writer, 503,
         net::FrontEndErrorBody(SvcErrorCode::kUpstreamUnavailable,
                                "no healthy backend"),
         keep_alive);
@@ -514,7 +514,7 @@ class RouterHandler : public net::HttpHandler {
   /// reachable backend's "service" counters summed field by field (field
   /// set taken from the responses, so fields this router build does not
   /// know about still aggregate), plus the router's own "server" block.
-  bool HandleStats(net::Socket* socket, bool keep_alive,
+  bool HandleStats(net::ResponseWriter* writer, bool keep_alive,
                    const net::ServerCounters& counters) {
     std::vector<std::pair<std::string, uint64_t>> sums;
     for (size_t i = 0; i < router_->backends_.size(); ++i) {
@@ -564,10 +564,10 @@ class RouterHandler : public net::HttpHandler {
     // "service" block keeps its dynamic field walk on purpose: it must
     // aggregate fields newer backends add that this build predates.
     body.Set("server", obs::ServerCountersJson(counters));
-    return net::WriteJsonResponse(socket, 200, body.Dump(), keep_alive);
+    return net::WriteJsonResponse(writer, 200, body.Dump(), keep_alive);
   }
 
-  bool HandleCluster(net::Socket* socket, bool keep_alive,
+  bool HandleCluster(net::ResponseWriter* writer, bool keep_alive,
                      const net::ServerCounters& counters) {
     Json shards = Json::Arr();
     for (size_t i = 0; i < router_->backends_.size(); ++i) {
@@ -597,7 +597,7 @@ class RouterHandler : public net::HttpHandler {
     server.Set("requests_served",
                Json::Number(uint64_t{counters.requests_served}));
     body.Set("server", std::move(server));
-    return net::WriteJsonResponse(socket, 200, body.Dump(), keep_alive);
+    return net::WriteJsonResponse(writer, 200, body.Dump(), keep_alive);
   }
 
   ShardRouter* router_;

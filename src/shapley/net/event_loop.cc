@@ -1,0 +1,777 @@
+#include "shapley/net/event_loop.h"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#if defined(__linux__)
+#include <sys/epoll.h>
+#endif
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace shapley::net {
+
+namespace internal {
+
+namespace {
+
+void SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+#if defined(__linux__)
+
+class EpollPoller : public Poller {
+ public:
+  EpollPoller() : epfd_(::epoll_create1(0)) {}
+  ~EpollPoller() override {
+    if (epfd_ >= 0) ::close(epfd_);
+  }
+
+  bool valid() const { return epfd_ >= 0; }
+
+  void Add(int fd, uint64_t tag, bool read, bool write) override {
+    epoll_event ev = Event_(tag, read, write);
+    ::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev);
+  }
+
+  void Update(int fd, uint64_t tag, bool read, bool write) override {
+    epoll_event ev = Event_(tag, read, write);
+    ::epoll_ctl(epfd_, EPOLL_CTL_MOD, fd, &ev);
+  }
+
+  void Remove(int fd) override {
+    ::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr);
+  }
+
+  bool Wait(int timeout_ms, std::vector<Event>* out) override {
+    out->clear();
+    epoll_event events[64];
+    int n;
+    do {
+      n = ::epoll_wait(epfd_, events, 64, timeout_ms);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) return false;
+    for (int i = 0; i < n; ++i) {
+      Event event;
+      event.tag = events[i].data.u64;
+      event.readable = (events[i].events & EPOLLIN) != 0;
+      event.writable = (events[i].events & EPOLLOUT) != 0;
+      event.hangup =
+          (events[i].events & (EPOLLHUP | EPOLLRDHUP | EPOLLERR)) != 0;
+      out->push_back(event);
+    }
+    return true;
+  }
+
+  bool using_epoll() const override { return true; }
+
+ private:
+  static epoll_event Event_(uint64_t tag, bool read, bool write) {
+    epoll_event ev{};
+    ev.events = (read ? EPOLLIN : 0u) | (write ? EPOLLOUT : 0u) | EPOLLRDHUP;
+    ev.data.u64 = tag;
+    return ev;
+  }
+
+  int epfd_;
+};
+
+#endif  // defined(__linux__)
+
+/// Portable poll(2) backend: a flat pollfd array with swap-erase removal.
+/// O(n) per wait is perfectly fine at the connection counts a single
+/// process serves; the point is identical SEMANTICS to the epoll backend.
+class PollPoller : public Poller {
+ public:
+  void Add(int fd, uint64_t tag, bool read, bool write) override {
+    index_[fd] = fds_.size();
+    fds_.push_back(pollfd{fd, Events_(read, write), 0});
+    tags_.push_back(tag);
+  }
+
+  void Update(int fd, uint64_t tag, bool read, bool write) override {
+    auto it = index_.find(fd);
+    if (it == index_.end()) return;
+    fds_[it->second].events = Events_(read, write);
+    tags_[it->second] = tag;
+  }
+
+  void Remove(int fd) override {
+    auto it = index_.find(fd);
+    if (it == index_.end()) return;
+    const size_t i = it->second;
+    const size_t last = fds_.size() - 1;
+    if (i != last) {
+      fds_[i] = fds_[last];
+      tags_[i] = tags_[last];
+      index_[fds_[i].fd] = i;
+    }
+    fds_.pop_back();
+    tags_.pop_back();
+    index_.erase(it);
+  }
+
+  bool Wait(int timeout_ms, std::vector<Event>* out) override {
+    out->clear();
+    int n;
+    do {
+      n = ::poll(fds_.data(), fds_.size(), timeout_ms);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) return false;
+    for (size_t i = 0; i < fds_.size() && n > 0; ++i) {
+      if (fds_[i].revents == 0) continue;
+      --n;
+      Event event;
+      event.tag = tags_[i];
+      event.readable = (fds_[i].revents & POLLIN) != 0;
+      event.writable = (fds_[i].revents & POLLOUT) != 0;
+      event.hangup =
+          (fds_[i].revents & (POLLHUP | POLLERR | POLLNVAL)) != 0;
+      out->push_back(event);
+    }
+    return true;
+  }
+
+  bool using_epoll() const override { return false; }
+
+ private:
+  static short Events_(bool read, bool write) {
+    return static_cast<short>((read ? POLLIN : 0) | (write ? POLLOUT : 0));
+  }
+
+  std::vector<pollfd> fds_;
+  std::vector<uint64_t> tags_;
+  std::unordered_map<int, size_t> index_;
+};
+
+}  // namespace
+
+std::unique_ptr<Poller> MakePoller(bool force_poll) {
+#if defined(__linux__)
+  if (!force_poll) {
+    auto epoll = std::make_unique<EpollPoller>();
+    if (epoll->valid()) return epoll;
+  }
+#else
+  (void)force_poll;
+#endif
+  return std::make_unique<PollPoller>();
+}
+
+}  // namespace internal
+
+namespace {
+
+constexpr uint64_t kListenerTag = 1;
+constexpr uint64_t kWakeTag = 2;
+constexpr int kWaitMs = 200;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ConnWriter — the worker-side response path.
+// ---------------------------------------------------------------------------
+
+bool ConnWriter::SendAll(std::string_view data) {
+  internal::ConnShared& shared = *shared_;
+  std::unique_lock<std::mutex> lock(shared.mutex);
+  size_t off = 0;
+  while (off < data.size()) {
+    if (shared.closed) return false;
+    if (shared.pending.size() == shared.pending_off) {
+      // Queue empty: write straight to the socket while the peer keeps up
+      // — the common case costs no loop round-trip at all.
+      const ssize_t n = ::send(shared.fd, data.data() + off,
+                               data.size() - off, MSG_NOSIGNAL);
+      if (n > 0) {
+        off += static_cast<size_t>(n);
+        shared.last_write_progress = std::chrono::steady_clock::now();
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK) {
+        // Peer gone: the loop reaps the connection when the request
+        // completes; this response is abandoned.
+        shared.closed = true;
+        return false;
+      }
+      shared.loop->deferred_writes_.fetch_add(1, std::memory_order_relaxed);
+    }
+    const size_t queued = shared.pending.size() - shared.pending_off;
+    if (queued >= shared.cap) {
+      // BOUNDED output queue: the producer blocks until the loop drains
+      // below the cap (or the slow reader is disconnected) — a stalled
+      // peer can pin at most `cap` bytes of this process, never the whole
+      // response stream.
+      shared.drained.wait(lock);
+      continue;
+    }
+    const size_t take = std::min(shared.cap - queued, data.size() - off);
+    if (queued == 0) {
+      shared.last_write_progress = std::chrono::steady_clock::now();
+    }
+    shared.pending.append(data.data() + off, take);
+    off += take;
+    shared.loop->output_queue_bytes_.fetch_add(take,
+                                               std::memory_order_relaxed);
+    shared.loop->RequestFlush(shared.id);
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// EventLoop
+// ---------------------------------------------------------------------------
+
+EventLoop::EventLoop(EventLoopOptions options, RequestFn on_request)
+    : options_(std::move(options)), on_request_(std::move(on_request)) {}
+
+EventLoop::~EventLoop() { Stop(); }
+
+void EventLoop::Start(Socket listener) {
+  listener_ = std::move(listener);
+  internal::SetNonBlocking(listener_.fd());
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    listener_.Close();
+    return;
+  }
+  wake_read_fd_ = pipe_fds[0];
+  wake_write_fd_ = pipe_fds[1];
+  internal::SetNonBlocking(wake_read_fd_);
+  internal::SetNonBlocking(wake_write_fd_);
+  poller_ = internal::MakePoller(options_.force_poll);
+  poller_->Add(listener_.fd(), kListenerTag, /*read=*/true, /*write=*/false);
+  poller_->Add(wake_read_fd_, kWakeTag, /*read=*/true, /*write=*/false);
+  running_.store(true);
+  stopping_.store(false);
+  aborting_.store(false);
+  thread_ = std::thread([this] { Run(); });
+}
+
+void EventLoop::Stop() {
+  if (!running_.exchange(false)) return;
+  stopping_.store(true);
+  Wake();
+  if (thread_.joinable()) thread_.join();
+  if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
+  if (wake_write_fd_ >= 0) ::close(wake_write_fd_);
+  wake_read_fd_ = wake_write_fd_ = -1;
+}
+
+void EventLoop::Abort() {
+  aborting_.store(true);
+  Stop();
+}
+
+void EventLoop::Wake() {
+  if (wake_write_fd_ < 0) return;
+  const char byte = 1;
+  // EAGAIN means a wake-up is already pending — exactly what we need.
+  [[maybe_unused]] const ssize_t n = ::write(wake_write_fd_, &byte, 1);
+}
+
+void EventLoop::RequestFlush(uint64_t conn_id) {
+  {
+    std::lock_guard<std::mutex> lock(commands_mutex_);
+    commands_.push_back(
+        Command{Command::Kind::kFlush, conn_id, /*keep_open=*/true});
+  }
+  Wake();
+}
+
+void EventLoop::CompleteDispatch(uint64_t conn_id, bool keep_open) {
+  {
+    std::lock_guard<std::mutex> lock(commands_mutex_);
+    commands_.push_back(
+        Command{Command::Kind::kComplete, conn_id, keep_open});
+  }
+  Wake();
+}
+
+EventLoopStats EventLoop::stats() const {
+  EventLoopStats stats;
+  stats.wakeups = wakeups_.load(std::memory_order_relaxed);
+  stats.events = events_.load(std::memory_order_relaxed);
+  stats.accepted = accepted_.load(std::memory_order_relaxed);
+  stats.rejected = rejected_.load(std::memory_order_relaxed);
+  stats.requests = requests_.load(std::memory_order_relaxed);
+  stats.pipelined = pipelined_.load(std::memory_order_relaxed);
+  stats.dispatches = dispatches_.load(std::memory_order_relaxed);
+  stats.deferred_writes = deferred_writes_.load(std::memory_order_relaxed);
+  stats.slow_reader_disconnects =
+      slow_reader_disconnects_.load(std::memory_order_relaxed);
+  stats.read_timeouts = read_timeouts_.load(std::memory_order_relaxed);
+  stats.connections_live = connections_live_.load(std::memory_order_relaxed);
+  stats.dispatch_inflight =
+      dispatch_inflight_stat_.load(std::memory_order_relaxed);
+  stats.output_queue_bytes =
+      output_queue_bytes_.load(std::memory_order_relaxed);
+  stats.using_epoll = poller_ != nullptr && poller_->using_epoll();
+  return stats;
+}
+
+void EventLoop::Run() {
+  std::vector<internal::Poller::Event> events;
+  bool stop_applied = false;
+  while (true) {
+    HandleCommands();
+    const bool stopping = stopping_.load();
+    if (stopping && !stop_applied) {
+      stop_applied = true;
+      // Close the door and cut every connection that is not serving a
+      // request: idle keep-alive waits end NOW, not at their read timeout.
+      poller_->Remove(listener_.fd());
+      listener_.Close();
+      const bool aborting = aborting_.load();
+      std::vector<uint64_t> cut;
+      for (auto& [id, conn] : conns_) {
+        if (aborting) {
+          // Crash simulation: fail the write side too, so a response being
+          // streamed dies mid-flight from the client's point of view.
+          std::lock_guard<std::mutex> lock(conn->shared->mutex);
+          conn->shared->closed = true;
+          if (conn->shared->fd >= 0) {
+            ::shutdown(conn->shared->fd, SHUT_RDWR);
+          }
+          conn->shared->drained.notify_all();
+        }
+        if (conn->state == ConnState::kReading || aborting) {
+          cut.push_back(id);
+        }
+      }
+      for (uint64_t id : cut) {
+        auto it = conns_.find(id);
+        // Dispatched connections keep their entry until the worker
+        // completes (the bookkeeping must survive), even under abort.
+        if (it != conns_.end() &&
+            it->second->state != ConnState::kDispatched) {
+          CloseConn(id);
+        }
+      }
+    }
+    if (stop_applied && ShouldExit()) break;
+
+    if (!poller_->Wait(kWaitMs, &events)) break;
+    wakeups_.fetch_add(1, std::memory_order_relaxed);
+    for (const internal::Poller::Event& event : events) {
+      events_.fetch_add(1, std::memory_order_relaxed);
+      if (event.tag == kListenerTag) {
+        if (!stopping_.load()) AcceptReady();
+        continue;
+      }
+      if (event.tag == kWakeTag) {
+        char buf[256];
+        while (::read(wake_read_fd_, buf, sizeof(buf)) > 0) {
+        }
+        continue;
+      }
+      auto it = conns_.find(event.tag);
+      if (it == conns_.end()) continue;
+      Conn* conn = it->second.get();
+      if (event.writable) {
+        FlushWrites(conn);
+        if (conns_.find(event.tag) == conns_.end()) continue;
+      }
+      if (event.readable && conn->state == ConnState::kReading) {
+        ReadReady(conn);
+        if (conns_.find(event.tag) == conns_.end()) continue;
+      }
+      if (event.hangup && conn->state == ConnState::kReading) {
+        CloseConn(event.tag);
+      }
+    }
+    SweepTimeouts();
+  }
+  // Loop exit: whatever is left (abort leftovers) goes down hard.
+  std::vector<uint64_t> leftover;
+  leftover.reserve(conns_.size());
+  for (const auto& [id, conn] : conns_) leftover.push_back(id);
+  for (uint64_t id : leftover) CloseConn(id);
+  listener_.Close();
+}
+
+bool EventLoop::ShouldExit() {
+  if (aborting_.load()) return dispatch_inflight_ == 0;
+  // Graceful: every dispatched request completed AND every connection
+  // (including ones still draining their final response) is gone.
+  return dispatch_inflight_ == 0 && conns_.empty();
+}
+
+void EventLoop::HandleCommands() {
+  std::vector<Command> commands;
+  {
+    std::lock_guard<std::mutex> lock(commands_mutex_);
+    commands.swap(commands_);
+  }
+  for (const Command& command : commands) {
+    auto it = conns_.find(command.conn_id);
+    if (command.kind == Command::Kind::kComplete) {
+      if (dispatch_inflight_ > 0) --dispatch_inflight_;
+      dispatch_inflight_stat_.store(dispatch_inflight_,
+                                    std::memory_order_relaxed);
+      if (it == conns_.end()) continue;  // Closed under the worker.
+      Conn* conn = it->second.get();
+      bool peer_gone;
+      {
+        std::lock_guard<std::mutex> lock(conn->shared->mutex);
+        peer_gone = conn->shared->closed;
+      }
+      if (peer_gone) {
+        CloseConn(command.conn_id);
+        continue;
+      }
+      if (!command.keep_open || stopping_.load()) {
+        conn->state = ConnState::kDraining;
+        conn->close_after_drain = true;
+        FlushWrites(conn);
+        continue;
+      }
+      // Keep-alive re-arm: a pipelined follow-up may already be buffered —
+      // serve it without waiting for another byte off the wire.
+      conn->state = ConnState::kReading;
+      conn->last_read_activity = std::chrono::steady_clock::now();
+      DrainParsed(conn, /*from_completion=*/true);
+    } else {  // kFlush
+      if (it == conns_.end()) continue;
+      FlushWrites(it->second.get());
+    }
+  }
+}
+
+void EventLoop::AcceptReady() {
+  while (true) {
+    const int fd = ::accept(listener_.fd(), nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN (or a transient accept error): back to the poller.
+    }
+    Socket socket(fd);
+    internal::SetNonBlocking(fd);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (conns_.size() >= options_.max_connections) {
+      // Back-pressure at the door: a prebuilt 503, best effort — the
+      // loop never blocks for a peer that will not read it.
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      [[maybe_unused]] const ssize_t n =
+          ::send(fd, options_.response_503.data(),
+                 options_.response_503.size(), MSG_NOSIGNAL);
+      continue;  // Socket closes on scope exit.
+    }
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    const uint64_t id = next_conn_id_++;
+    auto conn = std::make_unique<Conn>(id, std::move(socket),
+                                       options_.max_body_bytes);
+    conn->shared = std::make_shared<internal::ConnShared>();
+    conn->shared->loop = this;
+    conn->shared->id = id;
+    conn->shared->fd = fd;
+    conn->shared->cap = options_.max_output_queue_bytes;
+    conn->shared->last_write_progress = std::chrono::steady_clock::now();
+    conn->last_read_activity = conn->shared->last_write_progress;
+    conn->want_read = true;
+    conn->want_write = false;
+    poller_->Add(fd, id, /*read=*/true, /*write=*/false);
+    conns_[id] = std::move(conn);
+    connections_live_.store(conns_.size(), std::memory_order_relaxed);
+  }
+}
+
+void EventLoop::UpdateInterest(Conn* conn, bool read, bool write) {
+  if (conn->want_read == read && conn->want_write == write) return;
+  conn->want_read = read;
+  conn->want_write = write;
+  poller_->Update(conn->socket.fd(), conn->id, read, write);
+}
+
+void EventLoop::ReadReady(Conn* conn) {
+  const uint64_t id = conn->id;
+  bool eof = false;
+  char buf[16 * 1024];
+  while (true) {
+    const ssize_t n = ::recv(conn->socket.fd(), buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn->inbuf.append(buf, static_cast<size_t>(n));
+      conn->last_read_activity = std::chrono::steady_clock::now();
+      continue;
+    }
+    if (n == 0) {
+      eof = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    CloseConn(id);  // Hard transport error.
+    return;
+  }
+  DrainParsed(conn, /*from_completion=*/false);
+  if (conns_.find(id) == conns_.end()) return;
+  if (eof && conn->state == ConnState::kReading) {
+    // Clean keep-alive close, or a client cut off mid-message — either
+    // way there is no request left to serve on this connection.
+    CloseConn(id);
+  }
+}
+
+void EventLoop::DrainParsed(Conn* conn, bool from_completion) {
+  const uint64_t id = conn->id;
+  size_t parsed_here = 0;
+  while (conn->state == ConnState::kReading) {
+    const std::string_view data(conn->inbuf.data() + conn->inpos,
+                                conn->inbuf.size() - conn->inpos);
+    size_t consumed = 0;
+    const HttpParseStatus status = conn->parser.Consume(data, &consumed);
+    conn->inpos += consumed;
+    if (conn->inpos > 64 * 1024) {
+      conn->inbuf.erase(0, conn->inpos);
+      conn->inpos = 0;
+    }
+    if (status == HttpParseStatus::kNeedMore) break;
+    if (status == HttpParseStatus::kMalformed ||
+        status == HttpParseStatus::kTooLarge) {
+      Respond(id, status == HttpParseStatus::kMalformed
+                      ? options_.response_400
+                      : options_.response_413);
+      if (conns_.find(id) == conns_.end()) return;  // Respond may close.
+      conn->state = ConnState::kDraining;
+      conn->close_after_drain = true;
+      break;
+    }
+    // One full request.
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    if (from_completion || parsed_here > 0) {
+      pipelined_.fetch_add(1, std::memory_order_relaxed);
+    }
+    ++parsed_here;
+    HttpRequest request = conn->parser.Take();
+    conn->parser.Reset();
+    auto writer = std::make_shared<ConnWriter>(conn->shared);
+    const Disposition disposition =
+        on_request_(id, std::move(request), std::move(writer));
+    if (conns_.find(id) == conns_.end()) return;  // Inline send may close.
+    if (disposition == Disposition::kDispatched) {
+      conn->state = ConnState::kDispatched;
+      ++dispatch_inflight_;
+      dispatch_inflight_stat_.store(dispatch_inflight_,
+                                    std::memory_order_relaxed);
+      dispatches_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    if (disposition == Disposition::kInlineClose) {
+      conn->state = ConnState::kDraining;
+      conn->close_after_drain = true;
+      break;
+    }
+    // kInlineKeep: loop — a pipelined follower may already be buffered.
+  }
+  // Re-arm the poller for whatever the connection now needs.
+  bool queued;
+  {
+    std::lock_guard<std::mutex> lock(conn->shared->mutex);
+    queued = conn->shared->pending.size() > conn->shared->pending_off;
+  }
+  switch (conn->state) {
+    case ConnState::kReading:
+      UpdateInterest(conn, /*read=*/true, /*write=*/queued);
+      break;
+    case ConnState::kDispatched:
+      UpdateInterest(conn, /*read=*/false, /*write=*/queued);
+      break;
+    case ConnState::kDraining:
+      UpdateInterest(conn, /*read=*/false, /*write=*/true);
+      FlushWrites(conn);  // May close (queue empty → immediate).
+      break;
+  }
+}
+
+void EventLoop::Respond(uint64_t conn_id, std::string_view data) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  Conn* conn = it->second.get();
+  bool overflow = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->shared->mutex);
+    internal::ConnShared& shared = *conn->shared;
+    if (shared.closed) return;
+    size_t off = 0;
+    if (shared.pending.size() == shared.pending_off) {
+      while (off < data.size()) {
+        const ssize_t n = ::send(shared.fd, data.data() + off,
+                                 data.size() - off, MSG_NOSIGNAL);
+        if (n > 0) {
+          off += static_cast<size_t>(n);
+          shared.last_write_progress = std::chrono::steady_clock::now();
+          continue;
+        }
+        if (n < 0 && errno == EINTR) continue;
+        break;  // EAGAIN → queue the rest; hard error → overflow below.
+      }
+    }
+    if (off < data.size()) {
+      const size_t queued = shared.pending.size() - shared.pending_off;
+      if (queued + (data.size() - off) > shared.cap) {
+        // The LOOP never blocks: a peer that cannot absorb even the
+        // bounded queue of transport responses is a slow reader.
+        overflow = true;
+      } else {
+        if (queued == 0) {
+          shared.last_write_progress = std::chrono::steady_clock::now();
+          deferred_writes_.fetch_add(1, std::memory_order_relaxed);
+        }
+        shared.pending.append(data.data() + off, data.size() - off);
+        output_queue_bytes_.fetch_add(data.size() - off,
+                                      std::memory_order_relaxed);
+      }
+    }
+  }
+  if (overflow) {
+    slow_reader_disconnects_.fetch_add(1, std::memory_order_relaxed);
+    CloseConn(conn_id);
+    return;
+  }
+  bool queued_now;
+  {
+    std::lock_guard<std::mutex> lock(conn->shared->mutex);
+    queued_now = conn->shared->pending.size() > conn->shared->pending_off;
+  }
+  if (queued_now) {
+    UpdateInterest(conn, conn->want_read, /*write=*/true);
+  }
+}
+
+void EventLoop::FlushWrites(Conn* conn) {
+  const uint64_t id = conn->id;
+  internal::ConnShared& shared = *conn->shared;
+  bool dead = false;
+  bool empty;
+  {
+    std::lock_guard<std::mutex> lock(shared.mutex);
+    if (shared.closed) {
+      dead = true;
+    } else {
+      while (shared.pending_off < shared.pending.size()) {
+        const ssize_t n =
+            ::send(shared.fd, shared.pending.data() + shared.pending_off,
+                   shared.pending.size() - shared.pending_off, MSG_NOSIGNAL);
+        if (n > 0) {
+          shared.pending_off += static_cast<size_t>(n);
+          output_queue_bytes_.fetch_sub(static_cast<size_t>(n),
+                                        std::memory_order_relaxed);
+          shared.last_write_progress = std::chrono::steady_clock::now();
+          continue;
+        }
+        if (n < 0 && errno == EINTR) continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+        dead = true;  // Peer gone mid-response.
+        break;
+      }
+      if (shared.pending_off == shared.pending.size()) {
+        shared.pending.clear();
+        shared.pending_off = 0;
+      } else if (shared.pending_off > 64 * 1024) {
+        shared.pending.erase(0, shared.pending_off);
+        shared.pending_off = 0;
+      }
+    }
+    empty = shared.pending.empty();
+    // A blocked producer resumes as soon as the queue has visible space.
+    shared.drained.notify_all();
+  }
+  if (dead) {
+    if (conn->state == ConnState::kDispatched) {
+      // The worker still owns the request; fail its writes and let the
+      // completion command reap the connection.
+      std::lock_guard<std::mutex> lock(shared.mutex);
+      shared.closed = true;
+      shared.drained.notify_all();
+    } else {
+      CloseConn(id);
+    }
+    return;
+  }
+  if (empty && conn->state == ConnState::kDraining &&
+      conn->close_after_drain) {
+    CloseConn(id);
+    return;
+  }
+  UpdateInterest(conn, conn->want_read, /*write=*/!empty);
+}
+
+void EventLoop::CloseConn(uint64_t conn_id) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  Conn* conn = it->second.get();
+  {
+    std::lock_guard<std::mutex> lock(conn->shared->mutex);
+    conn->shared->closed = true;
+    conn->shared->fd = -1;
+    const size_t queued =
+        conn->shared->pending.size() - conn->shared->pending_off;
+    if (queued > 0) {
+      output_queue_bytes_.fetch_sub(queued, std::memory_order_relaxed);
+    }
+    conn->shared->pending.clear();
+    conn->shared->pending_off = 0;
+    conn->shared->drained.notify_all();
+  }
+  if (conn->socket.valid()) poller_->Remove(conn->socket.fd());
+  conn->socket.Close();
+  conns_.erase(it);
+  connections_live_.store(conns_.size(), std::memory_order_relaxed);
+}
+
+void EventLoop::SweepTimeouts() {
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<uint64_t> idle;
+  std::vector<uint64_t> stalled;
+  for (const auto& [id, conn] : conns_) {
+    if (conn->state == ConnState::kReading &&
+        now - conn->last_read_activity >
+            std::chrono::milliseconds(options_.read_timeout_ms)) {
+      idle.push_back(id);
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(conn->shared->mutex);
+    const bool queued =
+        conn->shared->pending.size() > conn->shared->pending_off;
+    if (queued &&
+        now - conn->shared->last_write_progress >
+            std::chrono::milliseconds(options_.write_stall_timeout_ms)) {
+      stalled.push_back(id);
+    }
+  }
+  for (uint64_t id : idle) {
+    read_timeouts_.fetch_add(1, std::memory_order_relaxed);
+    CloseConn(id);
+  }
+  for (uint64_t id : stalled) {
+    // Slow-reader disconnect: the peer stopped draining its responses;
+    // cutting it releases the queue AND unblocks a producer stuck in
+    // ConnWriter::SendAll.
+    slow_reader_disconnects_.fetch_add(1, std::memory_order_relaxed);
+    auto it = conns_.find(id);
+    if (it == conns_.end()) continue;
+    if (it->second->state == ConnState::kDispatched) {
+      std::lock_guard<std::mutex> lock(it->second->shared->mutex);
+      it->second->shared->closed = true;
+      if (it->second->shared->fd >= 0) {
+        ::shutdown(it->second->shared->fd, SHUT_RDWR);
+      }
+      it->second->shared->drained.notify_all();
+    } else {
+      CloseConn(id);
+    }
+  }
+}
+
+}  // namespace shapley::net

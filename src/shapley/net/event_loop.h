@@ -1,0 +1,276 @@
+#ifndef SHAPLEY_NET_EVENT_LOOP_H_
+#define SHAPLEY_NET_EVENT_LOOP_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "shapley/net/http.h"
+
+namespace shapley::net {
+
+/// The readiness core of the network front: ONE loop thread multiplexing
+/// the listener and every connection fd through epoll (poll() fallback),
+/// instead of one OS thread per socket. Each connection runs a small state
+/// machine:
+///
+///   read-accumulate → parse (HttpRequestParser) → dispatch → write-drain
+///
+/// Reads are non-blocking and incremental; a fully-parsed request is handed
+/// to the server's callback ON THE LOOP THREAD, which either answers it
+/// inline (transport endpoints: /healthz, /metrics, 400/413/503) or
+/// dispatches it to a worker pool and later reports completion. While a
+/// request is being served the connection's read side is not watched —
+/// pipelined keep-alive bytes wait in the input buffer and are parsed the
+/// moment the response finishes (no unbounded buffering of an aggressive
+/// pipeliner).
+///
+/// Write-side backpressure: every connection owns a BOUNDED output queue.
+/// A worker writing a response appends through ConnWriter; when the peer
+/// reads slower than the handler produces, the queue fills and the worker
+/// BLOCKS until the loop drains it (bounded memory per connection), and a
+/// peer that stops reading altogether is disconnected after
+/// write_stall_timeout_ms (slow-reader disconnect) — the blocked worker
+/// then fails fast. The loop thread itself never blocks on a write.
+struct EventLoopOptions {
+  size_t max_connections = 1024;
+  int read_timeout_ms = 10'000;         ///< Idle/mid-message read cutoff.
+  int write_stall_timeout_ms = 10'000;  ///< No write progress → disconnect.
+  /// Per-connection output-queue cap: a producer past it blocks until the
+  /// loop drains; the loop (which must not block) disconnects instead.
+  size_t max_output_queue_bytes = 4 * 1024 * 1024;
+  size_t max_body_bytes = 8 * 1024 * 1024;
+  /// Use the portable poll() backend even where epoll is available (the
+  /// fallback must stay honest — tests run both).
+  bool force_poll = false;
+  /// Prebuilt full wire responses (head + body) the loop answers itself;
+  /// all three imply Connection: close.
+  std::string response_400;  ///< Malformed HTTP.
+  std::string response_413;  ///< Declared body beyond max_body_bytes.
+  std::string response_503;  ///< Accepted beyond max_connections.
+};
+
+/// Monotone counters + live gauges of the loop, mirrored into the
+/// shapley_server_eventloop_* metric families by the server.
+struct EventLoopStats {
+  uint64_t wakeups = 0;       ///< Poller returns (epoll_wait/poll calls).
+  uint64_t events = 0;        ///< Readiness events handled.
+  uint64_t accepted = 0;
+  uint64_t rejected = 0;      ///< 503 at the connection cap.
+  uint64_t requests = 0;      ///< Full requests parsed (incl. pipelined).
+  uint64_t pipelined = 0;     ///< Follow-up requests parsed from buffered
+                              ///< bytes with no intervening read event.
+  uint64_t dispatches = 0;    ///< Requests handed to the worker pool.
+  uint64_t deferred_writes = 0;  ///< Writes that hit EAGAIN and queued.
+  uint64_t slow_reader_disconnects = 0;
+  uint64_t read_timeouts = 0;
+  size_t connections_live = 0;
+  size_t dispatch_inflight = 0;      ///< Dispatched, not yet completed.
+  size_t output_queue_bytes = 0;     ///< Queued across all connections.
+  bool using_epoll = false;
+};
+
+class EventLoop;
+
+namespace internal {
+
+/// Write-side state of one connection, shared between the loop thread and
+/// whatever worker thread is serving the connection's current request.
+/// The loop owns the fd; workers only ever touch it under `mutex` and only
+/// while `closed` is false.
+struct ConnShared {
+  std::mutex mutex;
+  std::condition_variable drained;
+  EventLoop* loop = nullptr;
+  uint64_t id = 0;
+  int fd = -1;
+  bool closed = false;
+  std::string pending;   ///< Queued output; loop flushes on writability.
+  size_t pending_off = 0;
+  size_t cap = 0;
+  std::chrono::steady_clock::time_point last_write_progress;
+};
+
+/// Readiness-poller seam: epoll on Linux, poll() everywhere (and on Linux
+/// under force_poll, so the fallback is exercised by the test fleet).
+class Poller {
+ public:
+  struct Event {
+    uint64_t tag = 0;
+    bool readable = false;
+    bool writable = false;
+    bool hangup = false;
+  };
+
+  virtual ~Poller() = default;
+  virtual void Add(int fd, uint64_t tag, bool read, bool write) = 0;
+  virtual void Update(int fd, uint64_t tag, bool read, bool write) = 0;
+  virtual void Remove(int fd) = 0;
+  /// Fills *out; returns false only on unrecoverable poller failure.
+  virtual bool Wait(int timeout_ms, std::vector<Event>* out) = 0;
+  virtual bool using_epoll() const = 0;
+};
+
+std::unique_ptr<Poller> MakePoller(bool force_poll);
+
+}  // namespace internal
+
+/// ResponseWriter a dispatched worker writes its response through: bytes
+/// go to the peer directly while the socket keeps up, and into the
+/// connection's bounded output queue (flushed by the loop on EPOLLOUT)
+/// when it does not. Blocks the WORKER when the queue is full; returns
+/// false once the connection is gone. Holds the connection's shared write
+/// state, so it stays safe to call even after the loop dropped the
+/// connection (it just fails).
+class ConnWriter : public ResponseWriter {
+ public:
+  explicit ConnWriter(std::shared_ptr<internal::ConnShared> shared)
+      : shared_(std::move(shared)) {}
+
+  bool SendAll(std::string_view data) override;
+
+ private:
+  std::shared_ptr<internal::ConnShared> shared_;
+};
+
+class EventLoop {
+ public:
+  /// What the request callback decided (it runs on the loop thread):
+  enum class Disposition {
+    kInlineKeep,   ///< Response queued via Respond(); keep the connection.
+    kInlineClose,  ///< Response queued; close once the bytes drained.
+    kDispatched,   ///< Taken by a worker; CompleteDispatch() will follow.
+  };
+
+  /// Called on the LOOP THREAD for every fully-parsed request. `writer` is
+  /// valid only for kDispatched (pass it to the worker; it owns shared
+  /// state, not the loop's connection entry).
+  using RequestFn = std::function<Disposition(
+      uint64_t conn_id, HttpRequest&& request,
+      std::shared_ptr<ConnWriter> writer)>;
+
+  EventLoop(EventLoopOptions options, RequestFn on_request);
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Takes the bound listener and spawns the loop thread.
+  void Start(Socket listener);
+
+  /// Graceful drain: stop accepting, cut idle connections immediately,
+  /// finish every dispatched request, flush its response, then join.
+  /// Idempotent.
+  void Stop();
+
+  /// Crash simulation: shutdown(SHUT_RDWR) every connection so in-flight
+  /// writes fail mid-stream, then join once the (failing) dispatched
+  /// handlers finish. Idempotent against Stop().
+  void Abort();
+
+  /// Queues an inline response for `conn_id` (LOOP THREAD ONLY — the
+  /// request callback's path for transport-answered endpoints). Never
+  /// blocks: a queue past its cap disconnects the slow reader instead.
+  void Respond(uint64_t conn_id, std::string_view data);
+
+  /// Reports a dispatched request finished (any thread). keep_open=false
+  /// drains the remaining output and closes.
+  void CompleteDispatch(uint64_t conn_id, bool keep_open);
+
+  /// Wakes the loop so it re-arms writability for a connection whose
+  /// worker just queued bytes (called by ConnWriter; any thread).
+  void RequestFlush(uint64_t conn_id);
+
+  EventLoopStats stats() const;
+
+ private:
+  enum class ConnState { kReading, kDispatched, kDraining };
+
+  struct Conn {
+    uint64_t id = 0;
+    Socket socket;
+    std::shared_ptr<internal::ConnShared> shared;
+    HttpRequestParser parser;
+    std::string inbuf;
+    size_t inpos = 0;
+    ConnState state = ConnState::kReading;
+    bool want_read = false;
+    bool want_write = false;
+    bool close_after_drain = false;
+    std::chrono::steady_clock::time_point last_read_activity;
+
+    Conn(uint64_t id, Socket socket, size_t max_body)
+        : id(id), socket(std::move(socket)), parser(max_body) {}
+  };
+
+  struct Command {
+    enum class Kind { kFlush, kComplete } kind;
+    uint64_t conn_id;
+    bool keep_open;
+  };
+
+  void Run();
+  void Wake();
+  void AcceptReady();
+  void ReadReady(Conn* conn);
+  /// Parses every complete request buffered for `conn`; dispatches or
+  /// answers inline. `from_completion` marks requests served without a new
+  /// read event (pipelining).
+  void DrainParsed(Conn* conn, bool from_completion);
+  /// Flushes the shared pending queue; arms/disarms writability.
+  void FlushWrites(Conn* conn);
+  void CloseConn(uint64_t conn_id);
+  void UpdateInterest(Conn* conn, bool read, bool write);
+  void SweepTimeouts();
+  void HandleCommands();
+  bool ShouldExit();
+
+  const EventLoopOptions options_;
+  const RequestFn on_request_;
+
+  std::unique_ptr<internal::Poller> poller_;
+  Socket listener_;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> aborting_{false};
+
+  std::mutex commands_mutex_;
+  std::vector<Command> commands_;
+
+  uint64_t next_conn_id_ = 16;  // 1 = listener tag, 2 = wakeup tag.
+  std::unordered_map<uint64_t, std::unique_ptr<Conn>> conns_;
+  size_t dispatch_inflight_ = 0;  // Loop thread only.
+
+  // Stats: written by the loop thread (and workers for queue bytes), read
+  // by any scrape.
+  std::atomic<uint64_t> wakeups_{0};
+  std::atomic<uint64_t> events_{0};
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> pipelined_{0};
+  std::atomic<uint64_t> dispatches_{0};
+  std::atomic<uint64_t> deferred_writes_{0};
+  std::atomic<uint64_t> slow_reader_disconnects_{0};
+  std::atomic<uint64_t> read_timeouts_{0};
+  std::atomic<size_t> connections_live_{0};
+  std::atomic<size_t> dispatch_inflight_stat_{0};
+  std::atomic<size_t> output_queue_bytes_{0};
+
+  friend class ConnWriter;
+};
+
+}  // namespace shapley::net
+
+#endif  // SHAPLEY_NET_EVENT_LOOP_H_

@@ -9,6 +9,7 @@
 #include <sys/types.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cctype>
 #include <cerrno>
 #include <charconv>
@@ -218,6 +219,74 @@ const std::string* FindHeader(const HttpHeaders& headers,
 
 namespace {
 
+/// Strict size parse: the WHOLE token must be digits of `base`. Trailing
+/// garbage is rejected — "12abc" must not read as 12 (a proxy that parses
+/// it differently is a request-smuggling vector), and a chunk-size line
+/// "ffzz" must not read as 255.
+bool ParseSize(std::string_view text, int base, size_t* out) {
+  size_t value = 0;
+  auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value, base);
+  if (ec != std::errc() || ptr != text.data() + text.size() || text.empty()) {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+/// Chunk-size line: hex size with an optional ";extension" stripped first;
+/// everything before the extension must parse as hex IN FULL.
+bool ParseChunkSize(std::string_view line, size_t* out) {
+  const size_t semi = line.find(';');
+  if (semi != std::string_view::npos) line = line.substr(0, semi);
+  return ParseSize(line, 16, out);
+}
+
+enum class ContentLength { kAbsent, kOk, kMalformed };
+
+/// Content-Length extraction with duplicate rejection: a message carrying
+/// more than one Content-Length header is malformed, full stop. Resolving
+/// to the first (what a naive FindHeader does) is how request smuggling
+/// starts once a proxy fronts this server and resolves to the LAST.
+ContentLength ContentLengthOf(const HttpHeaders& headers, size_t* out) {
+  const std::string* found = nullptr;
+  for (const auto& [key, value] : headers) {
+    if (!EqualsIgnoreCase(key, "Content-Length")) continue;
+    if (found != nullptr) return ContentLength::kMalformed;
+    found = &value;
+  }
+  if (found == nullptr) return ContentLength::kAbsent;
+  if (!ParseSize(*found, 10, out)) return ContentLength::kMalformed;
+  return ContentLength::kOk;
+}
+
+/// "METHOD SP target SP version" — EXACTLY three non-empty fields. A
+/// target containing a space ("GET /a b HTTP/1.1") must be rejected, not
+/// silently re-assembled by a first-space/last-space split.
+bool ParseRequestLine(const std::string& line, HttpRequest* out) {
+  const size_t sp1 = line.find(' ');
+  if (sp1 == std::string::npos || sp1 == 0) return false;
+  const size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos || sp2 == sp1 + 1) return false;
+  if (line.find(' ', sp2 + 1) != std::string::npos) return false;
+  if (sp2 + 1 == line.size()) return false;
+  out->method = line.substr(0, sp1);
+  out->target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  out->version = line.substr(sp2 + 1);
+  return out->version == "HTTP/1.1" || out->version == "HTTP/1.0";
+}
+
+/// One "Name: value" header line (leading value whitespace stripped).
+bool ParseHeaderLine(const std::string& line, HttpHeaders* headers) {
+  const size_t colon = line.find(':');
+  if (colon == std::string::npos) return false;
+  std::string name = line.substr(0, colon);
+  size_t start = colon + 1;
+  while (start < line.size() && line[start] == ' ') ++start;
+  headers->emplace_back(std::move(name), line.substr(start));
+  return true;
+}
+
 /// "Name: value" lines until the blank line; false on malformed input.
 bool ReadHeaders(SocketReader* reader, HttpHeaders* headers) {
   std::string line;
@@ -226,23 +295,9 @@ bool ReadHeaders(SocketReader* reader, HttpHeaders* headers) {
   for (int i = 0; i < 100; ++i) {
     if (!reader->ReadLine(&line)) return false;
     if (line.empty()) return true;
-    const size_t colon = line.find(':');
-    if (colon == std::string::npos) return false;
-    std::string name = line.substr(0, colon);
-    size_t start = colon + 1;
-    while (start < line.size() && line[start] == ' ') ++start;
-    headers->emplace_back(std::move(name), line.substr(start));
+    if (!ParseHeaderLine(line, headers)) return false;
   }
   return false;
-}
-
-bool ParseSize(std::string_view text, int base, size_t* out) {
-  size_t value = 0;
-  auto [ptr, ec] =
-      std::from_chars(text.data(), text.data() + text.size(), value, base);
-  if (ec != std::errc() || ptr == text.data()) return false;
-  *out = value;
-  return true;
 }
 
 }  // namespace
@@ -254,28 +309,23 @@ HttpReadResult ReadHttpRequest(SocketReader* reader, size_t max_body,
     if (reader->TimedOut()) return HttpReadResult::kTimeout;
     return reader->Eof() ? HttpReadResult::kClosed : HttpReadResult::kMalformed;
   }
-  // "POST /v1/compute HTTP/1.1"
-  const size_t sp1 = line.find(' ');
-  const size_t sp2 = line.rfind(' ');
-  if (sp1 == std::string::npos || sp2 == sp1) {
-    return HttpReadResult::kMalformed;
-  }
-  out->method = line.substr(0, sp1);
-  out->target = line.substr(sp1 + 1, sp2 - sp1 - 1);
-  out->version = line.substr(sp2 + 1);
-  if (out->version != "HTTP/1.1" && out->version != "HTTP/1.0") {
-    return HttpReadResult::kMalformed;
-  }
+  // "POST /v1/compute HTTP/1.1" — exactly three fields, strictly.
+  if (!ParseRequestLine(line, out)) return HttpReadResult::kMalformed;
   if (!ReadHeaders(reader, &out->headers)) {
     return reader->TimedOut() ? HttpReadResult::kTimeout
                               : HttpReadResult::kMalformed;
   }
   const std::string* te = FindHeader(out->headers, "Transfer-Encoding");
   if (te != nullptr) return HttpReadResult::kMalformed;  // Never sent to us.
-  const std::string* cl = FindHeader(out->headers, "Content-Length");
-  if (cl == nullptr) return HttpReadResult::kOk;  // GETs carry no body.
   size_t length = 0;
-  if (!ParseSize(*cl, 10, &length)) return HttpReadResult::kMalformed;
+  switch (ContentLengthOf(out->headers, &length)) {
+    case ContentLength::kAbsent:
+      return HttpReadResult::kOk;  // GETs carry no body.
+    case ContentLength::kMalformed:
+      return HttpReadResult::kMalformed;
+    case ContentLength::kOk:
+      break;
+  }
   if (length > max_body) return HttpReadResult::kTooLarge;
   if (!reader->ReadExact(length, &out->body)) {
     return reader->TimedOut() ? HttpReadResult::kTimeout
@@ -314,10 +364,15 @@ HttpReadResult ReadHttpResponse(SocketReader* reader, size_t max_body,
     *chunked = true;  // Caller streams with ReadChunk.
     return HttpReadResult::kOk;
   }
-  const std::string* cl = FindHeader(out->headers, "Content-Length");
-  if (cl == nullptr) return HttpReadResult::kOk;
   size_t length = 0;
-  if (!ParseSize(*cl, 10, &length)) return HttpReadResult::kMalformed;
+  switch (ContentLengthOf(out->headers, &length)) {
+    case ContentLength::kAbsent:
+      return HttpReadResult::kOk;
+    case ContentLength::kMalformed:
+      return HttpReadResult::kMalformed;
+    case ContentLength::kOk:
+      break;
+  }
   if (length > max_body) return HttpReadResult::kTooLarge;
   if (!reader->ReadExact(length, &out->body)) {
     return reader->TimedOut() ? HttpReadResult::kTimeout
@@ -333,14 +388,9 @@ bool ReadChunk(SocketReader* reader, size_t max_chunk, std::string* chunk,
   std::string line;
   if (!reader->ReadLine(&line)) return false;
   size_t size = 0;
-  // Chunk extensions (";...") are permitted by the RFC; ignore them.
-  const size_t semi = line.find(';');
-  if (!ParseSize(semi == std::string::npos
-                     ? std::string_view(line)
-                     : std::string_view(line).substr(0, semi),
-                 16, &size)) {
-    return false;
-  }
+  // Chunk extensions (";...") are permitted by the RFC and stripped; the
+  // size before them must be hex IN FULL ("ffzz" is malformed, not 255).
+  if (!ParseChunkSize(line, &size)) return false;
   if (size > max_chunk) return false;
   if (size == 0) {
     // Terminal chunk; consume the final CRLF (no trailers in this protocol).
@@ -423,6 +473,100 @@ const char* ReasonPhrase(int status) {
       return "Gateway Timeout";
     default:
       return "Unknown";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// HttpRequestParser — incremental request parsing for the event loop.
+// ---------------------------------------------------------------------------
+
+void HttpRequestParser::Reset() {
+  phase_ = Phase::kRequestLine;
+  line_.clear();
+  body_needed_ = 0;
+  header_count_ = 0;
+  request_ = HttpRequest{};
+}
+
+HttpParseStatus HttpRequestParser::ProcessLine() {
+  // line_ holds one complete line, CRLF already stripped.
+  switch (phase_) {
+    case Phase::kRequestLine:
+      if (!ParseRequestLine(line_, &request_)) {
+        return HttpParseStatus::kMalformed;
+      }
+      phase_ = Phase::kHeaders;
+      return HttpParseStatus::kNeedMore;
+    case Phase::kHeaders: {
+      if (!line_.empty()) {
+        if (++header_count_ > 100 ||
+            !ParseHeaderLine(line_, &request_.headers)) {
+          return HttpParseStatus::kMalformed;
+        }
+        return HttpParseStatus::kNeedMore;
+      }
+      // Blank line: the head is complete — resolve the body framing with
+      // the same strict rules as the blocking reader.
+      if (FindHeader(request_.headers, "Transfer-Encoding") != nullptr) {
+        return HttpParseStatus::kMalformed;  // Requests never chunk to us.
+      }
+      switch (ContentLengthOf(request_.headers, &body_needed_)) {
+        case ContentLength::kMalformed:
+          return HttpParseStatus::kMalformed;
+        case ContentLength::kAbsent:
+          phase_ = Phase::kDone;
+          return HttpParseStatus::kDone;
+        case ContentLength::kOk:
+          break;
+      }
+      if (body_needed_ > max_body_) return HttpParseStatus::kTooLarge;
+      if (body_needed_ == 0) {
+        phase_ = Phase::kDone;
+        return HttpParseStatus::kDone;
+      }
+      request_.body.reserve(body_needed_);
+      phase_ = Phase::kBody;
+      return HttpParseStatus::kNeedMore;
+    }
+    case Phase::kBody:
+    case Phase::kDone:
+      break;  // Not line-driven.
+  }
+  return HttpParseStatus::kMalformed;
+}
+
+HttpParseStatus HttpRequestParser::Consume(std::string_view data,
+                                           size_t* consumed) {
+  *consumed = 0;
+  while (true) {
+    if (phase_ == Phase::kDone) return HttpParseStatus::kDone;
+    if (phase_ == Phase::kBody) {
+      const size_t want = body_needed_ - request_.body.size();
+      const size_t take = std::min(want, data.size() - *consumed);
+      request_.body.append(data.data() + *consumed, take);
+      *consumed += take;
+      if (request_.body.size() < body_needed_) {
+        return HttpParseStatus::kNeedMore;
+      }
+      phase_ = Phase::kDone;
+      return HttpParseStatus::kDone;
+    }
+    // Head phases are line-driven: accumulate up to the next LF.
+    const size_t nl = data.find('\n', *consumed);
+    if (nl == std::string_view::npos) {
+      line_.append(data.data() + *consumed, data.size() - *consumed);
+      *consumed = data.size();
+      // A head line that never ends is a header bomb, not slow input.
+      return line_.size() > max_line_ ? HttpParseStatus::kMalformed
+                                      : HttpParseStatus::kNeedMore;
+    }
+    line_.append(data.data() + *consumed, nl - *consumed);
+    *consumed = nl + 1;
+    if (!line_.empty() && line_.back() == '\r') line_.pop_back();
+    if (line_.size() > max_line_) return HttpParseStatus::kMalformed;
+    const HttpParseStatus status = ProcessLine();
+    line_.clear();
+    if (status != HttpParseStatus::kNeedMore) return status;
   }
 }
 

@@ -16,6 +16,20 @@ namespace shapley::net {
 /// over blocking sockets with poll()-based read timeouts. No TLS, no
 /// compression, no external dependency.
 
+/// Where a response goes. Handlers write through this interface so the
+/// same handler code serves both transports: a plain blocking Socket
+/// (SocketWriter) and the event loop's per-connection bounded output queue
+/// (EventLoop's writer), which adds write-side backpressure and slow-reader
+/// disconnection behind the same call.
+class ResponseWriter {
+ public:
+  virtual ~ResponseWriter() = default;
+
+  /// Writes (or queues) the whole buffer. False when the connection is
+  /// gone — the caller abandons the response and ends the connection.
+  virtual bool SendAll(std::string_view data) = 0;
+};
+
 /// RAII file descriptor. Move-only; closes on destruction.
 class Socket {
  public:
@@ -45,6 +59,19 @@ class Socket {
 
  private:
   int fd_ = -1;
+};
+
+/// ResponseWriter over a borrowed blocking Socket — the classic transport
+/// (client-side tests, direct handler invocation).
+class SocketWriter : public ResponseWriter {
+ public:
+  explicit SocketWriter(Socket* socket) : socket_(socket) {}
+  bool SendAll(std::string_view data) override {
+    return socket_->SendAll(data);
+  }
+
+ private:
+  Socket* socket_;
 };
 
 /// Connects TCP to host:port (numeric or resolvable host). Invalid socket
@@ -141,6 +168,59 @@ std::string ChunkFrame(std::string_view payload);
 
 /// Standard reason phrase ("OK", "Bad Request", ...; "Unknown" otherwise).
 const char* ReasonPhrase(int status);
+
+/// Incremental (non-blocking) request parser for the event loop: bytes go
+/// in as they arrive off the socket, one state-machine step per call — no
+/// thread ever blocks waiting for the rest of a message. Enforces the same
+/// strict grammar as the blocking ReadHttpRequest (they share helpers):
+/// request lines are exactly three space-separated fields, sizes must
+/// consume their full token, duplicate Content-Length headers are rejected,
+/// Transfer-Encoding requests are rejected, header count and line length
+/// are capped.
+enum class HttpParseStatus {
+  kNeedMore,   ///< Message incomplete; feed more bytes.
+  kDone,       ///< One full request parsed; Take() it, then Reset().
+  kMalformed,  ///< Not HTTP (or forbidden framing). Connection must close.
+  kTooLarge,   ///< Declared body beyond max_body. Connection must close.
+};
+
+class HttpRequestParser {
+ public:
+  explicit HttpRequestParser(size_t max_body, size_t max_line = 64 * 1024)
+      : max_body_(max_body), max_line_(max_line) {}
+
+  /// Consumes as much of `data` as the current message needs; *consumed
+  /// reports how many bytes were eaten THIS call (pipelined followers stay
+  /// untouched in the caller's buffer). After kDone the parser stops
+  /// eating until Reset().
+  HttpParseStatus Consume(std::string_view data, size_t* consumed);
+
+  /// The parsed request; valid exactly once after kDone.
+  HttpRequest Take() { return std::move(request_); }
+
+  /// Ready for the next pipelined request on the same connection.
+  void Reset();
+
+  /// True when a message is partially buffered (head bytes or an
+  /// incomplete body) — a shutdown mid-message is a client cut off, not an
+  /// idle keep-alive close.
+  bool mid_message() const {
+    return phase_ != Phase::kRequestLine || !line_.empty();
+  }
+
+ private:
+  enum class Phase { kRequestLine, kHeaders, kBody, kDone };
+
+  HttpParseStatus ProcessLine();
+
+  size_t max_body_;
+  size_t max_line_;
+  Phase phase_ = Phase::kRequestLine;
+  std::string line_;
+  size_t body_needed_ = 0;
+  size_t header_count_ = 0;
+  HttpRequest request_;
+};
 
 }  // namespace shapley::net
 

@@ -1,12 +1,11 @@
 #include "shapley/net/server.h"
 
-#include <poll.h>
-#include <sys/socket.h>
-
+#include <algorithm>
 #include <chrono>
 #include <future>
 #include <limits>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "shapley/common/version.h"
@@ -29,9 +28,9 @@ std::string FrontEndErrorBody(SvcErrorCode code, std::string message) {
   return EncodeResponse(response, *schema).Dump();
 }
 
-bool WriteJsonResponse(Socket* socket, int status, const std::string& body,
-                       bool keep_alive) {
-  return socket->SendAll(
+bool WriteJsonResponse(ResponseWriter* writer, int status,
+                       const std::string& body, bool keep_alive) {
+  return writer->SendAll(
       SerializeResponseHead(status, "application/json",
                             static_cast<long>(body.size()), keep_alive) +
       body);
@@ -41,46 +40,46 @@ bool WriteJsonResponse(Socket* socket, int status, const std::string& body,
 // ServiceHandler
 // ---------------------------------------------------------------------------
 
-bool ServiceHandler::Handle(Socket* socket, const HttpRequest& request,
+bool ServiceHandler::Handle(ResponseWriter* writer, const HttpRequest& request,
                             bool keep_alive, const ServerCounters& counters) {
   if (request.target == "/v1/compute") {
     if (request.method != "POST") {
-      return WriteJsonResponse(socket, 405,
+      return WriteJsonResponse(writer, 405,
                                FrontEndErrorBody(SvcErrorCode::kInvalidRequest,
                                                  "use POST on /v1/compute"),
                                keep_alive);
     }
-    return HandleCompute(socket, request, keep_alive);
+    return HandleCompute(writer, request, keep_alive);
   }
   if (request.target == "/v1/batch") {
     if (request.method != "POST") {
-      return WriteJsonResponse(socket, 405,
+      return WriteJsonResponse(writer, 405,
                                FrontEndErrorBody(SvcErrorCode::kInvalidRequest,
                                                  "use POST on /v1/batch"),
                                keep_alive);
     }
-    return HandleBatch(socket, request, keep_alive);
+    return HandleBatch(writer, request, keep_alive);
   }
   if (request.target == "/v1/engines") {
     if (request.method != "GET") {
-      return WriteJsonResponse(socket, 405,
+      return WriteJsonResponse(writer, 405,
                                FrontEndErrorBody(SvcErrorCode::kInvalidRequest,
                                                  "use GET on /v1/engines"),
                                keep_alive);
     }
-    return HandleEngines(socket, keep_alive);
+    return HandleEngines(writer, keep_alive);
   }
   if (request.target == "/v1/stats") {
     if (request.method != "GET") {
-      return WriteJsonResponse(socket, 405,
+      return WriteJsonResponse(writer, 405,
                                FrontEndErrorBody(SvcErrorCode::kInvalidRequest,
                                                  "use GET on /v1/stats"),
                                keep_alive);
     }
-    return HandleStats(socket, keep_alive, counters);
+    return HandleStats(writer, keep_alive, counters);
   }
   return WriteJsonResponse(
-      socket, 404,
+      writer, 404,
       FrontEndErrorBody(SvcErrorCode::kInvalidRequest,
                         "unknown endpoint " + request.target),
       keep_alive);
@@ -222,7 +221,8 @@ void ServiceHandler::ObserveRequest(const SvcResponse& response,
       ->Observe(wall_ms);
 }
 
-bool ServiceHandler::HandleCompute(Socket* socket, const HttpRequest& request,
+bool ServiceHandler::HandleCompute(ResponseWriter* writer,
+                                   const HttpRequest& request,
                                    bool keep_alive) {
   const auto arrival = std::chrono::steady_clock::now();
   const obs::SpanTimer wall_timer;
@@ -230,7 +230,7 @@ bool ServiceHandler::HandleCompute(Socket* socket, const HttpRequest& request,
   std::string parse_error;
   std::optional<Json> json = Json::Parse(request.body, &parse_error);
   if (!json.has_value()) {
-    return WriteJsonResponse(socket, 400,
+    return WriteJsonResponse(writer, 400,
                              FrontEndErrorBody(SvcErrorCode::kInvalidRequest,
                                                "bad JSON: " + parse_error),
                              keep_alive);
@@ -240,7 +240,7 @@ bool ServiceHandler::HandleCompute(Socket* socket, const HttpRequest& request,
     SvcResponse response;
     response.error = std::move(error);
     auto schema = Schema::Create();
-    return WriteJsonResponse(socket, HttpStatusFor(response.error->code),
+    return WriteJsonResponse(writer, HttpStatusFor(response.error->code),
                              EncodeResponse(response, *schema).Dump(),
                              keep_alive);
   }
@@ -261,8 +261,8 @@ bool ServiceHandler::HandleCompute(Socket* socket, const HttpRequest& request,
     recorder->AddClosed("decode", 0.0, decode_ms);
     decoded.request.recorder = recorder.get();
   }
-  // Blocking Compute on the connection thread: the service's pool does the
-  // fan-out; this thread is exactly the client's wait.
+  // Blocking Compute on the dispatch-pool thread: the service's pool does
+  // the fan-out; this thread is exactly the client's wait.
   SvcResponse response = service_->Compute(std::move(decoded.request));
   const int status =
       response.ok() ? 200 : HttpStatusFor(response.error->code);
@@ -278,15 +278,15 @@ bool ServiceHandler::HandleCompute(Socket* socket, const HttpRequest& request,
     SetTraceBlock(&body, trace);
   }
   ObserveRequest(response, wall_timer.ElapsedMs());
-  return WriteJsonResponse(socket, status, body.Dump(), keep_alive);
+  return WriteJsonResponse(writer, status, body.Dump(), keep_alive);
 }
 
-bool ServiceHandler::HandleBatch(Socket* socket, const HttpRequest& request,
-                                 bool keep_alive) {
+bool ServiceHandler::HandleBatch(ResponseWriter* writer,
+                                 const HttpRequest& request, bool keep_alive) {
   std::string parse_error;
   std::optional<Json> json = Json::Parse(request.body, &parse_error);
   if (!json.has_value()) {
-    return WriteJsonResponse(socket, 400,
+    return WriteJsonResponse(writer, 400,
                              FrontEndErrorBody(SvcErrorCode::kInvalidRequest,
                                                "bad JSON: " + parse_error),
                              keep_alive);
@@ -295,7 +295,7 @@ bool ServiceHandler::HandleBatch(Socket* socket, const HttpRequest& request,
   const Json::Array* items =
       requests != nullptr ? requests->IfArray() : nullptr;
   if (items == nullptr) {
-    return WriteJsonResponse(socket, 400,
+    return WriteJsonResponse(writer, 400,
                              FrontEndErrorBody(
                                  SvcErrorCode::kInvalidRequest,
                                  "batch: expected {\"requests\": [...]}"),
@@ -356,7 +356,7 @@ bool ServiceHandler::HandleBatch(Socket* socket, const HttpRequest& request,
   }
 
   // Stream in COMPLETION order: chunked ndjson, each line tagged "id".
-  if (!socket->SendAll(SerializeResponseHead(
+  if (!writer->SendAll(SerializeResponseHead(
           200, "application/x-ndjson", /*content_length=*/-1, keep_alive))) {
     return false;
   }
@@ -379,7 +379,7 @@ bool ServiceHandler::HandleBatch(Socket* socket, const HttpRequest& request,
     for (auto& [key, value] : *line.IfObject()) {
       tagged.Set(key, value);
     }
-    return socket->SendAll(ChunkFrame(tagged.Dump() + "\n"));
+    return writer->SendAll(ChunkFrame(tagged.Dump() + "\n"));
   };
 
   size_t remaining = slots.size();
@@ -415,10 +415,10 @@ bool ServiceHandler::HandleBatch(Socket* socket, const HttpRequest& request,
       }
     }
   }
-  return socket->SendAll(ChunkFrame(""));  // Terminal chunk.
+  return writer->SendAll(ChunkFrame(""));  // Terminal chunk.
 }
 
-bool ServiceHandler::HandleEngines(Socket* socket, bool keep_alive) {
+bool ServiceHandler::HandleEngines(ResponseWriter* writer, bool keep_alive) {
   Json engines = Json::Arr();
   const EngineRegistry& registry = service_->registry();
   for (const std::string& name : registry.Names()) {
@@ -444,10 +444,10 @@ bool ServiceHandler::HandleEngines(Socket* socket, bool keep_alive) {
   }
   Json body;
   body.Set("engines", std::move(engines));
-  return WriteJsonResponse(socket, 200, body.Dump(), keep_alive);
+  return WriteJsonResponse(writer, 200, body.Dump(), keep_alive);
 }
 
-bool ServiceHandler::HandleStats(Socket* socket, bool keep_alive,
+bool ServiceHandler::HandleStats(ResponseWriter* writer, bool keep_alive,
                                  const ServerCounters& counters) {
   // Serialization goes through the ONE shared stats codec (obs/stats_json)
   // — the same path the router's fleet-sum and ExecStats::ToJson use, with
@@ -455,7 +455,7 @@ bool ServiceHandler::HandleStats(Socket* socket, bool keep_alive,
   Json body;
   body.Set("service", obs::ServiceStatsJson(service_->Stats()));
   body.Set("server", obs::ServerCountersJson(counters));
-  return WriteJsonResponse(socket, 200, body.Dump(), keep_alive);
+  return WriteJsonResponse(writer, 200, body.Dump(), keep_alive);
 }
 
 // ---------------------------------------------------------------------------
@@ -510,236 +510,273 @@ void HttpServer::SetUpMetrics() {
                      "HTTP requests served (all endpoints)", role)
         ->Set(c.requests_served);
   });
+  // The readiness loop's own counters: wake-ups, dispatch depth,
+  // backpressure events — the signals that distinguish "the loop is busy"
+  // from "the pool is busy" from "a peer is not reading".
+  metrics_->AddCollector([this] {
+    EventLoop* loop = loop_ptr_.load();
+    if (loop == nullptr) return;
+    const EventLoopStats s = loop->stats();
+    const obs::Labels role{{"role", options_.role}};
+    metrics_
+        ->GetCounter("shapley_server_eventloop_wakeups_total",
+                     "Poller returns of the event loop", role)
+        ->Set(s.wakeups);
+    metrics_
+        ->GetCounter("shapley_server_eventloop_events_total",
+                     "Readiness events handled by the event loop", role)
+        ->Set(s.events);
+    metrics_
+        ->GetCounter("shapley_server_eventloop_requests_parsed_total",
+                     "Full HTTP requests parsed off the wire", role)
+        ->Set(s.requests);
+    metrics_
+        ->GetCounter("shapley_server_eventloop_pipelined_requests_total",
+                     "Requests served from buffered bytes with no new read "
+                     "event (keep-alive pipelining)",
+                     role)
+        ->Set(s.pipelined);
+    metrics_
+        ->GetCounter("shapley_server_eventloop_dispatches_total",
+                     "Requests handed to the dispatch pool", role)
+        ->Set(s.dispatches);
+    metrics_
+        ->GetCounter("shapley_server_eventloop_deferred_writes_total",
+                     "Response writes that hit EAGAIN and queued for the "
+                     "loop to drain",
+                     role)
+        ->Set(s.deferred_writes);
+    metrics_
+        ->GetCounter("shapley_server_eventloop_slow_reader_disconnects_total",
+                     "Connections cut for making no write progress with "
+                     "queued output",
+                     role)
+        ->Set(s.slow_reader_disconnects);
+    metrics_
+        ->GetCounter("shapley_server_eventloop_read_timeouts_total",
+                     "Connections cut at the idle-read timeout", role)
+        ->Set(s.read_timeouts);
+    metrics_
+        ->GetGauge("shapley_server_eventloop_dispatch_inflight",
+                   "Requests dispatched to the pool and not yet completed",
+                   role)
+        ->Set(static_cast<double>(s.dispatch_inflight));
+    metrics_
+        ->GetGauge("shapley_server_eventloop_output_queue_bytes",
+                   "Bytes queued across all per-connection output queues",
+                   role)
+        ->Set(static_cast<double>(s.output_queue_bytes));
+    metrics_
+        ->GetGauge("shapley_server_eventloop_using_epoll",
+                   "1 when the epoll backend multiplexes this server, 0 for "
+                   "the poll() fallback",
+                   role)
+        ->Set(s.using_epoll ? 1.0 : 0.0);
+  });
 }
 
-HttpServer::~HttpServer() { Stop(); }
+HttpServer::~HttpServer() {
+  Stop();
+  loop_ptr_.store(nullptr);
+}
 
 void HttpServer::Start() {
   std::string error;
-  listener_ = ListenTcp(options_.host, options_.port, /*backlog=*/128, &port_,
-                        &error);
-  if (!listener_.valid()) {
+  Socket listener = ListenTcp(options_.host, options_.port, /*backlog=*/128,
+                              &port_, &error);
+  if (!listener.valid()) {
     throw std::runtime_error("HttpServer: " + error);
   }
+  loop_ptr_.store(nullptr);
+  loop_.reset();
+  size_t threads = options_.dispatch_threads;
+  if (threads == 0) {
+    // Dispatch workers are thin waiters (they block on service futures),
+    // so over-provisioning relative to cores is the POINT: request
+    // concurrency must not be serialized on a small machine.
+    threads = std::max<size_t>(
+        8, static_cast<size_t>(std::thread::hardware_concurrency()));
+  }
+  dispatch_pool_ = std::make_unique<ThreadPool>(threads);
+
+  EventLoopOptions loop_options;
+  loop_options.max_connections = options_.max_connections;
+  loop_options.read_timeout_ms = options_.read_timeout_ms;
+  loop_options.write_stall_timeout_ms = options_.write_stall_timeout_ms;
+  loop_options.max_output_queue_bytes = options_.max_output_queue_bytes;
+  loop_options.max_body_bytes = options_.max_body_bytes;
+  loop_options.force_poll = options_.force_poll;
+  // The loop answers protocol-level failures from prebuilt buffers — no
+  // allocation, no handler, no pool round-trip.
+  {
+    const std::string body = FrontEndErrorBody(SvcErrorCode::kInvalidRequest,
+                                               "malformed HTTP request");
+    loop_options.response_400 =
+        SerializeResponseHead(400, "application/json",
+                              static_cast<long>(body.size()),
+                              /*keep_alive=*/false) +
+        body;
+  }
+  {
+    // capacity-exceeded, matching the 413 transport status and the README
+    // table ("body over the server limit").
+    const std::string body = FrontEndErrorBody(
+        SvcErrorCode::kCapacityExceeded,
+        "request body exceeds the server limit of " +
+            std::to_string(options_.max_body_bytes) + " bytes");
+    loop_options.response_413 =
+        SerializeResponseHead(413, "application/json",
+                              static_cast<long>(body.size()),
+                              /*keep_alive=*/false) +
+        body;
+  }
+  {
+    const std::string body = FrontEndErrorBody(
+        SvcErrorCode::kCapacityExceeded,
+        "server at its connection limit (" +
+            std::to_string(options_.max_connections) + ") — retry");
+    loop_options.response_503 =
+        SerializeResponseHead(503, "application/json",
+                              static_cast<long>(body.size()),
+                              /*keep_alive=*/false) +
+        body;
+  }
+
+  loop_ = std::make_unique<EventLoop>(
+      std::move(loop_options),
+      [this](uint64_t conn_id, HttpRequest&& request,
+             std::shared_ptr<ConnWriter> writer) {
+        return OnRequest(conn_id, std::move(request), std::move(writer));
+      });
   running_.store(true);
   stopping_.store(false);
-  acceptor_ = std::thread([this] { AcceptLoop(); });
+  loop_->Start(std::move(listener));
+  loop_ptr_.store(loop_.get());
 }
 
 void HttpServer::Stop() {
   if (!running_.exchange(false)) return;
-  // Drain: a connection mid-request finishes it and writes the response
-  // (SHUT_RD only closes the READ side); an IDLE keep-alive connection is
-  // parked in poll() waiting for its next request and would otherwise hold
-  // the join until its read timeout — SHUT_RD turns that wait into an
-  // immediate EOF.
-  HaltConnections(/*both_directions=*/false);
+  stopping_.store(true);
+  // Order matters: the loop's drain needs the pool alive (dispatched
+  // requests finish and report completion); the pool's destructor then
+  // joins workers that have nothing left to do.
+  if (loop_ != nullptr) loop_->Stop();
+  dispatch_pool_.reset();
 }
 
 void HttpServer::Abort() {
   if (!running_.exchange(false)) return;
-  // Crash simulation: SHUT_RDWR makes the in-flight response WRITE fail
-  // too, so a client streaming a batch sees the connection die mid-stream
-  // exactly as if the process had been killed.
-  HaltConnections(/*both_directions=*/true);
-}
-
-void HttpServer::HaltConnections(bool both_directions) {
   stopping_.store(true);
-  if (acceptor_.joinable()) acceptor_.join();
-  listener_.Close();
-  std::vector<std::thread> threads;
-  {
-    std::lock_guard<std::mutex> lock(conns_mutex_);
-    const int how = both_directions ? SHUT_RDWR : SHUT_RD;
-    for (const auto& [id, fd] : conn_fds_) ::shutdown(fd, how);
-    for (auto& [id, thread] : conn_threads_) threads.push_back(std::move(thread));
-    conn_threads_.clear();
-    finished_conns_.clear();
-  }
-  for (std::thread& thread : threads) {
-    if (thread.joinable()) thread.join();
-  }
+  // Crash simulation: the loop shutdowns every connection RDWR, so the
+  // in-flight response WRITE fails too — a client streaming a batch sees
+  // the connection die mid-stream exactly as if the process had been
+  // killed.
+  if (loop_ != nullptr) loop_->Abort();
+  dispatch_pool_.reset();
 }
 
 ServerCounters HttpServer::counters() const {
   ServerCounters counters;
-  counters.connections_accepted = accepted_.load();
-  counters.connections_rejected = rejected_.load();
-  counters.connections_live = live_connections_.load();
+  if (EventLoop* loop = loop_ptr_.load()) {
+    const EventLoopStats s = loop->stats();
+    counters.connections_accepted = s.accepted;
+    counters.connections_rejected = s.rejected;
+    counters.connections_live = s.connections_live;
+  }
   counters.requests_served = served_.load();
   return counters;
 }
 
-void HttpServer::ReapFinished() {
-  std::vector<std::thread> done;
-  {
-    std::lock_guard<std::mutex> lock(conns_mutex_);
-    for (uint64_t id : finished_conns_) {
-      auto it = conn_threads_.find(id);
-      if (it != conn_threads_.end()) {
-        done.push_back(std::move(it->second));
-        conn_threads_.erase(it);
-      }
-    }
-    finished_conns_.clear();
-  }
-  for (std::thread& thread : done) {
-    if (thread.joinable()) thread.join();  // Near-instant: it already exited.
-  }
-}
+EventLoop::Disposition HttpServer::OnRequest(
+    uint64_t conn_id, HttpRequest&& request,
+    std::shared_ptr<ConnWriter> writer) {
+  // The drain contract: a request PARSED before Stop() is served and its
+  // response written; the connection then closes instead of re-arming.
+  const bool draining = stopping_.load();
+  const std::string* connection = FindHeader(request.headers, "Connection");
+  const bool client_wants_close =
+      connection != nullptr &&
+      (*connection == "close" || *connection == "Close");
+  const bool keep_alive =
+      !draining && !client_wants_close && request.version == "HTTP/1.1";
 
-void HttpServer::AcceptLoop() {
-  while (!stopping_.load()) {
-    // Finished connections are joined here, between accepts, so the
-    // registry holds live threads only — a long-lived server serving
-    // millions of connections stays at O(live) thread handles.
-    ReapFinished();
-    // Poll with a short timeout instead of blocking accept(): Stop() only
-    // has to flip the flag, no cross-thread socket shutdown subtleties.
-    pollfd pfd{listener_.fd(), POLLIN, 0};
-    const int rc = ::poll(&pfd, 1, 200);
-    if (rc <= 0) continue;
-    const int fd = ::accept(listener_.fd(), nullptr, nullptr);
-    if (fd < 0) continue;
-    Socket socket(fd);
-    if (stopping_.load()) break;  // Arrived in the closing window.
-    if (live_connections_.load() >= options_.max_connections) {
-      rejected_.fetch_add(1, std::memory_order_relaxed);
+  // Counted BEFORE the response is written: a client that has read its
+  // response (and then asks /v1/stats, or a test that asserts counters)
+  // must already see this request in the tally.
+  served_.fetch_add(1, std::memory_order_relaxed);
+
+  // Record/replay capture: the VERBATIM body, before any decode — a
+  // malformed request must replay to the identical error response.
+  if (options_.request_log != nullptr && request.method == "POST") {
+    options_.request_log->Append(request.target, request.body);
+  }
+
+  if (request.target == "/healthz") {
+    // Answered ON THE LOOP THREAD: a router probing a backend's health
+    // must get a response even when the dispatch pool (or the service
+    // behind it) is busy to the gills.
+    std::string wire;
+    if (request.method != "GET") {
       const std::string body = FrontEndErrorBody(
-          SvcErrorCode::kCapacityExceeded,
-          "server at its connection limit (" +
-              std::to_string(options_.max_connections) + ") — retry");
-      socket.SendAll(SerializeResponseHead(503, "application/json",
-                                           static_cast<long>(body.size()),
-                                           /*keep_alive=*/false) +
-                     body);
-      continue;
-    }
-    accepted_.fetch_add(1, std::memory_order_relaxed);
-    live_connections_.fetch_add(1);
-    std::lock_guard<std::mutex> lock(conns_mutex_);
-    const uint64_t id = next_conn_id_++;
-    conn_fds_[id] = socket.fd();
-    conn_threads_[id] = std::thread(
-        [this, id, s = std::move(socket)]() mutable {
-          RunConnection(id, std::move(s));
-        });
-  }
-}
-
-void HttpServer::RunConnection(uint64_t id, Socket socket) {
-  ConnectionLoop(&socket);
-  {
-    // Deregister the fd BEFORE the Socket destructor closes it: Stop()
-    // shutdowns only fds still in the registry, so it can never touch a
-    // descriptor number the kernel has already handed to someone else.
-    std::lock_guard<std::mutex> lock(conns_mutex_);
-    conn_fds_.erase(id);
-    finished_conns_.push_back(id);
-  }
-  live_connections_.fetch_sub(1);
-}
-
-void HttpServer::ConnectionLoop(Socket* socket_ptr) {
-  Socket& socket = *socket_ptr;
-  SocketReader reader(socket.fd(), options_.read_timeout_ms);
-  while (true) {
-    HttpRequest request;
-    const HttpReadResult result =
-        ReadHttpRequest(&reader, options_.max_body_bytes, &request);
-    if (result == HttpReadResult::kClosed) break;
-    if (result == HttpReadResult::kTimeout) {
-      // Idle keep-alive connections just close; a timeout mid-message gets
-      // the 408 courtesy first.
-      break;
-    }
-    if (result == HttpReadResult::kTooLarge) {
-      // capacity-exceeded, matching the 413 transport status and the
-      // README table ("body over the server limit").
-      const std::string body = FrontEndErrorBody(
-          SvcErrorCode::kCapacityExceeded,
-          "request body exceeds the server limit of " +
-              std::to_string(options_.max_body_bytes) + " bytes");
-      socket.SendAll(SerializeResponseHead(413, "application/json",
-                                           static_cast<long>(body.size()),
-                                           /*keep_alive=*/false) +
-                     body);
-      break;
-    }
-    if (result == HttpReadResult::kMalformed) {
-      const std::string body = FrontEndErrorBody(SvcErrorCode::kInvalidRequest,
-                                                 "malformed HTTP request");
-      socket.SendAll(SerializeResponseHead(400, "application/json",
-                                           static_cast<long>(body.size()),
-                                           /*keep_alive=*/false) +
-                     body);
-      break;
-    }
-
-    // The drain contract: a request READ before Stop() is served and its
-    // response written; the connection then closes instead of looping.
-    const bool draining = stopping_.load();
-    const std::string* connection =
-        FindHeader(request.headers, "Connection");
-    const bool client_wants_close =
-        connection != nullptr && (*connection == "close" ||
-                                  *connection == "Close");
-    const bool keep_alive = !draining && !client_wants_close &&
-                            request.version == "HTTP/1.1";
-
-    // Counted BEFORE the response is written: a client that has read its
-    // response (and then asks /v1/stats, or a test that asserts counters)
-    // must already see this request in the tally.
-    served_.fetch_add(1, std::memory_order_relaxed);
-
-    // Record/replay capture: the VERBATIM body, before any decode — a
-    // malformed request must replay to the identical error response.
-    if (options_.request_log != nullptr && request.method == "POST") {
-      options_.request_log->Append(request.target, request.body);
-    }
-
-    bool alive;
-    if (request.target == "/healthz") {
-      // Answered at the transport layer: a router probing a backend's
-      // health must get a response even when the handler (or the service
-      // behind it) is busy to the gills.
-      if (request.method != "GET") {
-        alive = WriteJsonResponse(
-            &socket, 405,
-            FrontEndErrorBody(SvcErrorCode::kInvalidRequest,
-                              "use GET on /healthz"),
-            keep_alive);
-      } else {
-        Json body;
-        body.Set("status", Json::Str("ok"));
-        body.Set("version", Json::Str(kShapleyVersion));
-        body.Set("role", Json::Str(options_.role));
-        alive = WriteJsonResponse(&socket, 200, body.Dump(), keep_alive);
-      }
-    } else if (request.target == "/metrics") {
-      // Answered at the transport layer like /healthz: a scrape must work
-      // even when the handler (or the fleet behind a router) is wedged.
-      if (request.method != "GET") {
-        alive = WriteJsonResponse(
-            &socket, 405,
-            FrontEndErrorBody(SvcErrorCode::kInvalidRequest,
-                              "use GET on /metrics"),
-            keep_alive);
-      } else {
-        const std::string text = metrics_->RenderPrometheus();
-        alive = socket.SendAll(
-            SerializeResponseHead(200, "text/plain; version=0.0.4",
-                                  static_cast<long>(text.size()),
-                                  keep_alive) +
-            text);
-      }
+          SvcErrorCode::kInvalidRequest, "use GET on /healthz");
+      wire = SerializeResponseHead(405, "application/json",
+                                   static_cast<long>(body.size()),
+                                   keep_alive) +
+             body;
     } else {
-      alive = handler_->Handle(&socket, request, keep_alive, counters());
+      Json body;
+      body.Set("status", Json::Str("ok"));
+      body.Set("version", Json::Str(kShapleyVersion));
+      body.Set("role", Json::Str(options_.role));
+      const std::string text = body.Dump();
+      wire = SerializeResponseHead(200, "application/json",
+                                   static_cast<long>(text.size()),
+                                   keep_alive) +
+             text;
     }
-    if (!alive) break;
-    if (!keep_alive) break;
+    loop_->Respond(conn_id, wire);
+    return keep_alive ? EventLoop::Disposition::kInlineKeep
+                      : EventLoop::Disposition::kInlineClose;
   }
+  if (request.target == "/metrics") {
+    // Answered at the transport layer like /healthz: a scrape must work
+    // even when the handler (or the fleet behind a router) is wedged.
+    std::string wire;
+    if (request.method != "GET") {
+      const std::string body = FrontEndErrorBody(
+          SvcErrorCode::kInvalidRequest, "use GET on /metrics");
+      wire = SerializeResponseHead(405, "application/json",
+                                   static_cast<long>(body.size()),
+                                   keep_alive) +
+             body;
+    } else {
+      const std::string text = metrics_->RenderPrometheus();
+      wire = SerializeResponseHead(200, "text/plain; version=0.0.4",
+                                   static_cast<long>(text.size()),
+                                   keep_alive) +
+             text;
+    }
+    loop_->Respond(conn_id, wire);
+    return keep_alive ? EventLoop::Disposition::kInlineKeep
+                      : EventLoop::Disposition::kInlineClose;
+  }
+
+  // Everything else runs on the dispatch pool; the worker reports back to
+  // the loop when the response is fully produced (possibly still queued in
+  // the connection's output buffer — the loop drains that part).
+  auto shared_request = std::make_shared<HttpRequest>(std::move(request));
+  dispatch_pool_->Submit(
+      [this, conn_id, writer, shared_request, keep_alive] {
+        bool alive = false;
+        try {
+          alive = handler_->Handle(writer.get(), *shared_request, keep_alive,
+                                   counters());
+        } catch (...) {
+          alive = false;  // A throwing handler must not take the loop down.
+        }
+        loop_->CompleteDispatch(conn_id, alive && keep_alive);
+      });
+  return EventLoop::Disposition::kDispatched;
 }
 
 }  // namespace shapley::net

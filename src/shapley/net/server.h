@@ -3,13 +3,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <map>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <thread>
-#include <vector>
 
+#include "shapley/exec/thread_pool.h"
+#include "shapley/net/event_loop.h"
 #include "shapley/net/http.h"
 #include "shapley/service/shapley_service.h"
 
@@ -25,13 +23,28 @@ struct ServerOptions {
   /// 0 = ephemeral: the OS picks; read the result from HttpServer::port().
   uint16_t port = 0;
   /// Concurrent connections beyond this are answered 503 and closed —
-  /// back-pressure at the door instead of unbounded thread growth.
-  size_t max_connections = 64;
+  /// back-pressure at the door. The event loop makes a connection cost one
+  /// fd + parser state (not an OS thread), so the default is generous.
+  size_t max_connections = 1024;
   /// Request bodies beyond this are refused 413 without being read in.
   size_t max_body_bytes = 8 * 1024 * 1024;
   /// Idle-read timeout per request on a keep-alive connection; an idle
-  /// connection past it is closed (408 if mid-message).
+  /// connection past it is closed.
   int read_timeout_ms = 10'000;
+  /// A connection with queued response bytes but no write progress for
+  /// this long is disconnected (slow-reader disconnect).
+  int write_stall_timeout_ms = 10'000;
+  /// Per-connection output-queue cap: a handler producing faster than its
+  /// peer reads blocks once the queue holds this much (bounded memory).
+  size_t max_output_queue_bytes = 4 * 1024 * 1024;
+  /// Worker threads of the dispatch pool (the threads handlers run on;
+  /// they block on service futures, the service's own pool computes).
+  /// 0 = max(8, hardware_concurrency) — enough thin waiters that modest
+  /// request concurrency is never serialized on a small machine.
+  size_t dispatch_threads = 0;
+  /// Use the portable poll() readiness backend even where epoll exists
+  /// (tests exercise the fallback path with this).
+  bool force_poll = false;
   /// Reported by GET /healthz ("backend" for a ShapleyService front,
   /// "router" for the shard router) so a probe can tell what it reached.
   std::string role = "backend";
@@ -60,7 +73,7 @@ struct ServerCounters {
   size_t requests_served = 0;
 };
 
-/// The application half of HttpServer: the transport (accept loop,
+/// The application half of HttpServer: the transport (event loop,
 /// keep-alive, limits, drain) is fixed; WHAT the endpoints do is this
 /// interface. ServiceHandler serves a ShapleyService (the classic single
 /// backend); cluster/router.h plugs in a scatter/gather proxy instead.
@@ -68,10 +81,12 @@ class HttpHandler {
  public:
   virtual ~HttpHandler() = default;
 
-  /// One request → one (possibly chunk-streamed) response write on
-  /// `socket`. Returning false ends the connection. GET /healthz never
-  /// reaches the handler — the server answers it itself.
-  virtual bool Handle(Socket* socket, const HttpRequest& request,
+  /// One request → one (possibly chunk-streamed) response write through
+  /// `writer`. Runs on a DISPATCH-POOL thread (never the loop thread), so
+  /// blocking on service futures is fine. Returning false ends the
+  /// connection. GET /healthz never reaches the handler — the server
+  /// answers it itself.
+  virtual bool Handle(ResponseWriter* writer, const HttpRequest& request,
                       bool keep_alive, const ServerCounters& counters) = 0;
 };
 
@@ -81,8 +96,8 @@ class HttpHandler {
 std::string FrontEndErrorBody(SvcErrorCode code, std::string message);
 
 /// Writes one Content-Length JSON response. Returns SendAll's verdict.
-bool WriteJsonResponse(Socket* socket, int status, const std::string& body,
-                       bool keep_alive);
+bool WriteJsonResponse(ResponseWriter* writer, int status,
+                       const std::string& body, bool keep_alive);
 
 /// The HttpHandler serving a ShapleyService — the piece that turns the
 /// in-process serving layer (exact engines, dichotomy routing, the (ε, δ)
@@ -104,8 +119,8 @@ class ServiceHandler : public HttpHandler {
   /// `service` outlives the handler; not owned.
   explicit ServiceHandler(ShapleyService* service) : service_(service) {}
 
-  bool Handle(Socket* socket, const HttpRequest& request, bool keep_alive,
-              const ServerCounters& counters) override;
+  bool Handle(ResponseWriter* writer, const HttpRequest& request,
+              bool keep_alive, const ServerCounters& counters) override;
 
   /// Attaches a metrics registry (not owned; outlives the handler):
   /// registers the ServiceStats scrape collector and starts observing the
@@ -115,12 +130,12 @@ class ServiceHandler : public HttpHandler {
   void set_metrics(obs::MetricsRegistry* metrics);
 
  private:
-  bool HandleCompute(Socket* socket, const HttpRequest& request,
+  bool HandleCompute(ResponseWriter* writer, const HttpRequest& request,
                      bool keep_alive);
-  bool HandleBatch(Socket* socket, const HttpRequest& request,
+  bool HandleBatch(ResponseWriter* writer, const HttpRequest& request,
                    bool keep_alive);
-  bool HandleEngines(Socket* socket, bool keep_alive);
-  bool HandleStats(Socket* socket, bool keep_alive,
+  bool HandleEngines(ResponseWriter* writer, bool keep_alive);
+  bool HandleStats(ResponseWriter* writer, bool keep_alive,
                    const ServerCounters& counters);
 
   /// Latency-histogram observation for one finished request: labels come
@@ -134,30 +149,38 @@ class ServiceHandler : public HttpHandler {
   obs::MetricsRegistry* metrics_ = nullptr;
 };
 
-/// The TCP/HTTP front: accept loop, per-connection threads, keep-alive,
-/// body/connection limits and the shutdown drain. Requests are dispatched
-/// to an HttpHandler; the classic constructor wraps a ShapleyService in a
-/// ServiceHandler, the handler constructor hosts anything else (the shard
-/// router).
+/// The TCP/HTTP front: an epoll (poll-fallback) event loop multiplexing
+/// the listener and every connection on ONE thread (net/event_loop.h),
+/// with requests dispatched to a small worker pool. Keep-alive,
+/// body/connection limits, write-side backpressure and the shutdown drain
+/// are the transport's job; an HttpHandler supplies the endpoints — the
+/// classic constructor wraps a ShapleyService in a ServiceHandler, the
+/// handler constructor hosts anything else (the shard router).
 ///
 /// The server answers GET /healthz itself — 200 with
 /// {"status": "ok", "version": kShapleyVersion, "role": options.role} —
-/// so a health probe costs no handler (or service) work at all. GET
-/// /metrics is answered the same way (Prometheus text exposition of the
-/// server's registry), so a scrape works even when the handler is wedged.
+/// ON THE LOOP THREAD, so a health probe costs no handler (or service)
+/// work and never queues behind dispatched requests. GET /metrics is
+/// answered the same way (Prometheus text exposition of the server's
+/// registry), so a scrape works even when the handler pool is wedged.
 ///
-/// Execution model: one acceptor thread plus one thread per live
-/// connection (bounded by max_connections; the service's own pool does the
-/// actual computing, so connection threads are thin I/O loops that block
-/// on futures). Connections are keep-alive by default.
+/// Execution model: one loop thread owns every fd and runs each
+/// connection's state machine (read-accumulate → parse → dispatch →
+/// write-drain); fully-parsed requests are handed to the dispatch pool
+/// (options.dispatch_threads thin waiters — the service's own pool does
+/// the actual computing). While a request is in flight its connection's
+/// read side is not watched: pipelined keep-alive bytes wait buffered and
+/// are served the moment the response completes. A thousand idle
+/// keep-alive connections therefore cost a thousand fds, not a thousand
+/// OS threads.
 ///
-/// Shutdown discipline: Stop() closes the door (no new connections), asks
-/// every connection loop to finish THE REQUEST IT IS SERVING, streams
-/// those responses out, and joins — in-flight work is drained, never
-/// dropped. Requests arriving after Stop() get "Connection: close".
-/// Abort() is the opposite contract: a crash simulation for failover
-/// tests — it shutdowns every connection BOTH ways, so in-flight
-/// responses fail to write and clients see the stream die mid-flight.
+/// Shutdown discipline: Stop() closes the door (no new connections), cuts
+/// idle keep-alive connections immediately, finishes every DISPATCHED
+/// request, streams those responses out, and joins — in-flight work is
+/// drained, never dropped. Abort() is the opposite contract: a crash
+/// simulation for failover tests — it shutdowns every connection BOTH
+/// ways, so in-flight responses fail to write and clients see the stream
+/// die mid-flight.
 class HttpServer {
  public:
   /// `service` outlives the server; not owned. Wraps it in an owned
@@ -170,8 +193,8 @@ class HttpServer {
   HttpServer(const HttpServer&) = delete;
   HttpServer& operator=(const HttpServer&) = delete;
 
-  /// Binds, listens and spawns the acceptor. Throws std::runtime_error
-  /// when the address cannot be bound.
+  /// Binds, listens and spawns the loop thread + dispatch pool. Throws
+  /// std::runtime_error when the address cannot be bound.
   void Start();
 
   /// Graceful drain (see above). Idempotent; also run by the destructor.
@@ -188,56 +211,43 @@ class HttpServer {
   uint16_t port() const { return port_; }
   const std::string& host() const { return options_.host; }
 
-  size_t connections_accepted() const { return accepted_.load(); }
-  size_t connections_rejected() const { return rejected_.load(); }
-  size_t requests_served() const { return served_.load(); }
   ServerCounters counters() const;
+  size_t connections_accepted() const {
+    return counters().connections_accepted;
+  }
+  size_t connections_rejected() const {
+    return counters().connections_rejected;
+  }
+  size_t requests_served() const { return served_.load(); }
 
   /// The registry behind GET /metrics — options().metrics when provided,
   /// else the server's own. Never null.
   obs::MetricsRegistry* metrics() { return metrics_; }
 
  private:
-  /// Resolves metrics_ (options or owned), registers shapley_build_info
-  /// and the transport-counter collector. Ctor-only.
+  /// Resolves metrics_ (options or owned), registers shapley_build_info,
+  /// the transport-counter collector and the shapley_server_eventloop_*
+  /// collector. Ctor-only.
   void SetUpMetrics();
-  void HaltConnections(bool both_directions);
-  void AcceptLoop();
-  /// Thread body: runs the connection loop, then registers itself as
-  /// finished (reaped by the acceptor, or by Stop()).
-  void RunConnection(uint64_t id, Socket socket);
-  void ConnectionLoop(Socket* socket);
-  /// Joins every finished connection thread (near-instant joins).
-  void ReapFinished();
+  /// The event loop's request callback (LOOP THREAD): answers /healthz,
+  /// /metrics inline; dispatches everything else to the pool.
+  EventLoop::Disposition OnRequest(uint64_t conn_id, HttpRequest&& request,
+                                   std::shared_ptr<ConnWriter> writer);
 
   std::unique_ptr<HttpHandler> owned_handler_;
   HttpHandler* handler_;
   const ServerOptions options_;
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
   obs::MetricsRegistry* metrics_;  ///< Never null after construction.
-  Socket listener_;
+  std::unique_ptr<EventLoop> loop_;
+  /// The loop as seen by scrape collectors (which may run on any thread
+  /// while Start() swaps loop_): null until Start() completes.
+  std::atomic<EventLoop*> loop_ptr_{nullptr};
+  std::unique_ptr<ThreadPool> dispatch_pool_;
   uint16_t port_ = 0;
-  std::thread acceptor_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
-  std::atomic<size_t> live_connections_{0};
-  std::atomic<size_t> accepted_{0};
-  std::atomic<size_t> rejected_{0};
   std::atomic<size_t> served_{0};
-
-  /// Connection registry. Threads are REAPED as connections finish (the
-  /// acceptor joins them between accepts), so a long-lived server does
-  /// not accumulate one zombie thread handle per connection ever served.
-  /// conn_fds_ tracks each live connection's socket so Stop() can
-  /// shutdown(SHUT_RD) it — which unblocks an idle keep-alive read
-  /// immediately while still letting the in-flight response write out.
-  /// Ordering discipline: a connection removes its fd from the registry
-  /// BEFORE closing it, so Stop() never shutdowns a reused descriptor.
-  std::mutex conns_mutex_;
-  uint64_t next_conn_id_ = 0;
-  std::map<uint64_t, std::thread> conn_threads_;
-  std::map<uint64_t, int> conn_fds_;
-  std::vector<uint64_t> finished_conns_;
 };
 
 }  // namespace shapley::net
