@@ -1,0 +1,211 @@
+// Always-on observability overhead guard (obs/flight.h + obs/heavy.h +
+// obs/slowlog.h): the flight recorder and heavy-hitter sketches run on
+// EVERY request with no opt-in, so their cost must be provably negligible.
+// Same methodology as bench_trace_overhead:
+//
+//   1. baseline rounds: blocks of in-process requests with NO recording —
+//      the deck exists but is never touched;
+//   2. recorded rounds: the same blocks paying exactly what the server's
+//      hot path pays per request — DigestKeysFor (canonical shard key +
+//      hash) and RecordServedRequest (flight ring write + two Space-Saving
+//      updates + the slow-log threshold compare);
+//   3. guard (exit 1 on violation): compared on the PER-REQUEST MINIMUM
+//      latency (the fastest request is the one the scheduler left alone).
+//      Best recorded request within 5% of the best baseline request, with
+//      a noise allowance self-calibrated from the spread the baseline
+//      rounds themselves exhibited (2 µs floor);
+//   4. functional self-check: after the recorded rounds the deck must
+//      show exact conservation — flight total == requests recorded,
+//      resident == min(total, capacity), sketch totals == requests, and
+//      ZERO slow captures (the threshold sits far above any real
+//      latency, so the always-on path never pays for capture).
+//
+// Usage:
+//   bench_flight_overhead [--reps N] [--json out.json]
+//
+// --json rows (JSONL-appended to BENCH_obs.json by scripts/check.sh):
+//   {"name": "unrecorded_baseline" | "recorded", "requests": N,
+//    "us_per_req": ...}
+//   {"name": "self_check", "overhead_pct": ..., "conservation_errors": 0,
+//    "slow_captures": 0, "ok": 1}
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "shapley/data/parser.h"
+#include "shapley/net/server.h"
+#include "shapley/query/query_parser.h"
+#include "shapley/service/shapley_service.h"
+
+namespace {
+
+using namespace shapley;
+
+QueryPtr ParseQuery(const std::shared_ptr<Schema>& schema, const char* text) {
+  UcqPtr ucq = ParseUcq(schema, text);
+  if (ucq->disjuncts().size() == 1) return ucq->disjuncts()[0];
+  return ucq;
+}
+
+/// The hot-path instance: small, exact, lifted — per-request cost is
+/// dominated by the service path the always-on recording rides on.
+SvcRequest HotInstance(const std::shared_ptr<Schema>& schema) {
+  SvcRequest request;
+  request.query = ParseQuery(schema, "R(x), S(x,y)");
+  request.db = ParsePartitionedDatabase(
+      schema, "R(a) R(b) S(a,c) S(b,d) | S(a,d) S(b,c)");
+  return request;
+}
+
+struct BlockStats {
+  double mean_us = 0.0;
+  double min_us = 0.0;
+};
+
+double MinOf(const std::vector<BlockStats>& rounds,
+             double BlockStats::* member) {
+  double best = std::numeric_limits<double>::infinity();
+  for (const BlockStats& round : rounds) best = std::min(best, round.*member);
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t reps = 300;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--reps" && i + 1 < argc) {
+      reps = std::max<size_t>(50, std::strtoul(argv[++i], nullptr, 10));
+    }
+  }
+  constexpr size_t kRounds = 4;
+
+  bench::JsonReporter json =
+      bench::JsonReporter::FromArgs(argc, argv, "bench_flight_overhead");
+  bench::Banner(
+      "Flight/heavy overhead guard (always-on recording must be ~free)");
+
+  auto schema = Schema::Create();
+  const SvcRequest request = HotInstance(schema);
+  ShapleyService service(ServiceOptions{.threads = 2});
+  net::ServerOptions deck_options;  // Production defaults, incl. 250 ms.
+  net::DebugDeck deck(deck_options);
+
+  if (!service.Compute(request).ok()) {
+    std::cerr << "reference request failed\n";
+    return 1;
+  }
+  for (size_t i = 0; i < 50; ++i) service.Compute(request);
+
+  // ---- Baseline rounds: the deck exists but nothing records into it.
+  std::vector<BlockStats> baseline_rounds;
+  for (size_t round = 0; round < kRounds; ++round) {
+    BlockStats stats;
+    stats.min_us = std::numeric_limits<double>::infinity();
+    bench::Timer block_timer;
+    for (size_t i = 0; i < reps; ++i) {
+      bench::Timer request_timer;
+      const SvcResponse response = service.Compute(request);
+      stats.min_us =
+          std::min(stats.min_us, 1000.0 * request_timer.ElapsedMs());
+      if (!response.ok()) {
+        std::cerr << "hot-path request failed mid-block\n";
+        return 1;
+      }
+    }
+    stats.mean_us =
+        1000.0 * block_timer.ElapsedMs() / static_cast<double>(reps);
+    baseline_rounds.push_back(stats);
+  }
+
+  // ---- Recorded rounds: per request, exactly the server's always-on
+  // additions — digest keys, flight write, both sketches, threshold gate.
+  size_t slow_captures = 0;
+  std::vector<BlockStats> recorded_rounds;
+  for (size_t round = 0; round < kRounds; ++round) {
+    BlockStats stats;
+    stats.min_us = std::numeric_limits<double>::infinity();
+    bench::Timer block_timer;
+    for (size_t i = 0; i < reps; ++i) {
+      bench::Timer request_timer;
+      const net::RequestDigestKeys keys = net::DigestKeysFor(request);
+      const SvcResponse response = service.Compute(request);
+      const double wall_ms = request_timer.ElapsedMs();
+      if (net::RecordServedRequest(&deck, keys, "/v1/compute", response,
+                                   /*status=*/200, wall_ms,
+                                   /*trace_id=*/"")) {
+        ++slow_captures;  // Must stay 0: nothing here is 250 ms slow.
+      }
+      stats.min_us = std::min(stats.min_us, 1000.0 * wall_ms);
+      if (!response.ok()) {
+        std::cerr << "hot-path request failed mid-block\n";
+        return 1;
+      }
+    }
+    stats.mean_us =
+        1000.0 * block_timer.ElapsedMs() / static_cast<double>(reps);
+    recorded_rounds.push_back(stats);
+  }
+
+  // Functional self-check: exact conservation after kRounds * reps
+  // recorded requests.
+  const uint64_t recorded_n = static_cast<uint64_t>(kRounds * reps);
+  size_t conservation_errors = 0;
+  if (deck.flight.total_recorded() != recorded_n) ++conservation_errors;
+  const size_t resident = deck.flight.Snapshot().size();
+  const size_t expected_resident =
+      std::min<size_t>(recorded_n, deck.flight.capacity());
+  if (resident != expected_resident) ++conservation_errors;
+  if (deck.flight.dropped() + resident != recorded_n) ++conservation_errors;
+  if (deck.hot_keys.total() != recorded_n) ++conservation_errors;
+  if (deck.hot_classes.total() != recorded_n) ++conservation_errors;
+  if (deck.slow.total_captured() != 0) ++conservation_errors;
+
+  const double baseline = MinOf(baseline_rounds, &BlockStats::min_us);
+  const double recorded = MinOf(recorded_rounds, &BlockStats::min_us);
+  double baseline_spread = 0.0;
+  for (const BlockStats& round : baseline_rounds) {
+    baseline_spread = std::max(baseline_spread, round.min_us - baseline);
+  }
+  const double allowance = std::max(2.0, baseline_spread);
+  const double overhead_pct = 100.0 * (recorded - baseline) / baseline;
+  const bool fast_enough =
+      recorded <= baseline * 1.05 || recorded - baseline <= allowance;
+
+  bench::Table table({"phase", "requests", "min us/req", "mean us/req"},
+                     {22, 12, 12, 12});
+  table.PrintHeader();
+  const double block_total = static_cast<double>(reps * kRounds);
+  table.PrintRow("unrecorded_baseline", reps * kRounds, baseline,
+                 MinOf(baseline_rounds, &BlockStats::mean_us));
+  table.PrintRow("recorded", reps * kRounds, recorded,
+                 MinOf(recorded_rounds, &BlockStats::mean_us));
+  json.Row({{"name", "unrecorded_baseline"},
+            {"requests", block_total},
+            {"us_per_req", baseline},
+            {"mean_us_per_req", MinOf(baseline_rounds, &BlockStats::mean_us)}});
+  json.Row({{"name", "recorded"},
+            {"requests", block_total},
+            {"us_per_req", recorded},
+            {"mean_us_per_req", MinOf(recorded_rounds, &BlockStats::mean_us)}});
+
+  const bool ok =
+      fast_enough && conservation_errors == 0 && slow_captures == 0;
+  std::cout << "\nself-check: recording overhead "
+            << (overhead_pct < 0 ? 0.0 : overhead_pct) << "% (guard 5% or "
+            << allowance << " us noise allowance), " << conservation_errors
+            << " conservation errors, " << slow_captures
+            << " spurious slow captures: " << bench::PassFail(ok) << "\n";
+  json.Row({{"name", "self_check"},
+            {"overhead_pct", overhead_pct},
+            {"conservation_errors", static_cast<double>(conservation_errors)},
+            {"slow_captures", static_cast<double>(slow_captures)},
+            {"ok", ok ? 1.0 : 0.0}});
+  return ok ? 0 : 1;
+}

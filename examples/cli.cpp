@@ -17,6 +17,7 @@
 //   example_cli stats HOST:PORT
 //   example_cli scrape HOST:PORT
 //   example_cli trace HOST:PORT ['<query>' '<database>']
+//   example_cli top HOST:PORT
 //
 // Database syntax: "R(a,b) S(b,c) | T(d)" — facts after '|' are exogenous.
 // Query syntax:    "R(x,y), S(y,z) | T(x)" — '|' separates disjuncts,
@@ -45,10 +46,13 @@
 // dumps its GET /metrics Prometheus exposition verbatim; trace sends one
 // traced probe request (a tiny canned instance unless a query/database
 // pair follows) and pretty-prints the returned span tree — against a
-// router this shows the full cluster-wide tree, hop spans and all. All
-// three go through the client library (one keep-alive connection) and
-// exit non-zero on transport failure or a failed answer — curl-free smoke
-// probes for scripts and humans alike.
+// router this shows the full cluster-wide tree, hop spans and all; top
+// renders the always-on debug deck (GET /v1/debug/hot + /v1/debug/flight)
+// like `top`: the hot-key and query-class tables first, then the most
+// recent flight digests newest-first — against a router the hot tables
+// are the MERGED fleet view. All four go through the client library (one
+// keep-alive connection) and exit non-zero on transport failure or a
+// failed answer — curl-free smoke probes for scripts and humans alike.
 //
 // serve starts the network front (net/server.h) over a ShapleyService and
 // prints "listening on HOST:PORT"; SIGINT/SIGTERM drain in-flight requests
@@ -64,6 +68,7 @@
 #include <chrono>
 #include <csignal>
 #include <cstdlib>
+#include <iomanip>
 #include <iostream>
 #include <limits>
 #include <memory>
@@ -102,6 +107,7 @@ int Usage() {
       << "       example_cli stats HOST:PORT\n"
       << "       example_cli scrape HOST:PORT\n"
       << "       example_cli trace HOST:PORT ['<query>' '<database>']\n"
+      << "       example_cli top HOST:PORT\n"
       << "                   [--threads N]\n"
       << "                   [--engine "
          "auto|brute|lifted|ddnnf|permutations|sampling]\n"
@@ -172,6 +178,118 @@ void PrintStatsJson(const shapley::net::Json& json, int indent) {
     } else {
       std::cout << key << " = " << value.Dump() << "\n";
     }
+  }
+}
+
+/// One hot-hitter table of the `top` view: the sketch summary is already
+/// in canonical order (count desc, key asc), so rows print as received.
+void PrintHotTable(const shapley::net::Json& summary, const char* title) {
+  using shapley::net::Json;
+  uint64_t total = 0;
+  uint64_t evictions = 0;
+  if (const Json* t = summary.Find("total")) total = t->IfUint64().value_or(0);
+  if (const Json* e = summary.Find("evictions")) {
+    evictions = e->IfUint64().value_or(0);
+  }
+  std::cout << title << "  total=" << total << "  evictions=" << evictions
+            << "\n";
+  const Json* hitters = summary.Find("hitters");
+  const Json::Array* rows = hitters != nullptr ? hitters->IfArray() : nullptr;
+  if (rows == nullptr || rows->empty()) {
+    std::cout << "  (empty)\n";
+    return;
+  }
+  std::cout << "  " << std::setw(10) << "COUNT"
+            << "  " << std::setw(8) << "ERR"
+            << "  KEY\n";
+  for (const Json& row : *rows) {
+    uint64_t count = 0;
+    uint64_t error = 0;
+    std::string key;
+    if (const Json* c = row.Find("count")) count = c->IfUint64().value_or(0);
+    if (const Json* e = row.Find("error")) error = e->IfUint64().value_or(0);
+    if (const Json* k = row.Find("key")) {
+      if (const std::string* s = k->IfString()) key = *s;
+    }
+    if (key.size() > 56) key = key.substr(0, 53) + "...";
+    std::cout << "  " << std::setw(10) << count << "  " << std::setw(8)
+              << error << "  " << key << "\n";
+  }
+}
+
+/// `top` output: the debug deck rendered like its namesake — the hot
+/// tables first (against a router these are the MERGED fleet view), then
+/// the newest flight digests. Both payloads come off the wire verbatim.
+void PrintTopView(const std::string& target, const shapley::net::Json& hot,
+                  const shapley::net::Json& flight) {
+  using shapley::net::Json;
+  std::string role = "?";
+  if (const Json* r = hot.Find("role")) {
+    if (const std::string* s = r->IfString()) role = *s;
+  }
+  std::cout << "shapley top — " << target << "  role=" << role;
+  if (const Json* b = hot.Find("backends")) {
+    std::cout << "  backends=" << b->IfUint64().value_or(0);
+  }
+  if (const Json* up = flight.Find("uptime_ms")) {
+    std::cout << "  uptime_ms=" << up->Dump();
+  }
+  std::cout << "\n\n";
+
+  const Json* sketches = hot.Find("sketches");
+  const Json* by_key =
+      sketches != nullptr ? sketches->Find("shard_key") : nullptr;
+  const Json* by_class =
+      sketches != nullptr ? sketches->Find("query_class") : nullptr;
+  if (by_key != nullptr) PrintHotTable(*by_key, "hot shard keys");
+  std::cout << "\n";
+  if (by_class != nullptr) PrintHotTable(*by_class, "hot query classes");
+  std::cout << "\n";
+
+  uint64_t recorded = 0;
+  uint64_t dropped = 0;
+  if (const Json* r = flight.Find("recorded")) {
+    recorded = r->IfUint64().value_or(0);
+  }
+  if (const Json* d = flight.Find("dropped")) {
+    dropped = d->IfUint64().value_or(0);
+  }
+  std::cout << "recent flight  recorded=" << recorded
+            << "  dropped=" << dropped << "\n";
+  const Json* entries = flight.Find("entries");
+  const Json::Array* rows = entries != nullptr ? entries->IfArray() : nullptr;
+  if (rows == nullptr || rows->empty()) {
+    std::cout << "  (empty)\n";
+    return;
+  }
+  std::cout << "  " << std::setw(8) << "SEQ"
+            << "  " << std::setw(4) << "ST"
+            << "  " << std::setw(10) << "LAT_US"
+            << "  " << std::setw(8) << "SAMPLES"
+            << "  " << std::setw(6) << "HITS"
+            << "  " << std::setw(12) << "ENGINE"
+            << "  " << std::setw(10) << "MODE"
+            << "  TARGET\n";
+  constexpr size_t kMaxRows = 15;  // Like top: the screenful that matters.
+  size_t printed = 0;
+  for (auto it = rows->rbegin(); it != rows->rend() && printed < kMaxRows;
+       ++it, ++printed) {
+    const Json& row = *it;
+    auto u64 = [&row](const char* name) -> uint64_t {
+      const Json* member = row.Find(name);
+      return member != nullptr ? member->IfUint64().value_or(0) : 0;
+    };
+    auto str = [&row](const char* name) -> std::string {
+      const Json* member = row.Find(name);
+      const std::string* s = member != nullptr ? member->IfString() : nullptr;
+      return s != nullptr ? *s : std::string();
+    };
+    std::cout << "  " << std::setw(8) << u64("seq") << "  " << std::setw(4)
+              << u64("status") << "  " << std::setw(10) << u64("latency_us")
+              << "  " << std::setw(8) << u64("samples") << "  " << std::setw(6)
+              << u64("cache_hits") << "  " << std::setw(12) << str("engine")
+              << "  " << std::setw(10) << str("mode") << "  " << str("target")
+              << "\n";
   }
 }
 
@@ -379,7 +497,8 @@ int main(int argc, char** argv) {
       return RunRoute(host, static_cast<uint16_t>(port), backends_csv);
     }
 
-    if (command == "stats" || command == "scrape" || command == "trace") {
+    if (command == "stats" || command == "scrape" || command == "trace" ||
+        command == "top") {
       if (args.size() < 2) return Usage();
       const size_t colon = args[1].rfind(':');
       const long target_port = colon == std::string::npos
@@ -421,6 +540,34 @@ int main(int argc, char** argv) {
           return 1;
         }
         PrintTrace(std::cout, *probed.trace);
+        return 0;
+      }
+      if (command == "top") {
+        // Two GETs off the always-on debug deck; both must answer 200 —
+        // transport failures throw (caught below → exit 1).
+        int hot_status = 0;
+        const std::string hot_body =
+            client.RawGet("/v1/debug/hot", &hot_status);
+        if (hot_status != 200) {
+          std::cerr << "error: GET /v1/debug/hot answered " << hot_status
+                    << "\n";
+          return 1;
+        }
+        int flight_status = 0;
+        const std::string flight_body =
+            client.RawGet("/v1/debug/flight", &flight_status);
+        if (flight_status != 200) {
+          std::cerr << "error: GET /v1/debug/flight answered "
+                    << flight_status << "\n";
+          return 1;
+        }
+        const auto hot = net::Json::Parse(hot_body);
+        const auto flight = net::Json::Parse(flight_body);
+        if (!hot.has_value() || !flight.has_value()) {
+          std::cerr << "error: debug endpoint returned unparsable JSON\n";
+          return 1;
+        }
+        PrintTopView(args[1], *hot, *flight);
         return 0;
       }
       // Transport failures throw (caught below → exit 1); a reachable

@@ -109,11 +109,45 @@ for series in \
     'shapley_server_eventloop_wakeups_total{role="backend"}' \
     'shapley_server_eventloop_dispatches_total{role="backend"}' \
     'shapley_server_eventloop_using_epoll{role="backend"}' \
-    'shapley_cache_hits_total{table="counts"}'; do
+    'shapley_cache_hits_total{table="counts"}' \
+    'shapley_flight_recorded_total{role="backend"}' \
+    'shapley_heavy_recorded_total{role="backend",sketch="shard_key"}' \
+    'shapley_heavy_recorded_total{role="backend",sketch="query_class"}' \
+    'shapley_slowlog_captured_total{role="backend"}'; do
   grep -qF "$series" "$scrape_out" \
       || { echo "metrics smoke: missing series $series"; exit 1; }
 done
 "$build_dir/example_cli" stats "127.0.0.1:$port" > /dev/null
+
+echo "== debug-endpoint smoke (same live server: flight / hot / slow decks) =="
+# The always-on deck must have observed the traffic above with no opt-in:
+# the flight ring holds digests for every request served, the hot tables
+# counted every shard key and query class, and the slow-log answers (empty
+# — nothing above the default threshold). `top` renders the same decks
+# through the client library and exits non-zero on any transport failure.
+python3 - "$port" <<'PYEOF'
+import json, sys, urllib.request
+port = int(sys.argv[1])
+def fetch(path):
+    with urllib.request.urlopen(f"http://127.0.0.1:{port}{path}",
+                                timeout=10) as r:
+        assert r.status == 200, f"{path}: status {r.status}"
+        return json.load(r)
+flight = fetch("/v1/debug/flight")
+assert flight["recorded"] > 0 and flight["entries"], flight
+assert all(e["target"] for e in flight["entries"])
+hot = fetch("/v1/debug/hot")
+for sketch in ("shard_key", "query_class"):
+    assert hot["sketches"][sketch]["total"] > 0, hot
+    assert hot["sketches"][sketch]["hitters"], hot
+slow = fetch("/v1/debug/slow")
+assert slow["captured"] == 0 and slow["entries"] == [], slow
+print("debug smoke: %d digests recorded, %d hot keys, slow-log empty" % (
+    flight["recorded"], len(hot["sketches"]["shard_key"]["hitters"])))
+PYEOF
+"$build_dir/example_cli" top "127.0.0.1:$port" > "$build_dir/top_smoke.txt"
+grep -q "^shapley top — " "$build_dir/top_smoke.txt" \
+    || { echo "top smoke: missing header"; exit 1; }
 
 echo "== high-concurrency smoke (512 simultaneous keep-alive connections) =="
 # One single-threaded client holds 512 keep-alive connections open AT ONCE
@@ -209,6 +243,18 @@ echo "== bench (trace overhead guard, appending to BENCH_obs.json) =="
     --json "$build_dir/bench_trace_overhead.json"
 python3 -c 'import json,sys; print(json.dumps(json.load(open(sys.argv[1]))))' \
     "$build_dir/bench_trace_overhead.json" \
+    >> "$repo_root/BENCH_obs.json"
+
+echo "== bench (flight-recorder overhead guard, appending to BENCH_obs.json) =="
+# Same guard methodology over the ALWAYS-ON path: every request pays digest
+# keying + flight/heavy recording. The bench exits 1 if that costs more
+# than 5% (beyond scheduler noise) against the unrecorded baseline, if the
+# deck's conservation invariants break, or if any fast request lands in the
+# slow-log.
+"$build_dir/bench_flight_overhead" --reps 120 \
+    --json "$build_dir/bench_flight_overhead.json"
+python3 -c 'import json,sys; print(json.dumps(json.load(open(sys.argv[1]))))' \
+    "$build_dir/bench_flight_overhead.json" \
     >> "$repo_root/BENCH_obs.json"
 
 echo "== bench (fast: small instances, JSON to $build_dir/bench_parallel_scaling.json) =="

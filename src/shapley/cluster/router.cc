@@ -90,6 +90,29 @@ class RouterHandler : public net::HttpHandler {
       }
       return HandleCluster(writer, keep_alive, counters);
     }
+    if (request.target == "/v1/debug/flight") {
+      if (request.method != "GET") {
+        return MethodNotAllowed(writer, "use GET on /v1/debug/flight",
+                                keep_alive);
+      }
+      return net::WriteJsonResponse(
+          writer, 200, net::DebugFlightBody(*router_->deck_), keep_alive);
+    }
+    if (request.target == "/v1/debug/slow") {
+      if (request.method != "GET") {
+        return MethodNotAllowed(writer, "use GET on /v1/debug/slow",
+                                keep_alive);
+      }
+      return net::WriteJsonResponse(
+          writer, 200, net::DebugSlowBody(*router_->deck_), keep_alive);
+    }
+    if (request.target == "/v1/debug/hot") {
+      if (request.method != "GET") {
+        return MethodNotAllowed(writer, "use GET on /v1/debug/hot",
+                                keep_alive);
+      }
+      return HandleHot(writer, keep_alive);
+    }
     return net::WriteJsonResponse(
         writer, 404,
         net::FrontEndErrorBody(SvcErrorCode::kInvalidRequest,
@@ -133,6 +156,52 @@ class RouterHandler : public net::HttpHandler {
                        "Router wall time per proxied request",
                        obs::LatencyBucketsMs(), {{"endpoint", endpoint}})
         ->Observe(ms);
+  }
+
+  /// One routed request into the router's always-on deck: a flight digest
+  /// (engine = the backend that served it, "" when none could) and — when
+  /// the forward was slow — the verbatim forwarded body into the slow-log.
+  /// The router's SKETCHES stay untouched: /v1/debug/hot reports the
+  /// merged backend sketches, and recording here too would double-count
+  /// every request in the fleet view. Thread-safe (batch shard workers
+  /// call this concurrently).
+  void RecordRouted(const std::string& target, uint64_t shard_key_hash,
+                    const std::string& backend_id, const std::string& mode,
+                    int status, double wall_ms, const std::string& trace_id,
+                    const std::string* body_if_slow) {
+    net::DebugDeck* deck = router_->deck_.get();
+    obs::FlightDigest digest;
+    digest.target = target;
+    digest.shard_key_hash = shard_key_hash;
+    digest.engine = backend_id;
+    digest.mode = mode;
+    digest.status = status;
+    digest.latency_us = static_cast<uint64_t>(wall_ms * 1000.0);
+    digest.trace_id = trace_id;
+    deck->flight.Record(std::move(digest));
+    if (body_if_slow != nullptr && deck->slow.ShouldCapture(wall_ms)) {
+      obs::SlowEntry entry;
+      entry.target = target;
+      entry.body = *body_if_slow;
+      entry.latency_ms = wall_ms;
+      entry.status = status;
+      entry.engine = backend_id;
+      entry.mode = mode;
+      entry.shard_key_hash = shard_key_hash;
+      entry.trace_id = trace_id;
+      deck->slow.Capture(std::move(entry));
+    }
+  }
+
+  /// The HTTP status a backend batch line reports: its "error" block
+  /// carries the mapped status verbatim; no error block means 200.
+  static int LineStatus(const Json& line) {
+    const Json* error = line.Find("error");
+    if (error == nullptr) return 200;
+    const Json* status = error->Find("status");
+    std::optional<int64_t> value =
+        status != nullptr ? status->IfInt64() : std::nullopt;
+    return value.has_value() ? static_cast<int>(*value) : 500;
   }
 
   bool HandleCompute(net::ResponseWriter* writer, const net::HttpRequest& request,
@@ -190,6 +259,10 @@ class RouterHandler : public net::HttpHandler {
     };
 
     const std::string key = KeyFor(decoded.request, request.body);
+    const uint64_t key_hash = StableHash64(key);
+    const std::string mode = shapley::ToString(decoded.request.mode);
+    const std::string trace_id =
+        recorder != nullptr ? recorder->context().TraceIdHex() : "";
     std::vector<size_t> order = HealthyRank(key);
     const size_t tries =
         router_->options_.retry_failover ? std::min<size_t>(order.size(), 2)
@@ -230,7 +303,10 @@ class RouterHandler : public net::HttpHandler {
             recorder->End();
           }
         }
-        ObserveLatency("compute", wall_timer.ElapsedMs());
+        const double wall_ms = wall_timer.ElapsedMs();
+        ObserveLatency("compute", wall_ms);
+        RecordRouted("/v1/compute", key_hash, channel->id(), mode, status,
+                     wall_ms, trace_id, &forward_body);
         return net::WriteJsonResponse(writer, status, with_trace(body),
                                       keep_alive);
       } catch (const std::runtime_error& e) {
@@ -245,6 +321,8 @@ class RouterHandler : public net::HttpHandler {
       }
     }
     router_->requests_unserved_.fetch_add(1);
+    RecordRouted("/v1/compute", key_hash, /*backend_id=*/"", mode, 503,
+                 wall_timer.ElapsedMs(), trace_id, /*body_if_slow=*/nullptr);
     return net::WriteJsonResponse(
         writer, 503,
         with_trace(net::FrontEndErrorBody(
@@ -283,6 +361,7 @@ class RouterHandler : public net::HttpHandler {
     const size_t n = items->size();
     std::vector<std::string> item_text(n);
     std::vector<std::string> keys(n);
+    std::vector<std::string> modes(n);  // For the per-line flight digests.
     // Per-item recorders for traced requests (null otherwise): each traced
     // item gets its OWN cluster-wide tree, its forwarded text re-stamped
     // with the item's trace context; untraced items forward verbatim.
@@ -315,6 +394,7 @@ class RouterHandler : public net::HttpHandler {
         item_text[i] = stamped.Dump();
       }
       keys[i] = KeyFor(decoded.request, item_text[i]);
+      modes[i] = shapley::ToString(decoded.request.mode);
       const std::vector<size_t> order = HealthyRank(keys[i]);
       if (order.empty()) {
         unserved.push_back(i);
@@ -341,6 +421,12 @@ class RouterHandler : public net::HttpHandler {
     // the hops it burned are exactly what an operator wants to see on a
     // 503 line.
     auto unserved_line = [&](size_t id, const std::string& detail) {
+      RecordRouted("/v1/compute", StableHash64(keys[id]), /*backend_id=*/"",
+                   modes[id], 503, wall_timer.ElapsedMs(),
+                   recorders[id] != nullptr
+                       ? recorders[id]->context().TraceIdHex()
+                       : "",
+                   /*body_if_slow=*/nullptr);
       std::string line = UnservedLine(id, detail);
       if (recorders[id] != nullptr) {
         if (std::optional<Json> parsed = Json::Parse(line)) {
@@ -403,6 +489,17 @@ class RouterHandler : public net::HttpHandler {
               }
               seen[*local] = true;
               const size_t gid = ids[*local];
+              // Per-line digest: the latency is CLIENT-OBSERVED (batch
+              // arrival → this line ready), matching the backend's batch
+              // digests; a slow line captures its own forwarded item so
+              // the outlier replays standalone through /v1/compute.
+              RecordRouted("/v1/compute", StableHash64(keys[gid]),
+                           channel->id(), modes[gid], LineStatus(*parsed),
+                           wall_timer.ElapsedMs(),
+                           recorders[gid] != nullptr
+                               ? recorders[gid]->context().TraceIdHex()
+                               : "",
+                           &item_text[gid]);
               if (recorders[gid] != nullptr) {
                 // Close the hop (grafting the backend's subtree from the
                 // line's trace block) and install the finished cluster
@@ -567,6 +664,64 @@ class RouterHandler : public net::HttpHandler {
     return net::WriteJsonResponse(writer, 200, body.Dump(), keep_alive);
   }
 
+  /// ONE fleet-wide hot list: every healthy backend's /v1/debug/hot is
+  /// fetched, its two sketches parsed, and the fleet view is the
+  /// MergeHeavySummaries fold — exact and associative while the fleet
+  /// tracks ≤ k distinct keys, top-k-truncated with additive totals past
+  /// that (the documented mergeable-summary contract of obs/heavy.h).
+  bool HandleHot(net::ResponseWriter* writer, bool keep_alive) {
+    std::optional<obs::HeavySummary> keys;
+    std::optional<obs::HeavySummary> classes;
+    size_t backends_reached = 0;
+    for (size_t i = 0; i < router_->backends_.size(); ++i) {
+      BackendChannel* channel = router_->backends_[i].get();
+      if (!channel->healthy()) continue;
+      std::unique_ptr<net::ShapleyClient> client = channel->Acquire();
+      std::string body;
+      try {
+        int status = 0;
+        body = client->RawGet("/v1/debug/hot", &status);
+        channel->Release(std::move(client));
+        if (status != 200) continue;
+      } catch (const std::runtime_error&) {
+        channel->set_healthy(false);
+        continue;
+      }
+      std::optional<Json> parsed = Json::Parse(body);
+      const Json* sketches =
+          parsed.has_value() ? parsed->Find("sketches") : nullptr;
+      if (sketches == nullptr) continue;
+      const Json* by_key = sketches->Find("shard_key");
+      const Json* by_class = sketches->Find("query_class");
+      std::optional<obs::HeavySummary> backend_keys =
+          by_key != nullptr ? obs::ParseHeavySummary(*by_key) : std::nullopt;
+      std::optional<obs::HeavySummary> backend_classes =
+          by_class != nullptr ? obs::ParseHeavySummary(*by_class)
+                              : std::nullopt;
+      if (!backend_keys.has_value() || !backend_classes.has_value()) {
+        continue;
+      }
+      ++backends_reached;
+      keys = keys.has_value()
+                 ? obs::MergeHeavySummaries(*keys, *backend_keys)
+                 : std::move(backend_keys);
+      classes = classes.has_value()
+                    ? obs::MergeHeavySummaries(*classes, *backend_classes)
+                    : std::move(backend_classes);
+    }
+    Json sketches;
+    sketches.Set("shard_key",
+                 obs::HeavySummaryJson(keys.value_or(obs::HeavySummary{})));
+    sketches.Set(
+        "query_class",
+        obs::HeavySummaryJson(classes.value_or(obs::HeavySummary{})));
+    Json body;
+    body.Set("role", Json::Str("router"));
+    body.Set("backends", Json::Number(uint64_t{backends_reached}));
+    body.Set("sketches", std::move(sketches));
+    return net::WriteJsonResponse(writer, 200, body.Dump(), keep_alive);
+  }
+
   bool HandleCluster(net::ResponseWriter* writer, bool keep_alive,
                      const net::ServerCounters& counters) {
     Json shards = Json::Arr();
@@ -621,6 +776,10 @@ ShardRouter::ShardRouter(const std::vector<std::string>& backend_specs,
     ids.push_back(backends_.back()->id());
   }
   shard_map_ = ShardMap(std::move(ids));
+  // The router's own always-on deck (flight + slow-log; its sketches stay
+  // empty — see RouterHandler::HandleHot), sized by the same server
+  // options a backend would use.
+  deck_ = std::make_unique<net::DebugDeck>(options_.server);
   handler_ = std::make_unique<RouterHandler>(this);
 
   // The router owns its registry and hands it to its HttpServer (Start()),
@@ -629,6 +788,7 @@ ShardRouter::ShardRouter(const std::vector<std::string>& backend_specs,
   // shapley_router_ prefix — disjoint from every backend series by name
   // (and transport families are disjoint by their role label).
   metrics_ = std::make_unique<obs::MetricsRegistry>();
+  net::RegisterDebugDeckMetrics(metrics_.get(), deck_.get(), "router");
   metrics_->AddCollector([this] {
     metrics_
         ->GetCounter("shapley_router_requests_routed_total",

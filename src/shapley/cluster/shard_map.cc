@@ -26,26 +26,30 @@ std::string ShardKeyFor(const SvcRequest& request) {
   // function of the instance, so it renders fact TEXT through the
   // request's own schema and sorts it: any process holding a canonically
   // equal (query, database) computes the same key.
-  const auto render_sorted = [&](const Database& facts) {
+  // This runs per request on the always-on digest path as well as per
+  // routed request, so it builds into ONE reserved buffer: render each
+  // fact once, sort the renderings, append — no intermediate joins.
+  const auto append_sorted = [&](const Database& facts, std::string* key) {
     std::vector<std::string> rendered;
     rendered.reserve(facts.facts().size());
+    size_t length = 0;
     for (const Fact& fact : facts.facts()) {
       rendered.push_back(fact.ToString(*request.db.schema()));
+      length += rendered.back().size() + 1;
     }
     std::sort(rendered.begin(), rendered.end());
-    std::string joined;
+    key->reserve(key->size() + length);
     for (const std::string& fact : rendered) {
-      joined += fact;
-      joined += '\x1e';
+      *key += fact;
+      *key += '\x1e';
     }
-    return joined;
   };
   std::string key = "route\x1f";
   key += request.query->ToString();
   key += '\x1f';
-  key += render_sorted(request.db.endogenous());
+  append_sorted(request.db.endogenous(), &key);
   key += '\x1f';
-  key += render_sorted(request.db.exogenous());
+  append_sorted(request.db.exogenous(), &key);
   return key;
 }
 

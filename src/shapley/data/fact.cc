@@ -1,7 +1,5 @@
 #include "shapley/data/fact.h"
 
-#include <sstream>
-
 namespace shapley {
 
 Fact::Fact(RelationId relation, std::vector<Constant> args)
@@ -18,14 +16,22 @@ bool Fact::Mentions(Constant c) const {
 }
 
 std::string Fact::ToString(const Schema& schema) const {
-  std::ostringstream os;
-  os << schema.name(relation_) << "(";
+  // Direct string building: this renders on hot serving paths (response
+  // encoding, shard keys), where a per-call ostringstream dominates the
+  // actual formatting work.
+  const std::string& relation = schema.name(relation_);
+  size_t length = relation.size() + 2 + (args_.empty() ? 0 : args_.size() - 1);
+  for (Constant arg : args_) length += arg.name().size();
+  std::string out;
+  out.reserve(length);
+  out += relation;
+  out += '(';
   for (size_t i = 0; i < args_.size(); ++i) {
-    if (i > 0) os << ",";
-    os << args_[i];
+    if (i > 0) out += ',';
+    out += args_[i].name();
   }
-  os << ")";
-  return os.str();
+  out += ')';
+  return out;
 }
 
 std::strong_ordering operator<=>(const Fact& a, const Fact& b) {

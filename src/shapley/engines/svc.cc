@@ -31,6 +31,8 @@ std::string ToString(SvcErrorCode code) {
       return "engine-failure";
     case SvcErrorCode::kUpstreamUnavailable:
       return "upstream-unavailable";
+    case SvcErrorCode::kRequestTimeout:
+      return "request-timeout";
   }
   return "?";
 }

@@ -32,6 +32,10 @@ enum class SvcErrorCode {
   /// the request — the request itself is fine; the fleet behind the proxy
   /// is not. Clients may retry after a backoff.
   kUpstreamUnavailable,
+  /// The client started a request but did not finish sending it within the
+  /// server's read timeout (HTTP 408) — the connection closes after this
+  /// answer.
+  kRequestTimeout,
 };
 
 std::string ToString(SvcErrorCode code);

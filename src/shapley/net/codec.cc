@@ -249,6 +249,8 @@ int HttpStatusFor(SvcErrorCode code) {
       return 500;
     case SvcErrorCode::kUpstreamUnavailable:
       return 503;  // The fleet behind a proxy is down; retry later.
+    case SvcErrorCode::kRequestTimeout:
+      return 408;  // The client never finished sending its request.
   }
   return 500;
 }
@@ -258,7 +260,7 @@ std::optional<SvcErrorCode> ParseSvcErrorCode(const std::string& name) {
        {SvcErrorCode::kCapacityExceeded, SvcErrorCode::kUnsupportedQuery,
         SvcErrorCode::kDeadlineExceeded, SvcErrorCode::kCancelled,
         SvcErrorCode::kInvalidRequest, SvcErrorCode::kEngineFailure,
-        SvcErrorCode::kUpstreamUnavailable}) {
+        SvcErrorCode::kUpstreamUnavailable, SvcErrorCode::kRequestTimeout}) {
     if (shapley::ToString(code) == name) return code;
   }
   return std::nullopt;

@@ -752,7 +752,22 @@ void EventLoop::SweepTimeouts() {
   }
   for (uint64_t id : idle) {
     read_timeouts_.fetch_add(1, std::memory_order_relaxed);
-    CloseConn(id);
+    auto it = conns_.find(id);
+    if (it == conns_.end()) continue;
+    Conn* conn = it->second.get();
+    // A peer that STARTED a request and stalled gets told before the
+    // close (the prebuilt 408); an idle keep-alive connection between
+    // requests has nothing outstanding and still closes silently.
+    if (conn->parser.mid_message() && !options_.response_408.empty()) {
+      Respond(id, options_.response_408);
+      if (conns_.find(id) == conns_.end()) continue;  // Respond may close.
+      conn->state = ConnState::kDraining;
+      conn->close_after_drain = true;
+      UpdateInterest(conn, /*read=*/false, /*write=*/true);
+      FlushWrites(conn);  // Queue empty → immediate close.
+    } else {
+      CloseConn(id);
+    }
   }
   for (uint64_t id : stalled) {
     // Slow-reader disconnect: the peer stopped draining its responses;

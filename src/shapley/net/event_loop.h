@@ -52,10 +52,15 @@ struct EventLoopOptions {
   /// fallback must stay honest — tests run both).
   bool force_poll = false;
   /// Prebuilt full wire responses (head + body) the loop answers itself;
-  /// all three imply Connection: close.
+  /// all four imply Connection: close.
   std::string response_400;  ///< Malformed HTTP.
   std::string response_413;  ///< Declared body beyond max_body_bytes.
   std::string response_503;  ///< Accepted beyond max_connections.
+  /// Read timeout with a PARTIAL request buffered: the peer started
+  /// sending and stalled, so it gets told (408) before the close. An idle
+  /// keep-alive connection BETWEEN requests still closes silently — there
+  /// is nothing to answer. Empty → every read timeout closes silently.
+  std::string response_408;
 };
 
 /// Monotone counters + live gauges of the loop, mirrored into the

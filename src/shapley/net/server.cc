@@ -8,6 +8,7 @@
 #include <thread>
 #include <utility>
 
+#include "shapley/cluster/shard_map.h"
 #include "shapley/common/version.h"
 #include "shapley/net/codec.h"
 #include "shapley/net/json.h"
@@ -34,6 +35,178 @@ bool WriteJsonResponse(ResponseWriter* writer, int status,
       SerializeResponseHead(status, "application/json",
                             static_cast<long>(body.size()), keep_alive) +
       body);
+}
+
+// ---------------------------------------------------------------------------
+// DebugDeck — always-on instruments and their /v1/debug/* renderings
+// ---------------------------------------------------------------------------
+
+RequestDigestKeys DigestKeysFor(const SvcRequest& request) {
+  // The shard key is the canonical, process-independent identity of the
+  // instance (cluster/shard_map.h) — the SAME key the router shards by, so
+  // a backend's hot list and the router's fleet view name identical keys.
+  RequestDigestKeys keys;
+  keys.shard_key = cluster::ShardKeyFor(request);
+  keys.shard_key_hash = cluster::StableHash64(keys.shard_key);
+  return keys;
+}
+
+bool RecordServedRequest(DebugDeck* deck, const RequestDigestKeys& keys,
+                         const std::string& target,
+                         const SvcResponse& response, int status,
+                         double wall_ms, const std::string& trace_id) {
+  if (deck == nullptr) return false;
+  obs::FlightDigest digest;
+  digest.target = target;
+  digest.shard_key_hash = keys.shard_key_hash;
+  digest.engine = response.engine;
+  digest.mode = shapley::ToString(response.mode);
+  digest.strategy = response.approx.has_value()
+                        ? response.approx->strategy
+                        : (response.engine.empty() ? "" : "exact");
+  digest.status = status;
+  digest.latency_us = static_cast<uint64_t>(wall_ms * 1000.0);
+  digest.samples = response.approx.has_value() ? response.approx->samples : 0;
+  digest.cache_hits =
+      response.approx.has_value() ? response.approx->memo_hits : 0;
+  digest.trace_id = trace_id;
+  deck->flight.Record(std::move(digest));
+  if (!keys.shard_key.empty()) deck->hot_keys.Record(keys.shard_key);
+  deck->hot_classes.Record(response.verdict.query_class.empty()
+                               ? "unclassified"
+                               : response.verdict.query_class);
+  return deck->slow.ShouldCapture(wall_ms);
+}
+
+void CaptureSlow(DebugDeck* deck, const RequestDigestKeys& keys,
+                 const std::string& target, std::string body,
+                 const SvcResponse& response, int status, double wall_ms,
+                 const std::string& trace_id) {
+  if (deck == nullptr) return;
+  obs::SlowEntry entry;
+  entry.target = target;
+  entry.body = std::move(body);
+  entry.latency_ms = wall_ms;
+  entry.status = status;
+  entry.engine = response.engine;
+  entry.mode = shapley::ToString(response.mode);
+  entry.strategy = response.approx.has_value()
+                       ? response.approx->strategy
+                       : (response.engine.empty() ? "" : "exact");
+  entry.shard_key_hash = keys.shard_key_hash;
+  entry.trace_id = trace_id;
+  deck->slow.Capture(std::move(entry));
+}
+
+std::string DebugFlightBody(const DebugDeck& deck) {
+  Json entries = Json::Arr();
+  for (const obs::FlightRecorder::Entry& entry : deck.flight.Snapshot()) {
+    Json line;
+    line.Set("seq", Json::Number(entry.seq));
+    line.Set("t_ms", Json::Number(entry.digest.t_ms));
+    line.Set("target", Json::Str(entry.digest.target));
+    line.Set("shard_key_hash", Json::Number(entry.digest.shard_key_hash));
+    line.Set("engine", Json::Str(entry.digest.engine));
+    line.Set("mode", Json::Str(entry.digest.mode));
+    line.Set("strategy", Json::Str(entry.digest.strategy));
+    line.Set("status", Json::Number(int64_t{entry.digest.status}));
+    line.Set("latency_us", Json::Number(entry.digest.latency_us));
+    line.Set("samples", Json::Number(entry.digest.samples));
+    line.Set("cache_hits", Json::Number(entry.digest.cache_hits));
+    line.Set("trace_id", Json::Str(entry.digest.trace_id));
+    entries.Push(std::move(line));
+  }
+  Json body;
+  body.Set("uptime_ms", Json::Number(deck.flight.UptimeMs()));
+  body.Set("capacity", Json::Number(uint64_t{deck.flight.capacity()}));
+  body.Set("recorded", Json::Number(deck.flight.total_recorded()));
+  body.Set("dropped", Json::Number(deck.flight.dropped()));
+  body.Set("entries", std::move(entries));
+  return body.Dump();
+}
+
+std::string DebugHotBody(const DebugDeck& deck, const std::string& role) {
+  Json sketches;
+  sketches.Set("shard_key",
+               obs::HeavySummaryJson(deck.hot_keys.Summary()));
+  sketches.Set("query_class",
+               obs::HeavySummaryJson(deck.hot_classes.Summary()));
+  Json body;
+  body.Set("role", Json::Str(role));
+  body.Set("sketches", std::move(sketches));
+  return body.Dump();
+}
+
+std::string DebugSlowBody(const DebugDeck& deck) {
+  Json entries = Json::Arr();
+  for (const obs::SlowEntry& entry : deck.slow.Snapshot()) {
+    entries.Push(obs::SlowEntryJson(entry));
+  }
+  Json body;
+  body.Set("threshold_ms", Json::Number(deck.slow.threshold_ms()));
+  body.Set("capacity", Json::Number(uint64_t{deck.slow.capacity()}));
+  body.Set("captured", Json::Number(deck.slow.total_captured()));
+  body.Set("entries", std::move(entries));
+  return body.Dump();
+}
+
+void RegisterDebugDeckMetrics(obs::MetricsRegistry* metrics, DebugDeck* deck,
+                              const std::string& role) {
+  metrics->AddCollector([metrics, deck, role] {
+    const obs::Labels role_labels{{"role", role}};
+    metrics
+        ->GetCounter("shapley_flight_recorded_total",
+                     "Request digests recorded by the flight recorder",
+                     role_labels)
+        ->Set(deck->flight.total_recorded());
+    metrics
+        ->GetCounter("shapley_flight_dropped_total",
+                     "Digests overwritten before any snapshot (ring wrap)",
+                     role_labels)
+        ->Set(deck->flight.dropped());
+    metrics
+        ->GetGauge("shapley_flight_capacity",
+                   "Digest slots of the flight ring", role_labels)
+        ->Set(static_cast<double>(deck->flight.capacity()));
+    auto expose_sketch = [&](const char* name,
+                             const obs::SpaceSaving& sketch) {
+      const obs::Labels labels{{"role", role}, {"sketch", name}};
+      metrics
+          ->GetCounter("shapley_heavy_recorded_total",
+                       "Keys recorded into the heavy-hitter sketch", labels)
+          ->Set(sketch.total());
+      metrics
+          ->GetCounter("shapley_heavy_evictions_total",
+                       "Space-Saving admissions that displaced a tracked "
+                       "key",
+                       labels)
+          ->Set(sketch.evictions());
+      metrics
+          ->GetGauge("shapley_heavy_keys_tracked",
+                     "Keys currently tracked (≤ k)", labels)
+          ->Set(static_cast<double>(sketch.keys_tracked()));
+    };
+    expose_sketch("shard_key", deck->hot_keys);
+    expose_sketch("query_class", deck->hot_classes);
+    metrics
+        ->GetCounter("shapley_slowlog_captured_total",
+                     "Requests past the slow threshold whose bodies were "
+                     "captured",
+                     role_labels)
+        ->Set(deck->slow.total_captured());
+    metrics
+        ->GetGauge("shapley_slowlog_threshold_ms",
+                   "Latency at or above which a request is captured",
+                   role_labels)
+        ->Set(deck->slow.threshold_ms());
+    metrics
+        ->GetGauge(
+            "shapley_slowlog_entries",
+            "Captured outliers resident in the slow-log ring", role_labels)
+        ->Set(static_cast<double>(
+            std::min<uint64_t>(deck->slow.total_captured(),
+                               deck->slow.capacity())));
+  });
 }
 
 // ---------------------------------------------------------------------------
@@ -78,11 +251,43 @@ bool ServiceHandler::Handle(ResponseWriter* writer, const HttpRequest& request,
     }
     return HandleStats(writer, keep_alive, counters);
   }
+  if (request.target == "/v1/debug/flight" ||
+      request.target == "/v1/debug/hot" ||
+      request.target == "/v1/debug/slow") {
+    if (request.method != "GET") {
+      return WriteJsonResponse(writer, 405,
+                               FrontEndErrorBody(SvcErrorCode::kInvalidRequest,
+                                                 "use GET on " +
+                                                     request.target),
+                               keep_alive);
+    }
+    return HandleDebug(writer, request, keep_alive);
+  }
   return WriteJsonResponse(
       writer, 404,
       FrontEndErrorBody(SvcErrorCode::kInvalidRequest,
                         "unknown endpoint " + request.target),
       keep_alive);
+}
+
+bool ServiceHandler::HandleDebug(ResponseWriter* writer,
+                                 const HttpRequest& request, bool keep_alive) {
+  if (deck_ == nullptr) {
+    return WriteJsonResponse(
+        writer, 404,
+        FrontEndErrorBody(SvcErrorCode::kInvalidRequest,
+                          "no debug deck attached to this handler"),
+        keep_alive);
+  }
+  std::string body;
+  if (request.target == "/v1/debug/flight") {
+    body = DebugFlightBody(*deck_);
+  } else if (request.target == "/v1/debug/hot") {
+    body = DebugHotBody(*deck_, "backend");
+  } else {
+    body = DebugSlowBody(*deck_);
+  }
+  return WriteJsonResponse(writer, 200, body, keep_alive);
 }
 
 void ServiceHandler::set_metrics(obs::MetricsRegistry* metrics) {
@@ -245,6 +450,10 @@ bool ServiceHandler::HandleCompute(ResponseWriter* writer,
                              keep_alive);
   }
   const double decode_ms = decode_timer.ElapsedMs();
+  // Digest identity comes off the decoded request NOW — Compute consumes
+  // the request, and the always-on instruments record after it returns.
+  const RequestDigestKeys digest_keys =
+      deck_ != nullptr ? DigestKeysFor(decoded.request) : RequestDigestKeys{};
   ObserveArrival();
   // Recorder allocated ONLY for traced requests — the untraced hot path
   // carries a null pointer end to end. The root span is backdated to the
@@ -277,7 +486,15 @@ bool ServiceHandler::HandleCompute(ResponseWriter* writer,
     if (metrics_ != nullptr) obs::ObserveTracePhases(metrics_, trace.root);
     SetTraceBlock(&body, trace);
   }
-  ObserveRequest(response, wall_timer.ElapsedMs());
+  const double wall_ms = wall_timer.ElapsedMs();
+  ObserveRequest(response, wall_ms);
+  const std::string trace_id =
+      recorder != nullptr ? recorder->context().TraceIdHex() : "";
+  if (RecordServedRequest(deck_, digest_keys, request.target, response,
+                          status, wall_ms, trace_id)) {
+    CaptureSlow(deck_, digest_keys, request.target, request.body, response,
+                status, wall_ms, trace_id);
+  }
   return WriteJsonResponse(writer, status, body.Dump(), keep_alive);
 }
 
@@ -310,6 +527,7 @@ bool ServiceHandler::HandleBatch(ResponseWriter* writer,
     std::future<SvcResponse> future;
     std::optional<SvcResponse> immediate;  // Decode failures.
     std::unique_ptr<obs::TraceRecorder> recorder;  // Traced items only.
+    RequestDigestKeys digest_keys;  // Taken before the request moves.
     double decode_ms = 0.0;
     bool streamed = false;
   };
@@ -350,6 +568,9 @@ bool ServiceHandler::HandleBatch(ResponseWriter* writer,
         slots[i].recorder->AddClosed("decode", 0.0, slots[i].decode_ms);
         decoded.request.recorder = slots[i].recorder.get();
       }
+      if (deck_ != nullptr) {
+        slots[i].digest_keys = DigestKeysFor(decoded.request);
+      }
       ObserveArrival();
       slots[i].future = service_->Submit(std::move(decoded.request));
     }
@@ -372,7 +593,24 @@ bool ServiceHandler::HandleBatch(ResponseWriter* writer,
     }
     // Per-slot latency is CLIENT-OBSERVED: batch arrival to this line
     // streaming out (queueing behind siblings included).
-    ObserveRequest(response, batch_timer.ElapsedMs());
+    const double item_wall_ms = batch_timer.ElapsedMs();
+    ObserveRequest(response, item_wall_ms);
+    const int item_status =
+        response.ok() ? 200 : HttpStatusFor(response.error->code);
+    const std::string trace_id =
+        slots[i].recorder != nullptr
+            ? slots[i].recorder->context().TraceIdHex()
+            : "";
+    // A slow batch ITEM captures under /v1/compute with its own single-
+    // request body ((*items)[i] re-emits the item's bytes verbatim — raw
+    // number tokens and member order are preserved), so the captured
+    // outlier replays standalone, without dragging its batch siblings in.
+    if (RecordServedRequest(deck_, slots[i].digest_keys, "/v1/compute",
+                            response, item_status, item_wall_ms, trace_id)) {
+      CaptureSlow(deck_, slots[i].digest_keys, "/v1/compute",
+                  (*items)[i].Dump(), response, item_status, item_wall_ms,
+                  trace_id);
+    }
     // The id leads the object so a human tailing the stream sees it first.
     Json tagged;
     tagged.Set("id", Json::Number(uint64_t{i}));
@@ -467,7 +705,14 @@ HttpServer::HttpServer(ShapleyService* service, ServerOptions options)
       handler_(owned_handler_.get()),
       options_(std::move(options)) {
   SetUpMetrics();
-  static_cast<ServiceHandler*>(owned_handler_.get())->set_metrics(metrics_);
+  auto* service_handler = static_cast<ServiceHandler*>(owned_handler_.get());
+  service_handler->set_metrics(metrics_);
+  // The always-on debug deck: flight ring + sketches + slow-log, recorded
+  // on every request this handler serves and scraped as the
+  // shapley_flight_* / shapley_heavy_* / shapley_slowlog_* families.
+  owned_deck_ = std::make_unique<DebugDeck>(options_);
+  service_handler->set_debug(owned_deck_.get());
+  RegisterDebugDeckMetrics(metrics_, owned_deck_.get(), options_.role);
 }
 
 HttpServer::HttpServer(HttpHandler* handler, ServerOptions options)
@@ -637,6 +882,20 @@ void HttpServer::Start() {
             std::to_string(options_.max_connections) + ") — retry");
     loop_options.response_503 =
         SerializeResponseHead(503, "application/json",
+                              static_cast<long>(body.size()),
+                              /*keep_alive=*/false) +
+        body;
+  }
+  {
+    // A connection idle past the read timeout with a PARTIAL request gets
+    // told so before the close; an idle keep-alive connection between
+    // requests still closes silently (event_loop.cc SweepTimeouts).
+    const std::string body = FrontEndErrorBody(
+        SvcErrorCode::kRequestTimeout,
+        "no complete request within the read timeout of " +
+            std::to_string(options_.read_timeout_ms) + " ms");
+    loop_options.response_408 =
+        SerializeResponseHead(408, "application/json",
                               static_cast<long>(body.size()),
                               /*keep_alive=*/false) +
         body;

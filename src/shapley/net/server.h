@@ -9,6 +9,9 @@
 #include "shapley/exec/thread_pool.h"
 #include "shapley/net/event_loop.h"
 #include "shapley/net/http.h"
+#include "shapley/obs/flight.h"
+#include "shapley/obs/heavy.h"
+#include "shapley/obs/slowlog.h"
 #include "shapley/service/shapley_service.h"
 
 namespace shapley::obs {
@@ -61,6 +64,17 @@ struct ServerOptions {
   /// no capture (the default; logging costs one mutexed file write per
   /// request).
   obs::RequestLogWriter* request_log = nullptr;
+
+  /// Always-on debug instruments (the DebugDeck below; GET /v1/debug/*).
+  /// Flight-recorder ring slots — how many recent request digests survive.
+  size_t flight_capacity = 1024;
+  /// Heavy-hitter sketch capacity (tracked keys per sketch).
+  size_t heavy_k = 32;
+  /// Requests at or above this wall time get their verbatim body promoted
+  /// into the slow-log; <= 0 disables slow capture.
+  double slow_threshold_ms = 250.0;
+  /// Slow-log ring capacity (captured outliers resident at once).
+  size_t slowlog_capacity = 32;
 };
 
 /// Snapshot of an HttpServer's connection-level counters, handed to the
@@ -90,6 +104,65 @@ class HttpHandler {
                       bool keep_alive, const ServerCounters& counters) = 0;
 };
 
+/// The always-on debug instruments of one serving process — a flight
+/// recorder of recent request digests, two heavy-hitter sketches (by
+/// canonical shard key and by classifier query class), and the slow-log of
+/// captured outlier bodies. One deck per process: the service-hosting
+/// HttpServer creates and owns one; the shard router builds its own and
+/// serves it through the same /v1/debug/* surface.
+struct DebugDeck {
+  explicit DebugDeck(const ServerOptions& options)
+      : flight(options.flight_capacity),
+        hot_keys(options.heavy_k),
+        hot_classes(options.heavy_k),
+        slow(options.slow_threshold_ms, options.slowlog_capacity) {}
+
+  obs::FlightRecorder flight;
+  obs::SpaceSaving hot_keys;     ///< Keyed by canonical shard key.
+  obs::SpaceSaving hot_classes;  ///< Keyed by dichotomy query class.
+  obs::SlowLog slow;
+};
+
+/// The request-derived identity of a digest, computed from the DECODED
+/// request BEFORE it moves into the service (everything response-derived —
+/// engine, strategy, samples — is read off the response at record time).
+struct RequestDigestKeys {
+  std::string shard_key;  ///< cluster::ShardKeyFor; "" without a query.
+  uint64_t shard_key_hash = 0;
+};
+
+RequestDigestKeys DigestKeysFor(const SvcRequest& request);
+
+/// Records one served request into every always-on instrument of `deck`
+/// (flight digest + both sketches). Returns true when the request was slow
+/// enough to capture — the CALLER then materializes the body and calls
+/// CaptureSlow, so the hot path never copies a body that was not slow.
+/// Null deck → no-op, returns false.
+bool RecordServedRequest(DebugDeck* deck, const RequestDigestKeys& keys,
+                         const std::string& target,
+                         const SvcResponse& response, int status,
+                         double wall_ms, const std::string& trace_id);
+
+/// Promotes one slow request — `body` is the VERBATIM wire bytes, so the
+/// entry replays bit-identically — into the deck's slow-log.
+void CaptureSlow(DebugDeck* deck, const RequestDigestKeys& keys,
+                 const std::string& target, std::string body,
+                 const SvcResponse& response, int status, double wall_ms,
+                 const std::string& trace_id);
+
+/// The GET /v1/debug/* response bodies (canonical member order; every
+/// timestamp a RELATIVE offset — see obs/replay.h on what comparisons
+/// strip). Shared by the backend handler and the router's own endpoints.
+std::string DebugFlightBody(const DebugDeck& deck);
+std::string DebugHotBody(const DebugDeck& deck, const std::string& role);
+std::string DebugSlowBody(const DebugDeck& deck);
+
+/// Registers the scrape-time collector exposing the deck as the
+/// shapley_flight_* / shapley_heavy_* / shapley_slowlog_* families, role-
+/// labeled so a router and a backend sharing a dashboard stay disjoint.
+void RegisterDebugDeckMetrics(obs::MetricsRegistry* metrics, DebugDeck* deck,
+                              const std::string& role);
+
 /// A response body for failures raised by the HTTP layer itself (no
 /// service round-trip happened): same wire shape as every other error, so
 /// clients have exactly one error format to handle.
@@ -114,6 +187,7 @@ bool WriteJsonResponse(ResponseWriter* writer, int status,
 ///                     head-of-line-blocks a fast one behind it
 ///   GET  /v1/engines  the registry: names, descriptions, capabilities
 ///   GET  /v1/stats    ServiceStats snapshot (+ server connection counters)
+///   GET  /v1/debug/flight|hot|slow  the attached DebugDeck (set_debug)
 class ServiceHandler : public HttpHandler {
  public:
   /// `service` outlives the handler; not owned.
@@ -129,6 +203,12 @@ class ServiceHandler : public HttpHandler {
   /// its owned handler; an externally-hosted handler may call it directly.
   void set_metrics(obs::MetricsRegistry* metrics);
 
+  /// Attaches the always-on debug deck (not owned; outlives the handler).
+  /// Every served request records a flight digest + sketch hits; requests
+  /// past the slow threshold capture their verbatim body. HttpServer calls
+  /// this with its owned deck; null detaches (debug endpoints answer 404).
+  void set_debug(DebugDeck* deck) { deck_ = deck; }
+
  private:
   bool HandleCompute(ResponseWriter* writer, const HttpRequest& request,
                      bool keep_alive);
@@ -137,6 +217,8 @@ class ServiceHandler : public HttpHandler {
   bool HandleEngines(ResponseWriter* writer, bool keep_alive);
   bool HandleStats(ResponseWriter* writer, bool keep_alive,
                    const ServerCounters& counters);
+  bool HandleDebug(ResponseWriter* writer, const HttpRequest& request,
+                   bool keep_alive);
 
   /// Latency-histogram observation for one finished request: labels come
   /// from the RESPONSE (engine that actually served it, realized strategy),
@@ -147,6 +229,7 @@ class ServiceHandler : public HttpHandler {
 
   ShapleyService* service_;
   obs::MetricsRegistry* metrics_ = nullptr;
+  DebugDeck* deck_ = nullptr;
 };
 
 /// The TCP/HTTP front: an epoll (poll-fallback) event loop multiplexing
@@ -224,6 +307,11 @@ class HttpServer {
   /// else the server's own. Never null.
   obs::MetricsRegistry* metrics() { return metrics_; }
 
+  /// The always-on debug deck behind GET /v1/debug/* — owned and wired by
+  /// the service constructor; null for a handler-hosted server (the host,
+  /// e.g. the shard router, brings its own deck).
+  DebugDeck* debug_deck() { return owned_deck_.get(); }
+
  private:
   /// Resolves metrics_ (options or owned), registers shapley_build_info,
   /// the transport-counter collector and the shapley_server_eventloop_*
@@ -235,6 +323,7 @@ class HttpServer {
                                    std::shared_ptr<ConnWriter> writer);
 
   std::unique_ptr<HttpHandler> owned_handler_;
+  std::unique_ptr<DebugDeck> owned_deck_;  ///< Service ctor only.
   HttpHandler* handler_;
   const ServerOptions options_;
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;

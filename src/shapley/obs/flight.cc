@@ -1,0 +1,58 @@
+#include "shapley/obs/flight.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace shapley::obs {
+
+FlightRecorder::FlightRecorder(size_t capacity, size_t shards)
+    : num_shards_(std::max<size_t>(1, shards)),
+      epoch_(std::chrono::steady_clock::now()) {
+  if (capacity < num_shards_) capacity = num_shards_;
+  per_shard_ = (capacity + num_shards_ - 1) / num_shards_;
+  capacity_ = per_shard_ * num_shards_;
+  shards_ = std::make_unique<Shard[]>(num_shards_);
+  for (size_t s = 0; s < num_shards_; ++s) {
+    shards_[s].slots.resize(per_shard_);
+  }
+}
+
+double FlightRecorder::UptimeMs() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void FlightRecorder::Record(FlightDigest digest) {
+  digest.t_ms = UptimeMs();
+  // The global counter fixes the digest's identity BEFORE any lock:
+  // concurrent writers get distinct sequence numbers, distinct slots, and
+  // (for seq dense in [n, n + shards)) distinct shard mutexes.
+  const uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  Shard& shard = shards_[seq % num_shards_];
+  Slot& slot = shard.slots[(seq / num_shards_) % per_shard_];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  slot.digest = std::move(digest);
+  slot.seq_plus_1 = seq + 1;
+}
+
+std::vector<FlightRecorder::Entry> FlightRecorder::Snapshot() const {
+  std::vector<Entry> entries;
+  entries.reserve(capacity_);
+  for (size_t s = 0; s < num_shards_; ++s) {
+    const Shard& shard = shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const Slot& slot : shard.slots) {
+      if (slot.seq_plus_1 == 0) continue;
+      entries.push_back(Entry{slot.seq_plus_1 - 1, slot.digest});
+    }
+  }
+  // Global sequence order, oldest → newest. Slots snapshotted shard by
+  // shard can include a digest overwritten between shard locks AND its
+  // overwriter; both are real recorded digests, so both stay.
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.seq < b.seq; });
+  return entries;
+}
+
+}  // namespace shapley::obs

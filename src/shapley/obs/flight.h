@@ -1,0 +1,107 @@
+#ifndef SHAPLEY_OBS_FLIGHT_H_
+#define SHAPLEY_OBS_FLIGHT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace shapley::obs {
+
+/// One per-request digest — the always-on answer to "what just happened"
+/// when a tail-latency incident arrives with no trace requested. Small on
+/// purpose: no body, no values, just the routing/serving identity and the
+/// cost figures an operator triages by.
+struct FlightDigest {
+  /// Milliseconds since the recorder's epoch (its construction) — a
+  /// RELATIVE offset, so digests order and difference without any wall
+  /// clock. Filled by FlightRecorder::Record; callers leave it 0.
+  double t_ms = 0.0;
+  std::string target;          ///< Endpoint ("/v1/compute", "/v1/batch").
+  uint64_t shard_key_hash = 0; ///< StableHash64 of the canonical shard key.
+  std::string engine;          ///< Serving engine (router: backend id).
+  std::string mode;            ///< SvcMode wire name ("" when undecodable).
+  std::string strategy;        ///< "exact" | sampling strategy | "".
+  int status = 0;              ///< HTTP status of the answer.
+  uint64_t latency_us = 0;     ///< Wall time, request arrival → response.
+  uint64_t samples = 0;        ///< Permutations drawn (0 for exact).
+  uint64_t cache_hits = 0;     ///< Memo hits backing a sampled answer.
+  std::string trace_id;        ///< Hex trace id; "" when untraced.
+};
+
+/// A fixed-size SHARDED ring buffer of FlightDigests, recorded
+/// unconditionally on every served request. Designed for the always-on hot
+/// path: one relaxed fetch_add picks the slot (global order), the shard
+/// index is seq % shards so concurrent writers land on DIFFERENT mutexes,
+/// and each shard's lock covers exactly one slot assignment — no
+/// allocation beyond the digest's own strings, no global lock, no I/O.
+///
+/// Conservation contract (pinned by tests/obs/flight_test.cc): after N
+/// Record calls, total_recorded() == N, Snapshot() holds exactly
+/// min(N, capacity()) digests with STRICTLY increasing sequence numbers,
+/// and dropped() == N - resident — a digest is either resident or
+/// accounted as overwritten, never torn and never lost.
+class FlightRecorder {
+ public:
+  /// `capacity` is rounded up to a multiple of `shards` so every shard
+  /// owns the same number of slots (keeps the seq → slot map exact).
+  explicit FlightRecorder(size_t capacity = 1024, size_t shards = 8);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Stamps digest.t_ms (relative to the recorder's epoch) and writes it
+  /// into the ring, overwriting the digest `capacity` sequence numbers
+  /// older. Thread-safe; wait-free except for one uncontended-by-design
+  /// per-shard mutex.
+  void Record(FlightDigest digest);
+
+  /// The resident digests, oldest → newest (global sequence order). Each
+  /// entry is a consistent, untorn copy.
+  struct Entry {
+    uint64_t seq = 0;
+    FlightDigest digest;
+  };
+  std::vector<Entry> Snapshot() const;
+
+  uint64_t total_recorded() const {
+    return next_seq_.load(std::memory_order_relaxed);
+  }
+  /// Digests overwritten before any snapshot saw them had to be: recorded
+  /// minus resident.
+  uint64_t dropped() const {
+    const uint64_t total = total_recorded();
+    return total > capacity_ ? total - capacity_ : 0;
+  }
+  size_t capacity() const { return capacity_; }
+
+  /// Milliseconds since the recorder's epoch (the "now" of a snapshot).
+  double UptimeMs() const;
+
+ private:
+  struct Slot {
+    /// Sequence number + 1 of the digest held (0 = empty). Written last
+    /// under the shard mutex, so a snapshot never sees a half-written
+    /// digest with a valid seq.
+    uint64_t seq_plus_1 = 0;
+    FlightDigest digest;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::vector<Slot> slots;
+  };
+
+  size_t capacity_;
+  size_t num_shards_;
+  size_t per_shard_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<uint64_t> next_seq_{0};
+  std::unique_ptr<Shard[]> shards_;
+};
+
+}  // namespace shapley::obs
+
+#endif  // SHAPLEY_OBS_FLIGHT_H_

@@ -1,0 +1,151 @@
+#include "shapley/obs/heavy.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace shapley::obs {
+
+namespace {
+
+/// Canonical summary order: count descending, key ascending on ties.
+bool CanonicalLess(const HeavyHitter& a, const HeavyHitter& b) {
+  if (a.count != b.count) return a.count > b.count;
+  return a.key < b.key;
+}
+
+}  // namespace
+
+SpaceSaving::SpaceSaving(size_t k) : k_(std::max<size_t>(1, k)) {
+  entries_.reserve(k_);
+}
+
+void SpaceSaving::Record(const std::string& key, uint64_t weight) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  total_ += weight;
+  for (HeavyHitter& entry : entries_) {
+    if (entry.key == key) {
+      entry.count += weight;
+      return;
+    }
+  }
+  if (entries_.size() < k_) {
+    entries_.push_back(HeavyHitter{key, weight, 0});
+    return;
+  }
+  // At capacity: displace the minimum-count entry (key-ascending
+  // tie-break keeps eviction independent of arrival order among equals).
+  size_t victim = 0;
+  for (size_t i = 1; i < entries_.size(); ++i) {
+    if (entries_[i].count < entries_[victim].count ||
+        (entries_[i].count == entries_[victim].count &&
+         entries_[i].key < entries_[victim].key)) {
+      victim = i;
+    }
+  }
+  const uint64_t floor = entries_[victim].count;
+  entries_[victim] = HeavyHitter{key, floor + weight, floor};
+  ++evictions_;
+}
+
+HeavySummary SpaceSaving::Summary() const {
+  HeavySummary summary;
+  summary.k = k_;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    summary.total = total_;
+    summary.evictions = evictions_;
+    summary.hitters = entries_;
+  }
+  std::sort(summary.hitters.begin(), summary.hitters.end(), CanonicalLess);
+  return summary;
+}
+
+uint64_t SpaceSaving::total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+uint64_t SpaceSaving::evictions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evictions_;
+}
+
+size_t SpaceSaving::keys_tracked() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+HeavySummary MergeHeavySummaries(const HeavySummary& a,
+                                 const HeavySummary& b) {
+  HeavySummary merged;
+  merged.k = std::max(a.k, b.k);
+  merged.total = a.total + b.total;
+  merged.evictions = a.evictions + b.evictions;
+  merged.hitters = a.hitters;
+  for (const HeavyHitter& hitter : b.hitters) {
+    bool found = false;
+    for (HeavyHitter& mine : merged.hitters) {
+      if (mine.key == hitter.key) {
+        mine.count += hitter.count;
+        mine.error += hitter.error;
+        found = true;
+        break;
+      }
+    }
+    if (!found) merged.hitters.push_back(hitter);
+  }
+  std::sort(merged.hitters.begin(), merged.hitters.end(), CanonicalLess);
+  if (merged.hitters.size() > merged.k) merged.hitters.resize(merged.k);
+  return merged;
+}
+
+net::Json HeavySummaryJson(const HeavySummary& summary) {
+  net::Json hitters = net::Json::Arr();
+  for (const HeavyHitter& hitter : summary.hitters) {
+    net::Json entry;
+    entry.Set("key", net::Json::Str(hitter.key));
+    entry.Set("count", net::Json::Number(hitter.count));
+    entry.Set("error", net::Json::Number(hitter.error));
+    hitters.Push(std::move(entry));
+  }
+  net::Json json;
+  json.Set("k", net::Json::Number(uint64_t{summary.k}));
+  json.Set("total", net::Json::Number(summary.total));
+  json.Set("evictions", net::Json::Number(summary.evictions));
+  json.Set("hitters", std::move(hitters));
+  return json;
+}
+
+std::optional<HeavySummary> ParseHeavySummary(const net::Json& json) {
+  if (!json.is_object()) return std::nullopt;
+  HeavySummary summary;
+  const net::Json* k = json.Find("k");
+  const net::Json* total = json.Find("total");
+  const net::Json* evictions = json.Find("evictions");
+  const net::Json* hitters = json.Find("hitters");
+  if (k == nullptr || !k->IfUint64().has_value() || total == nullptr ||
+      !total->IfUint64().has_value() || evictions == nullptr ||
+      !evictions->IfUint64().has_value() || hitters == nullptr ||
+      hitters->IfArray() == nullptr) {
+    return std::nullopt;
+  }
+  summary.k = static_cast<size_t>(*k->IfUint64());
+  summary.total = *total->IfUint64();
+  summary.evictions = *evictions->IfUint64();
+  for (const net::Json& entry : *hitters->IfArray()) {
+    const net::Json* key = entry.Find("key");
+    const net::Json* count = entry.Find("count");
+    const net::Json* error = entry.Find("error");
+    if (key == nullptr || key->IfString() == nullptr || count == nullptr ||
+        !count->IfUint64().has_value() || error == nullptr ||
+        !error->IfUint64().has_value()) {
+      return std::nullopt;
+    }
+    summary.hitters.push_back(
+        HeavyHitter{*key->IfString(), *count->IfUint64(),
+                    *error->IfUint64()});
+  }
+  return summary;
+}
+
+}  // namespace shapley::obs

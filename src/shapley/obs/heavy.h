@@ -1,0 +1,92 @@
+#ifndef SHAPLEY_OBS_HEAVY_H_
+#define SHAPLEY_OBS_HEAVY_H_
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "shapley/net/json.h"
+
+namespace shapley::obs {
+
+/// One tracked key of a Space-Saving sketch. `count` OVERESTIMATES the
+/// key's true frequency by at most `error` (the count of whatever entry it
+/// evicted on admission), so truth ∈ [count - error, count] — the standard
+/// Space-Saving guarantee.
+struct HeavyHitter {
+  std::string key;
+  uint64_t count = 0;
+  uint64_t error = 0;
+
+  bool operator==(const HeavyHitter& other) const {
+    return key == other.key && count == other.count && error == other.error;
+  }
+};
+
+/// The MERGEABLE summary of one sketch: what crosses the wire on
+/// GET /v1/debug/hot and what the router folds into its fleet view.
+/// Hitters are canonically ordered — count DESCENDING, key ASCENDING on
+/// ties — so two summaries of equal state serialize byte-identically.
+struct HeavySummary {
+  size_t k = 0;              ///< Sketch capacity (max hitters tracked).
+  uint64_t total = 0;        ///< Total weight recorded.
+  uint64_t evictions = 0;    ///< Admissions that displaced a tracked key.
+  std::vector<HeavyHitter> hitters;
+};
+
+/// Deterministic Space-Saving top-K sketch (Metwally et al.): at most K
+/// tracked keys; a hit increments its key; a miss with room inserts
+/// (weight, error 0); a miss at capacity evicts the minimum-count entry
+/// (ties broken by key ASCENDING — fully deterministic, no arrival-order
+/// dependence among equals) and inserts the new key with count
+/// min + weight and error min. Every operation is O(K) worst case under
+/// one mutex — K is small (32 by default) and the scan is branch-light,
+/// so the always-on cost is a sub-microsecond constant.
+class SpaceSaving {
+ public:
+  explicit SpaceSaving(size_t k = 32);
+
+  SpaceSaving(const SpaceSaving&) = delete;
+  SpaceSaving& operator=(const SpaceSaving&) = delete;
+
+  void Record(const std::string& key, uint64_t weight = 1);
+
+  /// Canonical snapshot (count desc, key asc).
+  HeavySummary Summary() const;
+
+  size_t k() const { return k_; }
+  uint64_t total() const;
+  uint64_t evictions() const;
+  size_t keys_tracked() const;
+
+ private:
+  const size_t k_;
+  mutable std::mutex mutex_;
+  std::vector<HeavyHitter> entries_;  ///< Unordered; ≤ k_ of them.
+  uint64_t total_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+/// Merges two summaries into one of capacity max(a.k, b.k): counts and
+/// errors of shared keys ADD (each side's overestimate bound carries
+/// through), one-sided keys pass verbatim, then the union truncates to
+/// capacity in canonical order. For ≤ k distinct keys across both sides
+/// the merge is EXACT and associative (pinned by tests/obs/heavy_test.cc);
+/// past capacity, truncation keeps the top-K view and `total`/`evictions`
+/// still add exactly — the documented mergeable-summary contract the
+/// router's fleet-wide /v1/debug/hot relies on.
+HeavySummary MergeHeavySummaries(const HeavySummary& a,
+                                 const HeavySummary& b);
+
+/// Wire codec of a summary: {"k":K,"total":N,"evictions":E,
+/// "hitters":[{"key":...,"count":...,"error":...},...]} in canonical
+/// order. Parse accepts exactly what Json produces (unknown members are
+/// ignored, so newer fields pass old routers).
+net::Json HeavySummaryJson(const HeavySummary& summary);
+std::optional<HeavySummary> ParseHeavySummary(const net::Json& json);
+
+}  // namespace shapley::obs
+
+#endif  // SHAPLEY_OBS_HEAVY_H_

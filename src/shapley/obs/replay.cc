@@ -14,15 +14,22 @@ using net::Json;
 
 namespace {
 
-/// Drops "stats" and "trace" members from EVERY object level, not just the
-/// top one: the trace block is a nested span tree (timings down to engine
-/// internals, different on every run), so a shallow strip would leave
-/// volatile children behind and break bit-identical replay comparison.
+/// Drops the run-volatile members from EVERY object level, not just the
+/// top one: "stats" and "trace" (the span tree times engine internals,
+/// different on every run), plus the relative-timestamp and latency
+/// members the /v1/debug/* endpoints carry ("t_ms", "uptime_ms",
+/// "latency_us", "latency_ms") — within one run those are stable offsets,
+/// across runs they differ, so canonical comparison strips them. A shallow
+/// strip would leave volatile children behind and break bit-identical
+/// replay comparison.
 Json StripVolatileMembers(const Json& json) {
   if (const Json::Object* members = json.IfObject()) {
     Json canonical;
     for (const auto& [key, value] : *members) {
-      if (key == "stats" || key == "trace") continue;
+      if (key == "stats" || key == "trace" || key == "t_ms" ||
+          key == "uptime_ms" || key == "latency_us" || key == "latency_ms") {
+        continue;
+      }
       canonical.Set(key, StripVolatileMembers(value));
     }
     return canonical;

@@ -1,0 +1,87 @@
+#include "shapley/obs/slowlog.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace shapley::obs {
+
+SlowLog::SlowLog(double threshold_ms, size_t capacity)
+    : threshold_ms_(threshold_ms),
+      capacity_(std::max<size_t>(1, capacity)),
+      epoch_(std::chrono::steady_clock::now()) {
+  ring_.reserve(capacity_);
+}
+
+void SlowLog::Capture(SlowEntry entry) {
+  entry.t_ms = std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - epoch_)
+                   .count();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(entry));
+  } else {
+    ring_[total_ % capacity_] = std::move(entry);
+  }
+  ++total_;
+}
+
+std::vector<SlowEntry> SlowLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SlowEntry> entries;
+  entries.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    entries = ring_;
+  } else {
+    // Full ring: the oldest resident is the next overwrite target.
+    for (size_t i = 0; i < capacity_; ++i) {
+      entries.push_back(ring_[(total_ + i) % capacity_]);
+    }
+  }
+  return entries;
+}
+
+uint64_t SlowLog::total_captured() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+net::Json SlowEntryJson(const SlowEntry& entry) {
+  net::Json json;
+  json.Set("t_ms", net::Json::Number(entry.t_ms));
+  json.Set("target", net::Json::Str(entry.target));
+  json.Set("body", net::Json::Str(entry.body));
+  json.Set("latency_ms", net::Json::Number(entry.latency_ms));
+  json.Set("status", net::Json::Number(int64_t{entry.status}));
+  json.Set("engine", net::Json::Str(entry.engine));
+  json.Set("mode", net::Json::Str(entry.mode));
+  json.Set("strategy", net::Json::Str(entry.strategy));
+  json.Set("shard_key_hash", net::Json::Number(entry.shard_key_hash));
+  json.Set("trace_id", net::Json::Str(entry.trace_id));
+  return json;
+}
+
+bool ParseSlowLogBody(const std::string& json_body,
+                      std::vector<LogEntry>* out) {
+  std::string error;
+  const auto parsed = net::Json::Parse(json_body, &error);
+  if (!parsed.has_value() || !parsed->is_object()) return false;
+  const net::Json* entries = parsed->Find("entries");
+  if (entries == nullptr || entries->IfArray() == nullptr) return false;
+  std::vector<LogEntry> log;
+  for (const net::Json& entry : *entries->IfArray()) {
+    const net::Json* t_ms = entry.Find("t_ms");
+    const net::Json* target = entry.Find("target");
+    const net::Json* body = entry.Find("body");
+    if (t_ms == nullptr || !t_ms->IfDouble().has_value() ||
+        target == nullptr || target->IfString() == nullptr ||
+        body == nullptr || body->IfString() == nullptr) {
+      return false;
+    }
+    log.push_back(LogEntry{*t_ms->IfDouble(), *target->IfString(),
+                           *body->IfString()});
+  }
+  *out = std::move(log);
+  return true;
+}
+
+}  // namespace shapley::obs

@@ -1,0 +1,82 @@
+#ifndef SHAPLEY_OBS_SLOWLOG_H_
+#define SHAPLEY_OBS_SLOWLOG_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "shapley/net/json.h"
+#include "shapley/obs/reqlog.h"
+
+namespace shapley::obs {
+
+/// One captured outlier: the verbatim POST body of a request that exceeded
+/// the slow threshold, plus the digest fields needed to triage it without
+/// re-running it. The body is EXACTLY what arrived on the wire, so the
+/// entry replays bit-identically through the Replay harness.
+struct SlowEntry {
+  double t_ms = 0.0;           ///< Ms since the log's epoch (relative).
+  std::string target;          ///< Endpoint the body was POSTed to.
+  std::string body;            ///< Verbatim request body.
+  double latency_ms = 0.0;     ///< What made it slow.
+  int status = 0;
+  std::string engine;
+  std::string mode;
+  std::string strategy;
+  uint64_t shard_key_hash = 0;
+  std::string trace_id;        ///< "" when the slow request was untraced.
+};
+
+/// A bounded ring of SlowEntries. ShouldCapture is the only call on the
+/// fast path — one double compare, no lock — so the always-on cost of slow
+/// capture is paid ONLY by requests that were already slow.
+class SlowLog {
+ public:
+  explicit SlowLog(double threshold_ms = 250.0, size_t capacity = 32);
+
+  SlowLog(const SlowLog&) = delete;
+  SlowLog& operator=(const SlowLog&) = delete;
+
+  bool ShouldCapture(double latency_ms) const {
+    return threshold_ms_ > 0 && latency_ms >= threshold_ms_;
+  }
+
+  /// Stamps entry.t_ms (relative to the log's epoch) and appends,
+  /// overwriting the oldest entry at capacity.
+  void Capture(SlowEntry entry);
+
+  /// Resident entries, oldest → newest.
+  std::vector<SlowEntry> Snapshot() const;
+
+  uint64_t total_captured() const;
+  double threshold_ms() const { return threshold_ms_; }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const double threshold_ms_;
+  const size_t capacity_;
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::vector<SlowEntry> ring_;    ///< ring_[seq % capacity_].
+  uint64_t total_ = 0;             ///< Next sequence number.
+};
+
+/// One slow entry in the GET /v1/debug/slow wire shape: {"t_ms":...,
+/// "target":...,"body":<verbatim string>,"latency_ms":...,"status":...,
+/// "engine":...,"mode":...,"strategy":...,"shard_key_hash":...,
+/// "trace_id":...} in that (canonical) key order.
+net::Json SlowEntryJson(const SlowEntry& entry);
+
+/// Rebuilds Replay-ready LogEntries from a GET /v1/debug/slow response
+/// body: each slow entry's {t_ms, target, body} becomes one LogEntry, in
+/// log order, with the body verbatim — the slow-log → replay workflow.
+/// Returns false (and leaves `out` untouched) if the body is not a
+/// well-formed slow-log response.
+bool ParseSlowLogBody(const std::string& json_body,
+                      std::vector<LogEntry>* out);
+
+}  // namespace shapley::obs
+
+#endif  // SHAPLEY_OBS_SLOWLOG_H_

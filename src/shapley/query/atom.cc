@@ -81,14 +81,18 @@ bool Atom::UnifyWith(const Fact& fact, Assignment* assignment) const {
 }
 
 std::string Atom::ToString(const Schema& schema) const {
-  std::ostringstream os;
-  os << schema.name(relation_) << "(";
+  // Direct string building — rendered per request on the shard-key path.
+  const std::string& relation = schema.name(relation_);
+  std::string out;
+  out.reserve(relation.size() + 2 + terms_.size() * 4);
+  out += relation;
+  out += '(';
   for (size_t i = 0; i < terms_.size(); ++i) {
-    if (i > 0) os << ",";
-    os << terms_[i];
+    if (i > 0) out += ',';
+    out += terms_[i].ToString();
   }
-  os << ")";
-  return os.str();
+  out += ')';
+  return out;
 }
 
 }  // namespace shapley

@@ -105,20 +105,21 @@ std::set<Constant> ConjunctiveQuery::QueryConstants() const {
 }
 
 std::string ConjunctiveQuery::ToString() const {
-  std::ostringstream os;
+  std::string out;
   bool first = true;
   for (const Atom& atom : positive_) {
-    if (!first) os << " ∧ ";
+    if (!first) out += " ∧ ";
     first = false;
-    os << atom.ToString(*schema_);
+    out += atom.ToString(*schema_);
   }
   for (const Atom& atom : negated_) {
-    if (!first) os << " ∧ ";
+    if (!first) out += " ∧ ";
     first = false;
-    os << "¬" << atom.ToString(*schema_);
+    out += "¬";
+    out += atom.ToString(*schema_);
   }
-  if (first) os << "⊤";
-  return os.str();
+  if (first) out += "⊤";
+  return out;
 }
 
 }  // namespace shapley

@@ -16,7 +16,10 @@
 //      /v1/engines, /healthz with role "router", and the health poller
 //      restoring a flapped backend;
 //  (e) RetagNdjsonLine rewrites ONLY the id — unknown response fields
-//      cross the router verbatim (forward compatibility).
+//      cross the router verbatim (forward compatibility);
+//  (f) the router's /v1/debug/hot is ONE merged fleet view: folding each
+//      backend's own sketches client-side with MergeHeavySummaries
+//      reproduces it exactly, and the counts are exact under capacity.
 
 #include "shapley/cluster/router.h"
 
@@ -34,6 +37,7 @@
 #include "shapley/data/parser.h"
 #include "shapley/net/client.h"
 #include "shapley/net/server.h"
+#include "shapley/obs/heavy.h"
 #include "shapley/query/query_parser.h"
 #include "shapley/service/shapley_service.h"
 
@@ -501,6 +505,84 @@ TEST(RouterTest, RetagNdjsonLinePreservesUnknownFieldsVerbatim) {
   // Undecodable lines throw (the batch gather treats that as a transport
   // failure of the shard) instead of forwarding garbage under a new id.
   EXPECT_THROW(cluster::RetagNdjsonLine("not json", 1), std::runtime_error);
+}
+
+TEST(RouterTest, DebugHotMergesBackendSketchesIntoOneFleetView) {
+  auto schema = Schema::Create();
+  Fleet fleet(3);
+  ShapleyClient router_client("127.0.0.1", fleet.router->port());
+
+  // 8 distinct shard keys (spanning the fleet), each computed 3 times so
+  // real counts accrue on whichever backend owns the key.
+  for (int round = 0; round < 3; ++round) {
+    for (int j = 0; j < 8; ++j) {
+      const SvcResponse response =
+          router_client.Compute(EasyInstance(schema, j));
+      EXPECT_TRUE(response.ok());
+    }
+  }
+
+  // Fold each backend's OWN sketches client-side...
+  obs::HeavySummary keys_fold;
+  obs::HeavySummary classes_fold;
+  for (const auto& backend : fleet.backends) {
+    ShapleyClient direct("127.0.0.1", backend->server.port());
+    int status = 0;
+    const std::string body = direct.RawGet("/v1/debug/hot", &status);
+    ASSERT_EQ(status, 200);
+    const auto parsed = Json::Parse(body);
+    ASSERT_TRUE(parsed.has_value());
+    const Json* sketches = parsed->Find("sketches");
+    ASSERT_NE(sketches, nullptr);
+    ASSERT_NE(sketches->Find("shard_key"), nullptr);
+    ASSERT_NE(sketches->Find("query_class"), nullptr);
+    const auto keys = obs::ParseHeavySummary(*sketches->Find("shard_key"));
+    const auto classes =
+        obs::ParseHeavySummary(*sketches->Find("query_class"));
+    ASSERT_TRUE(keys.has_value());
+    ASSERT_TRUE(classes.has_value());
+    keys_fold = obs::MergeHeavySummaries(keys_fold, *keys);
+    classes_fold = obs::MergeHeavySummaries(classes_fold, *classes);
+  }
+
+  // ...and the router's /v1/debug/hot must report EXACTLY that fold: the
+  // router keeps no sketch of its own, so nothing is ever double-counted.
+  int status = 0;
+  const std::string hot = router_client.RawGet("/v1/debug/hot", &status);
+  ASSERT_EQ(status, 200);
+  const auto parsed = Json::Parse(hot);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_NE(parsed->Find("role"), nullptr);
+  EXPECT_EQ(parsed->Find("role")->Dump(), "\"router\"");
+  ASSERT_NE(parsed->Find("backends"), nullptr);
+  EXPECT_EQ(parsed->Find("backends")->IfUint64().value_or(0), 3u);
+  const Json* sketches = parsed->Find("sketches");
+  ASSERT_NE(sketches, nullptr);
+  ASSERT_NE(sketches->Find("shard_key"), nullptr);
+  ASSERT_NE(sketches->Find("query_class"), nullptr);
+  const auto merged_keys =
+      obs::ParseHeavySummary(*sketches->Find("shard_key"));
+  const auto merged_classes =
+      obs::ParseHeavySummary(*sketches->Find("query_class"));
+  ASSERT_TRUE(merged_keys.has_value());
+  ASSERT_TRUE(merged_classes.has_value());
+  EXPECT_EQ(merged_keys->hitters, keys_fold.hitters);
+  EXPECT_EQ(merged_keys->total, keys_fold.total);
+  EXPECT_EQ(merged_keys->evictions, keys_fold.evictions);
+  EXPECT_EQ(merged_classes->hitters, classes_fold.hitters);
+  EXPECT_EQ(merged_classes->total, classes_fold.total);
+
+  // Under capacity the fleet view is EXACT: 8 distinct keys, 3 hits each,
+  // and one query class carrying all 24 requests.
+  EXPECT_EQ(merged_keys->total, 24u);
+  ASSERT_EQ(merged_keys->hitters.size(), 8u);
+  for (const obs::HeavyHitter& hitter : merged_keys->hitters) {
+    EXPECT_EQ(hitter.count, 3u);
+    EXPECT_EQ(hitter.error, 0u);
+  }
+  EXPECT_EQ(merged_classes->total, 24u);
+  ASSERT_EQ(merged_classes->hitters.size(), 1u);
+  EXPECT_EQ(merged_classes->hitters[0].count, 24u);
 }
 
 }  // namespace

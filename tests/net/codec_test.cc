@@ -219,6 +219,7 @@ TEST(CodecTest, EveryErrorCodeRoundTripsWithItsDocumentedStatus) {
       {SvcErrorCode::kCancelled, 499},
       {SvcErrorCode::kEngineFailure, 500},
       {SvcErrorCode::kUpstreamUnavailable, 503},
+      {SvcErrorCode::kRequestTimeout, 408},
       {SvcErrorCode::kDeadlineExceeded, 504},
   };
   auto schema = Schema::Create();

@@ -374,5 +374,74 @@ TEST(HttpParseTest, ManyConcurrentKeepAliveConnectionsOnOneLoopThread) {
   EXPECT_EQ(stack.server.requests_served(), 2 * kConns);
 }
 
+TEST(HttpParseTest, PartialRequestTimesOutWith408BeforeClose) {
+  // A connection that STARTED a request but never finished it gets told
+  // why it is being hung up on: a prebuilt 408 with the structured
+  // request-timeout error, then close. (Silent close is for idle
+  // keep-alive conns with NO partial request — next test.)
+  net::ServerOptions options;
+  options.read_timeout_ms = 100;
+  Stack stack(options);
+  std::string error;
+  net::Socket socket =
+      net::ConnectTcp("127.0.0.1", stack.server.port(), &error);
+  ASSERT_TRUE(socket.valid()) << error;
+  // Headers complete, body short 3 bytes — mid-message forever.
+  ASSERT_TRUE(socket.SendAll(
+      "POST /v1/compute HTTP/1.1\r\nContent-Length: 5\r\n\r\nab"));
+  net::SocketReader reader(socket.fd(), 5000);
+  net::HttpResponse response;
+  bool chunked = false;
+  ASSERT_EQ(net::ReadHttpResponse(&reader, 1 << 20, &response, &chunked),
+            net::HttpReadResult::kOk);
+  EXPECT_EQ(response.status, 408);
+  EXPECT_NE(response.body.find("request-timeout"), std::string::npos);
+  EXPECT_NE(response.body.find("read timeout"), std::string::npos);
+  // After the 408 the server closes: clean EOF, no second response.
+  net::HttpResponse after;
+  EXPECT_EQ(net::ReadHttpResponse(&reader, 1 << 20, &after, &chunked),
+            net::HttpReadResult::kClosed);
+  // The timeout is counted in the event-loop metric family.
+  const net::HttpResponse metrics = RawExchange(
+      stack, "GET /metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n");
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.body.find("shapley_server_eventloop_read_timeouts_total{"
+                              "role=\"backend\"} 1"),
+            std::string::npos);
+}
+
+TEST(HttpParseTest, IdleConnectionsWithNoPartialRequestCloseSilently) {
+  net::ServerOptions options;
+  options.read_timeout_ms = 100;
+  Stack stack(options);
+  std::string error;
+
+  // A fresh connection that never sends a byte: silent close, no 408.
+  net::Socket fresh =
+      net::ConnectTcp("127.0.0.1", stack.server.port(), &error);
+  ASSERT_TRUE(fresh.valid()) << error;
+
+  // A keep-alive connection idle BETWEEN requests: the answered request
+  // comes back 200, the idle period ends in a silent close — a 408 here
+  // would be nonsense (no request is pending).
+  net::Socket kept =
+      net::ConnectTcp("127.0.0.1", stack.server.port(), &error);
+  ASSERT_TRUE(kept.valid()) << error;
+  ASSERT_TRUE(kept.SendAll("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n"));
+  net::SocketReader kept_reader(kept.fd(), 5000);
+  net::HttpResponse served;
+  bool chunked = false;
+  ASSERT_EQ(net::ReadHttpResponse(&kept_reader, 1 << 20, &served, &chunked),
+            net::HttpReadResult::kOk);
+  EXPECT_EQ(served.status, 200);
+
+  net::HttpResponse nothing;
+  net::SocketReader fresh_reader(fresh.fd(), 5000);
+  EXPECT_EQ(net::ReadHttpResponse(&fresh_reader, 1 << 20, &nothing, &chunked),
+            net::HttpReadResult::kClosed);
+  EXPECT_EQ(net::ReadHttpResponse(&kept_reader, 1 << 20, &nothing, &chunked),
+            net::HttpReadResult::kClosed);
+}
+
 }  // namespace
 }  // namespace shapley

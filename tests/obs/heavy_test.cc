@@ -1,0 +1,175 @@
+// The Space-Saving heavy-hitter sketch (obs/heavy.h):
+//
+//  (a) under capacity the sketch is EXACT: counts match true frequencies,
+//      errors are zero, and the summary is canonically ordered;
+//  (b) eviction is deterministic — the minimum-count entry goes, ties
+//      broken by key ASCENDING — so two sketches fed the same stream in
+//      the same order summarize IDENTICALLY, and the admitted key carries
+//      the evicted floor as its error (truth ∈ [count - error, count]);
+//  (c) the mergeable-summary contract: MergeHeavySummaries is exact for
+//      ≤ K distinct keys, ASSOCIATIVE, commutative, and identity-friendly
+//      — the algebra the router's fleet-wide /v1/debug/hot fold relies on;
+//  (d) the wire codec round-trips (HeavySummaryJson → ParseHeavySummary)
+//      and rejects malformed payloads instead of guessing.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "shapley/net/json.h"
+#include "shapley/obs/heavy.h"
+
+namespace shapley::obs {
+namespace {
+
+using net::Json;
+
+TEST(SpaceSaving, ExactUnderCapacityAndCanonicallyOrdered) {
+  SpaceSaving sketch(/*k=*/4);
+  sketch.Record("bravo");
+  sketch.Record("alpha", 3);
+  sketch.Record("bravo", 2);
+  sketch.Record("charlie", 3);
+
+  EXPECT_EQ(sketch.total(), 9u);
+  EXPECT_EQ(sketch.evictions(), 0u);
+  EXPECT_EQ(sketch.keys_tracked(), 3u);
+
+  const HeavySummary summary = sketch.Summary();
+  EXPECT_EQ(summary.k, 4u);
+  EXPECT_EQ(summary.total, 9u);
+  EXPECT_EQ(summary.evictions, 0u);
+  // Count desc, key asc on the alpha/bravo/charlie tie at 3 — canonical.
+  const std::vector<HeavyHitter> expect = {
+      {"alpha", 3, 0}, {"bravo", 3, 0}, {"charlie", 3, 0}};
+  EXPECT_EQ(summary.hitters, expect);
+}
+
+TEST(SpaceSaving, EvictionIsDeterministicWithKeyAscendingTies) {
+  // Capacity 2: after a=5, b=2, the miss "c" must evict b (minimum) and
+  // admit c with count min + 1 = 3, error min = 2.
+  SpaceSaving sketch(/*k=*/2);
+  sketch.Record("a", 5);
+  sketch.Record("b", 2);
+  sketch.Record("c");
+  EXPECT_EQ(sketch.evictions(), 1u);
+  HeavySummary summary = sketch.Summary();
+  const std::vector<HeavyHitter> expect = {{"a", 5, 0}, {"c", 3, 2}};
+  EXPECT_EQ(summary.hitters, expect);
+
+  // A tie among minimum counts evicts the key-ASCENDING first — so the
+  // same stream always produces the same sketch, arrival order of the
+  // tied keys notwithstanding.
+  SpaceSaving tied(/*k=*/2);
+  tied.Record("zz", 4);
+  tied.Record("mm", 4);
+  tied.Record("qq");  // Tie at 4: "mm" < "zz" evicts, "zz" survives.
+  const HeavySummary tied_summary = tied.Summary();
+  const std::vector<HeavyHitter> tied_expect = {{"qq", 5, 4}, {"zz", 4, 0}};
+  EXPECT_EQ(tied_summary.hitters, tied_expect);
+
+  // Determinism end to end: the same stream through two sketches (and
+  // through one sketch twice) summarizes identically.
+  const std::vector<std::string> stream = {"x", "y", "z", "x", "w", "y",
+                                           "v", "x", "u", "w", "x", "t"};
+  SpaceSaving first(/*k=*/3);
+  SpaceSaving second(/*k=*/3);
+  for (const std::string& key : stream) {
+    first.Record(key);
+    second.Record(key);
+  }
+  EXPECT_EQ(first.Summary().hitters, second.Summary().hitters);
+  EXPECT_EQ(first.Summary().evictions, second.Summary().evictions);
+  // The Space-Saving invariant holds throughout: count ≥ true ≥
+  // count - error for every tracked key ("x" appears 4 times).
+  for (const HeavyHitter& hitter : first.Summary().hitters) {
+    if (hitter.key == "x") {
+      EXPECT_GE(hitter.count, 4u);
+      EXPECT_LE(hitter.count - hitter.error, 4u);
+    }
+  }
+}
+
+TEST(MergeHeavySummaries, ExactAssociativeAndCommutativeUnderCapacity) {
+  // Three disjoint-ish sketches of one logical stream: merged any way,
+  // the result must equal the single-sketch truth (≤ K distinct keys).
+  auto summarize = [](const std::vector<std::pair<std::string, uint64_t>>&
+                          records) {
+    SpaceSaving sketch(/*k=*/8);
+    for (const auto& [key, weight] : records) sketch.Record(key, weight);
+    return sketch.Summary();
+  };
+  const HeavySummary a = summarize({{"p", 4}, {"q", 1}});
+  const HeavySummary b = summarize({{"q", 2}, {"r", 5}});
+  const HeavySummary c = summarize({{"p", 1}, {"r", 1}, {"s", 3}});
+  const HeavySummary truth =
+      summarize({{"p", 5}, {"q", 3}, {"r", 6}, {"s", 3}});
+
+  const HeavySummary ab_c = MergeHeavySummaries(MergeHeavySummaries(a, b), c);
+  const HeavySummary a_bc = MergeHeavySummaries(a, MergeHeavySummaries(b, c));
+  const HeavySummary ba_c = MergeHeavySummaries(MergeHeavySummaries(b, a), c);
+  EXPECT_EQ(ab_c.hitters, truth.hitters);
+  EXPECT_EQ(a_bc.hitters, truth.hitters);   // Associative.
+  EXPECT_EQ(ba_c.hitters, truth.hitters);   // Commutative.
+  EXPECT_EQ(ab_c.total, truth.total);
+  EXPECT_EQ(a_bc.total, truth.total);
+
+  // Merging with an empty summary is the identity.
+  const HeavySummary empty;
+  EXPECT_EQ(MergeHeavySummaries(a, empty).hitters, a.hitters);
+  EXPECT_EQ(MergeHeavySummaries(empty, a).hitters, a.hitters);
+
+  // Past capacity the union truncates to max(a.k, b.k) in canonical
+  // order, and total/evictions still add exactly.
+  SpaceSaving big(/*k=*/2);
+  big.Record("m", 9);
+  big.Record("n", 8);
+  const HeavySummary truncated =
+      MergeHeavySummaries(big.Summary(), summarize({{"p", 5}, {"q", 1}}));
+  EXPECT_EQ(truncated.k, 8u);  // max(2, 8)
+  const HeavySummary wide = MergeHeavySummaries(a, b);
+  EXPECT_EQ(wide.k, 8u);
+  SpaceSaving tiny_a(/*k=*/1);
+  tiny_a.Record("m", 9);
+  SpaceSaving tiny_b(/*k=*/1);
+  tiny_b.Record("n", 8);
+  const HeavySummary top1 =
+      MergeHeavySummaries(tiny_a.Summary(), tiny_b.Summary());
+  EXPECT_EQ(top1.k, 1u);
+  ASSERT_EQ(top1.hitters.size(), 1u);  // Truncated to capacity...
+  EXPECT_EQ(top1.hitters[0], (HeavyHitter{"m", 9, 0}));  // ...keeping top.
+  EXPECT_EQ(top1.total, 17u);  // Totals add even past truncation.
+}
+
+TEST(HeavySummaryJson, RoundTripsAndRejectsMalformed) {
+  SpaceSaving sketch(/*k=*/3);
+  sketch.Record("alpha", 7);
+  sketch.Record("beta", 2);
+  sketch.Record("gamma", 2);
+  sketch.Record("delta");  // Evicts one of the 2s.
+  const HeavySummary summary = sketch.Summary();
+
+  const Json wire = HeavySummaryJson(summary);
+  const auto parsed = ParseHeavySummary(wire);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->k, summary.k);
+  EXPECT_EQ(parsed->total, summary.total);
+  EXPECT_EQ(parsed->evictions, summary.evictions);
+  EXPECT_EQ(parsed->hitters, summary.hitters);
+  // Canonical order → byte-stable wire: re-encoding the parse reproduces
+  // the original dump exactly.
+  EXPECT_EQ(HeavySummaryJson(*parsed).Dump(), wire.Dump());
+
+  // Malformed payloads parse to nullopt, never to a guessed summary.
+  EXPECT_FALSE(ParseHeavySummary(*Json::Parse("[]")).has_value());
+  EXPECT_FALSE(
+      ParseHeavySummary(*Json::Parse(R"({"k":3,"total":1})")).has_value());
+  EXPECT_FALSE(ParseHeavySummary(
+                   *Json::Parse(R"({"k":3,"total":1,"evictions":0,)"
+                                R"("hitters":[{"key":"a"}]})"))
+                   .has_value());
+}
+
+}  // namespace
+}  // namespace shapley::obs
